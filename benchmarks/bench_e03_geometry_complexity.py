@@ -1,0 +1,100 @@
+"""E3 — geometry complexity degradation.
+
+Paper claim: "If the complexity of geometries in the dataset increases (i.e.,
+we have multi-polygons), not even the aforementioned performance can be
+achieved for both Strabon and GraphDB." Expected shape: with the store size
+held fixed, selection latency grows with per-geometry vertex count (the exact
+intersection test dominates once the index has pruned), and multipolygons
+cost more than points at every size.
+"""
+
+import random
+import time
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.geometry import MultiPolygon, Point, Polygon
+from repro.geosparql import GeoStore, geometry_literal
+from repro.rdf import GEO, Namespace
+
+EX = Namespace("http://ex.org/")
+STORE_SIZE = 2_000
+WORLD = 10_000.0
+WINDOW = 800.0
+VERTEX_COUNTS = (8, 32, 128, 512)
+
+PREFIXES = (
+    "PREFIX geo: <http://www.opengis.net/ont/geosparql#> "
+    "PREFIX geof: <http://www.opengis.net/def/function/geosparql/> "
+)
+
+
+def build_store(vertices_per_geometry, seed=0):
+    """A store of multipolygons (two parts, v/2 vertices each)."""
+    rng = random.Random(seed)
+    store = GeoStore()
+    triples = []
+    for i in range(STORE_SIZE):
+        x, y = rng.uniform(0, WORLD), rng.uniform(0, WORLD)
+        if vertices_per_geometry == 0:
+            geometry = Point(x, y)
+        else:
+            half = max(vertices_per_geometry // 2, 3)
+            geometry = MultiPolygon(
+                [
+                    Polygon.regular(x, y, 30.0, half),
+                    Polygon.regular(x + 80.0, y, 20.0, half),
+                ]
+            )
+        triples.append((EX[f"f{i}"], GEO.asWKT, geometry_literal(geometry)))
+    store.bulk_load(triples)
+    return store
+
+
+def selection(store, seed=1, queries=5):
+    rng = random.Random(seed)
+    total = 0.0
+    hits = 0
+    for _ in range(queries):
+        x = rng.uniform(0, WORLD - WINDOW)
+        y = rng.uniform(0, WORLD - WINDOW)
+        box = geometry_literal(Polygon.box(x, y, x + WINDOW, y + WINDOW))
+        query = (
+            PREFIXES
+            + "SELECT ?f WHERE { ?f geo:asWKT ?g . "
+            + f'FILTER (geof:sfIntersects(?g, "{box.lexical}"^^geo:wktLiteral)) }}'
+        )
+        start = time.perf_counter()
+        hits += len(store.query(query))
+        total += time.perf_counter() - start
+    return total / queries, hits
+
+
+def test_e03_latency_vs_vertex_count(benchmark):
+    """Figure-style series: selection latency vs vertices per geometry."""
+    point_store = build_store(0)
+    point_latency, _ = selection(point_store)
+    rows = [{"geometry": "POINT", "vertices": 1, "latency_ms": point_latency * 1000}]
+    latencies = {}
+    for vertices in VERTEX_COUNTS:
+        store = build_store(vertices)
+        latency, hits = selection(store)
+        assert hits > 0
+        latencies[vertices] = latency
+        rows.append(
+            {
+                "geometry": "MULTIPOLYGON",
+                "vertices": vertices,
+                "latency_ms": latency * 1000,
+            }
+        )
+    print_series("E3: selection latency vs geometry complexity", rows)
+    benchmark.extra_info["degradation_512_vs_8"] = latencies[512] / latencies[8]
+
+    # Shape: complexity hurts monotonically-ish and dominates points.
+    assert latencies[512] > latencies[8] * 2
+    assert latencies[8] > point_latency
+
+    store = build_store(VERTEX_COUNTS[-1])
+    benchmark(lambda: selection(store, queries=1))

@@ -1,0 +1,121 @@
+"""E4 — distributed scale-out deep learning.
+
+Paper claim (Challenge C1, citing Goyal et al. [8]): classification must move
+from single-GPU training to "distributed scale-out deep learning". Expected
+shape: simulated time per epoch shrinks with worker count while the update
+math stays exact (speedup saturates as the allreduce term stops shrinking);
+the Goyal linear-scaling rule needs its warmup — without it, the scaled
+learning rate destabilises early training.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.cluster import NetworkModel
+from repro.datasets import make_eurosat
+from repro.ml import (
+    DataParallelTrainer,
+    SGD,
+    Sequential,
+    WarmupLinearScalingSchedule,
+    accuracy,
+)
+from repro.apps.foodsecurity.cropmap import build_crop_classifier
+
+WORKERS = (1, 2, 4, 8, 16)
+BATCH = 64
+
+
+def make_data():
+    return make_eurosat(samples=480, patch_size=8, num_classes=6, seed=3)
+
+
+def train_once(workers, dataset, epochs=1, schedule=None, lr=0.05):
+    model = build_crop_classifier(num_classes=6, seed=5)
+    trainer = DataParallelTrainer(
+        model,
+        SGD(model.parameters(), lr=lr, momentum=0.9),
+        workers=workers,
+        strategy="allreduce",
+        network=NetworkModel(latency_s=50e-6, bandwidth_bps=1.25e9),
+        example_cost_s=2e-3,  # simulated per-example compute
+        schedule=schedule,
+    )
+    report = trainer.fit(dataset.x, dataset.y, epochs=epochs, batch_size=BATCH)
+    return model, trainer, report
+
+
+def test_e04_epoch_time_vs_workers(benchmark):
+    """Figure-style series: simulated epoch time + throughput vs workers."""
+    dataset = make_data()
+    reports = {}
+
+    def sweep():
+        for workers in WORKERS:
+            reports[workers] = train_once(workers, dataset)[2]
+        return reports
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    base = reports[1].total_time_s
+    rows = [
+        {
+            "workers": w,
+            "sim_epoch_s": r.total_time_s,
+            "speedup": base / r.total_time_s,
+            "comm_fraction": r.comm_time_s / r.total_time_s,
+            "final_loss": r.final_loss,
+        }
+        for w, r in reports.items()
+    ]
+    print_series("E4: scale-out training (ring allreduce)", rows)
+    benchmark.extra_info["speedup_16"] = base / reports[16].total_time_s
+
+    # Shape: strong scaling with saturation; identical learning curves.
+    assert base / reports[4].total_time_s > 2.5
+    assert base / reports[16].total_time_s > 4.0
+    # Exact data parallelism: same losses regardless of worker count.
+    np.testing.assert_allclose(reports[1].losses, reports[16].losses, rtol=1e-9)
+    # Communication share grows with workers.
+    assert (
+        reports[16].comm_time_s / reports[16].total_time_s
+        > reports[2].comm_time_s / reports[2].total_time_s
+    )
+
+
+def test_e04_ablation_warmup(benchmark):
+    """Ablation: Goyal linear scaling with vs without warmup at 8 workers."""
+    dataset = make_data()
+    workers = 8
+    base_lr = 0.2  # aggressive: target lr = 1.6, where warmup matters
+
+    def run(warmup_steps):
+        schedule = WarmupLinearScalingSchedule(
+            base_lr=base_lr, workers=workers, warmup_steps=warmup_steps
+        )
+        model, trainer, report = train_once(
+            workers, dataset, epochs=2, schedule=schedule, lr=base_lr
+        )
+        score = accuracy(model.predict(dataset.x[:160]), dataset.y[:160])
+        return report, score
+
+    def both():
+        return run(14), run(0)
+
+    (with_warmup, acc_warm), (no_warmup, acc_cold) = benchmark.pedantic(
+        both, rounds=1, iterations=1
+    )
+    # Skip the shared step-0 loss: compare the post-first-update trajectory.
+    early_with = max(with_warmup.losses[1:8])
+    early_without = max(no_warmup.losses[1:8])
+    print_series(
+        "E4 ablation: large-minibatch warmup (8 workers)",
+        [
+            {"schedule": "warmup(14 steps)", "peak_early_loss": early_with,
+             "final_loss": with_warmup.final_loss, "accuracy": acc_warm},
+            {"schedule": "no warmup", "peak_early_loss": early_without,
+             "final_loss": no_warmup.final_loss, "accuracy": acc_cold},
+        ],
+    )
+    # Shape: the immediately-scaled rate spikes early loss.
+    assert early_without > early_with

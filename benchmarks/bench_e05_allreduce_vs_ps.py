@@ -1,0 +1,89 @@
+"""E5 — collective allreduce vs parameter server.
+
+Paper claim (Challenge C5): HOPS supports "distributed deep learning using
+TensorFlow's distribution strategies, including collective allreduce and
+parameter server". Expected shape: per-step synchronisation time under ring
+allreduce is flat in the worker count (bandwidth-optimal), the single
+parameter server degrades linearly (its link is the bottleneck), scaling the
+server tier recovers, and naive broadcast is strictly worse than ring; in a
+latency-dominated regime a full server tier beats the ring's 2(n-1) steps.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.cluster import (
+    NetworkModel,
+    broadcast_time_s,
+    parameter_server_time_s,
+    ring_allreduce_time_s,
+)
+
+MODEL_BYTES = 100e6  # a 25M-parameter model in float32
+WORKERS = (2, 4, 8, 16, 32, 64)
+NETWORK = NetworkModel(latency_s=100e-6, bandwidth_bps=1.25e9)
+
+
+def sweep():
+    rows = []
+    for workers in WORKERS:
+        rows.append(
+            {
+                "workers": workers,
+                "ring_s": ring_allreduce_time_s(workers, MODEL_BYTES, NETWORK),
+                "ps1_s": parameter_server_time_s(workers, MODEL_BYTES, 1, NETWORK),
+                "ps8_s": parameter_server_time_s(workers, MODEL_BYTES, 8, NETWORK),
+                "broadcast_s": broadcast_time_s(workers, MODEL_BYTES, NETWORK),
+            }
+        )
+    return rows
+
+
+def test_e05_sync_cost_per_step(benchmark):
+    """Figure-style series: per-step sync time by strategy and worker count."""
+    rows = benchmark(sweep)
+    print_series("E5: gradient synchronisation cost per step", rows)
+    by_workers = {r["workers"]: r for r in rows}
+    benchmark.extra_info["ring_vs_ps1_at_64"] = (
+        by_workers[64]["ps1_s"] / by_workers[64]["ring_s"]
+    )
+
+    # Ring saturates: its bandwidth term converges to 2*M*beta, so 64
+    # workers cost barely more than 8 (and < 2.2x the 2-worker case, whose
+    # term is only M*beta).
+    assert by_workers[64]["ring_s"] < by_workers[8]["ring_s"] * 1.3
+    assert by_workers[64]["ring_s"] < by_workers[2]["ring_s"] * 2.2
+    # Single PS degrades linearly with workers.
+    assert by_workers[64]["ps1_s"] > by_workers[8]["ps1_s"] * 6
+    # More servers help proportionally.
+    assert by_workers[64]["ps8_s"] < by_workers[64]["ps1_s"] / 6
+    # Broadcast is strictly worse than ring everywhere.
+    for row in rows:
+        assert row["broadcast_s"] > row["ring_s"]
+
+
+def test_e05_latency_regime_crossover(benchmark):
+    """Crossover: tiny model + slow latency -> full PS tier beats the ring."""
+    latency_net = NetworkModel(latency_s=2e-3, bandwidth_bps=1.25e9)
+    small_model = 1e6
+
+    def crossover():
+        rows = []
+        for workers in WORKERS:
+            ring = ring_allreduce_time_s(workers, small_model, latency_net)
+            ps_full = parameter_server_time_s(
+                workers, small_model, servers=workers, network=latency_net
+            )
+            rows.append(
+                {"workers": workers, "ring_s": ring, "ps_full_tier_s": ps_full,
+                 "winner": "ps" if ps_full < ring else "ring"}
+            )
+        return rows
+
+    rows = benchmark(crossover)
+    print_series("E5: latency-dominated regime (1 MB model, 2 ms links)", rows)
+    # Shape: the ring's 2(n-1) latency steps lose at scale.
+    assert rows[-1]["winner"] == "ps"
+    benchmark.extra_info["crossover_at"] = next(
+        (r["workers"] for r in rows if r["winner"] == "ps"), None
+    )

@@ -1,0 +1,136 @@
+"""E6 — training-dataset generation at scale (Challenge C2).
+
+Paper claim: "Two training datasets consisting of millions of samples will be
+developed" by enlarging existing datasets and "leveraging existing
+cartographic/thematic products (e.g., OpenStreetMap)". Expected shape:
+(a) downstream accuracy grows with weak-label dataset size (the point of
+generating big datasets), (b) cartographic attribute errors propagate into
+label noise and depress accuracy, (c) augmentation-based enlargement recovers
+part of the small-data gap.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.apps.foodsecurity.cropmap import build_crop_classifier, train_crop_classifier
+from repro.datasets import (
+    WeakLabelConfig,
+    augment_dataset,
+    make_osm_layer,
+    stratified_split,
+    weak_label_dataset,
+)
+from repro.ml import accuracy
+from repro.raster import GeoTransform, LandCover
+from repro.raster.sentinel import CROP_CLASSES, landcover_field, sentinel2_scene
+from repro.raster.stats import rasterize_polygon
+
+SIZE = 96
+
+
+def make_world(attribute_error=0.0, seed=0):
+    layer = make_osm_layer(
+        extent=(0.0, 0.0, SIZE * 10.0, SIZE * 10.0),
+        parcel_grid=6,
+        attribute_error=attribute_error,
+        seed=seed,
+    )
+    transform = GeoTransform(0.0, SIZE * 10.0, 10.0)
+    truth = np.full((SIZE, SIZE), int(LandCover.BARE_SOIL), dtype=np.int16)
+    for parcel in layer.parcels:
+        mask = rasterize_polygon(parcel.geometry, transform, (SIZE, SIZE))
+        truth[mask] = int(parcel.true_crop)
+    scene = sentinel2_scene(truth, day_of_year=170, seed=seed, transform=transform)
+    return scene, layer
+
+
+def evaluate(dataset, seed=1, repeats=2):
+    """Train on the weak dataset, score on a held-out stratified split.
+
+    Averaged over ``repeats`` seeds: tiny datasets make single runs noisy.
+    """
+    scores = []
+    for r in range(repeats):
+        train, test = stratified_split(dataset, test_fraction=0.25, seed=seed + r)
+        model = build_crop_classifier(num_classes=len(CROP_CLASSES), seed=seed + r)
+        train_crop_classifier(model, train, epochs=8, batch_size=16, lr=0.02)
+        scores.append(accuracy(model.predict(test.x), test.y))
+    return float(np.mean(scores))
+
+
+def test_e06_accuracy_vs_dataset_size(benchmark):
+    """Figure-style series: downstream accuracy vs generated dataset size."""
+    scene, layer = make_world(attribute_error=0.0, seed=2)
+    sizes = (1, 6, 18)  # patches per parcel -> dataset size sweep
+
+    def sweep():
+        results = []
+        for per_parcel in sizes:
+            dataset = weak_label_dataset(
+                scene.grid, layer,
+                WeakLabelConfig(patch_size=8, patches_per_parcel=per_parcel),
+                seed=3,
+            )
+            results.append((len(dataset), evaluate(dataset)))
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [{"patches": n, "test_accuracy": acc} for n, acc in results]
+    print_series("E6: accuracy vs weak-label dataset size", rows)
+    benchmark.extra_info["accuracies"] = {str(n): round(a, 3) for n, a in results}
+
+    # Shape: bigger generated datasets help (largest beats smallest).
+    assert results[-1][0] > results[0][0] * 4
+    assert results[-1][1] > results[0][1]
+    assert results[-1][1] > 1.0 / len(CROP_CLASSES) + 0.1  # well above chance
+
+
+def test_e06_label_noise_hurts(benchmark):
+    """Cartographic attribute errors propagate into downstream accuracy."""
+
+    def sweep():
+        results = []
+        for error in (0.0, 0.3):
+            scene, layer = make_world(attribute_error=error, seed=4)
+            dataset = weak_label_dataset(
+                scene.grid, layer,
+                WeakLabelConfig(patch_size=8, patches_per_parcel=10),
+                seed=5,
+            )
+            results.append((error, layer.attribute_error_rate(), evaluate(dataset)))
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        {"attribute_error": e, "realized_rate": r, "test_accuracy": a}
+        for e, r, a in results
+    ]
+    print_series("E6: label noise vs accuracy", rows)
+    clean, noisy = results[0][2], results[1][2]
+    assert noisy < clean
+
+
+def test_e06_augmentation_enlargement(benchmark):
+    """Enlarging a small dataset by augmentation recovers accuracy."""
+    scene, layer = make_world(seed=6)
+    small = weak_label_dataset(
+        scene.grid, layer, WeakLabelConfig(patch_size=8, patches_per_parcel=3),
+        seed=7,
+    )
+
+    def run():
+        enlarged = augment_dataset(small, copies=4, seed=8)
+        return evaluate(small, seed=9), evaluate(enlarged, seed=9), len(enlarged)
+
+    small_acc, big_acc, big_n = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_series(
+        "E6: augmentation enlargement",
+        [
+            {"dataset": f"weak ({len(small)})", "test_accuracy": small_acc},
+            {"dataset": f"augmented ({big_n})", "test_accuracy": big_acc},
+        ],
+    )
+    assert big_n == len(small) * 5
+    # Shape: enlargement should not hurt, and usually helps.
+    assert big_acc >= small_acc - 0.05

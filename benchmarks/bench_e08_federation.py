@@ -1,0 +1,118 @@
+"""E8 — federated geospatial analytics (Challenge C3, Semagrow).
+
+Paper claim: "the engine Semagrow will be extended so that it can manage
+efficiently federations of big geospatial data sources and answer extreme
+geospatial analytical queries". Expected shape: statistics-based source
+selection issues a fraction of the broadcast baseline's requests and ships
+fewer bindings; the gap widens with federation size because broadcast pays
+every endpoint for every pattern.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.federation import Endpoint, execute_federated
+from repro.rdf import Graph, Literal, Namespace
+
+EX = Namespace("http://ex.org/")
+PREFIX = "PREFIX ex: <http://ex.org/> "
+FEDERATION_SIZES = (3, 5, 8)
+
+QUERY = (
+    PREFIX
+    + "SELECT ?f ?c ?r WHERE { ?f ex:crop ?c . ?f ex:rainfall ?r . "
+    + "FILTER (?r > 120) }"
+)
+
+
+def build_federation(endpoint_count, fields_per_source=60):
+    """Two thematic sources plus (endpoint_count - 2) irrelevant ones."""
+    crops = Graph("crops")
+    weather = Graph("weather")
+    for i in range(fields_per_source):
+        field = EX[f"field{i}"]
+        crops.add(field, EX.crop, Literal("wheat" if i % 2 else "maize"))
+        weather.add(field, EX.rainfall, Literal.from_python(100 + i))
+    endpoints = [Endpoint("crops", crops), Endpoint("weather", weather)]
+    for extra in range(endpoint_count - 2):
+        other = Graph(f"other{extra}")
+        for i in range(fields_per_source):
+            other.add(EX[f"x{extra}_{i}"], EX.iceType, Literal("old"))
+        endpoints.append(Endpoint(f"other{extra}", other))
+    return endpoints
+
+
+def test_e08_source_selection_vs_broadcast(benchmark):
+    """Table-style: requests / bindings / latency by method and fed size."""
+    rows = []
+    stats = {}
+
+    def sweep():
+        for size in FEDERATION_SIZES:
+            endpoints = build_federation(size)
+            start = time.perf_counter()
+            selected_solutions, selected = execute_federated(
+                QUERY, endpoints, source_selection="statistics"
+            )
+            selected_s = time.perf_counter() - start
+            start = time.perf_counter()
+            broadcast_solutions, broadcast = execute_federated(
+                QUERY, endpoints, source_selection="none"
+            )
+            broadcast_s = time.perf_counter() - start
+            assert len(selected_solutions) == len(broadcast_solutions)
+            stats[size] = (selected, broadcast, selected_s, broadcast_s)
+        return stats
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for size, (selected, broadcast, selected_s, broadcast_s) in stats.items():
+        rows.extend(
+            [
+                {"endpoints": size, "method": "semagrow", "requests": selected.requests,
+                 "bindings": selected.bindings_shipped, "seconds": selected_s},
+                {"endpoints": size, "method": "broadcast", "requests": broadcast.requests,
+                 "bindings": broadcast.bindings_shipped, "seconds": broadcast_s},
+            ]
+        )
+    print_series("E8: federated query execution", rows)
+    benchmark.extra_info["request_ratio_at_8"] = (
+        stats[8][1].requests / stats[8][0].requests
+    )
+
+    # Shape: selection always wins; the win grows with federation size.
+    for size, (selected, broadcast, *_ ) in stats.items():
+        assert selected.requests < broadcast.requests
+        assert selected.bindings_shipped <= broadcast.bindings_shipped
+    ratio_small = stats[3][1].requests / stats[3][0].requests
+    ratio_large = stats[8][1].requests / stats[8][0].requests
+    assert ratio_large > ratio_small
+
+
+def test_e08_ask_vs_statistics_selection(benchmark):
+    """ASK probing is precise but pays one request per (pattern, endpoint)."""
+    endpoints = build_federation(8)
+
+    def run(method):
+        solutions, metrics = execute_federated(
+            QUERY, endpoints, source_selection=method
+        )
+        return len(solutions), metrics.requests
+
+    def both():
+        return run("statistics"), run("ask")
+
+    (stat_n, stat_requests), (ask_n, ask_requests) = benchmark.pedantic(
+        both, rounds=1, iterations=1
+    )
+    print_series(
+        "E8 ablation: source-selection method",
+        [
+            {"method": "statistics", "results": stat_n, "requests": stat_requests},
+            {"method": "ask-probe", "results": ask_n, "requests": ask_requests},
+        ],
+    )
+    assert stat_n == ask_n
+    # ASK pays 2 patterns x 8 endpoints = 16 probes up front.
+    assert ask_requests >= stat_requests + 16

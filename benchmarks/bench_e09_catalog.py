@@ -1,0 +1,103 @@
+"""E9 — semantic catalogue scaling and the iceberg query (Challenge C4).
+
+Paper claims: catalogues must scale "to trillions of metadata records" (we
+sweep record counts and report the scaling shape to extrapolate), and must
+answer queries like "How many icebergs were embedded in the Norske Oer Ice
+Barrier at its maximum extent in 2017?" which "currently cannot be answered".
+Expected shape: ingest throughput roughly flat (per-record cost constant);
+search latency grows sublinearly thanks to the R-tree; the semantic catalogue
+answers the iceberg query while the keyword baseline structurally cannot.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.catalog import CapabilityError, KeywordCatalog, SemanticCatalog
+from repro.geometry import Polygon
+from repro.raster.products import ProductArchive
+
+RECORD_COUNTS = (500, 2_000, 8_000)
+
+
+def test_e09_catalog_scaling(benchmark):
+    """Figure-style series: ingest rate and search latency vs record count."""
+    rows = []
+    latencies = {}
+
+    def sweep():
+        for count in RECORD_COUNTS:
+            products = ProductArchive(seed=1).generate(count)
+            catalog = SemanticCatalog()
+            start = time.perf_counter()
+            catalog.add_products(products)
+            ingest_s = time.perf_counter() - start
+
+            start = time.perf_counter()
+            found = catalog.search_products(
+                bbox=(0.0, 40.0, 10.0, 50.0), mission="S1",
+                start_time="2017-03-01",
+            )
+            search_s = time.perf_counter() - start
+            latencies[count] = (ingest_s, search_s, len(found))
+        return latencies
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for count, (ingest_s, search_s, hits) in latencies.items():
+        rows.append(
+            {
+                "records": count,
+                "ingest_rec_per_s": count / ingest_s,
+                "search_ms": search_s * 1000,
+                "hits": hits,
+            }
+        )
+    print_series("E9: catalogue scaling", rows)
+    benchmark.extra_info["search_ms"] = {
+        str(c): round(v[1] * 1000, 2) for c, v in latencies.items()
+    }
+
+    # Shape: per-record ingest cost roughly flat (within 4x across 16x data);
+    # search cost scales with the *result*, not the store — per-hit latency
+    # stays within a small constant factor as the store grows 16x.
+    rates = [count / latencies[count][0] for count in RECORD_COUNTS]
+    assert max(rates) < min(rates) * 4
+    per_hit = [
+        latencies[count][1] / max(latencies[count][2], 1) for count in RECORD_COUNTS
+    ]
+    assert max(per_hit) < min(per_hit) * 3
+
+
+def test_e09_iceberg_query_capability(benchmark):
+    """The flagship semantic query: answerable vs structurally impossible."""
+    semantic = SemanticCatalog()
+    keyword = KeywordCatalog()
+    products = ProductArchive(seed=2).generate(200)
+    semantic.add_products(products)
+    for product in products:
+        keyword.add_product(product, keywords=("sar", "arctic"))
+
+    semantic.add_ice_region(
+        "noib-max", "Norske Oer Ice Barrier",
+        Polygon.box(0, 0, 100, 100), "2017-03-01T00:00:00",
+    )
+    for i, (x, y) in enumerate([(10, 10), (50, 50), (90, 90), (300, 300)]):
+        semantic.add_iceberg(
+            f"b{i}", Polygon.box(x, y, x + 2, y + 2), "2017-04-01T00:00:00"
+        )
+
+    def semantic_answer():
+        return semantic.count_icebergs_embedded("Norske Oer Ice Barrier", 2017)
+
+    count = benchmark(semantic_answer)
+    assert count == 3
+    with pytest.raises(CapabilityError):
+        keyword.count_icebergs_embedded("Norske Oer Ice Barrier", 2017)
+    print_series(
+        "E9: the Norske Oer iceberg query",
+        [
+            {"catalogue": "semantic (ours)", "answer": count},
+            {"catalogue": "keyword baseline", "answer": "CapabilityError"},
+        ],
+    )

@@ -1,0 +1,103 @@
+"""E13 — velocity: keeping up with the archive's daily volume.
+
+Paper claim: "By the end of 2016, 6 TB of data were generated and 100 TB of
+data were disseminated every day" and rates "will increase in forthcoming
+years" — the platform must ingest at archive velocity by scaling out, moving
+"the processing to where the data is". Expected shape: simulated ingest
+throughput grows near linearly with cluster size; delay scheduling keeps
+task inputs local, and disabling it increases data movement.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.cluster import ClusterSpec, Scheduler
+from repro.pipeline import ExtremeEarthPipeline
+from repro.raster import ProductArchive
+
+NODE_COUNTS = (1, 2, 4, 8)
+PRODUCTS = 128
+
+
+def ingest_with(nodes):
+    pipeline = ExtremeEarthPipeline(
+        cluster=ClusterSpec(node_count=nodes, cpu_slots_per_node=2)
+    )
+    products = ProductArchive(seed=3).generate(PRODUCTS)
+    return pipeline.ingest_archive(products)
+
+
+def test_e13_ingest_scaling(benchmark):
+    """Figure-style series: simulated ingest throughput vs cluster size."""
+    reports = {}
+
+    def sweep():
+        for nodes in NODE_COUNTS:
+            reports[nodes] = ingest_with(nodes)
+        return reports
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    base = reports[1].products_per_second
+    rows = [
+        {
+            "nodes": nodes,
+            "sim_products_per_s": report.products_per_second,
+            "speedup": report.products_per_second / base,
+            "implied_TB_per_day": report.products_per_second
+            * 86400 * (report.raw_bytes / report.products) / 1e12,
+        }
+        for nodes, report in reports.items()
+    ]
+    print_series("E13: archive ingest velocity", rows)
+    benchmark.extra_info["speedup_8_nodes"] = round(
+        reports[8].products_per_second / base, 2
+    )
+    # Shape: near-linear scale-out.
+    assert reports[4].products_per_second > base * 2.5
+    assert reports[8].products_per_second > reports[4].products_per_second * 1.5
+
+
+def test_e13_ablation_delay_scheduling(benchmark):
+    """Ablation: locality wait vs none on a data-heavy task mix."""
+    spec = ClusterSpec(
+        node_count=4,
+        cpu_slots_per_node=1,
+        network_bandwidth_bps=2e8,  # constrained network: remote reads hurt
+        network_latency_s=0.0,
+    )
+
+    def run(wait):
+        scheduler = Scheduler(spec, locality_wait_s=wait)
+        tasks = []
+        for i in range(64):
+            tasks.append(
+                scheduler.make_task(
+                    work_s=0.5,
+                    input_bytes=2e8,
+                    preferred_nodes={i % 2},  # skewed: data on two nodes
+                )
+            )
+        scheduler.submit_all(tasks)
+        return scheduler.run()
+
+    def both():
+        return run(60.0), run(0.0)
+
+    with_wait, without_wait = benchmark.pedantic(both, rounds=1, iterations=1)
+    print_series(
+        "E13 ablation: delay scheduling",
+        [
+            {"scheduler": "locality wait", "locality": with_wait.locality_rate,
+             "GB_moved": with_wait.bytes_transferred / 1e9,
+             "makespan_s": with_wait.makespan_s},
+            {"scheduler": "no wait", "locality": without_wait.locality_rate,
+             "GB_moved": without_wait.bytes_transferred / 1e9,
+             "makespan_s": without_wait.makespan_s},
+        ],
+    )
+    # Shape: waiting achieves full locality and zero network traffic at a
+    # bounded makespan premium; scheduling greedily floods the network.
+    assert with_wait.locality_rate == 1.0
+    assert with_wait.bytes_transferred == 0.0
+    assert without_wait.bytes_transferred > 1e9
+    assert with_wait.makespan_s < without_wait.makespan_s * 1.6

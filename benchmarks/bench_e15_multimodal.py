@@ -1,0 +1,69 @@
+"""E15 — multimodal synergy: optical + SAR (Challenge C1).
+
+Paper claim: "Different kinds of sensors (radar, optical, multi/multispectral)
+are available and can be used in synergy. Each modality provides specific
+information that can be used to cope with the limitations of another."
+Expected shape: on clear scenes the optical modality dominates; as cloud
+cover corrupts the optical channels its accuracy collapses while SAR is
+untouched; the fused classifier tracks the better modality everywhere —
+degrading gracefully instead of failing with the optics.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.apps.foodsecurity.cropmap import build_crop_classifier, train_crop_classifier
+from repro.datasets import (
+    make_multimodal_dataset,
+    modality_view,
+    stratified_split,
+)
+from repro.ml import accuracy
+
+CLOUD_LEVELS = (0.0, 0.5, 0.9)
+
+
+def score(dataset, seed=0):
+    train, test = stratified_split(dataset, test_fraction=0.25, seed=seed)
+    model = build_crop_classifier(
+        num_classes=dataset.num_classes, patch_size=4,
+        bands=dataset.x.shape[1], seed=seed,
+    )
+    train_crop_classifier(model, train, epochs=6, batch_size=16, lr=0.02)
+    return accuracy(model.predict(test.x), test.y)
+
+
+def test_e15_fusion_under_clouds(benchmark):
+    """Figure-style series: accuracy by modality across cloud cover."""
+
+    def sweep():
+        rows = []
+        for clouds in CLOUD_LEVELS:
+            dataset = make_multimodal_dataset(
+                samples=300, patch_size=4, seed=11, cloud_fraction=clouds,
+            )
+            rows.append(
+                {
+                    "cloud_fraction": clouds,
+                    "optical": score(modality_view(dataset, "optical")),
+                    "sar": score(modality_view(dataset, "sar")),
+                    "fused": score(dataset),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_series("E15: optical vs SAR vs fusion under cloud", rows)
+    clear, mid, overcast = rows
+    benchmark.extra_info["fused_at_90pct_cloud"] = overcast["fused"]
+
+    # Shape: optics win when clear but collapse under cloud; SAR is
+    # cloud-invariant; fusion tracks the stronger modality at every level.
+    assert clear["optical"] > clear["sar"]
+    assert overcast["optical"] < clear["optical"] - 0.15
+    assert abs(overcast["sar"] - clear["sar"]) < 0.15
+    for row in rows:
+        assert row["fused"] >= max(row["optical"], row["sar"]) - 0.08
+    # The synergy claim in one number: fusion under heavy cloud stays far
+    # above the collapsed optical channel.
+    assert overcast["fused"] > overcast["optical"] + 0.1

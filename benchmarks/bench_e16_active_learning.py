@@ -1,0 +1,173 @@
+"""E16 — active and semi-supervised learning (Challenge C1, citing [20]).
+
+Paper claim: "from an operational viewpoint it is not feasible to assume the
+availability of enough ground truth or annotated labeled data for training a
+deep network" — the motivation for the active/semi-supervised line of work
+(Persello & Bruzzone) the paper builds on.
+
+The pool mirrors EO reality: easy majority classes (water, urban) dominate,
+the confusable crop classes are rare. Expected shape: with a fixed label
+budget, margin-based active sampling spends labels on the crop boundary and
+beats random sampling on a balanced test set; self-training on the
+unlabelled pool lifts a label-starved classifier.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.datasets import Dataset
+from repro.datasets.multitemporal import make_multitemporal_dataset
+from repro.ml import (
+    ActiveLearner,
+    Dense,
+    ReLU,
+    SGD,
+    Sequential,
+    accuracy,
+    self_training,
+    softmax_cross_entropy,
+)
+from repro.raster.sentinel import LandCover
+
+CLASSES = (
+    LandCover.WATER,
+    LandCover.URBAN,
+    LandCover.WHEAT,
+    LandCover.MAIZE,
+    LandCover.RAPESEED,
+)
+FEATURES = 13 * 16  # one acquisition, 4x4 patches
+
+
+class _MLP:
+    """A calibrated MLP over flattened patches (fast enough to retrain
+    from scratch every active round)."""
+
+    def __init__(self, seed=0):
+        self.net = Sequential(
+            [Dense(FEATURES, 48, seed=seed), ReLU(), Dense(48, len(CLASSES), seed=seed + 1)]
+        )
+
+    def predict(self, x):
+        return self.net.predict(x.reshape(x.shape[0], -1))
+
+    def predict_proba(self, x):
+        return self.net.predict_proba(x.reshape(x.shape[0], -1))
+
+
+def _train(model, dataset, epochs=150, lr=0.1):
+    optimizer = SGD(model.net.parameters(), lr=lr, momentum=0.9)
+    x = dataset.x.reshape(len(dataset), -1)
+    for _ in range(epochs):
+        model.net.zero_grad()
+        logits = model.net.forward(x, training=True)
+        _, dlogits = softmax_cross_entropy(logits, dataset.y)
+        model.net.backward(dlogits)
+        optimizer.step()
+
+
+def _make_data(seed):
+    return make_multitemporal_dataset(
+        samples=900, patch_size=4, days=(160,), classes=CLASSES,
+        seed=seed, noise_std=0.06,
+    )
+
+
+def imbalanced_pool(seed=31):
+    """Water/urban dominate; only ~22% of crop samples survive."""
+    rng = np.random.default_rng(seed)
+    full = _make_data(seed)
+    keep = [
+        i for i in range(len(full))
+        if full.y[i] < 2 or rng.random() < 0.22
+    ]
+    return full.subset(np.asarray(keep))
+
+
+def balanced_test(seed=32, samples=300):
+    full = make_multitemporal_dataset(
+        samples=samples, patch_size=4, days=(160,), classes=CLASSES,
+        seed=seed, noise_std=0.06,
+    )
+    return full
+
+
+def test_e16_active_vs_random_budget(benchmark):
+    """Figure-style series: accuracy vs labels, margin vs random sampling."""
+    pool = imbalanced_pool()
+    test = balanced_test()
+
+    def run(strategy, seed):
+        learner = ActiveLearner(
+            model_fn=lambda: _MLP(seed=3), train_fn=_train,
+            strategy=strategy, seed=seed,
+        )
+        _, history = learner.run(pool, test, initial=20, batch=20, rounds=5)
+        return history
+
+    def both():
+        # Average two label-order seeds: single runs are noisy at 20 labels.
+        active = [run("margin", seed) for seed in (5, 6)]
+        random = [run("random", seed) for seed in (5, 6)]
+        return active, random
+
+    active_runs, random_runs = benchmark.pedantic(both, rounds=1, iterations=1)
+    rounds = len(active_runs[0])
+    rows = []
+    for r in range(rounds):
+        rows.append(
+            {
+                "labels": active_runs[0][r].labelled,
+                "margin": np.mean([run[r].accuracy for run in active_runs]),
+                "random": np.mean([run[r].accuracy for run in random_runs]),
+            }
+        )
+    print_series("E16: label budget vs accuracy (imbalanced EO pool)", rows)
+    final_active = rows[-1]["margin"]
+    final_random = rows[-1]["random"]
+    benchmark.extra_info["active_advantage"] = round(final_active - final_random, 3)
+
+    # Shape: both improve; at the final budget the actively-queried labels
+    # beat random (the boundary crops got the budget).
+    assert rows[-1]["margin"] > rows[0]["margin"]
+    assert final_active > final_random
+
+
+def test_e16_self_training_gain(benchmark):
+    """Self-training lifts a label-starved classifier using the archive."""
+    full = _make_data(seed=41)
+    test = balanced_test(seed=42)
+    labelled = full.subset(np.arange(25))
+    unlabelled_x = full.x[25:]
+
+    def run():
+        supervised = _MLP(seed=7)
+        _train(supervised, labelled)
+        baseline = accuracy(supervised.predict(test.x), test.y)
+        model, final, adopted = self_training(
+            model_fn=lambda: _MLP(seed=7),
+            train_fn=_train,
+            labelled=labelled,
+            unlabelled_x=unlabelled_x,
+            confidence=0.85,
+            max_iterations=2,
+        )
+        semi = accuracy(model.predict(test.x), test.y)
+        return baseline, semi, sum(adopted), len(final)
+
+    baseline, semi, adopted, final_size = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    print_series(
+        "E16: self-training with 25 labels",
+        [
+            {"model": "supervised only", "training_samples": 25, "accuracy": baseline},
+            {"model": "self-training", "training_samples": final_size, "accuracy": semi},
+        ],
+    )
+    benchmark.extra_info["pseudo_labels_adopted"] = adopted
+    # Shape: a meaningful share of the archive is adopted, and the
+    # semi-supervised model at least matches the label-starved baseline.
+    assert adopted > 100
+    assert semi >= baseline - 0.03

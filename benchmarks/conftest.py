@@ -1,0 +1,36 @@
+"""Shared helpers for the experiment benches.
+
+Every bench records its headline series in ``benchmark.extra_info`` so the
+shape results (who wins, by what factor, where crossovers fall) appear in the
+pytest-benchmark JSON/console output alongside the timings, and prints a
+small table for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+
+def print_series(title: str, rows: Iterable[Dict]) -> None:
+    """Render a result series as an aligned console table."""
+    rows = list(rows)
+    if not rows:
+        return
+    headers = list(rows[0].keys())
+    widths = {
+        h: max(len(str(h)), *(len(_fmt(r[h])) for r in rows)) for h in headers
+    }
+    print(f"\n== {title} ==")
+    print("  " + "  ".join(str(h).ljust(widths[h]) for h in headers))
+    for row in rows:
+        print("  " + "  ".join(_fmt(row[h]).ljust(widths[h]) for h in headers))
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,110 @@
+"""Challenge C3 end to end: GeoTriples -> interlinking -> federated SPARQL.
+
+Two organisations publish linked geospatial data independently (field parcels
+from a cadastre, water bodies from a hydrology agency). GeoTriples turns both
+into RDF; the JedAI-style interlinker discovers spatial relations between
+them; Semagrow-style federation answers a cross-source analytical query
+without centralising the data.
+
+Run: ``python examples/federated_analytics.py``
+"""
+
+from repro.datasets import make_osm_layer
+from repro.federation import Endpoint, execute_federated
+from repro.geometry import Polygon
+from repro.geotriples import ObjectMap, TriplesMap, transform_to_store
+from repro.interlinking import SpatialEntity, discover_links
+from repro.rdf import IRI, Literal
+from repro.sparql import Variable
+
+CADASTRE = "http://cadastre.example.org/"
+HYDRO = "http://hydro.example.org/"
+
+
+def main() -> None:
+    layer = make_osm_layer(
+        extent=(0.0, 0.0, 2000.0, 2000.0), parcel_grid=6,
+        water_count=4, seed=11,
+    )
+
+    # GeoTriples: each source runs its own mapping.
+    parcel_mapping = TriplesMap(
+        subject_template=CADASTRE + "parcel/{id}",
+        type_iri=CADASTRE + "Parcel",
+        object_maps=[
+            ObjectMap(predicate=CADASTRE + "crop", column="crop"),
+            ObjectMap(predicate="http://www.opengis.net/ont/geosparql#hasGeometry",
+                      column="geometry", is_geometry=True),
+        ],
+    )
+    parcel_records = [
+        {"id": p.parcel_id, "crop": p.crop.name, "geometry": p.geometry}
+        for p in layer.parcels
+    ]
+    cadastre_store = transform_to_store(parcel_records, parcel_mapping)
+
+    water_mapping = TriplesMap(
+        subject_template=HYDRO + "water/{id}",
+        type_iri=HYDRO + "WaterBody",
+        object_maps=[
+            ObjectMap(predicate=HYDRO + "kind", constant="lake"),
+            ObjectMap(predicate="http://www.opengis.net/ont/geosparql#hasGeometry",
+                      column="geometry", is_geometry=True),
+        ],
+    )
+    water_records = [
+        {"id": i, "geometry": geometry} for i, geometry in enumerate(layer.water)
+    ]
+    hydro_store = transform_to_store(water_records, water_mapping)
+    print(f"cadastre: {len(cadastre_store)} triples, "
+          f"hydro: {len(hydro_store)} triples")
+
+    # Interlinking: which parcels are near (or touch) which water bodies?
+    parcels = [
+        SpatialEntity(CADASTRE + f"parcel/{p.parcel_id}", p.geometry)
+        for p in layer.parcels
+    ]
+    waters = [
+        SpatialEntity(HYDRO + f"water/{i}", geometry)
+        for i, geometry in enumerate(layer.water)
+    ]
+    result = discover_links(
+        parcels, waters, method="blocking", cell_size=400.0, near_distance=150.0
+    )
+    print(f"interlinking: {result.candidate_pairs} candidates "
+          f"(vs {len(parcels) * len(waters)} brute force), "
+          f"{len(result.links)} links {result.by_relation()}")
+
+    # Publish the discovered links into the cadastre store.
+    for link in result.links:
+        cadastre_store.add(
+            IRI(link.source_id),
+            IRI(CADASTRE + ("nearWater" if link.relation == "near" else "touchesWater")),
+            IRI(link.target_id),
+        )
+
+    # Federation: "which crops grow near lakes?" spans both sources.
+    endpoints = [
+        Endpoint("cadastre", cadastre_store.graph),
+        Endpoint("hydro", hydro_store.graph),
+    ]
+    query = (
+        f"PREFIX cad: <{CADASTRE}> PREFIX hyd: <{HYDRO}> "
+        "SELECT DISTINCT ?crop WHERE { "
+        "?parcel cad:crop ?crop . "
+        "?parcel cad:nearWater ?water . "
+        "?water hyd:kind ?kind . }"
+    )
+    solutions, metrics = execute_federated(query, endpoints)
+    crops = sorted(str(s[Variable("crop")]) for s in solutions)
+    print(f"federated query: {metrics.requests} endpoint requests, "
+          f"{metrics.bindings_shipped} bindings shipped")
+    print(f"crops grown near lakes: {', '.join(crops) if crops else '(none)'}")
+
+    # Show the source-selection win over naive broadcast.
+    _, broadcast = execute_federated(query, endpoints, source_selection="none")
+    print(f"broadcast baseline would have issued {broadcast.requests} requests")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+"""Federating the two TEP semantic catalogues (Challenges C4 + C3).
+
+The paper: "Two semantic catalogues (one for each TEP) will be developed"
+and "this type of federation of TEPs with methods, tools and data
+specialised for their topic rather than one broad platform for everything is
+seen by us as the way into the future."
+
+This example builds the Food Security TEP and Polar TEP catalogues as
+independent endpoints, answers a cross-TEP analytical question through the
+Semagrow-style federation engine, and renders a Sextant map plus temporal
+frames of the time-evolving holdings.
+
+Run: ``python examples/tep_federation.py``
+"""
+
+from datetime import datetime
+
+from repro.catalog import SemanticCatalog
+from repro.federation import Endpoint, execute_federated
+from repro.geometry import BoundingBox
+from repro.raster.products import Mission, ProductArchive
+from repro.sextant import LayerStyle, SextantMap, sparql_layer, temporal_frames
+from repro.sparql import Variable
+
+
+def build_tep_catalog(name, extent, mission_mix, seed):
+    catalog = SemanticCatalog()
+    archive = ProductArchive(
+        extent=extent, start=datetime(2017, 1, 1), days=180,
+        mission_mix=mission_mix, seed=seed,
+    )
+    catalog.add_products(archive.generate(80))
+    return catalog
+
+
+def main() -> None:
+    # Food Security TEP: optical-heavy, mid-latitude agricultural belt.
+    foodsec = build_tep_catalog(
+        "foodsec", extent=(5.0, 44.0, 20.0, 52.0),
+        mission_mix=[(Mission.SENTINEL2, 0.8), (Mission.SENTINEL1, 0.2)], seed=1,
+    )
+    # Polar TEP: SAR-heavy, Arctic.
+    polar = build_tep_catalog(
+        "polar", extent=(5.0, 68.0, 30.0, 78.0),
+        mission_mix=[(Mission.SENTINEL1, 0.85), (Mission.SENTINEL3, 0.15)], seed=2,
+    )
+    print(f"Food Security TEP: {foodsec.triple_count} triples; "
+          f"Polar TEP: {polar.triple_count} triples")
+
+    # Cross-TEP federated question: which missions does each TEP hold, and
+    # how many March-2017 acquisitions are there across the federation?
+    endpoints = [
+        Endpoint("foodsec-tep", foodsec.store.graph),
+        Endpoint("polar-tep", polar.store.graph),
+    ]
+    query = (
+        "PREFIX eop: <http://extremeearth.eu/product#> "
+        "SELECT DISTINCT ?p ?m WHERE { ?p eop:mission ?m . "
+        "?p eop:sensingTime ?t . "
+        'FILTER (STR(?t) >= "2017-03-01" && STR(?t) < "2017-04-01") }'
+    )
+    solutions, metrics = execute_federated(query, endpoints)
+    by_mission = {}
+    for solution in solutions:
+        mission = str(solution[Variable("m")])
+        by_mission[mission] = by_mission.get(mission, 0) + 1
+    print(f"March 2017 across the federation: {len(solutions)} products "
+          f"{by_mission} ({metrics.requests} endpoint requests)")
+
+    # Sextant: one map, both TEPs' March footprints as layers.
+    footprint_query = (
+        "PREFIX eop: <http://extremeearth.eu/product#> "
+        "SELECT ?wkt ?m WHERE { ?p eop:mission ?m . ?p geo:hasGeometry ?g . "
+        "?g geo:asWKT ?wkt . ?p eop:sensingTime ?t . "
+        'FILTER (STR(?t) >= "2017-03-01" && STR(?t) < "2017-04-01") }'
+    )
+    chart = SextantMap(width=500, height=700, title="TEP holdings, March 2017")
+    chart.add_vector_layer(
+        "Food Security TEP",
+        sparql_layer(foodsec.store, foodsec_prefix(footprint_query), label_variable="m"),
+        style=LayerStyle(fill="#b3de69", stroke="#33691e"),
+    )
+    chart.add_vector_layer(
+        "Polar TEP",
+        sparql_layer(polar.store, foodsec_prefix(footprint_query), label_variable="m"),
+        style=LayerStyle(fill="#80b1d3", stroke="#0d47a1"),
+    )
+    svg = chart.render(extent=BoundingBox(0.0, 42.0, 35.0, 80.0))
+    out_path = "/tmp/tep_holdings.svg"
+    with open(out_path, "w", encoding="utf-8") as handle:
+        handle.write(svg)
+    print(f"Sextant map written to {out_path} ({len(svg)} bytes)")
+
+    # Temporal frames: the Polar TEP's acquisitions through the season.
+    frames_query = (
+        "PREFIX eop: <http://extremeearth.eu/product#> "
+        "SELECT ?wkt ?t WHERE { ?p geo:hasGeometry ?g . ?g geo:asWKT ?wkt . "
+        "?p eop:sensingTime ?t }"
+    )
+    frames = temporal_frames(
+        polar.store,
+        foodsec_prefix(frames_query),
+        instants=["2017-02-01T00:00:00", "2017-04-01T00:00:00", "2017-06-01T00:00:00"],
+        window_days=60.0,  # acquisitions are instants; show a 2-month window
+    )
+    print(f"rendered {len(frames)} temporal frames of Polar TEP holdings:")
+    for instant, frame_svg in frames:
+        print(f"   {instant}: {len(frame_svg)} bytes of SVG")
+
+
+def foodsec_prefix(query: str) -> str:
+    return (
+        "PREFIX geo: <http://www.opengis.net/ont/geosparql#> "
+        "PREFIX geof: <http://www.opengis.net/def/function/geosparql/> "
+        + query
+    )
+
+
+if __name__ == "__main__":
+    main()

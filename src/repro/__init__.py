@@ -1,0 +1,25 @@
+"""ExtremeEarth: extreme Earth analytics for Copernicus big data.
+
+A reproduction of the system envisioned by "From Copernicus Big Data to
+Extreme Earth Analytics" (Koubarakis et al., EDBT 2019). The package is
+organised by the paper's own architecture:
+
+* substrates — :mod:`repro.geometry`, :mod:`repro.rdf`, :mod:`repro.sparql`,
+  :mod:`repro.raster`, :mod:`repro.hopsfs`, :mod:`repro.cluster`
+* the ExtremeEarth technologies — :mod:`repro.geosparql` (Strabon),
+  :mod:`repro.geotriples`, :mod:`repro.interlinking` (JedAI/Silk),
+  :mod:`repro.federation` (Semagrow), :mod:`repro.catalog` (Challenge C4),
+  :mod:`repro.ml` + :mod:`repro.datasets` (Challenges C1/C2)
+* the applications — :mod:`repro.apps.foodsecurity` (A1),
+  :mod:`repro.apps.polar` (A2), and the integrated
+  :mod:`repro.pipeline` (C5)
+
+See DESIGN.md for the full system inventory and the experiment index, and
+EXPERIMENTS.md for paper-claim vs measured results.
+"""
+
+from repro.errors import ReproError
+
+__version__ = "0.1.0"
+
+__all__ = ["ReproError", "__version__"]

@@ -1,0 +1,1 @@
+"""The two ExtremeEarth applications: Food Security (A1) and Polar (A2)."""

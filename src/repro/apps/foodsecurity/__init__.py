@@ -1,0 +1,46 @@
+"""Application A1: Food Security.
+
+"To develop high resolution water availability maps for agricultural areas
+allowing a new level of detail for wide-scale irrigation support. The maps
+will be available as linked data together with other geospatial layers."
+
+* :mod:`repro.apps.foodsecurity.cropmap` — crop-type classification and
+  field-boundary extraction from Sentinel-2 scenes (the C1 architecture for
+  crops)
+* :mod:`repro.apps.foodsecurity.promet` — the PROMET-like soil-water-balance
+  / crop-growth model producing 10 m water-availability maps
+* :mod:`repro.apps.foodsecurity.irrigation` — per-field irrigation advice
+  published as linked data
+"""
+
+from repro.apps.foodsecurity.cropmap import (
+    build_crop_classifier,
+    classify_scene,
+    extract_fields,
+    train_crop_classifier,
+)
+from repro.apps.foodsecurity.promet import (
+    PrometModel,
+    SoilGrid,
+    WeatherDay,
+    synthetic_weather,
+)
+from repro.apps.foodsecurity.irrigation import (
+    FieldAdvice,
+    irrigation_advice,
+    publish_advice,
+)
+
+__all__ = [
+    "FieldAdvice",
+    "PrometModel",
+    "SoilGrid",
+    "WeatherDay",
+    "build_crop_classifier",
+    "classify_scene",
+    "extract_fields",
+    "irrigation_advice",
+    "publish_advice",
+    "synthetic_weather",
+    "train_crop_classifier",
+]

@@ -1,0 +1,46 @@
+"""Application A2: Polar.
+
+"To produce high resolution ice maps from massive volumes of heterogeneous
+Copernicus data ... deliver sea ice concentration and type maps, displaying
+stage of development (in accordance with the WMO Sea Ice Nomenclature) ...
+at a resolution of 1 km or better", delivered to ships "over restricted
+communication links" via a PCDSS-like system.
+
+* :mod:`repro.apps.polar.seaice` — SAR sea-ice classification (WMO stages),
+  concentration and type maps
+* :mod:`repro.apps.polar.icebergs` — iceberg detection and tracking
+* :mod:`repro.apps.polar.pcdss` — bandwidth-constrained product encoding
+"""
+
+from repro.apps.polar.seaice import (
+    build_ice_classifier,
+    classify_ice_scene,
+    ice_concentration_map,
+    ice_type_map,
+    make_ice_training_set,
+    train_ice_classifier,
+)
+from repro.apps.polar.icebergs import IcebergDetection, detect_icebergs, track_icebergs
+from repro.apps.polar.metocean import maritime_risk_index, sst_field, wind_field
+from repro.apps.polar.pcdss import decode_ice_chart, encode_ice_chart, map_agreement
+from repro.apps.polar.routing import Route, plan_route, route_to_geojson
+
+__all__ = [
+    "IcebergDetection",
+    "build_ice_classifier",
+    "classify_ice_scene",
+    "decode_ice_chart",
+    "detect_icebergs",
+    "encode_ice_chart",
+    "ice_concentration_map",
+    "ice_type_map",
+    "make_ice_training_set",
+    "map_agreement",
+    "maritime_risk_index",
+    "plan_route",
+    "Route",
+    "route_to_geojson",
+    "sst_field",
+    "track_icebergs",
+    "wind_field",
+]

@@ -1,0 +1,111 @@
+"""Metocean fields and the maritime risk index (A2).
+
+"The maps will be made available as linked data and will be combined with
+other information such as sea surface temperature and wind information for
+informing maritime users." This module supplies that combination: synthetic
+SST and wind fields co-registered with the ice maps, and a navigation risk
+index blending ice concentration, ice stage severity, wind, and freezing
+spray conditions — the per-cell cost surface the route planner consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+from scipy import ndimage
+
+from repro.errors import ReproError
+from repro.raster.sentinel import SeaIce
+
+#: Relative navigation hazard per WMO stage (old ice is the ship-killer).
+STAGE_SEVERITY: Dict[int, float] = {
+    int(SeaIce.OPEN_WATER): 0.0,
+    int(SeaIce.NEW_ICE): 0.15,
+    int(SeaIce.YOUNG_ICE): 0.35,
+    int(SeaIce.FIRST_YEAR_ICE): 0.65,
+    int(SeaIce.OLD_ICE): 1.0,
+}
+
+
+def _smooth(shape: Tuple[int, int], sigma: float, rng: np.random.Generator) -> np.ndarray:
+    noise = ndimage.gaussian_filter(rng.standard_normal(shape), sigma=sigma)
+    spread = noise.max() - noise.min()
+    if spread > 0:
+        noise = (noise - noise.min()) / spread
+    return noise
+
+
+def sst_field(
+    stage_map: np.ndarray, seed: int = 0, open_water_max_c: float = 4.0
+) -> np.ndarray:
+    """Sea-surface temperature (deg C) consistent with the ice map.
+
+    Ice-covered cells sit at the freezing point of seawater (-1.8 C); open
+    water warms with distance from the ice edge plus smooth variability.
+    """
+    stage_map = np.asarray(stage_map)
+    if stage_map.ndim != 2:
+        raise ReproError("stage map must be 2-D")
+    rng = np.random.default_rng(seed)
+    ice = stage_map != int(SeaIce.OPEN_WATER)
+    sst = np.full(stage_map.shape, -1.8, dtype=np.float64)
+    if (~ice).any():
+        # Distance (cells) from the nearest ice; warms ~0.2 C per cell.
+        distance = ndimage.distance_transform_edt(~ice)
+        variability = _smooth(stage_map.shape, 8.0, rng)
+        sst[~ice] = np.minimum(
+            -1.5 + 0.2 * distance[~ice] + 1.5 * variability[~ice],
+            open_water_max_c,
+        )
+    return sst
+
+
+def wind_field(
+    shape: Tuple[int, int], seed: int = 0, mean_speed_ms: float = 10.0
+) -> np.ndarray:
+    """Wind speed (m/s): smooth synoptic structure around the mean."""
+    if mean_speed_ms < 0:
+        raise ReproError("mean wind speed must be non-negative")
+    rng = np.random.default_rng(seed)
+    pattern = _smooth(shape, 10.0, rng)
+    return mean_speed_ms * (0.5 + pattern)
+
+
+def maritime_risk_index(
+    stage_map: np.ndarray,
+    sst: Optional[np.ndarray] = None,
+    wind: Optional[np.ndarray] = None,
+    seed: int = 0,
+) -> np.ndarray:
+    """Per-cell navigation risk in [0, 1].
+
+    Risk = ice-stage severity, plus a freezing-spray term where strong wind
+    meets near-freezing open water (the icing conditions the WMO Polar Code
+    warns about), plus a small wind-sea term. Missing SST/wind fields are
+    synthesised consistently with the ice map.
+    """
+    stage_map = np.asarray(stage_map)
+    if sst is None:
+        sst = sst_field(stage_map, seed=seed)
+    if wind is None:
+        wind = wind_field(stage_map.shape, seed=seed + 1)
+    sst = np.asarray(sst)
+    wind = np.asarray(wind)
+    if sst.shape != stage_map.shape or wind.shape != stage_map.shape:
+        raise ReproError("SST/wind fields must match the ice map shape")
+
+    severity = np.zeros(stage_map.shape, dtype=np.float64)
+    for value, hazard in STAGE_SEVERITY.items():
+        severity[stage_map == value] = hazard
+    unknown = ~np.isin(stage_map, list(STAGE_SEVERITY))
+    severity[unknown] = 1.0  # unclassified cells are treated as worst case
+
+    open_water = stage_map == int(SeaIce.OPEN_WATER)
+    # Freezing spray: wind > 10 m/s over water colder than 1 C.
+    spray = open_water & (wind > 10.0) & (sst < 1.0)
+    spray_term = np.where(spray, 0.35 * np.clip((wind - 10.0) / 15.0, 0, 1), 0.0)
+    # General wind-sea contribution, capped small.
+    sea_term = np.where(open_water, 0.1 * np.clip(wind / 25.0, 0, 1), 0.0)
+
+    return np.clip(severity + spray_term + sea_term, 0.0, 1.0)

@@ -1,0 +1,147 @@
+"""PCDSS-like product delivery over restricted links.
+
+"PCDSS is designed to be used over restricted communication links, to bridge
+between the service production and users onboard ships in the Polar
+Regions." Ships get kilobytes, not scenes: :func:`encode_ice_chart`
+compresses a class map into a byte budget by (a) aggregating to a coarser
+grid if needed and (b) run-length + varint encoding the class raster.
+Decoding reconstructs the chart; :func:`map_agreement` scores fidelity.
+
+Wire format: magic ``b"PC1"``, rows, cols, aggregation factor, then RLE
+pairs (class byte, varint run length).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.raster.grid import GeoTransform, RasterGrid
+
+_MAGIC = b"PC1"
+
+
+def _varint(value: int) -> bytes:
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def _read_varint(buffer: bytes, offset: int) -> Tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(buffer):
+            raise ReproError("truncated PCDSS payload")
+        byte = buffer[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+
+
+def _rle_encode(values: np.ndarray) -> bytes:
+    flat = values.ravel()
+    out = bytearray()
+    index = 0
+    n = flat.size
+    while index < n:
+        value = flat[index]
+        run = 1
+        while index + run < n and flat[index + run] == value:
+            run += 1
+        out.append(int(value) & 0xFF)
+        out.extend(_varint(run))
+        index += run
+    return bytes(out)
+
+
+def encode_ice_chart(
+    stage_map: np.ndarray, byte_budget: int = 2048
+) -> bytes:
+    """Encode a class map within *byte_budget*, degrading resolution if needed.
+
+    Tries aggregation factors 1, 2, 4, 8, ... until the payload fits; raises
+    when even the coarsest feasible chart exceeds the budget.
+    """
+    stage_map = np.asarray(stage_map)
+    if stage_map.ndim != 2:
+        raise ReproError("ice chart must be 2-D")
+    if stage_map.min() < 0 or stage_map.max() > 255:
+        raise ReproError("class values must fit a byte")
+    if byte_budget < 16:
+        raise ReproError("byte_budget too small for any chart")
+
+    factor = 1
+    while True:
+        rows = stage_map.shape[0] // factor
+        cols = stage_map.shape[1] // factor
+        if rows == 0 or cols == 0:
+            raise ReproError(
+                f"cannot fit chart into {byte_budget} bytes at any resolution"
+            )
+        if factor == 1:
+            aggregated = stage_map
+        else:
+            grid = RasterGrid(
+                stage_map.astype(np.int16), GeoTransform(0.0, float(stage_map.shape[0]), 1.0)
+            )
+            aggregated = grid.resample(factor, method="mode").data[0].astype(np.int16)
+        payload = _rle_encode(aggregated)
+        header = (
+            _MAGIC
+            + _varint(aggregated.shape[0])
+            + _varint(aggregated.shape[1])
+            + _varint(factor)
+        )
+        message = header + payload
+        if len(message) <= byte_budget:
+            return message
+        factor *= 2
+
+
+def decode_ice_chart(message: bytes) -> Tuple[np.ndarray, int]:
+    """Decode a PCDSS message; returns (class map, aggregation factor)."""
+    if not message.startswith(_MAGIC):
+        raise ReproError("not a PCDSS message")
+    offset = len(_MAGIC)
+    rows, offset = _read_varint(message, offset)
+    cols, offset = _read_varint(message, offset)
+    factor, offset = _read_varint(message, offset)
+    flat = np.empty(rows * cols, dtype=np.int16)
+    filled = 0
+    while filled < flat.size:
+        if offset >= len(message):
+            raise ReproError("truncated PCDSS payload")
+        value = message[offset]
+        offset += 1
+        run, offset = _read_varint(message, offset)
+        if filled + run > flat.size:
+            raise ReproError("PCDSS run overflows chart")
+        flat[filled : filled + run] = value
+        filled += run
+    if offset != len(message):
+        raise ReproError("trailing bytes in PCDSS message")
+    return flat.reshape(rows, cols), factor
+
+
+def map_agreement(original: np.ndarray, decoded: np.ndarray, factor: int) -> float:
+    """Fraction of original pixels whose decoded (upsampled) class agrees."""
+    original = np.asarray(original)
+    upsampled = np.repeat(np.repeat(decoded, factor, axis=0), factor, axis=1)
+    rows = min(original.shape[0], upsampled.shape[0])
+    cols = min(original.shape[1], upsampled.shape[1])
+    if rows == 0 or cols == 0:
+        raise ReproError("empty maps")
+    return float(
+        (original[:rows, :cols] == upsampled[:rows, :cols]).mean()
+    )

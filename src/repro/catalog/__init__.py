@@ -1,0 +1,31 @@
+"""Semantic catalogue services (Challenge C4).
+
+"Currently, Copernicus data catalogues ... allow a user to access data by
+drawing an area of interest on the map and specifying search parameters such
+as sensing date, mission, satellite platform, product type etc. The new
+semantics-based catalogue we will develop in ExtremeEarth will expose the
+knowledge hidden in Sentinel satellite images ... and will allow a user to
+ask sophisticated queries such as 'How many icebergs were embedded in the
+Norske Øer Ice Barrier at its maximum extent in 2017?'"
+
+* :mod:`repro.catalog.model` — the EO product/knowledge ontology
+* :mod:`repro.catalog.ingest` — products + extracted knowledge -> RDF
+* :class:`~repro.catalog.service.SemanticCatalog` — classic search *and*
+  knowledge queries (including the iceberg query) over a GeoStore
+* :class:`~repro.catalog.keyword_baseline.KeywordCatalog` — the classic
+  extent/keyword catalogue that cannot answer the semantic query (E9)
+"""
+
+from repro.catalog.model import EOP
+from repro.catalog.ingest import ingest_knowledge, ingest_products
+from repro.catalog.service import SemanticCatalog
+from repro.catalog.keyword_baseline import CapabilityError, KeywordCatalog
+
+__all__ = [
+    "CapabilityError",
+    "EOP",
+    "ingest_knowledge",
+    "ingest_products",
+    "KeywordCatalog",
+    "SemanticCatalog",
+]

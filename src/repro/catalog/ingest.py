@@ -1,0 +1,81 @@
+"""Ingesting products and extracted knowledge into the catalogue store."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.catalog import model
+from repro.errors import CatalogError
+from repro.geometry.primitives import Geometry
+from repro.geosparql.literals import geometry_literal
+from repro.geosparql.store import GeoStore
+from repro.rdf.namespace import GEO, RDF
+from repro.rdf.term import IRI, Literal, make_triple
+from repro.rdf.term import XSD_DATETIME, XSD_INTEGER
+from repro.raster.products import Product
+
+
+def product_iri(product: Product) -> IRI:
+    return IRI(f"http://extremeearth.eu/product/{product.product_id}")
+
+
+def ingest_products(store: GeoStore, products: Iterable[Product]) -> int:
+    """Load product metadata records; returns the triple count added."""
+
+    def triples():
+        for product in products:
+            subject = product_iri(product)
+            geom_iri = IRI(subject.value + "/footprint")
+            yield make_triple(subject, RDF.type, model.PRODUCT)
+            yield make_triple(subject, model.MISSION, Literal(product.mission.value))
+            yield make_triple(
+                subject, model.PRODUCT_TYPE, Literal(product.product_type)
+            )
+            yield make_triple(subject, model.LEVEL, Literal(product.level.value))
+            yield make_triple(
+                subject,
+                model.SENSING_TIME,
+                Literal(product.sensing_time.isoformat(), datatype=XSD_DATETIME),
+            )
+            yield make_triple(
+                subject,
+                model.SIZE_BYTES,
+                Literal(str(product.size_bytes), datatype=XSD_INTEGER),
+            )
+            yield make_triple(subject, GEO.hasGeometry, geom_iri)
+            yield make_triple(geom_iri, GEO.asWKT, geometry_literal(product.footprint))
+
+    return store.bulk_load(triples())
+
+
+def ingest_knowledge(
+    store: GeoStore,
+    entity_iri: str,
+    entity_class: IRI,
+    geometry: Geometry,
+    observed_at: Optional[str] = None,
+    derived_from: Optional[IRI] = None,
+    properties: Sequence = (),
+) -> None:
+    """Register one extracted knowledge entity (iceberg, ice region, field).
+
+    ``properties`` is a sequence of (predicate IRI, term) pairs for
+    class-specific attributes (region name, crop type, ...).
+    """
+    if not entity_iri.startswith("http"):
+        raise CatalogError(f"entity IRI must be absolute: {entity_iri!r}")
+    subject = IRI(entity_iri)
+    geom_iri = IRI(entity_iri + "/geom")
+    store.add(subject, RDF.type, entity_class)
+    store.add(subject, GEO.hasGeometry, geom_iri)
+    store.add(geom_iri, GEO.asWKT, geometry_literal(geometry))
+    if observed_at is not None:
+        store.add(
+            subject,
+            model.OBSERVED_AT,
+            Literal(observed_at, datatype=XSD_DATETIME),
+        )
+    if derived_from is not None:
+        store.add(subject, model.DERIVED_FROM, derived_from)
+    for predicate, term in properties:
+        store.add(subject, predicate, term)

@@ -1,0 +1,87 @@
+"""The classic catalogue baseline: extent + parameters + keywords only.
+
+This models what the paper says today's hubs offer — "access data by drawing
+an area of interest on the map and specifying search parameters" — and
+demonstrates the capability gap: knowledge queries raise
+:class:`CapabilityError` because the information simply is not indexed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import CatalogError
+from repro.geometry import BoundingBox
+from repro.raster.products import Product
+
+
+class CapabilityError(CatalogError):
+    """Raised when a query exceeds what a keyword catalogue can express."""
+
+
+@dataclass(frozen=True)
+class _Record:
+    product_id: str
+    mission: str
+    product_type: str
+    sensing_time: str
+    bbox: BoundingBox
+    keywords: Tuple[str, ...]
+
+
+class KeywordCatalog:
+    """A flat record list searched by extent, parameters, and keywords."""
+
+    def __init__(self):
+        self._records: List[_Record] = []
+
+    def add_product(self, product: Product, keywords: Tuple[str, ...] = ()) -> None:
+        self._records.append(
+            _Record(
+                product_id=product.product_id,
+                mission=product.mission.value,
+                product_type=product.product_type,
+                sensing_time=product.sensing_time.isoformat(),
+                bbox=product.footprint.bbox,
+                keywords=tuple(k.lower() for k in keywords),
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def search(
+        self,
+        bbox: Optional[Tuple[float, float, float, float]] = None,
+        start_time: Optional[str] = None,
+        end_time: Optional[str] = None,
+        mission: Optional[str] = None,
+        product_type: Optional[str] = None,
+        keyword: Optional[str] = None,
+    ) -> List[str]:
+        """Classic search; returns product ids."""
+        window = BoundingBox(*bbox) if bbox is not None else None
+        results = []
+        for record in self._records:
+            if mission is not None and record.mission != mission:
+                continue
+            if product_type is not None and record.product_type != product_type:
+                continue
+            if start_time is not None and record.sensing_time < start_time:
+                continue
+            if end_time is not None and record.sensing_time > end_time:
+                continue
+            if window is not None and not record.bbox.intersects(window):
+                continue
+            if keyword is not None and keyword.lower() not in record.keywords:
+                continue
+            results.append(record.product_id)
+        return results
+
+    def count_icebergs_embedded(self, region_name: str, year: int) -> int:
+        """The semantic query the keyword catalogue cannot answer."""
+        raise CapabilityError(
+            "keyword catalogues index products, not extracted knowledge: "
+            f"cannot count icebergs embedded in {region_name!r} in {year}"
+        )

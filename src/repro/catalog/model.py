@@ -1,0 +1,39 @@
+"""The catalogue ontology.
+
+Product metadata mirrors a Copernicus hub record; knowledge entities are the
+classes the ExtremeEarth deep-learning pipelines extract from imagery (sea-ice
+objects for the Polar TEP, crop fields for Food Security).
+"""
+
+from __future__ import annotations
+
+from repro.rdf.namespace import Namespace
+
+#: ExtremeEarth product & knowledge vocabulary.
+EOP = Namespace("http://extremeearth.eu/product#")
+
+# Product classes and properties.
+PRODUCT = EOP.Product
+MISSION = EOP.mission
+PRODUCT_TYPE = EOP.productType
+LEVEL = EOP.processingLevel
+SENSING_TIME = EOP.sensingTime
+SIZE_BYTES = EOP.sizeBytes
+
+# Knowledge classes (extracted content).
+ICEBERG = EOP.Iceberg
+ICE_REGION = EOP.IceRegion
+CROP_FIELD = EOP.CropField
+
+# Knowledge properties.
+OBSERVED_AT = EOP.observedAt  # xsd:dateTime of the detection
+EMBEDDED_IN = EOP.embeddedIn  # iceberg -> ice region
+REGION_NAME = EOP.regionName
+CROP_TYPE = EOP.cropType
+DERIVED_FROM = EOP.derivedFrom  # knowledge entity -> source product
+
+# Content summaries ("the knowledge hidden in Sentinel satellite images"):
+# per-product class composition extracted by the classifiers.
+HAS_CONTENT = EOP.hasContent  # product -> content node
+CONTENT_CLASS = EOP.contentClass  # content node -> class name literal
+CONTENT_FRACTION = EOP.contentFraction  # content node -> fraction (double)

@@ -1,0 +1,230 @@
+"""The semantic catalogue service."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.catalog import model
+from repro.catalog.ingest import ingest_knowledge, ingest_products
+from repro.errors import CatalogError
+from repro.geometry import Geometry, Polygon, contains, intersects
+from repro.geosparql.literals import geometry_literal, literal_geometry
+from repro.geosparql.store import GeoStore
+from repro.rdf.namespace import GEO
+from repro.rdf.term import IRI, Literal
+from repro.raster.products import Product
+from repro.sparql import Variable
+
+_PREFIXES = (
+    "PREFIX geo: <http://www.opengis.net/ont/geosparql#> "
+    "PREFIX geof: <http://www.opengis.net/def/function/geosparql/> "
+    "PREFIX eop: <http://extremeearth.eu/product#> "
+    "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> "
+)
+
+
+class SemanticCatalog:
+    """A catalogue that answers both classic and knowledge queries.
+
+    Classic search (bbox / time window / mission / product type) compiles to
+    GeoSPARQL; knowledge queries run arbitrary SPARQL over the same store —
+    "the knowledge hidden in Sentinel satellite images" is just more triples.
+    """
+
+    def __init__(self, store: Optional[GeoStore] = None):
+        self.store = store if store is not None else GeoStore()
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    def add_products(self, products) -> int:
+        return ingest_products(self.store, products)
+
+    def add_iceberg(
+        self,
+        iceberg_id: str,
+        geometry: Geometry,
+        observed_at: str,
+        derived_from: Optional[IRI] = None,
+    ) -> None:
+        ingest_knowledge(
+            self.store,
+            f"http://extremeearth.eu/knowledge/iceberg/{iceberg_id}",
+            model.ICEBERG,
+            geometry,
+            observed_at=observed_at,
+            derived_from=derived_from,
+        )
+
+    def add_ice_region(
+        self, region_id: str, name: str, geometry: Geometry, observed_at: str
+    ) -> None:
+        ingest_knowledge(
+            self.store,
+            f"http://extremeearth.eu/knowledge/region/{region_id}",
+            model.ICE_REGION,
+            geometry,
+            observed_at=observed_at,
+            properties=[(model.REGION_NAME, Literal(name))],
+        )
+
+    def add_crop_field(
+        self, field_id: str, crop: str, geometry: Geometry
+    ) -> None:
+        ingest_knowledge(
+            self.store,
+            f"http://extremeearth.eu/knowledge/field/{field_id}",
+            model.CROP_FIELD,
+            geometry,
+            properties=[(model.CROP_TYPE, Literal(crop))],
+        )
+
+    def add_content_summary(
+        self, product: IRI, fractions: Dict[str, float]
+    ) -> None:
+        """Attach a class-composition summary to a product.
+
+        ``fractions`` maps class names (e.g. "FIRST_YEAR_ICE") to their
+        scene fraction — the per-product knowledge the C1 classifiers emit.
+        """
+        for class_name, fraction in fractions.items():
+            if not 0.0 <= fraction <= 1.0:
+                raise CatalogError(
+                    f"content fraction for {class_name!r} out of [0, 1]: {fraction}"
+                )
+            node = IRI(f"{product.value}/content/{class_name}")
+            self.store.add(product, model.HAS_CONTENT, node)
+            self.store.add(node, model.CONTENT_CLASS, Literal(class_name))
+            self.store.add(
+                node, model.CONTENT_FRACTION, Literal.from_python(float(fraction))
+            )
+
+    def search_by_content(
+        self, class_name: str, min_fraction: float = 0.0
+    ) -> List[Tuple[IRI, float]]:
+        """Products containing *class_name* above *min_fraction*, best first.
+
+        The query classic catalogues cannot express: search by what is *in*
+        the imagery, not by acquisition parameters.
+        """
+        solutions = self.query(
+            "SELECT ?p ?fr WHERE { ?p eop:hasContent ?c . "
+            f'?c eop:contentClass "{class_name}" . '
+            "?c eop:contentFraction ?fr . "
+            f"FILTER (?fr >= {min_fraction}) }} ORDER BY DESC(?fr)"
+        )
+        return [
+            (solution[Variable("p")], float(solution[Variable("fr")].to_python()))
+            for solution in solutions
+        ]
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path: str) -> int:
+        """Dump the catalogue to N-Triples; returns the triple count."""
+        return self.store.save_ntriples(path)
+
+    @classmethod
+    def load(cls, path: str) -> "SemanticCatalog":
+        """Restore a catalogue dump (spatial index rebuilt on load)."""
+        from repro.geosparql.store import GeoStore
+
+        return cls(store=GeoStore.from_ntriples(path))
+
+    @property
+    def triple_count(self) -> int:
+        return len(self.store)
+
+    # ------------------------------------------------------------------
+    # Classic catalogue search
+    # ------------------------------------------------------------------
+
+    def search_products(
+        self,
+        bbox: Optional[Tuple[float, float, float, float]] = None,
+        start_time: Optional[str] = None,
+        end_time: Optional[str] = None,
+        mission: Optional[str] = None,
+        product_type: Optional[str] = None,
+    ) -> List[IRI]:
+        """Search by the classic hub parameters; returns product IRIs."""
+        patterns = ["?p rdf:type eop:Product ."]
+        filters = []
+        if mission is not None:
+            patterns.append(f'?p eop:mission "{mission}" .')
+        if product_type is not None:
+            patterns.append(f'?p eop:productType "{product_type}" .')
+        if start_time is not None or end_time is not None:
+            patterns.append("?p eop:sensingTime ?t .")
+            if start_time is not None:
+                filters.append(f'STR(?t) >= "{start_time}"')
+            if end_time is not None:
+                filters.append(f'STR(?t) <= "{end_time}"')
+        if bbox is not None:
+            min_x, min_y, max_x, max_y = bbox
+            window = geometry_literal(Polygon.box(min_x, min_y, max_x, max_y))
+            patterns.append("?p geo:hasGeometry ?g . ?g geo:asWKT ?wkt .")
+            filters.append(
+                f'geof:sfIntersects(?wkt, "{window.lexical}"^^geo:wktLiteral)'
+            )
+        filter_text = " ".join(f"FILTER ({f})" for f in filters)
+        query = (
+            _PREFIXES
+            + "SELECT DISTINCT ?p WHERE { "
+            + " ".join(patterns)
+            + " "
+            + filter_text
+            + " }"
+        )
+        return [s[Variable("p")] for s in self.store.query(query)]
+
+    # ------------------------------------------------------------------
+    # Knowledge queries
+    # ------------------------------------------------------------------
+
+    def query(self, sparql: str):
+        """Run raw SPARQL (prefixes for geo/geof/eop/rdf are prepended)."""
+        return self.store.query(_PREFIXES + sparql)
+
+    def count_icebergs_embedded(self, region_name: str, year: int) -> int:
+        """The paper's flagship query: icebergs embedded in a named ice
+        region at its maximum extent in a given year.
+
+        Implementation: take the region's largest observed geometry that
+        year, then count icebergs observed that year whose geometry lies
+        within it.
+        """
+        regions = self.query(
+            'SELECT ?g ?t WHERE { ?r rdf:type eop:IceRegion . '
+            f'?r eop:regionName "{region_name}" . '
+            "?r eop:observedAt ?t . ?r geo:hasGeometry ?geom . ?geom geo:asWKT ?g }"
+        )
+        year_prefix = str(year)
+        candidates = []
+        for solution in regions:
+            observed = str(solution[Variable("t")])
+            if observed.startswith(year_prefix):
+                geometry = literal_geometry(solution[Variable("g")])
+                candidates.append(geometry)
+        if not candidates:
+            raise CatalogError(
+                f"no observations of region {region_name!r} in {year}"
+            )
+        maximum_extent = max(candidates, key=lambda g: getattr(g, "area", 0.0))
+
+        icebergs = self.query(
+            "SELECT ?b ?g ?t WHERE { ?b rdf:type eop:Iceberg . "
+            "?b eop:observedAt ?t . ?b geo:hasGeometry ?geom . ?geom geo:asWKT ?g }"
+        )
+        embedded = set()
+        for solution in icebergs:
+            observed = str(solution[Variable("t")])
+            if not observed.startswith(year_prefix):
+                continue
+            geometry = literal_geometry(solution[Variable("g")])
+            if contains(maximum_extent, geometry):
+                embedded.add(solution[Variable("b")])
+        return len(embedded)

@@ -1,0 +1,43 @@
+"""Cluster simulator: the elastic cloud environment of Challenge C5.
+
+The paper runs everything on the HOPS platform in LogicalClocks' cloud —
+Spark-style parallel processing, locality-aware scheduling ("move the
+processing to where the data is"), and distributed deep learning with
+collective allreduce / parameter-server topologies. This package simulates
+those mechanisms deterministically:
+
+* :mod:`repro.cluster.simclock` — a discrete-event simulation core
+* :mod:`repro.cluster.resources` — nodes with CPU/GPU slots and data placement
+* :mod:`repro.cluster.scheduler` — FIFO scheduler with delay scheduling
+* :mod:`repro.cluster.dataframe` — an RDD-like parallel collection whose
+  operations execute for real while their cost is accounted on the simulator
+* :mod:`repro.cluster.comm` — the alpha-beta network cost model with ring
+  allreduce, parameter-server, and broadcast collectives (experiment E5)
+"""
+
+from repro.cluster.simclock import Event, Simulation
+from repro.cluster.resources import ClusterSpec, Node
+from repro.cluster.scheduler import Scheduler, SchedulerMetrics, Task
+from repro.cluster.dataframe import ParallelCollection, SimContext
+from repro.cluster.comm import (
+    NetworkModel,
+    broadcast_time_s,
+    parameter_server_time_s,
+    ring_allreduce_time_s,
+)
+
+__all__ = [
+    "ClusterSpec",
+    "Event",
+    "NetworkModel",
+    "Node",
+    "ParallelCollection",
+    "Scheduler",
+    "SchedulerMetrics",
+    "SimContext",
+    "Simulation",
+    "Task",
+    "broadcast_time_s",
+    "parameter_server_time_s",
+    "ring_allreduce_time_s",
+]

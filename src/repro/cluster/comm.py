@@ -1,0 +1,85 @@
+"""Collective-communication cost models (experiment E5).
+
+HOPS "supports ... distributed deep learning using TensorFlow's distribution
+strategies, including collective allreduce and parameter server". The cost of
+one synchronisation step under each topology follows the standard alpha-beta
+model (alpha = per-message latency, beta = seconds per byte):
+
+* **Ring allreduce** (Baidu/Horovod): ``2(n-1) * alpha + 2 * (n-1)/n * M *
+  beta`` — bandwidth-optimal, per-worker traffic independent of n for large n.
+* **Parameter server**: every worker pushes M bytes to and pulls M bytes from
+  the server tier; with s servers each holding M/s of the model, the
+  bottleneck is the server-side aggregate link: ``2 * alpha + 2 * M * n / s *
+  beta`` (n workers' traffic funnelled through s server links).
+* **Naive broadcast-gather**: a root gathers M from each worker then sends
+  the averaged model back: ``2(n-1) * (alpha + M * beta)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ClusterError
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """alpha-beta link model."""
+
+    latency_s: float = 100e-6  # alpha
+    bandwidth_bps: float = 1.25e9  # 10 Gbit/s -> beta = 1/bandwidth
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0 or self.bandwidth_bps <= 0:
+            raise ClusterError("invalid network model parameters")
+
+    @property
+    def beta(self) -> float:
+        return 1.0 / self.bandwidth_bps
+
+
+def _validate(workers: int, message_bytes: float) -> None:
+    if workers < 1:
+        raise ClusterError(f"workers must be >= 1, got {workers}")
+    if message_bytes < 0:
+        raise ClusterError("message size must be non-negative")
+
+
+def ring_allreduce_time_s(
+    workers: int, message_bytes: float, network: NetworkModel = NetworkModel()
+) -> float:
+    """Time for one ring allreduce of *message_bytes* across *workers*."""
+    _validate(workers, message_bytes)
+    if workers == 1:
+        return 0.0
+    steps = 2 * (workers - 1)
+    return steps * network.latency_s + (
+        2.0 * (workers - 1) / workers
+    ) * message_bytes * network.beta
+
+
+def parameter_server_time_s(
+    workers: int,
+    message_bytes: float,
+    servers: int = 1,
+    network: NetworkModel = NetworkModel(),
+) -> float:
+    """Time for a push+pull round against a parameter-server tier."""
+    _validate(workers, message_bytes)
+    if servers < 1:
+        raise ClusterError(f"servers must be >= 1, got {servers}")
+    if workers == 1 and servers >= 1:
+        # Still pays one round trip to the server tier.
+        return 2 * network.latency_s + 2 * message_bytes * network.beta
+    per_server_bytes = message_bytes * workers / servers
+    return 2 * network.latency_s + 2 * per_server_bytes * network.beta
+
+
+def broadcast_time_s(
+    workers: int, message_bytes: float, network: NetworkModel = NetworkModel()
+) -> float:
+    """Naive gather-then-broadcast through a single root."""
+    _validate(workers, message_bytes)
+    if workers == 1:
+        return 0.0
+    return 2 * (workers - 1) * (network.latency_s + message_bytes * network.beta)

@@ -1,0 +1,90 @@
+"""Cluster resources: nodes, slots, and data placement."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.errors import ClusterError
+
+
+@dataclass
+class Node:
+    """One worker node with CPU and GPU execution slots."""
+
+    node_id: int
+    cpu_slots: int = 4
+    gpu_slots: int = 0
+    #: Relative compute speed (1.0 = reference); GPUs are modelled as nodes
+    #: with high-speed slots rather than a separate device hierarchy.
+    speed: float = 1.0
+    #: Identifiers of data partitions stored locally on this node.
+    local_data: Set[str] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.cpu_slots < 0 or self.gpu_slots < 0:
+            raise ClusterError("slot counts must be non-negative")
+        if self.cpu_slots + self.gpu_slots == 0:
+            raise ClusterError(f"node {self.node_id} has no slots")
+        if self.speed <= 0:
+            raise ClusterError("node speed must be positive")
+
+    def slots(self, kind: str) -> int:
+        if kind == "cpu":
+            return self.cpu_slots
+        if kind == "gpu":
+            return self.gpu_slots
+        raise ClusterError(f"unknown slot kind {kind!r}")
+
+
+@dataclass
+class ClusterSpec:
+    """A homogeneous cluster description plus network parameters."""
+
+    node_count: int = 4
+    cpu_slots_per_node: int = 4
+    gpu_slots_per_node: int = 0
+    node_speed: float = 1.0
+    #: Sustained network bandwidth per link, bytes/second.
+    network_bandwidth_bps: float = 1.25e9  # 10 Gbit/s
+    #: Per-message latency, seconds.
+    network_latency_s: float = 100e-6
+
+    def __post_init__(self) -> None:
+        if self.node_count < 1:
+            raise ClusterError("cluster needs at least one node")
+        if self.network_bandwidth_bps <= 0 or self.network_latency_s < 0:
+            raise ClusterError("invalid network parameters")
+
+    def build_nodes(self) -> List[Node]:
+        return [
+            Node(
+                node_id=i,
+                cpu_slots=self.cpu_slots_per_node,
+                gpu_slots=self.gpu_slots_per_node,
+                speed=self.node_speed,
+            )
+            for i in range(self.node_count)
+        ]
+
+    def transfer_time_s(self, size_bytes: float) -> float:
+        """Time to move *size_bytes* over one link (alpha-beta model)."""
+        if size_bytes < 0:
+            raise ClusterError("transfer size must be non-negative")
+        return self.network_latency_s + size_bytes / self.network_bandwidth_bps
+
+    def place_partitions(
+        self, partition_ids: List[str], nodes: List[Node], copies: int = 1
+    ) -> Dict[str, List[int]]:
+        """Round-robin partition placement; returns partition -> node ids."""
+        if copies < 1 or copies > len(nodes):
+            raise ClusterError(f"invalid placement copies={copies}")
+        placement: Dict[str, List[int]] = {}
+        for index, partition_id in enumerate(partition_ids):
+            owners = [
+                nodes[(index + c) % len(nodes)].node_id for c in range(copies)
+            ]
+            placement[partition_id] = owners
+            for owner in owners:
+                nodes[owner].local_data.add(partition_id)
+        return placement

@@ -1,0 +1,90 @@
+"""Discrete-event simulation core.
+
+A minimal, deterministic event loop: events are (time, sequence) ordered, so
+simultaneous events fire in scheduling order. All simulated components share
+one :class:`Simulation` and advance its clock by scheduling callbacks.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.errors import ClusterError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback. Ordering: (time, sequence)."""
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class Simulation:
+    """The event loop. Time is in seconds and only moves forward."""
+
+    def __init__(self):
+        self._queue: List[Event] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._processed
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule *callback* to run *delay* seconds from now."""
+        if delay < 0:
+            raise ClusterError(f"cannot schedule into the past (delay={delay})")
+        event = Event(self._now + delay, next(self._sequence), callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule *callback* at an absolute simulation time."""
+        if time < self._now:
+            raise ClusterError(f"cannot schedule into the past (time={time}, now={self._now})")
+        event = Event(time, next(self._sequence), callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    @staticmethod
+    def cancel(event: Event) -> None:
+        event.cancelled = True
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> float:
+        """Process events (optionally up to simulated time *until*).
+
+        Returns the final simulation time. Raises if the event budget is
+        exhausted — the runaway-loop guard.
+        """
+        while self._queue:
+            if self._processed >= max_events:
+                raise ClusterError(f"simulation exceeded {max_events} events")
+            event = self._queue[0]
+            if until is not None and event.time > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._processed += 1
+            event.callback()
+        if until is not None:
+            self._now = max(self._now, until)
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for e in self._queue if not e.cancelled)

@@ -1,0 +1,50 @@
+"""Training-dataset machinery (Challenge C2).
+
+"In deep learning architectures, the availability of large amounts of high
+quality training data is equally important to the learning models. ...
+Training datasets consisting of millions of data samples in the Copernicus
+context do not exist today." This package provides the ExtremeEarth answer:
+
+* :mod:`repro.datasets.eurosat` — a synthetic stand-in for the EuroSAT
+  benchmark the paper cites (13 spectral bands, 10 land-use classes,
+  configurable size — the real one has 27,000 labelled images)
+* :mod:`repro.datasets.osm` — an OpenStreetMap-like cartographic layer
+  generator (field parcels, roads, water bodies with attributes)
+* :mod:`repro.datasets.weaklabel` — *dataset enlargement*: deriving labelled
+  patches from cartographic layers, with the label-noise model (wrong
+  attributes, boundary misalignment) that real weak supervision suffers
+* :mod:`repro.datasets.augmentation` and :mod:`repro.datasets.splits`
+"""
+
+from repro.datasets.eurosat import Dataset, EUROSAT_CLASSES, make_eurosat
+from repro.datasets.osm import FieldParcel, OSMLayer, make_osm_layer
+from repro.datasets.weaklabel import WeakLabelConfig, weak_label_dataset
+from repro.datasets.augmentation import augment_dataset, flip_horizontal, rotate90
+from repro.datasets.multitemporal import (
+    SEASON_DAYS,
+    make_multimodal_dataset,
+    make_multitemporal_dataset,
+    modality_view,
+    single_date_view,
+)
+from repro.datasets.splits import stratified_split
+
+__all__ = [
+    "Dataset",
+    "EUROSAT_CLASSES",
+    "FieldParcel",
+    "OSMLayer",
+    "SEASON_DAYS",
+    "WeakLabelConfig",
+    "augment_dataset",
+    "flip_horizontal",
+    "make_eurosat",
+    "make_multimodal_dataset",
+    "make_multitemporal_dataset",
+    "make_osm_layer",
+    "modality_view",
+    "rotate90",
+    "single_date_view",
+    "stratified_split",
+    "weak_label_dataset",
+]

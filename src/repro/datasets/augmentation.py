@@ -1,0 +1,85 @@
+"""Data augmentation for (C, H, W) patches."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import MLError
+from repro.datasets.eurosat import Dataset
+
+
+def flip_horizontal(patch: np.ndarray) -> np.ndarray:
+    """Mirror along the width axis."""
+    return patch[..., ::-1].copy()
+
+
+def flip_vertical(patch: np.ndarray) -> np.ndarray:
+    return patch[..., ::-1, :].copy()
+
+
+def rotate90(patch: np.ndarray, turns: int = 1) -> np.ndarray:
+    """Rotate by 90-degree multiples in the (H, W) plane."""
+    return np.rot90(patch, k=turns, axes=(-2, -1)).copy()
+
+
+def band_jitter(
+    patch: np.ndarray, rng: np.random.Generator, scale: float = 0.05
+) -> np.ndarray:
+    """Multiply each band by a random factor near 1 (illumination change)."""
+    if patch.ndim != 3:
+        raise MLError(f"band_jitter expects (C, H, W), got {patch.shape}")
+    factors = rng.normal(1.0, scale, size=(patch.shape[0], 1, 1))
+    return np.clip(patch * factors, 0.0, None)
+
+
+def band_dropout(
+    patch: np.ndarray, rng: np.random.Generator, rate: float = 0.1
+) -> np.ndarray:
+    """Zero whole bands at random (sensor-band failure robustness)."""
+    if patch.ndim != 3:
+        raise MLError(f"band_dropout expects (C, H, W), got {patch.shape}")
+    if not 0.0 <= rate < 1.0:
+        raise MLError("rate must be in [0, 1)")
+    keep = rng.random(patch.shape[0]) >= rate
+    if not keep.any():
+        keep[rng.integers(0, patch.shape[0])] = True
+    return patch * keep[:, np.newaxis, np.newaxis]
+
+
+def augment_dataset(
+    dataset: Dataset,
+    copies: int = 1,
+    seed: int = 0,
+    jitter_scale: float = 0.05,
+) -> Dataset:
+    """Enlarge a dataset with random flips, rotations, and band jitter.
+
+    Returns a new dataset containing the originals plus ``copies`` augmented
+    variants of every sample — the paper's "develop very large training
+    datasets ... by enlarging existing datasets" in mechanism form.
+    """
+    if copies < 0:
+        raise MLError("copies must be non-negative")
+    rng = np.random.default_rng(seed)
+    xs = [dataset.x]
+    ys = [dataset.y]
+    for _ in range(copies):
+        batch = np.empty_like(dataset.x)
+        for index in range(len(dataset)):
+            patch = dataset.x[index]
+            if rng.random() < 0.5:
+                patch = flip_horizontal(patch)
+            if rng.random() < 0.5:
+                patch = flip_vertical(patch)
+            turns = int(rng.integers(0, 4))
+            if turns:
+                patch = rotate90(patch, turns)
+            patch = band_jitter(patch, rng, scale=jitter_scale)
+            batch[index] = patch
+        xs.append(batch)
+        ys.append(dataset.y)
+    return Dataset(
+        np.concatenate(xs, axis=0), np.concatenate(ys, axis=0), dataset.class_names
+    )

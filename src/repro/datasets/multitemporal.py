@@ -1,0 +1,153 @@
+"""Multi-temporal and multimodal dataset construction (Challenge C1).
+
+The paper: "the constellations of Sentinel-1/2/3 satellites have the
+important capability to acquire long time series ... where the temporal
+dimension plays a very important role for the characterization of the
+information content" and "different kinds of sensors (radar, optical ...)
+can be used in synergy. Each modality provides specific information that can
+be used to cope with the limitations of another."
+
+This module builds the corresponding training inputs:
+
+* :func:`make_multitemporal_dataset` — per-sample stacks of Sentinel-2
+  acquisitions across the season (channels = bands x dates), where crops
+  that are spectrally identical on one date separate by phenology;
+* :func:`make_multimodal_dataset` — stacked S2 optical + S1 SAR channels
+  for the same patch; clouds corrupt the optical channels, SAR is immune,
+  so fusion stays informative where single-modality fails.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import MLError
+from repro.datasets.eurosat import Dataset
+from repro.raster.sentinel import (
+    CROP_CLASSES,
+    LandCover,
+    S2_BANDS,
+    sentinel1_scene,
+    sentinel2_scene,
+)
+
+#: Default acquisition days: one per month through the growing season.
+SEASON_DAYS: Tuple[int, ...] = (105, 135, 165, 195, 225, 255)
+
+
+def make_multitemporal_dataset(
+    samples: int = 600,
+    patch_size: int = 8,
+    days: Sequence[int] = SEASON_DAYS,
+    classes: Sequence[LandCover] = CROP_CLASSES,
+    seed: int = 0,
+    noise_std: float = 0.02,
+    cloud_fraction: float = 0.0,
+) -> Dataset:
+    """Crop patches as stacks over *days*: (N, 13 x len(days), p, p).
+
+    Each sample is one field patch observed on every acquisition day; the
+    channel axis concatenates the acquisitions in day order.
+    """
+    if samples < 1:
+        raise MLError("samples must be >= 1")
+    if not days:
+        raise MLError("need at least one acquisition day")
+    rng = np.random.default_rng(seed)
+    channels = S2_BANDS * len(days)
+    x = np.empty((samples, channels, patch_size, patch_size), dtype=np.float32)
+    y = np.empty(samples, dtype=np.int64)
+    class_list = list(classes)
+    for index in range(samples):
+        label = int(rng.integers(0, len(class_list)))
+        truth = np.full(
+            (patch_size, patch_size), int(class_list[label]), dtype=np.int16
+        )
+        base_seed = int(rng.integers(0, 2**31))
+        for d, day in enumerate(days):
+            scene = sentinel2_scene(
+                truth,
+                day_of_year=day,
+                seed=base_seed + d,
+                noise_std=noise_std,
+                cloud_fraction=cloud_fraction,
+            )
+            x[index, d * S2_BANDS : (d + 1) * S2_BANDS] = scene.grid.data
+        y[index] = label
+    return Dataset(x, y, tuple(c.name for c in class_list))
+
+
+def single_date_view(dataset: Dataset, date_index: int, dates: int) -> Dataset:
+    """Slice one acquisition out of a multi-temporal dataset (the baseline)."""
+    channels = dataset.x.shape[1]
+    if channels % dates != 0:
+        raise MLError(f"{channels} channels do not split into {dates} dates")
+    per_date = channels // dates
+    if not 0 <= date_index < dates:
+        raise MLError(f"date_index {date_index} out of range 0..{dates - 1}")
+    start = date_index * per_date
+    return Dataset(
+        dataset.x[:, start : start + per_date].copy(), dataset.y, dataset.class_names
+    )
+
+
+def make_multimodal_dataset(
+    samples: int = 600,
+    patch_size: int = 8,
+    day_of_year: int = 180,
+    classes: Sequence[LandCover] = tuple(LandCover)[:6],
+    seed: int = 0,
+    cloud_fraction: float = 0.0,
+    looks: int = 8,
+) -> Dataset:
+    """Patches with 13 optical + 2 SAR channels: (N, 15, p, p).
+
+    With ``cloud_fraction > 0``, clouded pixels corrupt *only* the optical
+    channels — the radar sees through, which is the paper's synergy
+    argument in data form.
+    """
+    if samples < 1:
+        raise MLError("samples must be >= 1")
+    rng = np.random.default_rng(seed)
+    channels = S2_BANDS + 2
+    x = np.empty((samples, channels, patch_size, patch_size), dtype=np.float32)
+    y = np.empty(samples, dtype=np.int64)
+    class_list = list(classes)
+    for index in range(samples):
+        label = int(rng.integers(0, len(class_list)))
+        truth = np.full(
+            (patch_size, patch_size), int(class_list[label]), dtype=np.int16
+        )
+        optical = sentinel2_scene(
+            truth,
+            day_of_year=day_of_year,
+            seed=int(rng.integers(0, 2**31)),
+            cloud_fraction=cloud_fraction,
+        )
+        sar = sentinel1_scene(
+            truth,
+            signatures="land",
+            looks=looks,
+            seed=int(rng.integers(0, 2**31)),
+            day_of_year=day_of_year,
+        )
+        x[index, :S2_BANDS] = optical.grid.data
+        # Normalise SAR dB into the optical value range.
+        x[index, S2_BANDS:] = (sar.grid.data + 30.0) / 30.0
+        y[index] = label
+    return Dataset(x, y, tuple(c.name for c in class_list))
+
+
+def modality_view(dataset: Dataset, modality: str) -> Dataset:
+    """Slice a multimodal dataset down to ``"optical"`` or ``"sar"``."""
+    if modality == "optical":
+        return Dataset(
+            dataset.x[:, :S2_BANDS].copy(), dataset.y, dataset.class_names
+        )
+    if modality == "sar":
+        return Dataset(
+            dataset.x[:, S2_BANDS:].copy(), dataset.y, dataset.class_names
+        )
+    raise MLError(f"unknown modality {modality!r}")

@@ -1,0 +1,124 @@
+"""OpenStreetMap-like cartographic layer generator.
+
+Challenge C2 proposes "leveraging existing cartographic/thematic products
+which are now available at continental or planetary scale (e.g.,
+OpenStreetMap)" to build training datasets. This module generates such a
+product: a vector layer of agricultural field parcels (polygons with crop
+attributes), roads, and water bodies over a scene extent, with a controllable
+error rate in the attributes — cartographic products are never perfect, and
+the weak labeller has to cope.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import MLError
+from repro.geometry import LineString, Polygon
+from repro.raster.sentinel import CROP_CLASSES, LandCover
+
+
+@dataclass(frozen=True)
+class FieldParcel:
+    """One agricultural parcel with its (possibly wrong) crop attribute."""
+
+    parcel_id: int
+    geometry: Polygon
+    crop: LandCover  # attribute recorded in the cartographic product
+    true_crop: LandCover  # what is actually growing (for evaluation only)
+
+    @property
+    def attribute_correct(self) -> bool:
+        return self.crop == self.true_crop
+
+
+@dataclass
+class OSMLayer:
+    """A cartographic layer over a rectangular extent."""
+
+    extent: Tuple[float, float, float, float]
+    parcels: List[FieldParcel] = field(default_factory=list)
+    roads: List[LineString] = field(default_factory=list)
+    water: List[Polygon] = field(default_factory=list)
+
+    @property
+    def parcel_count(self) -> int:
+        return len(self.parcels)
+
+    def attribute_error_rate(self) -> float:
+        if not self.parcels:
+            return 0.0
+        wrong = sum(1 for p in self.parcels if not p.attribute_correct)
+        return wrong / len(self.parcels)
+
+
+def make_osm_layer(
+    extent: Tuple[float, float, float, float] = (0.0, 0.0, 1000.0, 1000.0),
+    parcel_grid: int = 8,
+    attribute_error: float = 0.05,
+    road_count: int = 3,
+    water_count: int = 1,
+    seed: int = 0,
+) -> OSMLayer:
+    """Generate a layer with ``parcel_grid**2`` field parcels.
+
+    Parcels tile the extent with jittered boundaries; each gets a true crop
+    and, with probability ``attribute_error``, a wrong recorded attribute —
+    the noise the weak labeller inherits.
+    """
+    min_x, min_y, max_x, max_y = extent
+    if min_x >= max_x or min_y >= max_y:
+        raise MLError(f"invalid extent {extent}")
+    if parcel_grid < 1:
+        raise MLError("parcel_grid must be >= 1")
+    if not 0.0 <= attribute_error <= 1.0:
+        raise MLError("attribute_error must be in [0, 1]")
+
+    rng = random.Random(seed)
+    layer = OSMLayer(extent=extent)
+    cell_w = (max_x - min_x) / parcel_grid
+    cell_h = (max_y - min_y) / parcel_grid
+    crops = list(CROP_CLASSES)
+
+    parcel_id = 0
+    for i in range(parcel_grid):
+        for j in range(parcel_grid):
+            # Shrink each cell a little (field margins) and jitter corners.
+            x0 = min_x + i * cell_w + cell_w * rng.uniform(0.02, 0.10)
+            y0 = min_y + j * cell_h + cell_h * rng.uniform(0.02, 0.10)
+            x1 = min_x + (i + 1) * cell_w - cell_w * rng.uniform(0.02, 0.10)
+            y1 = min_y + (j + 1) * cell_h - cell_h * rng.uniform(0.02, 0.10)
+            true_crop = rng.choice(crops)
+            recorded = true_crop
+            if rng.random() < attribute_error:
+                others = [c for c in crops if c != true_crop]
+                recorded = rng.choice(others)
+            layer.parcels.append(
+                FieldParcel(
+                    parcel_id=parcel_id,
+                    geometry=Polygon.box(x0, y0, x1, y1),
+                    crop=recorded,
+                    true_crop=true_crop,
+                )
+            )
+            parcel_id += 1
+
+    for _ in range(road_count):
+        # Roads cross the extent roughly straight with a midpoint kink.
+        start = (min_x, rng.uniform(min_y, max_y))
+        end = (max_x, rng.uniform(min_y, max_y))
+        mid = (
+            (min_x + max_x) / 2 + rng.uniform(-cell_w, cell_w),
+            (start[1] + end[1]) / 2 + rng.uniform(-cell_h, cell_h),
+        )
+        layer.roads.append(LineString([start, mid, end]))
+
+    for _ in range(water_count):
+        cx = rng.uniform(min_x + cell_w, max_x - cell_w)
+        cy = rng.uniform(min_y + cell_h, max_y - cell_h)
+        radius = rng.uniform(cell_w * 0.3, cell_w * 0.8)
+        layer.water.append(Polygon.regular(cx, cy, radius, 12))
+
+    return layer

@@ -1,0 +1,39 @@
+"""Dataset splitting."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import MLError
+from repro.datasets.eurosat import Dataset
+
+
+def stratified_split(
+    dataset: Dataset, test_fraction: float = 0.2, seed: int = 0
+) -> Tuple[Dataset, Dataset]:
+    """Split preserving class proportions. Returns (train, test)."""
+    if not 0.0 < test_fraction < 1.0:
+        raise MLError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = np.random.default_rng(seed)
+    train_indices = []
+    test_indices = []
+    for label in np.unique(dataset.y):
+        members = np.nonzero(dataset.y == label)[0]
+        members = rng.permutation(members)
+        cut = max(1, int(round(members.size * test_fraction)))
+        if cut >= members.size:
+            cut = members.size - 1
+        if cut < 1:
+            # A single-sample class goes to the training set.
+            train_indices.extend(members.tolist())
+            continue
+        test_indices.extend(members[:cut].tolist())
+        train_indices.extend(members[cut:].tolist())
+    if not train_indices or not test_indices:
+        raise MLError("split produced an empty side (dataset too small?)")
+    return (
+        dataset.subset(np.asarray(sorted(train_indices))),
+        dataset.subset(np.asarray(sorted(test_indices))),
+    )

@@ -1,0 +1,113 @@
+"""Weak labelling: training data from cartographic products.
+
+The C2 pipeline: take a Sentinel scene, overlay an OSM-like parcel layer,
+rasterize each parcel's crop attribute onto the pixel grid, and cut labelled
+patches around parcel interiors. Label quality is limited by (a) wrong
+attributes in the product and (b) georeferencing misalignment — both are
+modelled, and experiment E6 sweeps them against downstream accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import MLError
+from repro.datasets.eurosat import Dataset
+from repro.datasets.osm import OSMLayer
+from repro.geometry import Polygon
+from repro.raster.grid import RasterGrid
+from repro.raster.sentinel import CROP_CLASSES, LandCover
+from repro.raster.stats import rasterize_polygon
+
+
+@dataclass(frozen=True)
+class WeakLabelConfig:
+    """Knobs of the weak labelling process."""
+
+    patch_size: int = 8
+    #: Metres of systematic georeferencing shift applied to the layer.
+    misalignment_m: float = 0.0
+    #: Patches per parcel (sampled at random interior positions).
+    patches_per_parcel: int = 2
+    #: Minimum fraction of patch pixels that must fall inside the parcel.
+    min_coverage: float = 0.7
+
+    def __post_init__(self) -> None:
+        if self.patch_size < 1:
+            raise MLError("patch_size must be >= 1")
+        if not 0.0 < self.min_coverage <= 1.0:
+            raise MLError("min_coverage must be in (0, 1]")
+        if self.patches_per_parcel < 1:
+            raise MLError("patches_per_parcel must be >= 1")
+
+
+_CROP_TO_LABEL = {crop: index for index, crop in enumerate(CROP_CLASSES)}
+
+
+def crop_label(crop: LandCover) -> int:
+    """Class index of a crop in the weak-label dataset."""
+    if crop not in _CROP_TO_LABEL:
+        raise MLError(f"{crop} is not a crop class")
+    return _CROP_TO_LABEL[crop]
+
+
+def weak_label_dataset(
+    grid: RasterGrid,
+    layer: OSMLayer,
+    config: WeakLabelConfig = WeakLabelConfig(),
+    seed: int = 0,
+    true_labels: bool = False,
+) -> Dataset:
+    """Cut labelled patches from *grid* using the parcel layer's attributes.
+
+    With ``true_labels=True`` the parcels' actual crops are used instead of
+    the recorded attributes — the "perfect cartography" upper bound.
+    """
+    rng = np.random.default_rng(seed)
+    patches: List[np.ndarray] = []
+    labels: List[int] = []
+    size = config.patch_size
+    shift = config.misalignment_m
+
+    for parcel in layer.parcels:
+        geometry = parcel.geometry
+        if shift:
+            # Systematic product misalignment: translate the parcel before
+            # rasterizing, so labels land on the wrong pixels near edges.
+            exterior = [(x + shift, y + shift) for x, y in geometry.exterior]
+            geometry = Polygon(exterior)
+        mask = rasterize_polygon(geometry, grid.transform, (grid.height, grid.width))
+        rows, cols = np.nonzero(mask)
+        if rows.size == 0:
+            continue
+        crop = parcel.true_crop if true_labels else parcel.crop
+        label = crop_label(crop)
+        for _ in range(config.patches_per_parcel):
+            pick = int(rng.integers(0, rows.size))
+            row = int(np.clip(rows[pick] - size // 2, 0, grid.height - size))
+            col = int(np.clip(cols[pick] - size // 2, 0, grid.width - size))
+            window = mask[row : row + size, col : col + size]
+            if window.mean() < config.min_coverage:
+                continue
+            patches.append(grid.data[:, row : row + size, col : col + size])
+            labels.append(label)
+
+    if not patches:
+        raise MLError("weak labelling produced no patches (layer/grid mismatch?)")
+    x = np.stack(patches).astype(np.float32)
+    y = np.asarray(labels, dtype=np.int64)
+    return Dataset(x, y, tuple(c.name for c in CROP_CLASSES))
+
+
+def label_noise_rate(dataset_labels: np.ndarray, clean_labels: np.ndarray) -> float:
+    """Fraction of weak labels that disagree with the clean reference."""
+    dataset_labels = np.asarray(dataset_labels)
+    clean_labels = np.asarray(clean_labels)
+    if dataset_labels.shape != clean_labels.shape:
+        raise MLError("label arrays must have the same shape")
+    if dataset_labels.size == 0:
+        raise MLError("empty label arrays")
+    return float((dataset_labels != clean_labels).mean())

@@ -1,0 +1,67 @@
+"""Shared exception hierarchy for the ExtremeEarth reproduction.
+
+Every subsystem raises subclasses of :class:`ReproError` so callers can catch
+library failures without also swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GeometryError(ReproError):
+    """Invalid geometry construction or operation."""
+
+
+class WKTParseError(GeometryError):
+    """Malformed Well-Known Text input."""
+
+
+class RDFError(ReproError):
+    """Invalid RDF term, triple, or serialization."""
+
+
+class SPARQLError(ReproError):
+    """SPARQL parsing or evaluation failure."""
+
+
+class SPARQLSyntaxError(SPARQLError):
+    """Malformed SPARQL query text."""
+
+
+class RasterError(ReproError):
+    """Invalid raster grid operation."""
+
+
+class StorageError(ReproError):
+    """HopsFS-sim filesystem or metadata store failure."""
+
+    def __init__(self, message: str, path: str | None = None):
+        super().__init__(message if path is None else f"{message}: {path}")
+        self.path = path
+
+
+class ClusterError(ReproError):
+    """Cluster simulator misconfiguration or scheduling failure."""
+
+
+class MLError(ReproError):
+    """Model construction or training failure."""
+
+
+class MappingError(ReproError):
+    """GeoTriples mapping definition or execution failure."""
+
+
+class FederationError(ReproError):
+    """Federated query planning or execution failure."""
+
+
+class CatalogError(ReproError):
+    """Semantic catalogue ingestion or query failure."""
+
+
+class PipelineError(ReproError):
+    """End-to-end pipeline orchestration failure."""

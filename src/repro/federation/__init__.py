@@ -1,0 +1,29 @@
+"""Federated SPARQL: the Semagrow of the stack (Challenge C3).
+
+"The engine Semagrow will be extended so that it can manage efficiently
+federations of big geospatial data sources and answer extreme geospatial
+analytical queries." This package implements the published Semagrow
+architecture at laptop scale:
+
+* :class:`~repro.federation.endpoint.Endpoint` — a remote store facade with
+  request/transfer accounting and VoID-style statistics
+* :mod:`repro.federation.sourcesel` — source selection (statistics-based, or
+  ASK-probing when statistics are missing)
+* :mod:`repro.federation.planner` — query decomposition + cost-ordered joins
+* :mod:`repro.federation.executor` — bind-join execution, plus the naive
+  broadcast baseline experiment E8 compares against
+"""
+
+from repro.federation.endpoint import Endpoint
+from repro.federation.sourcesel import select_sources
+from repro.federation.planner import FederatedPlan, plan_query
+from repro.federation.executor import FederationMetrics, execute_federated
+
+__all__ = [
+    "Endpoint",
+    "FederatedPlan",
+    "FederationMetrics",
+    "execute_federated",
+    "plan_query",
+    "select_sources",
+]

@@ -1,0 +1,74 @@
+"""SPARQL endpoint facade with accounting.
+
+An :class:`Endpoint` wraps a local :class:`~repro.rdf.graph.Graph` (or a
+GeoStore's graph) and meters every interaction the federation engine has with
+it — requests issued and bindings shipped back — which is exactly what E8
+measures. It also serves VoID-style statistics (predicate cardinalities) that
+the source selector can use instead of probing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import FederationError
+from repro.rdf.graph import Graph, Pattern
+from repro.rdf.term import Term, Triple
+from repro.sparql.ast import TriplePattern, Variable
+
+
+class Endpoint:
+    """One federation member."""
+
+    def __init__(self, name: str, graph: Graph):
+        if not name:
+            raise FederationError("endpoint needs a name")
+        self.name = name
+        self.graph = graph
+        self.requests = 0
+        self.bindings_shipped = 0
+
+    # ------------------------------------------------------------------
+    # Remote interface (all metered)
+    # ------------------------------------------------------------------
+
+    def ask(self, pattern: TriplePattern) -> bool:
+        """ASK-style probe: does any triple match?"""
+        self.requests += 1
+        for _ in self.graph.triples(_to_graph_pattern(pattern)):
+            return True
+        return False
+
+    def match(self, pattern: TriplePattern) -> List[Triple]:
+        """Fetch all triples matching a (possibly partially bound) pattern."""
+        self.requests += 1
+        results = list(self.graph.triples(_to_graph_pattern(pattern)))
+        self.bindings_shipped += len(results)
+        return results
+
+    # ------------------------------------------------------------------
+    # Statistics (served once, cached by the caller — not metered)
+    # ------------------------------------------------------------------
+
+    def void_statistics(self) -> Dict[str, int]:
+        """Predicate IRI -> triple count, the VoID descriptor."""
+        return {
+            str(predicate): self.graph.predicate_count(predicate)
+            for predicate in self.graph.predicates()
+        }
+
+    def estimated_cardinality(self, pattern: TriplePattern) -> int:
+        """Planner-side cardinality estimate (uses local statistics)."""
+        return self.graph.count(_to_graph_pattern(pattern))
+
+    def reset_accounting(self) -> None:
+        self.requests = 0
+        self.bindings_shipped = 0
+
+
+def _to_graph_pattern(pattern: TriplePattern) -> Pattern:
+    return tuple(
+        None if isinstance(position, Variable) else position
+        for position in (pattern.subject, pattern.predicate, pattern.object)
+    )  # type: ignore[return-value]

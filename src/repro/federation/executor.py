@@ -1,0 +1,117 @@
+"""Federated execution: bind joins over planned patterns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.errors import FederationError
+from repro.federation.endpoint import Endpoint
+from repro.federation.planner import FederatedPlan, plan_query
+from repro.sparql.ast import SelectQuery, TriplePattern, Variable
+from repro.sparql.evaluator import Bindings, FunctionRegistry, evaluate_expression
+from repro.sparql.functions import EvaluationError, effective_boolean_value
+
+_EMPTY_REGISTRY = FunctionRegistry()
+
+
+@dataclass
+class FederationMetrics:
+    """What E8 reports per query."""
+
+    requests: int = 0
+    bindings_shipped: int = 0
+    results: int = 0
+
+
+def execute_federated(
+    query: Union[str, SelectQuery, FederatedPlan],
+    endpoints: Sequence[Endpoint],
+    source_selection: str = "statistics",
+    registry: FunctionRegistry = _EMPTY_REGISTRY,
+) -> tuple:
+    """Execute a federated query; returns (solutions, metrics).
+
+    Evaluation is an index-style bind join: each solution so far is
+    substituted into the next pattern before it is sent to that pattern's
+    sources, so upstream selectivity cuts remote work.
+    """
+    for endpoint in endpoints:
+        endpoint.reset_accounting()
+    if isinstance(query, FederatedPlan):
+        plan = query
+    else:
+        plan = plan_query(query, endpoints, source_selection=source_selection)
+
+    solutions: List[Bindings] = [{}]
+    for step in plan.steps:
+        next_solutions: List[Bindings] = []
+        for solution in solutions:
+            concrete = _substitute(step.pattern, solution)
+            for endpoint in step.sources:
+                for triple in endpoint.match(concrete):
+                    extended = _extend(solution, concrete, triple)
+                    if extended is not None:
+                        next_solutions.append(extended)
+        solutions = next_solutions
+        if not solutions:
+            break
+
+    # Local filters.
+    for expression in plan.filters:
+        kept = []
+        for solution in solutions:
+            try:
+                if effective_boolean_value(
+                    evaluate_expression(expression, solution, registry)
+                ):
+                    kept.append(solution)
+            except EvaluationError:
+                continue
+        solutions = kept
+
+    if plan.variables:
+        solutions = [
+            {v: s[v] for v in plan.variables if v in s} for s in solutions
+        ]
+    if plan.distinct:
+        seen = set()
+        unique = []
+        for solution in solutions:
+            key = frozenset(solution.items())
+            if key not in seen:
+                seen.add(key)
+                unique.append(solution)
+        solutions = unique
+
+    metrics = FederationMetrics(
+        requests=sum(e.requests for e in endpoints),
+        bindings_shipped=sum(e.bindings_shipped for e in endpoints),
+        results=len(solutions),
+    )
+    return solutions, metrics
+
+
+def _substitute(pattern: TriplePattern, bindings: Bindings) -> TriplePattern:
+    def resolve(position):
+        if isinstance(position, Variable) and position in bindings:
+            return bindings[position]
+        return position
+
+    return TriplePattern(
+        resolve(pattern.subject), resolve(pattern.predicate), resolve(pattern.object)
+    )
+
+
+def _extend(bindings: Bindings, pattern: TriplePattern, triple) -> Optional[Bindings]:
+    extended = dict(bindings)
+    for position, term in zip(
+        (pattern.subject, pattern.predicate, pattern.object), triple
+    ):
+        if isinstance(position, Variable):
+            existing = extended.get(position)
+            if existing is None:
+                extended[position] = term
+            elif existing != term:
+                return None
+    return extended

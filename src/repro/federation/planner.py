@@ -1,0 +1,115 @@
+"""Federated query planning: decomposition and join ordering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Union
+
+from repro.errors import FederationError
+from repro.federation.endpoint import Endpoint
+from repro.federation.sourcesel import select_sources
+from repro.sparql.ast import (
+    BGP,
+    Expression,
+    FilterPattern,
+    GroupPattern,
+    SelectQuery,
+    TriplePattern,
+    Variable,
+)
+from repro.sparql.parser import parse_query
+
+
+@dataclass
+class PlannedPattern:
+    """One triple pattern with its sources and cost estimate."""
+
+    pattern: TriplePattern
+    sources: List[Endpoint]
+    estimated_cardinality: int
+
+
+@dataclass
+class FederatedPlan:
+    """An ordered pattern list plus locally-applied filters."""
+
+    steps: List[PlannedPattern]
+    filters: List[Expression] = field(default_factory=list)
+    variables: List[Variable] = field(default_factory=list)
+    distinct: bool = False
+
+    @property
+    def total_sources(self) -> int:
+        return sum(len(step.sources) for step in self.steps)
+
+
+def _extract_bgp(query: SelectQuery) -> tuple:
+    """Pull the flat BGP + filters out of a (simple) federated query."""
+    patterns: List[TriplePattern] = []
+    filters: List[Expression] = []
+    for child in query.where.children:
+        if isinstance(child, BGP):
+            patterns.extend(child.patterns)
+        elif isinstance(child, FilterPattern):
+            filters.append(child.expression)
+        else:
+            raise FederationError(
+                "federated queries support flat BGP + FILTER only "
+                f"(got {type(child).__name__})"
+            )
+    if not patterns:
+        raise FederationError("federated query has no triple patterns")
+    return patterns, filters
+
+
+def plan_query(
+    query: Union[str, SelectQuery],
+    endpoints: Sequence[Endpoint],
+    source_selection: str = "statistics",
+) -> FederatedPlan:
+    """Plan a federated query: select sources, order patterns by cost.
+
+    Ordering is greedy: cheapest estimated cardinality first, preferring
+    patterns that share a variable with already-planned ones (so bind joins
+    stay selective).
+    """
+    if isinstance(query, str):
+        query = parse_query(query)
+    if not isinstance(query, SelectQuery):
+        raise FederationError("only SELECT queries are supported in federation")
+    patterns, filters = _extract_bgp(query)
+    sources = select_sources(patterns, endpoints, method=source_selection)
+
+    planned = [
+        PlannedPattern(
+            pattern=pattern,
+            sources=sources[i],
+            estimated_cardinality=sum(
+                e.estimated_cardinality(pattern) for e in sources[i]
+            ),
+        )
+        for i, pattern in enumerate(patterns)
+    ]
+
+    ordered: List[PlannedPattern] = []
+    bound: Set[Variable] = set()
+    remaining = list(planned)
+    while remaining:
+        def sort_key(step: PlannedPattern):
+            connected = any(v in bound for v in step.pattern.variables())
+            return (
+                0 if connected or not bound else 1,
+                step.estimated_cardinality,
+            )
+
+        best = min(remaining, key=sort_key)
+        remaining.remove(best)
+        ordered.append(best)
+        bound.update(best.pattern.variables())
+
+    return FederatedPlan(
+        steps=ordered,
+        filters=filters,
+        variables=query.variables,
+        distinct=query.distinct,
+    )

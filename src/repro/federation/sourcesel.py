@@ -1,0 +1,53 @@
+"""Source selection: which endpoints can contribute to which pattern."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.errors import FederationError
+from repro.federation.endpoint import Endpoint
+from repro.sparql.ast import TriplePattern, Variable
+
+
+def select_sources(
+    patterns: Sequence[TriplePattern],
+    endpoints: Sequence[Endpoint],
+    method: str = "statistics",
+) -> Dict[int, List[Endpoint]]:
+    """Map each pattern index to the endpoints that may answer it.
+
+    ``statistics``: consult cached VoID predicate counts — zero remote
+    requests, but only prunes on bound predicates. ``ask``: issue an ASK
+    probe per (pattern, endpoint) — precise, costs requests. ``none``:
+    every endpoint is relevant to every pattern (the broadcast baseline).
+    """
+    if method not in ("statistics", "ask", "none"):
+        raise FederationError(f"unknown source-selection method {method!r}")
+    if not endpoints:
+        raise FederationError("federation has no endpoints")
+
+    if method == "none":
+        return {i: list(endpoints) for i in range(len(patterns))}
+
+    if method == "ask":
+        return {
+            i: [e for e in endpoints if e.ask(pattern)]
+            for i, pattern in enumerate(patterns)
+        }
+
+    # statistics: fetch each endpoint's VoID descriptor once.
+    void: Dict[str, Dict[str, int]] = {
+        endpoint.name: endpoint.void_statistics() for endpoint in endpoints
+    }
+    selected: Dict[int, List[Endpoint]] = {}
+    for i, pattern in enumerate(patterns):
+        if isinstance(pattern.predicate, Variable):
+            selected[i] = list(endpoints)
+            continue
+        predicate = str(pattern.predicate)
+        selected[i] = [
+            endpoint
+            for endpoint in endpoints
+            if void[endpoint.name].get(predicate, 0) > 0
+        ]
+    return selected

@@ -1,0 +1,55 @@
+"""Computational-geometry substrate.
+
+A self-contained planar geometry library (no shapely dependency) providing the
+primitives, predicates, and spatial indexes used by the geospatial RDF store
+(:mod:`repro.geosparql`), the interlinking engine (:mod:`repro.interlinking`),
+the raster/vector tooling (:mod:`repro.raster`), and the applications.
+
+Geometries are immutable value objects. Coordinates are planar ``(x, y)``
+pairs; for geographic data use :mod:`repro.geometry.crs` to project WGS84
+longitude/latitude to local metric coordinates first when metric distances
+matter.
+"""
+
+from repro.geometry.primitives import (
+    BoundingBox,
+    Geometry,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+)
+from repro.geometry.wkt import from_wkt, to_wkt
+from repro.geometry.predicates import (
+    contains,
+    distance,
+    disjoint,
+    intersects,
+    within,
+)
+from repro.geometry.rtree import RTree
+from repro.geometry.grid_index import GridIndex
+from repro.geometry.crs import LocalProjection
+
+__all__ = [
+    "BoundingBox",
+    "Geometry",
+    "GridIndex",
+    "LineString",
+    "LocalProjection",
+    "MultiLineString",
+    "MultiPoint",
+    "MultiPolygon",
+    "Point",
+    "Polygon",
+    "RTree",
+    "contains",
+    "disjoint",
+    "distance",
+    "from_wkt",
+    "intersects",
+    "to_wkt",
+    "within",
+]

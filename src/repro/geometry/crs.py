@@ -1,0 +1,89 @@
+"""Coordinate reference system helpers.
+
+Copernicus products are georeferenced in WGS84 longitude/latitude, but metric
+predicates (distances in metres, 10 m grid cells) need a planar metric frame.
+:class:`LocalProjection` implements the equirectangular (plate carrée with
+latitude-of-origin scaling) projection: accurate to well under 1% for the
+scene-sized extents (tens to hundreds of km) this library works with.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.errors import GeometryError
+from repro.geometry.primitives import (
+    Geometry,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+)
+
+EARTH_RADIUS_M = 6_371_008.8
+
+
+class LocalProjection:
+    """Projects WGS84 (lon, lat) degrees to local metres around an origin."""
+
+    def __init__(self, origin_lon: float, origin_lat: float):
+        if not -180.0 <= origin_lon <= 180.0:
+            raise GeometryError(f"origin longitude out of range: {origin_lon}")
+        if not -90.0 <= origin_lat <= 90.0:
+            raise GeometryError(f"origin latitude out of range: {origin_lat}")
+        self.origin_lon = float(origin_lon)
+        self.origin_lat = float(origin_lat)
+        self._cos_lat = math.cos(math.radians(origin_lat))
+        if self._cos_lat < 1e-6:
+            raise GeometryError("projection origin may not be at a pole")
+
+    def forward(self, lon: float, lat: float) -> Tuple[float, float]:
+        """(lon, lat) degrees -> (x, y) metres east/north of the origin."""
+        x = math.radians(lon - self.origin_lon) * EARTH_RADIUS_M * self._cos_lat
+        y = math.radians(lat - self.origin_lat) * EARTH_RADIUS_M
+        return x, y
+
+    def inverse(self, x: float, y: float) -> Tuple[float, float]:
+        """(x, y) metres -> (lon, lat) degrees. Inverse of :meth:`forward`."""
+        lon = self.origin_lon + math.degrees(x / (EARTH_RADIUS_M * self._cos_lat))
+        lat = self.origin_lat + math.degrees(y / EARTH_RADIUS_M)
+        return lon, lat
+
+    def project_geometry(self, geometry: Geometry) -> Geometry:
+        """Project every coordinate of *geometry* with :meth:`forward`."""
+        return _map_coords(geometry, self.forward)
+
+    def unproject_geometry(self, geometry: Geometry) -> Geometry:
+        """Inverse-project every coordinate of *geometry*."""
+        return _map_coords(geometry, self.inverse)
+
+
+def haversine_m(lon1: float, lat1: float, lon2: float, lat2: float) -> float:
+    """Great-circle distance in metres between two WGS84 points."""
+    phi1, phi2 = math.radians(lat1), math.radians(lat2)
+    dphi = phi2 - phi1
+    dlam = math.radians(lon2 - lon1)
+    a = math.sin(dphi / 2.0) ** 2 + math.cos(phi1) * math.cos(phi2) * math.sin(dlam / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_M * math.asin(math.sqrt(a))
+
+
+def _map_coords(geometry: Geometry, transform) -> Geometry:
+    if isinstance(geometry, Point):
+        return Point(*transform(geometry.x, geometry.y))
+    if isinstance(geometry, LineString):
+        return LineString([transform(x, y) for x, y in geometry.coords])
+    if isinstance(geometry, Polygon):
+        return Polygon(
+            [transform(x, y) for x, y in geometry.exterior],
+            [[transform(x, y) for x, y in ring] for ring in geometry.interiors],
+        )
+    if isinstance(geometry, MultiPoint):
+        return MultiPoint([_map_coords(g, transform) for g in geometry])
+    if isinstance(geometry, MultiLineString):
+        return MultiLineString([_map_coords(g, transform) for g in geometry])
+    if isinstance(geometry, MultiPolygon):
+        return MultiPolygon([_map_coords(g, transform) for g in geometry])
+    raise GeometryError(f"cannot project {type(geometry).__name__}")

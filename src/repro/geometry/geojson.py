@@ -1,0 +1,131 @@
+"""GeoJSON (RFC 7946) encoding and decoding.
+
+The interchange format toward non-EO developers the paper wants to reach
+("the myriad of software developers that might not be experts in EO"):
+geometries, features with properties, and feature collections.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import GeometryError
+from repro.geometry.primitives import (
+    Geometry,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+)
+
+
+def geometry_to_geojson(geometry: Geometry) -> Dict[str, Any]:
+    """Encode a geometry as a GeoJSON geometry object (dict)."""
+    if isinstance(geometry, Point):
+        return {"type": "Point", "coordinates": [geometry.x, geometry.y]}
+    if isinstance(geometry, LineString):
+        return {
+            "type": "LineString",
+            "coordinates": [[x, y] for x, y in geometry.coords],
+        }
+    if isinstance(geometry, Polygon):
+        return {"type": "Polygon", "coordinates": _polygon_coords(geometry)}
+    if isinstance(geometry, MultiPoint):
+        return {
+            "type": "MultiPoint",
+            "coordinates": [[p.x, p.y] for p in geometry],
+        }
+    if isinstance(geometry, MultiLineString):
+        return {
+            "type": "MultiLineString",
+            "coordinates": [[[x, y] for x, y in line.coords] for line in geometry],
+        }
+    if isinstance(geometry, MultiPolygon):
+        return {
+            "type": "MultiPolygon",
+            "coordinates": [_polygon_coords(p) for p in geometry],
+        }
+    raise GeometryError(f"cannot encode {type(geometry).__name__} as GeoJSON")
+
+
+def _polygon_coords(polygon: Polygon) -> List[List[List[float]]]:
+    return [[[x, y] for x, y in ring] for ring in polygon.rings]
+
+
+def geojson_to_geometry(obj: Dict[str, Any]) -> Geometry:
+    """Decode a GeoJSON geometry object into a geometry."""
+    if not isinstance(obj, dict) or "type" not in obj:
+        raise GeometryError("not a GeoJSON geometry object")
+    kind = obj["type"]
+    coordinates = obj.get("coordinates")
+    if coordinates is None:
+        raise GeometryError(f"GeoJSON {kind} missing coordinates")
+    try:
+        if kind == "Point":
+            return Point(coordinates[0], coordinates[1])
+        if kind == "LineString":
+            return LineString([(c[0], c[1]) for c in coordinates])
+        if kind == "Polygon":
+            return _polygon_from(coordinates)
+        if kind == "MultiPoint":
+            return MultiPoint([Point(c[0], c[1]) for c in coordinates])
+        if kind == "MultiLineString":
+            return MultiLineString(
+                [LineString([(c[0], c[1]) for c in line]) for line in coordinates]
+            )
+        if kind == "MultiPolygon":
+            return MultiPolygon([_polygon_from(rings) for rings in coordinates])
+    except (IndexError, TypeError) as exc:
+        raise GeometryError(f"malformed GeoJSON coordinates for {kind}") from exc
+    raise GeometryError(f"unsupported GeoJSON type {kind!r}")
+
+
+def _polygon_from(rings: List[List[List[float]]]) -> Polygon:
+    if not rings:
+        raise GeometryError("GeoJSON Polygon has no rings")
+    exterior = [(c[0], c[1]) for c in rings[0]]
+    interiors = [[(c[0], c[1]) for c in ring] for ring in rings[1:]]
+    return Polygon(exterior, interiors)
+
+
+def feature(
+    geometry: Geometry, properties: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """Build a GeoJSON Feature object."""
+    return {
+        "type": "Feature",
+        "geometry": geometry_to_geojson(geometry),
+        "properties": dict(properties or {}),
+    }
+
+
+def dumps_feature_collection(
+    features: Iterable[Tuple[Geometry, Dict[str, Any]]], indent: Optional[int] = None
+) -> str:
+    """Serialize (geometry, properties) pairs as a FeatureCollection string."""
+    collection = {
+        "type": "FeatureCollection",
+        "features": [feature(g, p) for g, p in features],
+    }
+    return json.dumps(collection, indent=indent)
+
+
+def loads_feature_collection(text: str) -> List[Tuple[Geometry, Dict[str, Any]]]:
+    """Parse a FeatureCollection string into (geometry, properties) pairs."""
+    try:
+        obj = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise GeometryError(f"invalid GeoJSON: {exc}") from exc
+    if obj.get("type") != "FeatureCollection":
+        raise GeometryError("not a FeatureCollection")
+    results: List[Tuple[Geometry, Dict[str, Any]]] = []
+    for item in obj.get("features", []):
+        if item.get("type") != "Feature" or "geometry" not in item:
+            raise GeometryError("malformed Feature in collection")
+        results.append(
+            (geojson_to_geometry(item["geometry"]), item.get("properties") or {})
+        )
+    return results

@@ -1,0 +1,296 @@
+"""R-tree spatial index.
+
+Two construction modes:
+
+* **Bulk load** (:meth:`RTree.bulk_load`) using Sort-Tile-Recursive (STR)
+  packing — the mode the Strabon-like store uses when a dataset is loaded.
+* **Dynamic insert** (:meth:`RTree.insert`) with quadratic-split node
+  overflow — used for incremental catalogue ingestion.
+
+Both store ``(BoundingBox, item)`` pairs; queries return the stored items.
+The E2 ablation bench compares the two construction modes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Generic, Iterable, Iterator, List, Optional, Sequence, Tuple, TypeVar
+
+import heapq
+
+from repro.errors import GeometryError
+from repro.geometry.primitives import BoundingBox
+
+T = TypeVar("T")
+
+DEFAULT_MAX_ENTRIES = 16
+
+
+class _Node(Generic[T]):
+    __slots__ = ("bbox", "children", "entries", "is_leaf")
+
+    def __init__(self, is_leaf: bool):
+        self.is_leaf = is_leaf
+        self.bbox: Optional[BoundingBox] = None
+        self.children: List["_Node[T]"] = []
+        self.entries: List[Tuple[BoundingBox, T]] = []
+
+    def recompute_bbox(self) -> None:
+        if self.is_leaf:
+            boxes: Iterable[BoundingBox] = (box for box, _ in self.entries)
+        else:
+            boxes = (child.bbox for child in self.children if child.bbox is not None)
+        self.bbox = BoundingBox.union_all(boxes)
+
+
+def _enlargement(box: BoundingBox, extra: BoundingBox) -> float:
+    union = box.union(extra)
+    return union.area - box.area
+
+
+class RTree(Generic[T]):
+    """An R-tree over ``(BoundingBox, item)`` entries."""
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES):
+        if max_entries < 4:
+            raise GeometryError("R-tree max_entries must be >= 4")
+        self._max_entries = max_entries
+        self._min_entries = max(2, max_entries // 3)
+        self._root: _Node[T] = _Node(is_leaf=True)
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def bulk_load(
+        cls,
+        entries: Iterable[Tuple[BoundingBox, T]],
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+    ) -> "RTree[T]":
+        """Build a packed tree with Sort-Tile-Recursive (STR) layout."""
+        tree = cls(max_entries=max_entries)
+        entries = list(entries)
+        tree._size = len(entries)
+        if not entries:
+            return tree
+
+        leaves: List[_Node[T]] = []
+        for chunk in _str_pack(entries, max_entries, key=lambda e: e[0]):
+            leaf: _Node[T] = _Node(is_leaf=True)
+            leaf.entries = chunk
+            leaf.recompute_bbox()
+            leaves.append(leaf)
+
+        level = leaves
+        while len(level) > 1:
+            parents: List[_Node[T]] = []
+            packed = _str_pack(
+                [(node.bbox, node) for node in level], max_entries, key=lambda e: e[0]
+            )
+            for chunk in packed:
+                parent: _Node[T] = _Node(is_leaf=False)
+                parent.children = [node for _, node in chunk]
+                parent.recompute_bbox()
+                parents.append(parent)
+            level = parents
+        tree._root = level[0]
+        return tree
+
+    def insert(self, bbox: BoundingBox, item: T) -> None:
+        """Insert one entry, splitting overflowing nodes quadratically."""
+        self._size += 1
+        split = self._insert_into(self._root, bbox, item)
+        if split is not None:
+            new_root: _Node[T] = _Node(is_leaf=False)
+            new_root.children = [self._root, split]
+            new_root.recompute_bbox()
+            self._root = new_root
+
+    def _insert_into(
+        self, node: _Node[T], bbox: BoundingBox, item: T
+    ) -> Optional[_Node[T]]:
+        if node.is_leaf:
+            node.entries.append((bbox, item))
+            node.bbox = bbox if node.bbox is None else node.bbox.union(bbox)
+            if len(node.entries) > self._max_entries:
+                return self._split_leaf(node)
+            return None
+
+        best = min(
+            node.children,
+            key=lambda child: (
+                _enlargement(child.bbox, bbox),
+                child.bbox.area,
+            ),
+        )
+        split = self._insert_into(best, bbox, item)
+        node.bbox = node.bbox.union(bbox) if node.bbox is not None else bbox
+        if split is not None:
+            node.children.append(split)
+            if len(node.children) > self._max_entries:
+                return self._split_internal(node)
+        return None
+
+    def _split_leaf(self, node: _Node[T]) -> _Node[T]:
+        group_a, group_b = _quadratic_split(node.entries, key=lambda e: e[0], min_fill=self._min_entries)
+        node.entries = group_a
+        node.recompute_bbox()
+        sibling: _Node[T] = _Node(is_leaf=True)
+        sibling.entries = group_b
+        sibling.recompute_bbox()
+        return sibling
+
+    def _split_internal(self, node: _Node[T]) -> _Node[T]:
+        group_a, group_b = _quadratic_split(
+            node.children, key=lambda child: child.bbox, min_fill=self._min_entries
+        )
+        node.children = group_a
+        node.recompute_bbox()
+        sibling: _Node[T] = _Node(is_leaf=False)
+        sibling.children = group_b
+        sibling.recompute_bbox()
+        return sibling
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        height = 1
+        node = self._root
+        while not node.is_leaf:
+            height += 1
+            node = node.children[0]
+        return height
+
+    def search(self, query: BoundingBox) -> Iterator[T]:
+        """Yield items whose bounding box intersects *query*."""
+        for box, item in self.search_with_boxes(query):
+            yield item
+
+    def search_with_boxes(self, query: BoundingBox) -> Iterator[Tuple[BoundingBox, T]]:
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.bbox is None or not node.bbox.intersects(query):
+                continue
+            if node.is_leaf:
+                for box, item in node.entries:
+                    if box.intersects(query):
+                        yield box, item
+            else:
+                stack.extend(node.children)
+
+    def nearest(self, x: float, y: float, count: int = 1) -> List[Tuple[float, T]]:
+        """Return the *count* entries nearest to (x, y) as (distance, item).
+
+        Best-first search over node boxes; exact for the stored boxes.
+        """
+        if count < 1:
+            raise GeometryError("nearest requires count >= 1")
+        results: List[Tuple[float, T]] = []
+        if self._root.bbox is None:
+            return results
+        counter = 0
+        heap: List[Tuple[float, int, object, bool]] = [
+            (self._root.bbox.distance_to_point(x, y), counter, self._root, False)
+        ]
+        while heap and len(results) < count:
+            dist, _, payload, is_entry = heapq.heappop(heap)
+            if is_entry:
+                results.append((dist, payload))  # type: ignore[arg-type]
+                continue
+            node: _Node[T] = payload  # type: ignore[assignment]
+            if node.is_leaf:
+                for box, item in node.entries:
+                    counter += 1
+                    heapq.heappush(
+                        heap, (box.distance_to_point(x, y), counter, item, True)
+                    )
+            else:
+                for child in node.children:
+                    if child.bbox is None:
+                        continue
+                    counter += 1
+                    heapq.heappush(
+                        heap,
+                        (child.bbox.distance_to_point(x, y), counter, child, False),
+                    )
+        return results
+
+    def items(self) -> Iterator[Tuple[BoundingBox, T]]:
+        """Yield all stored (bbox, item) pairs."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                yield from node.entries
+            else:
+                stack.extend(node.children)
+
+
+def _str_pack(
+    entries: Sequence,
+    max_entries: int,
+    key: Callable,
+) -> List[List]:
+    """Sort-Tile-Recursive packing of entries into groups of <= max_entries."""
+    count = len(entries)
+    leaf_count = math.ceil(count / max_entries)
+    slice_count = max(1, math.ceil(math.sqrt(leaf_count)))
+    by_x = sorted(entries, key=lambda e: key(e).center[0])
+    slice_size = math.ceil(count / slice_count)
+    groups: List[List] = []
+    for i in range(0, count, slice_size):
+        vertical = sorted(by_x[i : i + slice_size], key=lambda e: key(e).center[1])
+        for j in range(0, len(vertical), max_entries):
+            groups.append(list(vertical[j : j + max_entries]))
+    return groups
+
+
+def _quadratic_split(items: List, key: Callable, min_fill: int):
+    """Guttman quadratic split of an overflowing node's items into two groups."""
+    # Pick the pair of seeds wasting the most area if grouped together.
+    worst_waste = -1.0
+    seeds = (0, 1)
+    for i in range(len(items)):
+        for j in range(i + 1, len(items)):
+            box_i, box_j = key(items[i]), key(items[j])
+            waste = box_i.union(box_j).area - box_i.area - box_j.area
+            if waste > worst_waste:
+                worst_waste = waste
+                seeds = (i, j)
+
+    group_a = [items[seeds[0]]]
+    group_b = [items[seeds[1]]]
+    box_a = key(items[seeds[0]])
+    box_b = key(items[seeds[1]])
+    remaining = [item for idx, item in enumerate(items) if idx not in seeds]
+
+    while remaining:
+        # Honour minimum fill so neither group ends up underfull.
+        if len(group_a) + len(remaining) == min_fill:
+            group_a.extend(remaining)
+            break
+        if len(group_b) + len(remaining) == min_fill:
+            group_b.extend(remaining)
+            break
+        item = remaining.pop()
+        box = key(item)
+        enlarge_a = _enlargement(box_a, box)
+        enlarge_b = _enlargement(box_b, box)
+        if enlarge_a < enlarge_b or (
+            enlarge_a == enlarge_b and len(group_a) <= len(group_b)
+        ):
+            group_a.append(item)
+            box_a = box_a.union(box)
+        else:
+            group_b.append(item)
+            box_b = box_b.union(box)
+    return group_a, group_b

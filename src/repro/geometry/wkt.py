@@ -1,0 +1,184 @@
+"""Well-Known Text (WKT) parsing and serialization.
+
+Supports the seven planar types used across the library: POINT, LINESTRING,
+POLYGON, MULTIPOINT, MULTILINESTRING, MULTIPOLYGON and GEOMETRYCOLLECTION-free
+round trips. The dialect is the OGC Simple Features one used by GeoSPARQL
+``geo:wktLiteral`` values (optionally prefixed by a CRS IRI, which the
+GeoSPARQL layer strips before calling :func:`from_wkt`).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Sequence, Tuple
+
+from repro.errors import WKTParseError
+from repro.geometry.primitives import (
+    Geometry,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+)
+
+_NUMBER = re.compile(r"[-+]?\d+(?:\.\d*)?(?:[eE][-+]?\d+)?")
+_TOKEN = re.compile(r"\s*([A-Za-z]+|\(|\)|,|[-+]?\d+(?:\.\d*)?(?:[eE][-+]?\d+)?)")
+
+
+class _Tokens:
+    """Cursor over a WKT token stream."""
+
+    def __init__(self, text: str):
+        self._tokens: List[str] = []
+        pos = 0
+        while pos < len(text):
+            match = _TOKEN.match(text, pos)
+            if match is None:
+                remainder = text[pos:].strip()
+                if remainder:
+                    raise WKTParseError(f"unexpected character at: {remainder[:20]!r}")
+                break
+            self._tokens.append(match.group(1))
+            pos = match.end()
+        self._index = 0
+
+    def peek(self) -> str:
+        if self._index >= len(self._tokens):
+            raise WKTParseError("unexpected end of WKT input")
+        return self._tokens[self._index]
+
+    def next(self) -> str:
+        token = self.peek()
+        self._index += 1
+        return token
+
+    def expect(self, expected: str) -> None:
+        token = self.next()
+        if token != expected:
+            raise WKTParseError(f"expected {expected!r}, got {token!r}")
+
+    @property
+    def exhausted(self) -> bool:
+        return self._index >= len(self._tokens)
+
+
+def _parse_coord(tokens: _Tokens) -> Tuple[float, float]:
+    x_text = tokens.next()
+    if not _NUMBER.fullmatch(x_text):
+        raise WKTParseError(f"expected number, got {x_text!r}")
+    y_text = tokens.next()
+    if not _NUMBER.fullmatch(y_text):
+        raise WKTParseError(f"expected number, got {y_text!r}")
+    return float(x_text), float(y_text)
+
+
+def _parse_coord_list(tokens: _Tokens) -> List[Tuple[float, float]]:
+    tokens.expect("(")
+    coords = [_parse_coord(tokens)]
+    while tokens.peek() == ",":
+        tokens.next()
+        coords.append(_parse_coord(tokens))
+    tokens.expect(")")
+    return coords
+
+
+def _parse_ring_list(tokens: _Tokens) -> List[List[Tuple[float, float]]]:
+    tokens.expect("(")
+    rings = [_parse_coord_list(tokens)]
+    while tokens.peek() == ",":
+        tokens.next()
+        rings.append(_parse_coord_list(tokens))
+    tokens.expect(")")
+    return rings
+
+
+def from_wkt(text: str) -> Geometry:
+    """Parse a WKT string into a :class:`~repro.geometry.primitives.Geometry`.
+
+    Raises :class:`~repro.errors.WKTParseError` on malformed input.
+    """
+    tokens = _Tokens(text)
+    tag = tokens.next().upper()
+    if tag == "POINT":
+        coords = _parse_coord_list(tokens)
+        if len(coords) != 1:
+            raise WKTParseError("POINT requires exactly one coordinate")
+        geometry: Geometry = Point(*coords[0])
+    elif tag == "LINESTRING":
+        geometry = LineString(_parse_coord_list(tokens))
+    elif tag == "POLYGON":
+        rings = _parse_ring_list(tokens)
+        geometry = Polygon(rings[0], rings[1:])
+    elif tag == "MULTIPOINT":
+        geometry = MultiPoint([Point(*c) for c in _parse_multipoint(tokens)])
+    elif tag == "MULTILINESTRING":
+        geometry = MultiLineString([LineString(c) for c in _parse_ring_list(tokens)])
+    elif tag == "MULTIPOLYGON":
+        tokens.expect("(")
+        polygons = [_parse_ring_list(tokens)]
+        while tokens.peek() == ",":
+            tokens.next()
+            polygons.append(_parse_ring_list(tokens))
+        tokens.expect(")")
+        geometry = MultiPolygon([Polygon(r[0], r[1:]) for r in polygons])
+    else:
+        raise WKTParseError(f"unsupported WKT type: {tag!r}")
+    if not tokens.exhausted:
+        raise WKTParseError(f"trailing tokens after {tag}")
+    return geometry
+
+
+def _parse_multipoint(tokens: _Tokens) -> List[Tuple[float, float]]:
+    # MULTIPOINT accepts both `(1 2, 3 4)` and `((1 2), (3 4))`.
+    tokens.expect("(")
+    coords: List[Tuple[float, float]] = []
+    while True:
+        if tokens.peek() == "(":
+            tokens.next()
+            coords.append(_parse_coord(tokens))
+            tokens.expect(")")
+        else:
+            coords.append(_parse_coord(tokens))
+        if tokens.peek() == ",":
+            tokens.next()
+            continue
+        tokens.expect(")")
+        return coords
+
+
+def _format_number(value: float) -> str:
+    if value == int(value) and abs(value) < 1e16:
+        return str(int(value))
+    return repr(value)
+
+
+def _format_coords(coords: Sequence[Tuple[float, float]]) -> str:
+    return ", ".join(f"{_format_number(x)} {_format_number(y)}" for x, y in coords)
+
+
+def to_wkt(geometry: Geometry) -> str:
+    """Serialize a geometry to WKT. Inverse of :func:`from_wkt`."""
+    if isinstance(geometry, Point):
+        return f"POINT ({_format_number(geometry.x)} {_format_number(geometry.y)})"
+    if isinstance(geometry, LineString):
+        return f"LINESTRING ({_format_coords(geometry.coords)})"
+    if isinstance(geometry, Polygon):
+        rings = ", ".join(f"({_format_coords(ring)})" for ring in geometry.rings)
+        return f"POLYGON ({rings})"
+    if isinstance(geometry, MultiPoint):
+        inner = ", ".join(
+            f"({_format_number(p.x)} {_format_number(p.y)})" for p in geometry
+        )
+        return f"MULTIPOINT ({inner})"
+    if isinstance(geometry, MultiLineString):
+        inner = ", ".join(f"({_format_coords(line.coords)})" for line in geometry)
+        return f"MULTILINESTRING ({inner})"
+    if isinstance(geometry, MultiPolygon):
+        inner = ", ".join(
+            "(" + ", ".join(f"({_format_coords(ring)})" for ring in poly.rings) + ")"
+            for poly in geometry
+        )
+        return f"MULTIPOLYGON ({inner})"
+    raise WKTParseError(f"cannot serialize {type(geometry).__name__}")

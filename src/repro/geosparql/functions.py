@@ -1,0 +1,98 @@
+"""GeoSPARQL ``geof:`` filter functions.
+
+Registers the simple-features topological functions and metric helpers into a
+:class:`~repro.sparql.evaluator.FunctionRegistry` so any SPARQL query can use
+them. Arguments must be ``geo:wktLiteral`` values (or terms convertible to
+them); type errors surface as :class:`EvaluationError`, which SPARQL filter
+semantics turn into "row dropped".
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import RDFError, WKTParseError
+from repro.geometry import Geometry, contains, disjoint, distance, intersects, within
+from repro.geometry.primitives import BoundingBox, Polygon
+from repro.geosparql.literals import geometry_literal, literal_geometry
+from repro.rdf.term import Literal
+from repro.sparql.evaluator import FunctionRegistry
+from repro.sparql.functions import EvaluationError, Value
+
+GEOF = "http://www.opengis.net/def/function/geosparql/"
+
+SF_INTERSECTS = GEOF + "sfIntersects"
+SF_CONTAINS = GEOF + "sfContains"
+SF_WITHIN = GEOF + "sfWithin"
+SF_DISJOINT = GEOF + "sfDisjoint"
+DISTANCE = GEOF + "distance"
+ENVELOPE = GEOF + "envelope"
+AREA = GEOF + "area"
+
+# Relations the spatial index can pre-filter: candidates from a bbox probe are
+# a superset of true matches. sfDisjoint is deliberately absent.
+INDEXABLE_RELATIONS = frozenset({SF_INTERSECTS, SF_CONTAINS, SF_WITHIN})
+
+
+def _geometry_arg(value: Value, function: str) -> Geometry:
+    try:
+        return literal_geometry(value)  # type: ignore[arg-type]
+    except (RDFError, WKTParseError) as exc:
+        raise EvaluationError(f"{function}: {exc}") from exc
+
+
+def _binary(name: str, predicate):
+    def geo_function(args: List[Value]) -> bool:
+        if len(args) != 2:
+            raise EvaluationError(f"{name} takes 2 arguments, got {len(args)}")
+        a = _geometry_arg(args[0], name)
+        b = _geometry_arg(args[1], name)
+        return predicate(a, b)
+
+    return geo_function
+
+
+def _distance(args: List[Value]) -> float:
+    if len(args) != 2:
+        raise EvaluationError(f"geof:distance takes 2 arguments, got {len(args)}")
+    a = _geometry_arg(args[0], "geof:distance")
+    b = _geometry_arg(args[1], "geof:distance")
+    return distance(a, b)
+
+
+def _envelope(args: List[Value]) -> Literal:
+    if len(args) != 1:
+        raise EvaluationError("geof:envelope takes 1 argument")
+    geometry = _geometry_arg(args[0], "geof:envelope")
+    box: BoundingBox = geometry.bbox
+    if box.width == 0 or box.height == 0:
+        # Degenerate envelope: widen infinitesimally so it stays a polygon.
+        box = box.expand(1e-9)
+    return geometry_literal(Polygon.box(box.min_x, box.min_y, box.max_x, box.max_y))
+
+
+def _area(args: List[Value]) -> float:
+    if len(args) != 1:
+        raise EvaluationError("geof:area takes 1 argument")
+    geometry = _geometry_arg(args[0], "geof:area")
+    area = getattr(geometry, "area", None)
+    if area is None:
+        raise EvaluationError("geof:area requires an areal geometry")
+    return area
+
+
+def geo_function_registry() -> FunctionRegistry:
+    """A fresh registry with all ``geof:`` *and* ``strdf:`` temporal
+    functions installed (Strabon is a spatiotemporal store)."""
+    registry = FunctionRegistry()
+    registry.register(SF_INTERSECTS, _binary("geof:sfIntersects", intersects))
+    registry.register(SF_CONTAINS, _binary("geof:sfContains", contains))
+    registry.register(SF_WITHIN, _binary("geof:sfWithin", within))
+    registry.register(SF_DISJOINT, _binary("geof:sfDisjoint", disjoint))
+    registry.register(DISTANCE, _distance)
+    registry.register(ENVELOPE, _envelope)
+    registry.register(AREA, _area)
+    from repro.geosparql.temporal import register_temporal_functions
+
+    register_temporal_functions(registry)
+    return registry

@@ -1,0 +1,67 @@
+"""``geo:wktLiteral`` handling.
+
+GeoSPARQL represents geometries as typed literals whose lexical form is WKT,
+optionally preceded by a CRS IRI in angle brackets. Parsing WKT on every
+filter evaluation would dominate query time, so parsed geometries are cached
+by lexical form.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Optional
+
+from repro.errors import RDFError
+from repro.geometry import Geometry, from_wkt, to_wkt
+from repro.rdf.term import Literal, Term
+
+WKT_DATATYPE = "http://www.opengis.net/ont/geosparql#wktLiteral"
+CRS84 = "http://www.opengis.net/def/crs/OGC/1.3/CRS84"
+
+
+def geometry_literal(geometry: Geometry, crs: Optional[str] = None) -> Literal:
+    """Wrap a geometry as a ``geo:wktLiteral``."""
+    text = to_wkt(geometry)
+    if crs:
+        text = f"<{crs}> {text}"
+    return Literal(text, datatype=WKT_DATATYPE)
+
+
+def is_geometry_literal(term: Term) -> bool:
+    """True if *term* is a ``geo:wktLiteral``."""
+    return isinstance(term, Literal) and term.datatype == WKT_DATATYPE
+
+
+@lru_cache(maxsize=65536)
+def _parse_cached(lexical: str) -> Geometry:
+    text = lexical
+    if text.startswith("<"):
+        end = text.find(">")
+        if end == -1:
+            raise RDFError(f"malformed CRS prefix in wktLiteral: {lexical[:40]!r}")
+        text = text[end + 1:].lstrip()
+    return from_wkt(text)
+
+
+def literal_geometry(term: Term) -> Geometry:
+    """Parse the geometry out of a ``geo:wktLiteral`` (cached).
+
+    Raises :class:`~repro.errors.RDFError` if the term is not a geometry
+    literal or its WKT is malformed.
+    """
+    if not is_geometry_literal(term):
+        raise RDFError(f"not a geo:wktLiteral: {term!r}")
+    return _parse_cached(term.lexical)
+
+
+def literal_crs(term: Literal) -> Optional[str]:
+    """Extract the CRS IRI from a wktLiteral, or None for the default CRS84."""
+    if not is_geometry_literal(term):
+        raise RDFError(f"not a geo:wktLiteral: {term!r}")
+    text = term.lexical
+    if text.startswith("<"):
+        end = text.find(">")
+        if end == -1:
+            raise RDFError(f"malformed CRS prefix: {text[:40]!r}")
+        return text[1:end]
+    return None

@@ -1,0 +1,219 @@
+"""stSPARQL temporal extension: period literals and Allen-style functions.
+
+Strabon is a *spatiotemporal* RDF store ("the state-of-the art geospatial
+and temporal RDF store Strabon"); its stSPARQL dialect adds valid-time
+periods to triples and temporal relations to filters. This module provides
+the same capability for our engine:
+
+* ``strdf:period`` literals with lexical form ``[start, end)`` over ISO-8601
+  instants; ``xsd:dateTime`` literals are accepted as degenerate periods;
+* the Allen-family filter functions ``before``, ``after``, ``during``,
+  ``overlaps`` (plus ``periodIntersects`` and accessors ``periodStart`` /
+  ``periodEnd``), registered alongside the ``geof:`` functions;
+* :class:`IntervalIndex` — a sorted interval structure for candidate
+  pre-filtering of temporal selections.
+"""
+
+from __future__ import annotations
+
+import bisect
+from datetime import datetime
+from typing import List, Optional, Sequence, Tuple, TypeVar, Generic
+
+from repro.errors import RDFError
+from repro.rdf.term import Literal, Term, XSD_DATE, XSD_DATETIME
+from repro.sparql.evaluator import FunctionRegistry
+from repro.sparql.functions import EvaluationError, Value
+
+STRDF = "http://strdf.di.uoa.gr/ontology#"
+PERIOD_DATATYPE = STRDF + "period"
+
+BEFORE = STRDF + "before"
+AFTER = STRDF + "after"
+DURING = STRDF + "during"
+OVERLAPS = STRDF + "overlaps"
+PERIOD_INTERSECTS = STRDF + "periodIntersects"
+PERIOD_START = STRDF + "periodStart"
+PERIOD_END = STRDF + "periodEnd"
+
+Instant = datetime
+Period = Tuple[datetime, datetime]
+
+T = TypeVar("T")
+
+
+def period_literal(start: str, end: str) -> Literal:
+    """Build a ``strdf:period`` literal ``[start, end)`` from ISO instants."""
+    period = (_parse_instant(start), _parse_instant(end))
+    if period[0] > period[1]:
+        raise RDFError(f"period start {start!r} after end {end!r}")
+    return Literal(f"[{start}, {end})", datatype=PERIOD_DATATYPE)
+
+
+def is_temporal_literal(term: Term) -> bool:
+    return isinstance(term, Literal) and term.datatype in (
+        PERIOD_DATATYPE,
+        XSD_DATETIME,
+        XSD_DATE,
+    )
+
+
+def literal_period(term: Term) -> Period:
+    """Parse a temporal literal into a half-open [start, end) period.
+
+    ``xsd:dateTime``/``xsd:date`` values become degenerate instants.
+    """
+    if not isinstance(term, Literal):
+        raise RDFError(f"not a temporal literal: {term!r}")
+    if term.datatype == PERIOD_DATATYPE:
+        text = term.lexical.strip()
+        if not (text.startswith("[") and text.endswith(")")):
+            raise RDFError(f"malformed period literal: {term.lexical!r}")
+        start_text, _, end_text = text[1:-1].partition(",")
+        if not end_text:
+            raise RDFError(f"malformed period literal: {term.lexical!r}")
+        start = _parse_instant(start_text.strip())
+        end = _parse_instant(end_text.strip())
+        if start > end:
+            raise RDFError(f"period start after end: {term.lexical!r}")
+        return start, end
+    if term.datatype in (XSD_DATETIME, XSD_DATE):
+        instant = _parse_instant(term.lexical)
+        return instant, instant
+    raise RDFError(f"not a temporal literal: {term!r}")
+
+
+def _parse_instant(text: str) -> datetime:
+    try:
+        return datetime.fromisoformat(text)
+    except ValueError as exc:
+        raise RDFError(f"invalid ISO instant {text!r}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Relation semantics (half-open intervals)
+# ---------------------------------------------------------------------------
+
+def period_before(a: Period, b: Period) -> bool:
+    """a ends at or before b starts (no shared instant)."""
+    return a[1] <= b[0] and a != b
+
+
+def period_during(a: Period, b: Period) -> bool:
+    """a contained in b (boundaries allowed)."""
+    return b[0] <= a[0] and a[1] <= b[1]
+
+
+def period_overlaps(a: Period, b: Period) -> bool:
+    """The periods share at least one instant."""
+    if a[0] == a[1] or b[0] == b[1]:
+        # Degenerate instants: containment check with closed semantics.
+        point, other = (a, b) if a[0] == a[1] else (b, a)
+        return other[0] <= point[0] <= other[1]
+    return a[0] < b[1] and b[0] < a[1]
+
+
+# ---------------------------------------------------------------------------
+# Filter functions
+# ---------------------------------------------------------------------------
+
+def _temporal_arg(value: Value, function: str) -> Period:
+    try:
+        return literal_period(value)  # type: ignore[arg-type]
+    except RDFError as exc:
+        raise EvaluationError(f"{function}: {exc}") from exc
+
+
+def _binary(name: str, relation):
+    def function(args: List[Value]) -> bool:
+        if len(args) != 2:
+            raise EvaluationError(f"{name} takes 2 arguments, got {len(args)}")
+        return relation(
+            _temporal_arg(args[0], name), _temporal_arg(args[1], name)
+        )
+
+    return function
+
+
+def _period_start(args: List[Value]) -> Literal:
+    if len(args) != 1:
+        raise EvaluationError("strdf:periodStart takes 1 argument")
+    start, _ = _temporal_arg(args[0], "strdf:periodStart")
+    return Literal(start.isoformat(), datatype=XSD_DATETIME)
+
+
+def _period_end(args: List[Value]) -> Literal:
+    if len(args) != 1:
+        raise EvaluationError("strdf:periodEnd takes 1 argument")
+    _, end = _temporal_arg(args[0], "strdf:periodEnd")
+    return Literal(end.isoformat(), datatype=XSD_DATETIME)
+
+
+def register_temporal_functions(registry: FunctionRegistry) -> FunctionRegistry:
+    """Install the strdf: temporal functions into *registry* (returned)."""
+    registry.register(BEFORE, _binary("strdf:before", period_before))
+    registry.register(
+        AFTER, _binary("strdf:after", lambda a, b: period_before(b, a))
+    )
+    registry.register(DURING, _binary("strdf:during", period_during))
+    registry.register(OVERLAPS, _binary("strdf:overlaps", period_overlaps))
+    registry.register(
+        PERIOD_INTERSECTS, _binary("strdf:periodIntersects", period_overlaps)
+    )
+    registry.register(PERIOD_START, _period_start)
+    registry.register(PERIOD_END, _period_end)
+    return registry
+
+
+# ---------------------------------------------------------------------------
+# Interval index
+# ---------------------------------------------------------------------------
+
+class IntervalIndex(Generic[T]):
+    """A static sorted-interval index for temporal candidate pre-filtering.
+
+    Build once with :meth:`build`; :meth:`overlapping` returns every item
+    whose interval shares an instant with the query — by binary search on
+    start order plus a running maximum of ends (a flattened interval tree).
+    """
+
+    def __init__(self):
+        self._starts: List[datetime] = []
+        self._entries: List[Tuple[datetime, datetime, T]] = []
+        self._max_end_prefix: List[datetime] = []
+
+    @classmethod
+    def build(cls, entries: Sequence[Tuple[Period, T]]) -> "IntervalIndex[T]":
+        index = cls()
+        ordered = sorted(entries, key=lambda e: (e[0][0], e[0][1]))
+        running: Optional[datetime] = None
+        for (start, end), item in ordered:
+            if start > end:
+                raise RDFError(f"interval start after end: {start} > {end}")
+            index._entries.append((start, end, item))
+            index._starts.append(start)
+            running = end if running is None else max(running, end)
+            index._max_end_prefix.append(running)
+        return index
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def overlapping(self, query: Period) -> List[T]:
+        """Items whose interval overlaps *query* (closed-at-degenerate)."""
+        query_start, query_end = query
+        if not self._entries:
+            return []
+        # Entries starting after the query ends can never overlap.
+        hi = bisect.bisect_right(self._starts, query_end)
+        results: List[T] = []
+        for start, end, item in self._entries[:hi]:
+            if period_overlaps((start, end), query):
+                results.append(item)
+        return results
+
+    def first_overlap_possible(self, query: Period) -> bool:
+        """Cheap reject: False when no stored interval can reach the query."""
+        if not self._entries:
+            return False
+        return self._max_end_prefix[-1] >= query[0]

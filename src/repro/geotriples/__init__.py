@@ -1,0 +1,17 @@
+"""GeoTriples: transforming geospatial data into RDF graphs.
+
+Re-implementation of the algorithmic core of GeoTriples [16] ("Transforming
+geospatial data into RDF graphs using R2RML and RML mappings"): declarative
+mappings from record streams (rows/features with attributes and geometries)
+to RDF triples, following the GeoSPARQL feature/geometry modelling pattern.
+"""
+
+from repro.geotriples.mapping import ObjectMap, TriplesMap
+from repro.geotriples.transform import transform_records, transform_to_store
+
+__all__ = [
+    "ObjectMap",
+    "TriplesMap",
+    "transform_records",
+    "transform_to_store",
+]

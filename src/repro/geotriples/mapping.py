@@ -1,0 +1,92 @@
+"""R2RML-lite mapping model.
+
+A :class:`TriplesMap` describes how one record stream becomes RDF:
+
+* a **subject template** like ``http://ex.org/field/{id}`` filled from record
+  attributes,
+* an optional rdf:type,
+* a list of :class:`ObjectMap` entries producing one predicate-object pair
+  each — from a column (typed literal), a template (IRI), a constant, or a
+  geometry column (emitted as the GeoSPARQL ``geo:hasGeometry`` /
+  ``geo:asWKT`` pattern).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import MappingError
+
+_TEMPLATE_VAR = re.compile(r"\{([A-Za-z_][A-Za-z0-9_]*)\}")
+
+
+def template_variables(template: str) -> List[str]:
+    """Attribute names referenced by a ``{name}`` template."""
+    return _TEMPLATE_VAR.findall(template)
+
+
+def expand_template(template: str, record: Dict[str, Any]) -> str:
+    """Fill a template from a record; missing attributes raise MappingError."""
+
+    def replace(match: re.Match) -> str:
+        name = match.group(1)
+        if name not in record:
+            raise MappingError(f"record missing attribute {name!r} for template {template!r}")
+        return str(record[name])
+
+    return _TEMPLATE_VAR.sub(replace, template)
+
+
+@dataclass(frozen=True)
+class ObjectMap:
+    """One predicate-object rule. Exactly one source must be set."""
+
+    predicate: str
+    column: Optional[str] = None
+    template: Optional[str] = None
+    constant: Optional[str] = None
+    is_geometry: bool = False
+    datatype: Optional[str] = None
+    language: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        sources = [
+            s for s in (self.column, self.template, self.constant) if s is not None
+        ]
+        if len(sources) != 1:
+            raise MappingError(
+                f"ObjectMap for {self.predicate!r} must set exactly one of "
+                "column/template/constant"
+            )
+        if self.is_geometry and self.column is None:
+            raise MappingError("geometry object maps must use a column source")
+        if self.datatype is not None and self.language is not None:
+            raise MappingError("object map cannot set both datatype and language")
+
+
+@dataclass
+class TriplesMap:
+    """A mapping from one logical source to RDF."""
+
+    subject_template: str
+    type_iri: Optional[str] = None
+    object_maps: List[ObjectMap] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not template_variables(self.subject_template) and "{" in self.subject_template:
+            raise MappingError(
+                f"malformed subject template {self.subject_template!r}"
+            )
+        if not self.subject_template.startswith("http"):
+            raise MappingError("subject template must produce HTTP IRIs")
+
+    def add(self, object_map: ObjectMap) -> "TriplesMap":
+        """Append an object map (chainable)."""
+        self.object_maps.append(object_map)
+        return self
+
+    @property
+    def geometry_maps(self) -> List[ObjectMap]:
+        return [m for m in self.object_maps if m.is_geometry]

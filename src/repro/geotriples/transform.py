@@ -1,0 +1,91 @@
+"""Executing mappings over record streams."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, Optional
+
+from repro.errors import MappingError
+from repro.geometry.primitives import Geometry
+from repro.geosparql.literals import geometry_literal
+from repro.geosparql.store import GeoStore
+from repro.rdf.namespace import GEO, RDF
+from repro.rdf.term import IRI, Literal, Triple, make_triple
+from repro.geotriples.mapping import ObjectMap, TriplesMap, expand_template
+
+
+def transform_records(
+    records: Iterable[Dict[str, Any]], mapping: TriplesMap
+) -> Iterator[Triple]:
+    """Apply *mapping* to each record, yielding RDF triples.
+
+    Geometry columns must hold :class:`~repro.geometry.primitives.Geometry`
+    values; they are emitted via the GeoSPARQL pattern::
+
+        <feature> geo:hasGeometry <feature/geom> .
+        <feature/geom> geo:asWKT "..."^^geo:wktLiteral .
+    """
+    for record in records:
+        subject = IRI(expand_template(mapping.subject_template, record))
+        if mapping.type_iri is not None:
+            yield make_triple(subject, RDF.type, IRI(mapping.type_iri))
+        for object_map in mapping.object_maps:
+            yield from _apply_object_map(subject, object_map, record)
+
+
+def _apply_object_map(
+    subject: IRI, object_map: ObjectMap, record: Dict[str, Any]
+) -> Iterator[Triple]:
+    predicate = IRI(object_map.predicate)
+    if object_map.is_geometry:
+        value = record.get(object_map.column)
+        if value is None:
+            return
+        if not isinstance(value, Geometry):
+            raise MappingError(
+                f"geometry column {object_map.column!r} holds "
+                f"{type(value).__name__}, expected Geometry"
+            )
+        geometry_iri = IRI(f"{subject.value}/geom")
+        yield make_triple(subject, GEO.hasGeometry, geometry_iri)
+        yield make_triple(geometry_iri, GEO.asWKT, geometry_literal(value))
+        return
+    if object_map.constant is not None:
+        yield make_triple(subject, predicate, _constant_term(object_map.constant))
+        return
+    if object_map.template is not None:
+        yield make_triple(
+            subject, predicate, IRI(expand_template(object_map.template, record))
+        )
+        return
+    value = record.get(object_map.column)
+    if value is None:
+        return  # nullable column: no triple
+    yield make_triple(subject, predicate, _literal_from(value, object_map))
+
+
+def _constant_term(constant: str):
+    if constant.startswith("http://") or constant.startswith("https://"):
+        return IRI(constant)
+    return Literal(constant)
+
+
+def _literal_from(value: Any, object_map: ObjectMap) -> Literal:
+    if object_map.datatype is not None:
+        return Literal(str(value), datatype=object_map.datatype)
+    if object_map.language is not None:
+        return Literal(str(value), language=object_map.language)
+    if isinstance(value, (bool, int, float)):
+        return Literal.from_python(value)
+    return Literal(str(value))
+
+
+def transform_to_store(
+    records: Iterable[Dict[str, Any]],
+    mapping: TriplesMap,
+    store: Optional[GeoStore] = None,
+) -> GeoStore:
+    """Run a mapping and load the result into a (new) GeoStore."""
+    if store is None:
+        store = GeoStore()
+    store.bulk_load(transform_records(records, mapping))
+    return store

@@ -1,0 +1,37 @@
+"""HopsFS-sim: a distributed filesystem simulator with scalable metadata.
+
+The paper builds everything on the HOPS platform, whose headline property is
+HopsFS: "Scaling HDFS to more than 1 million operations per second" by moving
+namenode metadata into a sharded NewSQL database, plus the "Size Matters"
+optimisation that stores small files inline in the metadata layer.
+
+This package reproduces those architectural properties in simulation:
+
+* :class:`~repro.hopsfs.kvstore.ShardedKVStore` — a transactional key-value
+  store with per-shard cost accounting; multi-shard transactions pay a
+  two-phase-commit surcharge, single-shard transactions scale linearly with
+  the shard count.
+* :class:`~repro.hopsfs.filesystem.HopsFS` — the filesystem API (mkdir /
+  create / read / write / ls / stat / delete / rename) over the sharded
+  store, partitioning inodes by parent directory so directory listings stay
+  single-shard, with the small-files-inline optimisation.
+* :class:`~repro.hopsfs.namenode.SingleLeaderFS` — the "classic HDFS"
+  baseline where every metadata operation serialises through one namenode.
+
+Experiment E1 sweeps shard count and op mix over both systems.
+"""
+
+from repro.hopsfs.kvstore import ShardedKVStore, SingleLeaderStore
+from repro.hopsfs.blocks import BlockManager, DataNode
+from repro.hopsfs.filesystem import FileStat, HopsFS
+from repro.hopsfs.namenode import SingleLeaderFS
+
+__all__ = [
+    "BlockManager",
+    "DataNode",
+    "FileStat",
+    "HopsFS",
+    "ShardedKVStore",
+    "SingleLeaderFS",
+    "SingleLeaderStore",
+]

@@ -1,0 +1,206 @@
+"""Block storage: datanodes, placement, and replication."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import StorageError
+
+DEFAULT_BLOCK_SIZE = 128 * 1024 * 1024  # 128 MB, the HDFS default
+DEFAULT_REPLICATION = 3
+
+
+@dataclass
+class DataNode:
+    """One storage node."""
+
+    node_id: int
+    capacity_bytes: int
+    used_bytes: int = 0
+    blocks: Dict[int, int] = field(default_factory=dict)  # block_id -> bytes
+    alive: bool = True
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    def store(self, block_id: int, size: int) -> None:
+        if size > self.free_bytes:
+            raise StorageError(
+                f"datanode {self.node_id} full: need {size}, free {self.free_bytes}"
+            )
+        self.blocks[block_id] = size
+        self.used_bytes += size
+
+    def drop(self, block_id: int) -> None:
+        size = self.blocks.pop(block_id, 0)
+        self.used_bytes -= size
+
+
+class BlockManager:
+    """Allocates blocks across datanodes with replication.
+
+    Placement is round-robin over the nodes with enough free space, which
+    keeps the simulation deterministic and balanced.
+    """
+
+    def __init__(
+        self,
+        node_count: int = 4,
+        node_capacity_bytes: int = 10 * 1024**4,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        replication: int = DEFAULT_REPLICATION,
+    ):
+        if node_count < 1:
+            raise StorageError("node_count must be >= 1")
+        if replication < 1:
+            raise StorageError("replication must be >= 1")
+        if replication > node_count:
+            raise StorageError(
+                f"replication {replication} exceeds node count {node_count}"
+            )
+        self.block_size = block_size
+        self.replication = replication
+        self.nodes = [DataNode(i, node_capacity_bytes) for i in range(node_count)]
+        self._next_block_id = 0
+        self._next_node = 0
+        # block_id -> (size, [node ids])
+        self._blocks: Dict[int, Tuple[int, List[int]]] = {}
+
+    def allocate_file(self, size_bytes: int) -> List[int]:
+        """Allocate the blocks for a file of *size_bytes*; returns block ids."""
+        if size_bytes <= 0:
+            raise StorageError(f"file size must be positive, got {size_bytes}")
+        block_ids: List[int] = []
+        remaining = size_bytes
+        while remaining > 0:
+            size = min(remaining, self.block_size)
+            block_ids.append(self._allocate_block(size))
+            remaining -= size
+        return block_ids
+
+    def _allocate_block(self, size: int) -> int:
+        block_id = self._next_block_id
+        self._next_block_id += 1
+        placed = self._place_replicas(block_id, size, self.replication, exclude=set())
+        self._blocks[block_id] = (size, placed)
+        return block_id
+
+    def _place_replicas(
+        self, block_id: int, size: int, count: int, exclude: "set[int]"
+    ) -> List[int]:
+        """Round-robin placement of *count* replicas on live, fitting nodes."""
+        placed: List[int] = []
+        attempts = 0
+        while len(placed) < count:
+            if attempts >= len(self.nodes):
+                for node_id in placed:
+                    self.nodes[node_id].drop(block_id)
+                raise StorageError(
+                    f"cannot place block of {size} bytes with replication "
+                    f"{count}: insufficient live capacity"
+                )
+            node = self.nodes[self._next_node]
+            self._next_node = (self._next_node + 1) % len(self.nodes)
+            attempts += 1
+            if (
+                not node.alive
+                or node.node_id in placed
+                or node.node_id in exclude
+                or node.free_bytes < size
+            ):
+                continue
+            node.store(block_id, size)
+            placed.append(node.node_id)
+        return placed
+
+    def free_blocks(self, block_ids: List[int]) -> None:
+        for block_id in block_ids:
+            entry = self._blocks.pop(block_id, None)
+            if entry is None:
+                continue
+            _, node_ids = entry
+            for node_id in node_ids:
+                self.nodes[node_id].drop(block_id)
+
+    def block_locations(self, block_id: int) -> List[int]:
+        """Datanode ids holding replicas of a block."""
+        entry = self._blocks.get(block_id)
+        if entry is None:
+            raise StorageError(f"unknown block {block_id}")
+        return list(entry[1])
+
+    @property
+    def block_count(self) -> int:
+        return len(self._blocks)
+
+    def total_stored_bytes(self) -> int:
+        """Bytes on disk including replication overhead."""
+        return sum(node.used_bytes for node in self.nodes)
+
+    def balance_ratio(self) -> float:
+        """max/mean node utilisation (1.0 = perfectly balanced)."""
+        used = [node.used_bytes for node in self.nodes if node.alive]
+        if not used:
+            raise StorageError("no live datanodes")
+        mean = sum(used) / len(used)
+        if mean == 0:
+            return 1.0
+        return max(used) / mean
+
+    # ------------------------------------------------------------------
+    # Failure handling
+    # ------------------------------------------------------------------
+
+    def fail_node(self, node_id: int) -> int:
+        """Mark a datanode dead; its replicas vanish. Returns the number of
+        blocks that became under-replicated."""
+        if not 0 <= node_id < len(self.nodes):
+            raise StorageError(f"unknown datanode {node_id}")
+        node = self.nodes[node_id]
+        if not node.alive:
+            raise StorageError(f"datanode {node_id} already failed")
+        node.alive = False
+        affected = 0
+        for block_id in list(node.blocks):
+            size, owners = self._blocks[block_id]
+            owners = [o for o in owners if o != node_id]
+            self._blocks[block_id] = (size, owners)
+            affected += 1
+        node.blocks.clear()
+        node.used_bytes = 0
+        return affected
+
+    def under_replicated_blocks(self) -> List[int]:
+        """Blocks currently below the replication target."""
+        return [
+            block_id
+            for block_id, (_, owners) in self._blocks.items()
+            if len(owners) < self.replication
+        ]
+
+    def lost_blocks(self) -> List[int]:
+        """Blocks with zero live replicas — unrecoverable data loss."""
+        return [
+            block_id for block_id, (_, owners) in self._blocks.items() if not owners
+        ]
+
+    def re_replicate(self) -> int:
+        """Restore replication for under-replicated (non-lost) blocks.
+
+        Returns the number of replicas created. Lost blocks (no surviving
+        replica) are skipped — there is nothing to copy from.
+        """
+        created = 0
+        for block_id in self.under_replicated_blocks():
+            size, owners = self._blocks[block_id]
+            if not owners:
+                continue
+            missing = self.replication - len(owners)
+            new_owners = self._place_replicas(
+                block_id, size, missing, exclude=set(owners)
+            )
+            self._blocks[block_id] = (size, owners + new_owners)
+            created += len(new_owners)
+        return created

@@ -1,0 +1,235 @@
+"""The HopsFS filesystem API over the sharded metadata store.
+
+Inodes are partitioned by **parent inode id** (the HopsFS design): a
+directory listing, a create, and a stat each touch only the shard owning the
+parent partition, so the workload spreads across shards and throughput scales
+with the shard count. ``rename`` across directories is the multi-shard
+transaction that pays the 2PC surcharge.
+
+Small files (below ``small_file_threshold``) are stored *inline in the
+metadata store* ("Size Matters" [17]): reading them is one metadata round
+trip instead of metadata + datanode I/O. Experiment E1's ablation toggles the
+threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import StorageError
+from repro.hopsfs.blocks import BlockManager
+from repro.hopsfs.kvstore import ShardedKVStore
+
+ROOT_ID = 0
+
+DEFAULT_SMALL_FILE_THRESHOLD = 64 * 1024  # 64 KB, per the Size Matters paper
+
+
+@dataclass(frozen=True)
+class FileStat:
+    """Metadata returned by :meth:`HopsFS.stat`."""
+
+    path: str
+    inode_id: int
+    is_dir: bool
+    size_bytes: int
+    inline: bool
+    block_ids: Tuple[int, ...]
+
+
+class HopsFS:
+    """A simulated distributed filesystem with database-backed metadata."""
+
+    def __init__(
+        self,
+        store: Optional[ShardedKVStore] = None,
+        blocks: Optional[BlockManager] = None,
+        small_file_threshold: int = DEFAULT_SMALL_FILE_THRESHOLD,
+    ):
+        self.store = store if store is not None else ShardedKVStore()
+        self.blocks = blocks if blocks is not None else BlockManager()
+        self.small_file_threshold = small_file_threshold
+        self._next_inode = ROOT_ID + 1
+        # Inode-hint cache (the HopsFS design): directory-path resolution is
+        # cached so hot ancestors (/, /data, ...) don't serialise every
+        # operation through the shards that own them.
+        self._dir_cache: Dict[Tuple[str, ...], int] = {}
+        # Root directory exists implicitly; register it so scans work.
+        self.store.put(ROOT_ID, "__self__", self._dir_record(ROOT_ID))
+
+    # ------------------------------------------------------------------
+    # Records
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _dir_record(inode_id: int) -> Dict:
+        return {"inode": inode_id, "is_dir": True, "size": 0}
+
+    @staticmethod
+    def _file_record(
+        inode_id: int, size: int, inline_data: Optional[bytes], block_ids: List[int]
+    ) -> Dict:
+        return {
+            "inode": inode_id,
+            "is_dir": False,
+            "size": size,
+            "inline": inline_data,
+            "blocks": block_ids,
+        }
+
+    # ------------------------------------------------------------------
+    # Path resolution
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _split(path: str) -> List[str]:
+        if not path.startswith("/"):
+            raise StorageError("path must be absolute", path=path)
+        parts = [p for p in path.split("/") if p]
+        return parts
+
+    def _resolve_dir(self, parts: List[str], path: str) -> int:
+        """Resolve a component list to a directory inode id (hint cached)."""
+        key = tuple(parts)
+        cached = self._dir_cache.get(key)
+        if cached is not None:
+            return cached
+        current = ROOT_ID
+        for part in parts:
+            record = self.store.get(current, part)
+            if record is None:
+                raise StorageError("no such directory", path=path)
+            if not record["is_dir"]:
+                raise StorageError("not a directory", path=path)
+            current = record["inode"]
+        self._dir_cache[key] = current
+        return current
+
+    def _resolve_parent(self, path: str) -> Tuple[int, str]:
+        parts = self._split(path)
+        if not parts:
+            raise StorageError("path refers to root", path=path)
+        parent = self._resolve_dir(parts[:-1], path)
+        return parent, parts[-1]
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def mkdir(self, path: str) -> int:
+        """Create a directory (parents must exist). Returns the inode id."""
+        parent, name = self._resolve_parent(path)
+        if self.store.get(parent, name) is not None:
+            raise StorageError("already exists", path=path)
+        inode = self._next_inode
+        self._next_inode += 1
+        self.store.put(parent, name, self._dir_record(inode))
+        return inode
+
+    def makedirs(self, path: str) -> None:
+        """Create a directory and any missing ancestors."""
+        parts = self._split(path)
+        current = "/"
+        for part in parts:
+            current = current.rstrip("/") + "/" + part
+            try:
+                self.mkdir(current)
+            except StorageError as exc:
+                if "already exists" not in str(exc):
+                    raise
+
+    def create(self, path: str, data: bytes) -> FileStat:
+        """Create a file with contents *data*."""
+        parent, name = self._resolve_parent(path)
+        if self.store.get(parent, name) is not None:
+            raise StorageError("already exists", path=path)
+        inode = self._next_inode
+        self._next_inode += 1
+        size = len(data)
+        if size <= self.small_file_threshold:
+            record = self._file_record(inode, size, data, [])
+        else:
+            block_ids = self.blocks.allocate_file(size) if size else []
+            record = self._file_record(inode, size, None, block_ids)
+            # Block contents are not materialised; the simulation tracks
+            # placement and sizes only.
+        self.store.put(parent, name, record)
+        return self._stat_from_record(path, record)
+
+    def read(self, path: str) -> Optional[bytes]:
+        """Read a file. Inline files return their bytes; block files return
+        None (contents are not materialised in the simulation) — use
+        :meth:`stat` for their size and block layout."""
+        parent, name = self._resolve_parent(path)
+        record = self.store.get(parent, name)
+        if record is None:
+            raise StorageError("no such file", path=path)
+        if record["is_dir"]:
+            raise StorageError("is a directory", path=path)
+        return record["inline"]
+
+    def stat(self, path: str) -> FileStat:
+        parent, name = self._resolve_parent(path)
+        record = self.store.get(parent, name)
+        if record is None:
+            raise StorageError("no such file or directory", path=path)
+        return self._stat_from_record(path, record)
+
+    def _stat_from_record(self, path: str, record: Dict) -> FileStat:
+        if record["is_dir"]:
+            return FileStat(path, record["inode"], True, 0, False, ())
+        return FileStat(
+            path=path,
+            inode_id=record["inode"],
+            is_dir=False,
+            size_bytes=record["size"],
+            inline=record["inline"] is not None,
+            block_ids=tuple(record.get("blocks", ())),
+        )
+
+    def exists(self, path: str) -> bool:
+        try:
+            self.stat(path)
+            return True
+        except StorageError:
+            return False
+
+    def listdir(self, path: str) -> List[str]:
+        """Names in a directory — a single-partition scan."""
+        parts = self._split(path)
+        inode = self._resolve_dir(parts, path)
+        return sorted(
+            name for name, _ in self.store.scan(inode) if name != "__self__"
+        )
+
+    def delete(self, path: str) -> None:
+        parent, name = self._resolve_parent(path)
+        record = self.store.get(parent, name)
+        if record is None:
+            raise StorageError("no such file or directory", path=path)
+        if record["is_dir"] and any(
+            name != "__self__" for name, _ in self.store.scan(record["inode"])
+        ):
+            raise StorageError("directory not empty", path=path)
+        if not record["is_dir"] and record.get("blocks"):
+            self.blocks.free_blocks(record["blocks"])
+        if record["is_dir"]:
+            self._dir_cache.clear()
+        self.store.delete(parent, name)
+
+    def rename(self, src: str, dst: str) -> None:
+        """Move a file/directory. Cross-directory renames span shards (2PC)."""
+        src_parent, src_name = self._resolve_parent(src)
+        dst_parent, dst_name = self._resolve_parent(dst)
+        record = self.store.get(src_parent, src_name)
+        if record is None:
+            raise StorageError("no such file or directory", path=src)
+        if self.store.get(dst_parent, dst_name) is not None:
+            raise StorageError("already exists", path=dst)
+        if record["is_dir"]:
+            self._dir_cache.clear()
+        self.store.transact(
+            writes=[(dst_parent, dst_name, record)],
+            deletes=[(src_parent, src_name)],
+        )

@@ -1,0 +1,151 @@
+"""Transactional metadata stores with cost accounting.
+
+Both store variants keep real Python dictionaries (operations actually happen)
+*and* a simulated-time model: every transaction adds latency to the resources
+it touches. Throughput is derived from the accumulated busy time — shards
+work in parallel, so the makespan of a workload is the busiest shard's total,
+which is exactly how NDB-style metadata scaling behaves.
+
+Cost model (milliseconds, configurable):
+
+* single-shard transaction: ``base_latency``
+* multi-shard transaction: ``base_latency + two_phase_surcharge`` on every
+  participating shard (prepare + commit rounds)
+* the single-leader store pays ``base_latency`` on its one resource for
+  everything, which is why it cannot scale.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import StorageError
+
+
+class ShardedKVStore:
+    """A hash-sharded transactional KV store (the NewSQL metadata layer)."""
+
+    def __init__(
+        self,
+        shard_count: int = 4,
+        base_latency_ms: float = 0.05,
+        two_phase_surcharge_ms: float = 0.08,
+    ):
+        if shard_count < 1:
+            raise StorageError(f"shard_count must be >= 1, got {shard_count}")
+        if base_latency_ms <= 0:
+            raise StorageError("base_latency_ms must be positive")
+        self.shard_count = shard_count
+        self.base_latency_ms = base_latency_ms
+        self.two_phase_surcharge_ms = two_phase_surcharge_ms
+        self._shards: List[Dict[Any, Any]] = [{} for _ in range(shard_count)]
+        self._busy_ms: List[float] = [0.0] * shard_count
+        self._op_count = 0
+        self._multi_shard_ops = 0
+
+    # ------------------------------------------------------------------
+    # Shard routing
+    # ------------------------------------------------------------------
+
+    def shard_of(self, partition_key: Any) -> int:
+        return hash(partition_key) % self.shard_count
+
+    def _charge(self, shards: Iterable[int]) -> None:
+        shards = set(shards)
+        self._op_count += 1
+        if len(shards) > 1:
+            self._multi_shard_ops += 1
+            cost = self.base_latency_ms + self.two_phase_surcharge_ms
+        else:
+            cost = self.base_latency_ms
+        for shard in shards:
+            self._busy_ms[shard] += cost
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+
+    def get(self, partition_key: Any, key: Any) -> Any:
+        """Read one key (a single-shard transaction)."""
+        shard = self.shard_of(partition_key)
+        self._charge([shard])
+        return self._shards[shard].get((partition_key, key))
+
+    def put(self, partition_key: Any, key: Any, value: Any) -> None:
+        """Write one key (a single-shard transaction)."""
+        shard = self.shard_of(partition_key)
+        self._charge([shard])
+        self._shards[shard][(partition_key, key)] = value
+
+    def delete(self, partition_key: Any, key: Any) -> bool:
+        shard = self.shard_of(partition_key)
+        self._charge([shard])
+        return self._shards[shard].pop((partition_key, key), None) is not None
+
+    def scan(self, partition_key: Any) -> List[Tuple[Any, Any]]:
+        """All (key, value) pairs under one partition (single-shard)."""
+        shard = self.shard_of(partition_key)
+        self._charge([shard])
+        return [
+            (key, value)
+            for (pk, key), value in self._shards[shard].items()
+            if pk == partition_key
+        ]
+
+    def transact(self, writes: List[Tuple[Any, Any, Any]], deletes: Optional[List[Tuple[Any, Any]]] = None) -> None:
+        """Atomically apply writes/deletes that may span shards (2PC cost)."""
+        deletes = deletes or []
+        shards = {self.shard_of(pk) for pk, _, _ in writes} | {
+            self.shard_of(pk) for pk, _ in deletes
+        }
+        if not shards:
+            return
+        self._charge(shards)
+        for pk, key, value in writes:
+            self._shards[self.shard_of(pk)][(pk, key)] = value
+        for pk, key in deletes:
+            self._shards[self.shard_of(pk)].pop((pk, key), None)
+
+    # ------------------------------------------------------------------
+    # Simulated performance accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def op_count(self) -> int:
+        return self._op_count
+
+    @property
+    def multi_shard_fraction(self) -> float:
+        if self._op_count == 0:
+            return 0.0
+        return self._multi_shard_ops / self._op_count
+
+    def makespan_ms(self) -> float:
+        """Simulated wall-clock time: the busiest shard's accumulated work."""
+        return max(self._busy_ms)
+
+    def total_work_ms(self) -> float:
+        return sum(self._busy_ms)
+
+    def ops_per_second(self) -> float:
+        """Simulated throughput of the workload executed so far."""
+        makespan = self.makespan_ms()
+        if makespan == 0.0:
+            return 0.0
+        return self._op_count / (makespan / 1000.0)
+
+    def reset_accounting(self) -> None:
+        self._busy_ms = [0.0] * self.shard_count
+        self._op_count = 0
+        self._multi_shard_ops = 0
+
+    def storage_entries(self) -> int:
+        return sum(len(s) for s in self._shards)
+
+
+class SingleLeaderStore(ShardedKVStore):
+    """The HDFS-namenode baseline: one resource serialises every transaction."""
+
+    def __init__(self, base_latency_ms: float = 0.05):
+        super().__init__(shard_count=1, base_latency_ms=base_latency_ms,
+                         two_phase_surcharge_ms=0.0)

@@ -1,0 +1,31 @@
+"""The single-leader baseline filesystem ("classic HDFS namenode").
+
+Identical API and semantics to :class:`~repro.hopsfs.filesystem.HopsFS`, but
+all metadata transactions serialise through a single resource, so simulated
+throughput is flat regardless of offered parallelism. This is the baseline
+arm of experiment E1.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hopsfs.blocks import BlockManager
+from repro.hopsfs.filesystem import DEFAULT_SMALL_FILE_THRESHOLD, HopsFS
+from repro.hopsfs.kvstore import SingleLeaderStore
+
+
+class SingleLeaderFS(HopsFS):
+    """HopsFS semantics on a one-shard, serialised metadata store."""
+
+    def __init__(
+        self,
+        base_latency_ms: float = 0.05,
+        blocks: Optional[BlockManager] = None,
+        small_file_threshold: int = DEFAULT_SMALL_FILE_THRESHOLD,
+    ):
+        super().__init__(
+            store=SingleLeaderStore(base_latency_ms=base_latency_ms),
+            blocks=blocks,
+            small_file_threshold=small_file_threshold,
+        )

@@ -1,0 +1,95 @@
+"""Metadata workload generator for the E1 benchmark.
+
+Generates the op mix used in the HopsFS paper's evaluation (reads dominate:
+stat/ls heavy, with create/delete churn) against any filesystem exposing the
+:class:`~repro.hopsfs.filesystem.HopsFS` API, and reports simulated
+throughput.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import StorageError
+from repro.hopsfs.filesystem import HopsFS
+
+#: Default op mix, loosely after the Spotify workload in the HopsFS paper.
+DEFAULT_MIX = {
+    "stat": 0.55,
+    "listdir": 0.15,
+    "create": 0.15,
+    "read": 0.10,
+    "delete": 0.05,
+}
+
+
+@dataclass
+class WorkloadResult:
+    """Outcome of one workload run."""
+
+    operations: int
+    makespan_ms: float
+    ops_per_second: float
+    multi_shard_fraction: float
+
+
+def run_metadata_workload(
+    fs: HopsFS,
+    operations: int = 10_000,
+    directories: int = 64,
+    mix: Dict[str, float] = None,
+    seed: int = 0,
+    payload_bytes: int = 1024,
+) -> WorkloadResult:
+    """Drive *operations* metadata ops and return simulated throughput."""
+    mix = dict(mix or DEFAULT_MIX)
+    total = sum(mix.values())
+    mix = {op: weight / total for op, weight in mix.items()}
+    rng = random.Random(seed)
+
+    for d in range(directories):
+        fs.makedirs(f"/data/dir{d:04d}")
+
+    created = []
+    # Seed some files so stat/read/delete have targets.
+    for i in range(directories):
+        path = f"/data/dir{i % directories:04d}/seed{i:06d}"
+        fs.create(path, b"x" * payload_bytes)
+        created.append(path)
+
+    fs.store.reset_accounting()
+    ops = list(mix.keys())
+    weights = [mix[op] for op in ops]
+    counter = 0
+    for _ in range(operations):
+        op = rng.choices(ops, weights)[0]
+        directory = f"/data/dir{rng.randrange(directories):04d}"
+        if op == "create":
+            counter += 1
+            path = f"{directory}/f{counter:08d}"
+            fs.create(path, b"x" * payload_bytes)
+            created.append(path)
+        elif op == "stat":
+            fs.stat(rng.choice(created))
+        elif op == "read":
+            fs.read(rng.choice(created))
+        elif op == "listdir":
+            fs.listdir(directory)
+        elif op == "delete":
+            if len(created) > 1:
+                target = created.pop(rng.randrange(len(created)))
+                try:
+                    fs.delete(target)
+                except StorageError:
+                    pass
+        else:
+            raise StorageError(f"unknown op {op!r}")
+
+    return WorkloadResult(
+        operations=fs.store.op_count,
+        makespan_ms=fs.store.makespan_ms(),
+        ops_per_second=fs.store.ops_per_second(),
+        multi_shard_fraction=fs.store.multi_shard_fraction,
+    )

@@ -1,0 +1,40 @@
+"""Link discovery for big geospatial RDF data (Challenge C3).
+
+Re-implements the algorithmic core of the JedAI/Silk line of work the paper
+extends: "the JedAI linking framework will be extended to enable the scalable
+discovery of geospatial relations in big geospatial RDF data sources".
+
+Pipeline: **blocking** (equigrid cells drastically cut the candidate-pair
+space) → **meta-blocking** (prune low-evidence pairs from the block graph,
+per Papadakis et al. [19]) → **relation discovery** (evaluate exact spatial
+predicates on surviving pairs and emit link triples). A brute-force
+all-pairs baseline anchors experiment E7.
+"""
+
+from repro.interlinking.blocking import SpatialEntity, brute_force_pairs, spatial_blocking
+from repro.interlinking.metablocking import meta_blocking
+from repro.interlinking.linkage import (
+    Link,
+    LinkageResult,
+    discover_links,
+    evaluate_links,
+)
+from repro.interlinking.temporal_linkage import (
+    TemporalEntity,
+    discover_spatiotemporal_links,
+    discover_temporal_links,
+)
+
+__all__ = [
+    "Link",
+    "LinkageResult",
+    "SpatialEntity",
+    "TemporalEntity",
+    "brute_force_pairs",
+    "discover_links",
+    "discover_spatiotemporal_links",
+    "discover_temporal_links",
+    "evaluate_links",
+    "meta_blocking",
+    "spatial_blocking",
+]

@@ -1,0 +1,52 @@
+"""Meta-blocking: pruning the candidate-pair block graph.
+
+After blocking, each candidate pair is a weighted edge in the block graph
+(weight = evidence, here the number of shared cells normalised by the pair's
+combined cell footprint — a Jaccard-style scheme). Weight-edge pruning keeps
+edges above a fraction of the per-node maximum weight, the WEP/WNP family
+from the multi-core meta-blocking paper [19].
+
+For spatial blocking the shared-cell count correlates with bbox overlap, so
+pruning drops pairs that merely graze each other in one cell — at a small,
+measurable recall cost (experiment E7 reports it).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+from repro.errors import ReproError
+from repro.interlinking.blocking import CandidatePair
+
+
+def meta_blocking(
+    candidate_pairs: List[CandidatePair],
+    common_blocks: Dict[CandidatePair, int],
+    keep_fraction: float = 0.5,
+) -> List[CandidatePair]:
+    """Prune pairs whose evidence is below ``keep_fraction`` of the best
+    evidence seen by *both* endpoints (weighted node pruning).
+
+    ``keep_fraction=0`` keeps everything; ``1.0`` keeps only each node's
+    strongest edges.
+    """
+    if not 0.0 <= keep_fraction <= 1.0:
+        raise ReproError("keep_fraction must be in [0, 1]")
+    if not candidate_pairs:
+        return []
+
+    best_source: Dict[int, int] = defaultdict(int)
+    best_target: Dict[int, int] = defaultdict(int)
+    for (i, j) in candidate_pairs:
+        weight = common_blocks.get((i, j), 1)
+        best_source[i] = max(best_source[i], weight)
+        best_target[j] = max(best_target[j], weight)
+
+    kept: List[CandidatePair] = []
+    for (i, j) in candidate_pairs:
+        weight = common_blocks.get((i, j), 1)
+        threshold = keep_fraction * min(best_source[i], best_target[j])
+        if weight >= threshold:
+            kept.append((i, j))
+    return kept

@@ -1,0 +1,143 @@
+"""Model-architecture search (the second HOPS "parallel experiments" service).
+
+The paper: HOPS "provides its own libraries for parallel deep learning
+experiments (hyperparameter search and model-architecture search)".
+This module adds the architecture half: a declarative CNN space
+(:class:`ArchitectureSpec`), a builder, and a random search over the space
+reusing the trial machinery of :mod:`repro.ml.hyperparam`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import MLError
+from repro.ml.hyperparam import SearchResult, TrialResult
+from repro.ml.layers import Conv2D, Dense, Dropout, Flatten, MaxPool2D, ReLU
+from repro.ml.network import Sequential
+
+
+@dataclass(frozen=True)
+class ArchitectureSpec:
+    """A CNN architecture: conv filter counts (one pooling per block),
+    a dense head width, and optional dropout."""
+
+    conv_filters: Tuple[int, ...] = (16, 32)
+    dense_width: int = 64
+    dropout: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.conv_filters:
+            raise MLError("architecture needs at least one conv block")
+        if any(f < 1 for f in self.conv_filters):
+            raise MLError("conv filter counts must be positive")
+        if self.dense_width < 1:
+            raise MLError("dense_width must be positive")
+        if not 0.0 <= self.dropout < 1.0:
+            raise MLError("dropout must be in [0, 1)")
+
+    def required_patch_divisor(self) -> int:
+        return 2 ** len(self.conv_filters)
+
+    def parameter_estimate(self, bands: int, patch_size: int, classes: int) -> int:
+        """Rough parameter count, for cost-aware search."""
+        total = 0
+        in_channels = bands
+        for filters in self.conv_filters:
+            total += in_channels * filters * 9 + filters
+            in_channels = filters
+        reduced = patch_size // self.required_patch_divisor()
+        total += in_channels * reduced * reduced * self.dense_width + self.dense_width
+        total += self.dense_width * classes + classes
+        return total
+
+
+def build_architecture(
+    spec: ArchitectureSpec,
+    bands: int,
+    patch_size: int,
+    classes: int,
+    seed: int = 0,
+) -> Sequential:
+    """Instantiate the CNN a spec describes."""
+    divisor = spec.required_patch_divisor()
+    if patch_size % divisor != 0 or patch_size // divisor < 1:
+        raise MLError(
+            f"patch size {patch_size} incompatible with "
+            f"{len(spec.conv_filters)} pooling stages"
+        )
+    layers: List = []
+    in_channels = bands
+    for index, filters in enumerate(spec.conv_filters):
+        layers.append(
+            Conv2D(in_channels, filters, kernel_size=3, padding="same",
+                   seed=seed + index)
+        )
+        layers.append(ReLU())
+        layers.append(MaxPool2D(2))
+        in_channels = filters
+    layers.append(Flatten())
+    reduced = patch_size // divisor
+    layers.append(
+        Dense(in_channels * reduced * reduced, spec.dense_width, seed=seed + 100)
+    )
+    layers.append(ReLU())
+    if spec.dropout > 0:
+        layers.append(Dropout(spec.dropout, seed=seed + 200))
+    layers.append(Dense(spec.dense_width, classes, seed=seed + 101))
+    return Sequential(layers)
+
+
+def random_architecture(
+    rng: random.Random,
+    max_blocks: int = 3,
+    filter_choices: Sequence[int] = (8, 16, 32, 64),
+    dense_choices: Sequence[int] = (32, 64, 128),
+    dropout_choices: Sequence[float] = (0.0, 0.25, 0.5),
+) -> ArchitectureSpec:
+    """Sample one spec from the default search space."""
+    blocks = rng.randint(1, max_blocks)
+    return ArchitectureSpec(
+        conv_filters=tuple(rng.choice(list(filter_choices)) for _ in range(blocks)),
+        dense_width=rng.choice(list(dense_choices)),
+        dropout=rng.choice(list(dropout_choices)),
+    )
+
+
+def architecture_search(
+    objective: Callable[[ArchitectureSpec], Tuple[float, float]],
+    trials: int = 8,
+    seed: int = 0,
+    parallel_slots: int = 4,
+    max_blocks: int = 3,
+) -> SearchResult:
+    """Random architecture search; *objective* maps a spec to (score, cost).
+
+    Duplicate specs are evaluated once (the sampler may repeat small spaces).
+    """
+    if trials < 1:
+        raise MLError("trials must be >= 1")
+    rng = random.Random(seed)
+    results: List[TrialResult] = []
+    seen = {}
+    for _ in range(trials):
+        spec = random_architecture(rng, max_blocks=max_blocks)
+        key = (spec.conv_filters, spec.dense_width, spec.dropout)
+        if key in seen:
+            results.append(seen[key])
+            continue
+        score, cost = objective(spec)
+        trial = TrialResult(
+            config=(
+                ("conv_filters", spec.conv_filters),
+                ("dense_width", spec.dense_width),
+                ("dropout", spec.dropout),
+            ),
+            score=score,
+            cost_s=cost,
+        )
+        seen[key] = trial
+        results.append(trial)
+    return SearchResult(results, parallel_slots)

@@ -1,0 +1,207 @@
+"""Data-parallel distributed training with simulated communication.
+
+Gradient math is **exact**: each global batch is split across W virtual
+workers, per-shard gradients are computed with real backprop, and the
+weighted average is applied — bitwise the same update a single worker doing
+the whole batch would make (the equivalence property tested in the suite).
+What is *simulated* is time: per-step compute scales with the shard size and
+each synchronisation pays the collective's cost from
+:mod:`repro.cluster.comm`.
+
+Strategies: ``allreduce`` (ring), ``parameter_server``, ``broadcast``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import MLError
+from repro.cluster.comm import (
+    NetworkModel,
+    broadcast_time_s,
+    parameter_server_time_s,
+    ring_allreduce_time_s,
+)
+from repro.ml.losses import softmax_cross_entropy
+from repro.ml.network import Sequential
+from repro.ml.optimizers import Optimizer, WarmupLinearScalingSchedule
+
+STRATEGIES = ("allreduce", "parameter_server", "broadcast")
+
+
+@dataclass
+class TrainingReport:
+    """Per-run accounting: losses plus the simulated time breakdown."""
+
+    steps: int = 0
+    losses: List[float] = field(default_factory=list)
+    compute_time_s: float = 0.0
+    comm_time_s: float = 0.0
+
+    @property
+    def total_time_s(self) -> float:
+        return self.compute_time_s + self.comm_time_s
+
+    @property
+    def final_loss(self) -> float:
+        if not self.losses:
+            raise MLError("no steps recorded")
+        return self.losses[-1]
+
+    def throughput(self, examples_per_step: int) -> float:
+        """Simulated examples/second."""
+        if self.total_time_s == 0.0:
+            return 0.0
+        return self.steps * examples_per_step / self.total_time_s
+
+
+class DataParallelTrainer:
+    """Synchronous data-parallel SGD over virtual workers."""
+
+    def __init__(
+        self,
+        model: Sequential,
+        optimizer: Optimizer,
+        workers: int = 1,
+        strategy: str = "allreduce",
+        servers: int = 1,
+        network: NetworkModel = NetworkModel(),
+        example_cost_s: float = 1e-4,
+        schedule: Optional[WarmupLinearScalingSchedule] = None,
+        loss_fn: Callable = softmax_cross_entropy,
+    ):
+        if workers < 1:
+            raise MLError(f"workers must be >= 1, got {workers}")
+        if strategy not in STRATEGIES:
+            raise MLError(f"unknown strategy {strategy!r}; pick from {STRATEGIES}")
+        if example_cost_s < 0:
+            raise MLError("example_cost_s must be non-negative")
+        self.model = model
+        self.optimizer = optimizer
+        self.workers = workers
+        self.strategy = strategy
+        self.servers = servers
+        self.network = network
+        self.example_cost_s = example_cost_s
+        self.schedule = schedule
+        self.loss_fn = loss_fn
+        self.report = TrainingReport()
+
+    # ------------------------------------------------------------------
+    # One synchronous step
+    # ------------------------------------------------------------------
+
+    def train_step(self, x: np.ndarray, y: np.ndarray) -> float:
+        """One synchronous data-parallel step over the global batch (x, y)."""
+        n = x.shape[0]
+        if n < self.workers:
+            raise MLError(
+                f"global batch of {n} cannot be split across {self.workers} workers"
+            )
+        if self.schedule is not None:
+            self.schedule.apply(self.optimizer, self.report.steps)
+
+        shards = np.array_split(np.arange(n), self.workers)
+        self.model.zero_grad()
+        parameters = self.model.parameters()
+        accumulated = [np.zeros_like(p.value) for p in parameters]
+        total_loss = 0.0
+        largest_shard = 0
+
+        for shard in shards:
+            if shard.size == 0:
+                continue
+            largest_shard = max(largest_shard, shard.size)
+            self.model.zero_grad()
+            logits = self.model.forward(x[shard], training=True)
+            loss, dlogits = self.loss_fn(logits, y[shard])
+            self.model.backward(dlogits)
+            weight = shard.size / n
+            total_loss += loss * weight
+            for accumulator, parameter in zip(accumulated, parameters):
+                accumulator += parameter.grad * weight
+
+        # Install the averaged gradient and step once — exactly the update a
+        # single worker with the full batch would apply.
+        for parameter, accumulator in zip(parameters, accumulated):
+            parameter.grad[...] = accumulator
+        self.optimizer.step()
+
+        # Simulated time: workers compute their shard in parallel, then sync.
+        self.report.compute_time_s += largest_shard * self.example_cost_s
+        self.report.comm_time_s += self.sync_time_s()
+        self.report.steps += 1
+        self.report.losses.append(total_loss)
+        return total_loss
+
+    def sync_time_s(self) -> float:
+        """Cost of one gradient synchronisation for the current model size."""
+        message = self.model.parameter_bytes
+        if self.strategy == "allreduce":
+            return ring_allreduce_time_s(self.workers, message, self.network)
+        if self.strategy == "parameter_server":
+            return parameter_server_time_s(
+                self.workers, message, self.servers, self.network
+            )
+        return broadcast_time_s(self.workers, message, self.network)
+
+    # ------------------------------------------------------------------
+    # Epoch driver
+    # ------------------------------------------------------------------
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        epochs: int = 1,
+        batch_size: int = 32,
+        shuffle_seed: int = 0,
+    ) -> TrainingReport:
+        """Train for *epochs* over (x, y) with a fixed global batch size."""
+        if epochs < 1:
+            raise MLError("epochs must be >= 1")
+        n = x.shape[0]
+        if batch_size < self.workers:
+            raise MLError("batch_size must be >= workers")
+        rng = np.random.default_rng(shuffle_seed)
+        for _ in range(epochs):
+            order = rng.permutation(n)
+            for start in range(0, n - self.workers + 1, batch_size):
+                batch = order[start : start + batch_size]
+                if batch.size < self.workers:
+                    continue
+                self.train_step(x[batch], y[batch])
+        return self.report
+
+
+def time_to_accuracy(
+    make_model: Callable[[], Sequential],
+    make_trainer: Callable[[Sequential], DataParallelTrainer],
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    x_val: np.ndarray,
+    y_val: np.ndarray,
+    target_accuracy: float,
+    batch_size: int = 64,
+    max_epochs: int = 50,
+    eval_every: int = 1,
+) -> Tuple[Optional[float], DataParallelTrainer]:
+    """Simulated seconds to reach *target_accuracy* on validation data.
+
+    Returns (time or None if never reached, the trainer for inspection).
+    """
+    from repro.ml.metrics import accuracy as accuracy_fn
+
+    model = make_model()
+    trainer = make_trainer(model)
+    for epoch in range(max_epochs):
+        trainer.fit(x_train, y_train, epochs=1, batch_size=batch_size,
+                    shuffle_seed=epoch)
+        if (epoch + 1) % eval_every == 0:
+            score = accuracy_fn(model.predict(x_val), y_val)
+            if score >= target_accuracy:
+                return trainer.report.total_time_s, trainer
+    return None, trainer

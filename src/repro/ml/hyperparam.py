@@ -1,0 +1,106 @@
+"""Hyperparameter search: the HOPS "parallel experiments" service.
+
+The paper: "HOPS also provides its own libraries for parallel deep learning
+experiments (hyperparameter search and model-architecture search)." Trials
+are independent, so on a cluster they run concurrently — simulated wall-clock
+is the longest trial (given enough slots), not the sum.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+from repro.errors import MLError
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """One evaluated configuration."""
+
+    config: Tuple[Tuple[str, Any], ...]
+    score: float
+    cost_s: float
+
+    @property
+    def config_dict(self) -> Dict[str, Any]:
+        return dict(self.config)
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a search: all trials plus parallel/serial wall-clock."""
+
+    trials: List[TrialResult]
+    parallel_slots: int
+
+    @property
+    def best(self) -> TrialResult:
+        if not self.trials:
+            raise MLError("search produced no trials")
+        return max(self.trials, key=lambda t: t.score)
+
+    @property
+    def serial_time_s(self) -> float:
+        return sum(t.cost_s for t in self.trials)
+
+    @property
+    def parallel_time_s(self) -> float:
+        """Greedy longest-processing-time makespan on `parallel_slots` slots."""
+        if not self.trials:
+            return 0.0
+        slots = [0.0] * max(1, self.parallel_slots)
+        for cost in sorted((t.cost_s for t in self.trials), reverse=True):
+            slots[slots.index(min(slots))] += cost
+        return max(slots)
+
+    @property
+    def speedup(self) -> float:
+        parallel = self.parallel_time_s
+        if parallel == 0.0:
+            return 1.0
+        return self.serial_time_s / parallel
+
+
+Objective = Callable[[Dict[str, Any]], Tuple[float, float]]
+"""An objective maps a config to (score, simulated cost in seconds)."""
+
+
+def grid_search(
+    objective: Objective,
+    space: Dict[str, Sequence[Any]],
+    parallel_slots: int = 4,
+) -> SearchResult:
+    """Evaluate the full Cartesian product of *space*."""
+    if not space:
+        raise MLError("empty search space")
+    names = sorted(space.keys())
+    trials: List[TrialResult] = []
+    for values in itertools.product(*(space[name] for name in names)):
+        config = dict(zip(names, values))
+        score, cost = objective(config)
+        trials.append(TrialResult(tuple(sorted(config.items())), score, cost))
+    return SearchResult(trials, parallel_slots)
+
+
+def random_search(
+    objective: Objective,
+    space: Dict[str, Callable[[random.Random], Any]],
+    trials: int = 10,
+    parallel_slots: int = 4,
+    seed: int = 0,
+) -> SearchResult:
+    """Sample *trials* configurations; each space entry draws from an RNG."""
+    if not space:
+        raise MLError("empty search space")
+    if trials < 1:
+        raise MLError("trials must be >= 1")
+    rng = random.Random(seed)
+    results: List[TrialResult] = []
+    for _ in range(trials):
+        config = {name: sampler(rng) for name, sampler in sorted(space.items())}
+        score, cost = objective(config)
+        results.append(TrialResult(tuple(sorted(config.items())), score, cost))
+    return SearchResult(results, parallel_slots)

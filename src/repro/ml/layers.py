@@ -1,0 +1,313 @@
+"""Neural network layers with analytic gradients.
+
+Every layer implements ``forward(x, training)`` and ``backward(dout)``;
+trainable state lives in :class:`Parameter` objects (value + accumulated
+gradient) that optimizers consume. Gradients are exact — the test suite
+checks each layer against central-difference numeric gradients.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.errors import MLError
+from repro.ml.initializers import he_normal, xavier_uniform, zeros
+
+
+class Parameter:
+    """A trainable array and its gradient."""
+
+    def __init__(self, value: np.ndarray, name: str = "param"):
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    @property
+    def size(self) -> int:
+        return self.value.size
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+
+class Layer:
+    """Base layer."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def parameters(self) -> List[Parameter]:
+        return []
+
+
+class Dense(Layer):
+    """Fully connected layer: ``y = x @ W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, seed: int = 0):
+        if in_features < 1 or out_features < 1:
+            raise MLError("Dense features must be positive")
+        rng = np.random.default_rng(seed)
+        self.weight = Parameter(xavier_uniform((in_features, out_features), rng), "dense.weight")
+        self.bias = Parameter(zeros((out_features,)), "dense.bias")
+        self._x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.weight.value.shape[0]:
+            raise MLError(
+                f"Dense expects (N, {self.weight.value.shape[0]}), got {x.shape}"
+            )
+        self._x = x
+        return x @ self.weight.value + self.bias.value
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise MLError("backward before forward")
+        self.weight.grad += self._x.T @ dout
+        self.bias.grad += dout.sum(axis=0)
+        return dout @ self.weight.value.T
+
+    def parameters(self) -> List[Parameter]:
+        return [self.weight, self.bias]
+
+
+class Conv2D(Layer):
+    """2-D convolution (cross-correlation), stride 1, 'same' or 'valid' padding."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 3,
+        padding: str = "same",
+        seed: int = 0,
+    ):
+        if kernel_size < 1:
+            raise MLError("kernel_size must be >= 1")
+        if padding not in ("same", "valid"):
+            raise MLError(f"unknown padding {padding!r}")
+        if padding == "same" and kernel_size % 2 == 0:
+            raise MLError("'same' padding requires an odd kernel size")
+        rng = np.random.default_rng(seed)
+        shape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.weight = Parameter(he_normal(shape, rng), "conv.weight")
+        self.bias = Parameter(zeros((out_channels,)), "conv.bias")
+        self.kernel_size = kernel_size
+        self.padding = padding
+        self._windows: Optional[np.ndarray] = None
+        self._x_shape: Optional[Tuple[int, ...]] = None
+
+    def _pad(self) -> int:
+        return (self.kernel_size - 1) // 2 if self.padding == "same" else 0
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.weight.value.shape[1]:
+            raise MLError(
+                f"Conv2D expects (N, {self.weight.value.shape[1]}, H, W), got {x.shape}"
+            )
+        pad = self._pad()
+        if pad:
+            x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+        if x.shape[2] < self.kernel_size or x.shape[3] < self.kernel_size:
+            raise MLError("input smaller than kernel")
+        self._x_shape = x.shape
+        # (N, C, OH, OW, KH, KW)
+        windows = sliding_window_view(x, (self.kernel_size, self.kernel_size), axis=(2, 3))
+        self._windows = windows
+        out = np.einsum("nchwkl,fckl->nfhw", windows, self.weight.value, optimize=True)
+        return out + self.bias.value[np.newaxis, :, np.newaxis, np.newaxis]
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._windows is None or self._x_shape is None:
+            raise MLError("backward before forward")
+        self.weight.grad += np.einsum(
+            "nchwkl,nfhw->fckl", self._windows, dout, optimize=True
+        )
+        self.bias.grad += dout.sum(axis=(0, 2, 3))
+
+        # dx: scatter each kernel tap's contribution back onto the padded input.
+        n, channels, height, width = self._x_shape
+        dx_padded = np.zeros((n, channels, height, width))
+        out_h, out_w = dout.shape[2], dout.shape[3]
+        for kh in range(self.kernel_size):
+            for kw in range(self.kernel_size):
+                # contribution: dout (n,f,oh,ow) x W[f,c,kh,kw] -> (n,c,oh,ow)
+                contribution = np.einsum(
+                    "nfhw,fc->nchw", dout, self.weight.value[:, :, kh, kw], optimize=True
+                )
+                dx_padded[:, :, kh : kh + out_h, kw : kw + out_w] += contribution
+        pad = self._pad()
+        if pad:
+            return dx_padded[:, :, pad:-pad, pad:-pad]
+        return dx_padded
+
+    def parameters(self) -> List[Parameter]:
+        return [self.weight, self.bias]
+
+
+class MaxPool2D(Layer):
+    """Non-overlapping max pooling (kernel = stride). Requires divisible dims."""
+
+    def __init__(self, pool_size: int = 2):
+        if pool_size < 1:
+            raise MLError("pool_size must be >= 1")
+        self.pool_size = pool_size
+        self._mask: Optional[np.ndarray] = None
+        self._in_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        k = self.pool_size
+        if x.ndim != 4:
+            raise MLError(f"MaxPool2D expects 4-D input, got {x.shape}")
+        n, c, h, w = x.shape
+        if h % k or w % k:
+            raise MLError(f"input {h}x{w} not divisible by pool size {k}")
+        self._in_shape = x.shape
+        blocks = x.reshape(n, c, h // k, k, w // k, k)
+        # Reorder to (n, c, h//k, w//k, k, k) so each block is contiguous.
+        blocks = blocks.transpose(0, 1, 2, 4, 3, 5)
+        out = blocks.max(axis=(4, 5))
+        # Mask marking the *first* max within each block (tie-broken), so the
+        # backward pass routes each gradient to exactly one input.
+        flat = (blocks == out[..., np.newaxis, np.newaxis]).reshape(
+            n, c, h // k, w // k, k * k
+        )
+        first = np.zeros_like(flat, dtype=np.float64)
+        idx = flat.argmax(axis=-1)
+        np.put_along_axis(first, idx[..., np.newaxis], 1.0, axis=-1)
+        self._mask = first.reshape(n, c, h // k, w // k, k, k)
+        return out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._mask is None or self._in_shape is None:
+            raise MLError("backward before forward")
+        k = self.pool_size
+        n, c, h, w = self._in_shape
+        # mask is (n, c, h//k, w//k, k, k); broadcast dout over the block dims.
+        grads = self._mask * dout[:, :, :, :, np.newaxis, np.newaxis]
+        # Reassemble to (n, c, h, w): blocks laid out row-major.
+        grads = grads.transpose(0, 1, 2, 4, 3, 5).reshape(n, c, h, w)
+        return grads
+
+
+class Flatten(Layer):
+    """Flatten all but the batch dimension."""
+
+    def __init__(self):
+        self._shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise MLError("backward before forward")
+        return dout.reshape(self._shape)
+
+
+class ReLU(Layer):
+    def __init__(self):
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise MLError("backward before forward")
+        return dout * self._mask
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity at inference."""
+
+    def __init__(self, rate: float = 0.5, seed: int = 0):
+        if not 0.0 <= rate < 1.0:
+            raise MLError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = np.random.default_rng(seed)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return dout
+        return dout * self._mask
+
+
+class BatchNorm(Layer):
+    """Batch normalization over the batch (and spatial dims for 4-D input)."""
+
+    def __init__(self, features: int, momentum: float = 0.9, eps: float = 1e-5):
+        if features < 1:
+            raise MLError("features must be positive")
+        self.gamma = Parameter(np.ones(features), "bn.gamma")
+        self.beta = Parameter(np.zeros(features), "bn.beta")
+        self.momentum = momentum
+        self.eps = eps
+        self.running_mean = np.zeros(features)
+        self.running_var = np.ones(features)
+        self._cache = None
+
+    def _axes(self, x: np.ndarray) -> Tuple[int, ...]:
+        if x.ndim == 2:
+            return (0,)
+        if x.ndim == 4:
+            return (0, 2, 3)
+        raise MLError(f"BatchNorm expects 2-D or 4-D input, got {x.shape}")
+
+    def _reshape(self, stat: np.ndarray, ndim: int) -> np.ndarray:
+        if ndim == 2:
+            return stat
+        return stat[np.newaxis, :, np.newaxis, np.newaxis]
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        axes = self._axes(x)
+        if training:
+            mean = x.mean(axis=axes)
+            var = x.var(axis=axes)
+            self.running_mean = self.momentum * self.running_mean + (1 - self.momentum) * mean
+            self.running_var = self.momentum * self.running_var + (1 - self.momentum) * var
+        else:
+            mean, var = self.running_mean, self.running_var
+        mean_b = self._reshape(mean, x.ndim)
+        var_b = self._reshape(var, x.ndim)
+        x_hat = (x - mean_b) / np.sqrt(var_b + self.eps)
+        self._cache = (x_hat, var_b, axes, x.ndim)
+        return self._reshape(self.gamma.value, x.ndim) * x_hat + self._reshape(
+            self.beta.value, x.ndim
+        )
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise MLError("backward before forward")
+        x_hat, var_b, axes, ndim = self._cache
+        count = np.prod([dout.shape[a] for a in axes])
+        self.gamma.grad += (dout * x_hat).sum(axis=axes)
+        self.beta.grad += dout.sum(axis=axes)
+        gamma_b = self._reshape(self.gamma.value, ndim)
+        dxhat = dout * gamma_b
+        # Standard batchnorm backward (training-mode statistics).
+        dx = (
+            dxhat
+            - dxhat.mean(axis=axes, keepdims=True)
+            - x_hat * (dxhat * x_hat).mean(axis=axes, keepdims=True)
+        ) / np.sqrt(var_b + self.eps)
+        return dx
+
+    def parameters(self) -> List[Parameter]:
+        return [self.gamma, self.beta]

@@ -1,0 +1,57 @@
+"""Loss functions: value and gradient in one call."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import MLError
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> Tuple[float, np.ndarray]:
+    """Mean softmax cross-entropy over the batch.
+
+    ``logits``: (N, C) raw scores; ``labels``: (N,) integer class ids.
+    Returns (loss, dlogits). Numerically stable via the log-sum-exp shift.
+    """
+    if logits.ndim != 2:
+        raise MLError(f"logits must be (N, C), got {logits.shape}")
+    n, c = logits.shape
+    labels = np.asarray(labels)
+    if labels.shape != (n,):
+        raise MLError(f"labels must be ({n},), got {labels.shape}")
+    if labels.min() < 0 or labels.max() >= c:
+        raise MLError("label out of range")
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    probs = exp / exp.sum(axis=1, keepdims=True)
+    log_likelihood = -np.log(probs[np.arange(n), labels] + 1e-300)
+    loss = float(log_likelihood.mean())
+    dlogits = probs.copy()
+    dlogits[np.arange(n), labels] -= 1.0
+    dlogits /= n
+    return loss, dlogits
+
+
+def mse_loss(predictions: np.ndarray, targets: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Mean squared error; returns (loss, dpredictions)."""
+    predictions = np.asarray(predictions, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    if predictions.shape != targets.shape:
+        raise MLError(
+            f"shape mismatch: {predictions.shape} vs {targets.shape}"
+        )
+    diff = predictions - targets
+    loss = float((diff**2).mean())
+    grad = 2.0 * diff / diff.size
+    return loss, grad
+
+
+def softmax_probabilities(logits: np.ndarray) -> np.ndarray:
+    """Softmax over the last axis (stable)."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)

@@ -1,0 +1,66 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import MLError
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    predictions = np.asarray(predictions).ravel()
+    labels = np.asarray(labels).ravel()
+    if predictions.shape != labels.shape:
+        raise MLError(f"shape mismatch: {predictions.shape} vs {labels.shape}")
+    if predictions.size == 0:
+        raise MLError("accuracy of empty arrays")
+    return float((predictions == labels).mean())
+
+
+def confusion_matrix(
+    predictions: np.ndarray, labels: np.ndarray, num_classes: Optional[int] = None
+) -> np.ndarray:
+    """Rows = true class, columns = predicted class."""
+    predictions = np.asarray(predictions).ravel()
+    labels = np.asarray(labels).ravel()
+    if predictions.shape != labels.shape:
+        raise MLError(f"shape mismatch: {predictions.shape} vs {labels.shape}")
+    if predictions.size == 0:
+        raise MLError("confusion matrix of empty arrays")
+    if num_classes is None:
+        num_classes = int(max(predictions.max(), labels.max())) + 1
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (labels, predictions), 1)
+    return matrix
+
+
+def f1_scores(predictions: np.ndarray, labels: np.ndarray) -> Dict[int, float]:
+    """Per-class F1. Classes absent from both arrays are omitted."""
+    matrix = confusion_matrix(predictions, labels)
+    scores: Dict[int, float] = {}
+    for class_id in range(matrix.shape[0]):
+        tp = matrix[class_id, class_id]
+        fp = matrix[:, class_id].sum() - tp
+        fn = matrix[class_id, :].sum() - tp
+        if tp + fp + fn == 0:
+            continue
+        denominator = 2 * tp + fp + fn
+        scores[class_id] = float(2 * tp / denominator) if denominator else 0.0
+    return scores
+
+
+def mean_iou(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Mean intersection-over-union across classes present in the data."""
+    matrix = confusion_matrix(predictions, labels)
+    ious = []
+    for class_id in range(matrix.shape[0]):
+        tp = matrix[class_id, class_id]
+        union = matrix[class_id, :].sum() + matrix[:, class_id].sum() - tp
+        if union == 0:
+            continue
+        ious.append(tp / union)
+    if not ious:
+        raise MLError("mean_iou: no classes present")
+    return float(np.mean(ious))

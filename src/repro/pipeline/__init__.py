@@ -1,0 +1,9 @@
+"""End-to-end ExtremeEarth pipeline orchestration."""
+
+from repro.pipeline.extremeearth import (
+    ExtremeEarthPipeline,
+    IngestReport,
+    SceneReport,
+)
+
+__all__ = ["ExtremeEarthPipeline", "IngestReport", "SceneReport"]

@@ -1,0 +1,197 @@
+"""Raster grids: numpy arrays with georeferencing.
+
+A :class:`RasterGrid` couples a ``(bands, rows, cols)`` float array with a
+:class:`GeoTransform` mapping pixel indices to planar map coordinates (the
+local metric frame from :mod:`repro.geometry.crs`). Row 0 is the northern
+edge, consistent with imagery conventions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import RasterError
+from repro.geometry import BoundingBox, Polygon
+
+
+@dataclass(frozen=True)
+class GeoTransform:
+    """Affine pixel->map transform (axis-aligned, square pixels).
+
+    ``origin_x/origin_y`` locate the *top-left corner* of pixel (0, 0);
+    y decreases with rows.
+    """
+
+    origin_x: float
+    origin_y: float
+    pixel_size: float
+
+    def __post_init__(self) -> None:
+        if self.pixel_size <= 0:
+            raise RasterError(f"pixel_size must be positive, got {self.pixel_size}")
+
+    def pixel_to_map(self, row: float, col: float) -> Tuple[float, float]:
+        """Map coordinates of a pixel's *center*."""
+        x = self.origin_x + (col + 0.5) * self.pixel_size
+        y = self.origin_y - (row + 0.5) * self.pixel_size
+        return x, y
+
+    def map_to_pixel(self, x: float, y: float) -> Tuple[int, int]:
+        """(row, col) of the pixel containing map point (x, y)."""
+        col = int(np.floor((x - self.origin_x) / self.pixel_size))
+        row = int(np.floor((self.origin_y - y) / self.pixel_size))
+        return row, col
+
+
+class RasterGrid:
+    """A georeferenced multi-band raster."""
+
+    def __init__(self, data: np.ndarray, transform: GeoTransform):
+        data = np.asarray(data)
+        if data.ndim == 2:
+            data = data[np.newaxis, :, :]
+        if data.ndim != 3:
+            raise RasterError(f"raster data must be 2-D or 3-D, got ndim={data.ndim}")
+        if data.shape[1] == 0 or data.shape[2] == 0:
+            raise RasterError("raster must have positive height and width")
+        self.data = data
+        self.transform = transform
+
+    # ------------------------------------------------------------------
+    # Shape and extent
+    # ------------------------------------------------------------------
+
+    @property
+    def band_count(self) -> int:
+        return self.data.shape[0]
+
+    @property
+    def height(self) -> int:
+        return self.data.shape[1]
+
+    @property
+    def width(self) -> int:
+        return self.data.shape[2]
+
+    @property
+    def shape(self) -> Tuple[int, int, int]:
+        return self.data.shape
+
+    @property
+    def resolution(self) -> float:
+        return self.transform.pixel_size
+
+    @property
+    def bbox(self) -> BoundingBox:
+        size = self.transform.pixel_size
+        return BoundingBox(
+            self.transform.origin_x,
+            self.transform.origin_y - self.height * size,
+            self.transform.origin_x + self.width * size,
+            self.transform.origin_y,
+        )
+
+    @property
+    def footprint(self) -> Polygon:
+        box = self.bbox
+        return Polygon.box(box.min_x, box.min_y, box.max_x, box.max_y)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    def band(self, index: int) -> np.ndarray:
+        if not 0 <= index < self.band_count:
+            raise RasterError(f"band index {index} out of range (0..{self.band_count - 1})")
+        return self.data[index]
+
+    # ------------------------------------------------------------------
+    # Windows and values
+    # ------------------------------------------------------------------
+
+    def window(self, row: int, col: int, height: int, width: int) -> "RasterGrid":
+        """A sub-raster view starting at (row, col)."""
+        if row < 0 or col < 0 or row + height > self.height or col + width > self.width:
+            raise RasterError(
+                f"window ({row},{col},{height},{width}) exceeds raster "
+                f"{self.height}x{self.width}"
+            )
+        size = self.transform.pixel_size
+        transform = GeoTransform(
+            self.transform.origin_x + col * size,
+            self.transform.origin_y - row * size,
+            size,
+        )
+        return RasterGrid(self.data[:, row : row + height, col : col + width], transform)
+
+    def value_at(self, x: float, y: float, band: int = 0) -> float:
+        """Sample the band value at map coordinates (nearest pixel)."""
+        row, col = self.transform.map_to_pixel(x, y)
+        if not (0 <= row < self.height and 0 <= col < self.width):
+            raise RasterError(f"point ({x}, {y}) outside raster extent")
+        return float(self.data[band, row, col])
+
+    def iter_pixel_centers(self) -> Iterator[Tuple[int, int, float, float]]:
+        """Yield (row, col, x, y) for every pixel center."""
+        for row in range(self.height):
+            for col in range(self.width):
+                x, y = self.transform.pixel_to_map(row, col)
+                yield row, col, x, y
+
+    # ------------------------------------------------------------------
+    # Resampling
+    # ------------------------------------------------------------------
+
+    def resample(self, factor: int, method: str = "mean") -> "RasterGrid":
+        """Downsample by an integer *factor* using block aggregation.
+
+        ``method`` is ``mean`` (continuous data) or ``mode`` (class maps).
+        Edge pixels that do not fill a block are dropped.
+        """
+        if factor < 1:
+            raise RasterError("resample factor must be >= 1")
+        if factor == 1:
+            return self
+        new_height = self.height // factor
+        new_width = self.width // factor
+        if new_height == 0 or new_width == 0:
+            raise RasterError(
+                f"factor {factor} too large for raster {self.height}x{self.width}"
+            )
+        cropped = self.data[:, : new_height * factor, : new_width * factor]
+        blocks = cropped.reshape(
+            self.band_count, new_height, factor, new_width, factor
+        )
+        if method == "mean":
+            aggregated = blocks.mean(axis=(2, 4))
+        elif method == "mode":
+            aggregated = np.empty(
+                (self.band_count, new_height, new_width), dtype=self.data.dtype
+            )
+            flat = blocks.transpose(0, 1, 3, 2, 4).reshape(
+                self.band_count, new_height, new_width, factor * factor
+            )
+            for band in range(self.band_count):
+                for row in range(new_height):
+                    for col in range(new_width):
+                        values, counts = np.unique(
+                            flat[band, row, col], return_counts=True
+                        )
+                        aggregated[band, row, col] = values[np.argmax(counts)]
+        else:
+            raise RasterError(f"unknown resample method {method!r}")
+        transform = GeoTransform(
+            self.transform.origin_x,
+            self.transform.origin_y,
+            self.transform.pixel_size * factor,
+        )
+        return RasterGrid(aggregated, transform)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<RasterGrid {self.band_count}x{self.height}x{self.width} "
+            f"@{self.resolution}m>"
+        )

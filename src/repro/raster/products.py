@@ -1,0 +1,155 @@
+"""Sentinel product metadata model and archive generator.
+
+A :class:`Product` mirrors the metadata a Copernicus hub record carries:
+mission, product type, processing level, sensing time, footprint, and size.
+:class:`ProductArchive` synthesises archives with realistic volume statistics
+(the paper: "1PB of Sentinel data may consist of about 750,000 datasets",
+i.e. ~1.4 GB mean product size) for the catalogue and velocity experiments.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from datetime import datetime, timedelta
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import RasterError
+from repro.geometry import Polygon
+
+
+class Mission(enum.Enum):
+    """Sentinel missions relevant to ExtremeEarth."""
+
+    SENTINEL1 = "S1"
+    SENTINEL2 = "S2"
+    SENTINEL3 = "S3"
+
+
+class ProductLevel(enum.Enum):
+    """Processing levels, raw to analysis-ready."""
+
+    L0 = "L0"
+    L1 = "L1"
+    L2A = "L2A"
+
+
+_PRODUCT_TYPES = {
+    Mission.SENTINEL1: ("GRD", "SLC", "OCN"),
+    Mission.SENTINEL2: ("MSIL1C", "MSIL2A"),
+    Mission.SENTINEL3: ("OLCI", "SLSTR"),
+}
+
+# Mean product sizes in bytes, roughly calibrated so an archive's bytes /
+# products ratio matches the paper's 1 PB ~ 750k datasets (~1.4 GB each).
+_MEAN_SIZE_BYTES = {
+    Mission.SENTINEL1: int(1.7e9),
+    Mission.SENTINEL2: int(1.2e9),
+    Mission.SENTINEL3: int(0.6e9),
+}
+
+
+@dataclass(frozen=True)
+class Product:
+    """One archive entry."""
+
+    product_id: str
+    mission: Mission
+    product_type: str
+    level: ProductLevel
+    sensing_time: datetime
+    footprint: Polygon
+    size_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise RasterError(f"product size must be positive: {self.size_bytes}")
+
+    @property
+    def name(self) -> str:
+        stamp = self.sensing_time.strftime("%Y%m%dT%H%M%S")
+        return f"{self.mission.value}_{self.product_type}_{stamp}_{self.product_id}"
+
+
+class ProductArchive:
+    """A synthetic Sentinel product archive.
+
+    Products are drawn over a configurable spatial extent and time range with
+    mission mix and size distributions fixed by the module constants. The
+    generator is deterministic given its seed.
+    """
+
+    def __init__(
+        self,
+        extent: Tuple[float, float, float, float] = (-10.0, 35.0, 30.0, 70.0),
+        start: datetime = datetime(2017, 1, 1),
+        days: int = 365,
+        seed: int = 0,
+        mission_mix: Optional[Sequence[Tuple[Mission, float]]] = None,
+    ):
+        if days <= 0:
+            raise RasterError("archive duration must be positive")
+        min_x, min_y, max_x, max_y = extent
+        if min_x >= max_x or min_y >= max_y:
+            raise RasterError(f"invalid archive extent {extent}")
+        self.extent = extent
+        self.start = start
+        self.days = days
+        self._rng = random.Random(seed)
+        self._mission_mix = list(
+            mission_mix
+            or [(Mission.SENTINEL1, 0.45), (Mission.SENTINEL2, 0.40), (Mission.SENTINEL3, 0.15)]
+        )
+        total = sum(w for _, w in self._mission_mix)
+        self._mission_mix = [(m, w / total) for m, w in self._mission_mix]
+        self._counter = 0
+
+    def _pick_mission(self) -> Mission:
+        roll = self._rng.random()
+        cumulative = 0.0
+        for mission, weight in self._mission_mix:
+            cumulative += weight
+            if roll <= cumulative:
+                return mission
+        return self._mission_mix[-1][0]
+
+    def generate_product(self) -> Product:
+        """Generate the next product (deterministic sequence)."""
+        self._counter += 1
+        mission = self._pick_mission()
+        product_type = self._rng.choice(_PRODUCT_TYPES[mission])
+        level = self._rng.choice(list(ProductLevel))
+        sensing = self.start + timedelta(
+            days=self._rng.uniform(0, self.days)
+        )
+        min_x, min_y, max_x, max_y = self.extent
+        # Sentinel scene footprints are ~1-3 degrees across.
+        size_deg = self._rng.uniform(1.0, 3.0)
+        x = self._rng.uniform(min_x, max(max_x - size_deg, min_x + 1e-6))
+        y = self._rng.uniform(min_y, max(max_y - size_deg, min_y + 1e-6))
+        footprint = Polygon.box(x, y, x + size_deg, y + size_deg)
+        mean = _MEAN_SIZE_BYTES[mission]
+        size = max(int(self._rng.lognormvariate(0.0, 0.5) * mean), 1)
+        return Product(
+            product_id=f"{self._counter:08d}",
+            mission=mission,
+            product_type=product_type,
+            level=level,
+            sensing_time=sensing,
+            footprint=footprint,
+            size_bytes=size,
+        )
+
+    def generate(self, count: int) -> List[Product]:
+        """Generate *count* products."""
+        return [self.generate_product() for _ in range(count)]
+
+    def stream(self, count: int) -> Iterator[Product]:
+        """Generator form of :meth:`generate` for ingestion pipelines."""
+        for _ in range(count):
+            yield self.generate_product()
+
+    @staticmethod
+    def total_bytes(products: Sequence[Product]) -> int:
+        return sum(p.size_bytes for p in products)

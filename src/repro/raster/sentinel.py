@@ -1,0 +1,314 @@
+"""Synthetic Sentinel-1/2 scene generation.
+
+The substitution for the Copernicus archive (see DESIGN.md): parametric
+scenes over procedurally-generated land-cover and sea-ice class fields.
+
+* **Land cover / sea ice fields** — smooth random fields (Gaussian-filtered
+  white noise, one per class) whose argmax yields contiguous patches, the
+  spatial structure classifiers actually face.
+* **Sentinel-2 MSI** — 13 bands; each class has a spectral signature, the
+  vegetation classes additionally follow a day-of-year phenology (NDVI
+  profile from :mod:`repro.raster.timeseries`); additive Gaussian sensor
+  noise and optional cloud blobs.
+* **Sentinel-1 SAR** — VV/VH backscatter (in dB) per class with multiplicative
+  gamma speckle, the noise model that makes SAR classification hard.
+
+Every generator takes a ``seed`` and is fully deterministic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import ndimage
+
+from repro.errors import RasterError
+from repro.raster.grid import GeoTransform, RasterGrid
+
+
+class LandCover(enum.IntEnum):
+    """Land-cover classes for the Food Security application (A1)."""
+
+    WATER = 0
+    URBAN = 1
+    FOREST = 2
+    WHEAT = 3
+    MAIZE = 4
+    RAPESEED = 5
+    GRASSLAND = 6
+    BARE_SOIL = 7
+
+
+#: The crop classes among the land covers (used by the crop mapper).
+CROP_CLASSES = (LandCover.WHEAT, LandCover.MAIZE, LandCover.RAPESEED)
+
+
+class SeaIce(enum.IntEnum):
+    """WMO stage-of-development sea-ice classes for the Polar application (A2)."""
+
+    OPEN_WATER = 0
+    NEW_ICE = 1
+    YOUNG_ICE = 2
+    FIRST_YEAR_ICE = 3
+    OLD_ICE = 4
+
+
+#: Sentinel-2 MSI band count (13 spectral bands).
+S2_BANDS = 13
+
+# Representative per-band reflectance means for each land-cover class.
+# Bands ordered B01..B12 (coastal, blue, green, red, 3x red edge, NIR,
+# narrow NIR, water vapour, cirrus, SWIR1, SWIR2). Values in [0, 1].
+_S2_SIGNATURES: Dict[int, np.ndarray] = {
+    LandCover.WATER: np.array(
+        [0.10, 0.08, 0.06, 0.04, 0.03, 0.03, 0.02, 0.02, 0.02, 0.01, 0.01, 0.01, 0.01]
+    ),
+    LandCover.URBAN: np.array(
+        [0.18, 0.20, 0.22, 0.24, 0.25, 0.26, 0.27, 0.28, 0.28, 0.26, 0.24, 0.30, 0.28]
+    ),
+    LandCover.FOREST: np.array(
+        [0.04, 0.04, 0.06, 0.04, 0.08, 0.18, 0.22, 0.26, 0.28, 0.27, 0.25, 0.12, 0.06]
+    ),
+    LandCover.WHEAT: np.array(
+        [0.05, 0.06, 0.09, 0.07, 0.12, 0.22, 0.28, 0.32, 0.34, 0.33, 0.30, 0.18, 0.10]
+    ),
+    LandCover.MAIZE: np.array(
+        [0.05, 0.05, 0.08, 0.06, 0.11, 0.24, 0.30, 0.36, 0.38, 0.36, 0.33, 0.16, 0.09]
+    ),
+    LandCover.RAPESEED: np.array(
+        [0.06, 0.08, 0.14, 0.12, 0.16, 0.26, 0.30, 0.34, 0.35, 0.34, 0.31, 0.20, 0.12]
+    ),
+    LandCover.GRASSLAND: np.array(
+        [0.05, 0.06, 0.10, 0.08, 0.13, 0.20, 0.24, 0.28, 0.29, 0.28, 0.26, 0.20, 0.12]
+    ),
+    LandCover.BARE_SOIL: np.array(
+        [0.12, 0.14, 0.18, 0.22, 0.26, 0.28, 0.30, 0.32, 0.33, 0.32, 0.30, 0.38, 0.34]
+    ),
+}
+
+#: Classes whose NIR signal follows the seasonal phenology profile.
+_PHENOLOGY_CLASSES = {
+    LandCover.WHEAT,
+    LandCover.MAIZE,
+    LandCover.RAPESEED,
+    LandCover.GRASSLAND,
+    LandCover.FOREST,
+}
+
+# Sentinel-1 backscatter means in dB (VV, VH) per sea-ice class. Rougher /
+# more deformed ice scatters more; open water depends on wind but sits low
+# in VH.
+_S1_ICE_SIGNATURES: Dict[int, Tuple[float, float]] = {
+    SeaIce.OPEN_WATER: (-18.0, -28.0),
+    SeaIce.NEW_ICE: (-20.0, -26.0),
+    SeaIce.YOUNG_ICE: (-16.0, -23.0),
+    SeaIce.FIRST_YEAR_ICE: (-12.0, -19.0),
+    SeaIce.OLD_ICE: (-8.0, -14.0),
+}
+
+# Sentinel-1 backscatter means (VV, VH) per land-cover class, for the crop
+# mapper's SAR modality.
+_S1_LAND_SIGNATURES: Dict[int, Tuple[float, float]] = {
+    LandCover.WATER: (-22.0, -30.0),
+    LandCover.URBAN: (-3.0, -10.0),
+    LandCover.FOREST: (-8.0, -13.0),
+    LandCover.WHEAT: (-12.0, -18.0),
+    LandCover.MAIZE: (-10.0, -16.0),
+    LandCover.RAPESEED: (-11.0, -15.0),
+    LandCover.GRASSLAND: (-13.0, -19.0),
+    LandCover.BARE_SOIL: (-15.0, -22.0),
+}
+
+
+@dataclass
+class SentinelScene:
+    """A synthetic scene: imagery plus the ground truth that generated it."""
+
+    grid: RasterGrid
+    truth: np.ndarray  # (rows, cols) int class labels
+    mission: str  # "S1" or "S2"
+    day_of_year: int = 180
+    cloud_mask: Optional[np.ndarray] = None  # bool (rows, cols), S2 only
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.truth.shape
+
+    def clear_fraction(self) -> float:
+        """Fraction of pixels not obscured by cloud (1.0 for SAR)."""
+        if self.cloud_mask is None:
+            return 1.0
+        return float(1.0 - self.cloud_mask.mean())
+
+
+def _smooth_noise(shape: Tuple[int, int], sigma: float, rng: np.random.Generator) -> np.ndarray:
+    noise = rng.standard_normal(shape)
+    smoothed = ndimage.gaussian_filter(noise, sigma=sigma)
+    std = smoothed.std()
+    if std > 0:
+        smoothed = smoothed / std
+    return smoothed
+
+
+def landcover_field(
+    height: int,
+    width: int,
+    classes: Sequence[int] = tuple(LandCover),
+    seed: int = 0,
+    blob_scale: float = 8.0,
+) -> np.ndarray:
+    """Generate a patchy class field: argmax of per-class smooth noise."""
+    if height <= 0 or width <= 0:
+        raise RasterError("field dimensions must be positive")
+    if not classes:
+        raise RasterError("landcover_field requires at least one class")
+    rng = np.random.default_rng(seed)
+    scores = np.stack(
+        [_smooth_noise((height, width), blob_scale, rng) for _ in classes]
+    )
+    field = np.asarray(classes)[np.argmax(scores, axis=0)]
+    return field.astype(np.int16)
+
+
+def sea_ice_field(
+    height: int,
+    width: int,
+    seed: int = 0,
+    ice_extent: float = 0.6,
+    blob_scale: float = 10.0,
+) -> np.ndarray:
+    """Generate a sea-ice class field with a north-south ice gradient.
+
+    ``ice_extent`` in [0, 1] is the fraction of the scene (from the top/north)
+    dominated by ice; the marginal ice zone sits at the transition.
+    """
+    if not 0.0 <= ice_extent <= 1.0:
+        raise RasterError(f"ice_extent must be in [0, 1], got {ice_extent}")
+    rng = np.random.default_rng(seed)
+    # Latitude-driven baseline: positive in the ice zone, negative below.
+    # The ice edge is pushed slightly past the scene at the extremes so that
+    # ice_extent=0 is (almost) all water and ice_extent=1 (almost) all ice.
+    frac = np.linspace(0.0, 1.0, height)[:, np.newaxis]  # 0 = north edge
+    edge = -0.25 + 1.5 * ice_extent
+    gradient = (edge - frac) * 12.0
+    thickness = gradient + 1.0 * _smooth_noise((height, width), blob_scale, rng)
+    field = np.full((height, width), int(SeaIce.OPEN_WATER), dtype=np.int16)
+    field[thickness > 0.0] = int(SeaIce.NEW_ICE)
+    field[thickness > 1.5] = int(SeaIce.YOUNG_ICE)
+    field[thickness > 3.0] = int(SeaIce.FIRST_YEAR_ICE)
+    field[thickness > 5.0] = int(SeaIce.OLD_ICE)
+    return field
+
+
+def _default_transform(pixel_size: float) -> GeoTransform:
+    return GeoTransform(origin_x=0.0, origin_y=0.0, pixel_size=pixel_size)
+
+
+def sentinel2_scene(
+    truth: np.ndarray,
+    day_of_year: int = 180,
+    seed: int = 0,
+    noise_std: float = 0.02,
+    cloud_fraction: float = 0.0,
+    pixel_size: float = 10.0,
+    transform: Optional[GeoTransform] = None,
+) -> SentinelScene:
+    """Render a 13-band Sentinel-2 scene from a land-cover truth field."""
+    from repro.raster.timeseries import crop_ndvi_profile
+
+    truth = np.asarray(truth)
+    if truth.ndim != 2:
+        raise RasterError("truth field must be 2-D")
+    if not 0.0 <= cloud_fraction <= 1.0:
+        raise RasterError(f"cloud_fraction must be in [0, 1], got {cloud_fraction}")
+    rng = np.random.default_rng(seed)
+    height, width = truth.shape
+    data = np.zeros((S2_BANDS, height, width), dtype=np.float32)
+
+    for class_value, signature in _S2_SIGNATURES.items():
+        mask = truth == class_value
+        if not mask.any():
+            continue
+        spectrum = signature.copy()
+        if class_value in _PHENOLOGY_CLASSES:
+            # Scale the red-edge/NIR plateau by the class's seasonal vigor and
+            # raise the red band when vegetation is dormant.
+            vigor = crop_ndvi_profile(LandCover(class_value), day_of_year)
+            spectrum = spectrum.copy()
+            spectrum[4:11] *= 0.4 + 0.6 * vigor
+            spectrum[3] *= 1.6 - 0.6 * vigor
+        data[:, mask] = spectrum[:, np.newaxis]
+
+    data += rng.normal(0.0, noise_std, size=data.shape).astype(np.float32)
+    np.clip(data, 0.0, 1.0, out=data)
+
+    cloud_mask = None
+    if cloud_fraction > 0.0:
+        cloud_score = _smooth_noise((height, width), 6.0, rng)
+        threshold = np.quantile(cloud_score, 1.0 - cloud_fraction)
+        cloud_mask = cloud_score >= threshold
+        data[:, cloud_mask] = np.clip(
+            0.85 + rng.normal(0, 0.05, size=(S2_BANDS, int(cloud_mask.sum()))), 0, 1
+        ).astype(np.float32)
+
+    grid = RasterGrid(data, transform or _default_transform(pixel_size))
+    return SentinelScene(
+        grid=grid,
+        truth=truth.astype(np.int16),
+        mission="S2",
+        day_of_year=day_of_year,
+        cloud_mask=cloud_mask,
+    )
+
+
+def sentinel1_scene(
+    truth: np.ndarray,
+    signatures: str = "ice",
+    looks: int = 4,
+    seed: int = 0,
+    pixel_size: float = 40.0,
+    day_of_year: int = 60,
+    transform: Optional[GeoTransform] = None,
+) -> SentinelScene:
+    """Render a 2-band (VV, VH) Sentinel-1 scene with gamma speckle.
+
+    ``signatures`` selects the class table: ``"ice"`` (SeaIce classes) or
+    ``"land"`` (LandCover classes). ``looks`` is the equivalent number of
+    looks — higher means less speckle (multilooked products).
+    """
+    truth = np.asarray(truth)
+    if truth.ndim != 2:
+        raise RasterError("truth field must be 2-D")
+    if looks < 1:
+        raise RasterError(f"looks must be >= 1, got {looks}")
+    table = _S1_ICE_SIGNATURES if signatures == "ice" else _S1_LAND_SIGNATURES
+    if signatures not in ("ice", "land"):
+        raise RasterError(f"unknown signature table {signatures!r}")
+
+    rng = np.random.default_rng(seed)
+    height, width = truth.shape
+    linear = np.zeros((2, height, width), dtype=np.float64)
+    for class_value, (vv_db, vh_db) in table.items():
+        mask = truth == class_value
+        if not mask.any():
+            continue
+        linear[0, mask] = 10.0 ** (vv_db / 10.0)
+        linear[1, mask] = 10.0 ** (vh_db / 10.0)
+    # Unlabelled classes fall back to a low backscatter floor.
+    linear[linear == 0.0] = 10.0 ** (-25.0 / 10.0)
+
+    # Multiplicative speckle: gamma with shape=looks, mean 1.
+    speckle = rng.gamma(shape=looks, scale=1.0 / looks, size=linear.shape)
+    observed = linear * speckle
+    data = (10.0 * np.log10(observed)).astype(np.float32)
+
+    grid = RasterGrid(data, transform or _default_transform(pixel_size))
+    return SentinelScene(
+        grid=grid,
+        truth=truth.astype(np.int16),
+        mission="S1",
+        day_of_year=day_of_year,
+    )

@@ -1,0 +1,91 @@
+"""Raster/vector statistics: rasterization and zonal summaries.
+
+Used by the Food Security application to aggregate per-field water demand and
+by the weak labeller to stamp cartographic polygons onto pixel grids.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import RasterError
+from repro.geometry import Polygon
+from repro.raster.grid import GeoTransform, RasterGrid
+
+
+def rasterize_polygon(
+    polygon: Polygon, transform: GeoTransform, shape: Tuple[int, int]
+) -> np.ndarray:
+    """Boolean mask of pixels whose center lies inside *polygon*.
+
+    Scanline algorithm: for each pixel row, intersect the horizontal line
+    through the pixel centers with every ring edge and fill between crossing
+    pairs — O(rows x vertices), fast enough for scene-scale polygons.
+    """
+    height, width = shape
+    if height <= 0 or width <= 0:
+        raise RasterError("rasterize shape must be positive")
+    mask = np.zeros((height, width), dtype=bool)
+    size = transform.pixel_size
+    col_centers = transform.origin_x + (np.arange(width) + 0.5) * size
+
+    rings = polygon.rings
+    for row in range(height):
+        y = transform.origin_y - (row + 0.5) * size
+        inside = np.zeros(width, dtype=bool)
+        # Parity per ring: crossing an exterior edge enters, crossing a hole
+        # edge exits — XOR of all ring parities handles both at once.
+        for ring in rings:
+            crossings = []
+            for (x1, y1), (x2, y2) in zip(ring, ring[1:]):
+                if (y1 > y) != (y2 > y):
+                    crossings.append(x1 + (y - y1) * (x2 - x1) / (y2 - y1))
+            if not crossings:
+                continue
+            crossings.sort()
+            for start, end in zip(crossings[0::2], crossings[1::2]):
+                inside ^= (col_centers > start) & (col_centers <= end)
+        mask[row] = inside
+    return mask
+
+
+def zonal_mean(
+    grid: RasterGrid, polygon: Polygon, band: int = 0
+) -> Optional[float]:
+    """Mean band value over the polygon, or None if no pixel center falls inside."""
+    mask = rasterize_polygon(polygon, grid.transform, (grid.height, grid.width))
+    if not mask.any():
+        return None
+    return float(grid.band(band)[mask].mean())
+
+
+def zonal_stats(
+    grid: RasterGrid, polygons: Sequence[Polygon], band: int = 0
+) -> Dict[int, Dict[str, float]]:
+    """Per-polygon mean/min/max/count for one band (index -> stats)."""
+    results: Dict[int, Dict[str, float]] = {}
+    band_data = grid.band(band)
+    for index, polygon in enumerate(polygons):
+        mask = rasterize_polygon(polygon, grid.transform, (grid.height, grid.width))
+        if not mask.any():
+            continue
+        values = band_data[mask]
+        results[index] = {
+            "mean": float(values.mean()),
+            "min": float(values.min()),
+            "max": float(values.max()),
+            "count": int(mask.sum()),
+        }
+    return results
+
+
+def class_fractions(truth: np.ndarray) -> Dict[int, float]:
+    """Fraction of pixels per class value in a label field."""
+    truth = np.asarray(truth)
+    if truth.size == 0:
+        raise RasterError("empty label field")
+    values, counts = np.unique(truth, return_counts=True)
+    total = truth.size
+    return {int(v): float(c) / total for v, c in zip(values, counts)}

@@ -1,0 +1,60 @@
+"""Scene tiling.
+
+Distributed processing works on tiles, not whole scenes: the cluster
+simulator schedules one task per tile and the HopsFS-sim stores one object
+per tile. :func:`iter_tiles` cuts a raster into fixed-size tiles (edge tiles
+may be smaller).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.errors import RasterError
+from repro.raster.grid import RasterGrid
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One tile of a scene: the sub-raster plus its index and pixel offset."""
+
+    tile_row: int
+    tile_col: int
+    row_offset: int
+    col_offset: int
+    grid: RasterGrid
+
+    @property
+    def key(self) -> Tuple[int, int]:
+        return (self.tile_row, self.tile_col)
+
+    @property
+    def name(self) -> str:
+        return f"tile_{self.tile_row:03d}_{self.tile_col:03d}"
+
+
+def iter_tiles(grid: RasterGrid, tile_size: int) -> Iterator[Tile]:
+    """Cut *grid* into tiles of ``tile_size`` x ``tile_size`` pixels."""
+    if tile_size < 1:
+        raise RasterError(f"tile_size must be >= 1, got {tile_size}")
+    for tile_row, row in enumerate(range(0, grid.height, tile_size)):
+        height = min(tile_size, grid.height - row)
+        for tile_col, col in enumerate(range(0, grid.width, tile_size)):
+            width = min(tile_size, grid.width - col)
+            yield Tile(
+                tile_row=tile_row,
+                tile_col=tile_col,
+                row_offset=row,
+                col_offset=col,
+                grid=grid.window(row, col, height, width),
+            )
+
+
+def tile_count(grid: RasterGrid, tile_size: int) -> int:
+    """Number of tiles :func:`iter_tiles` will produce."""
+    if tile_size < 1:
+        raise RasterError(f"tile_size must be >= 1, got {tile_size}")
+    rows = (grid.height + tile_size - 1) // tile_size
+    cols = (grid.width + tile_size - 1) // tile_size
+    return rows * cols

@@ -1,0 +1,111 @@
+"""Seasonal profiles and scene time series.
+
+Challenge C1 stresses that "the temporal dimension plays a very important role
+for the characterization of the information content of the image (e.g., land
+cover or sea ice)". These generators provide that temporal structure: crop
+phenology (double-logistic NDVI curves with crop-specific timing) and the
+annual sea-ice concentration cycle, plus a convenience generator producing a
+full year of scenes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import RasterError
+from repro.raster.sentinel import (
+    LandCover,
+    SentinelScene,
+    sea_ice_field,
+    sentinel1_scene,
+    sentinel2_scene,
+)
+
+# Double-logistic phenology parameters per class:
+# (green-up midpoint doy, green-up rate, senescence midpoint doy, senescence
+# rate, peak vigor). Winter crops green up early; maize is a summer crop.
+_PHENOLOGY = {
+    LandCover.WHEAT: (95.0, 0.09, 195.0, 0.11, 0.95),
+    LandCover.MAIZE: (150.0, 0.10, 265.0, 0.09, 1.00),
+    LandCover.RAPESEED: (80.0, 0.10, 185.0, 0.12, 0.90),
+    LandCover.GRASSLAND: (75.0, 0.05, 290.0, 0.05, 0.75),
+    LandCover.FOREST: (105.0, 0.07, 290.0, 0.07, 0.85),
+}
+
+
+def crop_ndvi_profile(landcover: LandCover, day_of_year: int) -> float:
+    """Seasonal vegetation vigor in [0, 1] for a class at a day of year.
+
+    Classes with no phenology entry (water, urban, bare soil) return 0.
+    """
+    if not 1 <= day_of_year <= 366:
+        raise RasterError(f"day_of_year must be in 1..366, got {day_of_year}")
+    params = _PHENOLOGY.get(landcover)
+    if params is None:
+        return 0.0
+    up_mid, up_rate, down_mid, down_rate, peak = params
+    rising = 1.0 / (1.0 + math.exp(-up_rate * (day_of_year - up_mid)))
+    falling = 1.0 / (1.0 + math.exp(down_rate * (day_of_year - down_mid)))
+    return peak * rising * falling
+
+
+def ice_concentration_profile(day_of_year: int, winter_peak: float = 0.9) -> float:
+    """Annual sea-ice concentration cycle in [0, 1]; max in March, min in September."""
+    if not 1 <= day_of_year <= 366:
+        raise RasterError(f"day_of_year must be in 1..366, got {day_of_year}")
+    if not 0.0 <= winter_peak <= 1.0:
+        raise RasterError(f"winter_peak must be in [0, 1], got {winter_peak}")
+    # Cosine with maximum around doy 75 (mid March) and minimum around doy 258.
+    phase = 2.0 * math.pi * (day_of_year - 75.0) / 365.0
+    return winter_peak * (0.55 + 0.45 * math.cos(phase))
+
+
+def scene_time_series(
+    truth: np.ndarray,
+    days: Sequence[int],
+    mission: str = "S2",
+    seed: int = 0,
+    cloud_fraction: float = 0.0,
+    signatures: str = "land",
+) -> List[SentinelScene]:
+    """Render one scene per acquisition day over a fixed truth field."""
+    if mission not in ("S1", "S2"):
+        raise RasterError(f"unknown mission {mission!r}")
+    scenes: List[SentinelScene] = []
+    for index, day in enumerate(days):
+        if mission == "S2":
+            scenes.append(
+                sentinel2_scene(
+                    truth,
+                    day_of_year=day,
+                    seed=seed + index,
+                    cloud_fraction=cloud_fraction,
+                )
+            )
+        else:
+            scenes.append(
+                sentinel1_scene(
+                    truth, signatures=signatures, seed=seed + index, day_of_year=day
+                )
+            )
+    return scenes
+
+
+def ice_season_series(
+    height: int,
+    width: int,
+    days: Sequence[int],
+    seed: int = 0,
+) -> List[SentinelScene]:
+    """A sea-ice season: the ice field itself evolves with the annual cycle."""
+    scenes: List[SentinelScene] = []
+    for index, day in enumerate(days):
+        extent = ice_concentration_profile(day)
+        truth = sea_ice_field(height, width, seed=seed, ice_extent=extent)
+        scenes.append(
+            sentinel1_scene(truth, signatures="ice", seed=seed + index, day_of_year=day)
+        )
+    return scenes

@@ -1,0 +1,44 @@
+"""RDF substrate: terms, triple store, and serialization.
+
+This package implements the RDF data model the Strabon-like geospatial store
+(:mod:`repro.geosparql`), the GeoTriples mapper, the interlinking engine, the
+federation layer, and the semantic catalogue are built on.
+
+The triple store (:class:`~repro.rdf.graph.Graph`) keeps three hash indexes
+(SPO, POS, OSP) so any triple pattern with at least one bound position is
+answered without a full scan — the classic in-memory RDF layout.
+"""
+
+from repro.rdf.term import BNode, IRI, Literal, Term, Triple
+from repro.rdf.namespace import (
+    EX,
+    GEO,
+    GEOF,
+    Namespace,
+    RDF,
+    RDFS,
+    XSD,
+)
+from repro.rdf.graph import Graph
+from repro.rdf.ntriples import parse_ntriples, serialize_ntriples
+from repro.rdf.turtle import parse_turtle, serialize_turtle
+
+__all__ = [
+    "BNode",
+    "EX",
+    "GEO",
+    "GEOF",
+    "Graph",
+    "IRI",
+    "Literal",
+    "Namespace",
+    "RDF",
+    "RDFS",
+    "Term",
+    "Triple",
+    "XSD",
+    "parse_ntriples",
+    "parse_turtle",
+    "serialize_ntriples",
+    "serialize_turtle",
+]

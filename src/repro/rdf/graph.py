@@ -1,0 +1,168 @@
+"""In-memory triple store with SPO / POS / OSP hash indexes.
+
+Every triple pattern with at least one bound position is answered from an
+index; only the fully unbound pattern scans. This is the storage layer under
+both the Strabon-like GeoStore and the naive baseline — the baselines differ
+only in how they treat *spatial* filters, so E2 isolates the spatial index.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
+
+from repro.errors import RDFError
+from repro.rdf.term import Term, Triple, make_triple
+
+Pattern = Tuple[Optional[Term], Optional[Term], Optional[Term]]
+
+
+class Graph:
+    """A set of RDF triples with pattern-matching access paths."""
+
+    def __init__(self, name: str = "default"):
+        self.name = name
+        self._triples: Set[Triple] = set()
+        # index[first][second] -> set of third
+        self._spo: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(lambda: defaultdict(set))
+        self._pos: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(lambda: defaultdict(set))
+        self._osp: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(lambda: defaultdict(set))
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add(self, subject: Term, predicate: Term, obj: Term) -> bool:
+        """Add a triple. Returns False if it was already present."""
+        triple = make_triple(subject, predicate, obj)
+        if triple in self._triples:
+            return False
+        self._triples.add(triple)
+        s, p, o = triple
+        self._spo[s][p].add(o)
+        self._pos[p][o].add(s)
+        self._osp[o][s].add(p)
+        return True
+
+    def add_triple(self, triple: Triple) -> bool:
+        return self.add(*triple)
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        """Add many triples; returns the number actually inserted."""
+        return sum(1 for t in triples if self.add_triple(t))
+
+    def remove(self, subject: Term, predicate: Term, obj: Term) -> bool:
+        """Remove a triple. Returns False if it was not present."""
+        triple = Triple(subject, predicate, obj)
+        if triple not in self._triples:
+            return False
+        self._triples.discard(triple)
+        s, p, o = triple
+        self._prune(self._spo, s, p, o)
+        self._prune(self._pos, p, o, s)
+        self._prune(self._osp, o, s, p)
+        return True
+
+    @staticmethod
+    def _prune(index, a, b, c) -> None:
+        bucket = index[a][b]
+        bucket.discard(c)
+        if not bucket:
+            del index[a][b]
+            if not index[a]:
+                del index[a]
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple in self._triples
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    def triples(self, pattern: Pattern) -> Iterator[Triple]:
+        """Yield triples matching a pattern of bound terms and ``None`` wildcards."""
+        s, p, o = pattern
+        if s is not None and p is not None and o is not None:
+            triple = Triple(s, p, o)
+            if triple in self._triples:
+                yield triple
+            return
+        if s is not None and p is not None:
+            for obj in self._spo.get(s, {}).get(p, ()):
+                yield Triple(s, p, obj)
+            return
+        if p is not None and o is not None:
+            for subj in self._pos.get(p, {}).get(o, ()):
+                yield Triple(subj, p, o)
+            return
+        if s is not None and o is not None:
+            for pred in self._osp.get(o, {}).get(s, ()):
+                yield Triple(s, pred, o)
+            return
+        if s is not None:
+            for pred, objects in self._spo.get(s, {}).items():
+                for obj in objects:
+                    yield Triple(s, pred, obj)
+            return
+        if p is not None:
+            for obj, subjects in self._pos.get(p, {}).items():
+                for subj in subjects:
+                    yield Triple(subj, p, obj)
+            return
+        if o is not None:
+            for subj, preds in self._osp.get(o, {}).items():
+                for pred in preds:
+                    yield Triple(subj, pred, o)
+            return
+        yield from self._triples
+
+    def count(self, pattern: Pattern) -> int:
+        """Number of triples matching *pattern* (used by the federation planner)."""
+        s, p, o = pattern
+        if s is None and p is None and o is None:
+            return len(self._triples)
+        if s is not None and p is not None and o is None:
+            return len(self._spo.get(s, {}).get(p, ()))
+        if s is None and p is not None and o is not None:
+            return len(self._pos.get(p, {}).get(o, ()))
+        if s is not None and p is None and o is not None:
+            return len(self._osp.get(o, {}).get(s, ()))
+        return sum(1 for _ in self.triples(pattern))
+
+    def subjects(self, predicate: Optional[Term] = None, obj: Optional[Term] = None) -> Iterator[Term]:
+        seen = set()
+        for triple in self.triples((None, predicate, obj)):
+            if triple.subject not in seen:
+                seen.add(triple.subject)
+                yield triple.subject
+
+    def objects(self, subject: Optional[Term] = None, predicate: Optional[Term] = None) -> Iterator[Term]:
+        seen = set()
+        for triple in self.triples((subject, predicate, None)):
+            if triple.object not in seen:
+                seen.add(triple.object)
+                yield triple.object
+
+    def predicates(self) -> Iterator[Term]:
+        return iter(self._pos.keys())
+
+    def value(self, subject: Term, predicate: Term) -> Optional[Term]:
+        """The single object of (subject, predicate, ?) or None; raises if many."""
+        objects = list(self._spo.get(subject, {}).get(predicate, ()))
+        if not objects:
+            return None
+        if len(objects) > 1:
+            raise RDFError(
+                f"value() found {len(objects)} objects for {subject} {predicate}"
+            )
+        return objects[0]
+
+    def predicate_count(self, predicate: Term) -> int:
+        """Total triples with the given predicate (planner statistics)."""
+        return sum(len(s) for s in self._pos.get(predicate, {}).values())

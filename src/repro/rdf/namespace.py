@@ -1,0 +1,51 @@
+"""Namespace helper and the vocabularies used across the stack."""
+
+from __future__ import annotations
+
+from repro.rdf.term import IRI
+
+
+class Namespace:
+    """IRI factory: ``NS = Namespace("http://ex.org/"); NS.thing -> IRI``."""
+
+    def __init__(self, base: str):
+        self._base = base
+
+    @property
+    def base(self) -> str:
+        return self._base
+
+    def __getattr__(self, name: str) -> IRI:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return IRI(self._base + name)
+
+    def __getitem__(self, name: str) -> IRI:
+        return IRI(self._base + name)
+
+    def __contains__(self, iri: IRI) -> bool:
+        return isinstance(iri, IRI) and iri.value.startswith(self._base)
+
+    def local_name(self, iri: IRI) -> str:
+        """Strip the namespace base from *iri* (must be in this namespace)."""
+        if iri not in self:
+            raise ValueError(f"{iri} not in namespace {self._base}")
+        return iri.value[len(self._base):]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Namespace({self._base!r})"
+
+
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+XSD = Namespace("http://www.w3.org/2001/XMLSchema#")
+OWL = Namespace("http://www.w3.org/2002/07/owl#")
+
+# GeoSPARQL vocabulary (OGC).
+GEO = Namespace("http://www.opengis.net/ont/geosparql#")
+GEOF = Namespace("http://www.opengis.net/def/function/geosparql/")
+SF = Namespace("http://www.opengis.net/ont/sf#")
+
+# ExtremeEarth application vocabularies.
+EX = Namespace("http://extremeearth.eu/ontology#")
+EOP = Namespace("http://extremeearth.eu/product#")

@@ -1,0 +1,93 @@
+"""N-Triples parser and serializer (RDF 1.1 N-Triples, UTF-8 subset).
+
+N-Triples is the line-oriented exchange format used by the GeoTriples output
+stage and the catalogue dump/restore path.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator, List, Tuple
+
+from repro.errors import RDFError
+from repro.rdf.term import BNode, IRI, Literal, Term, Triple, make_triple
+
+_IRI_RE = re.compile(r"<([^<>\"\s]*)>")
+_BNODE_RE = re.compile(r"_:([A-Za-z0-9_]+)")
+_LITERAL_RE = re.compile(
+    r'"((?:[^"\\]|\\.)*)"'  # quoted lexical form with escapes
+    r"(?:\^\^<([^<>\"\s]*)>|@([A-Za-z0-9-]+))?"  # optional datatype or language
+)
+
+_ESCAPES = {
+    "\\n": "\n",
+    "\\r": "\r",
+    "\\t": "\t",
+    '\\"': '"',
+    "\\\\": "\\",
+}
+
+
+def _unescape(text: str) -> str:
+    result: List[str] = []
+    i = 0
+    while i < len(text):
+        if text[i] == "\\" and i + 1 < len(text):
+            pair = text[i : i + 2]
+            if pair in _ESCAPES:
+                result.append(_ESCAPES[pair])
+                i += 2
+                continue
+            if pair == "\\u" and i + 6 <= len(text):
+                result.append(chr(int(text[i + 2 : i + 6], 16)))
+                i += 6
+                continue
+            raise RDFError(f"invalid escape sequence at {text[i:i+2]!r}")
+        result.append(text[i])
+        i += 1
+    return "".join(result)
+
+
+def _parse_term(text: str, pos: int, line_no: int) -> Tuple[Term, int]:
+    while pos < len(text) and text[pos] in " \t":
+        pos += 1
+    if pos >= len(text):
+        raise RDFError(f"line {line_no}: unexpected end of line")
+    if text[pos] == "<":
+        match = _IRI_RE.match(text, pos)
+        if not match:
+            raise RDFError(f"line {line_no}: malformed IRI")
+        return IRI(match.group(1)), match.end()
+    if text.startswith("_:", pos):
+        match = _BNODE_RE.match(text, pos)
+        if not match:
+            raise RDFError(f"line {line_no}: malformed blank node")
+        return BNode(match.group(1)), match.end()
+    if text[pos] == '"':
+        match = _LITERAL_RE.match(text, pos)
+        if not match:
+            raise RDFError(f"line {line_no}: malformed literal")
+        lexical = _unescape(match.group(1))
+        datatype, language = match.group(2), match.group(3)
+        return Literal(lexical, datatype=datatype, language=language), match.end()
+    raise RDFError(f"line {line_no}: unexpected character {text[pos]!r}")
+
+
+def parse_ntriples(text: str) -> Iterator[Triple]:
+    """Parse N-Triples text, yielding triples. Comments and blank lines skipped."""
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        subject, pos = _parse_term(line, 0, line_no)
+        predicate, pos = _parse_term(line, pos, line_no)
+        obj, pos = _parse_term(line, pos, line_no)
+        remainder = line[pos:].strip()
+        if remainder != ".":
+            raise RDFError(f"line {line_no}: expected terminating '.', got {remainder!r}")
+        yield make_triple(subject, predicate, obj)
+
+
+def serialize_ntriples(triples: Iterable[Triple]) -> str:
+    """Serialize triples to N-Triples text (one statement per line)."""
+    return "".join(triple.n3() + "\n" for triple in triples)

@@ -1,0 +1,235 @@
+"""Turtle-subset parser and serializer.
+
+Supports the Turtle features the examples and the catalogue use:
+``@prefix`` declarations, prefixed names, ``a`` for rdf:type, ``;`` and ``,``
+abbreviation, typed/lang literals, and numeric/boolean shorthand. Nested blank
+node property lists are not supported (GeoTriples emits flat triples).
+"""
+
+from __future__ import annotations
+
+import re
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import RDFError
+from repro.rdf.term import (
+    BNode,
+    IRI,
+    Literal,
+    Term,
+    Triple,
+    XSD_BOOLEAN,
+    XSD_DECIMAL,
+    XSD_INTEGER,
+    make_triple,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>\#[^\n]*)
+  | (?P<iri><[^<>"\s]*>)
+  | (?P<literal>"(?:[^"\\]|\\.)*"(?:\^\^<[^<>"\s]*>|\^\^[A-Za-z][\w-]*:[\w-]+|@[A-Za-z0-9-]+)?)
+  | (?P<bnode>_:[A-Za-z0-9_]+)
+  | (?P<prefix_decl>@prefix)
+  | (?P<number>[-+]?\d+(?:\.\d+)?(?:[eE][-+]?\d+)?)
+  | (?P<boolean>\btrue\b|\bfalse\b)
+  | (?P<a>\ba\b)
+  | (?P<pname>[A-Za-z][\w-]*:[\w./#-]*|:[\w./#-]+)
+  | (?P<punct>[.;,\[\]])
+  | (?P<ws>\s+)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise RDFError(f"turtle: unexpected input at {text[pos:pos+20]!r}")
+        kind = match.lastgroup
+        if kind not in ("ws", "comment"):
+            tokens.append((kind, match.group()))
+        pos = match.end()
+    return tokens
+
+
+class _TurtleParser:
+    def __init__(self, text: str):
+        self._tokens = _tokenize(text)
+        self._index = 0
+        self._prefixes: Dict[str, str] = {}
+
+    def _peek(self) -> Optional[Tuple[str, str]]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _next(self) -> Tuple[str, str]:
+        token = self._peek()
+        if token is None:
+            raise RDFError("turtle: unexpected end of input")
+        self._index += 1
+        return token
+
+    def _expect_punct(self, char: str) -> None:
+        kind, value = self._next()
+        if kind != "punct" or value != char:
+            raise RDFError(f"turtle: expected {char!r}, got {value!r}")
+
+    def _resolve_pname(self, pname: str) -> IRI:
+        prefix, _, local = pname.partition(":")
+        if prefix not in self._prefixes:
+            raise RDFError(f"turtle: undeclared prefix {prefix!r}")
+        return IRI(self._prefixes[prefix] + local)
+
+    def _parse_term(self, kind: str, value: str) -> Term:
+        if kind == "iri":
+            return IRI(value[1:-1])
+        if kind == "bnode":
+            return BNode(value[2:])
+        if kind == "pname":
+            return self._resolve_pname(value)
+        if kind == "a":
+            return IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+        if kind == "number":
+            datatype = XSD_DECIMAL if ("." in value or "e" in value or "E" in value) else XSD_INTEGER
+            return Literal(value, datatype=datatype)
+        if kind == "boolean":
+            return Literal(value, datatype=XSD_BOOLEAN)
+        if kind == "literal":
+            return self._parse_literal(value)
+        raise RDFError(f"turtle: unexpected token {value!r}")
+
+    def _parse_literal(self, text: str) -> Literal:
+        end_quote = _find_closing_quote(text)
+        lexical = _unescape_turtle(text[1:end_quote])
+        suffix = text[end_quote + 1 :]
+        if not suffix:
+            return Literal(lexical)
+        if suffix.startswith("@"):
+            return Literal(lexical, language=suffix[1:])
+        if suffix.startswith("^^<"):
+            return Literal(lexical, datatype=suffix[3:-1])
+        if suffix.startswith("^^"):
+            return Literal(lexical, datatype=self._resolve_pname(suffix[2:]).value)
+        raise RDFError(f"turtle: malformed literal suffix {suffix!r}")
+
+    def parse(self) -> Iterator[Triple]:
+        while self._peek() is not None:
+            kind, value = self._peek()
+            if kind == "prefix_decl":
+                self._parse_prefix()
+                continue
+            yield from self._parse_statement()
+
+    def _parse_prefix(self) -> None:
+        self._next()  # @prefix
+        kind, value = self._next()
+        if kind != "pname" or not value.endswith(":"):
+            raise RDFError(f"turtle: expected prefix name, got {value!r}")
+        prefix = value[:-1]
+        kind, iri_text = self._next()
+        if kind != "iri":
+            raise RDFError("turtle: expected IRI in @prefix")
+        self._prefixes[prefix] = iri_text[1:-1]
+        self._expect_punct(".")
+
+    def _parse_statement(self) -> Iterator[Triple]:
+        kind, value = self._next()
+        subject = self._parse_term(kind, value)
+        while True:
+            kind, value = self._next()
+            predicate = self._parse_term(kind, value)
+            if not isinstance(predicate, IRI):
+                raise RDFError(f"turtle: predicate must be IRI, got {predicate!r}")
+            while True:
+                kind, value = self._next()
+                obj = self._parse_term(kind, value)
+                yield make_triple(subject, predicate, obj)
+                kind, value = self._next()
+                if kind != "punct":
+                    raise RDFError(f"turtle: expected punctuation, got {value!r}")
+                if value == ",":
+                    continue
+                break
+            if value == ";":
+                # Allow trailing ';' before '.'
+                next_token = self._peek()
+                if next_token is not None and next_token == ("punct", "."):
+                    self._next()
+                    return
+                continue
+            if value == ".":
+                return
+            raise RDFError(f"turtle: unexpected punctuation {value!r}")
+
+
+def _find_closing_quote(text: str) -> int:
+    i = 1
+    while i < len(text):
+        if text[i] == "\\":
+            i += 2
+            continue
+        if text[i] == '"':
+            return i
+        i += 1
+    raise RDFError(f"turtle: unterminated literal {text!r}")
+
+
+def _unescape_turtle(text: str) -> str:
+    return (
+        text.replace("\\n", "\n")
+        .replace("\\r", "\r")
+        .replace("\\t", "\t")
+        .replace('\\"', '"')
+        .replace("\\\\", "\\")
+    )
+
+
+def parse_turtle(text: str) -> Iterator[Triple]:
+    """Parse Turtle-subset text into triples."""
+    return _TurtleParser(text).parse()
+
+
+def serialize_turtle(
+    triples: Iterable[Triple], prefixes: Optional[Dict[str, str]] = None
+) -> str:
+    """Serialize triples to Turtle, grouping by subject and abbreviating IRIs."""
+    prefixes = dict(prefixes or {})
+    lines: List[str] = [
+        f"@prefix {name}: <{base}> ." for name, base in sorted(prefixes.items())
+    ]
+    if lines:
+        lines.append("")
+
+    def abbreviate(term: Term) -> str:
+        if isinstance(term, IRI):
+            if term.value == "http://www.w3.org/1999/02/22-rdf-syntax-ns#type":
+                return "a"
+            for name, base in prefixes.items():
+                if term.value.startswith(base):
+                    local = term.value[len(base):]
+                    if re.fullmatch(r"[\w.-]*", local):
+                        return f"{name}:{local}"
+            return term.n3()
+        return term.n3()
+
+    by_subject: Dict[Term, List[Triple]] = defaultdict(list)
+    for triple in triples:
+        by_subject[triple.subject].append(triple)
+
+    for subject, group in by_subject.items():
+        by_predicate: Dict[Term, List[Term]] = defaultdict(list)
+        for triple in group:
+            by_predicate[triple.predicate].append(triple.object)
+        predicate_parts = []
+        for predicate, objects in by_predicate.items():
+            object_text = ", ".join(abbreviate(o) for o in objects)
+            predicate_parts.append(f"{abbreviate(predicate)} {object_text}")
+        body = " ;\n    ".join(predicate_parts)
+        lines.append(f"{abbreviate(subject)} {body} .")
+    return "\n".join(lines) + "\n"

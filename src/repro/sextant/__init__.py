@@ -1,0 +1,21 @@
+"""Sextant: visualizing time-evolving linked geospatial data.
+
+Re-implements the role of Sextant [5] ("Visualizing time-evolving linked
+geospatial data") for this stack: vector layers straight from GeoSPARQL
+query results, class-map raster layers, styling, legends, and temporal
+snapshots — all rendered to standalone SVG.
+"""
+
+from repro.sextant.style import ClassPalette, LayerStyle
+from repro.sextant.svg import SVGCanvas
+from repro.sextant.map import SextantMap, sparql_layer
+from repro.sextant.temporal import temporal_frames
+
+__all__ = [
+    "ClassPalette",
+    "LayerStyle",
+    "SVGCanvas",
+    "SextantMap",
+    "sparql_layer",
+    "temporal_frames",
+]

@@ -1,0 +1,182 @@
+"""The Sextant map: layers from geometries, rasters, and SPARQL results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.geometry import BoundingBox, Geometry
+from repro.geosparql.literals import is_geometry_literal, literal_geometry
+from repro.geosparql.store import GeoStore
+from repro.raster.grid import RasterGrid
+from repro.sextant.style import ClassPalette, LayerStyle
+from repro.sextant.svg import SVGCanvas
+from repro.sparql import Variable
+
+
+@dataclass
+class _VectorLayer:
+    name: str
+    features: List[Tuple[Geometry, Optional[str]]]
+    style: LayerStyle
+
+
+@dataclass
+class _RasterLayer:
+    name: str
+    grid: RasterGrid
+    palette: ClassPalette
+    opacity: float
+    max_cells: int
+
+
+class SextantMap:
+    """A multi-layer map rendered to SVG.
+
+    Layers draw bottom-up in insertion order; the extent defaults to the
+    union of all layer extents.
+    """
+
+    def __init__(self, width: int = 600, height: int = 600, title: Optional[str] = None):
+        self.width = width
+        self.height = height
+        self.title = title
+        self._layers: List[Union[_VectorLayer, _RasterLayer]] = []
+        self._legend: List[Tuple[str, str]] = []  # (color, label)
+
+    # ------------------------------------------------------------------
+    # Layers
+    # ------------------------------------------------------------------
+
+    def add_vector_layer(
+        self,
+        name: str,
+        features: Sequence[Union[Geometry, Tuple[Geometry, str]]],
+        style: Optional[LayerStyle] = None,
+        legend: bool = True,
+    ) -> None:
+        """Add geometries (optionally (geometry, tooltip) pairs)."""
+        style = style or LayerStyle()
+        normalised: List[Tuple[Geometry, Optional[str]]] = []
+        for feature in features:
+            if isinstance(feature, tuple):
+                geometry, tooltip = feature
+                normalised.append((geometry, str(tooltip)))
+            else:
+                normalised.append((feature, None))
+        if not normalised:
+            raise ReproError(f"layer {name!r} has no features")
+        self._layers.append(_VectorLayer(name, normalised, style))
+        if legend:
+            self._legend.append((style.fill, name))
+
+    def add_raster_layer(
+        self,
+        name: str,
+        grid: RasterGrid,
+        palette: Optional[ClassPalette] = None,
+        opacity: float = 0.9,
+        max_cells: int = 64,
+        legend: bool = True,
+    ) -> None:
+        """Add a class-map raster (band 0 holds integer class values).
+
+        Rasters larger than ``max_cells`` per side are mode-downsampled so
+        the SVG stays small.
+        """
+        if not 0.0 < opacity <= 1.0:
+            raise ReproError("opacity must be in (0, 1]")
+        palette = palette or ClassPalette()
+        self._layers.append(_RasterLayer(name, grid, palette, opacity, max_cells))
+        if legend:
+            for value in np.unique(grid.band(0)).astype(int):
+                self._legend.append((palette.color(value), palette.name(value)))
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def extent(self) -> BoundingBox:
+        boxes: List[BoundingBox] = []
+        for layer in self._layers:
+            if isinstance(layer, _VectorLayer):
+                boxes.extend(g.bbox for g, _ in layer.features)
+            else:
+                boxes.append(layer.grid.bbox)
+        if not boxes:
+            raise ReproError("map has no layers")
+        return BoundingBox.union_all(boxes)
+
+    def render(self, extent: Optional[BoundingBox] = None) -> str:
+        extent = extent or self.extent()
+        canvas = SVGCanvas(extent, self.width, self.height)
+        for layer in self._layers:
+            if isinstance(layer, _RasterLayer):
+                self._render_raster(canvas, layer)
+            else:
+                for geometry, tooltip in layer.features:
+                    canvas.draw_geometry(geometry, layer.style, tooltip)
+        if self.title:
+            canvas.draw_text(10, 18, self.title, size=14)
+        for index, (color, label) in enumerate(self._legend):
+            canvas.draw_legend_swatch(10, 30 + index * 18, color, label)
+        return canvas.render()
+
+    @staticmethod
+    def _render_raster(canvas: SVGCanvas, layer: _RasterLayer) -> None:
+        grid = layer.grid
+        factor = max(
+            1,
+            (grid.height + layer.max_cells - 1) // layer.max_cells,
+            (grid.width + layer.max_cells - 1) // layer.max_cells,
+        )
+        if factor > 1:
+            grid = grid.resample(factor, method="mode")
+        band = grid.band(0)
+        size = grid.transform.pixel_size
+        for row in range(grid.height):
+            for col in range(grid.width):
+                x = grid.transform.origin_x + col * size
+                y = grid.transform.origin_y - (row + 1) * size
+                canvas.draw_rect(
+                    x, y, x + size, y + size,
+                    fill=layer.palette.color(int(band[row, col])),
+                    opacity=layer.opacity,
+                )
+
+    def save(self, path: str, extent: Optional[BoundingBox] = None) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.render(extent))
+
+
+def sparql_layer(
+    store: GeoStore,
+    query: str,
+    geometry_variable: str = "wkt",
+    label_variable: Optional[str] = None,
+) -> List[Tuple[Geometry, str]]:
+    """Run a SPARQL query and collect (geometry, tooltip) features.
+
+    Solutions must bind ``geometry_variable`` to a ``geo:wktLiteral``;
+    ``label_variable`` (if given) provides the tooltip.
+    """
+    solutions = store.query(query)
+    if isinstance(solutions, bool):
+        raise ReproError("sparql_layer needs a SELECT query")
+    geometry_var = Variable(geometry_variable)
+    label_var = Variable(label_variable) if label_variable else None
+    features: List[Tuple[Geometry, str]] = []
+    for solution in solutions:
+        term = solution.get(geometry_var)
+        if term is None or not is_geometry_literal(term):
+            continue
+        label = ""
+        if label_var is not None and label_var in solution:
+            label = str(solution[label_var])
+        features.append((literal_geometry(term), label))
+    if not features:
+        raise ReproError("query returned no geometry bindings")
+    return features

@@ -1,0 +1,63 @@
+"""Layer styling."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class LayerStyle:
+    """Stroke/fill styling for a vector layer."""
+
+    stroke: str = "#333333"
+    fill: str = "#77aadd"
+    fill_opacity: float = 0.6
+    stroke_width: float = 1.0
+    point_radius: float = 3.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fill_opacity <= 1.0:
+            raise ReproError("fill_opacity must be in [0, 1]")
+        if self.stroke_width < 0 or self.point_radius <= 0:
+            raise ReproError("invalid stroke width or point radius")
+
+
+#: A categorical palette (ColorBrewer Set3-ish) for class values.
+_DEFAULT_COLORS = (
+    "#8dd3c7", "#ffffb3", "#bebada", "#fb8072", "#80b1d3",
+    "#fdb462", "#b3de69", "#fccde5", "#d9d9d9", "#bc80bd",
+)
+
+
+class ClassPalette:
+    """Maps integer class values to colors (with optional names)."""
+
+    def __init__(
+        self,
+        colors: Optional[Dict[int, str]] = None,
+        names: Optional[Dict[int, str]] = None,
+    ):
+        self._colors = dict(colors or {})
+        self._names = dict(names or {})
+
+    def color(self, class_value: int) -> str:
+        if class_value in self._colors:
+            return self._colors[class_value]
+        return _DEFAULT_COLORS[class_value % len(_DEFAULT_COLORS)]
+
+    def name(self, class_value: int) -> str:
+        return self._names.get(class_value, f"class {class_value}")
+
+    @classmethod
+    def for_classes(cls, values: Sequence[int], names: Optional[Sequence[str]] = None) -> "ClassPalette":
+        colors = {
+            int(v): _DEFAULT_COLORS[i % len(_DEFAULT_COLORS)]
+            for i, v in enumerate(values)
+        }
+        name_map = (
+            {int(v): n for v, n in zip(values, names)} if names is not None else None
+        )
+        return cls(colors, name_map)

@@ -1,0 +1,152 @@
+"""Low-level SVG rendering of geometries onto a map viewport."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+from xml.sax.saxutils import escape, quoteattr
+
+from repro.errors import ReproError
+from repro.geometry import (
+    BoundingBox,
+    Geometry,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+)
+from repro.sextant.style import LayerStyle
+
+
+class SVGCanvas:
+    """An SVG drawing surface with a map-extent to pixel transform.
+
+    Map y grows north; SVG y grows down — the transform flips it. The
+    extent is fitted into ``width x height`` preserving aspect ratio.
+    """
+
+    def __init__(self, extent: BoundingBox, width: int = 600, height: int = 600, padding: int = 10):
+        if width < 2 * padding + 10 or height < 2 * padding + 10:
+            raise ReproError("canvas too small for its padding")
+        if extent.width == 0 or extent.height == 0:
+            extent = extent.expand(max(extent.width, extent.height, 1.0) * 0.05)
+        self.extent = extent
+        self.width = width
+        self.height = height
+        self.padding = padding
+        scale_x = (width - 2 * padding) / extent.width
+        scale_y = (height - 2 * padding) / extent.height
+        self._scale = min(scale_x, scale_y)
+        self._elements: List[str] = []
+
+    def to_pixel(self, x: float, y: float) -> Tuple[float, float]:
+        px = self.padding + (x - self.extent.min_x) * self._scale
+        py = self.padding + (self.extent.max_y - y) * self._scale
+        return px, py
+
+    # ------------------------------------------------------------------
+    # Drawing
+    # ------------------------------------------------------------------
+
+    def draw_geometry(
+        self, geometry: Geometry, style: LayerStyle, tooltip: Optional[str] = None
+    ) -> None:
+        if isinstance(geometry, (MultiPoint, MultiLineString, MultiPolygon)):
+            for part in geometry:
+                self.draw_geometry(part, style, tooltip)
+            return
+        if isinstance(geometry, Point):
+            self._draw_point(geometry, style, tooltip)
+        elif isinstance(geometry, LineString):
+            self._draw_line(geometry, style, tooltip)
+        elif isinstance(geometry, Polygon):
+            self._draw_polygon(geometry, style, tooltip)
+        else:
+            raise ReproError(f"cannot render {type(geometry).__name__}")
+
+    def _title(self, tooltip: Optional[str]) -> str:
+        if tooltip is None:
+            return ""
+        return f"<title>{escape(tooltip)}</title>"
+
+    def _draw_point(self, point: Point, style: LayerStyle, tooltip: Optional[str]) -> None:
+        px, py = self.to_pixel(point.x, point.y)
+        self._elements.append(
+            f'<circle cx="{px:.2f}" cy="{py:.2f}" r="{style.point_radius}" '
+            f'fill={quoteattr(style.fill)} stroke={quoteattr(style.stroke)} '
+            f'stroke-width="{style.stroke_width}">'
+            f"{self._title(tooltip)}</circle>"
+        )
+
+    def _draw_line(self, line: LineString, style: LayerStyle, tooltip: Optional[str]) -> None:
+        points = " ".join(
+            f"{px:.2f},{py:.2f}"
+            for px, py in (self.to_pixel(x, y) for x, y in line.coords)
+        )
+        self._elements.append(
+            f'<polyline points="{points}" fill="none" '
+            f'stroke={quoteattr(style.stroke)} stroke-width="{style.stroke_width}">'
+            f"{self._title(tooltip)}</polyline>"
+        )
+
+    def _draw_polygon(self, polygon: Polygon, style: LayerStyle, tooltip: Optional[str]) -> None:
+        paths = []
+        for ring in polygon.rings:
+            commands = " ".join(
+                ("M" if i == 0 else "L") + f" {px:.2f} {py:.2f}"
+                for i, (px, py) in enumerate(self.to_pixel(x, y) for x, y in ring[:-1])
+            )
+            paths.append(commands + " Z")
+        self._elements.append(
+            f'<path d="{" ".join(paths)}" fill-rule="evenodd" '
+            f'fill={quoteattr(style.fill)} fill-opacity="{style.fill_opacity}" '
+            f'stroke={quoteattr(style.stroke)} stroke-width="{style.stroke_width}">'
+            f"{self._title(tooltip)}</path>"
+        )
+
+    def draw_rect(
+        self,
+        min_x: float,
+        min_y: float,
+        max_x: float,
+        max_y: float,
+        fill: str,
+        opacity: float = 1.0,
+    ) -> None:
+        """A filled rectangle in map coordinates (raster cells)."""
+        px0, py1 = self.to_pixel(min_x, min_y)
+        px1, py0 = self.to_pixel(max_x, max_y)
+        self._elements.append(
+            f'<rect x="{px0:.2f}" y="{py0:.2f}" width="{px1 - px0:.2f}" '
+            f'height="{py1 - py0:.2f}" fill={quoteattr(fill)} '
+            f'fill-opacity="{opacity}" stroke="none"/>'
+        )
+
+    def draw_text(self, px: float, py: float, text: str, size: int = 12) -> None:
+        """Text at pixel coordinates (legends, titles)."""
+        self._elements.append(
+            f'<text x="{px:.2f}" y="{py:.2f}" font-size="{size}" '
+            f'font-family="sans-serif">{escape(text)}</text>'
+        )
+
+    def draw_legend_swatch(self, px: float, py: float, fill: str, label: str) -> None:
+        self._elements.append(
+            f'<rect x="{px:.2f}" y="{py:.2f}" width="12" height="12" '
+            f'fill={quoteattr(fill)} stroke="#333"/>'
+        )
+        self.draw_text(px + 16, py + 10, label, size=11)
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+
+    def render(self, background: str = "#ffffff") -> str:
+        body = "\n".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width}" height="{self.height}" '
+            f'viewBox="0 0 {self.width} {self.height}">\n'
+            f'<rect width="100%" height="100%" fill={quoteattr(background)}/>\n'
+            f"{body}\n</svg>\n"
+        )

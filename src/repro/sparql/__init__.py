@@ -1,0 +1,30 @@
+"""SPARQL-subset query engine.
+
+Implements the portion of SPARQL 1.1 the ExtremeEarth stack needs:
+
+* ``SELECT [DISTINCT] ... WHERE { ... }`` with basic graph patterns
+* ``FILTER`` with comparison, arithmetic, boolean operators and function calls
+  (including the GeoSPARQL ``geof:`` functions registered by
+  :mod:`repro.geosparql`)
+* ``OPTIONAL`` (left join), ``UNION``
+* ``PREFIX`` declarations, ``ORDER BY``, ``LIMIT``, ``OFFSET``
+* aggregate queries: ``COUNT`` (with ``GROUP BY``)
+
+The engine compiles queries to a small logical algebra
+(:mod:`repro.sparql.algebra`), applies filter pushdown and
+selectivity-ordered joins, and evaluates with an iterator model over
+:class:`repro.rdf.Graph`.
+"""
+
+from repro.sparql.ast import SelectQuery, Variable
+from repro.sparql.parser import parse_query
+from repro.sparql.evaluator import Bindings, FunctionRegistry, evaluate
+
+__all__ = [
+    "Bindings",
+    "FunctionRegistry",
+    "SelectQuery",
+    "Variable",
+    "evaluate",
+    "parse_query",
+]

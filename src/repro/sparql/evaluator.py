@@ -1,0 +1,471 @@
+"""Iterator-model evaluator for the SPARQL algebra.
+
+Solutions are immutable-ish dicts mapping :class:`Variable` to RDF terms.
+Joins propagate bindings into the right operand's scans (index nested-loop
+join), so selectivity ordering from the algebra layer directly controls work.
+
+Extension functions (the GeoSPARQL ``geof:`` family) are supplied through a
+:class:`FunctionRegistry`; the evaluator itself knows nothing about geometry.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.errors import SPARQLError
+from repro.rdf.graph import Graph
+from repro.rdf.term import Term
+from repro.sparql.algebra import (
+    AlgebraOp,
+    CompileOptions,
+    EmptyOp,
+    ExtendOp,
+    FilterOp,
+    JoinOp,
+    LeftJoinOp,
+    ScanOp,
+    TableOp,
+    UnionOp,
+    compile_group,
+)
+from repro.sparql.ast import (
+    Aggregate,
+    AskQuery,
+    BinaryOp,
+    Expression,
+    FunctionCall,
+    SelectQuery,
+    TermExpr,
+    TriplePattern,
+    UnaryOp,
+    Variable,
+    VarExpr,
+)
+from repro.sparql.functions import (
+    BUILTINS,
+    EvaluationError,
+    Value,
+    arithmetic,
+    compare,
+    effective_boolean_value,
+    to_term,
+)
+
+Bindings = Dict[Variable, Term]
+ExtensionFunction = Callable[[List[Value]], Value]
+
+
+class FunctionRegistry:
+    """Maps extension-function IRIs to Python callables."""
+
+    def __init__(self):
+        self._functions: Dict[str, ExtensionFunction] = {}
+
+    def register(self, iri: str, function: ExtensionFunction) -> None:
+        self._functions[iri] = function
+
+    def get(self, iri: str) -> Optional[ExtensionFunction]:
+        return self._functions.get(iri)
+
+    def copy(self) -> "FunctionRegistry":
+        registry = FunctionRegistry()
+        registry._functions.update(self._functions)
+        return registry
+
+
+_EMPTY_REGISTRY = FunctionRegistry()
+
+
+# ---------------------------------------------------------------------------
+# Expression evaluation
+# ---------------------------------------------------------------------------
+
+def evaluate_expression(
+    expression: Expression,
+    bindings: Bindings,
+    registry: FunctionRegistry = _EMPTY_REGISTRY,
+) -> Value:
+    """Evaluate an expression against one solution; raises EvaluationError."""
+    if isinstance(expression, TermExpr):
+        return expression.term
+    if isinstance(expression, VarExpr):
+        if expression.variable not in bindings:
+            raise EvaluationError(f"unbound variable {expression.variable}")
+        return bindings[expression.variable]
+    if isinstance(expression, UnaryOp):
+        if expression.operator == "!":
+            return not effective_boolean_value(
+                evaluate_expression(expression.operand, bindings, registry)
+            )
+        if expression.operator == "-":
+            value = evaluate_expression(expression.operand, bindings, registry)
+            return -_as_number(value)
+        raise EvaluationError(f"unknown unary operator {expression.operator!r}")
+    if isinstance(expression, BinaryOp):
+        return _evaluate_binary(expression, bindings, registry)
+    if isinstance(expression, FunctionCall):
+        return _evaluate_call(expression, bindings, registry)
+    raise SPARQLError(f"unknown expression node {type(expression).__name__}")
+
+
+def _as_number(value: Value) -> Union[int, float]:
+    from repro.sparql.functions import _numeric
+
+    return _numeric(value)
+
+
+def _evaluate_binary(
+    expression: BinaryOp, bindings: Bindings, registry: FunctionRegistry
+) -> Value:
+    operator = expression.operator
+    if operator == "&&":
+        # SPARQL logical-and: false dominates errors.
+        left_error = None
+        try:
+            if not effective_boolean_value(
+                evaluate_expression(expression.left, bindings, registry)
+            ):
+                return False
+        except EvaluationError as exc:
+            left_error = exc
+        right = effective_boolean_value(
+            evaluate_expression(expression.right, bindings, registry)
+        )
+        if not right:
+            return False
+        if left_error is not None:
+            raise left_error
+        return True
+    if operator == "||":
+        left_error = None
+        try:
+            if effective_boolean_value(
+                evaluate_expression(expression.left, bindings, registry)
+            ):
+                return True
+        except EvaluationError as exc:
+            left_error = exc
+        right = effective_boolean_value(
+            evaluate_expression(expression.right, bindings, registry)
+        )
+        if right:
+            return True
+        if left_error is not None:
+            raise left_error
+        return False
+
+    left = evaluate_expression(expression.left, bindings, registry)
+    right = evaluate_expression(expression.right, bindings, registry)
+    if operator in ("=", "!=", "<", "<=", ">", ">="):
+        return compare(operator, left, right)
+    if operator in ("+", "-", "*", "/"):
+        return arithmetic(operator, left, right)
+    raise EvaluationError(f"unknown operator {operator!r}")
+
+
+def _evaluate_call(
+    expression: FunctionCall, bindings: Bindings, registry: FunctionRegistry
+) -> Value:
+    name = expression.name
+    # Lazy builtins.
+    if name == "BOUND":
+        if len(expression.args) != 1 or not isinstance(expression.args[0], VarExpr):
+            raise EvaluationError("BOUND requires a single variable argument")
+        return expression.args[0].variable in bindings
+    if name == "IF":
+        if len(expression.args) != 3:
+            raise EvaluationError("IF takes 3 arguments")
+        condition = effective_boolean_value(
+            evaluate_expression(expression.args[0], bindings, registry)
+        )
+        chosen = expression.args[1] if condition else expression.args[2]
+        return evaluate_expression(chosen, bindings, registry)
+    if name == "COALESCE":
+        for arg in expression.args:
+            try:
+                return evaluate_expression(arg, bindings, registry)
+            except EvaluationError:
+                continue
+        raise EvaluationError("COALESCE: all arguments errored")
+
+    args = [evaluate_expression(arg, bindings, registry) for arg in expression.args]
+    builtin = BUILTINS.get(name)
+    if builtin is not None:
+        return builtin(args)
+    extension = registry.get(name)
+    if extension is not None:
+        return extension(args)
+    raise EvaluationError(f"unknown function {name!r}")
+
+
+# ---------------------------------------------------------------------------
+# Operator evaluation
+# ---------------------------------------------------------------------------
+
+def _substitute(pattern: TriplePattern, bindings: Bindings) -> TriplePattern:
+    def resolve(position):
+        if isinstance(position, Variable) and position in bindings:
+            return bindings[position]
+        return position
+
+    return TriplePattern(
+        resolve(pattern.subject), resolve(pattern.predicate), resolve(pattern.object)
+    )
+
+
+def _scan(
+    graph: Graph, pattern: TriplePattern, bindings: Bindings
+) -> Iterator[Bindings]:
+    concrete = _substitute(pattern, bindings)
+    query = tuple(
+        None if isinstance(position, Variable) else position
+        for position in (concrete.subject, concrete.predicate, concrete.object)
+    )
+    for triple in graph.triples(query):  # type: ignore[arg-type]
+        new_bindings = dict(bindings)
+        consistent = True
+        for position, term in zip(
+            (concrete.subject, concrete.predicate, concrete.object), triple
+        ):
+            if isinstance(position, Variable):
+                existing = new_bindings.get(position)
+                if existing is None:
+                    new_bindings[position] = term
+                elif existing != term:
+                    consistent = False
+                    break
+        if consistent:
+            yield new_bindings
+
+
+def _evaluate_op(
+    op: AlgebraOp,
+    graph: Graph,
+    bindings: Bindings,
+    registry: FunctionRegistry,
+) -> Iterator[Bindings]:
+    custom = getattr(op, "evaluate_custom", None)
+    if custom is not None:
+        yield from custom(graph, bindings, registry)
+        return
+    if isinstance(op, EmptyOp):
+        yield dict(bindings)
+        return
+    if isinstance(op, ScanOp):
+        yield from _scan(graph, op.pattern, bindings)
+        return
+    if isinstance(op, JoinOp):
+        for left_solution in _evaluate_op(op.left, graph, bindings, registry):
+            yield from _evaluate_op(op.right, graph, left_solution, registry)
+        return
+    if isinstance(op, LeftJoinOp):
+        for left_solution in _evaluate_op(op.left, graph, bindings, registry):
+            extended = False
+            for joined in _evaluate_op(op.right, graph, left_solution, registry):
+                extended = True
+                yield joined
+            if not extended:
+                yield left_solution
+        return
+    if isinstance(op, UnionOp):
+        for operand in op.operands:
+            yield from _evaluate_op(operand, graph, bindings, registry)
+        return
+    if isinstance(op, FilterOp):
+        for solution in _evaluate_op(op.operand, graph, bindings, registry):
+            try:
+                keep = effective_boolean_value(
+                    evaluate_expression(op.expression, solution, registry)
+                )
+            except EvaluationError:
+                keep = False
+            if keep:
+                yield solution
+        return
+    if isinstance(op, ExtendOp):
+        for solution in _evaluate_op(op.operand, graph, bindings, registry):
+            if op.variable in solution:
+                raise SPARQLError(
+                    f"BIND would rebind already-bound variable {op.variable}"
+                )
+            extended = dict(solution)
+            try:
+                extended[op.variable] = to_term(
+                    evaluate_expression(op.expression, solution, registry)
+                )
+            except EvaluationError:
+                pass  # expression error: the variable stays unbound
+            yield extended
+        return
+    if isinstance(op, TableOp):
+        for row in op.rows:
+            candidate = dict(bindings)
+            compatible = True
+            for variable, term in zip(op.variables, row):
+                if term is None:
+                    continue  # UNDEF constrains nothing
+                existing = candidate.get(variable)
+                if existing is None:
+                    candidate[variable] = term
+                elif existing != term:
+                    compatible = False
+                    break
+            if compatible:
+                yield candidate
+        return
+    raise SPARQLError(f"unknown operator {type(op).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Query evaluation (solution modifiers, aggregation, projection)
+# ---------------------------------------------------------------------------
+
+def evaluate(
+    graph: Graph,
+    query: Union[SelectQuery, AskQuery, str],
+    registry: FunctionRegistry = _EMPTY_REGISTRY,
+    options: Optional[CompileOptions] = None,
+) -> Union[List[Bindings], bool]:
+    """Evaluate a query (text or AST) against *graph*.
+
+    SELECT returns a list of solutions ({Variable: Term}); ASK returns bool.
+    """
+    if isinstance(query, str):
+        from repro.sparql.parser import parse_query
+
+        query = parse_query(query)
+
+    if isinstance(query, AskQuery):
+        tree = compile_group(query.where, graph, options)
+        for _ in _evaluate_op(tree, graph, {}, registry):
+            return True
+        return False
+
+    tree = compile_group(query.where, graph, options)
+    solutions = list(_evaluate_op(tree, graph, {}, registry))
+
+    if query.is_aggregate:
+        solutions = _aggregate(query, solutions, registry)
+    else:
+        solutions = _project(query.variables, solutions)
+
+    if query.order_by:
+        for condition in reversed(query.order_by):
+            solutions.sort(
+                key=lambda s, c=condition: _order_key(c.expression, s, registry),
+                reverse=condition.descending,
+            )
+    if query.distinct:
+        solutions = _distinct(solutions)
+    if query.offset:
+        solutions = solutions[query.offset:]
+    if query.limit is not None:
+        solutions = solutions[: query.limit]
+    return solutions
+
+
+def _project(variables: List[Variable], solutions: List[Bindings]) -> List[Bindings]:
+    if not variables:  # SELECT *
+        return solutions
+    return [
+        {v: s[v] for v in variables if v in s}
+        for s in solutions
+    ]
+
+
+def _distinct(solutions: List[Bindings]) -> List[Bindings]:
+    seen = set()
+    unique: List[Bindings] = []
+    for solution in solutions:
+        key = frozenset(solution.items())
+        if key not in seen:
+            seen.add(key)
+            unique.append(solution)
+    return unique
+
+
+def _order_key(
+    expression: Expression, solution: Bindings, registry: FunctionRegistry
+) -> Tuple[int, object]:
+    try:
+        value = evaluate_expression(expression, solution, registry)
+    except EvaluationError:
+        return (0, 0.0)  # unbound sorts first
+    from repro.sparql.functions import _comparable
+
+    try:
+        comparable = _comparable(value)
+    except EvaluationError:
+        return (0, 0.0)
+    if isinstance(comparable, bool):
+        comparable = int(comparable)
+    if isinstance(comparable, str):
+        return (2, comparable)
+    return (1, comparable)
+
+
+def _aggregate(
+    query: SelectQuery, solutions: List[Bindings], registry: FunctionRegistry
+) -> List[Bindings]:
+    groups: Dict[Tuple, List[Bindings]] = {}
+    for solution in solutions:
+        key = tuple(solution.get(v) for v in query.group_by)
+        groups.setdefault(key, []).append(solution)
+    if not groups and not query.group_by:
+        groups[()] = []
+
+    results: List[Bindings] = []
+    for key, members in groups.items():
+        row: Bindings = {
+            v: term for v, term in zip(query.group_by, key) if term is not None
+        }
+        for aggregate in query.aggregates:
+            row[aggregate.alias] = to_term(
+                _apply_aggregate(aggregate, members, registry)
+            )
+        results.append(row)
+    return results
+
+
+def _apply_aggregate(
+    aggregate: Aggregate, members: List[Bindings], registry: FunctionRegistry
+) -> Value:
+    if aggregate.argument is None:  # COUNT(*)
+        if aggregate.function != "COUNT":
+            raise SPARQLError(f"{aggregate.function}(*) is not valid")
+        return len(members)
+
+    values: List[Value] = []
+    for member in members:
+        try:
+            values.append(
+                evaluate_expression(aggregate.argument, member, registry)
+            )
+        except EvaluationError:
+            continue
+    if aggregate.distinct:
+        seen = set()
+        unique = []
+        for value in values:
+            marker = to_term(value)
+            if marker not in seen:
+                seen.add(marker)
+                unique.append(value)
+        values = unique
+
+    if aggregate.function == "COUNT":
+        return len(values)
+    from repro.sparql.functions import _numeric
+
+    numbers = [_numeric(v) for v in values]
+    if not numbers:
+        raise SPARQLError(f"{aggregate.function} over empty group")
+    if aggregate.function == "SUM":
+        return sum(numbers)
+    if aggregate.function == "MIN":
+        return min(numbers)
+    if aggregate.function == "MAX":
+        return max(numbers)
+    if aggregate.function == "AVG":
+        return sum(numbers) / len(numbers)
+    raise SPARQLError(f"unknown aggregate {aggregate.function}")

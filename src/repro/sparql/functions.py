@@ -1,0 +1,245 @@
+"""Built-in SPARQL filter functions and operator semantics.
+
+Implements the effective-boolean-value rules, operator dispatch over typed
+literals, and the scalar builtins the parser recognises. Errors during filter
+evaluation are signalled with :class:`EvaluationError`, which the evaluator
+treats as *false* for filters (per the SPARQL spec).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Callable, Dict, List, Union
+
+from repro.rdf.term import (
+    BNode,
+    IRI,
+    Literal,
+    Term,
+    XSD_BOOLEAN,
+    XSD_DOUBLE,
+    XSD_INTEGER,
+)
+
+
+class EvaluationError(Exception):
+    """Type error or unbound variable during expression evaluation."""
+
+
+Value = Union[Term, bool, int, float, str]
+
+
+def effective_boolean_value(value: Value) -> bool:
+    """SPARQL EBV: booleans as-is, numbers vs 0, strings vs empty."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return value != 0 and not (isinstance(value, float) and math.isnan(value))
+    if isinstance(value, str):
+        return len(value) > 0
+    if isinstance(value, Literal):
+        python_value = value.to_python()
+        if isinstance(python_value, bool):
+            return python_value
+        if isinstance(python_value, (int, float)):
+            return effective_boolean_value(python_value)
+        return len(value.lexical) > 0
+    raise EvaluationError(f"no effective boolean value for {value!r}")
+
+
+def _numeric(value: Value) -> float:
+    if isinstance(value, bool):
+        raise EvaluationError("boolean is not numeric")
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, Literal):
+        python_value = value.to_python()
+        if isinstance(python_value, bool):
+            raise EvaluationError("boolean literal is not numeric")
+        if isinstance(python_value, (int, float)):
+            return python_value
+        # Plain literals holding numbers are accepted leniently.
+        try:
+            return float(value.lexical)
+        except ValueError as exc:
+            raise EvaluationError(f"not numeric: {value.lexical!r}") from exc
+    raise EvaluationError(f"not numeric: {value!r}")
+
+
+def _comparable(value: Value):
+    """Reduce a value to something ordered comparisons understand."""
+    if isinstance(value, Literal):
+        return value.to_python()
+    if isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, IRI):
+        return value.value
+    raise EvaluationError(f"not comparable: {value!r}")
+
+
+def compare(operator: str, left: Value, right: Value) -> bool:
+    """Evaluate a comparison operator with SPARQL-ish semantics."""
+    if operator in ("=", "!="):
+        equal = _equal(left, right)
+        return equal if operator == "=" else not equal
+    left_cmp, right_cmp = _comparable(left), _comparable(right)
+    if isinstance(left_cmp, str) != isinstance(right_cmp, str):
+        raise EvaluationError(
+            f"cannot order {type(left_cmp).__name__} against {type(right_cmp).__name__}"
+        )
+    if operator == "<":
+        return left_cmp < right_cmp
+    if operator == "<=":
+        return left_cmp <= right_cmp
+    if operator == ">":
+        return left_cmp > right_cmp
+    if operator == ">=":
+        return left_cmp >= right_cmp
+    raise EvaluationError(f"unknown comparison {operator!r}")
+
+
+def _equal(left: Value, right: Value) -> bool:
+    if isinstance(left, (IRI, BNode)) or isinstance(right, (IRI, BNode)):
+        return left == right
+    try:
+        left_cmp, right_cmp = _comparable(left), _comparable(right)
+    except EvaluationError:
+        return left == right
+    if isinstance(left_cmp, str) != isinstance(right_cmp, str):
+        return False
+    return left_cmp == right_cmp
+
+
+def arithmetic(operator: str, left: Value, right: Value) -> Value:
+    a, b = _numeric(left), _numeric(right)
+    if operator == "+":
+        return a + b
+    if operator == "-":
+        return a - b
+    if operator == "*":
+        return a * b
+    if operator == "/":
+        if b == 0:
+            raise EvaluationError("division by zero")
+        return a / b
+    raise EvaluationError(f"unknown arithmetic operator {operator!r}")
+
+
+def _string_value(value: Value) -> str:
+    if isinstance(value, Literal):
+        return value.lexical
+    if isinstance(value, IRI):
+        return value.value
+    if isinstance(value, str):
+        return value
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return str(value)
+    raise EvaluationError(f"no string value for {value!r}")
+
+
+# ---------------------------------------------------------------------------
+# Builtin registry. Each builtin takes already-evaluated argument values.
+# BOUND/IF/COALESCE are special-cased in the evaluator (lazy semantics).
+# ---------------------------------------------------------------------------
+
+def _builtin_str(args: List[Value]) -> str:
+    _require_arity("STR", args, 1)
+    return _string_value(args[0])
+
+
+def _builtin_lang(args: List[Value]) -> str:
+    _require_arity("LANG", args, 1)
+    if isinstance(args[0], Literal):
+        return args[0].language or ""
+    raise EvaluationError("LANG requires a literal")
+
+
+def _builtin_datatype(args: List[Value]) -> IRI:
+    _require_arity("DATATYPE", args, 1)
+    value = args[0]
+    if isinstance(value, Literal):
+        return IRI(value.datatype or "http://www.w3.org/2001/XMLSchema#string")
+    raise EvaluationError("DATATYPE requires a literal")
+
+
+def _builtin_regex(args: List[Value]) -> bool:
+    if len(args) not in (2, 3):
+        raise EvaluationError("REGEX takes 2 or 3 arguments")
+    text = _string_value(args[0])
+    pattern = _string_value(args[1])
+    flags = 0
+    if len(args) == 3 and "i" in _string_value(args[2]):
+        flags |= re.IGNORECASE
+    try:
+        return re.search(pattern, text, flags) is not None
+    except re.error as exc:
+        raise EvaluationError(f"bad regex: {exc}") from exc
+
+
+def _require_arity(name: str, args: List[Value], count: int) -> None:
+    if len(args) != count:
+        raise EvaluationError(f"{name} takes {count} argument(s), got {len(args)}")
+
+
+def _numeric_unary(name: str, func: Callable[[float], float]):
+    def builtin(args: List[Value]) -> float:
+        _require_arity(name, args, 1)
+        return func(_numeric(args[0]))
+
+    return builtin
+
+
+def _string_unary(name: str, func: Callable[[str], Value]):
+    def builtin(args: List[Value]) -> Value:
+        _require_arity(name, args, 1)
+        return func(_string_value(args[0]))
+
+    return builtin
+
+
+def _string_binary(name: str, func: Callable[[str, str], Value]):
+    def builtin(args: List[Value]) -> Value:
+        _require_arity(name, args, 2)
+        return func(_string_value(args[0]), _string_value(args[1]))
+
+    return builtin
+
+
+BUILTINS: Dict[str, Callable[[List[Value]], Value]] = {
+    "STR": _builtin_str,
+    "LANG": _builtin_lang,
+    "DATATYPE": _builtin_datatype,
+    "REGEX": _builtin_regex,
+    "ABS": _numeric_unary("ABS", abs),
+    "CEIL": _numeric_unary("CEIL", math.ceil),
+    "FLOOR": _numeric_unary("FLOOR", math.floor),
+    "ROUND": _numeric_unary("ROUND", round),
+    "STRLEN": _string_unary("STRLEN", len),
+    "UCASE": _string_unary("UCASE", str.upper),
+    "LCASE": _string_unary("LCASE", str.lower),
+    "CONTAINS": _string_binary("CONTAINS", lambda a, b: b in a),
+    "STRSTARTS": _string_binary("STRSTARTS", lambda a, b: a.startswith(b)),
+    "STRENDS": _string_binary("STRENDS", lambda a, b: a.endswith(b)),
+    "ISIRI": lambda args: isinstance(args[0], IRI),
+    "ISLITERAL": lambda args: isinstance(args[0], Literal),
+    "ISNUMERIC": lambda args: isinstance(args[0], Literal) and args[0].is_numeric,
+    "NOT": lambda args: not effective_boolean_value(args[0]),
+}
+
+
+def to_term(value: Value) -> Term:
+    """Convert an evaluated expression value back to an RDF term."""
+    if isinstance(value, (IRI, BNode, Literal)):
+        return value
+    if isinstance(value, bool):
+        return Literal("true" if value else "false", datatype=XSD_BOOLEAN)
+    if isinstance(value, int):
+        return Literal(str(value), datatype=XSD_INTEGER)
+    if isinstance(value, float):
+        return Literal(repr(value), datatype=XSD_DOUBLE)
+    if isinstance(value, str):
+        return Literal(value)
+    raise EvaluationError(f"cannot convert {value!r} to RDF term")

@@ -1,0 +1,51 @@
+"""Tokenizer for the SPARQL subset."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import SPARQLSyntaxError
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>\#[^\n]*)
+  | (?P<iri><[^<>"\s]*>)
+  | (?P<string>"(?:[^"\\]|\\.)*"|'(?:[^'\\]|\\.)*')
+  | (?P<var>[?$][A-Za-z_][A-Za-z0-9_]*)
+  | (?P<number>[-+]?\d+(?:\.\d+)?(?:[eE][-+]?\d+)?)
+  | (?P<dtype>\^\^)
+  | (?P<lang>@[A-Za-z]+(?:-[A-Za-z0-9]+)*)
+  | (?P<op>&&|\|\||!=|<=|>=|[=<>!+\-*/])
+  | (?P<pname>[A-Za-z_][\w-]*:[\w.#/-]*|:[\w.#/-]+)
+  | (?P<keyword>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<punct>[{}().,;\[\]])
+  | (?P<ws>\s+)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    position: int
+
+
+def tokenize(query: str) -> List[Token]:
+    """Split query text into tokens; raises on unrecognised input."""
+    tokens: List[Token] = []
+    pos = 0
+    while pos < len(query):
+        match = _TOKEN_RE.match(query, pos)
+        if match is None:
+            raise SPARQLSyntaxError(
+                f"unexpected character at offset {pos}: {query[pos:pos+20]!r}"
+            )
+        kind = match.lastgroup or ""
+        if kind not in ("ws", "comment"):
+            tokens.append(Token(kind, match.group(), pos))
+        pos = match.end()
+    return tokens

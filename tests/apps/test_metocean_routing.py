@@ -1,0 +1,198 @@
+"""Metocean fields and ship routing tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.apps.polar.metocean import (
+    STAGE_SEVERITY,
+    maritime_risk_index,
+    sst_field,
+    wind_field,
+)
+from repro.apps.polar.routing import Route, plan_route, route_to_geojson
+from repro.raster import GeoTransform, SeaIce, sea_ice_field
+
+
+def half_ice_map(size=32):
+    stage = np.zeros((size, size), dtype=np.int16)
+    stage[: size // 2] = int(SeaIce.FIRST_YEAR_ICE)
+    return stage
+
+
+class TestSST:
+    def test_ice_at_freezing_point(self):
+        sst = sst_field(half_ice_map(), seed=1)
+        ice = half_ice_map() != 0
+        np.testing.assert_allclose(sst[ice], -1.8)
+
+    def test_open_water_warms_away_from_ice(self):
+        stage = half_ice_map(48)
+        sst = sst_field(stage, seed=2)
+        near_edge = sst[25].mean()  # just south of the ice edge
+        far = sst[-1].mean()
+        assert far > near_edge
+
+    def test_capped_maximum(self):
+        sst = sst_field(np.zeros((16, 16), dtype=np.int16), seed=3, open_water_max_c=2.0)
+        assert sst.max() <= 2.0
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            sst_field(np.zeros(5))
+
+
+class TestWind:
+    def test_mean_and_positivity(self):
+        wind = wind_field((32, 32), seed=4, mean_speed_ms=12.0)
+        assert wind.min() >= 0.0
+        assert 6.0 < wind.mean() < 18.0
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            wind_field((8, 8), mean_speed_ms=-1)
+
+
+class TestRiskIndex:
+    def test_severity_ordering(self):
+        stage = np.array(
+            [[int(s) for s in SeaIce]], dtype=np.int16
+        )
+        calm_sst = np.full(stage.shape, 5.0)
+        calm_wind = np.zeros(stage.shape)
+        risk = maritime_risk_index(stage, sst=calm_sst, wind=calm_wind)
+        values = risk[0]
+        assert list(values) == sorted(values)
+        assert values[0] == 0.0  # open water, calm
+        assert values[-1] == 1.0  # old ice
+
+    def test_freezing_spray_raises_open_water_risk(self):
+        stage = np.zeros((4, 4), dtype=np.int16)
+        cold = np.full(stage.shape, -1.0)
+        calm = np.zeros(stage.shape)
+        storm = np.full(stage.shape, 20.0)
+        assert (
+            maritime_risk_index(stage, sst=cold, wind=storm).mean()
+            > maritime_risk_index(stage, sst=cold, wind=calm).mean()
+        )
+
+    def test_unknown_class_worst_case(self):
+        stage = np.full((2, 2), 99, dtype=np.int16)
+        risk = maritime_risk_index(stage, sst=np.zeros((2, 2)), wind=np.zeros((2, 2)))
+        assert (risk == 1.0).all()
+
+    def test_fields_synthesised_when_missing(self):
+        risk = maritime_risk_index(half_ice_map(), seed=5)
+        assert risk.shape == (32, 32)
+        assert (0 <= risk).all() and (risk <= 1).all()
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ReproError):
+            maritime_risk_index(half_ice_map(), sst=np.zeros((2, 2)))
+
+
+class TestRouting:
+    def corridor_grid(self):
+        """A wall of impassable ice with one open corridor at column 5."""
+        risk = np.zeros((16, 16))
+        risk[8, :] = 1.0
+        risk[8, 5] = 0.1
+        return risk
+
+    def test_route_found_through_corridor(self):
+        route = plan_route(self.corridor_grid(), (0, 12), (15, 12))
+        assert route is not None
+        assert (8, 5) in route.cells
+        assert route.max_risk <= 0.9
+
+    def test_no_route_when_blocked(self):
+        risk = np.zeros((8, 8))
+        risk[4, :] = 1.0
+        assert plan_route(risk, (0, 0), (7, 7)) is None
+
+    def test_zero_weight_is_geodesic(self):
+        risk = np.zeros((10, 10))
+        risk[:, 5] = 0.5  # risky but passable stripe
+        route = plan_route(risk, (5, 0), (5, 9), risk_weight=0.0)
+        # Straight line across, ignoring risk.
+        assert route.distance == pytest.approx(9.0)
+        assert all(r == 5 for r, _ in route.cells)
+
+    def test_risk_weight_trades_distance_for_safety(self):
+        risk = np.zeros((11, 11))
+        risk[4:7, 3:8] = 0.6  # a risky patch on the direct line
+        direct = plan_route(risk, (5, 0), (5, 10), risk_weight=0.0)
+        careful = plan_route(risk, (5, 0), (5, 10), risk_weight=25.0)
+        assert careful.distance > direct.distance
+        assert careful.mean_risk < direct.mean_risk
+
+    def test_unpassable_endpoints(self):
+        risk = np.zeros((4, 4))
+        risk[0, 0] = 1.0
+        assert plan_route(risk, (0, 0), (3, 3)) is None
+
+    def test_route_on_real_ice_field(self):
+        truth = sea_ice_field(48, 48, seed=6, ice_extent=0.5)
+        risk = maritime_risk_index(truth, seed=6)
+        route = plan_route(risk, (47, 5), (47, 42), risk_weight=15.0)
+        assert route is not None
+        assert route.mean_risk < 0.3  # sails the open south
+
+    def test_validation(self):
+        risk = np.zeros((4, 4))
+        with pytest.raises(ReproError):
+            plan_route(risk, (9, 9), (0, 0))
+        with pytest.raises(ReproError):
+            plan_route(risk, (0, 0), (3, 3), risk_weight=-1)
+        with pytest.raises(ReproError):
+            plan_route(risk, (0, 0), (3, 3), max_passable_risk=0.0)
+        with pytest.raises(ReproError):
+            plan_route(np.zeros(4), (0, 0), (1, 1))
+
+    def test_route_to_geojson(self):
+        risk = np.zeros((6, 6))
+        route = plan_route(risk, (0, 0), (5, 5))
+        geojson = route_to_geojson(route, GeoTransform(0, 240, 40))
+        assert geojson["type"] == "Feature"
+        assert geojson["geometry"]["type"] == "LineString"
+        assert len(geojson["geometry"]["coordinates"]) == route.length
+        assert geojson["properties"]["max_risk"] == 0.0
+
+
+class TestOptimality:
+    def test_astar_matches_dijkstra_cost(self):
+        """A* with the Euclidean heuristic finds the same-cost path as an
+        exhaustive Dijkstra (heuristic admissibility check)."""
+        rng = np.random.default_rng(7)
+        risk = np.clip(rng.random((12, 12)) * 0.8, 0, 0.8)
+        start, goal = (0, 0), (11, 11)
+        route = plan_route(risk, start, goal, risk_weight=5.0)
+        assert route is not None
+
+        # Dijkstra reference.
+        import heapq as hq
+        import math
+
+        dist = {start: 0.0}
+        heap = [(0.0, start)]
+        while heap:
+            d, cell = hq.heappop(heap)
+            if d > dist.get(cell, math.inf):
+                continue
+            for dr, dc in (
+                (0, 1), (1, 0), (0, -1), (-1, 0), (1, 1), (1, -1), (-1, 1), (-1, -1)
+            ):
+                r, c = cell[0] + dr, cell[1] + dc
+                if not (0 <= r < 12 and 0 <= c < 12):
+                    continue
+                step = math.hypot(dr, dc)
+                nd = d + step * (1 + 5.0 * risk[r, c])
+                if nd < dist.get((r, c), math.inf):
+                    dist[(r, c)] = nd
+                    hq.heappush(heap, (nd, (r, c)))
+
+        route_cost = sum(
+            math.hypot(b[0] - a[0], b[1] - a[1]) * (1 + 5.0 * risk[b])
+            for a, b in zip(route.cells, route.cells[1:])
+        )
+        assert route_cost == pytest.approx(dist[goal], rel=1e-9)

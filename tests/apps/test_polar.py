@@ -1,0 +1,222 @@
+"""Polar application tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MLError, ReproError
+from repro.apps.polar import (
+    build_ice_classifier,
+    classify_ice_scene,
+    decode_ice_chart,
+    detect_icebergs,
+    encode_ice_chart,
+    ice_concentration_map,
+    ice_type_map,
+    make_ice_training_set,
+    map_agreement,
+    track_icebergs,
+    train_ice_classifier,
+)
+from repro.apps.polar.icebergs import embed_truth_icebergs
+from repro.ml import accuracy
+from repro.raster import GeoTransform, SeaIce, sea_ice_field, sentinel1_scene
+
+
+class TestIceClassifier:
+    def test_training_set_shapes(self):
+        dataset = make_ice_training_set(samples=50, patch_size=8, seed=0)
+        assert dataset.x.shape == (50, 2, 8, 8)
+        assert dataset.num_classes == 5
+
+    def test_train_beats_chance(self):
+        dataset = make_ice_training_set(samples=300, seed=1, looks=8)
+        model = build_ice_classifier(seed=2)
+        report = train_ice_classifier(model, dataset, epochs=4)
+        assert report.losses[-1] < report.losses[0]
+        assert accuracy(model.predict(dataset.x[:100]), dataset.y[:100]) > 0.5
+
+    def test_classify_scene(self):
+        truth = sea_ice_field(32, 32, seed=3, ice_extent=0.5)
+        scene = sentinel1_scene(truth, seed=3, looks=8)
+        model = build_ice_classifier()
+        stage_map = classify_ice_scene(model, scene, patch_size=8)
+        assert stage_map.shape == (32, 32)
+        assert set(np.unique(stage_map)) <= set(range(5))
+
+    def test_patch_validation(self):
+        with pytest.raises(MLError):
+            build_ice_classifier(patch_size=7)
+
+
+class TestIceProducts:
+    def test_concentration_map(self):
+        stage_map = np.zeros((16, 16), dtype=np.int16)
+        stage_map[:8] = int(SeaIce.FIRST_YEAR_ICE)
+        conc = ice_concentration_map(stage_map, window=8)
+        assert conc.shape == (2, 2)
+        np.testing.assert_allclose(conc, [[1.0, 1.0], [0.0, 0.0]])
+
+    def test_concentration_validation(self):
+        with pytest.raises(MLError):
+            ice_concentration_map(np.zeros((4, 4)), window=8)
+
+    def test_type_map_resolution(self):
+        stage_map = sea_ice_field(100, 100, seed=1)
+        transform = GeoTransform(0, 100 * 40.0, 40.0)  # 40 m pixels
+        product = ice_type_map(stage_map, transform, target_resolution_m=1000.0)
+        assert product.resolution == pytest.approx(1000.0)
+        assert product.shape == (1, 4, 4)
+
+    def test_type_map_finer_rejected(self):
+        with pytest.raises(MLError):
+            ice_type_map(np.zeros((10, 10)), GeoTransform(0, 100, 10),
+                         target_resolution_m=5.0)
+
+
+class TestIcebergs:
+    def make_scene_with_bergs(self, count=5, seed=0):
+        truth = np.zeros((64, 64), dtype=np.int16)  # open water
+        truth, positions = embed_truth_icebergs(truth, count=count, seed=seed)
+        scene = sentinel1_scene(truth, signatures="ice", looks=16, seed=seed)
+        return scene, positions
+
+    def test_detection_recall(self):
+        scene, positions = self.make_scene_with_bergs(count=5, seed=1)
+        detections = detect_icebergs(scene, contrast_db=5.0)
+        assert len(positions) == 5
+        # Every planted berg matched by some detection within 200 m (5 px).
+        found = 0
+        size = scene.grid.transform.pixel_size
+        for row, col in positions:
+            x = scene.grid.transform.origin_x + (col + 1) * size
+            y = scene.grid.transform.origin_y - (row + 1) * size
+            if any(
+                abs(d.centroid.x - x) < 5 * size and abs(d.centroid.y - y) < 5 * size
+                for d in detections
+            ):
+                found += 1
+        assert found >= 4
+
+    def test_no_bergs_in_calm_water(self):
+        truth = np.zeros((32, 32), dtype=np.int16)
+        scene = sentinel1_scene(truth, signatures="ice", looks=32, seed=2)
+        detections = detect_icebergs(scene, contrast_db=8.0)
+        assert len(detections) <= 1  # speckle may produce at most stray hits
+
+    def test_large_floes_excluded(self):
+        truth = np.zeros((32, 32), dtype=np.int16)
+        truth[4:28, 4:28] = int(SeaIce.OLD_ICE)  # one huge floe
+        scene = sentinel1_scene(truth, signatures="ice", looks=16, seed=3)
+        detections = detect_icebergs(scene, contrast_db=5.0, max_pixels=100)
+        assert detections == []
+
+    def test_detection_metadata(self):
+        scene, _ = self.make_scene_with_bergs(count=3, seed=4)
+        for detection in detect_icebergs(scene, contrast_db=5.0):
+            assert detection.area_m2 > 0
+            assert detection.day_of_year == scene.day_of_year
+            assert detection.outline.bbox.contains_point(
+                detection.centroid.x, detection.centroid.y
+            )
+
+    def test_requires_sar(self):
+        from repro.raster.sentinel import landcover_field, sentinel2_scene
+
+        scene = sentinel2_scene(landcover_field(16, 16))
+        with pytest.raises(ReproError):
+            detect_icebergs(scene)
+
+    def test_tracking_associates_nearby(self):
+        from repro.apps.polar.icebergs import IcebergDetection
+        from repro.geometry import Point, Polygon
+
+        def detection(x, y, day, name):
+            return IcebergDetection(
+                name, Polygon.box(x - 50, y - 50, x + 50, y + 50),
+                Point(x, y), 100.0, -5.0, day,
+            )
+
+        series = [
+            [detection(0, 0, 1, "a1"), detection(10000, 0, 1, "b1")],
+            [detection(500, 200, 2, "a2"), detection(10300, 100, 2, "b2")],
+            [detection(900, 500, 3, "a3")],
+        ]
+        tracks = track_icebergs(series, max_drift_m=1000.0)
+        assert len(tracks) == 2
+        lengths = sorted(len(t) for t in tracks)
+        assert lengths == [2, 3]
+
+    def test_tracking_starts_new_track_beyond_drift(self):
+        from repro.apps.polar.icebergs import IcebergDetection
+        from repro.geometry import Point, Polygon
+
+        def detection(x, day, name):
+            return IcebergDetection(
+                name, Polygon.box(x, 0, x + 10, 10), Point(x, 5), 1.0, -5.0, day
+            )
+
+        tracks = track_icebergs(
+            [[detection(0, 1, "a")], [detection(99999, 2, "b")]], max_drift_m=100.0
+        )
+        assert len(tracks) == 2
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            track_icebergs([], max_drift_m=0)
+        truth = np.zeros((8, 8), dtype=np.int16)
+        scene = sentinel1_scene(truth, signatures="ice")
+        with pytest.raises(ReproError):
+            detect_icebergs(scene, contrast_db=0)
+
+
+class TestPCDSS:
+    def test_round_trip_exact_when_it_fits(self):
+        chart = sea_ice_field(32, 32, seed=1)
+        message = encode_ice_chart(chart, byte_budget=100_000)
+        decoded, factor = decode_ice_chart(message)
+        assert factor == 1
+        np.testing.assert_array_equal(decoded, chart)
+        assert map_agreement(chart, decoded, factor) == 1.0
+
+    def test_budget_forces_degradation(self):
+        chart = sea_ice_field(128, 128, seed=2, blob_scale=3.0)
+        full = encode_ice_chart(chart, byte_budget=10**6)
+        tight = encode_ice_chart(chart, byte_budget=len(full) // 4)
+        assert len(tight) <= len(full) // 4
+        decoded, factor = decode_ice_chart(tight)
+        assert factor > 1
+        # Fidelity degrades but stays structured (better than random 5-class).
+        assert map_agreement(chart, decoded, factor) > 0.4
+
+    def test_byte_budget_respected(self):
+        chart = sea_ice_field(64, 64, seed=3)
+        for budget in (256, 512, 2048):
+            message = encode_ice_chart(chart, byte_budget=budget)
+            assert len(message) <= budget
+
+    def test_tiny_budget_degrades_to_coarsest_chart(self):
+        # Even 20 bytes carries *something*: the chart collapses to a very
+        # coarse grid rather than failing outright.
+        chart = sea_ice_field(64, 64, seed=4)
+        message = encode_ice_chart(chart, byte_budget=20)
+        decoded, factor = decode_ice_chart(message)
+        assert factor >= 16
+        assert decoded.size >= 1
+
+    def test_malformed_messages(self):
+        with pytest.raises(ReproError):
+            decode_ice_chart(b"XX1whatever")
+        chart = np.zeros((4, 4), dtype=np.int16)
+        message = encode_ice_chart(chart, byte_budget=1000)
+        with pytest.raises(ReproError):
+            decode_ice_chart(message[:-1])
+        with pytest.raises(ReproError):
+            decode_ice_chart(message + b"\x00")
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            encode_ice_chart(np.zeros((2, 2, 2)))
+        with pytest.raises(ReproError):
+            encode_ice_chart(np.full((4, 4), 300))
+        with pytest.raises(ReproError):
+            encode_ice_chart(np.zeros((4, 4)), byte_budget=8)

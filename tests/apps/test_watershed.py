@@ -1,0 +1,216 @@
+"""Watershed delineation tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.apps.foodsecurity.watershed import (
+    D8_OFFSETS,
+    delineate_watershed,
+    flow_accumulation,
+    flow_directions,
+    main_channel,
+    synthetic_dem,
+    watershed_grid,
+)
+from repro.raster import GeoTransform
+
+
+class TestSyntheticDEM:
+    def test_shape_and_range(self):
+        dem = synthetic_dem(32, 40, seed=1, relief_m=100.0)
+        assert dem.shape == (32, 40)
+        assert dem.min() >= 0.0
+        assert dem.max() <= 100.0
+
+    def test_valley_direction(self):
+        south = synthetic_dem(32, 32, seed=2, valley_direction="south")
+        assert south[0].mean() > south[-1].mean()
+        east = synthetic_dem(32, 32, seed=2, valley_direction="east")
+        assert east[:, 0].mean() > east[:, -1].mean()
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            synthetic_dem(16, 16, seed=3), synthetic_dem(16, 16, seed=3)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            synthetic_dem(2, 2)
+        with pytest.raises(ReproError):
+            synthetic_dem(16, 16, valley_direction="up")
+
+
+class TestFlowDirections:
+    def test_simple_slope_flows_south(self):
+        dem = np.linspace(10, 0, 5)[:, np.newaxis] * np.ones((5, 5))
+        directions = flow_directions(dem)
+        # Interior cells flow due south (code 2).
+        assert (directions[1:-1, 1:-1] == 2).all()
+        # The last row has no downhill neighbour: outlet cells.
+        assert (directions[-1] == -1).all()
+
+    def test_diagonal_distance_respected(self):
+        # A drop of 1 straight beats a drop of 1.2 on the diagonal
+        # (slope 1.0 vs 0.85).
+        dem = np.array(
+            [[5.0, 5.0, 5.0], [5.0, 5.0, 5.0], [5.0, 4.0, 3.8]]
+        )
+        directions = flow_directions(dem)
+        assert directions[1, 1] == 2  # straight south to 4.0
+
+    def test_pit_marked(self):
+        dem = np.full((3, 3), 5.0)
+        dem[1, 1] = 1.0
+        directions = flow_directions(dem)
+        assert directions[1, 1] == -1
+        assert (directions[0] != -1).any()
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            flow_directions(np.zeros(5))
+
+
+class TestFlowAccumulation:
+    def test_linear_slope_accumulates_downhill(self):
+        dem = np.linspace(10, 0, 6)[:, np.newaxis] * np.ones((6, 3))
+        accumulation = flow_accumulation(flow_directions(dem))
+        # Straight columns: row r has accumulated r+1 cells.
+        for row in range(6):
+            assert (accumulation[row] == row + 1).all()
+
+    def test_total_mass_conserved_at_outlets(self):
+        dem = synthetic_dem(24, 24, seed=4)
+        directions = flow_directions(dem)
+        accumulation = flow_accumulation(directions)
+        outlet_total = accumulation[directions == -1].sum()
+        assert outlet_total == 24 * 24  # every cell drains to some outlet
+
+    def test_accumulation_minimum_is_one(self):
+        dem = synthetic_dem(16, 16, seed=5)
+        accumulation = flow_accumulation(flow_directions(dem))
+        assert accumulation.min() == 1
+
+    def test_cycle_detected(self):
+        directions = np.full((1, 2), -1, dtype=np.int8)
+        directions[0, 0] = 0  # east
+        directions[0, 1] = 4  # west -> cycle
+        with pytest.raises(ReproError):
+            flow_accumulation(directions)
+
+    @given(seed=st.integers(0, 30))
+    @settings(max_examples=15, deadline=None)
+    def test_downstream_monotone_property(self, seed):
+        """Accumulation never decreases along a flow path."""
+        dem = synthetic_dem(16, 16, seed=seed)
+        directions = flow_directions(dem)
+        accumulation = flow_accumulation(directions)
+        for row in range(16):
+            for col in range(16):
+                code = directions[row, col]
+                if code < 0:
+                    continue
+                dr, dc = D8_OFFSETS[code]
+                assert accumulation[row + dr, col + dc] > accumulation[row, col] - 1
+
+
+class TestWatershed:
+    def test_full_slope_drains_to_bottom(self):
+        dem = np.linspace(10, 0, 8)[:, np.newaxis] * np.ones((8, 4))
+        directions = flow_directions(dem)
+        mask = delineate_watershed(directions, (7, 2))
+        # The pour point's column drains straight through it.
+        assert mask[:, 2].all()
+        assert not mask[:, 0].any()
+
+    def test_watershed_contains_pour_point(self):
+        dem = synthetic_dem(24, 24, seed=6)
+        directions = flow_directions(dem)
+        accumulation = flow_accumulation(directions)
+        outlet = np.unravel_index(int(accumulation.argmax()), accumulation.shape)
+        mask = delineate_watershed(directions, (int(outlet[0]), int(outlet[1])))
+        assert mask[outlet]
+        # The watershed size equals the outlet's accumulation.
+        assert mask.sum() == accumulation[outlet]
+
+    def test_everything_in_watershed_reaches_pour_point(self):
+        dem = synthetic_dem(16, 16, seed=7)
+        directions = flow_directions(dem)
+        accumulation = flow_accumulation(directions)
+        outlet = np.unravel_index(int(accumulation.argmax()), accumulation.shape)
+        mask = delineate_watershed(directions, (int(outlet[0]), int(outlet[1])))
+        for row in range(16):
+            for col in range(16):
+                if not mask[row, col]:
+                    continue
+                r, c = row, col
+                for _ in range(16 * 16):
+                    if (r, c) == tuple(outlet):
+                        break
+                    code = directions[r, c]
+                    assert code >= 0, "watershed cell hit a pit before the outlet"
+                    dr, dc = D8_OFFSETS[code]
+                    r, c = r + dr, c + dc
+                assert (r, c) == tuple(outlet)
+
+    def test_pour_point_validation(self):
+        with pytest.raises(ReproError):
+            delineate_watershed(np.full((4, 4), -1, dtype=np.int8), (9, 0))
+
+    def test_watershed_grid(self):
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[1, 1] = True
+        grid = watershed_grid(mask, GeoTransform(0, 40, 10))
+        assert grid.shape == (1, 4, 4)
+        assert grid.band(0).sum() == 1.0
+
+
+class TestMainChannel:
+    def test_channel_follows_flow(self):
+        dem = synthetic_dem(24, 24, seed=8)
+        directions = flow_directions(dem)
+        accumulation = flow_accumulation(directions)
+        channel = main_channel(directions, accumulation)
+        assert len(channel) >= 2
+        # Consecutive cells are D8 neighbours and flow downstream.
+        for (r0, c0), (r1, c1) in zip(channel, channel[1:]):
+            code = directions[r0, c0]
+            assert code >= 0
+            dr, dc = D8_OFFSETS[code]
+            assert (r0 + dr, c0 + dc) == (r1, c1)
+        # Accumulation grows along the channel.
+        values = [accumulation[r, c] for r, c in channel]
+        assert values == sorted(values)
+
+    def test_channel_ends_at_accumulation_maximum(self):
+        dem = synthetic_dem(20, 20, seed=9)
+        directions = flow_directions(dem)
+        accumulation = flow_accumulation(directions)
+        channel = main_channel(directions, accumulation)
+        assert accumulation[channel[-1]] == accumulation.max()
+
+
+class TestPrometIntegration:
+    def test_watershed_scoped_demand(self):
+        """PROMET demand outside the watershed is excluded from planning."""
+        from repro.apps.foodsecurity import PrometModel, SoilGrid, WeatherDay
+        from repro.raster import LandCover
+
+        dem = synthetic_dem(16, 16, seed=10)
+        directions = flow_directions(dem)
+        accumulation = flow_accumulation(directions)
+        outlet = np.unravel_index(int(accumulation.argmax()), accumulation.shape)
+        mask = delineate_watershed(directions, (int(outlet[0]), int(outlet[1])))
+
+        crop_map = np.full((16, 16), int(LandCover.WHEAT), dtype=np.int16)
+        model = PrometModel(
+            crop_map, SoilGrid.uniform((16, 16)), GeoTransform(0, 160, 10)
+        )
+        for day in range(150, 170):
+            output = model.step(WeatherDay(day, 0.0, 12, 26))
+        scoped_demand = output.irrigation_demand_mm * mask
+        assert scoped_demand.sum() <= output.irrigation_demand_mm.sum()
+        assert scoped_demand[~mask].sum() == 0.0
+        assert scoped_demand[mask].sum() == pytest.approx(scoped_demand.sum())

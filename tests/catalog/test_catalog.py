@@ -1,0 +1,169 @@
+"""Semantic catalogue tests, including the Norske Øer iceberg query."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.catalog import CapabilityError, KeywordCatalog, SemanticCatalog
+from repro.errors import CatalogError
+from repro.geometry import Point, Polygon
+from repro.raster.products import Mission, ProductArchive
+from repro.sparql import Variable
+
+
+@pytest.fixture
+def products():
+    return ProductArchive(
+        extent=(0.0, 50.0, 30.0, 80.0), start=datetime(2017, 1, 1), days=365, seed=1
+    ).generate(60)
+
+
+@pytest.fixture
+def catalog(products):
+    cat = SemanticCatalog()
+    cat.add_products(products)
+    return cat
+
+
+class TestProductSearch:
+    def test_ingest_counts(self, catalog, products):
+        # 8 triples per product.
+        assert catalog.triple_count == len(products) * 8
+
+    def test_search_all(self, catalog, products):
+        assert len(catalog.search_products()) == len(products)
+
+    def test_search_by_mission(self, catalog, products):
+        expected = sum(1 for p in products if p.mission is Mission.SENTINEL1)
+        found = catalog.search_products(mission="S1")
+        assert len(found) == expected
+
+    def test_search_by_time_window(self, catalog, products):
+        found = catalog.search_products(
+            start_time="2017-03-01", end_time="2017-05-31T23:59:59"
+        )
+        expected = {
+            p.product_id
+            for p in products
+            if "2017-03-01" <= p.sensing_time.isoformat() <= "2017-05-31T23:59:59"
+        }
+        assert len(found) == len(expected)
+
+    def test_search_by_bbox(self, catalog, products):
+        bbox = (5.0, 55.0, 10.0, 60.0)
+        found = catalog.search_products(bbox=bbox)
+        from repro.geometry import BoundingBox
+
+        window = BoundingBox(*bbox)
+        expected = sum(1 for p in products if p.footprint.bbox.intersects(window))
+        assert len(found) == expected
+        assert expected > 0
+
+    def test_combined_search(self, catalog, products):
+        found = catalog.search_products(
+            mission="S2", start_time="2017-06-01", bbox=(0.0, 50.0, 30.0, 80.0)
+        )
+        expected = {
+            p.product_id
+            for p in products
+            if p.mission is Mission.SENTINEL2
+            and p.sensing_time.isoformat() >= "2017-06-01"
+        }
+        assert len(found) == len(expected)
+
+    def test_keyword_baseline_agrees_on_classic_search(self, products):
+        semantic = SemanticCatalog()
+        semantic.add_products(products)
+        keyword = KeywordCatalog()
+        for p in products:
+            keyword.add_product(p)
+        for kwargs in (
+            {"mission": "S1"},
+            {"start_time": "2017-07-01"},
+            {"bbox": (10.0, 60.0, 20.0, 70.0)},
+        ):
+            assert len(semantic.search_products(**kwargs)) == len(
+                keyword.search(**kwargs)
+            )
+
+
+class TestKnowledgeQueries:
+    def make_polar_catalog(self):
+        cat = SemanticCatalog()
+        # The ice barrier observed twice in 2017: small then maximum extent.
+        cat.add_ice_region(
+            "barrier-jan", "Norske Oer Ice Barrier",
+            Polygon.box(0, 0, 50, 50), "2017-01-15T00:00:00",
+        )
+        cat.add_ice_region(
+            "barrier-mar", "Norske Oer Ice Barrier",
+            Polygon.box(0, 0, 100, 100), "2017-03-15T00:00:00",
+        )
+        # Another year's even bigger extent must not be picked for 2017.
+        cat.add_ice_region(
+            "barrier-2018", "Norske Oer Ice Barrier",
+            Polygon.box(0, 0, 200, 200), "2018-03-15T00:00:00",
+        )
+        # Icebergs: two inside the 2017 max extent, one outside, one in 2018.
+        cat.add_iceberg("b1", Polygon.box(10, 10, 12, 12), "2017-03-20T00:00:00")
+        cat.add_iceberg("b2", Polygon.box(70, 70, 75, 75), "2017-04-01T00:00:00")
+        cat.add_iceberg("b3", Polygon.box(150, 150, 155, 155), "2017-04-01T00:00:00")
+        cat.add_iceberg("b4", Polygon.box(20, 20, 22, 22), "2018-06-01T00:00:00")
+        return cat
+
+    def test_iceberg_query(self):
+        cat = self.make_polar_catalog()
+        assert cat.count_icebergs_embedded("Norske Oer Ice Barrier", 2017) == 2
+
+    def test_iceberg_query_other_year(self):
+        cat = self.make_polar_catalog()
+        assert cat.count_icebergs_embedded("Norske Oer Ice Barrier", 2018) == 1
+
+    def test_unknown_region_raises(self):
+        cat = self.make_polar_catalog()
+        with pytest.raises(CatalogError):
+            cat.count_icebergs_embedded("Larsen C", 2017)
+
+    def test_keyword_catalog_cannot_answer(self):
+        keyword = KeywordCatalog()
+        with pytest.raises(CapabilityError):
+            keyword.count_icebergs_embedded("Norske Oer Ice Barrier", 2017)
+
+    def test_raw_knowledge_sparql(self):
+        cat = self.make_polar_catalog()
+        [row] = cat.query(
+            "SELECT (COUNT(?b) AS ?n) WHERE { ?b rdf:type eop:Iceberg }"
+        )
+        assert row[Variable("n")].to_python() == 4
+
+    def test_crop_field_knowledge(self):
+        cat = SemanticCatalog()
+        cat.add_crop_field("f1", "wheat", Polygon.box(0, 0, 10, 10))
+        cat.add_crop_field("f2", "maize", Polygon.box(20, 0, 30, 10))
+        result = cat.query(
+            'SELECT ?f WHERE { ?f rdf:type eop:CropField . ?f eop:cropType "wheat" }'
+        )
+        assert len(result) == 1
+
+    def test_spatial_knowledge_query(self):
+        cat = self.make_polar_catalog()
+        from repro.geosparql import geometry_literal
+
+        window = geometry_literal(Polygon.box(0, 0, 30, 30))
+        result = cat.query(
+            "SELECT ?b WHERE { ?b rdf:type eop:Iceberg . "
+            "?b geo:hasGeometry ?g . ?g geo:asWKT ?wkt . "
+            f'FILTER (geof:sfWithin(?wkt, "{window.lexical}"^^geo:wktLiteral)) }}'
+        )
+        # b1 (2017) and b4 (2018) fall inside the window.
+        assert len(result) == 2
+
+
+class TestKeywordCatalog:
+    def test_keyword_search(self, products):
+        catalog = KeywordCatalog()
+        catalog.add_product(products[0], keywords=("ice", "arctic"))
+        catalog.add_product(products[1], keywords=("crops",))
+        assert catalog.search(keyword="ICE") == [products[0].product_id]
+        assert catalog.search(keyword="nothing") == []
+        assert len(catalog) == 2

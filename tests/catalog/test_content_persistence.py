@@ -1,0 +1,96 @@
+"""Content-based catalogue search and persistence tests."""
+
+import pytest
+
+from repro.catalog import SemanticCatalog
+from repro.errors import CatalogError
+from repro.geometry import Polygon
+from repro.catalog.ingest import product_iri
+from repro.raster.products import ProductArchive
+
+
+@pytest.fixture
+def catalog():
+    cat = SemanticCatalog()
+    products = ProductArchive(seed=3).generate(5)
+    cat.add_products(products)
+    iris = [product_iri(p) for p in products]
+    cat.add_content_summary(iris[0], {"FIRST_YEAR_ICE": 0.7, "OPEN_WATER": 0.3})
+    cat.add_content_summary(iris[1], {"FIRST_YEAR_ICE": 0.2, "OPEN_WATER": 0.8})
+    cat.add_content_summary(iris[2], {"WHEAT": 0.9})
+    return cat, iris
+
+
+class TestContentSearch:
+    def test_search_by_content(self, catalog):
+        cat, iris = catalog
+        results = cat.search_by_content("FIRST_YEAR_ICE")
+        assert [p for p, _ in results] == [iris[0], iris[1]]  # best first
+        assert results[0][1] == pytest.approx(0.7)
+
+    def test_min_fraction_threshold(self, catalog):
+        cat, iris = catalog
+        results = cat.search_by_content("FIRST_YEAR_ICE", min_fraction=0.5)
+        assert [p for p, _ in results] == [iris[0]]
+
+    def test_unknown_class_empty(self, catalog):
+        cat, _ = catalog
+        assert cat.search_by_content("LAVA") == []
+
+    def test_fraction_validation(self, catalog):
+        cat, iris = catalog
+        with pytest.raises(CatalogError):
+            cat.add_content_summary(iris[3], {"WATER": 1.5})
+
+    def test_content_from_pipeline_class_fractions(self, catalog):
+        """The classifier output plugs straight in."""
+        import numpy as np
+
+        from repro.raster.stats import class_fractions
+        from repro.raster.sentinel import SeaIce
+
+        cat, iris = catalog
+        stage_map = np.zeros((10, 10), dtype=np.int16)
+        stage_map[:3] = int(SeaIce.OLD_ICE)
+        fractions = {
+            SeaIce(value).name: fraction
+            for value, fraction in class_fractions(stage_map).items()
+        }
+        cat.add_content_summary(iris[4], fractions)
+        results = cat.search_by_content("OLD_ICE", min_fraction=0.25)
+        assert [p for p, _ in results] == [iris[4]]
+
+
+class TestPersistence:
+    def test_round_trip_preserves_everything(self, catalog, tmp_path):
+        cat, iris = catalog
+        cat.add_ice_region(
+            "r1", "Test Barrier", Polygon.box(0, 0, 10, 10), "2017-02-01T00:00:00"
+        )
+        cat.add_iceberg("b1", Polygon.box(1, 1, 2, 2), "2017-02-10T00:00:00")
+        path = str(tmp_path / "catalog.nt")
+        count = cat.save(path)
+        assert count == cat.triple_count
+
+        restored = SemanticCatalog.load(path)
+        assert restored.triple_count == cat.triple_count
+        # Classic search still works.
+        assert len(restored.search_products()) == len(cat.search_products())
+        # Content search still works.
+        assert restored.search_by_content("WHEAT") == cat.search_by_content("WHEAT")
+        # The spatial index was rebuilt: the iceberg query still answers.
+        assert restored.count_icebergs_embedded("Test Barrier", 2017) == 1
+
+    def test_geostore_round_trip(self, tmp_path):
+        from repro.geosparql import GeoStore, geometry_literal
+        from repro.geometry import Point
+        from repro.rdf import GEO, Namespace
+
+        EX = Namespace("http://ex.org/")
+        store = GeoStore()
+        store.add(EX.a, GEO.asWKT, geometry_literal(Point(3, 4)))
+        path = str(tmp_path / "store.nt")
+        store.save_ntriples(path)
+        restored = GeoStore.from_ntriples(path)
+        assert len(restored) == 1
+        assert restored.geometry_count == 1

@@ -1,0 +1,146 @@
+"""Communication model and parallel collection tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ClusterError
+from repro.cluster import (
+    ClusterSpec,
+    NetworkModel,
+    SimContext,
+    broadcast_time_s,
+    parameter_server_time_s,
+    ring_allreduce_time_s,
+)
+
+
+class TestCommModels:
+    net = NetworkModel(latency_s=1e-4, bandwidth_bps=1e9)
+
+    def test_single_worker_free(self):
+        assert ring_allreduce_time_s(1, 1e6, self.net) == 0.0
+        assert broadcast_time_s(1, 1e6, self.net) == 0.0
+
+    def test_ring_bandwidth_term_saturates(self):
+        # Per-step bytes term approaches 2*M*beta as n grows.
+        small = ring_allreduce_time_s(2, 1e8, NetworkModel(0.0, 1e9))
+        large = ring_allreduce_time_s(64, 1e8, NetworkModel(0.0, 1e9))
+        assert small == pytest.approx(1e8 / 1e9)  # 2*(1/2)*M*beta
+        assert large < 2 * 1e8 / 1e9 * 1.05
+
+    def test_ring_beats_broadcast_at_scale(self):
+        for workers in (4, 8, 16, 32):
+            assert ring_allreduce_time_s(workers, 1e8, self.net) < broadcast_time_s(
+                workers, 1e8, self.net
+            )
+
+    def test_ps_scales_with_servers(self):
+        one = parameter_server_time_s(16, 1e8, servers=1, network=self.net)
+        four = parameter_server_time_s(16, 1e8, servers=4, network=self.net)
+        assert four < one / 2
+
+    def test_ps_server_bottleneck_grows_with_workers(self):
+        t8 = parameter_server_time_s(8, 1e8, servers=1, network=self.net)
+        t16 = parameter_server_time_s(16, 1e8, servers=1, network=self.net)
+        assert t16 > t8 * 1.8
+
+    def test_ring_vs_ps_crossover(self):
+        # Latency-dominated regime with a full server tier: PS wins (two
+        # hops vs 2(n-1) ring steps). Bandwidth-dominated with one server:
+        # ring wins.
+        latency_net = NetworkModel(latency_s=1e-3, bandwidth_bps=1e9)
+        ps_full_tier = parameter_server_time_s(64, 1e6, servers=64, network=latency_net)
+        assert ps_full_tier < ring_allreduce_time_s(64, 1e6, latency_net)
+        assert ring_allreduce_time_s(32, 1e8, self.net) < parameter_server_time_s(
+            32, 1e8, servers=1, network=self.net
+        )
+
+    def test_validation(self):
+        with pytest.raises(ClusterError):
+            ring_allreduce_time_s(0, 1e6)
+        with pytest.raises(ClusterError):
+            parameter_server_time_s(4, 1e6, servers=0)
+        with pytest.raises(ClusterError):
+            broadcast_time_s(4, -1)
+        with pytest.raises(ClusterError):
+            NetworkModel(bandwidth_bps=0)
+
+    @given(workers=st.integers(2, 64), mbytes=st.floats(1e3, 1e9))
+    @settings(max_examples=50)
+    def test_ring_monotone_in_message_size(self, workers, mbytes):
+        assert ring_allreduce_time_s(workers, mbytes, self.net) < ring_allreduce_time_s(
+            workers, mbytes * 2, self.net
+        )
+
+
+class TestParallelCollection:
+    def context(self, **kwargs):
+        return SimContext(ClusterSpec(node_count=4, cpu_slots_per_node=2), **kwargs)
+
+    def test_map_collect(self):
+        ctx = self.context()
+        data = ctx.parallelize(range(100))
+        assert data.map(lambda x: x * 2).collect() == [x * 2 for x in range(100)]
+
+    def test_filter(self):
+        ctx = self.context()
+        result = ctx.parallelize(range(20)).filter(lambda x: x % 2 == 0).collect()
+        assert result == list(range(0, 20, 2))
+
+    def test_count(self):
+        ctx = self.context()
+        assert ctx.parallelize(range(57)).count() == 57
+
+    def test_reduce(self):
+        ctx = self.context()
+        assert ctx.parallelize(range(101)).reduce(lambda a, b: a + b) == 5050
+
+    def test_reduce_empty_raises(self):
+        ctx = self.context()
+        with pytest.raises(ClusterError):
+            ctx.parallelize([]).reduce(lambda a, b: a + b)
+
+    def test_map_partitions(self):
+        ctx = self.context()
+        result = ctx.parallelize(range(10), partitions=2).map_partitions(
+            lambda part: [sum(part)]
+        )
+        assert sum(result.collect()) == 45
+
+    def test_group_by_key(self):
+        ctx = self.context()
+        pairs = [(i % 3, i) for i in range(12)]
+        grouped = dict(ctx.parallelize(pairs).group_by_key().collect())
+        assert sorted(grouped[0]) == [0, 3, 6, 9]
+        assert sorted(grouped[2]) == [2, 5, 8, 11]
+
+    def test_simulated_time_accumulates(self):
+        ctx = self.context()
+        data = ctx.parallelize(range(1000))
+        before = ctx.simulated_time_s
+        data.map(lambda x: x)
+        assert ctx.simulated_time_s > before
+        assert ctx.stages_run == 1
+        assert ctx.tasks_run == data.partition_count
+
+    def test_more_nodes_less_simulated_time(self):
+        def sim_time(nodes):
+            ctx = SimContext(
+                ClusterSpec(node_count=nodes, cpu_slots_per_node=1),
+                task_overhead_s=0.0,
+                per_item_cost_s=1e-3,
+            )
+            ctx.parallelize(range(1024), partitions=32).map(lambda x: x)
+            return ctx.simulated_time_s
+
+        assert sim_time(8) < sim_time(1) / 4
+
+    def test_partition_count_bounds(self):
+        ctx = self.context()
+        assert ctx.parallelize(range(3), partitions=10).partition_count <= 3
+        assert ctx.parallelize([], partitions=4).partition_count == 1
+
+    def test_cost_validation(self):
+        with pytest.raises(ClusterError):
+            SimContext(task_overhead_s=-1)

@@ -1,0 +1,168 @@
+"""Scheduler and resource tests."""
+
+import pytest
+
+from repro.errors import ClusterError
+from repro.cluster import ClusterSpec, Node, Scheduler
+
+
+class TestResources:
+    def test_node_validation(self):
+        with pytest.raises(ClusterError):
+            Node(0, cpu_slots=0, gpu_slots=0)
+        with pytest.raises(ClusterError):
+            Node(0, cpu_slots=-1)
+        with pytest.raises(ClusterError):
+            Node(0, speed=0)
+
+    def test_spec_builds_nodes(self):
+        spec = ClusterSpec(node_count=3, cpu_slots_per_node=2, gpu_slots_per_node=1)
+        nodes = spec.build_nodes()
+        assert len(nodes) == 3
+        assert all(n.cpu_slots == 2 and n.gpu_slots == 1 for n in nodes)
+
+    def test_transfer_time(self):
+        spec = ClusterSpec(network_bandwidth_bps=1e9, network_latency_s=1e-3)
+        assert spec.transfer_time_s(1e9) == pytest.approx(1.001)
+        with pytest.raises(ClusterError):
+            spec.transfer_time_s(-1)
+
+    def test_place_partitions(self):
+        spec = ClusterSpec(node_count=3)
+        nodes = spec.build_nodes()
+        placement = spec.place_partitions(["a", "b", "c", "d"], nodes, copies=2)
+        assert placement["a"] == [0, 1]
+        assert placement["d"] == [0, 1]
+        assert "a" in nodes[0].local_data and "a" in nodes[1].local_data
+
+
+class TestScheduler:
+    def test_single_task(self):
+        scheduler = Scheduler(ClusterSpec(node_count=1, cpu_slots_per_node=1))
+        task = scheduler.make_task(work_s=2.0)
+        scheduler.submit(task)
+        metrics = scheduler.run()
+        assert metrics.tasks_completed == 1
+        assert metrics.makespan_s == pytest.approx(2.0)
+        assert task.ran_local is True
+
+    def test_parallel_speedup(self):
+        def makespan(nodes):
+            scheduler = Scheduler(ClusterSpec(node_count=nodes, cpu_slots_per_node=1))
+            scheduler.submit_all([scheduler.make_task(1.0) for _ in range(8)])
+            return scheduler.run().makespan_s
+
+        assert makespan(1) == pytest.approx(8.0)
+        assert makespan(4) == pytest.approx(2.0)
+        assert makespan(8) == pytest.approx(1.0)
+
+    def test_slots_limit_concurrency(self):
+        scheduler = Scheduler(ClusterSpec(node_count=1, cpu_slots_per_node=2))
+        scheduler.submit_all([scheduler.make_task(1.0) for _ in range(4)])
+        assert scheduler.run().makespan_s == pytest.approx(2.0)
+
+    def test_node_speed(self):
+        scheduler = Scheduler(ClusterSpec(node_count=1, node_speed=2.0))
+        scheduler.submit(scheduler.make_task(4.0))
+        assert scheduler.run().makespan_s == pytest.approx(2.0)
+
+    def test_gpu_tasks_need_gpu_slots(self):
+        scheduler = Scheduler(ClusterSpec(node_count=1, gpu_slots_per_node=0))
+        scheduler.submit(scheduler.make_task(1.0, kind="gpu"))
+        with pytest.raises(ClusterError):
+            scheduler.run()
+
+    def test_gpu_and_cpu_tasks_coexist(self):
+        scheduler = Scheduler(
+            ClusterSpec(node_count=1, cpu_slots_per_node=1, gpu_slots_per_node=1)
+        )
+        scheduler.submit_all(
+            [scheduler.make_task(1.0), scheduler.make_task(1.0, kind="gpu")]
+        )
+        assert scheduler.run().makespan_s == pytest.approx(1.0)
+
+    def test_on_complete_callback(self):
+        scheduler = Scheduler(ClusterSpec())
+        finished = []
+        scheduler.submit(
+            scheduler.make_task(1.0, on_complete=lambda t: finished.append(t.task_id))
+        )
+        scheduler.run()
+        assert finished == [0]
+
+    def test_task_validation(self):
+        scheduler = Scheduler(ClusterSpec())
+        with pytest.raises(ClusterError):
+            scheduler.make_task(-1.0)
+        with pytest.raises(ClusterError):
+            scheduler.make_task(1.0, kind="tpu")
+
+
+class TestLocality:
+    def spec(self):
+        return ClusterSpec(
+            node_count=2,
+            cpu_slots_per_node=1,
+            network_bandwidth_bps=1e6,  # slow network: remote reads hurt
+            network_latency_s=0.0,
+        )
+
+    def test_local_task_runs_on_preferred_node(self):
+        scheduler = Scheduler(self.spec())
+        task = scheduler.make_task(1.0, input_bytes=1e6, preferred_nodes={1})
+        scheduler.submit(task)
+        scheduler.run()
+        assert task.ran_on == 1
+        assert task.ran_local is True
+
+    def test_remote_task_pays_transfer(self):
+        # Both tasks prefer node 0; one must run remote after the wait.
+        scheduler = Scheduler(self.spec(), locality_wait_s=0.0)
+        tasks = [
+            scheduler.make_task(1.0, input_bytes=1e6, preferred_nodes={0})
+            for _ in range(2)
+        ]
+        scheduler.submit_all(tasks)
+        metrics = scheduler.run()
+        assert metrics.locality_misses == 1
+        assert metrics.bytes_transferred == pytest.approx(1e6)
+        # Remote task: 1s work + 1s transfer.
+        assert metrics.makespan_s == pytest.approx(2.0)
+
+    def test_delay_scheduling_waits_for_local_slot(self):
+        # With a generous wait, the second task waits for node 0 to free
+        # (total 2.0) instead of paying a 1.0 transfer to run remote at 1.0.
+        scheduler = Scheduler(self.spec(), locality_wait_s=10.0)
+        tasks = [
+            scheduler.make_task(1.0, input_bytes=1e6, preferred_nodes={0})
+            for _ in range(2)
+        ]
+        scheduler.submit_all(tasks)
+        metrics = scheduler.run()
+        assert metrics.locality_rate == 1.0
+        assert metrics.bytes_transferred == 0.0
+        assert metrics.makespan_s == pytest.approx(2.0)
+
+    def test_wait_expiry_wakes_dispatcher(self):
+        # One busy preferred node, short wait: the queued task must start
+        # remotely at the wait expiry, not stall forever.
+        scheduler = Scheduler(self.spec(), locality_wait_s=0.5)
+        blocker = scheduler.make_task(10.0, preferred_nodes={0})
+        waiter = scheduler.make_task(1.0, input_bytes=0.0, preferred_nodes={0})
+        scheduler.submit_all([blocker, waiter])
+        metrics = scheduler.run()
+        assert waiter.ran_on == 1
+        assert waiter.started_at == pytest.approx(0.5)
+        assert metrics.makespan_s == pytest.approx(10.0)
+
+    def test_locality_rate_improves_with_wait(self):
+        def rate(wait):
+            scheduler = Scheduler(self.spec(), locality_wait_s=wait)
+            tasks = [
+                scheduler.make_task(0.1, input_bytes=1e5, preferred_nodes={0})
+                for _ in range(10)
+            ]
+            scheduler.submit_all(tasks)
+            return scheduler.run().locality_rate
+
+        assert rate(10.0) > rate(0.0)

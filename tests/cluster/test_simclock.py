@@ -1,0 +1,81 @@
+"""Discrete-event simulation core tests."""
+
+import pytest
+
+from repro.errors import ClusterError
+from repro.cluster import Simulation
+
+
+class TestSimulation:
+    def test_events_run_in_time_order(self):
+        sim = Simulation()
+        order = []
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_simultaneous_events_fifo(self):
+        sim = Simulation()
+        order = []
+        for name in "abc":
+            sim.schedule(1.0, lambda n=name: order.append(n))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_callbacks_can_schedule(self):
+        sim = Simulation()
+        times = []
+
+        def tick():
+            times.append(sim.now)
+            if sim.now < 3:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(1.0, tick)
+        sim.run()
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_run_until(self):
+        sim = Simulation()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(5.0, lambda: fired.append(5))
+        sim.run(until=2.0)
+        assert fired == [1]
+        assert sim.now == 2.0
+        sim.run()
+        assert fired == [1, 5]
+
+    def test_cancel(self):
+        sim = Simulation()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append(1))
+        Simulation.cancel(event)
+        sim.run()
+        assert fired == []
+        assert sim.pending == 0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulation()
+        with pytest.raises(ClusterError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulation()
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        with pytest.raises(ClusterError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_event_budget(self):
+        sim = Simulation()
+
+        def forever():
+            sim.schedule(1.0, forever)
+
+        sim.schedule(1.0, forever)
+        with pytest.raises(ClusterError):
+            sim.run(max_events=100)

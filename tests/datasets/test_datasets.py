@@ -1,0 +1,261 @@
+"""Dataset generation, weak labelling, augmentation, and split tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MLError
+from repro.datasets import (
+    Dataset,
+    WeakLabelConfig,
+    augment_dataset,
+    make_eurosat,
+    make_osm_layer,
+    stratified_split,
+    weak_label_dataset,
+)
+from repro.datasets.augmentation import band_dropout, band_jitter, flip_horizontal, rotate90
+from repro.datasets.weaklabel import crop_label, label_noise_rate
+from repro.raster import GeoTransform, LandCover, RasterGrid
+from repro.raster.sentinel import CROP_CLASSES, S2_BANDS, sentinel2_scene
+from repro.raster.stats import rasterize_polygon
+
+
+class TestEuroSat:
+    def test_shapes(self):
+        ds = make_eurosat(samples=50, patch_size=8, seed=0)
+        assert ds.x.shape == (50, S2_BANDS, 8, 8)
+        assert ds.y.shape == (50,)
+        assert len(ds) == 50
+        assert ds.num_classes == 8
+
+    def test_deterministic(self):
+        a = make_eurosat(samples=20, seed=3)
+        b = make_eurosat(samples=20, seed=3)
+        np.testing.assert_array_equal(a.x, b.x)
+        np.testing.assert_array_equal(a.y, b.y)
+
+    def test_all_classes_present_at_scale(self):
+        ds = make_eurosat(samples=400, seed=1)
+        assert set(np.unique(ds.y)) == set(range(8))
+
+    def test_classes_linearly_separable_enough(self):
+        # Mean spectra of water vs urban patches must differ clearly.
+        ds = make_eurosat(samples=300, seed=2)
+        water = ds.x[ds.y == 0].mean(axis=(0, 2, 3))
+        urban = ds.x[ds.y == 1].mean(axis=(0, 2, 3))
+        assert np.abs(water - urban).max() > 0.1
+
+    def test_validation(self):
+        with pytest.raises(MLError):
+            make_eurosat(samples=0)
+        with pytest.raises(MLError):
+            make_eurosat(samples=10, num_classes=1)
+
+    def test_dataset_validation(self):
+        with pytest.raises(MLError):
+            Dataset(np.zeros((2, 3)), np.zeros(2), ("a",))
+        with pytest.raises(MLError):
+            Dataset(np.zeros((2, 1, 4, 4)), np.zeros(3), ("a",))
+
+    def test_subset(self):
+        ds = make_eurosat(samples=30, seed=0)
+        sub = ds.subset(np.arange(10))
+        assert len(sub) == 10
+        np.testing.assert_array_equal(sub.y, ds.y[:10])
+
+
+class TestOSMLayer:
+    def test_parcel_count(self):
+        layer = make_osm_layer(parcel_grid=4, seed=0)
+        assert layer.parcel_count == 16
+
+    def test_parcels_inside_extent(self):
+        layer = make_osm_layer(extent=(0, 0, 100, 100), parcel_grid=3, seed=1)
+        for parcel in layer.parcels:
+            box = parcel.geometry.bbox
+            assert box.min_x >= 0 and box.max_x <= 100
+            assert box.min_y >= 0 and box.max_y <= 100
+
+    def test_parcels_disjoint(self):
+        from repro.geometry import intersects
+
+        layer = make_osm_layer(parcel_grid=3, seed=2)
+        parcels = layer.parcels
+        for i in range(len(parcels)):
+            for j in range(i + 1, len(parcels)):
+                assert not intersects(parcels[i].geometry, parcels[j].geometry)
+
+    def test_attribute_error_rate(self):
+        layer = make_osm_layer(parcel_grid=16, attribute_error=0.2, seed=3)
+        assert 0.1 < layer.attribute_error_rate() < 0.3
+        clean = make_osm_layer(parcel_grid=16, attribute_error=0.0, seed=3)
+        assert clean.attribute_error_rate() == 0.0
+
+    def test_roads_and_water(self):
+        layer = make_osm_layer(road_count=5, water_count=2, seed=4)
+        assert len(layer.roads) == 5
+        assert len(layer.water) == 2
+
+    def test_crops_only(self):
+        layer = make_osm_layer(seed=5)
+        assert all(p.crop in CROP_CLASSES for p in layer.parcels)
+
+    def test_validation(self):
+        with pytest.raises(MLError):
+            make_osm_layer(extent=(10, 0, 0, 10))
+        with pytest.raises(MLError):
+            make_osm_layer(attribute_error=2.0)
+
+
+def make_scene_and_layer(attribute_error=0.0, seed=0, size=64):
+    """A scene whose truth matches the parcel layer's true crops."""
+    layer = make_osm_layer(
+        extent=(0.0, 0.0, size * 10.0, size * 10.0),
+        parcel_grid=4,
+        attribute_error=attribute_error,
+        seed=seed,
+    )
+    transform = GeoTransform(0.0, size * 10.0, 10.0)
+    truth = np.full((size, size), int(LandCover.BARE_SOIL), dtype=np.int16)
+    for parcel in layer.parcels:
+        mask = rasterize_polygon(parcel.geometry, transform, (size, size))
+        truth[mask] = int(parcel.true_crop)
+    scene = sentinel2_scene(truth, day_of_year=170, seed=seed, transform=transform)
+    return scene, layer
+
+
+class TestWeakLabel:
+    def test_produces_patches(self):
+        scene, layer = make_scene_and_layer()
+        ds = weak_label_dataset(scene.grid, layer, WeakLabelConfig(patch_size=4))
+        assert len(ds) > 0
+        assert ds.x.shape[1] == S2_BANDS
+        assert set(np.unique(ds.y)) <= set(range(len(CROP_CLASSES)))
+
+    def test_clean_attributes_give_clean_labels(self):
+        scene, layer = make_scene_and_layer(attribute_error=0.0, seed=1)
+        weak = weak_label_dataset(scene.grid, layer, WeakLabelConfig(patch_size=4), seed=7)
+        true = weak_label_dataset(
+            scene.grid, layer, WeakLabelConfig(patch_size=4), seed=7, true_labels=True
+        )
+        assert label_noise_rate(weak.y, true.y) == 0.0
+
+    def test_attribute_errors_become_label_noise(self):
+        scene, layer = make_scene_and_layer(attribute_error=0.3, seed=2)
+        weak = weak_label_dataset(scene.grid, layer, WeakLabelConfig(patch_size=4), seed=7)
+        true = weak_label_dataset(
+            scene.grid, layer, WeakLabelConfig(patch_size=4), seed=7, true_labels=True
+        )
+        # With 16 parcels the realized error rate fluctuates; it must be
+        # non-zero and roughly track the layer's own attribute error.
+        noise = label_noise_rate(weak.y, true.y)
+        assert noise > 0.0
+        assert noise == pytest.approx(layer.attribute_error_rate(), abs=0.25)
+
+    def test_misalignment_reduces_patch_count(self):
+        scene, layer = make_scene_and_layer(seed=3)
+        aligned = weak_label_dataset(
+            scene.grid, layer, WeakLabelConfig(patch_size=4), seed=1
+        )
+        shifted = weak_label_dataset(
+            scene.grid,
+            layer,
+            WeakLabelConfig(patch_size=4, misalignment_m=80.0),
+            seed=1,
+        )
+        # Misalignment pushes parcels off their pixels; fewer valid patches
+        # (some fall outside / below coverage) or equal at worst.
+        assert len(shifted) <= len(aligned)
+
+    def test_crop_label_mapping(self):
+        assert crop_label(LandCover.WHEAT) == 0
+        with pytest.raises(MLError):
+            crop_label(LandCover.WATER)
+
+    def test_config_validation(self):
+        with pytest.raises(MLError):
+            WeakLabelConfig(patch_size=0)
+        with pytest.raises(MLError):
+            WeakLabelConfig(min_coverage=0.0)
+
+    def test_label_noise_rate_validation(self):
+        with pytest.raises(MLError):
+            label_noise_rate(np.array([1]), np.array([1, 2]))
+        with pytest.raises(MLError):
+            label_noise_rate(np.array([]), np.array([]))
+
+
+class TestAugmentation:
+    patch = np.arange(2 * 4 * 4, dtype=np.float64).reshape(2, 4, 4)
+
+    def test_flip_involution(self):
+        np.testing.assert_array_equal(
+            flip_horizontal(flip_horizontal(self.patch)), self.patch
+        )
+
+    def test_rotate_four_times_identity(self):
+        out = self.patch
+        for _ in range(4):
+            out = rotate90(out)
+        np.testing.assert_array_equal(out, self.patch)
+
+    def test_band_jitter_preserves_shape_positive(self):
+        rng = np.random.default_rng(0)
+        out = band_jitter(self.patch, rng)
+        assert out.shape == self.patch.shape
+        assert (out >= 0).all()
+
+    def test_band_dropout_keeps_at_least_one(self):
+        rng = np.random.default_rng(1)
+        out = band_dropout(self.patch, rng, rate=0.99)
+        assert out.shape == self.patch.shape
+        band_sums = out.sum(axis=(1, 2))
+        assert (band_sums != 0).any()
+
+    def test_augment_dataset_size(self):
+        ds = make_eurosat(samples=10, seed=0)
+        out = augment_dataset(ds, copies=3, seed=1)
+        assert len(out) == 40
+        np.testing.assert_array_equal(out.y[:10], ds.y)
+        np.testing.assert_array_equal(out.y[10:20], ds.y)
+
+    def test_augmented_samples_differ(self):
+        ds = make_eurosat(samples=5, seed=0)
+        out = augment_dataset(ds, copies=1, seed=2)
+        assert not np.array_equal(out.x[:5], out.x[5:])
+
+    def test_zero_copies_identity(self):
+        ds = make_eurosat(samples=5, seed=0)
+        out = augment_dataset(ds, copies=0)
+        assert len(out) == 5
+
+
+class TestSplits:
+    def test_split_sizes(self):
+        ds = make_eurosat(samples=100, seed=0)
+        train, test = stratified_split(ds, test_fraction=0.25, seed=0)
+        assert len(train) + len(test) == 100
+        assert 15 <= len(test) <= 35
+
+    def test_stratification(self):
+        ds = make_eurosat(samples=400, seed=1)
+        train, test = stratified_split(ds, test_fraction=0.2, seed=0)
+        for label in np.unique(ds.y):
+            total = (ds.y == label).sum()
+            in_test = (test.y == label).sum()
+            assert 0 < in_test < total
+
+    def test_no_overlap(self):
+        ds = make_eurosat(samples=60, seed=2)
+        train, test = stratified_split(ds, test_fraction=0.3, seed=1)
+        # Identical patches across sides would indicate index overlap.
+        train_keys = {hash(train.x[i].tobytes()) for i in range(len(train))}
+        test_keys = {hash(test.x[i].tobytes()) for i in range(len(test))}
+        assert not train_keys & test_keys
+
+    def test_validation(self):
+        ds = make_eurosat(samples=20, seed=0)
+        with pytest.raises(MLError):
+            stratified_split(ds, test_fraction=0.0)
+        with pytest.raises(MLError):
+            stratified_split(ds, test_fraction=1.5)

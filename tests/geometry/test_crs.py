@@ -1,0 +1,87 @@
+"""CRS projection tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import LocalProjection, Point, Polygon
+from repro.geometry.crs import haversine_m
+
+
+class TestLocalProjection:
+    def test_origin_maps_to_zero(self):
+        proj = LocalProjection(23.7, 37.9)  # Athens
+        assert proj.forward(23.7, 37.9) == pytest.approx((0.0, 0.0))
+
+    def test_one_degree_latitude_is_about_111km(self):
+        proj = LocalProjection(0, 0)
+        _, y = proj.forward(0, 1)
+        assert y == pytest.approx(111_195, rel=0.01)
+
+    def test_longitude_shrinks_with_latitude(self):
+        equator = LocalProjection(0, 0)
+        arctic = LocalProjection(0, 70)
+        x_eq, _ = equator.forward(1, 0)
+        x_arc, _ = arctic.forward(1, 70)
+        assert x_arc < x_eq * 0.5
+
+    def test_round_trip(self):
+        proj = LocalProjection(10.0, 50.0)
+        lon, lat = proj.inverse(*proj.forward(10.5, 50.25))
+        assert lon == pytest.approx(10.5)
+        assert lat == pytest.approx(50.25)
+
+    @given(
+        dlon=st.floats(-0.5, 0.5, allow_nan=False),
+        dlat=st.floats(-0.5, 0.5, allow_nan=False),
+    )
+    @settings(max_examples=50)
+    def test_round_trip_property(self, dlon, dlat):
+        proj = LocalProjection(15.0, 45.0)
+        lon, lat = proj.inverse(*proj.forward(15.0 + dlon, 45.0 + dlat))
+        assert lon == pytest.approx(15.0 + dlon, abs=1e-9)
+        assert lat == pytest.approx(45.0 + dlat, abs=1e-9)
+
+    def test_matches_haversine_locally(self):
+        proj = LocalProjection(20.0, 60.0)
+        x, y = proj.forward(20.1, 60.05)
+        planar = (x**2 + y**2) ** 0.5
+        true = haversine_m(20.0, 60.0, 20.1, 60.05)
+        assert planar == pytest.approx(true, rel=0.01)
+
+    def test_pole_rejected(self):
+        with pytest.raises(GeometryError):
+            LocalProjection(0, 90)
+
+    def test_range_validation(self):
+        with pytest.raises(GeometryError):
+            LocalProjection(200, 0)
+        with pytest.raises(GeometryError):
+            LocalProjection(0, 95)
+
+    def test_project_geometry(self):
+        proj = LocalProjection(0, 0)
+        poly = Polygon.box(0, 0, 0.1, 0.1)
+        projected = proj.project_geometry(poly)
+        assert projected.bbox.min_x == pytest.approx(0.0)
+        assert projected.bbox.max_y == pytest.approx(11_119.5, rel=0.01)
+        back = proj.unproject_geometry(projected)
+        assert back.bbox.max_x == pytest.approx(0.1, abs=1e-9)
+
+    def test_project_point(self):
+        proj = LocalProjection(5, 5)
+        p = proj.project_geometry(Point(5, 5))
+        assert (p.x, p.y) == pytest.approx((0, 0))
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_m(10, 50, 10, 50) == 0.0
+
+    def test_quarter_meridian(self):
+        # Pole to equator along a meridian ~ 10,000 km by definition of the metre.
+        assert haversine_m(0, 0, 0, 90) == pytest.approx(10_007_543, rel=0.01)
+
+    def test_symmetry(self):
+        assert haversine_m(1, 2, 3, 4) == pytest.approx(haversine_m(3, 4, 1, 2))

@@ -1,0 +1,161 @@
+"""GeoJSON encoding/decoding tests."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import (
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+)
+from repro.geometry.geojson import (
+    dumps_feature_collection,
+    feature,
+    geojson_to_geometry,
+    geometry_to_geojson,
+    loads_feature_collection,
+)
+
+coord = st.floats(min_value=-1000, max_value=1000, allow_nan=False, allow_infinity=False)
+
+
+class TestGeometryEncoding:
+    def test_point(self):
+        assert geometry_to_geojson(Point(1, 2)) == {
+            "type": "Point", "coordinates": [1.0, 2.0],
+        }
+
+    def test_polygon_with_hole(self):
+        donut = Polygon(
+            [(0, 0), (4, 0), (4, 4), (0, 4)], [[(1, 1), (2, 1), (2, 2)]]
+        )
+        obj = geometry_to_geojson(donut)
+        assert obj["type"] == "Polygon"
+        assert len(obj["coordinates"]) == 2
+        assert obj["coordinates"][0][0] == obj["coordinates"][0][-1]  # closed
+
+    @pytest.mark.parametrize(
+        "geometry",
+        [
+            Point(3, 4),
+            LineString([(0, 0), (1, 2), (3, 1)]),
+            Polygon.box(0, 0, 5, 5),
+            MultiPoint([Point(0, 0), Point(1, 1)]),
+            MultiLineString([LineString([(0, 0), (1, 1)])]),
+            MultiPolygon([Polygon.box(0, 0, 1, 1), Polygon.box(2, 2, 3, 3)]),
+        ],
+    )
+    def test_round_trip_all_types(self, geometry):
+        assert geojson_to_geometry(geometry_to_geojson(geometry)) == geometry
+
+    @given(
+        coords=st.lists(st.tuples(coord, coord), min_size=2, max_size=10)
+    )
+    @settings(max_examples=40)
+    def test_linestring_round_trip_property(self, coords):
+        line = LineString(coords)
+        assert geojson_to_geometry(geometry_to_geojson(line)) == line
+
+    def test_json_serialisable(self):
+        obj = geometry_to_geojson(Polygon.box(0, 0, 2, 2))
+        assert json.loads(json.dumps(obj)) == obj
+
+
+class TestDecodingErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"coordinates": [1, 2]},
+            {"type": "Circle", "coordinates": [0, 0, 5]},
+            {"type": "Point"},
+            {"type": "Point", "coordinates": [1]},
+            {"type": "Polygon", "coordinates": []},
+            "not a dict",
+        ],
+    )
+    def test_malformed(self, bad):
+        with pytest.raises(GeometryError):
+            geojson_to_geometry(bad)
+
+
+class TestFeatures:
+    def test_feature_wraps_properties(self):
+        f = feature(Point(0, 0), {"name": "berg", "area": 12.5})
+        assert f["type"] == "Feature"
+        assert f["properties"]["name"] == "berg"
+
+    def test_collection_round_trip(self):
+        pairs = [
+            (Point(0, 0), {"id": 1}),
+            (Polygon.box(1, 1, 2, 2), {"crop": "wheat"}),
+        ]
+        text = dumps_feature_collection(pairs)
+        parsed = loads_feature_collection(text)
+        assert parsed[0][0] == Point(0, 0)
+        assert parsed[0][1] == {"id": 1}
+        assert parsed[1][0] == Polygon.box(1, 1, 2, 2)
+        assert parsed[1][1] == {"crop": "wheat"}
+
+    def test_empty_collection(self):
+        assert loads_feature_collection(dumps_feature_collection([])) == []
+
+    def test_null_properties_tolerated(self):
+        text = json.dumps(
+            {
+                "type": "FeatureCollection",
+                "features": [
+                    {
+                        "type": "Feature",
+                        "geometry": {"type": "Point", "coordinates": [1, 2]},
+                        "properties": None,
+                    }
+                ],
+            }
+        )
+        [(geometry, properties)] = loads_feature_collection(text)
+        assert properties == {}
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "not json",
+            json.dumps({"type": "Feature"}),
+            json.dumps({"type": "FeatureCollection", "features": [{"type": "x"}]}),
+        ],
+    )
+    def test_malformed_collections(self, bad):
+        with pytest.raises(GeometryError):
+            loads_feature_collection(bad)
+
+    def test_geotriples_integration(self):
+        """GeoJSON features feed straight into a GeoTriples mapping."""
+        from repro.geotriples import ObjectMap, TriplesMap, transform_to_store
+        from repro.sparql import Variable
+
+        text = dumps_feature_collection(
+            [(Polygon.box(0, 0, 10, 10), {"id": 7, "crop": "maize"})]
+        )
+        records = [
+            {**properties, "geometry": geometry}
+            for geometry, properties in loads_feature_collection(text)
+        ]
+        mapping = TriplesMap(
+            subject_template="http://ex.org/f/{id}",
+            object_maps=[
+                ObjectMap(predicate="http://ex.org/crop", column="crop"),
+                ObjectMap(
+                    predicate="http://www.opengis.net/ont/geosparql#hasGeometry",
+                    column="geometry",
+                    is_geometry=True,
+                ),
+            ],
+        )
+        store = transform_to_store(records, mapping)
+        assert store.geometry_count == 1

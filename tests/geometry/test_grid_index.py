@@ -1,0 +1,72 @@
+"""Grid index tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import BoundingBox, GridIndex
+
+coord = st.floats(min_value=-500, max_value=500, allow_nan=False, allow_infinity=False)
+
+
+def make_box(x, y, w, h):
+    return BoundingBox(x, y, x + abs(w), y + abs(h))
+
+
+box_strategy = st.builds(
+    make_box, coord, coord, st.floats(0, 30, allow_nan=False), st.floats(0, 30, allow_nan=False)
+)
+
+
+class TestGridIndex:
+    def test_cell_size_validation(self):
+        with pytest.raises(GeometryError):
+            GridIndex(0)
+        with pytest.raises(GeometryError):
+            GridIndex(-3)
+
+    def test_insert_and_search(self):
+        index = GridIndex(cell_size=10)
+        index.insert(BoundingBox(0, 0, 5, 5), "a")
+        index.insert(BoundingBox(100, 100, 105, 105), "b")
+        assert list(index.search(BoundingBox(1, 1, 2, 2))) == ["a"]
+        assert list(index.search(BoundingBox(50, 50, 60, 60))) == []
+
+    def test_spanning_entry_reported_once(self):
+        index = GridIndex(cell_size=1)
+        index.insert(BoundingBox(0, 0, 10, 10), "wide")
+        hits = list(index.search(BoundingBox(0, 0, 10, 10)))
+        assert hits == ["wide"]
+
+    def test_len_counts_entries_not_cells(self):
+        index = GridIndex(cell_size=1)
+        index.insert(BoundingBox(0, 0, 5, 5), "wide")
+        assert len(index) == 1
+        assert index.cell_count == 36
+
+    def test_negative_coordinates(self):
+        index = GridIndex(cell_size=10)
+        index.insert(BoundingBox(-25, -25, -15, -15), "neg")
+        assert list(index.search(BoundingBox(-20, -20, -18, -18))) == ["neg"]
+
+    def test_cells_iteration(self):
+        index = GridIndex(cell_size=10)
+        index.insert(BoundingBox(0, 0, 1, 1), "a")
+        index.insert(BoundingBox(0, 0, 1, 1), "b")
+        [(key, entries)] = list(index.cells())
+        assert key == (0, 0)
+        assert [item for _, item in entries] == ["a", "b"]
+
+    @given(
+        boxes=st.lists(box_strategy, min_size=0, max_size=80),
+        query=box_strategy,
+        cell=st.floats(min_value=0.5, max_value=100, allow_nan=False),
+    )
+    @settings(max_examples=60)
+    def test_matches_linear_scan(self, boxes, query, cell):
+        index = GridIndex(cell_size=cell)
+        for i, box in enumerate(boxes):
+            index.insert(box, i)
+        expected = {i for i, b in enumerate(boxes) if b.intersects(query)}
+        assert set(index.search(query)) == expected

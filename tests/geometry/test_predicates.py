@@ -1,0 +1,255 @@
+"""Tests for spatial predicates, including property-based consistency checks."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    LineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+    contains,
+    disjoint,
+    distance,
+    intersects,
+    within,
+)
+from repro.geometry.predicates import (
+    point_in_polygon,
+    point_segment_distance,
+    segments_intersect,
+)
+
+coord = st.floats(min_value=-100, max_value=100, allow_nan=False, allow_infinity=False)
+
+
+class TestSegments:
+    def test_crossing(self):
+        assert segments_intersect((0, 0), (2, 2), (0, 2), (2, 0))
+
+    def test_parallel_disjoint(self):
+        assert not segments_intersect((0, 0), (1, 0), (0, 1), (1, 1))
+
+    def test_collinear_overlapping(self):
+        assert segments_intersect((0, 0), (2, 0), (1, 0), (3, 0))
+
+    def test_collinear_disjoint(self):
+        assert not segments_intersect((0, 0), (1, 0), (2, 0), (3, 0))
+
+    def test_touching_endpoint(self):
+        assert segments_intersect((0, 0), (1, 1), (1, 1), (2, 0))
+
+    def test_t_junction(self):
+        assert segments_intersect((0, 0), (2, 0), (1, 0), (1, 5))
+
+    def test_point_segment_distance(self):
+        assert point_segment_distance((0, 1), (-1, 0), (1, 0)) == pytest.approx(1.0)
+        assert point_segment_distance((5, 0), (-1, 0), (1, 0)) == pytest.approx(4.0)
+        assert point_segment_distance((0, 0), (0, 0), (0, 0)) == 0.0
+
+
+class TestPointInPolygon:
+    square = Polygon.box(0, 0, 10, 10)
+
+    def test_interior(self):
+        assert point_in_polygon(Point(5, 5), self.square)
+
+    def test_exterior(self):
+        assert not point_in_polygon(Point(15, 5), self.square)
+
+    def test_on_edge(self):
+        assert point_in_polygon(Point(0, 5), self.square)
+
+    def test_on_vertex(self):
+        assert point_in_polygon(Point(0, 0), self.square)
+
+    def test_in_hole(self):
+        donut = Polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)], [[(4, 4), (6, 4), (6, 6), (4, 6)]]
+        )
+        assert not point_in_polygon(Point(5, 5), donut)
+        assert point_in_polygon(Point(2, 2), donut)
+        # On the hole boundary counts as in the polygon (boundary is shared).
+        assert point_in_polygon(Point(4, 5), donut)
+
+    def test_concave(self):
+        arrow = Polygon([(0, 0), (4, 0), (4, 4), (2, 1), (0, 4)])
+        assert point_in_polygon(Point(1, 1), arrow)
+        assert not point_in_polygon(Point(2, 3), arrow)
+
+
+class TestIntersects:
+    def test_point_point(self):
+        assert intersects(Point(1, 1), Point(1, 1))
+        assert not intersects(Point(1, 1), Point(1, 2))
+
+    def test_point_line(self):
+        line = LineString([(0, 0), (10, 0)])
+        assert intersects(Point(5, 0), line)
+        assert not intersects(Point(5, 1), line)
+
+    def test_line_line(self):
+        a = LineString([(0, 0), (10, 10)])
+        b = LineString([(0, 10), (10, 0)])
+        c = LineString([(20, 20), (30, 30)])
+        assert intersects(a, b)
+        assert not intersects(a, c)
+
+    def test_line_polygon_crossing(self):
+        poly = Polygon.box(0, 0, 10, 10)
+        assert intersects(LineString([(-5, 5), (15, 5)]), poly)
+
+    def test_line_inside_polygon(self):
+        poly = Polygon.box(0, 0, 10, 10)
+        assert intersects(LineString([(2, 2), (8, 8)]), poly)
+
+    def test_polygon_polygon_overlap(self):
+        assert intersects(Polygon.box(0, 0, 5, 5), Polygon.box(3, 3, 8, 8))
+
+    def test_polygon_polygon_nested(self):
+        assert intersects(Polygon.box(0, 0, 10, 10), Polygon.box(4, 4, 6, 6))
+        assert intersects(Polygon.box(4, 4, 6, 6), Polygon.box(0, 0, 10, 10))
+
+    def test_polygon_polygon_disjoint(self):
+        assert not intersects(Polygon.box(0, 0, 1, 1), Polygon.box(5, 5, 6, 6))
+
+    def test_polygon_polygon_touching_edge(self):
+        assert intersects(Polygon.box(0, 0, 1, 1), Polygon.box(1, 0, 2, 1))
+
+    def test_multipolygon(self):
+        mp = MultiPolygon([Polygon.box(0, 0, 1, 1), Polygon.box(10, 10, 11, 11)])
+        assert intersects(mp, Point(10.5, 10.5))
+        assert not intersects(mp, Point(5, 5))
+
+    def test_bbox_shortcut_correct(self):
+        # Boxes overlap but geometries do not.
+        tri_a = Polygon([(0, 0), (4, 0), (0, 4)])
+        tri_b = Polygon([(4, 4), (4, 3), (3, 4)])
+        assert tri_a.bbox.intersects(tri_b.bbox)
+        assert not intersects(tri_a, tri_b)
+
+
+class TestContainsWithin:
+    def test_polygon_contains_point(self):
+        assert contains(Polygon.box(0, 0, 10, 10), Point(5, 5))
+        assert within(Point(5, 5), Polygon.box(0, 0, 10, 10))
+
+    def test_polygon_contains_polygon(self):
+        assert contains(Polygon.box(0, 0, 10, 10), Polygon.box(2, 2, 4, 4))
+        assert not contains(Polygon.box(2, 2, 4, 4), Polygon.box(0, 0, 10, 10))
+
+    def test_overlapping_not_contained(self):
+        assert not contains(Polygon.box(0, 0, 5, 5), Polygon.box(3, 3, 8, 8))
+
+    def test_hole_breaks_containment(self):
+        donut = Polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)], [[(4, 4), (6, 4), (6, 6), (4, 6)]]
+        )
+        assert not contains(donut, Polygon.box(4.5, 4.5, 5.5, 5.5))
+        assert contains(donut, Polygon.box(1, 1, 3, 3))
+
+    def test_line_contains_point(self):
+        assert contains(LineString([(0, 0), (10, 0)]), Point(5, 0))
+
+    def test_line_contains_subline(self):
+        assert contains(
+            LineString([(0, 0), (10, 0)]), LineString([(2, 0), (8, 0)])
+        )
+
+    def test_polygon_contains_line(self):
+        assert contains(Polygon.box(0, 0, 10, 10), LineString([(1, 1), (9, 9)]))
+        assert not contains(Polygon.box(0, 0, 10, 10), LineString([(1, 1), (19, 9)]))
+
+    def test_multipoint_within_polygon(self):
+        mp = MultiPoint([Point(1, 1), Point(2, 2)])
+        assert within(mp, Polygon.box(0, 0, 10, 10))
+        assert not within(MultiPoint([Point(1, 1), Point(20, 2)]), Polygon.box(0, 0, 10, 10))
+
+
+class TestDistance:
+    def test_point_point(self):
+        assert distance(Point(0, 0), Point(3, 4)) == pytest.approx(5.0)
+
+    def test_point_polygon(self):
+        assert distance(Point(15, 0), Polygon.box(0, 0, 10, 10)) == pytest.approx(5.0)
+
+    def test_inside_is_zero(self):
+        assert distance(Point(5, 5), Polygon.box(0, 0, 10, 10)) == 0.0
+
+    def test_polygon_polygon(self):
+        assert distance(
+            Polygon.box(0, 0, 1, 1), Polygon.box(4, 0, 5, 1)
+        ) == pytest.approx(3.0)
+
+    def test_line_line(self):
+        a = LineString([(0, 0), (0, 10)])
+        b = LineString([(3, 0), (3, 10)])
+        assert distance(a, b) == pytest.approx(3.0)
+
+    def test_multigeometry_min(self):
+        mp = MultiPolygon([Polygon.box(0, 0, 1, 1), Polygon.box(8, 0, 9, 1)])
+        assert distance(Point(6, 0.5), mp) == pytest.approx(2.0)
+
+
+class TestProperties:
+    @given(x=coord, y=coord, sides=st.integers(3, 12), r=st.floats(0.1, 20))
+    @settings(max_examples=80)
+    def test_intersects_symmetric(self, x, y, sides, r):
+        poly = Polygon.regular(0, 0, 10, sides)
+        other = Polygon.regular(x, y, r, 4)
+        assert intersects(poly, other) == intersects(other, poly)
+
+    @given(x=coord, y=coord)
+    def test_disjoint_is_negation(self, x, y):
+        poly = Polygon.box(-5, -5, 5, 5)
+        p = Point(x, y)
+        assert disjoint(p, poly) == (not intersects(p, poly))
+
+    @given(x=coord, y=coord)
+    def test_within_implies_intersects(self, x, y):
+        poly = Polygon.box(-50, -50, 50, 50)
+        p = Point(x, y)
+        if within(p, poly):
+            assert intersects(p, poly)
+
+    @given(x=coord, y=coord)
+    def test_distance_zero_iff_intersects(self, x, y):
+        poly = Polygon.box(-10, -10, 10, 10)
+        p = Point(x, y)
+        d = distance(p, poly)
+        if intersects(p, poly):
+            assert d == 0.0
+        else:
+            assert d > 0.0
+
+    @given(x=coord, y=coord)
+    def test_point_in_polygon_matches_winding_reference(self, x, y):
+        """Ray casting result must agree with a winding-number reference."""
+        poly = Polygon.regular(0, 0, 30, 7)
+        expected = _winding_number_contains(x, y, poly.exterior)
+        got = point_in_polygon(Point(x, y), poly)
+        # Near the boundary the two methods may legitimately differ: skip.
+        boundary_dist = min(
+            point_segment_distance((x, y), a, b)
+            for a, b in zip(poly.exterior, poly.exterior[1:])
+        )
+        if boundary_dist > 1e-9:
+            assert got == expected
+
+
+def _winding_number_contains(x, y, ring):
+    angle = 0.0
+    for (x1, y1), (x2, y2) in zip(ring, ring[1:]):
+        a1 = math.atan2(y1 - y, x1 - x)
+        a2 = math.atan2(y2 - y, x2 - x)
+        delta = a2 - a1
+        while delta > math.pi:
+            delta -= 2 * math.pi
+        while delta < -math.pi:
+            delta += 2 * math.pi
+        angle += delta
+    return abs(angle) > math.pi

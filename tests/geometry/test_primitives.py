@@ -1,0 +1,201 @@
+"""Unit tests for geometry primitives."""
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import (
+    BoundingBox,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+)
+
+
+class TestBoundingBox:
+    def test_properties(self):
+        box = BoundingBox(0, 0, 4, 3)
+        assert box.width == 4
+        assert box.height == 3
+        assert box.area == 12
+        assert box.center == (2.0, 1.5)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(GeometryError):
+            BoundingBox(2, 0, 1, 1)
+        with pytest.raises(GeometryError):
+            BoundingBox(0, 2, 1, 1)
+
+    def test_zero_extent_allowed(self):
+        box = BoundingBox(1, 1, 1, 1)
+        assert box.area == 0
+        assert box.contains_point(1, 1)
+
+    def test_intersects_overlapping(self):
+        a = BoundingBox(0, 0, 2, 2)
+        b = BoundingBox(1, 1, 3, 3)
+        assert a.intersects(b) and b.intersects(a)
+
+    def test_intersects_touching_edge(self):
+        a = BoundingBox(0, 0, 1, 1)
+        b = BoundingBox(1, 0, 2, 1)
+        assert a.intersects(b)
+
+    def test_disjoint_boxes(self):
+        a = BoundingBox(0, 0, 1, 1)
+        b = BoundingBox(2, 2, 3, 3)
+        assert not a.intersects(b)
+
+    def test_contains_box(self):
+        outer = BoundingBox(0, 0, 10, 10)
+        inner = BoundingBox(2, 2, 3, 3)
+        assert outer.contains_box(inner)
+        assert not inner.contains_box(outer)
+        assert outer.contains_box(outer)
+
+    def test_union(self):
+        a = BoundingBox(0, 0, 1, 1)
+        b = BoundingBox(2, 2, 3, 3)
+        union = a.union(b)
+        assert union == BoundingBox(0, 0, 3, 3)
+
+    def test_union_all_empty_raises(self):
+        with pytest.raises(GeometryError):
+            BoundingBox.union_all([])
+
+    def test_expand(self):
+        box = BoundingBox(0, 0, 1, 1).expand(0.5)
+        assert box == BoundingBox(-0.5, -0.5, 1.5, 1.5)
+
+    def test_distance_to_point(self):
+        box = BoundingBox(0, 0, 2, 2)
+        assert box.distance_to_point(1, 1) == 0.0
+        assert box.distance_to_point(5, 2) == 3.0
+        assert box.distance_to_point(5, 6) == pytest.approx(5.0)
+
+
+class TestPoint:
+    def test_bbox_is_degenerate(self):
+        p = Point(3, 4)
+        assert p.bbox == BoundingBox(3, 4, 3, 4)
+
+    def test_equality_and_hash(self):
+        assert Point(1, 2) == Point(1.0, 2.0)
+        assert hash(Point(1, 2)) == hash(Point(1, 2))
+        assert Point(1, 2) != Point(2, 1)
+
+    def test_immutable(self):
+        p = Point(0, 0)
+        with pytest.raises(AttributeError):
+            p.x = 5
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(GeometryError):
+            Point(float("nan"), 0)
+        with pytest.raises(GeometryError):
+            Point(0, float("inf"))
+
+
+class TestLineString:
+    def test_requires_two_points(self):
+        with pytest.raises(GeometryError):
+            LineString([(0, 0)])
+
+    def test_length(self):
+        line = LineString([(0, 0), (3, 4), (3, 8)])
+        assert line.length == pytest.approx(5 + 4)
+
+    def test_bbox(self):
+        line = LineString([(0, 5), (2, -1)])
+        assert line.bbox == BoundingBox(0, -1, 2, 5)
+
+    def test_segments(self):
+        line = LineString([(0, 0), (1, 0), (1, 1)])
+        assert list(line.segments()) == [((0, 0), (1, 0)), ((1, 0), (1, 1))]
+
+
+class TestPolygon:
+    def test_auto_closes_ring(self):
+        poly = Polygon([(0, 0), (1, 0), (1, 1)])
+        assert poly.exterior[0] == poly.exterior[-1]
+        assert len(poly.exterior) == 4
+
+    def test_rejects_two_vertex_ring(self):
+        with pytest.raises(GeometryError):
+            Polygon([(0, 0), (1, 1)])
+
+    def test_area_unit_square(self):
+        square = Polygon.box(0, 0, 1, 1)
+        assert square.area == pytest.approx(1.0)
+
+    def test_area_with_hole(self):
+        outer = [(0, 0), (4, 0), (4, 4), (0, 4)]
+        hole = [(1, 1), (2, 1), (2, 2), (1, 2)]
+        poly = Polygon(outer, [hole])
+        assert poly.area == pytest.approx(16 - 1)
+
+    def test_area_orientation_invariant(self):
+        ccw = Polygon([(0, 0), (2, 0), (2, 2), (0, 2)])
+        cw = Polygon([(0, 0), (0, 2), (2, 2), (2, 0)])
+        assert ccw.area == pytest.approx(cw.area)
+
+    def test_centroid_of_square(self):
+        square = Polygon.box(0, 0, 2, 2)
+        c = square.centroid
+        assert (c.x, c.y) == pytest.approx((1.0, 1.0))
+
+    def test_perimeter(self):
+        assert Polygon.box(0, 0, 2, 1).perimeter == pytest.approx(6.0)
+
+    def test_vertex_count(self):
+        poly = Polygon([(0, 0), (4, 0), (4, 4), (0, 4)], [[(1, 1), (2, 1), (2, 2)]])
+        assert poly.vertex_count == 4 + 3
+
+    def test_box_validation(self):
+        with pytest.raises(GeometryError):
+            Polygon.box(1, 0, 1, 2)
+
+    def test_regular_polygon(self):
+        hexagon = Polygon.regular(0, 0, 1, 6)
+        assert hexagon.vertex_count == 6
+        # Hexagon area = 3*sqrt(3)/2 * r^2
+        assert hexagon.area == pytest.approx(3 * math.sqrt(3) / 2, rel=1e-9)
+
+    def test_regular_polygon_validation(self):
+        with pytest.raises(GeometryError):
+            Polygon.regular(0, 0, 1, 2)
+        with pytest.raises(GeometryError):
+            Polygon.regular(0, 0, -1, 5)
+
+
+class TestMultiGeometries:
+    def test_multipoint_bbox(self):
+        mp = MultiPoint([Point(0, 0), Point(5, -2)])
+        assert mp.bbox == BoundingBox(0, -2, 5, 0)
+
+    def test_empty_multi_rejected(self):
+        with pytest.raises(GeometryError):
+            MultiPolygon([])
+
+    def test_member_type_enforced(self):
+        with pytest.raises(GeometryError):
+            MultiPolygon([Point(0, 0)])
+
+    def test_multipolygon_area_sums(self):
+        mp = MultiPolygon([Polygon.box(0, 0, 1, 1), Polygon.box(5, 5, 7, 6)])
+        assert mp.area == pytest.approx(1 + 2)
+
+    def test_iteration_and_len(self):
+        mls = MultiLineString([LineString([(0, 0), (1, 1)])])
+        assert len(mls) == 1
+        assert all(isinstance(g, LineString) for g in mls)
+
+    def test_equality(self):
+        a = MultiPoint([Point(1, 1)])
+        b = MultiPoint([Point(1, 1)])
+        assert a == b
+        assert hash(a) == hash(b)

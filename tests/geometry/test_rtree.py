@@ -1,0 +1,139 @@
+"""R-tree tests: correctness vs linear scan (property-based) and structure."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import BoundingBox, RTree
+
+coord = st.floats(min_value=-1000, max_value=1000, allow_nan=False, allow_infinity=False)
+
+
+def make_box(x, y, w, h):
+    return BoundingBox(x, y, x + abs(w), y + abs(h))
+
+
+box_strategy = st.builds(
+    make_box,
+    coord,
+    coord,
+    st.floats(min_value=0, max_value=50, allow_nan=False),
+    st.floats(min_value=0, max_value=50, allow_nan=False),
+)
+
+
+class TestConstruction:
+    def test_empty_bulk_load(self):
+        tree = RTree.bulk_load([])
+        assert len(tree) == 0
+        assert list(tree.search(BoundingBox(0, 0, 1, 1))) == []
+
+    def test_max_entries_validation(self):
+        with pytest.raises(GeometryError):
+            RTree(max_entries=2)
+
+    def test_bulk_load_size(self):
+        entries = [(make_box(i, i, 1, 1), i) for i in range(100)]
+        tree = RTree.bulk_load(entries)
+        assert len(tree) == 100
+        assert sorted(item for _, item in tree.items()) == list(range(100))
+
+    def test_bulk_load_height_logarithmic(self):
+        entries = [(make_box(i % 50, i // 50, 1, 1), i) for i in range(2500)]
+        tree = RTree.bulk_load(entries, max_entries=16)
+        assert tree.height <= 4
+
+    def test_dynamic_insert_size(self):
+        tree = RTree()
+        for i in range(200):
+            tree.insert(make_box(i, 0, 1, 1), i)
+        assert len(tree) == 200
+
+
+class TestSearch:
+    def test_point_query(self):
+        entries = [(make_box(i * 10, 0, 5, 5), i) for i in range(10)]
+        tree = RTree.bulk_load(entries)
+        hits = list(tree.search(BoundingBox(12, 1, 13, 2)))
+        assert hits == [1]
+
+    def test_query_touching_boundary_included(self):
+        tree = RTree.bulk_load([(BoundingBox(0, 0, 10, 10), "a")])
+        assert list(tree.search(BoundingBox(10, 10, 20, 20))) == ["a"]
+
+    def test_no_hits(self):
+        tree = RTree.bulk_load([(BoundingBox(0, 0, 1, 1), "a")])
+        assert list(tree.search(BoundingBox(5, 5, 6, 6))) == []
+
+    @given(
+        boxes=st.lists(box_strategy, min_size=0, max_size=120),
+        query=box_strategy,
+    )
+    @settings(max_examples=60)
+    def test_bulk_load_matches_linear_scan(self, boxes, query):
+        entries = list(enumerate(boxes))
+        tree = RTree.bulk_load([(b, i) for i, b in entries])
+        expected = {i for i, b in entries if b.intersects(query)}
+        assert set(tree.search(query)) == expected
+
+    @given(
+        boxes=st.lists(box_strategy, min_size=0, max_size=120),
+        query=box_strategy,
+    )
+    @settings(max_examples=60)
+    def test_dynamic_insert_matches_linear_scan(self, boxes, query):
+        tree = RTree(max_entries=5)
+        for i, box in enumerate(boxes):
+            tree.insert(box, i)
+        expected = {i for i, b in enumerate(boxes) if b.intersects(query)}
+        assert set(tree.search(query)) == expected
+
+    def test_large_random_consistency(self):
+        rng = random.Random(7)
+        boxes = [
+            make_box(rng.uniform(-500, 500), rng.uniform(-500, 500), rng.uniform(0, 20), rng.uniform(0, 20))
+            for _ in range(3000)
+        ]
+        tree = RTree.bulk_load(list(zip(boxes, range(len(boxes)))))
+        for _ in range(20):
+            q = make_box(rng.uniform(-500, 500), rng.uniform(-500, 500), 50, 50)
+            expected = {i for i, b in enumerate(boxes) if b.intersects(q)}
+            assert set(tree.search(q)) == expected
+
+
+class TestNearest:
+    def test_nearest_single(self):
+        entries = [(make_box(i * 10, 0, 1, 1), i) for i in range(10)]
+        tree = RTree.bulk_load(entries)
+        [(dist, item)] = tree.nearest(32, 0.5)
+        assert item == 3
+        assert dist == pytest.approx(1.0)
+
+    def test_nearest_inside_is_zero(self):
+        tree = RTree.bulk_load([(BoundingBox(0, 0, 10, 10), "a")])
+        [(dist, item)] = tree.nearest(5, 5)
+        assert dist == 0.0 and item == "a"
+
+    def test_nearest_k(self):
+        entries = [(make_box(i * 10, 0, 1, 1), i) for i in range(10)]
+        tree = RTree.bulk_load(entries)
+        results = tree.nearest(0, 0, count=3)
+        assert [item for _, item in results] == [0, 1, 2]
+
+    def test_nearest_empty_tree(self):
+        assert RTree().nearest(0, 0) == []
+
+    def test_nearest_count_validation(self):
+        with pytest.raises(GeometryError):
+            RTree().nearest(0, 0, count=0)
+
+    @given(boxes=st.lists(box_strategy, min_size=1, max_size=60), x=coord, y=coord)
+    @settings(max_examples=40)
+    def test_nearest_matches_linear_scan(self, boxes, x, y):
+        tree = RTree.bulk_load([(b, i) for i, b in enumerate(boxes)])
+        [(dist, _)] = tree.nearest(x, y)
+        expected = min(b.distance_to_point(x, y) for b in boxes)
+        assert dist == pytest.approx(expected)

@@ -1,0 +1,163 @@
+"""WKT parser/serializer tests, including hypothesis round-trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WKTParseError
+from repro.geometry import (
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+    from_wkt,
+    to_wkt,
+)
+
+finite_coord = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestParse:
+    def test_point(self):
+        geom = from_wkt("POINT (30 10)")
+        assert geom == Point(30, 10)
+
+    def test_point_case_insensitive(self):
+        assert from_wkt("point(1 2)") == Point(1, 2)
+
+    def test_point_negative_and_scientific(self):
+        geom = from_wkt("POINT (-1.5e2 +0.25)")
+        assert geom == Point(-150, 0.25)
+
+    def test_linestring(self):
+        geom = from_wkt("LINESTRING (30 10, 10 30, 40 40)")
+        assert isinstance(geom, LineString)
+        assert geom.coords == ((30, 10), (10, 30), (40, 40))
+
+    def test_polygon(self):
+        geom = from_wkt("POLYGON ((30 10, 40 40, 20 40, 10 20, 30 10))")
+        assert isinstance(geom, Polygon)
+        assert len(geom.exterior) == 5
+        assert geom.interiors == ()
+
+    def test_polygon_with_hole(self):
+        geom = from_wkt(
+            "POLYGON ((35 10, 45 45, 15 40, 10 20, 35 10), "
+            "(20 30, 35 35, 30 20, 20 30))"
+        )
+        assert isinstance(geom, Polygon)
+        assert len(geom.interiors) == 1
+
+    def test_multipoint_both_syntaxes(self):
+        a = from_wkt("MULTIPOINT ((10 40), (40 30))")
+        b = from_wkt("MULTIPOINT (10 40, 40 30)")
+        assert a == b == MultiPoint([Point(10, 40), Point(40, 30)])
+
+    def test_multilinestring(self):
+        geom = from_wkt("MULTILINESTRING ((10 10, 20 20), (40 40, 30 30, 40 20))")
+        assert isinstance(geom, MultiLineString)
+        assert len(geom) == 2
+
+    def test_multipolygon(self):
+        geom = from_wkt(
+            "MULTIPOLYGON (((30 20, 45 40, 10 40, 30 20)), "
+            "((15 5, 40 10, 10 20, 5 10, 15 5)))"
+        )
+        assert isinstance(geom, MultiPolygon)
+        assert len(geom) == 2
+
+    def test_multipolygon_with_hole(self):
+        geom = from_wkt(
+            "MULTIPOLYGON (((40 40, 20 45, 45 30, 40 40)), "
+            "((20 35, 10 30, 10 10, 30 5, 45 20, 20 35), "
+            "(30 20, 20 15, 20 25, 30 20)))"
+        )
+        assert isinstance(geom, MultiPolygon)
+        assert len(geom.geoms[1].interiors) == 1
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "POINT",
+            "POINT ()",
+            "POINT (1)",
+            "POINT (1 2",
+            "POINT (1 2) extra",
+            "CIRCLE (0 0, 5)",
+            "POLYGON (30 10, 40 40)",
+            "LINESTRING ((1 2), (3 4))",
+            "POINT (a b)",
+        ],
+    )
+    def test_malformed_raises(self, bad):
+        with pytest.raises(WKTParseError):
+            from_wkt(bad)
+
+
+class TestSerialize:
+    def test_point(self):
+        assert to_wkt(Point(30, 10)) == "POINT (30 10)"
+
+    def test_float_preserved(self):
+        assert to_wkt(Point(1.5, -0.25)) == "POINT (1.5 -0.25)"
+
+    def test_polygon_with_hole(self):
+        poly = Polygon(
+            [(0, 0), (4, 0), (4, 4), (0, 4)], [[(1, 1), (2, 1), (2, 2)]]
+        )
+        text = to_wkt(poly)
+        assert text.startswith("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0), (1 1,")
+
+
+class TestRoundTrip:
+    @given(x=finite_coord, y=finite_coord)
+    def test_point_round_trip(self, x, y):
+        p = Point(x, y)
+        assert from_wkt(to_wkt(p)) == p
+
+    @given(
+        coords=st.lists(st.tuples(finite_coord, finite_coord), min_size=2, max_size=12)
+    )
+    def test_linestring_round_trip(self, coords):
+        line = LineString(coords)
+        assert from_wkt(to_wkt(line)) == line
+
+    @given(
+        sides=st.integers(min_value=3, max_value=32),
+        cx=st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+        cy=st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+        radius=st.floats(min_value=0.001, max_value=100, allow_nan=False),
+    )
+    @settings(max_examples=50)
+    def test_polygon_round_trip(self, sides, cx, cy, radius):
+        poly = Polygon.regular(cx, cy, radius, sides)
+        assert from_wkt(to_wkt(poly)) == poly
+
+    @given(
+        points=st.lists(
+            st.tuples(finite_coord, finite_coord), min_size=1, max_size=8
+        )
+    )
+    def test_multipoint_round_trip(self, points):
+        mp = MultiPoint([Point(x, y) for x, y in points])
+        assert from_wkt(to_wkt(mp)) == mp
+
+    def test_multipolygon_round_trip(self):
+        mp = MultiPolygon(
+            [
+                Polygon.box(0, 0, 1, 1),
+                Polygon([(5, 5), (9, 5), (9, 9), (5, 9)], [[(6, 6), (7, 6), (7, 7)]]),
+            ]
+        )
+        assert from_wkt(to_wkt(mp)) == mp
+
+    def test_multilinestring_round_trip(self):
+        mls = MultiLineString(
+            [LineString([(0, 0), (1, 1)]), LineString([(2, 2), (3, 3), (4, 2)])]
+        )
+        assert from_wkt(to_wkt(mls)) == mls

@@ -1,0 +1,54 @@
+"""wktLiteral wrapping/parsing tests."""
+
+import pytest
+
+from repro.errors import RDFError
+from repro.geometry import Point, Polygon
+from repro.geosparql import (
+    WKT_DATATYPE,
+    geometry_literal,
+    is_geometry_literal,
+    literal_geometry,
+)
+from repro.geosparql.literals import CRS84, literal_crs
+from repro.rdf.term import IRI, Literal
+
+
+class TestGeometryLiteral:
+    def test_wrap(self):
+        lit = geometry_literal(Point(1, 2))
+        assert lit.datatype == WKT_DATATYPE
+        assert lit.lexical == "POINT (1 2)"
+
+    def test_wrap_with_crs(self):
+        lit = geometry_literal(Point(1, 2), crs=CRS84)
+        assert lit.lexical.startswith(f"<{CRS84}> POINT")
+
+    def test_round_trip(self):
+        poly = Polygon.box(0, 0, 5, 5)
+        assert literal_geometry(geometry_literal(poly)) == poly
+
+    def test_round_trip_with_crs(self):
+        point = Point(3, 4)
+        assert literal_geometry(geometry_literal(point, crs=CRS84)) == point
+
+    def test_is_geometry_literal(self):
+        assert is_geometry_literal(geometry_literal(Point(0, 0)))
+        assert not is_geometry_literal(Literal("POINT (0 0)"))
+        assert not is_geometry_literal(IRI("http://x"))
+
+    def test_parse_non_geometry_raises(self):
+        with pytest.raises(RDFError):
+            literal_geometry(Literal("hello"))
+
+    def test_malformed_crs_prefix(self):
+        with pytest.raises(RDFError):
+            literal_geometry(Literal("<http://unclosed POINT (0 0)", datatype=WKT_DATATYPE))
+
+    def test_literal_crs(self):
+        assert literal_crs(geometry_literal(Point(0, 0), crs=CRS84)) == CRS84
+        assert literal_crs(geometry_literal(Point(0, 0))) is None
+
+    def test_cache_returns_equal_geometry(self):
+        lit = geometry_literal(Point(7, 8))
+        assert literal_geometry(lit) is literal_geometry(lit)

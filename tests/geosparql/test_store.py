@@ -1,0 +1,215 @@
+"""GeoStore tests: spatial query answering, index acceleration, baseline parity."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Polygon
+from repro.geosparql import GeoStore, NaiveGeoStore, geometry_literal
+from repro.rdf import GEO, Namespace
+from repro.rdf.term import Literal
+from repro.sparql import Variable
+
+EX = Namespace("http://ex.org/")
+PREFIXES = (
+    "PREFIX ex: <http://ex.org/> "
+    "PREFIX geo: <http://www.opengis.net/ont/geosparql#> "
+    "PREFIX geof: <http://www.opengis.net/def/function/geosparql/> "
+)
+
+
+def load_points(store, coords):
+    """Load features ex:f{i} with point geometries."""
+    for i, (x, y) in enumerate(coords):
+        feature = EX[f"f{i}"]
+        store.add(feature, GEO.asWKT, geometry_literal(Point(x, y)))
+        store.add(feature, EX.id, Literal.from_python(i))
+    return store
+
+
+def selection_query(min_x, min_y, max_x, max_y):
+    box = geometry_literal(Polygon.box(min_x, min_y, max_x, max_y))
+    return (
+        PREFIXES
+        + "SELECT ?f WHERE { ?f geo:asWKT ?g . "
+        + f'FILTER (geof:sfIntersects(?g, "{box.lexical}"^^geo:wktLiteral)) }}'
+    )
+
+
+def result_ids(result):
+    return {s[Variable("f")] for s in result}
+
+
+class TestSelection:
+    def test_rectangular_selection(self):
+        store = load_points(GeoStore(), [(0, 0), (5, 5), (20, 20)])
+        result = store.query(selection_query(-1, -1, 6, 6))
+        assert result_ids(result) == {EX.f0, EX.f1}
+
+    def test_selection_empty(self):
+        store = load_points(GeoStore(), [(0, 0)])
+        assert store.query(selection_query(10, 10, 20, 20)) == []
+
+    def test_boundary_point_included(self):
+        store = load_points(GeoStore(), [(5, 5)])
+        result = store.query(selection_query(5, 5, 10, 10))
+        assert result_ids(result) == {EX.f0}
+
+    def test_spatial_rewrite_recorded(self):
+        store = load_points(GeoStore(), [(0, 0), (1, 1)])
+        store.query(selection_query(-1, -1, 2, 2))
+        assert store.stats["spatial_rewrites"] == 1
+        assert store.stats["candidates_examined"] == 2
+
+    def test_naive_store_no_rewrite(self):
+        store = load_points(NaiveGeoStore(), [(0, 0), (1, 1)])
+        result = store.query(selection_query(-1, -1, 0.5, 0.5))
+        assert result_ids(result) == {EX.f0}
+        assert store.stats["spatial_rewrites"] == 0
+
+    def test_candidate_pruning(self):
+        # Index must examine far fewer candidates than the store size.
+        rng = random.Random(3)
+        coords = [(rng.uniform(0, 1000), rng.uniform(0, 1000)) for _ in range(500)]
+        store = load_points(GeoStore(), coords)
+        store.query(selection_query(0, 0, 50, 50))
+        assert store.stats["candidates_examined"] < 100
+
+
+class TestRelations:
+    def test_within(self):
+        store = GeoStore()
+        store.add(EX.small, GEO.asWKT, geometry_literal(Polygon.box(1, 1, 2, 2)))
+        store.add(EX.big, GEO.asWKT, geometry_literal(Polygon.box(0, 0, 50, 50)))
+        box = geometry_literal(Polygon.box(0, 0, 10, 10))
+        query = (
+            PREFIXES
+            + "SELECT ?f WHERE { ?f geo:asWKT ?g . "
+            + f'FILTER (geof:sfWithin(?g, "{box.lexical}"^^geo:wktLiteral)) }}'
+        )
+        assert result_ids(store.query(query)) == {EX.small}
+
+    def test_contains(self):
+        store = GeoStore()
+        store.add(EX.big, GEO.asWKT, geometry_literal(Polygon.box(0, 0, 50, 50)))
+        store.add(EX.small, GEO.asWKT, geometry_literal(Polygon.box(1, 1, 2, 2)))
+        probe = geometry_literal(Polygon.box(10, 10, 20, 20))
+        query = (
+            PREFIXES
+            + "SELECT ?f WHERE { ?f geo:asWKT ?g . "
+            + f'FILTER (geof:sfContains(?g, "{probe.lexical}"^^geo:wktLiteral)) }}'
+        )
+        assert result_ids(store.query(query)) == {EX.big}
+
+    def test_disjoint_not_indexed_but_correct(self):
+        store = load_points(GeoStore(), [(0, 0), (100, 100)])
+        probe = geometry_literal(Polygon.box(-1, -1, 1, 1))
+        query = (
+            PREFIXES
+            + "SELECT ?f WHERE { ?f geo:asWKT ?g . "
+            + f'FILTER (geof:sfDisjoint(?g, "{probe.lexical}"^^geo:wktLiteral)) }}'
+        )
+        result = store.query(query)
+        assert result_ids(result) == {EX.f1}
+        assert store.stats["spatial_rewrites"] == 0
+
+    def test_distance_filter(self):
+        store = load_points(GeoStore(), [(0, 0), (3, 4), (30, 40)])
+        origin = geometry_literal(Point(0, 0))
+        query = (
+            PREFIXES
+            + "SELECT ?f WHERE { ?f geo:asWKT ?g . "
+            + f'FILTER (geof:distance(?g, "{origin.lexical}"^^geo:wktLiteral) <= 5) }}'
+        )
+        assert result_ids(store.query(query)) == {EX.f0, EX.f1}
+
+    def test_multipolygon_selection(self):
+        store = GeoStore()
+        from repro.geometry import MultiPolygon
+
+        mp = MultiPolygon([Polygon.box(0, 0, 1, 1), Polygon.box(10, 10, 11, 11)])
+        store.add(EX.both, GEO.asWKT, geometry_literal(mp))
+        result = store.query(selection_query(10.5, 10.5, 12, 12))
+        assert result_ids(result) == {EX.both}
+        # Box between the parts: bbox hit but exact test rejects.
+        assert store.query(selection_query(3, 3, 8, 8)) == []
+
+
+class TestMixedQueries:
+    def test_spatial_plus_attribute_join(self):
+        store = load_points(GeoStore(), [(0, 0), (1, 1), (2, 2)])
+        query = (
+            selection_query(-1, -1, 5, 5)[:-1]
+            + " ?f ex:id ?i . FILTER (?i >= 1) }"
+        )
+        assert result_ids(store.query(query)) == {EX.f1, EX.f2}
+
+    def test_ask_spatial(self):
+        store = load_points(GeoStore(), [(0, 0)])
+        box = geometry_literal(Polygon.box(-1, -1, 1, 1))
+        query = (
+            PREFIXES
+            + "ASK { ?f geo:asWKT ?g . "
+            + f'FILTER (geof:sfIntersects(?g, "{box.lexical}"^^geo:wktLiteral)) }}'
+        )
+        assert store.query(query) is True
+
+    def test_count_in_region(self):
+        store = load_points(GeoStore(), [(0, 0), (1, 1), (50, 50)])
+        box = geometry_literal(Polygon.box(-1, -1, 2, 2))
+        query = (
+            PREFIXES
+            + "SELECT (COUNT(?f) AS ?n) WHERE { ?f geo:asWKT ?g . "
+            + f'FILTER (geof:sfIntersects(?g, "{box.lexical}"^^geo:wktLiteral)) }}'
+        )
+        [row] = store.query(query)
+        assert row[Variable("n")].to_python() == 2
+
+    def test_geof_area_in_filter(self):
+        store = GeoStore()
+        store.add(EX.small, GEO.asWKT, geometry_literal(Polygon.box(0, 0, 1, 1)))
+        store.add(EX.big, GEO.asWKT, geometry_literal(Polygon.box(0, 0, 10, 10)))
+        query = (
+            PREFIXES
+            + "SELECT ?f WHERE { ?f geo:asWKT ?g . FILTER (geof:area(?g) > 50) }"
+        )
+        assert result_ids(store.query(query)) == {EX.big}
+
+
+class TestIndexBaselineParity:
+    """GeoStore and NaiveGeoStore must always agree — the index is invisible."""
+
+    @given(
+        points=st.lists(
+            st.tuples(
+                st.floats(0, 100, allow_nan=False), st.floats(0, 100, allow_nan=False)
+            ),
+            min_size=0,
+            max_size=40,
+        ),
+        window=st.tuples(
+            st.floats(0, 80, allow_nan=False), st.floats(0, 80, allow_nan=False)
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_selection_parity(self, points, window):
+        indexed = load_points(GeoStore(), points)
+        naive = load_points(NaiveGeoStore(), points)
+        wx, wy = window
+        query = selection_query(wx, wy, wx + 20, wy + 20)
+        assert result_ids(indexed.query(query)) == result_ids(naive.query(query))
+
+    def test_bulk_load_matches_incremental(self):
+        coords = [(i * 3.0, i * 7.0 % 50) for i in range(200)]
+        incremental = load_points(GeoStore(), coords)
+        bulk = GeoStore()
+        triples = []
+        for i, (x, y) in enumerate(coords):
+            triples.append((EX[f"f{i}"], GEO.asWKT, geometry_literal(Point(x, y))))
+            triples.append((EX[f"f{i}"], EX.id, Literal.from_python(i)))
+        bulk.bulk_load(triples)
+        query = selection_query(0, 0, 100, 30)
+        assert result_ids(bulk.query(query)) == result_ids(incremental.query(query))
+        assert bulk.geometry_count == incremental.geometry_count == 200

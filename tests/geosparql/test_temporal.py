@@ -1,0 +1,238 @@
+"""stSPARQL temporal extension tests."""
+
+from datetime import datetime
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RDFError
+from repro.geosparql import (
+    GeoStore,
+    IntervalIndex,
+    PERIOD_DATATYPE,
+    geometry_literal,
+    is_temporal_literal,
+    literal_period,
+    period_literal,
+)
+from repro.geosparql.temporal import (
+    period_before,
+    period_during,
+    period_overlaps,
+)
+from repro.geometry import Point
+from repro.rdf import GEO, Namespace
+from repro.rdf.term import Literal, XSD_DATETIME
+from repro.sparql import Variable
+
+EX = Namespace("http://ex.org/")
+PREFIXES = (
+    "PREFIX ex: <http://ex.org/> "
+    "PREFIX strdf: <http://strdf.di.uoa.gr/ontology#> "
+    "PREFIX geo: <http://www.opengis.net/ont/geosparql#> "
+    "PREFIX geof: <http://www.opengis.net/def/function/geosparql/> "
+)
+
+
+def period(start, end):
+    return (datetime.fromisoformat(start), datetime.fromisoformat(end))
+
+
+class TestLiterals:
+    def test_period_literal_round_trip(self):
+        lit = period_literal("2017-01-01T00:00:00", "2017-04-01T00:00:00")
+        assert lit.datatype == PERIOD_DATATYPE
+        start, end = literal_period(lit)
+        assert start == datetime(2017, 1, 1)
+        assert end == datetime(2017, 4, 1)
+
+    def test_instant_as_degenerate_period(self):
+        lit = Literal("2017-06-15T12:00:00", datatype=XSD_DATETIME)
+        start, end = literal_period(lit)
+        assert start == end == datetime(2017, 6, 15, 12)
+
+    def test_is_temporal_literal(self):
+        assert is_temporal_literal(period_literal("2017-01-01", "2017-02-01"))
+        assert is_temporal_literal(Literal("2017-01-01T00:00:00", datatype=XSD_DATETIME))
+        assert not is_temporal_literal(Literal("hello"))
+
+    def test_inverted_period_rejected(self):
+        with pytest.raises(RDFError):
+            period_literal("2017-05-01", "2017-01-01")
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["[2017-01-01", "2017-01-01, 2017-02-01)", "[not-a-date, 2017-02-01)"],
+    )
+    def test_malformed_periods(self, bad):
+        with pytest.raises(RDFError):
+            literal_period(Literal(bad, datatype=PERIOD_DATATYPE))
+
+    def test_non_temporal_rejected(self):
+        with pytest.raises(RDFError):
+            literal_period(Literal("x"))
+
+
+class TestRelations:
+    jan = period("2017-01-01", "2017-02-01")
+    feb = period("2017-02-01", "2017-03-01")
+    q1 = period("2017-01-01", "2017-04-01")
+    mid_jan = period("2017-01-10", "2017-01-20")
+
+    def test_before(self):
+        assert period_before(self.jan, self.feb)
+        assert not period_before(self.feb, self.jan)
+        assert not period_before(self.jan, self.mid_jan)
+
+    def test_during(self):
+        assert period_during(self.mid_jan, self.jan)
+        assert period_during(self.jan, self.q1)
+        assert not period_during(self.q1, self.jan)
+
+    def test_overlaps(self):
+        assert period_overlaps(self.jan, self.q1)
+        assert period_overlaps(self.mid_jan, self.jan)
+        # Half-open: [jan, feb) and [feb, mar) share no instant.
+        assert not period_overlaps(self.jan, self.feb)
+
+    def test_degenerate_instant_overlap(self):
+        instant = period("2017-01-15", "2017-01-15")
+        assert period_overlaps(instant, self.jan)
+        assert period_overlaps(self.jan, instant)
+        outside = period("2017-06-01", "2017-06-01")
+        assert not period_overlaps(outside, self.jan)
+
+    @given(
+        a_start=st.integers(0, 50), a_len=st.integers(1, 30),
+        b_start=st.integers(0, 50), b_len=st.integers(1, 30),
+    )
+    @settings(max_examples=60)
+    def test_relations_consistent(self, a_start, a_len, b_start, b_len):
+        def make(day, length):
+            return (
+                datetime(2017, 1, 1 + day % 27, 0),
+                datetime(2017, 3, 1 + (day + length) % 27, 0),
+            )
+
+        a = make(a_start, a_len)
+        b = make(b_start, b_len)
+        # before(a,b) implies not overlaps(a,b); during implies overlaps.
+        if period_before(a, b):
+            assert not period_overlaps(a, b)
+        if period_during(a, b):
+            assert period_overlaps(a, b)
+        assert period_overlaps(a, b) == period_overlaps(b, a)
+
+
+class TestQueries:
+    def make_store(self):
+        store = GeoStore()
+        observations = [
+            ("obs1", "2017-01-01T00:00:00", "2017-02-01T00:00:00", (0, 0)),
+            ("obs2", "2017-03-01T00:00:00", "2017-05-01T00:00:00", (10, 10)),
+            ("obs3", "2017-06-01T00:00:00", "2017-07-01T00:00:00", (20, 20)),
+        ]
+        for name, start, end, (x, y) in observations:
+            store.add(EX[name], EX.validTime, period_literal(start, end))
+            store.add(EX[name], GEO.asWKT, geometry_literal(Point(x, y)))
+        return store
+
+    def test_overlaps_filter(self):
+        store = self.make_store()
+        window = period_literal("2017-04-01T00:00:00", "2017-06-15T00:00:00")
+        result = store.query(
+            PREFIXES
+            + "SELECT ?o WHERE { ?o ex:validTime ?t . "
+            + f'FILTER (strdf:periodIntersects(?t, "{window.lexical}"^^strdf:period)) }}'
+        )
+        assert {s[Variable("o")] for s in result} == {EX.obs2, EX.obs3}
+
+    def test_before_filter(self):
+        store = self.make_store()
+        pivot = period_literal("2017-03-01T00:00:00", "2017-03-02T00:00:00")
+        result = store.query(
+            PREFIXES
+            + "SELECT ?o WHERE { ?o ex:validTime ?t . "
+            + f'FILTER (strdf:before(?t, "{pivot.lexical}"^^strdf:period)) }}'
+        )
+        assert {s[Variable("o")] for s in result} == {EX.obs1}
+
+    def test_during_with_instant(self):
+        store = self.make_store()
+        result = store.query(
+            PREFIXES
+            + "SELECT ?o WHERE { ?o ex:validTime ?t . "
+            + 'FILTER (strdf:during("2017-03-15T00:00:00"^^'
+            + "<http://www.w3.org/2001/XMLSchema#dateTime>, ?t)) }"
+        )
+        assert {s[Variable("o")] for s in result} == {EX.obs2}
+
+    def test_spatiotemporal_combined(self):
+        store = self.make_store()
+        from repro.geometry import Polygon
+
+        box = geometry_literal(Polygon.box(-5, -5, 15, 15))
+        window = period_literal("2017-01-15T00:00:00", "2017-12-01T00:00:00")
+        result = store.query(
+            PREFIXES
+            + "SELECT ?o WHERE { ?o ex:validTime ?t . ?o geo:asWKT ?g . "
+            + f'FILTER (geof:sfIntersects(?g, "{box.lexical}"^^geo:wktLiteral)) '
+            + f'FILTER (strdf:periodIntersects(?t, "{window.lexical}"^^strdf:period)) }}'
+        )
+        assert {s[Variable("o")] for s in result} == {EX.obs1, EX.obs2}
+
+    def test_period_accessors(self):
+        store = self.make_store()
+        result = store.query(
+            PREFIXES
+            + "SELECT ?o WHERE { ?o ex:validTime ?t . "
+            + 'FILTER (STR(strdf:periodStart(?t)) = "2017-03-01T00:00:00") }'
+        )
+        assert {s[Variable("o")] for s in result} == {EX.obs2}
+
+
+class TestIntervalIndex:
+    def entries(self):
+        return [
+            (period("2017-01-01", "2017-02-01"), "a"),
+            (period("2017-01-15", "2017-03-01"), "b"),
+            (period("2017-06-01", "2017-07-01"), "c"),
+        ]
+
+    def test_overlapping(self):
+        index = IntervalIndex.build(self.entries())
+        assert set(index.overlapping(period("2017-01-20", "2017-01-25"))) == {"a", "b"}
+        assert index.overlapping(period("2017-04-01", "2017-05-01")) == []
+        assert index.overlapping(period("2017-06-15", "2017-06-16")) == ["c"]
+        assert len(index) == 3
+
+    def test_empty_index(self):
+        index = IntervalIndex.build([])
+        assert index.overlapping(period("2017-01-01", "2017-12-31")) == []
+        assert not index.first_overlap_possible(period("2017-01-01", "2017-12-31"))
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(RDFError):
+            IntervalIndex.build([(period("2017-05-01", "2017-05-02")[::-1], "x")])
+
+    @given(
+        data=st.lists(
+            st.tuples(st.integers(0, 300), st.integers(0, 60)), min_size=0, max_size=40
+        ),
+        q=st.tuples(st.integers(0, 300), st.integers(0, 60)),
+    )
+    @settings(max_examples=50)
+    def test_matches_linear_scan(self, data, q):
+        from datetime import timedelta
+
+        base = datetime(2017, 1, 1)
+
+        def make(start, length):
+            return (base + timedelta(days=start), base + timedelta(days=start + length))
+
+        entries = [(make(s, l), i) for i, (s, l) in enumerate(data)]
+        index = IntervalIndex.build(entries)
+        query = make(*q)
+        expected = {i for (p, i) in entries if period_overlaps(p, query)}
+        assert set(index.overlapping(query)) == expected

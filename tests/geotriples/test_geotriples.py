@@ -1,0 +1,172 @@
+"""GeoTriples mapping and transformation tests."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.geometry import Point, Polygon
+from repro.geosparql import WKT_DATATYPE, geometry_literal
+from repro.geotriples import ObjectMap, TriplesMap, transform_records, transform_to_store
+from repro.geotriples.mapping import expand_template, template_variables
+from repro.rdf import GEO, IRI, Literal, RDF
+from repro.rdf.term import XSD_INTEGER
+from repro.sparql import Variable
+
+
+EX = "http://ex.org/"
+
+
+def field_mapping():
+    return TriplesMap(
+        subject_template=EX + "field/{id}",
+        type_iri=EX + "Field",
+        object_maps=[
+            ObjectMap(predicate=EX + "crop", column="crop"),
+            ObjectMap(predicate=EX + "areaHa", column="area", datatype=XSD_INTEGER),
+            ObjectMap(predicate=EX + "region", template=EX + "region/{region}"),
+            ObjectMap(predicate=EX + "source", constant="cadastre"),
+            ObjectMap(predicate=GEO.hasGeometry.value, column="geometry", is_geometry=True),
+        ],
+    )
+
+
+RECORDS = [
+    {
+        "id": 1,
+        "crop": "wheat",
+        "area": 12,
+        "region": "south",
+        "geometry": Polygon.box(0, 0, 100, 100),
+    },
+    {
+        "id": 2,
+        "crop": "maize",
+        "area": 7,
+        "region": "north",
+        "geometry": Point(500, 500),
+    },
+]
+
+
+class TestTemplates:
+    def test_variables(self):
+        assert template_variables("http://x/{a}/{b_c}") == ["a", "b_c"]
+
+    def test_expand(self):
+        assert expand_template("http://x/{id}", {"id": 7}) == "http://x/7"
+
+    def test_missing_attribute(self):
+        with pytest.raises(MappingError):
+            expand_template("http://x/{id}", {"other": 1})
+
+
+class TestMappingValidation:
+    def test_object_map_needs_exactly_one_source(self):
+        with pytest.raises(MappingError):
+            ObjectMap(predicate="http://p")
+        with pytest.raises(MappingError):
+            ObjectMap(predicate="http://p", column="a", constant="b")
+
+    def test_geometry_requires_column(self):
+        with pytest.raises(MappingError):
+            ObjectMap(predicate="http://p", constant="x", is_geometry=True)
+
+    def test_datatype_language_conflict(self):
+        with pytest.raises(MappingError):
+            ObjectMap(
+                predicate="http://p", column="a", datatype="http://d", language="en"
+            )
+
+    def test_subject_template_must_be_http(self):
+        with pytest.raises(MappingError):
+            TriplesMap(subject_template="urn:{id}")
+
+
+class TestTransform:
+    def test_type_triples(self):
+        triples = list(transform_records(RECORDS, field_mapping()))
+        type_triples = [t for t in triples if t.predicate == RDF.type]
+        assert len(type_triples) == 2
+        assert type_triples[0].object == IRI(EX + "Field")
+
+    def test_column_literal(self):
+        triples = list(transform_records(RECORDS, field_mapping()))
+        crops = {t.object for t in triples if t.predicate == IRI(EX + "crop")}
+        assert crops == {Literal("wheat"), Literal("maize")}
+
+    def test_datatyped_column(self):
+        triples = list(transform_records(RECORDS, field_mapping()))
+        areas = {t.object for t in triples if t.predicate == IRI(EX + "areaHa")}
+        assert Literal("12", datatype=XSD_INTEGER) in areas
+
+    def test_template_object(self):
+        triples = list(transform_records(RECORDS, field_mapping()))
+        regions = {t.object for t in triples if t.predicate == IRI(EX + "region")}
+        assert IRI(EX + "region/south") in regions
+
+    def test_constant_object(self):
+        triples = list(transform_records(RECORDS, field_mapping()))
+        sources = {t.object for t in triples if t.predicate == IRI(EX + "source")}
+        assert sources == {Literal("cadastre")}
+
+    def test_constant_iri_detected(self):
+        mapping = TriplesMap(
+            subject_template=EX + "x/{id}",
+            object_maps=[ObjectMap(predicate=EX + "p", constant="http://other.org/o")],
+        )
+        [triple] = list(transform_records([{"id": 1}], mapping))
+        assert triple.object == IRI("http://other.org/o")
+
+    def test_geometry_pattern(self):
+        triples = list(transform_records(RECORDS[:1], field_mapping()))
+        has_geometry = [t for t in triples if t.predicate == GEO.hasGeometry]
+        assert len(has_geometry) == 1
+        geom_iri = has_geometry[0].object
+        assert geom_iri == IRI(EX + "field/1/geom")
+        wkt = [t for t in triples if t.subject == geom_iri and t.predicate == GEO.asWKT]
+        assert len(wkt) == 1
+        assert wkt[0].object.datatype == WKT_DATATYPE
+
+    def test_null_column_skipped(self):
+        mapping = TriplesMap(
+            subject_template=EX + "x/{id}",
+            object_maps=[ObjectMap(predicate=EX + "p", column="maybe")],
+        )
+        triples = list(transform_records([{"id": 1}], mapping))
+        assert triples == []
+
+    def test_null_geometry_skipped(self):
+        mapping = TriplesMap(
+            subject_template=EX + "x/{id}",
+            object_maps=[ObjectMap(predicate=EX + "g", column="geom", is_geometry=True)],
+        )
+        assert list(transform_records([{"id": 1}], mapping)) == []
+
+    def test_non_geometry_value_rejected(self):
+        mapping = TriplesMap(
+            subject_template=EX + "x/{id}",
+            object_maps=[ObjectMap(predicate=EX + "g", column="geom", is_geometry=True)],
+        )
+        with pytest.raises(MappingError):
+            list(transform_records([{"id": 1, "geom": "POINT (0 0)"}], mapping))
+
+
+class TestTransformToStore:
+    def test_spatial_query_end_to_end(self):
+        store = transform_to_store(RECORDS, field_mapping())
+        assert store.geometry_count == 2
+        box = geometry_literal(Polygon.box(-10, -10, 200, 200))
+        result = store.query(
+            "PREFIX geo: <http://www.opengis.net/ont/geosparql#> "
+            "PREFIX geof: <http://www.opengis.net/def/function/geosparql/> "
+            "PREFIX ex: <http://ex.org/> "
+            "SELECT ?crop WHERE { ?f geo:hasGeometry ?g . ?g geo:asWKT ?wkt . "
+            "?f ex:crop ?crop . "
+            f'FILTER (geof:sfIntersects(?wkt, "{box.lexical}"^^geo:wktLiteral)) }}'
+        )
+        assert {s[Variable("crop")] for s in result} == {Literal("wheat")}
+
+    def test_reuses_existing_store(self):
+        store = transform_to_store(RECORDS[:1], field_mapping())
+        out = transform_to_store(RECORDS[1:], field_mapping(), store=store)
+        assert out is store
+        assert store.geometry_count == 2

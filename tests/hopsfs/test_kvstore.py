@@ -1,0 +1,110 @@
+"""Sharded KV store tests."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.hopsfs import ShardedKVStore, SingleLeaderStore
+
+
+class TestBasics:
+    def test_put_get(self):
+        store = ShardedKVStore(shard_count=4)
+        store.put("p1", "k", "v")
+        assert store.get("p1", "k") == "v"
+        assert store.get("p1", "missing") is None
+
+    def test_delete(self):
+        store = ShardedKVStore()
+        store.put("p", "k", 1)
+        assert store.delete("p", "k") is True
+        assert store.delete("p", "k") is False
+        assert store.get("p", "k") is None
+
+    def test_scan_partition(self):
+        store = ShardedKVStore(shard_count=2)
+        store.put("dir1", "a", 1)
+        store.put("dir1", "b", 2)
+        store.put("dir2", "c", 3)
+        assert dict(store.scan("dir1")) == {"a": 1, "b": 2}
+
+    def test_validation(self):
+        with pytest.raises(StorageError):
+            ShardedKVStore(shard_count=0)
+        with pytest.raises(StorageError):
+            ShardedKVStore(base_latency_ms=0)
+
+    def test_storage_entries(self):
+        store = ShardedKVStore(shard_count=8)
+        for i in range(20):
+            store.put(f"p{i}", "k", i)
+        assert store.storage_entries() == 20
+
+
+class TestTransactions:
+    def test_transact_atomic_apply(self):
+        store = ShardedKVStore(shard_count=4)
+        store.put("a", "x", 1)
+        store.transact(writes=[("b", "y", 2)], deletes=[("a", "x")])
+        assert store.get("a", "x") is None
+        assert store.get("b", "y") == 2
+
+    def test_empty_transact_no_charge(self):
+        store = ShardedKVStore()
+        before = store.op_count
+        store.transact(writes=[])
+        assert store.op_count == before
+
+
+class TestCostModel:
+    def test_single_shard_cost(self):
+        store = ShardedKVStore(shard_count=4, base_latency_ms=1.0)
+        store.put("p", "k", 1)
+        assert store.total_work_ms() == 1.0
+        assert store.op_count == 1
+
+    def test_multi_shard_surcharge(self):
+        store = ShardedKVStore(
+            shard_count=4, base_latency_ms=1.0, two_phase_surcharge_ms=2.0
+        )
+        # Find two partition keys on different shards.
+        keys = ["a", "b", "c", "d", "e", "f"]
+        pk1 = keys[0]
+        pk2 = next(k for k in keys if store.shard_of(k) != store.shard_of(pk1))
+        store.transact(writes=[(pk1, "k", 1), (pk2, "k", 2)])
+        assert store.multi_shard_fraction == 1.0
+        # Both shards charged base+surcharge.
+        assert store.total_work_ms() == pytest.approx(2 * 3.0)
+        assert store.makespan_ms() == pytest.approx(3.0)
+
+    def test_parallel_shards_reduce_makespan(self):
+        many = ShardedKVStore(shard_count=8, base_latency_ms=1.0)
+        one = ShardedKVStore(shard_count=1, base_latency_ms=1.0)
+        for i in range(400):
+            many.put(f"p{i}", "k", i)
+            one.put(f"p{i}", "k", i)
+        assert many.makespan_ms() < one.makespan_ms() / 4
+        assert many.ops_per_second() > one.ops_per_second() * 4
+
+    def test_throughput_scales_with_shards(self):
+        results = {}
+        for shards in (1, 2, 4, 8):
+            store = ShardedKVStore(shard_count=shards, base_latency_ms=0.1)
+            for i in range(1000):
+                store.put(f"p{i}", "k", i)
+            results[shards] = store.ops_per_second()
+        assert results[2] > results[1] * 1.5
+        assert results[8] > results[4] * 1.5
+
+    def test_reset_accounting(self):
+        store = ShardedKVStore()
+        store.put("p", "k", 1)
+        store.reset_accounting()
+        assert store.op_count == 0
+        assert store.makespan_ms() == 0.0
+        assert store.ops_per_second() == 0.0
+        # Data survives a reset.
+        assert store.get("p", "k") == 1
+
+    def test_single_leader_is_one_shard(self):
+        store = SingleLeaderStore()
+        assert store.shard_count == 1

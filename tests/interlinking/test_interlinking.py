@@ -1,0 +1,248 @@
+"""Interlinking tests: blocking recall, meta-blocking pruning, link discovery."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.geometry import Point, Polygon
+from repro.interlinking import (
+    Link,
+    SpatialEntity,
+    brute_force_pairs,
+    discover_links,
+    evaluate_links,
+    meta_blocking,
+    spatial_blocking,
+)
+
+
+def grid_entities(prefix, count, spacing, size, offset=0.0):
+    """Entities laid out on a line with fixed spacing."""
+    return [
+        SpatialEntity(
+            f"{prefix}{i}",
+            Polygon.box(
+                offset + i * spacing, 0.0, offset + i * spacing + size, size
+            ),
+        )
+        for i in range(count)
+    ]
+
+
+class TestBlocking:
+    def test_brute_force_count(self):
+        a = grid_entities("a", 3, 10, 1)
+        b = grid_entities("b", 4, 10, 1)
+        assert len(brute_force_pairs(a, b)) == 12
+
+    def test_blocking_reduces_candidates(self):
+        a = grid_entities("a", 50, 10, 1)
+        b = grid_entities("b", 50, 10, 1, offset=0.5)
+        pairs, _ = spatial_blocking(a, b, cell_size=10)
+        assert len(pairs) < 200  # vs 2500 brute force
+
+    def test_blocking_no_false_dismissals(self):
+        """Every bbox-intersecting pair must survive blocking (any cell size)."""
+        rng = random.Random(5)
+        a = [
+            SpatialEntity(
+                f"a{i}",
+                Polygon.box(x := rng.uniform(0, 100), y := rng.uniform(0, 100),
+                            x + rng.uniform(1, 10), y + rng.uniform(1, 10)),
+            )
+            for i in range(30)
+        ]
+        b = [
+            SpatialEntity(
+                f"b{i}",
+                Polygon.box(x := rng.uniform(0, 100), y := rng.uniform(0, 100),
+                            x + rng.uniform(1, 10), y + rng.uniform(1, 10)),
+            )
+            for i in range(30)
+        ]
+        for cell in (3.0, 7.0, 20.0):
+            pairs, _ = spatial_blocking(a, b, cell_size=cell)
+            expected = {
+                (i, j)
+                for i in range(30)
+                for j in range(30)
+                if a[i].geometry.bbox.intersects(b[j].geometry.bbox)
+            }
+            assert expected <= set(pairs)
+
+    def test_common_block_counts(self):
+        a = [SpatialEntity("a0", Polygon.box(0, 0, 25, 5))]
+        b = [SpatialEntity("b0", Polygon.box(0, 0, 25, 5))]
+        _, common = spatial_blocking(a, b, cell_size=10)
+        # Boxes span 3 cells horizontally; they share all of them.
+        assert common[(0, 0)] == 3
+
+    def test_cell_size_validation(self):
+        with pytest.raises(ReproError):
+            spatial_blocking([], [], cell_size=0)
+
+
+class TestMetaBlocking:
+    def test_keep_zero_keeps_all(self):
+        pairs = [(0, 0), (0, 1)]
+        common = {(0, 0): 5, (0, 1): 1}
+        assert set(meta_blocking(pairs, common, keep_fraction=0.0)) == set(pairs)
+
+    def test_prunes_weak_edges(self):
+        pairs = [(0, 0), (0, 1), (1, 1)]
+        common = {(0, 0): 10, (0, 1): 1, (1, 1): 8}
+        kept = meta_blocking(pairs, common, keep_fraction=0.9)
+        assert (0, 0) in kept and (1, 1) in kept
+        assert (0, 1) not in kept
+
+    def test_strongest_edge_per_node_survives(self):
+        pairs = [(0, 0), (1, 0), (2, 0)]
+        common = {(0, 0): 3, (1, 0): 2, (2, 0): 1}
+        kept = meta_blocking(pairs, common, keep_fraction=1.0)
+        # Each source's best edge survives (threshold = min of endpoints' max).
+        assert (0, 0) in kept
+
+    def test_empty_input(self):
+        assert meta_blocking([], {}, keep_fraction=0.5) == []
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            meta_blocking([(0, 0)], {}, keep_fraction=1.5)
+
+
+class TestDiscovery:
+    def overlapping_sets(self):
+        a = [
+            SpatialEntity("a0", Polygon.box(0, 0, 10, 10)),
+            SpatialEntity("a1", Polygon.box(100, 100, 110, 110)),
+        ]
+        b = [
+            SpatialEntity("b0", Polygon.box(5, 5, 15, 15)),  # overlaps a0
+            SpatialEntity("b1", Polygon.box(102, 102, 104, 104)),  # inside a1
+            SpatialEntity("b2", Polygon.box(500, 500, 501, 501)),  # alone
+        ]
+        return a, b
+
+    def test_brute_force_relations(self):
+        a, b = self.overlapping_sets()
+        result = discover_links(a, b, method="brute_force")
+        links = set(result.links)
+        assert Link("a0", "intersects", "b0") in links
+        assert Link("a1", "contains", "b1") in links
+        assert Link("a1", "intersects", "b1") in links
+        assert not any(link.target_id == "b2" for link in links)
+        assert result.comparisons == 6
+
+    def test_blocking_matches_brute_force(self):
+        a, b = self.overlapping_sets()
+        brute = discover_links(a, b, method="brute_force")
+        blocked = discover_links(a, b, method="blocking", cell_size=20)
+        assert set(blocked.links) == set(brute.links)
+        assert blocked.comparisons < brute.comparisons
+
+    def test_near_relation(self):
+        a = [SpatialEntity("a0", Point(0, 0))]
+        b = [SpatialEntity("b0", Point(3, 4)), SpatialEntity("b1", Point(50, 50))]
+        result = discover_links(a, b, method="brute_force", near_distance=6.0)
+        assert set(result.links) == {Link("a0", "near", "b0")}
+
+    def test_near_with_blocking(self):
+        a = [SpatialEntity("a0", Point(0, 0))]
+        b = [SpatialEntity("b0", Point(3, 4))]
+        result = discover_links(
+            a, b, method="blocking", cell_size=10, near_distance=6.0
+        )
+        assert set(result.links) == {Link("a0", "near", "b0")}
+
+    def test_same_id_skipped(self):
+        shared = [SpatialEntity("x", Polygon.box(0, 0, 1, 1))]
+        result = discover_links(shared, shared, method="brute_force")
+        assert result.links == []
+
+    def test_default_cell_size(self):
+        a, b = self.overlapping_sets()
+        result = discover_links(a, b, method="blocking")
+        assert Link("a0", "intersects", "b0") in set(result.links)
+
+    def test_by_relation_counts(self):
+        a, b = self.overlapping_sets()
+        counts = discover_links(a, b, method="brute_force").by_relation()
+        assert counts["intersects"] == 2
+        assert counts["contains"] == 1
+
+    def test_unknown_method(self):
+        with pytest.raises(ReproError):
+            discover_links([], [], method="magic")
+
+    @given(
+        seed=st.integers(0, 100),
+        cell=st.floats(min_value=2.0, max_value=50.0, allow_nan=False),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_blocking_recall_property(self, seed, cell):
+        """Blocking + exact comparison finds every brute-force link."""
+        rng = random.Random(seed)
+        a = [
+            SpatialEntity(
+                f"a{i}",
+                Polygon.box(x := rng.uniform(0, 80), y := rng.uniform(0, 80),
+                            x + rng.uniform(1, 8), y + rng.uniform(1, 8)),
+            )
+            for i in range(15)
+        ]
+        b = [
+            SpatialEntity(
+                f"b{i}",
+                Polygon.box(x := rng.uniform(0, 80), y := rng.uniform(0, 80),
+                            x + rng.uniform(1, 8), y + rng.uniform(1, 8)),
+            )
+            for i in range(15)
+        ]
+        brute = discover_links(a, b, method="brute_force")
+        blocked = discover_links(a, b, method="blocking", cell_size=cell)
+        precision, recall = evaluate_links(blocked.links, brute.links)
+        assert precision == 1.0 and recall == 1.0
+
+    def test_metablocking_trades_recall_for_fewer_comparisons(self):
+        rng = random.Random(9)
+        a = [
+            SpatialEntity(
+                f"a{i}",
+                Polygon.box(x := rng.uniform(0, 50), y := rng.uniform(0, 50),
+                            x + rng.uniform(2, 12), y + rng.uniform(2, 12)),
+            )
+            for i in range(40)
+        ]
+        b = [
+            SpatialEntity(
+                f"b{i}",
+                Polygon.box(x := rng.uniform(0, 50), y := rng.uniform(0, 50),
+                            x + rng.uniform(2, 12), y + rng.uniform(2, 12)),
+            )
+            for i in range(40)
+        ]
+        plain = discover_links(a, b, method="blocking", cell_size=5)
+        pruned = discover_links(
+            a, b, method="blocking", cell_size=5, meta_keep_fraction=0.8
+        )
+        assert pruned.comparisons < plain.comparisons
+        _, recall = evaluate_links(pruned.links, plain.links)
+        assert recall > 0.5
+
+
+class TestEvaluate:
+    def test_perfect(self):
+        links = [Link("a", "intersects", "b")]
+        assert evaluate_links(links, links) == (1.0, 1.0)
+
+    def test_empty_both(self):
+        assert evaluate_links([], []) == (1.0, 1.0)
+
+    def test_precision_recall(self):
+        truth = [Link("a", "r", "b"), Link("c", "r", "d")]
+        found = [Link("a", "r", "b"), Link("x", "r", "y")]
+        precision, recall = evaluate_links(found, truth)
+        assert precision == 0.5 and recall == 0.5

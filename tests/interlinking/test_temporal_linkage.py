@@ -1,0 +1,153 @@
+"""Temporal and spatiotemporal link discovery tests."""
+
+from datetime import datetime, timedelta
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.geometry import Point, Polygon
+from repro.interlinking import (
+    Link,
+    TemporalEntity,
+    discover_spatiotemporal_links,
+    discover_temporal_links,
+    evaluate_links,
+)
+
+BASE = datetime(2017, 1, 1)
+
+
+def entity(name, start_day, end_day, geometry=None):
+    return TemporalEntity(
+        name,
+        (BASE + timedelta(days=start_day), BASE + timedelta(days=end_day)),
+        geometry,
+    )
+
+
+class TestTemporalLinks:
+    def test_overlaps_and_during(self):
+        sources = [entity("a", 10, 20)]
+        targets = [
+            entity("b", 15, 25),  # overlaps a
+            entity("c", 0, 40),  # a during c
+            entity("d", 30, 35),  # disjoint
+        ]
+        result = discover_temporal_links(sources, targets)
+        links = set(result.links)
+        assert Link("a", "overlaps", "b") in links
+        assert Link("a", "overlaps", "c") in links
+        assert Link("a", "during", "c") in links
+        assert not any(link.target_id == "d" for link in links)
+
+    def test_before_after_within_horizon(self):
+        sources = [entity("a", 0, 10)]
+        targets = [
+            entity("soon", 15, 20),  # 5 days after a ends
+            entity("later", 200, 210),  # far in the future
+        ]
+        result = discover_temporal_links(
+            sources, targets, relations=("before",), before_horizon_days=30,
+        )
+        assert set(result.links) == {Link("a", "before", "soon")}
+
+    def test_after_relation(self):
+        sources = [entity("late", 50, 60)]
+        targets = [entity("early", 30, 40)]
+        result = discover_temporal_links(
+            sources, targets, relations=("after",), before_horizon_days=30,
+        )
+        assert set(result.links) == {Link("late", "after", "early")}
+
+    def test_index_matches_brute_force(self):
+        sources = [entity(f"s{i}", i * 3, i * 3 + 10) for i in range(20)]
+        targets = [entity(f"t{i}", i * 4, i * 4 + 6) for i in range(20)]
+        fast = discover_temporal_links(sources, targets)
+        brute = discover_temporal_links(sources, targets, method="brute_force")
+        assert set(fast.links) == set(brute.links)
+        assert fast.candidate_pairs < brute.candidate_pairs
+
+    def test_same_id_skipped(self):
+        shared = [entity("x", 0, 10)]
+        result = discover_temporal_links(shared, shared)
+        assert result.links == []
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            discover_temporal_links([], [], relations=("eventually",))
+        with pytest.raises(ReproError):
+            discover_temporal_links([], [], relations=("before",))
+        with pytest.raises(ReproError):
+            discover_temporal_links([], [], method="psychic")
+        with pytest.raises(ReproError):
+            TemporalEntity("bad", (BASE + timedelta(days=5), BASE))
+
+    @given(
+        offsets=st.lists(
+            st.tuples(st.integers(0, 80), st.integers(1, 20)),
+            min_size=1, max_size=15,
+        ),
+        horizon=st.integers(1, 40),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_index_equals_brute_force_property(self, offsets, horizon):
+        sources = [entity(f"s{i}", s, s + l) for i, (s, l) in enumerate(offsets)]
+        targets = [
+            entity(f"t{i}", s + 7, s + l + 7) for i, (s, l) in enumerate(offsets)
+        ]
+        kwargs = dict(
+            relations=("before", "after", "overlaps", "during"),
+            before_horizon_days=horizon,
+        )
+        fast = discover_temporal_links(sources, targets, **kwargs)
+        brute = discover_temporal_links(
+            sources, targets, method="brute_force", **kwargs
+        )
+        precision, recall = evaluate_links(fast.links, brute.links)
+        assert precision == 1.0 and recall == 1.0
+
+
+class TestSpatioTemporalLinks:
+    def test_cooccurrence(self):
+        sources = [
+            entity("a", 0, 10, Polygon.box(0, 0, 10, 10)),
+        ]
+        targets = [
+            entity("same_place_time", 5, 15, Polygon.box(5, 5, 15, 15)),
+            entity("same_place_later", 50, 60, Polygon.box(5, 5, 15, 15)),
+            entity("same_time_elsewhere", 5, 15, Polygon.box(100, 100, 110, 110)),
+        ]
+        result = discover_spatiotemporal_links(sources, targets)
+        assert set(result.links) == {Link("a", "cooccurs", "same_place_time")}
+        # Temporal index pruned the "later" pair before any geometry test.
+        assert result.candidate_pairs == 2
+
+    def test_custom_relation_name(self):
+        sources = [entity("a", 0, 10, Point(1, 1))]
+        targets = [entity("b", 0, 10, Polygon.box(0, 0, 5, 5))]
+        result = discover_spatiotemporal_links(sources, targets, relation_name="within")
+        assert result.links == [Link("a", "within", "b")]
+
+    def test_geometry_required(self):
+        with pytest.raises(ReproError):
+            discover_spatiotemporal_links([entity("a", 0, 1)], [entity("b", 0, 1)])
+
+    def test_iceberg_track_scenario(self):
+        """The A2 use: link iceberg observations to the ice regions they
+        co-occurred with."""
+        observations = [
+            entity(f"berg_obs{i}", i * 7, i * 7, Point(10 + i * 5, 50))
+            for i in range(4)
+        ]
+        regions = [
+            entity("winter_pack", 0, 15, Polygon.box(0, 40, 20, 60)),
+            entity("spring_pack", 16, 40, Polygon.box(15, 40, 40, 60)),
+        ]
+        result = discover_spatiotemporal_links(observations, regions)
+        by_region = {}
+        for link in result.links:
+            by_region.setdefault(link.target_id, []).append(link.source_id)
+        assert set(by_region.get("winter_pack", [])) == {"berg_obs0", "berg_obs1", "berg_obs2"}
+        assert set(by_region.get("spring_pack", [])) == {"berg_obs3"}

@@ -1,0 +1,222 @@
+"""Active and semi-supervised learning tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MLError
+from repro.datasets import Dataset, make_eurosat, stratified_split
+from repro.ml import (
+    ActiveLearner,
+    Dense,
+    ReLU,
+    SGD,
+    Sequential,
+    accuracy,
+    margin_sampling,
+    self_training,
+    softmax_cross_entropy,
+    uncertainty_sampling,
+)
+from repro.ml.active import predictive_entropy, prediction_margin, random_sampling
+
+
+def flat_model(features=4, classes=3, seed=0):
+    return Sequential([Dense(features, 24, seed=seed), ReLU(), Dense(24, classes, seed=seed + 1)])
+
+
+def train_flat(model, dataset, epochs=60, lr=0.2):
+    opt = SGD(model.parameters(), lr=lr, momentum=0.9)
+    x = dataset.x.reshape(len(dataset), -1)
+    for _ in range(epochs):
+        model.zero_grad()
+        logits = model.forward(x, training=True)
+        _, dlogits = softmax_cross_entropy(logits, dataset.y)
+        model.backward(dlogits)
+        opt.step()
+
+
+def make_blob_dataset(n=300, seed=0, spread=0.6):
+    """Three Gaussian blobs as a (N, 1, 2, 2) 'image' dataset."""
+    rng = np.random.default_rng(seed)
+    centers = np.array([[2, 0, 0, 0], [0, 2, 0, 0], [0, 0, 2, 0]], dtype=np.float64)
+    y = rng.integers(0, 3, size=n)
+    x = centers[y] + rng.normal(0, spread, size=(n, 4))
+    return Dataset(x.reshape(n, 1, 2, 2).astype(np.float32), y, ("a", "b", "c"))
+
+
+class _FlatWrapper:
+    """Adapts the Dense model to the Dataset's 4-D patches."""
+
+    def __init__(self, seed=0):
+        self.net = flat_model(seed=seed)
+
+    def predict(self, x):
+        return self.net.predict(x.reshape(x.shape[0], -1))
+
+    def predict_proba(self, x):
+        return self.net.predict_proba(x.reshape(x.shape[0], -1))
+
+
+def wrapper_train(model, dataset):
+    train_flat(model.net, dataset)
+
+
+class TestScores:
+    def test_entropy_uniform_is_max(self):
+        uniform = np.full((1, 4), 0.25)
+        confident = np.array([[0.97, 0.01, 0.01, 0.01]])
+        assert predictive_entropy(uniform)[0] > predictive_entropy(confident)[0]
+
+    def test_entropy_shape_validation(self):
+        with pytest.raises(MLError):
+            predictive_entropy(np.zeros(3))
+
+    def test_margin(self):
+        close = np.array([[0.5, 0.45, 0.05]])
+        clear = np.array([[0.9, 0.05, 0.05]])
+        assert prediction_margin(close)[0] < prediction_margin(clear)[0]
+
+    def test_margin_validation(self):
+        with pytest.raises(MLError):
+            prediction_margin(np.ones((3, 1)))
+
+    def test_random_sampling_bounds(self):
+        rng = np.random.default_rng(0)
+        picked = random_sampling(10, 5, rng)
+        assert len(set(picked.tolist())) == 5
+        with pytest.raises(MLError):
+            random_sampling(3, 5, rng)
+
+
+class TestSamplers:
+    def test_uncertainty_picks_boundary_points(self):
+        dataset = make_blob_dataset(n=300, seed=1)
+        model = _FlatWrapper(seed=1)
+        wrapper_train(model, dataset)
+        picked = uncertainty_sampling(model, dataset.x, count=30)
+        entropy = predictive_entropy(model.predict_proba(dataset.x))
+        # The picked set's mean entropy dominates the pool's.
+        assert entropy[picked].mean() > entropy.mean() * 1.2
+
+    def test_margin_sampling_count(self):
+        dataset = make_blob_dataset(n=100, seed=2)
+        model = _FlatWrapper(seed=2)
+        wrapper_train(model, dataset)
+        picked = margin_sampling(model, dataset.x, count=10)
+        assert picked.shape == (10,)
+
+    def test_count_validation(self):
+        model = _FlatWrapper()
+        with pytest.raises(MLError):
+            uncertainty_sampling(model, np.zeros((5, 1, 2, 2)), count=0)
+
+
+class TestActiveLearner:
+    def make_learner(self, strategy, seed=0):
+        return ActiveLearner(
+            model_fn=lambda: _FlatWrapper(seed=seed),
+            train_fn=wrapper_train,
+            strategy=strategy,
+            seed=seed,
+        )
+
+    def test_history_grows_by_batch(self):
+        pool = make_blob_dataset(n=250, seed=3)
+        test = make_blob_dataset(n=100, seed=4)
+        _, history = self.make_learner("uncertainty").run(
+            pool, test, initial=15, batch=10, rounds=3
+        )
+        assert [h.labelled for h in history] == [15, 25, 35]
+
+    def test_accuracy_improves_with_labels(self):
+        pool = make_blob_dataset(n=400, seed=5, spread=0.9)
+        test = make_blob_dataset(n=150, seed=6, spread=0.9)
+        _, history = self.make_learner("uncertainty", seed=1).run(
+            pool, test, initial=10, batch=30, rounds=4
+        )
+        assert history[-1].accuracy >= history[0].accuracy
+
+    def test_strategies_accept_all_names(self):
+        pool = make_blob_dataset(n=120, seed=7)
+        test = make_blob_dataset(n=60, seed=8)
+        for strategy in ("uncertainty", "margin", "random"):
+            _, history = self.make_learner(strategy).run(
+                pool, test, initial=10, batch=10, rounds=2
+            )
+            assert len(history) == 2
+
+    def test_validation(self):
+        pool = make_blob_dataset(n=50)
+        test = make_blob_dataset(n=20)
+        with pytest.raises(MLError):
+            self.make_learner("oracle").run(pool, test)
+        with pytest.raises(MLError):
+            self.make_learner("random").run(pool, test, initial=40, batch=20, rounds=3)
+
+
+class TestSelfTraining:
+    def test_adopts_confident_samples(self):
+        labelled = make_blob_dataset(n=30, seed=9)
+        unlabelled = make_blob_dataset(n=200, seed=10)
+        model, final, adopted = self_training(
+            model_fn=lambda: _FlatWrapper(seed=3),
+            train_fn=wrapper_train,
+            labelled=labelled,
+            unlabelled_x=unlabelled.x,
+            confidence=0.9,
+            max_iterations=2,
+        )
+        assert sum(adopted) > 0
+        assert len(final) == 30 + sum(adopted)
+
+    def test_pseudo_labels_mostly_correct(self):
+        labelled = make_blob_dataset(n=40, seed=11)
+        unlabelled = make_blob_dataset(n=300, seed=12)
+        _, final, adopted = self_training(
+            model_fn=lambda: _FlatWrapper(seed=4),
+            train_fn=wrapper_train,
+            labelled=labelled,
+            unlabelled_x=unlabelled.x,
+            confidence=0.95,
+            max_iterations=1,
+        )
+        count = sum(adopted)
+        if count:
+            pseudo = final.y[40 : 40 + count]
+            # Recover the true labels of the adopted samples by position.
+            probabilities_mask_model = _FlatWrapper(seed=4)
+            wrapper_train(probabilities_mask_model, labelled)
+            probs = probabilities_mask_model.predict_proba(unlabelled.x)
+            confident = probs.max(axis=1) >= 0.95
+            true = unlabelled.y[confident][:count]
+            assert (pseudo == true).mean() > 0.85
+
+    def test_improves_over_supervised_only(self):
+        labelled = make_blob_dataset(n=12, seed=13, spread=1.0)
+        unlabelled = make_blob_dataset(n=400, seed=14, spread=1.0)
+        test = make_blob_dataset(n=200, seed=15, spread=1.0)
+
+        supervised = _FlatWrapper(seed=5)
+        wrapper_train(supervised, labelled)
+        baseline = accuracy(supervised.predict(test.x), test.y)
+
+        model, _, _ = self_training(
+            model_fn=lambda: _FlatWrapper(seed=5),
+            train_fn=wrapper_train,
+            labelled=labelled,
+            unlabelled_x=unlabelled.x,
+            confidence=0.9,
+        )
+        semi = accuracy(model.predict(test.x), test.y)
+        assert semi >= baseline - 0.05  # never collapses; usually gains
+
+    def test_validation(self):
+        labelled = make_blob_dataset(n=10)
+        with pytest.raises(MLError):
+            self_training(
+                model_fn=lambda: _FlatWrapper(),
+                train_fn=wrapper_train,
+                labelled=labelled,
+                unlabelled_x=np.zeros((5, 1, 2, 2)),
+                confidence=0.4,
+            )

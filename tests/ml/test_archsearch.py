@@ -1,0 +1,137 @@
+"""Architecture search tests."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.errors import MLError
+from repro.ml.archsearch import (
+    ArchitectureSpec,
+    architecture_search,
+    build_architecture,
+    random_architecture,
+)
+
+
+class TestSpec:
+    def test_defaults_valid(self):
+        spec = ArchitectureSpec()
+        assert spec.required_patch_divisor() == 4
+
+    def test_validation(self):
+        with pytest.raises(MLError):
+            ArchitectureSpec(conv_filters=())
+        with pytest.raises(MLError):
+            ArchitectureSpec(conv_filters=(0,))
+        with pytest.raises(MLError):
+            ArchitectureSpec(dense_width=0)
+        with pytest.raises(MLError):
+            ArchitectureSpec(dropout=1.0)
+
+    def test_parameter_estimate_tracks_actual(self):
+        spec = ArchitectureSpec(conv_filters=(8, 16), dense_width=32)
+        model = build_architecture(spec, bands=13, patch_size=8, classes=5)
+        estimate = spec.parameter_estimate(bands=13, patch_size=8, classes=5)
+        assert estimate == model.parameter_count
+
+
+class TestBuilder:
+    def test_forward_shape(self):
+        spec = ArchitectureSpec(conv_filters=(8,), dense_width=16)
+        model = build_architecture(spec, bands=3, patch_size=8, classes=4)
+        out = model.forward(np.zeros((2, 3, 8, 8)))
+        assert out.shape == (2, 4)
+
+    def test_dropout_included_when_requested(self):
+        from repro.ml.layers import Dropout
+
+        spec = ArchitectureSpec(conv_filters=(8,), dropout=0.5)
+        model = build_architecture(spec, bands=2, patch_size=4, classes=3)
+        assert any(isinstance(layer, Dropout) for layer in model.layers)
+
+    def test_incompatible_patch_size(self):
+        spec = ArchitectureSpec(conv_filters=(8, 16, 32))  # needs /8
+        with pytest.raises(MLError):
+            build_architecture(spec, bands=3, patch_size=4, classes=2)
+
+    def test_three_block_network_trains(self):
+        spec = ArchitectureSpec(conv_filters=(4, 8, 8), dense_width=16)
+        model = build_architecture(spec, bands=2, patch_size=8, classes=2, seed=1)
+        from repro.ml import SGD, softmax_cross_entropy
+
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((16, 2, 8, 8))
+        y = rng.integers(0, 2, 16)
+        opt = SGD(model.parameters(), lr=0.05)
+        first = None
+        for _ in range(20):
+            model.zero_grad()
+            loss, dlogits = softmax_cross_entropy(model.forward(x, training=True), y)
+            if first is None:
+                first = loss
+            model.backward(dlogits)
+            opt.step()
+        assert loss < first
+
+
+class TestSampler:
+    def test_samples_within_space(self):
+        rng = random.Random(0)
+        for _ in range(20):
+            spec = random_architecture(rng)
+            assert 1 <= len(spec.conv_filters) <= 3
+            assert spec.dense_width in (32, 64, 128)
+            assert spec.dropout in (0.0, 0.25, 0.5)
+
+    def test_deterministic_for_seeded_rng(self):
+        a = [random_architecture(random.Random(5)) for _ in range(3)]
+        b = [random_architecture(random.Random(5)) for _ in range(3)]
+        assert a[0] == b[0]
+
+
+class TestSearch:
+    def test_search_finds_better_architectures(self):
+        # Objective: prefer wider dense layers; cost grows with parameters.
+        def objective(spec):
+            return float(spec.dense_width), spec.dense_width / 64.0
+
+        result = architecture_search(objective, trials=12, seed=1)
+        assert result.best.score == 128.0
+        assert len(result.trials) == 12
+
+    def test_duplicates_not_reevaluated(self):
+        calls = []
+
+        def objective(spec):
+            calls.append(spec)
+            return 0.0, 1.0
+
+        architecture_search(objective, trials=20, seed=2, max_blocks=1)
+        # The space with 1 block is small: far fewer evaluations than trials.
+        assert len(calls) < 20
+
+    def test_end_to_end_on_data(self):
+        """A tiny real search: train each candidate briefly, pick the best."""
+        from repro.datasets import make_eurosat, stratified_split
+        from repro.ml import accuracy
+        from repro.apps.foodsecurity.cropmap import train_crop_classifier
+
+        dataset = make_eurosat(samples=160, patch_size=8, num_classes=4, seed=5)
+        train, test = stratified_split(dataset, test_fraction=0.25, seed=0)
+
+        def objective(spec):
+            if spec.required_patch_divisor() > 8:
+                return 0.0, 0.0
+            model = build_architecture(spec, bands=13, patch_size=8, classes=4, seed=3)
+            train_crop_classifier(model, train, epochs=3, batch_size=16, lr=0.02)
+            score = accuracy(model.predict(test.x), test.y)
+            return score, float(model.parameter_count)
+
+        result = architecture_search(objective, trials=4, seed=4, max_blocks=2)
+        assert result.best.score > 0.3  # beats 4-class chance
+        assert result.parallel_time_s <= result.serial_time_s
+
+    def test_validation(self):
+        with pytest.raises(MLError):
+            architecture_search(lambda s: (0, 0), trials=0)

@@ -1,0 +1,200 @@
+"""Distributed training tests: exact equivalence and time modelling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MLError
+from repro.cluster import NetworkModel
+from repro.ml import (
+    DataParallelTrainer,
+    Dense,
+    ReLU,
+    SGD,
+    Sequential,
+    WarmupLinearScalingSchedule,
+    accuracy,
+    grid_search,
+    random_search,
+)
+
+
+def make_model(seed=0):
+    return Sequential([Dense(4, 16, seed=seed), ReLU(), Dense(16, 3, seed=seed + 1)])
+
+
+def make_blobs(n=120, seed=0):
+    """Three linearly separable Gaussian blobs in 4-D."""
+    rng = np.random.default_rng(seed)
+    centers = np.array(
+        [[3, 0, 0, 0], [0, 3, 0, 0], [0, 0, 3, 0]], dtype=np.float64
+    )
+    y = rng.integers(0, 3, size=n)
+    x = centers[y] + rng.normal(0, 0.5, size=(n, 4))
+    return x, y
+
+
+class TestEquivalence:
+    """W-worker data-parallel SGD == single-worker SGD on the same batches."""
+
+    @pytest.mark.parametrize("workers", [2, 3, 4])
+    def test_gradients_match_single_worker(self, workers):
+        x, y = make_blobs(n=60, seed=1)
+        single = make_model(seed=5)
+        multi = make_model(seed=5)
+        trainer_single = DataParallelTrainer(
+            single, SGD(single.parameters(), lr=0.1), workers=1
+        )
+        trainer_multi = DataParallelTrainer(
+            multi, SGD(multi.parameters(), lr=0.1), workers=workers
+        )
+        for start in range(0, 60, 12):
+            batch = slice(start, start + 12)
+            loss_single = trainer_single.train_step(x[batch], y[batch])
+            loss_multi = trainer_multi.train_step(x[batch], y[batch])
+            assert loss_multi == pytest.approx(loss_single, rel=1e-12)
+        for p_single, p_multi in zip(single.parameters(), multi.parameters()):
+            np.testing.assert_allclose(p_single.value, p_multi.value, atol=1e-12)
+
+    def test_uneven_shards_still_exact(self):
+        x, y = make_blobs(n=30, seed=2)
+        single = make_model(seed=3)
+        multi = make_model(seed=3)
+        DataParallelTrainer(single, SGD(single.parameters(), lr=0.05)).train_step(
+            x[:10], y[:10]
+        )
+        DataParallelTrainer(
+            multi, SGD(multi.parameters(), lr=0.05), workers=3
+        ).train_step(x[:10], y[:10])
+        for a, b in zip(single.parameters(), multi.parameters()):
+            np.testing.assert_allclose(a.value, b.value, atol=1e-12)
+
+
+class TestTraining:
+    def test_fit_reduces_loss(self):
+        x, y = make_blobs(n=200, seed=3)
+        model = make_model(seed=1)
+        trainer = DataParallelTrainer(model, SGD(model.parameters(), lr=0.1), workers=4)
+        report = trainer.fit(x, y, epochs=5, batch_size=32)
+        assert report.losses[-1] < report.losses[0] / 2
+        assert accuracy(model.predict(x), y) > 0.9
+
+    def test_report_time_accounting(self):
+        x, y = make_blobs(n=64, seed=4)
+        model = make_model()
+        trainer = DataParallelTrainer(
+            model, SGD(model.parameters(), lr=0.1), workers=4, example_cost_s=1e-3
+        )
+        trainer.train_step(x[:32], y[:32])
+        # 32 examples / 4 workers = 8 per worker.
+        assert trainer.report.compute_time_s == pytest.approx(8e-3)
+        assert trainer.report.comm_time_s > 0
+        assert trainer.report.total_time_s == pytest.approx(
+            trainer.report.compute_time_s + trainer.report.comm_time_s
+        )
+        assert trainer.report.throughput(32) > 0
+
+    def test_more_workers_less_compute_time(self):
+        x, y = make_blobs(n=64, seed=5)
+
+        def compute_time(workers):
+            model = make_model()
+            trainer = DataParallelTrainer(
+                model, SGD(model.parameters(), lr=0.1),
+                workers=workers, example_cost_s=1e-3,
+            )
+            trainer.train_step(x, y)
+            return trainer.report.compute_time_s
+
+        assert compute_time(8) == pytest.approx(compute_time(1) / 8)
+
+    def test_comm_time_grows_with_workers_for_broadcast(self):
+        x, y = make_blobs(n=64, seed=6)
+
+        def comm_time(workers):
+            model = make_model()
+            trainer = DataParallelTrainer(
+                model, SGD(model.parameters(), lr=0.1),
+                workers=workers, strategy="broadcast",
+            )
+            trainer.train_step(x, y)
+            return trainer.report.comm_time_s
+
+        assert comm_time(8) > comm_time(2) * 2
+
+    def test_allreduce_comm_flat_in_workers(self):
+        x, y = make_blobs(n=64, seed=7)
+        slow_net = NetworkModel(latency_s=0.0, bandwidth_bps=1e9)
+
+        def comm_time(workers):
+            model = make_model()
+            trainer = DataParallelTrainer(
+                model, SGD(model.parameters(), lr=0.1),
+                workers=workers, strategy="allreduce", network=slow_net,
+            )
+            trainer.train_step(x, y)
+            return trainer.report.comm_time_s
+
+        # Ring allreduce bandwidth term saturates at 2*M*beta.
+        assert comm_time(16) < comm_time(2) * 2.1
+
+    def test_warmup_schedule_applied(self):
+        x, y = make_blobs(n=64, seed=8)
+        model = make_model()
+        opt = SGD(model.parameters(), lr=0.01)
+        schedule = WarmupLinearScalingSchedule(base_lr=0.01, workers=4, warmup_steps=5)
+        trainer = DataParallelTrainer(
+            model, opt, workers=4, schedule=schedule
+        )
+        trainer.train_step(x[:16], y[:16])
+        first_lr = opt.lr
+        for _ in range(6):
+            trainer.train_step(x[:16], y[:16])
+        assert opt.lr == pytest.approx(0.04)
+        assert first_lr < opt.lr
+
+    def test_validation(self):
+        model = make_model()
+        opt = SGD(model.parameters(), lr=0.1)
+        with pytest.raises(MLError):
+            DataParallelTrainer(model, opt, workers=0)
+        with pytest.raises(MLError):
+            DataParallelTrainer(model, opt, strategy="gossip")
+        trainer = DataParallelTrainer(model, opt, workers=8)
+        with pytest.raises(MLError):
+            trainer.train_step(np.zeros((4, 4)), np.zeros(4, dtype=int))
+
+
+class TestHyperparam:
+    def test_grid_search_finds_best(self):
+        result = grid_search(
+            lambda c: (-((c["lr"] - 0.3) ** 2), 1.0),
+            {"lr": [0.1, 0.2, 0.3, 0.4]},
+        )
+        assert result.best.config_dict["lr"] == 0.3
+        assert len(result.trials) == 4
+
+    def test_grid_search_cartesian(self):
+        result = grid_search(
+            lambda c: (0.0, 1.0), {"a": [1, 2], "b": [1, 2, 3]}
+        )
+        assert len(result.trials) == 6
+
+    def test_parallel_speedup(self):
+        result = grid_search(
+            lambda c: (0.0, 2.0), {"a": list(range(8))}, parallel_slots=4
+        )
+        assert result.serial_time_s == pytest.approx(16.0)
+        assert result.parallel_time_s == pytest.approx(4.0)
+        assert result.speedup == pytest.approx(4.0)
+
+    def test_random_search_deterministic(self):
+        space = {"lr": lambda rng: rng.uniform(0, 1)}
+        a = random_search(lambda c: (c["lr"], 1.0), space, trials=5, seed=3)
+        b = random_search(lambda c: (c["lr"], 1.0), space, trials=5, seed=3)
+        assert [t.config for t in a.trials] == [t.config for t in b.trials]
+
+    def test_validation(self):
+        with pytest.raises(MLError):
+            grid_search(lambda c: (0, 0), {})
+        with pytest.raises(MLError):
+            random_search(lambda c: (0, 0), {"a": lambda r: 1}, trials=0)

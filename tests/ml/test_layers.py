@@ -1,0 +1,253 @@
+"""Layer tests: shapes, semantics, and numeric gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MLError
+from repro.ml import (
+    BatchNorm,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+)
+
+
+def numeric_gradient(f, x, eps=1e-6):
+    """Central-difference gradient of scalar f wrt array x."""
+    grad = np.zeros_like(x)
+    flat_x = x.ravel()
+    flat_g = grad.ravel()
+    for i in range(flat_x.size):
+        original = flat_x[i]
+        flat_x[i] = original + eps
+        plus = f()
+        flat_x[i] = original - eps
+        minus = f()
+        flat_x[i] = original
+        flat_g[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_input_gradient(layer, x, training=True, tol=1e-5):
+    """Verify layer.backward against numeric differentiation of sum(output)."""
+    out = layer.forward(x, training=training)
+    analytic = layer.backward(np.ones_like(out))
+
+    def loss():
+        return layer.forward(x, training=training).sum()
+
+    numeric = numeric_gradient(loss, x)
+    np.testing.assert_allclose(analytic, numeric, atol=tol, rtol=1e-4)
+
+
+def check_param_gradients(layer, x, training=True, tol=1e-5):
+    out = layer.forward(x, training=training)
+    for p in layer.parameters():
+        p.zero_grad()
+    layer.forward(x, training=training)
+    layer.backward(np.ones_like(out))
+    for p in layer.parameters():
+        analytic = p.grad.copy()
+
+        def loss():
+            return layer.forward(x, training=training).sum()
+
+        numeric = numeric_gradient(loss, p.value)
+        np.testing.assert_allclose(analytic, numeric, atol=tol, rtol=1e-4,
+                                   err_msg=p.name)
+
+
+class TestDense:
+    def test_forward_shape(self):
+        layer = Dense(4, 3)
+        out = layer.forward(np.zeros((5, 4)))
+        assert out.shape == (5, 3)
+
+    def test_forward_values(self):
+        layer = Dense(2, 1)
+        layer.weight.value[...] = [[2.0], [3.0]]
+        layer.bias.value[...] = [1.0]
+        out = layer.forward(np.array([[1.0, 1.0]]))
+        assert out[0, 0] == 6.0
+
+    def test_input_gradient(self):
+        rng = np.random.default_rng(0)
+        check_input_gradient(Dense(4, 3, seed=1), rng.standard_normal((3, 4)))
+
+    def test_param_gradients(self):
+        rng = np.random.default_rng(0)
+        check_param_gradients(Dense(3, 2, seed=2), rng.standard_normal((4, 3)))
+
+    def test_shape_validation(self):
+        with pytest.raises(MLError):
+            Dense(4, 3).forward(np.zeros((2, 5)))
+        with pytest.raises(MLError):
+            Dense(0, 3)
+
+    def test_backward_before_forward(self):
+        with pytest.raises(MLError):
+            Dense(2, 2).backward(np.zeros((1, 2)))
+
+
+class TestConv2D:
+    def test_same_padding_shape(self):
+        layer = Conv2D(2, 4, kernel_size=3, padding="same")
+        out = layer.forward(np.zeros((1, 2, 8, 8)))
+        assert out.shape == (1, 4, 8, 8)
+
+    def test_valid_padding_shape(self):
+        layer = Conv2D(1, 2, kernel_size=3, padding="valid")
+        out = layer.forward(np.zeros((1, 1, 8, 8)))
+        assert out.shape == (1, 2, 6, 6)
+
+    def test_identity_kernel(self):
+        layer = Conv2D(1, 1, kernel_size=3, padding="same")
+        layer.weight.value[...] = 0.0
+        layer.weight.value[0, 0, 1, 1] = 1.0
+        layer.bias.value[...] = 0.0
+        x = np.random.default_rng(0).standard_normal((1, 1, 5, 5))
+        np.testing.assert_allclose(layer.forward(x), x)
+
+    def test_input_gradient(self):
+        rng = np.random.default_rng(1)
+        check_input_gradient(
+            Conv2D(2, 3, kernel_size=3, padding="same", seed=3),
+            rng.standard_normal((2, 2, 5, 5)),
+        )
+
+    def test_input_gradient_valid(self):
+        rng = np.random.default_rng(2)
+        check_input_gradient(
+            Conv2D(1, 2, kernel_size=3, padding="valid", seed=4),
+            rng.standard_normal((1, 1, 6, 6)),
+        )
+
+    def test_param_gradients(self):
+        rng = np.random.default_rng(3)
+        check_param_gradients(
+            Conv2D(2, 2, kernel_size=3, padding="same", seed=5),
+            rng.standard_normal((1, 2, 4, 4)),
+        )
+
+    def test_validation(self):
+        with pytest.raises(MLError):
+            Conv2D(1, 1, kernel_size=2, padding="same")
+        with pytest.raises(MLError):
+            Conv2D(1, 1, padding="circular")
+        with pytest.raises(MLError):
+            Conv2D(2, 1).forward(np.zeros((1, 3, 4, 4)))
+
+
+class TestMaxPool:
+    def test_forward(self):
+        layer = MaxPool2D(2)
+        x = np.array([[[[1, 2, 5, 6], [3, 4, 7, 8], [0, 0, 1, 1], [0, 9, 1, 1]]]],
+                     dtype=np.float64)
+        out = layer.forward(x)
+        np.testing.assert_array_equal(out[0, 0], [[4, 8], [9, 1]])
+
+    def test_backward_routes_to_max(self):
+        layer = MaxPool2D(2)
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        layer.forward(x)
+        dx = layer.backward(np.array([[[[10.0]]]]))
+        np.testing.assert_array_equal(dx[0, 0], [[0, 0], [0, 10]])
+
+    def test_ties_route_to_one_input(self):
+        layer = MaxPool2D(2)
+        x = np.ones((1, 1, 2, 2))
+        layer.forward(x)
+        dx = layer.backward(np.array([[[[1.0]]]]))
+        assert dx.sum() == 1.0  # not duplicated to all tied maxima
+
+    def test_input_gradient(self):
+        rng = np.random.default_rng(4)
+        # Distinct values avoid tie ambiguity in the numeric check.
+        x = rng.permutation(36).reshape(1, 1, 6, 6).astype(np.float64)
+        check_input_gradient(MaxPool2D(2), x)
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(MLError):
+            MaxPool2D(2).forward(np.zeros((1, 1, 5, 4)))
+
+
+class TestActivationsAndRegularizers:
+    def test_relu(self):
+        layer = ReLU()
+        x = np.array([[-1.0, 2.0]])
+        np.testing.assert_array_equal(layer.forward(x), [[0.0, 2.0]])
+        dx = layer.backward(np.array([[5.0, 5.0]]))
+        np.testing.assert_array_equal(dx, [[0.0, 5.0]])
+
+    def test_relu_gradient(self):
+        rng = np.random.default_rng(5)
+        # Keep away from the kink at zero.
+        x = rng.standard_normal((3, 4))
+        x[np.abs(x) < 0.1] = 0.5
+        check_input_gradient(ReLU(), x)
+
+    def test_flatten_round_trip(self):
+        layer = Flatten()
+        x = np.arange(24.0).reshape(2, 3, 2, 2)
+        out = layer.forward(x)
+        assert out.shape == (2, 12)
+        assert layer.backward(out).shape == x.shape
+
+    def test_dropout_inference_identity(self):
+        layer = Dropout(0.5)
+        x = np.ones((4, 4))
+        np.testing.assert_array_equal(layer.forward(x, training=False), x)
+
+    def test_dropout_training_scales(self):
+        layer = Dropout(0.5, seed=0)
+        x = np.ones((1000,)).reshape(10, 100)
+        out = layer.forward(x, training=True)
+        # Inverted dropout: surviving activations scaled by 1/keep.
+        assert set(np.unique(out)) <= {0.0, 2.0}
+        assert abs(out.mean() - 1.0) < 0.15
+
+    def test_dropout_backward_uses_same_mask(self):
+        layer = Dropout(0.5, seed=1)
+        x = np.ones((5, 5))
+        out = layer.forward(x, training=True)
+        dx = layer.backward(np.ones_like(out))
+        np.testing.assert_array_equal((out == 0), (dx == 0))
+
+    def test_dropout_validation(self):
+        with pytest.raises(MLError):
+            Dropout(1.0)
+
+
+class TestBatchNorm:
+    def test_normalizes_training_batch(self):
+        layer = BatchNorm(3)
+        rng = np.random.default_rng(6)
+        x = rng.normal(5.0, 3.0, size=(64, 3))
+        out = layer.forward(x, training=True)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_running_stats_used_at_inference(self):
+        layer = BatchNorm(2, momentum=0.0)  # adopt batch stats immediately
+        x = np.array([[0.0, 10.0], [2.0, 14.0]])
+        layer.forward(x, training=True)
+        out = layer.forward(np.array([[1.0, 12.0]]), training=False)
+        np.testing.assert_allclose(out, 0.0, atol=1e-3)
+
+    def test_4d_input(self):
+        layer = BatchNorm(3)
+        x = np.random.default_rng(7).standard_normal((2, 3, 4, 4))
+        out = layer.forward(x, training=True)
+        assert out.shape == x.shape
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-7)
+
+    def test_input_gradient(self):
+        rng = np.random.default_rng(8)
+        check_input_gradient(BatchNorm(3), rng.standard_normal((6, 3)), tol=1e-4)
+
+    def test_param_gradients(self):
+        rng = np.random.default_rng(9)
+        check_param_gradients(BatchNorm(4), rng.standard_normal((5, 4)), tol=1e-4)

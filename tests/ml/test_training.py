@@ -1,0 +1,226 @@
+"""Losses, optimizers, network container, and metrics tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MLError
+from repro.ml import (
+    Adam,
+    Dense,
+    ReLU,
+    SGD,
+    Sequential,
+    WarmupLinearScalingSchedule,
+    accuracy,
+    confusion_matrix,
+    f1_scores,
+    mean_iou,
+    mse_loss,
+    softmax_cross_entropy,
+)
+from tests.ml.test_layers import numeric_gradient
+
+
+class TestLosses:
+    def test_cross_entropy_uniform(self):
+        logits = np.zeros((2, 4))
+        loss, grad = softmax_cross_entropy(logits, np.array([0, 1]))
+        assert loss == pytest.approx(np.log(4))
+        assert grad.shape == (2, 4)
+
+    def test_cross_entropy_gradient_numeric(self):
+        rng = np.random.default_rng(0)
+        logits = rng.standard_normal((3, 5))
+        labels = np.array([1, 4, 0])
+        _, analytic = softmax_cross_entropy(logits, labels)
+
+        def loss():
+            return softmax_cross_entropy(logits, labels)[0]
+
+        numeric = numeric_gradient(loss, logits)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-6)
+
+    def test_cross_entropy_confident_correct_is_small(self):
+        logits = np.array([[10.0, -10.0]])
+        loss, _ = softmax_cross_entropy(logits, np.array([0]))
+        assert loss < 1e-6
+
+    def test_cross_entropy_validation(self):
+        with pytest.raises(MLError):
+            softmax_cross_entropy(np.zeros((2, 3)), np.array([3, 0]))
+        with pytest.raises(MLError):
+            softmax_cross_entropy(np.zeros(3), np.array([0]))
+
+    def test_mse(self):
+        loss, grad = mse_loss(np.array([1.0, 3.0]), np.array([0.0, 0.0]))
+        assert loss == pytest.approx(5.0)
+        np.testing.assert_allclose(grad, [1.0, 3.0])
+
+    def test_mse_shape_mismatch(self):
+        with pytest.raises(MLError):
+            mse_loss(np.zeros(3), np.zeros(4))
+
+
+class TestOptimizers:
+    def _quadratic_param(self):
+        from repro.ml.layers import Parameter
+
+        return Parameter(np.array([5.0, -3.0]))
+
+    def test_sgd_converges_on_quadratic(self):
+        p = self._quadratic_param()
+        opt = SGD([p], lr=0.1)
+        for _ in range(200):
+            p.grad[...] = 2 * p.value  # d/dx of x^2
+            opt.step()
+        np.testing.assert_allclose(p.value, 0.0, atol=1e-6)
+
+    def test_momentum_faster_than_plain_on_valley(self):
+        def run(momentum):
+            p = self._quadratic_param()
+            opt = SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(100):
+                p.grad[...] = 2 * p.value
+                opt.step()
+            return np.abs(p.value).max()
+
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks_weights(self):
+        p = self._quadratic_param()
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        p.grad[...] = 0.0
+        opt.step()
+        assert np.abs(p.value).max() < 5.0
+
+    def test_adam_converges(self):
+        p = self._quadratic_param()
+        opt = Adam([p], lr=0.3)
+        for _ in range(300):
+            p.grad[...] = 2 * p.value
+            opt.step()
+        np.testing.assert_allclose(p.value, 0.0, atol=1e-3)
+
+    def test_zero_grad(self):
+        p = self._quadratic_param()
+        p.grad[...] = 7.0
+        SGD([p], lr=0.1).zero_grad()
+        assert p.grad.sum() == 0.0
+
+    def test_validation(self):
+        p = self._quadratic_param()
+        with pytest.raises(MLError):
+            SGD([p], lr=0)
+        with pytest.raises(MLError):
+            SGD([p], lr=0.1, momentum=1.0)
+        with pytest.raises(MLError):
+            SGD([], lr=0.1)
+
+
+class TestSchedule:
+    def test_linear_scaling_target(self):
+        schedule = WarmupLinearScalingSchedule(base_lr=0.1, workers=8)
+        assert schedule.target_lr == pytest.approx(0.8)
+        assert schedule.lr_at(0) == pytest.approx(0.8)
+
+    def test_warmup_ramps(self):
+        schedule = WarmupLinearScalingSchedule(base_lr=0.1, workers=4, warmup_steps=10)
+        rates = [schedule.lr_at(s) for s in range(12)]
+        assert rates[0] < rates[5] < rates[9]
+        assert rates[9] == pytest.approx(0.4)
+        assert rates[11] == pytest.approx(0.4)
+
+    def test_apply(self):
+        from repro.ml.layers import Parameter
+
+        schedule = WarmupLinearScalingSchedule(0.1, 2, warmup_steps=0)
+        opt = SGD([Parameter(np.zeros(1))], lr=0.01)
+        schedule.apply(opt, 0)
+        assert opt.lr == pytest.approx(0.2)
+
+    def test_validation(self):
+        with pytest.raises(MLError):
+            WarmupLinearScalingSchedule(0, 4)
+        with pytest.raises(MLError):
+            WarmupLinearScalingSchedule(0.1, 0)
+
+
+class TestSequential:
+    def make_xor_data(self):
+        x = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=np.float64)
+        y = np.array([0, 1, 1, 0])
+        return x, y
+
+    def test_learns_xor(self):
+        x, y = self.make_xor_data()
+        model = Sequential([Dense(2, 16, seed=1), ReLU(), Dense(16, 2, seed=2)])
+        opt = SGD(model.parameters(), lr=0.5)
+        for _ in range(500):
+            model.zero_grad()
+            logits = model.forward(x, training=True)
+            _, dlogits = softmax_cross_entropy(logits, y)
+            model.backward(dlogits)
+            opt.step()
+        assert accuracy(model.predict(x), y) == 1.0
+
+    def test_parameter_count(self):
+        model = Sequential([Dense(3, 4), ReLU(), Dense(4, 2)])
+        assert model.parameter_count == (3 * 4 + 4) + (4 * 2 + 2)
+        assert model.parameter_bytes == model.parameter_count * 4
+
+    def test_predict_proba_sums_to_one(self):
+        model = Sequential([Dense(3, 4, seed=0)])
+        probs = model.predict_proba(np.random.default_rng(0).standard_normal((5, 3)))
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_state_dict_round_trip(self, tmp_path):
+        model = Sequential([Dense(3, 4, seed=1), ReLU(), Dense(4, 2, seed=2)])
+        clone = Sequential([Dense(3, 4, seed=9), ReLU(), Dense(4, 2, seed=8)])
+        path = str(tmp_path / "model.npz")
+        model.save(path)
+        clone.load(path)
+        x = np.random.default_rng(1).standard_normal((4, 3))
+        np.testing.assert_array_equal(model.forward(x), clone.forward(x))
+
+    def test_load_shape_mismatch(self):
+        model = Sequential([Dense(3, 4)])
+        other = Sequential([Dense(3, 5)])
+        with pytest.raises(MLError):
+            model.load_state_dict(other.state_dict())
+
+    def test_empty_rejected(self):
+        with pytest.raises(MLError):
+            Sequential([])
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy(np.array([1, 2, 3]), np.array([1, 2, 0])) == pytest.approx(2 / 3)
+
+    def test_accuracy_validation(self):
+        with pytest.raises(MLError):
+            accuracy(np.array([]), np.array([]))
+        with pytest.raises(MLError):
+            accuracy(np.array([1]), np.array([1, 2]))
+
+    def test_confusion_matrix(self):
+        m = confusion_matrix(np.array([0, 1, 1]), np.array([0, 1, 0]))
+        np.testing.assert_array_equal(m, [[1, 1], [0, 1]])
+
+    def test_f1_perfect(self):
+        scores = f1_scores(np.array([0, 1, 2]), np.array([0, 1, 2]))
+        assert all(v == 1.0 for v in scores.values())
+
+    def test_f1_partial(self):
+        # Class 0: tp=1 fp=1 fn=0 -> f1 = 2/3... compute: 2*1/(2+1+0)=2/3
+        scores = f1_scores(np.array([0, 0]), np.array([0, 1]))
+        assert scores[0] == pytest.approx(2 / 3)
+        assert scores[1] == 0.0
+
+    def test_mean_iou(self):
+        assert mean_iou(np.array([0, 1]), np.array([0, 1])) == 1.0
+        assert mean_iou(np.array([0, 0]), np.array([0, 1])) == pytest.approx(0.25)
+
+    def test_mean_iou_empty(self):
+        with pytest.raises(MLError):
+            mean_iou(np.array([]).astype(int), np.array([]).astype(int))

@@ -1,0 +1,140 @@
+"""RasterGrid and GeoTransform tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RasterError
+from repro.raster import GeoTransform, RasterGrid
+
+
+@pytest.fixture
+def grid():
+    data = np.arange(2 * 10 * 8, dtype=np.float32).reshape(2, 10, 8)
+    return RasterGrid(data, GeoTransform(origin_x=100.0, origin_y=200.0, pixel_size=10.0))
+
+
+class TestGeoTransform:
+    def test_pixel_size_validation(self):
+        with pytest.raises(RasterError):
+            GeoTransform(0, 0, 0)
+        with pytest.raises(RasterError):
+            GeoTransform(0, 0, -5)
+
+    def test_pixel_to_map_center(self):
+        t = GeoTransform(100, 200, 10)
+        assert t.pixel_to_map(0, 0) == (105.0, 195.0)
+        assert t.pixel_to_map(1, 2) == (125.0, 185.0)
+
+    def test_map_to_pixel(self):
+        t = GeoTransform(100, 200, 10)
+        assert t.map_to_pixel(105, 195) == (0, 0)
+        assert t.map_to_pixel(119.9, 180.1) == (1, 1)
+
+    def test_round_trip(self):
+        t = GeoTransform(-50, 30, 2.5)
+        for row, col in [(0, 0), (3, 7), (10, 2)]:
+            x, y = t.pixel_to_map(row, col)
+            assert t.map_to_pixel(x, y) == (row, col)
+
+
+class TestRasterGrid:
+    def test_2d_promoted_to_3d(self):
+        grid = RasterGrid(np.zeros((4, 5)), GeoTransform(0, 0, 1))
+        assert grid.shape == (1, 4, 5)
+
+    def test_invalid_ndim(self):
+        with pytest.raises(RasterError):
+            RasterGrid(np.zeros((2, 2, 2, 2)), GeoTransform(0, 0, 1))
+
+    def test_empty_rejected(self):
+        with pytest.raises(RasterError):
+            RasterGrid(np.zeros((1, 0, 5)), GeoTransform(0, 0, 1))
+
+    def test_properties(self, grid):
+        assert grid.band_count == 2
+        assert grid.height == 10
+        assert grid.width == 8
+        assert grid.resolution == 10.0
+        assert grid.nbytes == 2 * 10 * 8 * 4
+
+    def test_bbox(self, grid):
+        box = grid.bbox
+        assert (box.min_x, box.max_y) == (100.0, 200.0)
+        assert (box.max_x, box.min_y) == (180.0, 100.0)
+
+    def test_footprint_covers_bbox(self, grid):
+        assert grid.footprint.bbox == grid.bbox
+
+    def test_band_access(self, grid):
+        assert grid.band(1)[0, 0] == 80.0
+        with pytest.raises(RasterError):
+            grid.band(2)
+
+    def test_value_at(self, grid):
+        # Pixel (0,0) center is (105, 195); band 0 value 0.
+        assert grid.value_at(105, 195) == 0.0
+        assert grid.value_at(105, 195, band=1) == 80.0
+
+    def test_value_at_outside(self, grid):
+        with pytest.raises(RasterError):
+            grid.value_at(0, 0)
+
+
+class TestWindow:
+    def test_window_data(self, grid):
+        win = grid.window(2, 3, 4, 2)
+        assert win.shape == (2, 4, 2)
+        assert win.data[0, 0, 0] == grid.data[0, 2, 3]
+
+    def test_window_georeferencing(self, grid):
+        win = grid.window(2, 3, 4, 2)
+        assert win.transform.origin_x == 100 + 3 * 10
+        assert win.transform.origin_y == 200 - 2 * 10
+        # Same map point gives the same value through either raster.
+        x, y = win.transform.pixel_to_map(0, 0)
+        assert win.value_at(x, y) == grid.value_at(x, y)
+
+    def test_window_out_of_bounds(self, grid):
+        with pytest.raises(RasterError):
+            grid.window(8, 0, 5, 2)
+
+
+class TestResample:
+    def test_mean_downsample(self):
+        data = np.array([[1.0, 3.0], [5.0, 7.0]])
+        grid = RasterGrid(data, GeoTransform(0, 0, 1))
+        out = grid.resample(2)
+        assert out.shape == (1, 1, 1)
+        assert out.data[0, 0, 0] == 4.0
+        assert out.resolution == 2.0
+
+    def test_mode_downsample(self):
+        data = np.array([[1, 1], [1, 2]], dtype=np.int16)
+        grid = RasterGrid(data, GeoTransform(0, 0, 1))
+        out = grid.resample(2, method="mode")
+        assert out.data[0, 0, 0] == 1
+
+    def test_factor_one_identity(self, grid):
+        assert grid.resample(1) is grid
+
+    def test_edge_cropping(self):
+        grid = RasterGrid(np.ones((5, 5)), GeoTransform(0, 0, 1))
+        out = grid.resample(2)
+        assert out.shape == (1, 2, 2)
+
+    def test_invalid_factor(self, grid):
+        with pytest.raises(RasterError):
+            grid.resample(0)
+        with pytest.raises(RasterError):
+            grid.resample(100)
+
+    def test_unknown_method(self, grid):
+        with pytest.raises(RasterError):
+            grid.resample(2, method="bicubic")
+
+    def test_mean_preserves_total(self):
+        rng = np.random.default_rng(1)
+        data = rng.random((1, 8, 8))
+        grid = RasterGrid(data, GeoTransform(0, 0, 1))
+        out = grid.resample(4)
+        assert out.data.mean() == pytest.approx(data.mean(), rel=1e-6)

@@ -1,0 +1,228 @@
+"""Tests for products, tiles, time series, and zonal statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RasterError
+from repro.geometry import Polygon
+from repro.raster import (
+    GeoTransform,
+    LandCover,
+    Mission,
+    ProductArchive,
+    RasterGrid,
+    crop_ndvi_profile,
+    ice_concentration_profile,
+    iter_tiles,
+    rasterize_polygon,
+    scene_time_series,
+    zonal_mean,
+)
+from repro.raster.sentinel import landcover_field
+from repro.raster.stats import class_fractions, zonal_stats
+from repro.raster.tiles import tile_count
+from repro.raster.timeseries import ice_season_series
+
+
+class TestProductArchive:
+    def test_deterministic(self):
+        a = ProductArchive(seed=5).generate(10)
+        b = ProductArchive(seed=5).generate(10)
+        assert [p.name for p in a] == [p.name for p in b]
+
+    def test_unique_ids(self):
+        products = ProductArchive(seed=1).generate(100)
+        assert len({p.product_id for p in products}) == 100
+
+    def test_footprints_inside_extent(self):
+        extent = (0.0, 40.0, 20.0, 60.0)
+        archive = ProductArchive(extent=extent, seed=2)
+        for product in archive.generate(50):
+            box = product.footprint.bbox
+            assert box.min_x >= 0.0 and box.min_y >= 40.0
+
+    def test_mean_size_matches_paper_ratio(self):
+        # Paper: 1 PB ~ 750,000 datasets -> ~1.4 GB per product.
+        products = ProductArchive(seed=3).generate(2000)
+        mean = ProductArchive.total_bytes(products) / len(products)
+        assert 0.7e9 < mean < 2.8e9
+
+    def test_sensing_times_in_range(self):
+        archive = ProductArchive(days=30, seed=4)
+        for product in archive.generate(50):
+            assert 0 <= (product.sensing_time - archive.start).days <= 30
+
+    def test_mission_mix(self):
+        products = ProductArchive(seed=6).generate(1000)
+        s1 = sum(1 for p in products if p.mission is Mission.SENTINEL1)
+        assert 0.3 < s1 / 1000 < 0.6
+
+    def test_stream_matches_generate(self):
+        a = list(ProductArchive(seed=9).stream(5))
+        b = ProductArchive(seed=9).generate(5)
+        assert [p.name for p in a] == [p.name for p in b]
+
+    def test_validation(self):
+        with pytest.raises(RasterError):
+            ProductArchive(days=0)
+        with pytest.raises(RasterError):
+            ProductArchive(extent=(10, 0, 5, 20))
+
+
+class TestTiles:
+    grid = RasterGrid(np.arange(100.0).reshape(10, 10), GeoTransform(0, 100, 10))
+
+    def test_exact_tiling(self):
+        tiles = list(iter_tiles(self.grid, 5))
+        assert len(tiles) == 4
+        assert all(t.grid.shape == (1, 5, 5) for t in tiles)
+        assert tile_count(self.grid, 5) == 4
+
+    def test_edge_tiles_smaller(self):
+        tiles = list(iter_tiles(self.grid, 4))
+        assert len(tiles) == 9
+        assert tiles[-1].grid.shape == (1, 2, 2)
+        assert tile_count(self.grid, 4) == 9
+
+    def test_tiles_partition_data(self):
+        total = sum(t.grid.data.sum() for t in iter_tiles(self.grid, 3))
+        assert total == self.grid.data.sum()
+
+    def test_tile_georeferencing(self):
+        tiles = {t.key: t for t in iter_tiles(self.grid, 5)}
+        tile = tiles[(1, 1)]
+        assert tile.grid.transform.origin_x == 50
+        assert tile.grid.transform.origin_y == 50
+        assert tile.name == "tile_001_001"
+
+    def test_validation(self):
+        with pytest.raises(RasterError):
+            list(iter_tiles(self.grid, 0))
+
+
+class TestTimeSeries:
+    def test_phenology_peaks_in_season(self):
+        winter = crop_ndvi_profile(LandCover.WHEAT, 15)
+        summer = crop_ndvi_profile(LandCover.WHEAT, 150)
+        assert summer > 0.7
+        assert winter < 0.2
+
+    def test_maize_later_than_wheat(self):
+        # Maize greens up later: in May wheat leads, in August maize leads.
+        assert crop_ndvi_profile(LandCover.WHEAT, 135) > crop_ndvi_profile(LandCover.MAIZE, 135)
+        assert crop_ndvi_profile(LandCover.MAIZE, 225) > crop_ndvi_profile(LandCover.WHEAT, 225)
+
+    def test_non_vegetation_zero(self):
+        assert crop_ndvi_profile(LandCover.WATER, 180) == 0.0
+        assert crop_ndvi_profile(LandCover.URBAN, 180) == 0.0
+
+    def test_doy_validation(self):
+        with pytest.raises(RasterError):
+            crop_ndvi_profile(LandCover.WHEAT, 0)
+        with pytest.raises(RasterError):
+            ice_concentration_profile(400)
+
+    def test_ice_cycle(self):
+        march = ice_concentration_profile(75)
+        september = ice_concentration_profile(258)
+        assert march > 0.8
+        assert september < 0.2
+
+    def test_scene_series_days(self):
+        truth = landcover_field(8, 8, seed=0)
+        scenes = scene_time_series(truth, days=[50, 150, 250], seed=0)
+        assert [s.day_of_year for s in scenes] == [50, 150, 250]
+        assert all(s.mission == "S2" for s in scenes)
+
+    def test_s1_series(self):
+        truth = landcover_field(8, 8, seed=0)
+        scenes = scene_time_series(truth, days=[10, 20], mission="S1", signatures="land")
+        assert all(s.mission == "S1" for s in scenes)
+
+    def test_ice_season_extent_varies(self):
+        scenes = ice_season_series(32, 16, days=[75, 258], seed=1)
+        winter_ice = (scenes[0].truth != 0).mean()
+        summer_ice = (scenes[1].truth != 0).mean()
+        assert winter_ice > summer_ice
+
+    def test_unknown_mission(self):
+        with pytest.raises(RasterError):
+            scene_time_series(landcover_field(4, 4), days=[1], mission="S9")
+
+
+class TestRasterize:
+    transform = GeoTransform(0, 10, 1)  # 10x10 map units, pixel centers at .5
+
+    def test_box_mask(self):
+        mask = rasterize_polygon(Polygon.box(2, 2, 5, 5), self.transform, (10, 10))
+        assert mask.sum() == 9  # centers at 2.5..4.5 in both axes
+        assert mask[5, 2]  # row for y=4.5 is 5; col for x=2.5 is 2
+
+    def test_triangle(self):
+        triangle = Polygon([(0, 0), (10, 0), (0, 10)])
+        mask = rasterize_polygon(triangle, self.transform, (10, 10))
+        assert 35 <= mask.sum() <= 55  # about half the square
+
+    def test_polygon_with_hole(self):
+        donut = Polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)], [[(3, 3), (7, 3), (7, 7), (3, 7)]]
+        )
+        mask = rasterize_polygon(donut, self.transform, (10, 10))
+        assert not mask[5, 5]  # center of hole
+        assert mask[1, 1]
+        assert mask.sum() == 100 - 16
+
+    def test_outside_polygon_empty(self):
+        mask = rasterize_polygon(Polygon.box(100, 100, 110, 110), self.transform, (10, 10))
+        assert mask.sum() == 0
+
+    @given(
+        x=st.floats(0, 6, allow_nan=False),
+        y=st.floats(0, 6, allow_nan=False),
+        size=st.floats(0.5, 4, allow_nan=False),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_mask_matches_point_in_polygon(self, x, y, size):
+        from repro.geometry import Point, contains
+
+        polygon = Polygon.box(x, y, x + size, y + size)
+        mask = rasterize_polygon(polygon, self.transform, (10, 10))
+        for row in range(10):
+            for col in range(10):
+                px, py = self.transform.pixel_to_map(row, col)
+                expected = contains(polygon, Point(px, py))
+                # Skip centers exactly on the boundary (tie-breaking differs).
+                on_edge = px in (x, x + size) or py in (y, y + size)
+                if not on_edge:
+                    assert mask[row, col] == expected
+
+
+class TestZonal:
+    def test_zonal_mean(self):
+        data = np.zeros((10, 10))
+        data[0:5, 0:5] = 4.0  # upper-left in map terms: y in (5,10], x in [0,5)
+        grid = RasterGrid(data, GeoTransform(0, 10, 1))
+        assert zonal_mean(grid, Polygon.box(0, 5, 5, 10)) == pytest.approx(4.0)
+        assert zonal_mean(grid, Polygon.box(5, 0, 10, 5)) == pytest.approx(0.0)
+
+    def test_zonal_mean_outside_none(self):
+        grid = RasterGrid(np.ones((4, 4)), GeoTransform(0, 4, 1))
+        assert zonal_mean(grid, Polygon.box(50, 50, 60, 60)) is None
+
+    def test_zonal_stats(self):
+        data = np.arange(16.0).reshape(4, 4)
+        grid = RasterGrid(data, GeoTransform(0, 4, 1))
+        stats = zonal_stats(grid, [Polygon.box(0, 0, 4, 4)])
+        assert stats[0]["count"] == 16
+        assert stats[0]["min"] == 0.0 and stats[0]["max"] == 15.0
+
+    def test_class_fractions(self):
+        truth = np.array([[0, 0], [1, 2]])
+        fractions = class_fractions(truth)
+        assert fractions == {0: 0.5, 1: 0.25, 2: 0.25}
+
+    def test_class_fractions_empty(self):
+        with pytest.raises(RasterError):
+            class_fractions(np.array([]))

@@ -1,0 +1,161 @@
+"""Synthetic Sentinel scene generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RasterError
+from repro.raster import (
+    LandCover,
+    SeaIce,
+    landcover_field,
+    sea_ice_field,
+    sentinel1_scene,
+    sentinel2_scene,
+)
+from repro.raster.sentinel import CROP_CLASSES, S2_BANDS
+
+
+class TestLandcoverField:
+    def test_shape_and_classes(self):
+        field = landcover_field(32, 40, seed=1)
+        assert field.shape == (32, 40)
+        assert set(np.unique(field)) <= {int(c) for c in LandCover}
+
+    def test_deterministic(self):
+        a = landcover_field(16, 16, seed=7)
+        b = landcover_field(16, 16, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_field(self):
+        a = landcover_field(16, 16, seed=1)
+        b = landcover_field(16, 16, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_patches_are_contiguous(self):
+        # Smooth fields: most pixels agree with their right neighbour.
+        field = landcover_field(64, 64, seed=3, blob_scale=8.0)
+        agreement = (field[:, :-1] == field[:, 1:]).mean()
+        assert agreement > 0.8
+
+    def test_subset_of_classes(self):
+        field = landcover_field(16, 16, classes=[int(LandCover.WATER), int(LandCover.URBAN)])
+        assert set(np.unique(field)) <= {0, 1}
+
+    def test_validation(self):
+        with pytest.raises(RasterError):
+            landcover_field(0, 5)
+        with pytest.raises(RasterError):
+            landcover_field(5, 5, classes=[])
+
+
+class TestSeaIceField:
+    def test_gradient_more_ice_north(self):
+        field = sea_ice_field(64, 32, seed=0, ice_extent=0.5)
+        top_ice = (field[:16] != int(SeaIce.OPEN_WATER)).mean()
+        bottom_ice = (field[-16:] != int(SeaIce.OPEN_WATER)).mean()
+        assert top_ice > bottom_ice
+
+    def test_ice_extent_zero_mostly_water(self):
+        field = sea_ice_field(32, 32, seed=0, ice_extent=0.0)
+        assert (field == int(SeaIce.OPEN_WATER)).mean() > 0.8
+
+    def test_ice_extent_one_mostly_ice(self):
+        field = sea_ice_field(32, 32, seed=0, ice_extent=1.0)
+        assert (field != int(SeaIce.OPEN_WATER)).mean() > 0.8
+
+    def test_validation(self):
+        with pytest.raises(RasterError):
+            sea_ice_field(8, 8, ice_extent=1.5)
+
+
+class TestSentinel2:
+    truth = landcover_field(24, 24, seed=5)
+
+    def test_band_count_and_range(self):
+        scene = sentinel2_scene(self.truth, seed=1)
+        assert scene.grid.band_count == S2_BANDS
+        assert scene.grid.data.min() >= 0.0
+        assert scene.grid.data.max() <= 1.0
+        assert scene.mission == "S2"
+
+    def test_truth_preserved(self):
+        scene = sentinel2_scene(self.truth)
+        assert np.array_equal(scene.truth, self.truth)
+
+    def test_deterministic(self):
+        a = sentinel2_scene(self.truth, seed=3)
+        b = sentinel2_scene(self.truth, seed=3)
+        assert np.array_equal(a.grid.data, b.grid.data)
+
+    def test_classes_spectrally_separable(self):
+        # Water NIR (band 7) must sit far below crop NIR at peak season.
+        truth = np.zeros((10, 20), dtype=np.int16)
+        truth[:, 10:] = int(LandCover.MAIZE)
+        scene = sentinel2_scene(truth, day_of_year=200, seed=0, noise_std=0.01)
+        water_nir = scene.grid.data[7][:, :10].mean()
+        maize_nir = scene.grid.data[7][:, 10:].mean()
+        assert maize_nir > water_nir + 0.2
+
+    def test_phenology_changes_signal(self):
+        truth = np.full((10, 10), int(LandCover.WHEAT), dtype=np.int16)
+        winter = sentinel2_scene(truth, day_of_year=20, seed=0, noise_std=0.0)
+        summer = sentinel2_scene(truth, day_of_year=150, seed=0, noise_std=0.0)
+        assert summer.grid.data[7].mean() > winter.grid.data[7].mean() + 0.05
+
+    def test_clouds(self):
+        scene = sentinel2_scene(self.truth, seed=2, cloud_fraction=0.3)
+        assert scene.cloud_mask is not None
+        assert 0.2 < scene.cloud_mask.mean() < 0.4
+        assert scene.clear_fraction() == pytest.approx(1 - scene.cloud_mask.mean())
+        # Clouded pixels are bright in all bands.
+        assert scene.grid.data[:, scene.cloud_mask].mean() > 0.7
+
+    def test_no_clouds_by_default(self):
+        scene = sentinel2_scene(self.truth)
+        assert scene.cloud_mask is None
+        assert scene.clear_fraction() == 1.0
+
+    def test_validation(self):
+        with pytest.raises(RasterError):
+            sentinel2_scene(np.zeros((2, 2, 2)))
+        with pytest.raises(RasterError):
+            sentinel2_scene(self.truth, cloud_fraction=1.5)
+
+
+class TestSentinel1:
+    def test_two_bands_db_range(self):
+        truth = sea_ice_field(24, 24, seed=1)
+        scene = sentinel1_scene(truth, seed=1)
+        assert scene.grid.band_count == 2
+        assert scene.mission == "S1"
+        # Backscatter in a plausible dB window.
+        assert -45 < scene.grid.data.mean() < 0
+
+    def test_ice_classes_separable_in_vv(self):
+        truth = np.zeros((20, 40), dtype=np.int16)
+        truth[:, 20:] = int(SeaIce.OLD_ICE)
+        scene = sentinel1_scene(truth, looks=16, seed=0)
+        water_vv = scene.grid.data[0][:, :20].mean()
+        ice_vv = scene.grid.data[0][:, 20:].mean()
+        assert ice_vv > water_vv + 5.0
+
+    def test_more_looks_less_speckle(self):
+        truth = np.full((32, 32), int(SeaIce.FIRST_YEAR_ICE), dtype=np.int16)
+        noisy = sentinel1_scene(truth, looks=1, seed=0)
+        smooth = sentinel1_scene(truth, looks=16, seed=0)
+        assert noisy.grid.data[0].std() > smooth.grid.data[0].std() * 2
+
+    def test_land_signatures(self):
+        truth = np.zeros((16, 32), dtype=np.int16)
+        truth[:, 16:] = int(LandCover.URBAN)
+        scene = sentinel1_scene(truth, signatures="land", looks=16, seed=0)
+        water_vv = scene.grid.data[0][:, :16].mean()
+        urban_vv = scene.grid.data[0][:, 16:].mean()
+        assert urban_vv > water_vv + 10.0
+
+    def test_validation(self):
+        truth = sea_ice_field(8, 8)
+        with pytest.raises(RasterError):
+            sentinel1_scene(truth, looks=0)
+        with pytest.raises(RasterError):
+            sentinel1_scene(truth, signatures="ocean")

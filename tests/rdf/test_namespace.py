@@ -1,0 +1,34 @@
+"""Namespace helper tests."""
+
+import pytest
+
+from repro.rdf import GEO, Namespace, RDF, XSD
+from repro.rdf.term import IRI
+
+
+class TestNamespace:
+    ns = Namespace("http://ex.org/")
+
+    def test_attribute_access(self):
+        assert self.ns.thing == IRI("http://ex.org/thing")
+
+    def test_item_access(self):
+        assert self.ns["with-dash"] == IRI("http://ex.org/with-dash")
+
+    def test_contains(self):
+        assert self.ns.thing in self.ns
+        assert IRI("http://other.org/x") not in self.ns
+
+    def test_local_name(self):
+        assert self.ns.local_name(self.ns.thing) == "thing"
+        with pytest.raises(ValueError):
+            self.ns.local_name(IRI("http://other.org/x"))
+
+    def test_underscore_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            self.ns._private
+
+    def test_wellknown_vocabularies(self):
+        assert RDF.type.value == "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+        assert XSD.integer.value == "http://www.w3.org/2001/XMLSchema#integer"
+        assert GEO.asWKT.value == "http://www.opengis.net/ont/geosparql#asWKT"

@@ -1,0 +1,170 @@
+"""N-Triples and Turtle parser/serializer tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RDFError
+from repro.rdf import (
+    BNode,
+    Graph,
+    IRI,
+    Literal,
+    parse_ntriples,
+    parse_turtle,
+    serialize_ntriples,
+    serialize_turtle,
+)
+from repro.rdf.term import Triple, XSD_BOOLEAN, XSD_DECIMAL, XSD_INTEGER
+
+
+EX = "http://ex.org/"
+
+
+def iri(name):
+    return IRI(EX + name)
+
+
+class TestNTriplesParse:
+    def test_simple(self):
+        [t] = list(parse_ntriples("<http://s> <http://p> <http://o> ."))
+        assert t == Triple(IRI("http://s"), IRI("http://p"), IRI("http://o"))
+
+    def test_literal_plain(self):
+        [t] = list(parse_ntriples('<http://s> <http://p> "hello" .'))
+        assert t.object == Literal("hello")
+
+    def test_literal_typed(self):
+        line = '<http://s> <http://p> "5"^^<http://www.w3.org/2001/XMLSchema#integer> .'
+        [t] = list(parse_ntriples(line))
+        assert t.object == Literal("5", datatype=XSD_INTEGER)
+
+    def test_literal_lang(self):
+        [t] = list(parse_ntriples('<http://s> <http://p> "bonjour"@fr .'))
+        assert t.object == Literal("bonjour", language="fr")
+
+    def test_literal_escapes(self):
+        [t] = list(parse_ntriples('<http://s> <http://p> "line1\\nline2 \\"q\\"" .'))
+        assert t.object.lexical == 'line1\nline2 "q"'
+
+    def test_unicode_escape(self):
+        [t] = list(parse_ntriples('<http://s> <http://p> "\\u00e9" .'))
+        assert t.object.lexical == "é"
+
+    def test_bnode(self):
+        [t] = list(parse_ntriples("_:a <http://p> _:b ."))
+        assert t.subject == BNode("a")
+        assert t.object == BNode("b")
+
+    def test_comments_and_blanks_skipped(self):
+        text = "# comment\n\n<http://s> <http://p> <http://o> .\n# more\n"
+        assert len(list(parse_ntriples(text))) == 1
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "<http://s> <http://p> <http://o>",  # missing dot
+            "<http://s> <http://p> .",  # missing object
+            '"lit" <http://p> <http://o> .',  # literal subject
+            "<http://s> _:b <http://o> .",  # bnode predicate
+            "<http://s> <http://p> <http://o> . extra",
+        ],
+    )
+    def test_malformed(self, bad):
+        with pytest.raises(RDFError):
+            list(parse_ntriples(bad))
+
+
+class TestNTriplesRoundTrip:
+    def test_round_trip_mixed(self):
+        triples = [
+            Triple(iri("s"), iri("p"), iri("o")),
+            Triple(iri("s"), iri("p"), Literal("plain")),
+            Triple(iri("s"), iri("p"), Literal("5", datatype=XSD_INTEGER)),
+            Triple(iri("s"), iri("p"), Literal("hi", language="en")),
+            Triple(BNode("x"), iri("p"), Literal('tricky "\\\n value')),
+        ]
+        text = serialize_ntriples(triples)
+        assert list(parse_ntriples(text)) == triples
+
+    text_strategy = st.text(
+        alphabet=st.characters(blacklist_categories=("Cs",)), max_size=50
+    )
+
+    @given(lexical=text_strategy)
+    @settings(max_examples=60)
+    def test_literal_round_trip_property(self, lexical):
+        triple = Triple(iri("s"), iri("p"), Literal(lexical))
+        [parsed] = list(parse_ntriples(serialize_ntriples([triple])))
+        assert parsed.object.lexical == lexical
+
+
+class TestTurtle:
+    def test_prefix_and_a(self):
+        text = """
+        @prefix ex: <http://ex.org/> .
+        ex:alice a ex:Person .
+        """
+        [t] = list(parse_turtle(text))
+        assert t.subject == iri("alice")
+        assert t.predicate.value.endswith("#type")
+        assert t.object == iri("Person")
+
+    def test_semicolon_and_comma(self):
+        text = """
+        @prefix ex: <http://ex.org/> .
+        ex:a ex:p ex:b, ex:c ;
+             ex:q "v" .
+        """
+        triples = set(parse_turtle(text))
+        assert triples == {
+            Triple(iri("a"), iri("p"), iri("b")),
+            Triple(iri("a"), iri("p"), iri("c")),
+            Triple(iri("a"), iri("q"), Literal("v")),
+        }
+
+    def test_numeric_shorthand(self):
+        text = '@prefix ex: <http://ex.org/> .\nex:a ex:p 42 ; ex:q 3.5 ; ex:r true .'
+        triples = {t.predicate.value.split("/")[-1]: t.object for t in parse_turtle(text)}
+        assert triples["p"] == Literal("42", datatype=XSD_INTEGER)
+        assert triples["q"] == Literal("3.5", datatype=XSD_DECIMAL)
+        assert triples["r"] == Literal("true", datatype=XSD_BOOLEAN)
+
+    def test_typed_literal_with_pname(self):
+        text = (
+            "@prefix ex: <http://ex.org/> .\n"
+            "@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n"
+            'ex:a ex:p "5"^^xsd:integer .'
+        )
+        [t] = list(parse_turtle(text))
+        assert t.object == Literal("5", datatype=XSD_INTEGER)
+
+    def test_undeclared_prefix(self):
+        with pytest.raises(RDFError):
+            list(parse_turtle("foo:a foo:b foo:c ."))
+
+    def test_comment_skipped(self):
+        text = "@prefix ex: <http://ex.org/> . # intro\nex:a ex:p ex:b . # done"
+        assert len(list(parse_turtle(text))) == 1
+
+    def test_serialize_groups_subjects(self):
+        g = Graph()
+        g.add(iri("a"), iri("p"), iri("b"))
+        g.add(iri("a"), iri("q"), Literal("5", datatype=XSD_INTEGER))
+        text = serialize_turtle(g, prefixes={"ex": EX})
+        assert text.count("ex:a") == 1
+        assert "@prefix ex:" in text
+
+    def test_serialize_parse_round_trip(self):
+        g = Graph()
+        g.add(iri("a"), iri("p"), iri("b"))
+        g.add(iri("a"), iri("p"), iri("c"))
+        g.add(iri("d"), IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"), iri("T"))
+        g.add(iri("d"), iri("label"), Literal("thing"))
+        text = serialize_turtle(g, prefixes={"ex": EX})
+        assert set(parse_turtle(text)) == set(g)
+
+    def test_round_trip_without_prefixes(self):
+        g = Graph()
+        g.add(iri("x"), iri("y"), Literal("hello world"))
+        assert set(parse_turtle(serialize_turtle(g))) == set(g)

@@ -1,0 +1,286 @@
+"""Sextant visualization tests (SVG structure validated with ElementTree)."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.geometry import BoundingBox, LineString, MultiPolygon, Point, Polygon
+from repro.geosparql import GeoStore, geometry_literal, period_literal
+from repro.raster import GeoTransform, RasterGrid
+from repro.rdf import GEO, Literal, Namespace
+from repro.sextant import (
+    ClassPalette,
+    LayerStyle,
+    SVGCanvas,
+    SextantMap,
+    sparql_layer,
+    temporal_frames,
+)
+
+EX = Namespace("http://ex.org/")
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg_text):
+    return ET.fromstring(svg_text)
+
+
+def tags(root, name):
+    return root.findall(f".//{SVG_NS}{name}")
+
+
+class TestStyle:
+    def test_defaults_valid(self):
+        style = LayerStyle()
+        assert 0 <= style.fill_opacity <= 1
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            LayerStyle(fill_opacity=2.0)
+        with pytest.raises(ReproError):
+            LayerStyle(point_radius=0)
+
+    def test_palette_defaults_cycle(self):
+        palette = ClassPalette()
+        assert palette.color(0) != palette.color(1)
+        assert palette.color(0) == palette.color(10)  # cycles mod 10
+        assert palette.name(3) == "class 3"
+
+    def test_palette_for_classes(self):
+        palette = ClassPalette.for_classes([2, 5], names=["water", "ice"])
+        assert palette.name(2) == "water"
+        assert palette.name(5) == "ice"
+        assert palette.color(2) != palette.color(5)
+
+
+class TestCanvas:
+    def test_pixel_transform_flips_y(self):
+        canvas = SVGCanvas(BoundingBox(0, 0, 100, 100), width=120, height=120, padding=10)
+        px0, py0 = canvas.to_pixel(0, 0)  # map SW corner
+        px1, py1 = canvas.to_pixel(100, 100)  # map NE corner
+        assert px0 < px1
+        assert py0 > py1  # north is up -> smaller SVG y
+
+    def test_point_rendered_as_circle(self):
+        canvas = SVGCanvas(BoundingBox(0, 0, 10, 10))
+        canvas.draw_geometry(Point(5, 5), LayerStyle())
+        root = parse(canvas.render())
+        assert len(tags(root, "circle")) == 1
+
+    def test_linestring_rendered_as_polyline(self):
+        canvas = SVGCanvas(BoundingBox(0, 0, 10, 10))
+        canvas.draw_geometry(LineString([(0, 0), (10, 10)]), LayerStyle())
+        assert len(tags(parse(canvas.render()), "polyline")) == 1
+
+    def test_polygon_with_hole_single_path(self):
+        canvas = SVGCanvas(BoundingBox(0, 0, 10, 10))
+        donut = Polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)], [[(4, 4), (6, 4), (6, 6)]]
+        )
+        canvas.draw_geometry(donut, LayerStyle())
+        [path] = tags(parse(canvas.render()), "path")
+        assert path.get("fill-rule") == "evenodd"
+        assert path.get("d").count("Z") == 2
+
+    def test_multipolygon_expands(self):
+        canvas = SVGCanvas(BoundingBox(0, 0, 20, 20))
+        mp = MultiPolygon([Polygon.box(0, 0, 5, 5), Polygon.box(10, 10, 15, 15)])
+        canvas.draw_geometry(mp, LayerStyle())
+        assert len(tags(parse(canvas.render()), "path")) == 2
+
+    def test_tooltip_becomes_title(self):
+        canvas = SVGCanvas(BoundingBox(0, 0, 10, 10))
+        canvas.draw_geometry(Point(1, 1), LayerStyle(), tooltip="a <special> & berg")
+        svg = canvas.render()
+        root = parse(svg)
+        [title] = tags(root, "title")
+        assert title.text == "a <special> & berg"
+
+    def test_degenerate_extent_expanded(self):
+        canvas = SVGCanvas(BoundingBox(5, 5, 5, 5))
+        canvas.draw_geometry(Point(5, 5), LayerStyle())
+        parse(canvas.render())  # valid SVG, no division by zero
+
+    def test_canvas_too_small(self):
+        with pytest.raises(ReproError):
+            SVGCanvas(BoundingBox(0, 0, 1, 1), width=15, height=15, padding=10)
+
+
+class TestSextantMap:
+    def test_vector_layers_and_legend(self):
+        m = SextantMap(title="demo")
+        m.add_vector_layer("fields", [Polygon.box(0, 0, 10, 10)])
+        m.add_vector_layer(
+            "bergs", [(Point(5, 5), "berg 1")], style=LayerStyle(fill="#ff0000")
+        )
+        root = parse(m.render())
+        assert len(tags(root, "path")) == 1
+        assert len(tags(root, "circle")) == 1
+        texts = [t.text for t in tags(root, "text")]
+        assert "demo" in texts and "fields" in texts and "bergs" in texts
+
+    def test_empty_layer_rejected(self):
+        with pytest.raises(ReproError):
+            SextantMap().add_vector_layer("empty", [])
+
+    def test_render_without_layers_rejected(self):
+        with pytest.raises(ReproError):
+            SextantMap().render()
+
+    def test_extent_unions_layers(self):
+        m = SextantMap()
+        m.add_vector_layer("a", [Point(0, 0)])
+        m.add_vector_layer("b", [Point(100, 50)])
+        extent = m.extent()
+        assert extent.contains_point(0, 0) and extent.contains_point(100, 50)
+
+    def test_raster_layer_cells(self):
+        classes = np.array([[0, 1], [2, 3]], dtype=np.int16)
+        grid = RasterGrid(classes, GeoTransform(0, 20, 10))
+        m = SextantMap()
+        m.add_raster_layer("landcover", grid)
+        root = parse(m.render())
+        # 4 class cells + 1 background rect + 4 legend swatches.
+        assert len(tags(root, "rect")) == 4 + 1 + 4
+
+    def test_raster_downsampled_to_max_cells(self):
+        classes = np.zeros((64, 64), dtype=np.int16)
+        grid = RasterGrid(classes, GeoTransform(0, 640, 10))
+        m = SextantMap()
+        m.add_raster_layer("big", grid, max_cells=8, legend=False)
+        root = parse(m.render())
+        cell_rects = len(tags(root, "rect")) - 1  # minus background
+        assert cell_rects == 64  # 8x8
+
+    def test_raster_opacity_validation(self):
+        grid = RasterGrid(np.zeros((2, 2)), GeoTransform(0, 2, 1))
+        with pytest.raises(ReproError):
+            SextantMap().add_raster_layer("x", grid, opacity=0.0)
+
+    def test_save(self, tmp_path):
+        m = SextantMap()
+        m.add_vector_layer("p", [Point(1, 1)])
+        path = tmp_path / "map.svg"
+        m.save(str(path))
+        assert path.read_text().startswith("<svg")
+
+
+class TestSparqlLayer:
+    def make_store(self):
+        store = GeoStore()
+        store.add(EX.a, GEO.asWKT, geometry_literal(Point(0, 0)))
+        store.add(EX.a, EX.name, Literal("alpha"))
+        store.add(EX.b, GEO.asWKT, geometry_literal(Point(5, 5)))
+        store.add(EX.b, EX.name, Literal("beta"))
+        return store
+
+    def test_features_from_query(self):
+        store = self.make_store()
+        features = sparql_layer(
+            store,
+            "PREFIX ex: <http://ex.org/> "
+            "PREFIX geo: <http://www.opengis.net/ont/geosparql#> "
+            "SELECT ?wkt ?name WHERE { ?f geo:asWKT ?wkt . ?f ex:name ?name }",
+            label_variable="name",
+        )
+        assert len(features) == 2
+        labels = {label for _, label in features}
+        assert labels == {"alpha", "beta"}
+
+    def test_no_geometries_rejected(self):
+        store = self.make_store()
+        with pytest.raises(ReproError):
+            sparql_layer(
+                store,
+                "PREFIX ex: <http://ex.org/> SELECT ?wkt WHERE { ?f ex:name ?wkt }",
+            )
+
+    def test_renders_into_map(self):
+        store = self.make_store()
+        features = sparql_layer(
+            store,
+            "PREFIX geo: <http://www.opengis.net/ont/geosparql#> "
+            "SELECT ?wkt WHERE { ?f geo:asWKT ?wkt }",
+        )
+        m = SextantMap()
+        m.add_vector_layer("query", features)
+        assert len(tags(parse(m.render()), "circle")) == 2
+
+
+class TestTemporalFrames:
+    def make_store(self):
+        store = GeoStore()
+        entries = [
+            ("jan", Point(0, 0), "2017-01-01T00:00:00", "2017-02-01T00:00:00"),
+            ("spring", Point(10, 10), "2017-03-01T00:00:00", "2017-06-01T00:00:00"),
+        ]
+        for name, point, start, end in entries:
+            store.add(EX[name], GEO.asWKT, geometry_literal(point))
+            store.add(EX[name], EX.valid, period_literal(start, end))
+        return store
+
+    QUERY = (
+        "PREFIX ex: <http://ex.org/> "
+        "PREFIX geo: <http://www.opengis.net/ont/geosparql#> "
+        "SELECT ?wkt ?t WHERE { ?f geo:asWKT ?wkt . ?f ex:valid ?t }"
+    )
+
+    def test_frames_show_valid_features(self):
+        store = self.make_store()
+        frames = temporal_frames(
+            store, self.QUERY,
+            instants=["2017-01-15T00:00:00", "2017-04-01T00:00:00", "2017-09-01T00:00:00"],
+        )
+        assert len(frames) == 3
+        jan_root = parse(frames[0][1])
+        spring_root = parse(frames[1][1])
+        autumn_root = parse(frames[2][1])
+        assert len(tags(jan_root, "circle")) == 1
+        assert len(tags(spring_root, "circle")) == 1
+        assert len(tags(autumn_root, "circle")) == 0  # nothing valid
+
+    def test_frames_share_extent(self):
+        store = self.make_store()
+        frames = temporal_frames(
+            store, self.QUERY, instants=["2017-01-15T00:00:00", "2017-04-01T00:00:00"],
+        )
+        # Both features are points at (0,0) and (10,10); each frame draws its
+        # one circle at a *different* pixel because the extents align.
+        jan_circle = tags(parse(frames[0][1]), "circle")[0]
+        spring_circle = tags(parse(frames[1][1]), "circle")[0]
+        assert jan_circle.get("cx") != spring_circle.get("cx")
+
+    def test_window_days_catches_instant_features(self):
+        store = GeoStore()
+        from repro.rdf.term import Literal, XSD_DATETIME
+
+        store.add(EX.acq, GEO.asWKT, geometry_literal(Point(3, 3)))
+        store.add(
+            EX.acq, EX.valid, Literal("2017-01-20T06:00:00", datatype=XSD_DATETIME)
+        )
+        # Exact-instant frames miss the acquisition; a window catches it.
+        [(_, without)] = temporal_frames(
+            store, self.QUERY, instants=["2017-01-01T00:00:00"]
+        )
+        [(_, with_window)] = temporal_frames(
+            store, self.QUERY, instants=["2017-01-01T00:00:00"], window_days=30
+        )
+        assert len(tags(parse(without), "circle")) == 0
+        assert len(tags(parse(with_window), "circle")) == 1
+
+    def test_validation(self):
+        store = self.make_store()
+        with pytest.raises(ReproError):
+            temporal_frames(store, self.QUERY, instants=[])
+        with pytest.raises(ReproError):
+            temporal_frames(
+                store, self.QUERY, instants=["2017-01-01T00:00:00"], window_days=-1
+            )
+        with pytest.raises(ReproError):
+            temporal_frames(
+                store,
+                "PREFIX ex: <http://ex.org/> SELECT ?wkt ?t WHERE { ?f ex:missing ?wkt }",
+                instants=["2017-01-01T00:00:00"],
+            )

@@ -1,0 +1,154 @@
+"""Algebra compilation and optimisation tests, plus a semantics property test."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdf import Graph, IRI, Namespace
+from repro.sparql import Variable, evaluate
+from repro.sparql.algebra import (
+    CompileOptions,
+    FilterOp,
+    JoinOp,
+    ScanOp,
+    compile_group,
+    expression_variables,
+    order_patterns,
+    pattern_selectivity,
+)
+from repro.sparql.ast import (
+    BGP,
+    BinaryOp,
+    FilterPattern,
+    GroupPattern,
+    TermExpr,
+    TriplePattern,
+    VarExpr,
+)
+from repro.rdf.term import Literal
+from repro.sparql.parser import parse_query
+
+EX = Namespace("http://ex.org/")
+
+
+def var(name):
+    return Variable(name)
+
+
+class TestSelectivity:
+    def test_fully_bound_most_selective(self):
+        fully = TriplePattern(EX.s, EX.p, EX.o)
+        spo_var = TriplePattern(var("s"), var("p"), var("o"))
+        assert pattern_selectivity(fully) < pattern_selectivity(spo_var)
+
+    def test_bound_so_beats_bound_s(self):
+        so = TriplePattern(EX.s, var("p"), EX.o)
+        s_only = TriplePattern(EX.s, var("p"), var("o"))
+        assert pattern_selectivity(so) < pattern_selectivity(s_only)
+
+    def test_statistics_break_ties(self):
+        g = Graph()
+        for i in range(50):
+            g.add(EX[f"s{i}"], EX.common, EX.o)
+        g.add(EX.s0, EX.rare, EX.o)
+        common = TriplePattern(var("x"), EX.common, var("y"))
+        rare = TriplePattern(var("x"), EX.rare, var("y"))
+        assert pattern_selectivity(rare, g) < pattern_selectivity(common, g)
+
+    def test_order_prefers_connected_patterns(self):
+        # Disconnected-but-selective should not jump ahead of connected ones
+        # once the join has started.
+        p1 = TriplePattern(var("x"), EX.p, Literal("v"))  # selective, starts
+        p2 = TriplePattern(var("x"), EX.q, var("y"))  # connected to p1
+        p3 = TriplePattern(var("z"), EX.r, Literal("w"))  # disconnected
+        ordered = order_patterns([p3, p2, p1])
+        assert ordered[0] in (p1, p3)  # a selective pattern starts
+        # The unselective-but-connected p2 must come after the selective p1
+        # that binds its join variable.
+        assert ordered.index(p2) > ordered.index(p1)
+
+
+class TestFilterPushdown:
+    def _compile(self, query_text, **options):
+        query = parse_query(query_text)
+        return compile_group(query.where, options=CompileOptions(**options))
+
+    def test_filter_pushed_below_join(self):
+        tree = self._compile(
+            "SELECT ?x WHERE { ?x <http://p> ?v . ?x <http://q> ?w . FILTER (?v > 5) }"
+        )
+        # The filter must not be the root wrapping the whole join.
+        assert isinstance(tree, JoinOp)
+
+        def find_filter(op):
+            if isinstance(op, FilterOp):
+                return op
+            if isinstance(op, JoinOp):
+                return find_filter(op.left) or find_filter(op.right)
+            return None
+
+        assert find_filter(tree) is not None
+
+    def test_pushdown_disabled(self):
+        tree = self._compile(
+            "SELECT ?x WHERE { ?x <http://p> ?v . ?x <http://q> ?w . FILTER (?v > 5) }",
+            push_filters=False,
+        )
+        assert isinstance(tree, FilterOp)
+
+    def test_filter_with_two_sided_vars_stays_at_join(self):
+        tree = self._compile(
+            "SELECT ?x WHERE { ?x <http://p> ?v . ?y <http://q> ?w . FILTER (?v = ?w) }"
+        )
+        assert isinstance(tree, FilterOp)
+        assert isinstance(tree.operand, JoinOp)
+
+    def test_expression_variables(self):
+        expr = BinaryOp(
+            "&&",
+            BinaryOp(">", VarExpr(var("a")), TermExpr(Literal("1"))),
+            BinaryOp("<", VarExpr(var("b")), VarExpr(var("c"))),
+        )
+        assert expression_variables(expr) == {var("a"), var("b"), var("c")}
+
+
+class TestOptimisationPreservesSemantics:
+    """Optimised and unoptimised plans must return identical solutions."""
+
+    QUERIES = [
+        "SELECT ?x ?v WHERE { ?x <http://p> ?v . ?x <http://q> ?w . FILTER (?v > 2) }",
+        "SELECT ?x WHERE { ?x <http://p> ?v . OPTIONAL { ?x <http://q> ?w } FILTER (?v > 0) }",
+        "SELECT ?x WHERE { { ?x <http://p> ?v } UNION { ?x <http://q> ?v } FILTER (?v > 1) }",
+        "SELECT ?x ?y WHERE { ?x <http://r> ?y . ?y <http://r> ?x }",
+    ]
+
+    @given(
+        edges=st.lists(
+            st.tuples(st.integers(0, 5), st.sampled_from(["p", "q", "r"]), st.integers(0, 5)),
+            max_size=25,
+        ),
+        query_index=st.integers(0, len(QUERIES) - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_equivalence(self, edges, query_index):
+        g = Graph()
+        for s, p, o in edges:
+            if p == "r":
+                g.add(EX[f"n{s}"], EX["r"], EX[f"n{o}"])
+            else:
+                g.add(EX[f"n{s}"], IRI(f"http://{p}"), Literal.from_python(o))
+        # Patch: predicate IRIs in queries are http://p etc.
+        g2 = Graph()
+        for s, p, o in edges:
+            pred = IRI(f"http://{p}")
+            obj = EX[f"n{o}"] if p == "r" else Literal.from_python(o)
+            g2.add(EX[f"n{s}"], pred, obj)
+        query = self.QUERIES[query_index]
+        fast = evaluate(g2, query)
+        slow = evaluate(
+            g2, query, options=CompileOptions(push_filters=False, reorder_patterns=False)
+        )
+        canonical = lambda sols: sorted(
+            (sorted((v.name, repr(t)) for v, t in s.items()) for s in sols)
+        )
+        assert canonical(fast) == canonical(slow)

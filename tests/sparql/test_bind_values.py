@@ -1,0 +1,160 @@
+"""BIND and VALUES tests."""
+
+import pytest
+
+from repro.errors import SPARQLError, SPARQLSyntaxError
+from repro.rdf import Graph, IRI, Literal, Namespace
+from repro.sparql import Variable, evaluate
+from repro.sparql.ast import BindPattern, ValuesPattern
+from repro.sparql.parser import parse_query
+
+EX = Namespace("http://ex.org/")
+PREFIX = "PREFIX ex: <http://ex.org/> "
+
+
+@pytest.fixture
+def graph():
+    g = Graph()
+    for name, price in (("apple", 2), ("pear", 3), ("plum", 5)):
+        g.add(EX[name], EX.price, Literal.from_python(price))
+    return g
+
+
+class TestParser:
+    def test_bind_parsed(self):
+        q = parse_query(
+            PREFIX + "SELECT ?y WHERE { ?x ex:price ?p . BIND (?p * 2 AS ?y) }"
+        )
+        binds = [c for c in q.where.children if isinstance(c, BindPattern)]
+        assert len(binds) == 1
+        assert binds[0].variable == Variable("y")
+
+    def test_bind_requires_as_variable(self):
+        with pytest.raises(SPARQLSyntaxError):
+            parse_query(PREFIX + "SELECT ?y WHERE { BIND (1 + 2 AS 3) }")
+
+    def test_values_single_variable(self):
+        q = parse_query(
+            PREFIX + 'SELECT ?x WHERE { VALUES ?x { ex:apple ex:pear } ?x ex:price ?p }'
+        )
+        [values] = [c for c in q.where.children if isinstance(c, ValuesPattern)]
+        assert values.variables == [Variable("x")]
+        assert len(values.rows) == 2
+
+    def test_values_multi_variable_with_undef(self):
+        q = parse_query(
+            PREFIX
+            + "SELECT ?a ?b WHERE { VALUES (?a ?b) { (1 2) (3 UNDEF) } }"
+        )
+        [values] = [c for c in q.where.children if isinstance(c, ValuesPattern)]
+        assert len(values.variables) == 2
+        assert values.rows[1][1] is None
+
+    def test_values_row_arity_checked(self):
+        with pytest.raises(SPARQLSyntaxError):
+            parse_query(PREFIX + "SELECT ?a WHERE { VALUES (?a ?b) { (1) } }")
+
+    def test_values_no_variables_in_rows(self):
+        with pytest.raises(SPARQLSyntaxError):
+            parse_query(PREFIX + "SELECT ?a WHERE { VALUES ?a { ?b } }")
+
+
+class TestBindEvaluation:
+    def test_bind_computes(self, graph):
+        result = evaluate(
+            graph,
+            PREFIX + "SELECT ?x ?double WHERE { ?x ex:price ?p . "
+            "BIND (?p * 2 AS ?double) }",
+        )
+        doubles = {
+            str(s[Variable("x")]).split("/")[-1]: s[Variable("double")].to_python()
+            for s in result
+        }
+        assert doubles == {"apple": 4, "pear": 6, "plum": 10}
+
+    def test_bind_then_filter(self, graph):
+        result = evaluate(
+            graph,
+            PREFIX + "SELECT ?x WHERE { ?x ex:price ?p . "
+            "BIND (?p * 2 AS ?d) FILTER (?d > 5) }",
+        )
+        assert len(result) == 2
+
+    def test_bind_error_leaves_unbound(self, graph):
+        # STRLEN of a number errors -> ?n unbound, solutions survive.
+        result = evaluate(
+            graph,
+            PREFIX + "SELECT ?x ?n WHERE { ?x ex:price ?p . "
+            "BIND (?p / 0 AS ?n) }",
+        )
+        assert len(result) == 3
+        assert all(Variable("n") not in s for s in result)
+
+    def test_bind_constant_string(self, graph):
+        result = evaluate(
+            graph,
+            PREFIX + 'SELECT ?x ?src WHERE { ?x ex:price ?p . '
+            'BIND ("catalogue" AS ?src) }',
+        )
+        assert all(s[Variable("src")] == Literal("catalogue") for s in result)
+
+    def test_rebinding_rejected(self, graph):
+        with pytest.raises(SPARQLError):
+            evaluate(
+                graph,
+                PREFIX + "SELECT ?x WHERE { ?x ex:price ?p . BIND (1 AS ?p) }",
+            )
+
+    def test_bind_before_patterns_scopes_left(self, graph):
+        # BIND at the start extends the empty solution; later patterns join.
+        result = evaluate(
+            graph,
+            PREFIX + "SELECT ?x ?c WHERE { BIND (7 AS ?c) ?x ex:price ?p }",
+        )
+        assert len(result) == 3
+        assert all(s[Variable("c")].to_python() == 7 for s in result)
+
+
+class TestValuesEvaluation:
+    def test_values_restricts_join(self, graph):
+        result = evaluate(
+            graph,
+            PREFIX
+            + "SELECT ?x ?p WHERE { VALUES ?x { ex:apple ex:plum } ?x ex:price ?p }",
+        )
+        names = {str(s[Variable("x")]).split("/")[-1] for s in result}
+        assert names == {"apple", "plum"}
+
+    def test_values_after_patterns(self, graph):
+        result = evaluate(
+            graph,
+            PREFIX
+            + "SELECT ?x WHERE { ?x ex:price ?p . VALUES ?p { 3 } }",
+        )
+        assert len(result) == 1
+
+    def test_values_multi_column(self, graph):
+        result = evaluate(
+            graph,
+            PREFIX
+            + "SELECT ?x ?label WHERE { ?x ex:price ?p . "
+            + 'VALUES (?x ?label) { (ex:apple "A") (ex:pear "P") } }',
+        )
+        labels = {str(s[Variable("label")]) for s in result}
+        assert labels == {"A", "P"}
+
+    def test_undef_leaves_variable_free(self, graph):
+        result = evaluate(
+            graph,
+            PREFIX
+            + "SELECT ?x ?p WHERE { ?x ex:price ?p . "
+            + 'VALUES (?x ?p) { (ex:apple UNDEF) (UNDEF 5) } }',
+        )
+        names = {str(s[Variable("x")]).split("/")[-1] for s in result}
+        assert names == {"apple", "plum"}
+
+    def test_standalone_values(self, graph):
+        result = evaluate(
+            graph, PREFIX + "SELECT ?n WHERE { VALUES ?n { 1 2 3 } }"
+        )
+        assert sorted(s[Variable("n")].to_python() for s in result) == [1, 2, 3]

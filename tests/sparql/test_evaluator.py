@@ -1,0 +1,282 @@
+"""SPARQL evaluator tests over a small social/products graph."""
+
+import pytest
+
+from repro.rdf import Graph, IRI, Literal, Namespace
+from repro.sparql import Variable, evaluate
+from repro.sparql.evaluator import FunctionRegistry
+
+EX = Namespace("http://ex.org/")
+PREFIX = "PREFIX ex: <http://ex.org/> "
+
+
+@pytest.fixture
+def graph():
+    g = Graph()
+    people = {
+        "alice": ("Alice", 30),
+        "bob": ("Bob", 25),
+        "carol": ("Carol", 35),
+    }
+    for key, (name, age) in people.items():
+        g.add(EX[key], EX.name, Literal.from_python(name))
+        g.add(EX[key], EX.age, Literal.from_python(age))
+        g.add(EX[key], IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"), EX.Person)
+    g.add(EX.alice, EX.knows, EX.bob)
+    g.add(EX.alice, EX.knows, EX.carol)
+    g.add(EX.bob, EX.knows, EX.carol)
+    g.add(EX.alice, EX.email, Literal("alice@ex.org"))
+    return g
+
+
+def rows(result, *var_names):
+    """Project result solutions to tuples for easy assertions."""
+    variables = [Variable(n) for n in var_names]
+    return {tuple(s.get(v) for v in variables) for s in result}
+
+
+class TestBGP:
+    def test_single_pattern(self, graph):
+        result = evaluate(graph, PREFIX + "SELECT ?x WHERE { ?x ex:knows ex:carol }")
+        assert rows(result, "x") == {(EX.alice,), (EX.bob,)}
+
+    def test_join_two_patterns(self, graph):
+        result = evaluate(
+            graph,
+            PREFIX + "SELECT ?n WHERE { ?x ex:knows ex:carol . ?x ex:name ?n }",
+        )
+        assert rows(result, "n") == {(Literal("Alice"),), (Literal("Bob"),)}
+
+    def test_variable_predicate(self, graph):
+        result = evaluate(graph, PREFIX + "SELECT ?p WHERE { ex:alice ?p ex:bob }")
+        assert rows(result, "p") == {(EX.knows,)}
+
+    def test_shared_variable_join_consistency(self, graph):
+        # ?x knows ?y and ?y knows ?z -> only alice-bob-carol chain.
+        result = evaluate(
+            graph,
+            PREFIX + "SELECT ?x ?z WHERE { ?x ex:knows ?y . ?y ex:knows ?z }",
+        )
+        assert rows(result, "x", "z") == {(EX.alice, EX.carol)}
+
+    def test_no_match(self, graph):
+        result = evaluate(graph, PREFIX + "SELECT ?x WHERE { ?x ex:knows ex:alice }")
+        assert result == []
+
+    def test_same_variable_twice_in_pattern(self, graph):
+        g = Graph()
+        g.add(EX.n1, EX.link, EX.n1)
+        g.add(EX.n1, EX.link, EX.n2)
+        result = evaluate(g, PREFIX + "SELECT ?x WHERE { ?x ex:link ?x }")
+        assert rows(result, "x") == {(EX.n1,)}
+
+
+class TestFilter:
+    def test_numeric_comparison(self, graph):
+        result = evaluate(
+            graph,
+            PREFIX + "SELECT ?x WHERE { ?x ex:age ?a . FILTER (?a > 28) }",
+        )
+        assert rows(result, "x") == {(EX.alice,), (EX.carol,)}
+
+    def test_arithmetic_in_filter(self, graph):
+        result = evaluate(
+            graph,
+            PREFIX + "SELECT ?x WHERE { ?x ex:age ?a . FILTER (?a * 2 = 50) }",
+        )
+        assert rows(result, "x") == {(EX.bob,)}
+
+    def test_logical_and_or(self, graph):
+        result = evaluate(
+            graph,
+            PREFIX
+            + "SELECT ?x WHERE { ?x ex:age ?a . FILTER (?a > 26 && ?a < 33 || ?a = 25) }",
+        )
+        assert rows(result, "x") == {(EX.alice,), (EX.bob,)}
+
+    def test_string_functions(self, graph):
+        result = evaluate(
+            graph,
+            PREFIX
+            + 'SELECT ?x WHERE { ?x ex:name ?n . FILTER (STRSTARTS(?n, "A")) }',
+        )
+        assert rows(result, "x") == {(EX.alice,)}
+
+    def test_regex(self, graph):
+        result = evaluate(
+            graph,
+            PREFIX + 'SELECT ?x WHERE { ?x ex:name ?n . FILTER (REGEX(?n, "^[AB]")) }',
+        )
+        assert rows(result, "x") == {(EX.alice,), (EX.bob,)}
+
+    def test_filter_error_is_false(self, graph):
+        # Comparing a string against a number errors -> row dropped, not crash.
+        result = evaluate(
+            graph,
+            PREFIX + "SELECT ?x WHERE { ?x ex:name ?n . FILTER (?n > 5) }",
+        )
+        assert result == []
+
+    def test_iri_equality(self, graph):
+        result = evaluate(
+            graph,
+            PREFIX + "SELECT ?x WHERE { ?x ex:knows ?y . FILTER (?y = ex:bob) }",
+        )
+        assert rows(result, "x") == {(EX.alice,)}
+
+
+class TestOptional:
+    def test_optional_keeps_unmatched(self, graph):
+        result = evaluate(
+            graph,
+            PREFIX
+            + "SELECT ?x ?e WHERE { ?x a ex:Person . OPTIONAL { ?x ex:email ?e } }",
+        )
+        by_x = {s[Variable("x")]: s.get(Variable("e")) for s in result}
+        assert by_x[EX.alice] == Literal("alice@ex.org")
+        assert by_x[EX.bob] is None
+        assert by_x[EX.carol] is None
+
+    def test_bound_filter_on_optional(self, graph):
+        result = evaluate(
+            graph,
+            PREFIX
+            + "SELECT ?x WHERE { ?x a ex:Person . OPTIONAL { ?x ex:email ?e } "
+            + "FILTER (!BOUND(?e)) }",
+        )
+        assert rows(result, "x") == {(EX.bob,), (EX.carol,)}
+
+
+class TestUnion:
+    def test_union(self, graph):
+        result = evaluate(
+            graph,
+            PREFIX
+            + "SELECT ?x WHERE { { ?x ex:age ?a . FILTER (?a = 25) } UNION "
+            + "{ ?x ex:age ?a . FILTER (?a = 35) } }",
+        )
+        assert rows(result, "x") == {(EX.bob,), (EX.carol,)}
+
+    def test_union_duplicates_kept_without_distinct(self, graph):
+        result = evaluate(
+            graph,
+            PREFIX + "SELECT ?x WHERE { { ?x ex:knows ex:carol } UNION { ?x ex:knows ex:carol } }",
+        )
+        assert len(result) == 4
+
+    def test_union_distinct(self, graph):
+        result = evaluate(
+            graph,
+            PREFIX
+            + "SELECT DISTINCT ?x WHERE { { ?x ex:knows ex:carol } UNION { ?x ex:knows ex:carol } }",
+        )
+        assert len(result) == 2
+
+
+class TestModifiers:
+    def test_order_by(self, graph):
+        result = evaluate(
+            graph,
+            PREFIX + "SELECT ?x ?a WHERE { ?x ex:age ?a } ORDER BY ?a",
+        )
+        ages = [s[Variable("a")].to_python() for s in result]
+        assert ages == [25, 30, 35]
+
+    def test_order_by_desc(self, graph):
+        result = evaluate(
+            graph,
+            PREFIX + "SELECT ?x ?a WHERE { ?x ex:age ?a } ORDER BY DESC(?a)",
+        )
+        ages = [s[Variable("a")].to_python() for s in result]
+        assert ages == [35, 30, 25]
+
+    def test_limit_offset(self, graph):
+        result = evaluate(
+            graph,
+            PREFIX + "SELECT ?x ?a WHERE { ?x ex:age ?a } ORDER BY ?a LIMIT 1 OFFSET 1",
+        )
+        assert rows(result, "x") == {(EX.alice,)}
+
+    def test_projection(self, graph):
+        result = evaluate(graph, PREFIX + "SELECT ?a WHERE { ex:bob ex:age ?a }")
+        assert all(set(s.keys()) == {Variable("a")} for s in result)
+
+    def test_select_star_keeps_all(self, graph):
+        result = evaluate(graph, PREFIX + "SELECT * WHERE { ?x ex:age ?a }")
+        assert all(
+            {Variable("x"), Variable("a")} <= set(s.keys()) for s in result
+        )
+
+
+class TestAggregates:
+    def test_count_star(self, graph):
+        [row] = evaluate(graph, PREFIX + "SELECT (COUNT(*) AS ?n) WHERE { ?s ex:knows ?o }")
+        assert row[Variable("n")].to_python() == 3
+
+    def test_count_empty(self, graph):
+        [row] = evaluate(
+            graph, PREFIX + "SELECT (COUNT(*) AS ?n) WHERE { ?s ex:missing ?o }"
+        )
+        assert row[Variable("n")].to_python() == 0
+
+    def test_group_by_count(self, graph):
+        result = evaluate(
+            graph,
+            PREFIX
+            + "SELECT ?x (COUNT(?y) AS ?n) WHERE { ?x ex:knows ?y } GROUP BY ?x",
+        )
+        counts = {s[Variable("x")]: s[Variable("n")].to_python() for s in result}
+        assert counts == {EX.alice: 2, EX.bob: 1}
+
+    def test_sum_avg_min_max(self, graph):
+        [row] = evaluate(
+            graph,
+            PREFIX
+            + "SELECT (SUM(?a) AS ?s) (AVG(?a) AS ?m) (MIN(?a) AS ?lo) (MAX(?a) AS ?hi) "
+            + "WHERE { ?x ex:age ?a }",
+        )
+        assert row[Variable("s")].to_python() == 90
+        assert row[Variable("m")].to_python() == 30
+        assert row[Variable("lo")].to_python() == 25
+        assert row[Variable("hi")].to_python() == 35
+
+    def test_count_distinct(self, graph):
+        [row] = evaluate(
+            graph,
+            PREFIX + "SELECT (COUNT(DISTINCT ?o) AS ?n) WHERE { ?s ex:knows ?o }",
+        )
+        assert row[Variable("n")].to_python() == 2
+
+
+class TestAsk:
+    def test_ask_true(self, graph):
+        assert evaluate(graph, PREFIX + "ASK { ex:alice ex:knows ex:bob }") is True
+
+    def test_ask_false(self, graph):
+        assert evaluate(graph, PREFIX + "ASK { ex:bob ex:knows ex:alice }") is False
+
+
+class TestExtensionFunctions:
+    def test_registry_function_called(self, graph):
+        registry = FunctionRegistry()
+        registry.register(
+            "http://ex.org/fn/longname",
+            lambda args: len(args[0].lexical) > 4,
+        )
+        result = evaluate(
+            graph,
+            PREFIX
+            + "PREFIX fn: <http://ex.org/fn/> "
+            + "SELECT ?x WHERE { ?x ex:name ?n . FILTER (fn:longname(?n)) }",
+            registry=registry,
+        )
+        assert rows(result, "x") == {(EX.alice,), (EX.carol,)}
+
+    def test_unknown_function_filters_all(self, graph):
+        result = evaluate(
+            graph,
+            PREFIX
+            + "PREFIX fn: <http://ex.org/fn/> "
+            + "SELECT ?x WHERE { ?x ex:name ?n . FILTER (fn:missing(?n)) }",
+        )
+        assert result == []

@@ -1,0 +1,244 @@
+"""SPARQL parser tests."""
+
+import pytest
+
+from repro.errors import SPARQLSyntaxError
+from repro.rdf.term import IRI, Literal, XSD_INTEGER
+from repro.sparql.ast import (
+    AskQuery,
+    BGP,
+    BinaryOp,
+    FilterPattern,
+    FunctionCall,
+    OptionalPattern,
+    SelectQuery,
+    TermExpr,
+    TriplePattern,
+    UnionPattern,
+    Variable,
+    VarExpr,
+)
+from repro.sparql.parser import parse_query
+
+
+class TestBasicSelect:
+    def test_simple_bgp(self):
+        q = parse_query("SELECT ?s WHERE { ?s <http://p> <http://o> . }")
+        assert isinstance(q, SelectQuery)
+        assert q.variables == [Variable("s")]
+        [bgp] = q.where.children
+        assert isinstance(bgp, BGP)
+        assert bgp.patterns == [
+            TriplePattern(Variable("s"), IRI("http://p"), IRI("http://o"))
+        ]
+
+    def test_select_star(self):
+        q = parse_query("SELECT * WHERE { ?s ?p ?o }")
+        assert q.variables == []
+
+    def test_where_keyword_optional(self):
+        q = parse_query("SELECT ?s { ?s ?p ?o }")
+        assert isinstance(q, SelectQuery)
+
+    def test_prefixes(self):
+        q = parse_query(
+            "PREFIX ex: <http://ex.org/> SELECT ?s WHERE { ?s ex:p ex:o }"
+        )
+        [bgp] = q.where.children
+        assert bgp.patterns[0].predicate == IRI("http://ex.org/p")
+
+    def test_undeclared_prefix(self):
+        with pytest.raises(SPARQLSyntaxError):
+            parse_query("SELECT ?s WHERE { ?s ex:p ?o }")
+
+    def test_a_shorthand(self):
+        q = parse_query("SELECT ?s WHERE { ?s a <http://T> }")
+        [bgp] = q.where.children
+        assert bgp.patterns[0].predicate.value.endswith("#type")
+
+    def test_semicolon_comma(self):
+        q = parse_query(
+            "SELECT ?s WHERE { ?s <http://p> ?a, ?b ; <http://q> ?c . }"
+        )
+        [bgp] = q.where.children
+        assert len(bgp.patterns) == 3
+        assert all(p.subject == Variable("s") for p in bgp.patterns)
+
+    def test_literals(self):
+        q = parse_query(
+            'SELECT ?s WHERE { ?s <http://p> "text" . ?s <http://q> 42 . }'
+        )
+        [bgp] = q.where.children
+        assert bgp.patterns[0].object == Literal("text")
+        assert bgp.patterns[1].object == Literal("42", datatype=XSD_INTEGER)
+
+    def test_typed_literal(self):
+        q = parse_query(
+            'PREFIX xsd: <http://www.w3.org/2001/XMLSchema#> '
+            'SELECT ?s WHERE { ?s <http://p> "5"^^xsd:integer }'
+        )
+        [bgp] = q.where.children
+        assert bgp.patterns[0].object == Literal("5", datatype=XSD_INTEGER)
+
+    def test_distinct(self):
+        assert parse_query("SELECT DISTINCT ?s WHERE { ?s ?p ?o }").distinct
+
+    def test_nothing_selected(self):
+        with pytest.raises(SPARQLSyntaxError):
+            parse_query("SELECT WHERE { ?s ?p ?o }")
+
+
+class TestModifiers:
+    def test_limit_offset(self):
+        q = parse_query("SELECT ?s WHERE { ?s ?p ?o } LIMIT 10 OFFSET 5")
+        assert q.limit == 10 and q.offset == 5
+
+    def test_offset_before_limit(self):
+        q = parse_query("SELECT ?s WHERE { ?s ?p ?o } OFFSET 5 LIMIT 10")
+        assert q.limit == 10 and q.offset == 5
+
+    def test_order_by_var(self):
+        q = parse_query("SELECT ?s WHERE { ?s ?p ?o } ORDER BY ?s")
+        [cond] = q.order_by
+        assert cond.expression == VarExpr(Variable("s")) and not cond.descending
+
+    def test_order_by_desc(self):
+        q = parse_query("SELECT ?s WHERE { ?s ?p ?o } ORDER BY DESC(?s) ?o")
+        assert q.order_by[0].descending
+        assert not q.order_by[1].descending
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(SPARQLSyntaxError):
+            parse_query("SELECT ?s WHERE { ?s ?p ?o } LIMIT -1")
+
+
+class TestPatterns:
+    def test_filter(self):
+        q = parse_query("SELECT ?s WHERE { ?s <http://p> ?v . FILTER (?v > 5) }")
+        kinds = [type(c).__name__ for c in q.where.children]
+        assert "FilterPattern" in kinds
+        filt = next(c for c in q.where.children if isinstance(c, FilterPattern))
+        assert isinstance(filt.expression, BinaryOp)
+        assert filt.expression.operator == ">"
+
+    def test_optional(self):
+        q = parse_query(
+            "SELECT ?s WHERE { ?s <http://p> ?v . OPTIONAL { ?s <http://q> ?w } }"
+        )
+        assert any(isinstance(c, OptionalPattern) for c in q.where.children)
+
+    def test_union(self):
+        q = parse_query(
+            "SELECT ?s WHERE { { ?s <http://p> ?v } UNION { ?s <http://q> ?v } }"
+        )
+        [union] = q.where.children
+        assert isinstance(union, UnionPattern)
+        assert len(union.alternatives) == 2
+
+    def test_nested_group(self):
+        q = parse_query("SELECT ?s WHERE { { ?s <http://p> ?v } }")
+        assert len(q.where.children) == 1
+
+    def test_unterminated_group(self):
+        with pytest.raises(SPARQLSyntaxError):
+            parse_query("SELECT ?s WHERE { ?s ?p ?o")
+
+
+class TestExpressions:
+    def _filter_expr(self, text):
+        q = parse_query(f"SELECT ?x WHERE {{ ?x <http://p> ?v . FILTER ({text}) }}")
+        return next(
+            c for c in q.where.children if isinstance(c, FilterPattern)
+        ).expression
+
+    def test_precedence_and_or(self):
+        e = self._filter_expr("?v > 1 && ?v < 5 || ?v = 9")
+        assert isinstance(e, BinaryOp) and e.operator == "||"
+        assert isinstance(e.left, BinaryOp) and e.left.operator == "&&"
+
+    def test_arithmetic_precedence(self):
+        e = self._filter_expr("?v + 2 * 3 = 7")
+        assert e.operator == "="
+        assert e.left.operator == "+"
+        assert e.left.right.operator == "*"
+
+    def test_parentheses(self):
+        e = self._filter_expr("(?v + 2) * 3 = 9")
+        assert e.left.operator == "*"
+        assert e.left.left.operator == "+"
+
+    def test_unary_not(self):
+        e = self._filter_expr("!BOUND(?v)")
+        assert e.operator == "!"
+        assert isinstance(e.operand, FunctionCall)
+        assert e.operand.name == "BOUND"
+
+    def test_builtin_call(self):
+        e = self._filter_expr('REGEX(?v, "abc", "i")')
+        assert e.name == "REGEX" and len(e.args) == 3
+
+    def test_extension_function_by_pname(self):
+        q = parse_query(
+            "PREFIX geof: <http://www.opengis.net/def/function/geosparql/> "
+            "SELECT ?x WHERE { ?x <http://p> ?g . FILTER (geof:sfIntersects(?g, ?g)) }"
+        )
+        expr = next(
+            c for c in q.where.children if isinstance(c, FilterPattern)
+        ).expression
+        assert expr.name == "http://www.opengis.net/def/function/geosparql/sfIntersects"
+
+    def test_unknown_keyword_function(self):
+        with pytest.raises(SPARQLSyntaxError):
+            parse_query("SELECT ?x WHERE { ?x ?p ?v . FILTER (NOSUCH(?v)) }")
+
+
+class TestAggregates:
+    def test_count_star(self):
+        q = parse_query("SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }")
+        [agg] = q.aggregates
+        assert agg.function == "COUNT" and agg.argument is None
+        assert agg.alias == Variable("n")
+
+    def test_count_distinct_var(self):
+        q = parse_query("SELECT (COUNT(DISTINCT ?s) AS ?n) WHERE { ?s ?p ?o }")
+        [agg] = q.aggregates
+        assert agg.distinct
+
+    def test_group_by(self):
+        q = parse_query(
+            "SELECT ?s (COUNT(?o) AS ?n) WHERE { ?s ?p ?o } GROUP BY ?s"
+        )
+        assert q.group_by == [Variable("s")]
+        assert q.variables == [Variable("s")]
+
+    def test_sum_avg(self):
+        q = parse_query(
+            "SELECT (SUM(?v) AS ?total) (AVG(?v) AS ?mean) WHERE { ?s ?p ?v }"
+        )
+        assert [a.function for a in q.aggregates] == ["SUM", "AVG"]
+
+
+class TestAsk:
+    def test_ask(self):
+        q = parse_query("ASK { ?s <http://p> ?o }")
+        assert isinstance(q, AskQuery)
+
+    def test_ask_with_where(self):
+        assert isinstance(parse_query("ASK WHERE { ?s ?p ?o }"), AskQuery)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "SELECT",
+            "FOO ?s WHERE { ?s ?p ?o }",
+            "SELECT ?s WHERE { ?s ?p ?o } trailing",
+            "SELECT ?s WHERE { ?s ?p }",
+            "SELECT ?s WHERE { FILTER ?x }",
+        ],
+    )
+    def test_malformed(self, bad):
+        with pytest.raises(SPARQLSyntaxError):
+            parse_query(bad)

@@ -1,0 +1,58 @@
+"""Smoke tests: the runnable examples must keep running.
+
+The two heavyweight application examples (polar_ice_service,
+food_security_watershed) train CNNs for tens of seconds each and are
+exercised by the application test suites; here we run the fast ones
+end-to-end as subprocesses and check their headline output.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 180) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "classifier:" in out
+        assert "land cover in the western half:" in out
+
+    def test_federated_analytics(self):
+        out = run_example("federated_analytics.py")
+        assert "interlinking:" in out
+        assert "crops grown near lakes:" in out
+        assert "broadcast baseline" in out
+
+    def test_tep_federation(self):
+        out = run_example("tep_federation.py")
+        assert "across the federation" in out
+        assert "temporal frames" in out
+
+    def test_all_examples_exist_and_compile(self):
+        names = sorted(p.name for p in EXAMPLES.glob("*.py"))
+        assert names == [
+            "federated_analytics.py",
+            "food_security_watershed.py",
+            "polar_ice_service.py",
+            "quickstart.py",
+            "tep_federation.py",
+        ]
+        for name in names:
+            compile(
+                (EXAMPLES / name).read_text(), str(EXAMPLES / name), "exec"
+            )
