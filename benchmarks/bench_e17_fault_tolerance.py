@@ -1,0 +1,245 @@
+"""E17 — fault tolerance: graceful degradation under seeded chaos.
+
+Paper claim: the ExtremeEarth platform must run "in production" on shared
+Copernicus infrastructure, which means surviving the faults large clusters
+see daily — node crashes, stragglers, flaky federation members, dying
+training workers — without losing work or correctness. Expected shape: with
+tolerance mechanisms on, the same seeded fault plan completes 100% of the
+work at a bounded makespan premium (and federation returns flagged partial
+answers instead of raising); with them off, work is lost outright.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.cluster import ClusterSpec, Scheduler
+from repro.faults import (
+    EndpointFault,
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+    WorkerCrash,
+)
+from repro.federation import Endpoint, execute_federated
+from repro.ml import Adam, DataParallelTrainer, Dense, ReLU, Sequential
+from repro.rdf import Graph, Literal, Namespace
+
+NODES = 10
+TASKS = 120
+SEED = 17
+
+
+def chaos_plan():
+    """~10% of nodes crash mid-run, plus one straggler and flaky tasks."""
+    return FaultPlan.chaos(
+        SEED,
+        node_count=NODES,
+        node_crash_prob=0.1,
+        horizon_s=20.0,
+        straggler_prob=0.1,
+        straggler_factor=6.0,
+        task_failure_rate=0.05,
+    )
+
+
+def run_cluster(tolerance):
+    scheduler = Scheduler(
+        ClusterSpec(node_count=NODES, cpu_slots_per_node=2),
+        injector=FaultInjector(chaos_plan()),
+        crash_recovery=tolerance,
+        speculation=tolerance,
+        max_retries=8 if tolerance else 0,
+        blacklist_after=4 if tolerance else None,
+    )
+    scheduler.submit_all([scheduler.make_task(2.0) for _ in range(TASKS)])
+    return scheduler.run()
+
+
+def test_e17_cluster_chaos(benchmark):
+    """Same fault plan, tolerance on vs off: completed work and makespan."""
+    results = {}
+
+    def sweep():
+        results["on"] = run_cluster(tolerance=True)
+        results["off"] = run_cluster(tolerance=False)
+        results["clean"] = Scheduler(
+            ClusterSpec(node_count=NODES, cpu_slots_per_node=2)
+        )
+        results["clean"].submit_all(
+            [results["clean"].make_task(2.0) for _ in range(TASKS)]
+        )
+        results["clean"] = results["clean"].run()
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    on, off, clean = results["on"], results["off"], results["clean"]
+    print_series(
+        "E17: cluster chaos (10 nodes, ~10% crash, 5% task failures)",
+        [
+            {"config": "fault-free", "completed": clean.tasks_completed,
+             "lost": clean.tasks_lost, "abandoned": clean.tasks_abandoned,
+             "crashes": clean.node_crashes, "speculative": 0,
+             "makespan_s": clean.makespan_s},
+            {"config": "tolerance on", "completed": on.tasks_completed,
+             "lost": on.tasks_lost, "abandoned": on.tasks_abandoned,
+             "crashes": on.node_crashes,
+             "speculative": on.speculative_launches,
+             "makespan_s": on.makespan_s},
+            {"config": "tolerance off", "completed": off.tasks_completed,
+             "lost": off.tasks_lost, "abandoned": off.tasks_abandoned,
+             "crashes": off.node_crashes, "speculative": 0,
+             "makespan_s": off.makespan_s},
+        ],
+    )
+    benchmark.extra_info["completed_with_tolerance"] = on.tasks_completed
+    benchmark.extra_info["lost_without_tolerance"] = (
+        off.tasks_lost + off.tasks_abandoned
+    )
+    # Shape: tolerance completes everything; without it, work is lost.
+    assert on.tasks_completed == TASKS
+    assert on.tasks_lost == 0 and on.tasks_abandoned == 0
+    assert off.tasks_lost + off.tasks_abandoned > 0
+    assert on.makespan_s < clean.makespan_s * 3.0  # bounded premium
+
+
+def build_federation(plan=None):
+    injector = FaultInjector(plan) if plan is not None else None
+    EX = Namespace("http://ex.org/")
+    crops = Graph("crops")
+    weather = Graph("weather")
+    for i in range(40):
+        crops.add(EX[f"field{i}"], EX.crop, Literal("wheat" if i % 2 else "maize"))
+        weather.add(EX[f"field{i}"], EX.rainfall, Literal.from_python(100 + i))
+    query = (
+        "PREFIX ex: <http://ex.org/> "
+        "SELECT ?f ?c ?r WHERE { ?f ex:crop ?c . ?f ex:rainfall ?r }"
+    )
+    return query, [
+        Endpoint("crops", crops, injector=injector),
+        Endpoint("weather", weather, injector=injector),
+    ]
+
+
+def test_e17_federation_degradation(benchmark):
+    """Flaky endpoints are retried; a dead one degrades to a partial answer."""
+    results = {}
+
+    def sweep():
+        policy = RetryPolicy(max_attempts=8, jitter=0.0)
+        query, endpoints = build_federation()
+        results["clean"] = execute_federated(query, endpoints)
+        flaky = FaultPlan(
+            seed=SEED,
+            endpoint_faults=(EndpointFault("weather", error_rate=0.3,
+                                           timeout_rate=0.1),),
+        )
+        query, endpoints = build_federation(flaky)
+        results["flaky"] = execute_federated(query, endpoints,
+                                             retry_policy=policy)
+        dead = FaultPlan(
+            endpoint_faults=(EndpointFault("weather", dead_after_calls=10),)
+        )
+        query, endpoints = build_federation(dead)
+        results["dead"] = execute_federated(query, endpoints,
+                                            retry_policy=policy)
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for config in ("clean", "flaky", "dead"):
+        solutions, metrics = results[config]
+        rows.append(
+            {"config": config, "results": len(solutions),
+             "complete": metrics.complete, "retries": metrics.retries,
+             "failures": sum(metrics.endpoint_failures.values())}
+        )
+    print_series("E17: federation under endpoint chaos", rows)
+    clean_n = len(results["clean"][0])
+    benchmark.extra_info["flaky_recovered"] = results["flaky"][1].complete
+    # Shape: retries recover the flaky run completely; the dead endpoint
+    # yields a flagged partial answer instead of an exception.
+    assert results["flaky"][1].complete
+    assert len(results["flaky"][0]) == clean_n
+    assert results["flaky"][1].retries > 0
+    assert not results["dead"][1].complete
+    assert len(results["dead"][0]) < clean_n
+
+
+def make_training(injector=None, checkpoint_path=None, seed=5):
+    model = Sequential(
+        [Dense(4, 16, seed=seed), ReLU(), Dense(16, 3, seed=seed + 1)]
+    )
+    trainer = DataParallelTrainer(
+        model,
+        Adam(model.parameters(), lr=0.01),
+        workers=4,
+        injector=injector,
+        checkpoint_every=5 if checkpoint_path else None,
+        checkpoint_path=checkpoint_path,
+    )
+    rng = np.random.default_rng(11)
+    centers = np.array([[3, 0, 0, 0], [0, 3, 0, 0], [0, 0, 3, 0]], float)
+    y = rng.integers(0, 3, size=160)
+    x = centers[y] + rng.normal(0, 0.5, size=(160, 4))
+    return trainer, x, y
+
+
+def test_e17_elastic_training(benchmark, tmp_path):
+    """A worker dies mid-training; survivors carry on with exact updates."""
+    results = {}
+    path = str(tmp_path / "ckpt")
+
+    def sweep():
+        plan = FaultPlan(worker_crashes=(WorkerCrash(worker=2, at_step=8),))
+        trainer, x, y = make_training(FaultInjector(plan), checkpoint_path=path)
+        mid = path + "-mid"
+        for _ in range(20):
+            trainer.train_step(x, y)
+            if trainer.report.steps == 10:
+                trainer.save_checkpoint(mid)
+        results["elastic"] = trainer
+
+        clean, x, y = make_training()
+        for _ in range(20):
+            clean.train_step(x, y)
+        results["clean"] = clean
+
+        # Restore the mid-run checkpoint and finish the run from there.
+        restored, x, y = make_training()
+        restored.load_checkpoint(mid)
+        results["restored_from"] = restored.report.steps
+        while restored.report.steps < 20:
+            restored.train_step(x, y)
+        results["restored"] = restored
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    elastic, clean = results["elastic"], results["restored"]
+    print_series(
+        "E17: elastic training (worker 2 dies at step 8)",
+        [
+            {"config": "fault-free", "steps": results["clean"].report.steps,
+             "survivors": len(results["clean"].active_workers),
+             "final_loss": results["clean"].report.final_loss,
+             "sim_time_s": results["clean"].report.total_time_s},
+            {"config": "elastic", "steps": elastic.report.steps,
+             "survivors": len(elastic.active_workers),
+             "final_loss": elastic.report.final_loss,
+             "sim_time_s": elastic.report.total_time_s},
+            {"config": f"restored@{results['restored_from']}",
+             "steps": clean.report.steps,
+             "survivors": len(clean.active_workers),
+             "final_loss": clean.report.final_loss,
+             "sim_time_s": clean.report.total_time_s},
+        ],
+    )
+    benchmark.extra_info["elastic_final_loss"] = round(
+        elastic.report.final_loss, 6
+    )
+    # Shape: training survives the crash and still converges; the restored
+    # run resumes the elastic trajectory bitwise from the checkpoint.
+    assert elastic.report.steps == 20
+    assert elastic.active_workers == (0, 1, 3)
+    assert elastic.report.final_loss < elastic.report.losses[0]
+    assert results["restored"].report.losses == elastic.report.losses

@@ -5,7 +5,8 @@ Extreme Earth Analytics" (Koubarakis et al., EDBT 2019). The package is
 organised by the paper's own architecture:
 
 * substrates — :mod:`repro.geometry`, :mod:`repro.rdf`, :mod:`repro.sparql`,
-  :mod:`repro.raster`, :mod:`repro.hopsfs`, :mod:`repro.cluster`
+  :mod:`repro.raster`, :mod:`repro.hopsfs`, :mod:`repro.cluster`, and
+  :mod:`repro.faults` (deterministic chaos + the shared retry policy)
 * the ExtremeEarth technologies — :mod:`repro.geosparql` (Strabon),
   :mod:`repro.geotriples`, :mod:`repro.interlinking` (JedAI/Silk),
   :mod:`repro.federation` (Semagrow), :mod:`repro.catalog` (Challenge C4),

@@ -1,4 +1,4 @@
-"""Locality-aware task scheduling (delay scheduling).
+"""Locality-aware task scheduling (delay scheduling) with fault tolerance.
 
 The paper's platform "provides services to move the processing to where the
 data is". The mechanism that realises this in Spark-land is *delay
@@ -8,6 +8,24 @@ local slot before it accepts a remote one and pays the input transfer.
 
 Experiment E13's ablation compares ``locality_wait_s = 0`` (no locality) with
 the default.
+
+Fault tolerance (experiment E17) threads through a
+:class:`~repro.faults.injector.FaultInjector`:
+
+* **node crashes** — the node's slots disappear and its running tasks are
+  re-queued (``crash_recovery=True``) or lost (``tasks_lost``);
+* **stragglers** — slowed nodes trigger *speculative execution*: a second
+  copy of a late task launches on a healthy node, first finish wins;
+* **blacklisting** — nodes that repeatedly fail tasks stop receiving work.
+
+With no injector and the tolerance knobs at their defaults the scheduler is
+byte-identical to the fault-free implementation.
+
+Retry accounting semantics (pinned by the regression suite): a failed
+attempt that *will be retried* counts toward ``task_failures``; the final
+failed attempt of a task that exhausts ``max_retries`` counts as exactly one
+``tasks_abandoned`` (not also a failure). A task abandoned after N retries
+therefore contributes N failures and 1 abandonment.
 """
 
 from __future__ import annotations
@@ -15,11 +33,14 @@ from __future__ import annotations
 import itertools
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set, TYPE_CHECKING
 
 from repro.errors import ClusterError
 from repro.cluster.resources import ClusterSpec, Node
-from repro.cluster.simclock import Simulation
+from repro.cluster.simclock import Event, Simulation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.faults.injector import FaultInjector
 
 
 @dataclass
@@ -53,6 +74,17 @@ class Task:
 
 
 @dataclass
+class _Execution:
+    """One running copy of a task (speculation can run several)."""
+
+    task: Task
+    node_id: int
+    event: Event
+    local: bool
+    speculative: bool = False
+
+
+@dataclass
 class SchedulerMetrics:
     """Aggregate outcomes of a scheduling run."""
 
@@ -63,6 +95,10 @@ class SchedulerMetrics:
     makespan_s: float = 0.0
     task_failures: int = 0
     tasks_abandoned: int = 0
+    node_crashes: int = 0
+    speculative_launches: int = 0
+    tasks_lost: int = 0
+    nodes_blacklisted: int = 0
 
     @property
     def locality_rate(self) -> float:
@@ -83,6 +119,11 @@ class Scheduler:
         failure_rate: float = 0.0,
         max_retries: int = 3,
         failure_seed: int = 0,
+        injector: Optional["FaultInjector"] = None,
+        crash_recovery: bool = True,
+        speculation: bool = False,
+        speculation_factor: float = 2.0,
+        blacklist_after: Optional[int] = None,
     ):
         if locality_wait_s < 0:
             raise ClusterError("locality_wait_s must be non-negative")
@@ -90,12 +131,21 @@ class Scheduler:
             raise ClusterError("failure_rate must be in [0, 1)")
         if max_retries < 0:
             raise ClusterError("max_retries must be non-negative")
+        if speculation_factor <= 1.0:
+            raise ClusterError("speculation_factor must be > 1")
+        if blacklist_after is not None and blacklist_after < 1:
+            raise ClusterError("blacklist_after must be >= 1")
         self.spec = spec
         self.simulation = simulation if simulation is not None else Simulation()
         self.locality_wait_s = locality_wait_s
         self.failure_rate = failure_rate
         self.max_retries = max_retries
         self._failure_rng = random.Random(failure_seed)
+        self.injector = injector
+        self.crash_recovery = crash_recovery
+        self.speculation = speculation
+        self.speculation_factor = speculation_factor
+        self.blacklist_after = blacklist_after
         self.nodes: List[Node] = spec.build_nodes()
         self.metrics = SchedulerMetrics()
         self._queue: List[Task] = []
@@ -106,6 +156,25 @@ class Scheduler:
         self._task_counter = itertools.count()
         self._next_wakeup: Optional[float] = None
         self._last_finish_s = 0.0
+        self._running: Dict[int, List[_Execution]] = {}
+        self._dead_nodes: Set[int] = set()
+        self._blacklisted: Set[int] = set()
+        self._node_failures: Dict[int, int] = {}
+        if injector is not None:
+            self._apply_plan(injector)
+
+    def _apply_plan(self, injector: "FaultInjector") -> None:
+        """Install stragglers and schedule the plan's node crashes."""
+        for node in self.nodes:
+            factor = injector.straggler_factor(node.node_id)
+            if factor != 1.0:
+                node.speed = node.speed / factor
+            crash_at = injector.node_crash_time(node.node_id)
+            if crash_at is not None:
+                self.simulation.schedule_at(
+                    max(crash_at, self.simulation.now),
+                    lambda node_id=node.node_id: self._crash_node(node_id),
+                )
 
     # ------------------------------------------------------------------
     # Submission
@@ -191,10 +260,15 @@ class Scheduler:
         self._next_wakeup = earliest
         self.simulation.schedule_at(earliest, self._dispatch)
 
+    def _schedulable(self, node_id: int) -> bool:
+        return node_id not in self._blacklisted
+
     def _pick_node(self, task: Task) -> Optional[int]:
         free = self._free_slots[task.kind]
         local_candidates = [
-            n for n in task.preferred_nodes if free.get(n, 0) > 0
+            n
+            for n in task.preferred_nodes
+            if free.get(n, 0) > 0 and self._schedulable(n)
         ]
         if local_candidates:
             return min(local_candidates)
@@ -202,12 +276,14 @@ class Scheduler:
         if task.preferred_nodes and waited < self.locality_wait_s:
             # Keep waiting for a local slot.
             return None
-        candidates = [n for n, slots in free.items() if slots > 0]
+        candidates = [
+            n for n, slots in free.items() if slots > 0 and self._schedulable(n)
+        ]
         if not candidates:
             return None
         return min(candidates)
 
-    def _launch(self, task: Task, node_id: int) -> None:
+    def _launch(self, task: Task, node_id: int, speculative: bool = False) -> None:
         node = self.nodes[node_id]
         self._free_slots[task.kind][node_id] -= 1
         task.started_at = self.simulation.now
@@ -223,24 +299,160 @@ class Scheduler:
         else:
             self.metrics.locality_misses += 1
 
-        def finish() -> None:
-            self._last_finish_s = max(self._last_finish_s, self.simulation.now)
-            self._free_slots[task.kind][node_id] += 1
-            # Injected failure: the attempt burned its slot time, then died.
-            if self.failure_rate and self._failure_rng.random() < self.failure_rate:
-                self.metrics.task_failures += 1
-                task.attempts += 1
-                if task.attempts > self.max_retries:
-                    self.metrics.tasks_abandoned += 1
-                else:
-                    task.submitted_at = self.simulation.now
-                    self._queue.append(task)
-                self._dispatch()
-                return
-            task.finished_at = self.simulation.now
-            self.metrics.tasks_completed += 1
-            if task.on_complete is not None:
-                task.on_complete(task)
-            self._dispatch()
+        execution = _Execution(
+            task=task, node_id=node_id, event=None, local=local,  # type: ignore[arg-type]
+            speculative=speculative,
+        )
 
-        self.simulation.schedule(duration, finish)
+        def finish() -> None:
+            self._finish(execution)
+
+        execution.event = self.simulation.schedule(duration, finish)
+        self._running.setdefault(task.task_id, []).append(execution)
+
+        if self.speculation and not speculative:
+            nominal = task.work_s / self.spec.node_speed
+            if nominal > 0 and duration > self.speculation_factor * nominal:
+                # The copy is visibly late the moment a healthy node would
+                # have finished it; check for a speculative slot then.
+                self.simulation.schedule(
+                    self.speculation_factor * nominal,
+                    lambda: self._maybe_speculate(task),
+                )
+
+    def _maybe_speculate(self, task: Task) -> None:
+        """Launch a backup copy of a straggling task on a healthy free node.
+
+        If every candidate slot is busy, the check re-arms itself — the
+        straggler may hold its copy for many multiples of the nominal
+        runtime, and a slot freeing up later is still worth taking.
+        """
+        if task.finished_at is not None:
+            return
+        executions = self._running.get(task.task_id)
+        if not executions:
+            return  # queued for retry; the queue is its backup path
+        if any(e.speculative for e in executions):
+            return  # one backup copy at a time
+        busy = {e.node_id for e in executions}
+        free = self._free_slots[task.kind]
+        candidates = [
+            n
+            for n, slots in free.items()
+            if slots > 0
+            and n not in busy
+            and self._schedulable(n)
+            and self.nodes[n].speed > self.nodes[executions[0].node_id].speed
+        ]
+        if not candidates:
+            retry_in = task.work_s / self.spec.node_speed
+            if retry_in > 0:
+                self.simulation.schedule(
+                    retry_in, lambda: self._maybe_speculate(task)
+                )
+            return
+        # Prefer the fastest free node; break ties toward the lowest id.
+        best = max(candidates, key=lambda n: (self.nodes[n].speed, -n))
+        self.metrics.speculative_launches += 1
+        self._launch(task, best, speculative=True)
+
+    # ------------------------------------------------------------------
+    # Completion, failure, and crash handling
+    # ------------------------------------------------------------------
+
+    def _retire(self, execution: _Execution) -> None:
+        """Remove a finished/cancelled execution and free its slot."""
+        executions = self._running.get(execution.task.task_id)
+        if executions and execution in executions:
+            executions.remove(execution)
+            if not executions:
+                del self._running[execution.task.task_id]
+        if execution.node_id not in self._dead_nodes:
+            self._free_slots[execution.task.kind][execution.node_id] += 1
+
+    def _cancel_siblings(self, execution: _Execution) -> None:
+        """A copy won (or the task was abandoned): kill the other copies."""
+        for sibling in list(self._running.get(execution.task.task_id, ())):
+            if sibling is execution:
+                continue
+            Simulation.cancel(sibling.event)
+            self._retire(sibling)
+
+    def _finish(self, execution: _Execution) -> None:
+        task = execution.task
+        self._last_finish_s = max(self._last_finish_s, self.simulation.now)
+        self._retire(execution)
+        # Injected failure: the attempt burned its slot time, then died.
+        failed = bool(
+            self.failure_rate and self._failure_rng.random() < self.failure_rate
+        )
+        if not failed and self.injector is not None:
+            failed = self.injector.task_fails(task.task_id)
+        if failed:
+            task.attempts += 1
+            self._record_node_failure(execution.node_id)
+            if self._running.get(task.task_id):
+                # A speculative copy is still in flight; it is the retry.
+                self.metrics.task_failures += 1
+            elif task.attempts > self.max_retries:
+                self.metrics.tasks_abandoned += 1
+            else:
+                self.metrics.task_failures += 1
+                task.submitted_at = self.simulation.now
+                self._queue.append(task)
+            self._dispatch()
+            return
+        task.finished_at = self.simulation.now
+        task.ran_on = execution.node_id
+        task.ran_local = execution.local
+        self._cancel_siblings(execution)
+        self.metrics.tasks_completed += 1
+        if task.on_complete is not None:
+            task.on_complete(task)
+        self._dispatch()
+
+    def _record_node_failure(self, node_id: int) -> None:
+        if self.blacklist_after is None or node_id in self._dead_nodes:
+            return
+        count = self._node_failures.get(node_id, 0) + 1
+        self._node_failures[node_id] = count
+        if count < self.blacklist_after or node_id in self._blacklisted:
+            return
+        usable = [
+            n.node_id
+            for n in self.nodes
+            if n.node_id not in self._dead_nodes
+            and n.node_id not in self._blacklisted
+            and n.node_id != node_id
+        ]
+        if not usable:
+            return  # never blacklist the last schedulable node
+        self._blacklisted.add(node_id)
+        self.metrics.nodes_blacklisted += 1
+
+    def _crash_node(self, node_id: int) -> None:
+        """The node dies: slots vanish; running work is re-queued or lost."""
+        if node_id in self._dead_nodes:
+            return
+        self._dead_nodes.add(node_id)
+        self.metrics.node_crashes += 1
+        self._free_slots["cpu"].pop(node_id, None)
+        self._free_slots["gpu"].pop(node_id, None)
+        victims = [
+            execution
+            for executions in self._running.values()
+            for execution in executions
+            if execution.node_id == node_id
+        ]
+        for execution in victims:
+            Simulation.cancel(execution.event)
+            self._retire(execution)
+            task = execution.task
+            if task.finished_at is not None or self._running.get(task.task_id):
+                continue  # another copy survives elsewhere
+            if self.crash_recovery:
+                task.submitted_at = self.simulation.now
+                self._queue.append(task)
+            else:
+                self.metrics.tasks_lost += 1
+        self._dispatch()

@@ -2,9 +2,39 @@
 
 Every subsystem raises subclasses of :class:`ReproError` so callers can catch
 library failures without also swallowing programming errors.
+
+The hierarchy::
+
+    ReproError                      everything this library raises
+    ├── GeometryError               geometry construction/operations
+    │   └── WKTParseError           malformed WKT text
+    ├── RDFError / SPARQLError      RDF terms, SPARQL parse/eval
+    │   └── SPARQLSyntaxError
+    ├── RasterError                 raster grids
+    ├── StorageError                HopsFS-sim filesystem/metadata
+    ├── ClusterError                cluster simulator
+    ├── MLError                     model construction/training
+    ├── MappingError                GeoTriples mappings
+    ├── FederationError             federated query planning/execution
+    ├── CatalogError                semantic catalogue
+    ├── PipelineError               pipeline orchestration
+    └── FaultError                  injected infrastructure faults
+        ├── TimeoutExceeded         a call/retry loop overran its deadline
+        └── RetryExhausted          a RetryPolicy gave up (carries attempt
+                                    count and the last underlying error)
+
+Fault-injection errors (:mod:`repro.faults`) deserve a note: subsystems that
+participate in chaos experiments raise subclasses that *also* derive from
+their domain error (e.g. ``ShardUnavailable(StorageError, FaultError)``,
+``EndpointUnavailable(FederationError, FaultError)``), so existing
+``except StorageError`` handlers keep working while
+:class:`~repro.faults.retry.RetryPolicy` can recognise what is retryable via
+the ``retryable`` attribute on :class:`FaultError`.
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 
 class ReproError(Exception):
@@ -65,3 +95,39 @@ class CatalogError(ReproError):
 
 class PipelineError(ReproError):
     """End-to-end pipeline orchestration failure."""
+
+
+class FaultError(ReproError):
+    """An injected infrastructure fault (see :mod:`repro.faults`).
+
+    ``retryable`` tells :class:`~repro.faults.retry.RetryPolicy` whether
+    another attempt can possibly succeed; permanent faults set it False.
+    """
+
+    retryable: bool = True
+
+
+class TimeoutExceeded(FaultError):
+    """A call (or a retry loop's deadline) ran out of time."""
+
+    retryable = True
+
+
+class RetryExhausted(FaultError):
+    """A :class:`~repro.faults.retry.RetryPolicy` gave up.
+
+    Carries the attempt accounting: ``attempts`` made and the ``last_error``
+    that caused the final failure (also chained as ``__cause__``).
+    """
+
+    retryable = False
+
+    def __init__(
+        self,
+        message: str,
+        attempts: int = 0,
+        last_error: Optional[BaseException] = None,
+    ):
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error

@@ -1,0 +1,50 @@
+"""Deterministic fault injection and fault tolerance (experiment E17).
+
+At the scale the paper targets — petabytes of Copernicus data on a shared
+platform — node crashes, stragglers and flaky endpoints are the steady
+state, not the exception. This package provides the chaos layer that lets
+every scaling experiment be re-measured *under failure*:
+
+* :class:`~repro.faults.injector.FaultPlan` — a declarative, seeded
+  description of what goes wrong (node/datanode crashes, stragglers,
+  shard outages, endpoint error/timeout/death, ML worker crashes);
+  ``FaultPlan.none()`` is the guaranteed no-op plan and
+  ``FaultPlan.chaos(seed, ...)`` generates one from failure rates.
+* :class:`~repro.faults.injector.FaultInjector` — the runtime oracle the
+  subsystems consult; per-key random streams keep verdicts reproducible
+  and mutually independent.
+* :class:`~repro.faults.retry.RetryPolicy` — the shared exponential
+  backoff + jitter + deadline loop with attempt accounting
+  (:class:`~repro.faults.retry.RetryState`), used by the KV store and the
+  federation executor instead of ad-hoc retries.
+
+Tolerance mechanisms live with their subsystems: task re-queue/speculation/
+blacklisting in :mod:`repro.cluster.scheduler`, re-replication and replica
+fallback in :mod:`repro.hopsfs.blocks`, retryable shard outages in
+:mod:`repro.hopsfs.kvstore`, graceful degradation in
+:mod:`repro.federation.executor`, checkpoint/restore and elastic recovery in
+:mod:`repro.ml.distributed`.
+"""
+
+from repro.faults.injector import (
+    EndpointFault,
+    FaultInjector,
+    FaultPlan,
+    NodeCrash,
+    ShardOutage,
+    Straggler,
+    WorkerCrash,
+)
+from repro.faults.retry import RetryPolicy, RetryState
+
+__all__ = [
+    "EndpointFault",
+    "FaultInjector",
+    "FaultPlan",
+    "NodeCrash",
+    "RetryPolicy",
+    "RetryState",
+    "ShardOutage",
+    "Straggler",
+    "WorkerCrash",
+]

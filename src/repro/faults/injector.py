@@ -1,0 +1,327 @@
+"""Deterministic, seeded fault injection (experiment E17).
+
+A :class:`FaultPlan` *declares* what goes wrong — node crashes at absolute
+simulated times, straggler slowdowns, transient/permanent metadata-shard
+outages, per-call endpoint error/timeout probabilities, ML worker crashes —
+and a :class:`FaultInjector` answers the runtime questions each subsystem
+asks ("does this call fail?", "when does node 3 die?") reproducibly.
+
+Determinism has two layers:
+
+* scheduled faults (crashes, outages) are explicit in the plan, so the
+  failure timeline is the plan;
+* probabilistic faults (task failures, endpoint errors) are drawn from
+  per-key random streams derived from ``(plan.seed, domain, key)`` with a
+  stable hash, so two runs of the same workload see byte-identical fault
+  sequences — and adding chaos to one subsystem never perturbs the draws
+  another subsystem sees.
+
+``FaultPlan.none()`` is the empty plan; subsystems accept
+``injector: Optional[FaultInjector] = None`` and skip all fault logic when
+unset, so the default path is exactly the pre-chaos code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field, fields
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.errors import FaultError
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """Compute/datanode ``node_id`` dies permanently at ``at_s`` (sim time)."""
+
+    node_id: int
+    at_s: float
+
+
+@dataclass(frozen=True)
+class Straggler:
+    """Node ``node_id`` runs ``factor``x slower than its nominal speed."""
+
+    node_id: int
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.factor < 1.0:
+            raise FaultError(f"straggler factor must be >= 1, got {self.factor}")
+
+
+@dataclass(frozen=True)
+class ShardOutage:
+    """Metadata shard ``shard`` is down for an operation-count window.
+
+    The window is measured in the store's *attempted* operation counter:
+    ``[start_op, start_op + duration_ops)``; ``duration_ops=None`` makes the
+    outage permanent. Operation counts stand in for time because the KV store
+    has no clock — its simulated time is derived from per-shard busy work.
+    """
+
+    shard: int
+    start_op: int = 0
+    duration_ops: Optional[int] = None
+
+    @property
+    def permanent(self) -> bool:
+        return self.duration_ops is None
+
+    def covers(self, op_index: int) -> bool:
+        if op_index < self.start_op:
+            return False
+        return self.duration_ops is None or op_index < self.start_op + self.duration_ops
+
+
+@dataclass(frozen=True)
+class EndpointFault:
+    """Per-call fault profile of one federation endpoint.
+
+    ``error_rate``/``timeout_rate`` are independent per-call probabilities of
+    a transient (retryable) failure; ``dead_after_calls`` makes the endpoint
+    permanently unreachable from that call index on (0 = down from the start).
+    """
+
+    name: str
+    error_rate: float = 0.0
+    timeout_rate: float = 0.0
+    dead_after_calls: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.error_rate <= 1.0 or not 0.0 <= self.timeout_rate <= 1.0:
+            raise FaultError("endpoint fault rates must be in [0, 1]")
+        if self.error_rate + self.timeout_rate > 1.0:
+            raise FaultError("error_rate + timeout_rate must not exceed 1")
+
+
+@dataclass(frozen=True)
+class WorkerCrash:
+    """Training worker ``worker`` dies permanently before step ``at_step``."""
+
+    worker: int
+    at_step: int
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The full chaos declaration for one experiment run."""
+
+    seed: int = 0
+    node_crashes: Tuple[NodeCrash, ...] = ()
+    stragglers: Tuple[Straggler, ...] = ()
+    task_failure_rate: float = 0.0
+    datanode_crashes: Tuple[int, ...] = ()
+    shard_outages: Tuple[ShardOutage, ...] = ()
+    endpoint_faults: Tuple[EndpointFault, ...] = ()
+    worker_crashes: Tuple[WorkerCrash, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.task_failure_rate < 1.0:
+            raise FaultError("task_failure_rate must be in [0, 1)")
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The empty plan: injecting it is a no-op everywhere."""
+        return cls()
+
+    @property
+    def empty(self) -> bool:
+        return all(
+            not getattr(self, f.name)
+            for f in fields(self)
+            if f.name not in ("seed",)
+        )
+
+    @classmethod
+    def chaos(
+        cls,
+        seed: int,
+        *,
+        node_count: int = 0,
+        node_crash_prob: float = 0.0,
+        horizon_s: float = 100.0,
+        straggler_prob: float = 0.0,
+        straggler_factor: float = 4.0,
+        task_failure_rate: float = 0.0,
+        datanode_count: int = 0,
+        datanode_crash_prob: float = 0.0,
+        shard_count: int = 0,
+        shard_outage_prob: float = 0.0,
+        outage_start_ops: int = 0,
+        outage_duration_ops: Optional[int] = 50,
+        endpoints: Sequence[str] = (),
+        endpoint_error_rate: float = 0.0,
+        endpoint_timeout_rate: float = 0.0,
+        endpoint_death_prob: float = 0.0,
+        endpoint_death_after: int = 0,
+        workers: int = 0,
+        worker_crash_prob: float = 0.0,
+        max_step: int = 100,
+    ) -> "FaultPlan":
+        """Generate a concrete plan from a seed and per-subsystem rates.
+
+        The same arguments and seed always yield the same plan — this is the
+        one place randomness enters, and it is fully consumed here.
+        """
+        rng = random.Random(seed)
+        node_crashes = tuple(
+            NodeCrash(node_id=n, at_s=rng.uniform(0.0, horizon_s))
+            for n in range(node_count)
+            if rng.random() < node_crash_prob
+        )
+        crashed = {c.node_id for c in node_crashes}
+        stragglers = tuple(
+            Straggler(node_id=n, factor=straggler_factor)
+            for n in range(node_count)
+            if n not in crashed and rng.random() < straggler_prob
+        )
+        datanode_crashes = tuple(
+            n for n in range(datanode_count) if rng.random() < datanode_crash_prob
+        )
+        shard_outages = tuple(
+            ShardOutage(
+                shard=s,
+                start_op=outage_start_ops,
+                duration_ops=outage_duration_ops,
+            )
+            for s in range(shard_count)
+            if rng.random() < shard_outage_prob
+        )
+        endpoint_faults = tuple(
+            EndpointFault(
+                name=name,
+                error_rate=endpoint_error_rate,
+                timeout_rate=endpoint_timeout_rate,
+                dead_after_calls=(
+                    endpoint_death_after
+                    if rng.random() < endpoint_death_prob
+                    else None
+                ),
+            )
+            for name in endpoints
+        )
+        worker_crashes = tuple(
+            WorkerCrash(worker=w, at_step=rng.randrange(1, max(2, max_step)))
+            for w in range(workers)
+            if rng.random() < worker_crash_prob
+        )
+        return cls(
+            seed=seed,
+            node_crashes=node_crashes,
+            stragglers=stragglers,
+            task_failure_rate=task_failure_rate,
+            datanode_crashes=datanode_crashes,
+            shard_outages=shard_outages,
+            endpoint_faults=endpoint_faults,
+            worker_crashes=worker_crashes,
+        )
+
+
+def _derive_seed(seed: int, domain: str, key: object) -> int:
+    """Stable (across processes) stream seed for (plan seed, domain, key)."""
+    digest = hashlib.blake2b(
+        f"{seed}:{domain}:{key}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+# Endpoint call outcomes.
+OK = "ok"
+ERROR = "error"
+TIMEOUT = "timeout"
+DEAD = "dead"
+
+
+class FaultInjector:
+    """Runtime oracle over a :class:`FaultPlan`.
+
+    One injector can serve several subsystems at once; its probabilistic
+    streams are keyed per (domain, entity) so subsystems never perturb each
+    other's draws.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._streams: Dict[Tuple[str, object], random.Random] = {}
+        self._node_crash_at = {c.node_id: c.at_s for c in plan.node_crashes}
+        self._straggler = {s.node_id: s.factor for s in plan.stragglers}
+        self._endpoint = {f.name: f for f in plan.endpoint_faults}
+        self._worker_crash_at = {c.worker: c.at_step for c in plan.worker_crashes}
+
+    def _stream(self, domain: str, key: object) -> random.Random:
+        stream = self._streams.get((domain, key))
+        if stream is None:
+            stream = random.Random(_derive_seed(self.plan.seed, domain, key))
+            self._streams[(domain, key)] = stream
+        return stream
+
+    # ------------------------------------------------------------------
+    # Cluster
+    # ------------------------------------------------------------------
+
+    def node_crash_time(self, node_id: int) -> Optional[float]:
+        """Simulated time at which the compute node dies, or None."""
+        return self._node_crash_at.get(node_id)
+
+    def straggler_factor(self, node_id: int) -> float:
+        """Slowdown multiplier for the node (1.0 = healthy)."""
+        return self._straggler.get(node_id, 1.0)
+
+    def task_fails(self, task_id: int) -> bool:
+        """Does the task's current attempt fail? One draw per attempt, from
+        a per-task stream, so the verdict sequence is independent of how
+        tasks interleave on the cluster."""
+        rate = self.plan.task_failure_rate
+        if rate <= 0.0:
+            return False
+        return self._stream("task", task_id).random() < rate
+
+    # ------------------------------------------------------------------
+    # Storage
+    # ------------------------------------------------------------------
+
+    def shard_outage(self, shard: int, op_index: int) -> Optional[ShardOutage]:
+        """The outage covering this shard at this attempted-op index, if any."""
+        for outage in self.plan.shard_outages:
+            if outage.shard == shard and outage.covers(op_index):
+                return outage
+        return None
+
+    def datanode_crashes(self) -> Tuple[int, ...]:
+        """Datanode ids the plan kills (applied once by the BlockManager)."""
+        return self.plan.datanode_crashes
+
+    # ------------------------------------------------------------------
+    # Federation
+    # ------------------------------------------------------------------
+
+    def endpoint_outcome(self, name: str, call_index: int) -> str:
+        """Outcome of one remote call: ``ok``/``error``/``timeout``/``dead``.
+
+        Permanent death dominates; transient error/timeout are drawn from the
+        endpoint's private stream.
+        """
+        fault = self._endpoint.get(name)
+        if fault is None:
+            return OK
+        if fault.dead_after_calls is not None and call_index >= fault.dead_after_calls:
+            return DEAD
+        if fault.error_rate == 0.0 and fault.timeout_rate == 0.0:
+            return OK
+        draw = self._stream("endpoint", name).random()
+        if draw < fault.error_rate:
+            return ERROR
+        if draw < fault.error_rate + fault.timeout_rate:
+            return TIMEOUT
+        return OK
+
+    # ------------------------------------------------------------------
+    # ML
+    # ------------------------------------------------------------------
+
+    def worker_crashed(self, worker: int, step: int) -> bool:
+        """Is the training worker dead at (the start of) this step?"""
+        at = self._worker_crash_at.get(worker)
+        return at is not None and step >= at

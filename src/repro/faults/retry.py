@@ -1,0 +1,122 @@
+"""Shared retry policy: exponential backoff + jitter + deadline.
+
+Every subsystem that survives transient faults does it through one
+:class:`RetryPolicy` instead of ad-hoc loops, so attempt accounting and
+backoff behaviour are uniform and testable. The policy never sleeps real
+time — callers pass a ``sleep`` callable that charges simulated time (or
+nothing), which keeps chaos experiments deterministic and fast.
+
+An exception is retried when it is an instance of one of ``retryable_types``
+*and* its ``retryable`` attribute (see :class:`repro.errors.FaultError`) is
+not False — permanent faults like a dead endpoint short-circuit the loop.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple, Type, TypeVar
+
+from repro.errors import FaultError, RetryExhausted, TimeoutExceeded
+
+T = TypeVar("T")
+
+
+@dataclass
+class RetryState:
+    """Attempt accounting for one retried call (filled in by ``call``)."""
+
+    attempts: int = 0
+    retries: int = 0
+    waited_s: float = 0.0
+    last_error: Optional[BaseException] = None
+
+
+@dataclass
+class RetryPolicy:
+    """Exponential backoff with jitter and an overall deadline.
+
+    ``max_attempts`` counts *all* attempts including the first, so
+    ``max_attempts=1`` means no retries. The deadline bounds cumulative
+    backoff wait: a retry whose wait would cross ``deadline_s`` raises
+    :class:`TimeoutExceeded` instead of waiting.
+    """
+
+    max_attempts: int = 4
+    base_delay_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 5.0
+    jitter: float = 0.1
+    deadline_s: Optional[float] = None
+    retryable_types: Tuple[Type[BaseException], ...] = (FaultError,)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise FaultError("max_attempts must be >= 1")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise FaultError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise FaultError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise FaultError("jitter must be in [0, 1)")
+
+    def backoff_s(self, retry_index: int, rng: Optional[random.Random] = None) -> float:
+        """Backoff before the ``retry_index``-th retry (1-based), jittered."""
+        if retry_index < 1:
+            raise FaultError("retry_index is 1-based")
+        delay = min(
+            self.base_delay_s * self.multiplier ** (retry_index - 1),
+            self.max_delay_s,
+        )
+        if self.jitter and rng is not None:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return delay
+
+    def _is_retryable(self, error: BaseException) -> bool:
+        return isinstance(error, self.retryable_types) and getattr(
+            error, "retryable", True
+        )
+
+    def call(
+        self,
+        fn: Callable[[], T],
+        *,
+        state: Optional[RetryState] = None,
+        rng: Optional[random.Random] = None,
+        sleep: Optional[Callable[[float], None]] = None,
+    ) -> T:
+        """Invoke ``fn`` under this policy.
+
+        Raises :class:`RetryExhausted` (carrying the attempt count and last
+        error) when attempts run out, and :class:`TimeoutExceeded` when the
+        deadline would be crossed. Non-retryable exceptions propagate
+        unchanged on first occurrence.
+        """
+        state = state if state is not None else RetryState()
+        while True:
+            state.attempts += 1
+            try:
+                return fn()
+            except BaseException as error:  # noqa: BLE001 - filtered below
+                state.last_error = error
+                if not self._is_retryable(error):
+                    raise
+                if state.attempts >= self.max_attempts:
+                    raise RetryExhausted(
+                        f"gave up after {state.attempts} attempts: {error}",
+                        attempts=state.attempts,
+                        last_error=error,
+                    ) from error
+                delay = self.backoff_s(state.retries + 1, rng)
+                if (
+                    self.deadline_s is not None
+                    and state.waited_s + delay > self.deadline_s
+                ):
+                    raise TimeoutExceeded(
+                        f"retry deadline {self.deadline_s}s exceeded after "
+                        f"{state.attempts} attempts: {error}"
+                    ) from error
+                state.retries += 1
+                state.waited_s += delay
+                if sleep is not None:
+                    sleep(delay)

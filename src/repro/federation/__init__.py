@@ -14,13 +14,15 @@ architecture at laptop scale:
   broadcast baseline experiment E8 compares against
 """
 
-from repro.federation.endpoint import Endpoint
+from repro.federation.endpoint import Endpoint, EndpointDown, EndpointUnavailable
 from repro.federation.sourcesel import select_sources
 from repro.federation.planner import FederatedPlan, plan_query
 from repro.federation.executor import FederationMetrics, execute_federated
 
 __all__ = [
     "Endpoint",
+    "EndpointDown",
+    "EndpointUnavailable",
     "FederatedPlan",
     "FederationMetrics",
     "execute_federated",

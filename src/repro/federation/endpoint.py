@@ -5,29 +5,71 @@ GeoStore's graph) and meters every interaction the federation engine has with
 it — requests issued and bindings shipped back — which is exactly what E8
 measures. It also serves VoID-style statistics (predicate cardinalities) that
 the source selector can use instead of probing.
+
+Fault injection (experiment E17): an endpoint constructed with a
+:class:`~repro.faults.FaultInjector` consults it on every metered remote call
+and raises :class:`EndpointUnavailable` (transient, retryable),
+:class:`~repro.errors.TimeoutExceeded` (transient), or :class:`EndpointDown`
+(permanent, not retryable). Planning-side statistics stay fault-free — they
+model cached VoID descriptors, not live calls.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple, TYPE_CHECKING
 
-from repro.errors import FederationError
+from repro.errors import FaultError, FederationError, TimeoutExceeded
 from repro.rdf.graph import Graph, Pattern
 from repro.rdf.term import Term, Triple
 from repro.sparql.ast import TriplePattern, Variable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
+
+
+class EndpointUnavailable(FederationError, FaultError):
+    """A transient endpoint error (5xx-style); retrying may succeed."""
+
+    retryable = True
+
+
+class EndpointDown(FederationError, FaultError):
+    """The endpoint is permanently unreachable; retrying cannot help."""
+
+    retryable = False
 
 
 class Endpoint:
     """One federation member."""
 
-    def __init__(self, name: str, graph: Graph):
+    def __init__(
+        self,
+        name: str,
+        graph: Graph,
+        injector: Optional["FaultInjector"] = None,
+    ):
         if not name:
             raise FederationError("endpoint needs a name")
         self.name = name
         self.graph = graph
         self.requests = 0
         self.bindings_shipped = 0
+        self._injector = injector
+        self._call_index = 0
+
+    def _maybe_fail(self) -> None:
+        """Consult the injector before serving one remote call."""
+        if self._injector is None:
+            return
+        outcome = self._injector.endpoint_outcome(self.name, self._call_index)
+        self._call_index += 1
+        if outcome == "dead":
+            raise EndpointDown(f"endpoint {self.name} is down")
+        if outcome == "error":
+            raise EndpointUnavailable(f"endpoint {self.name} returned an error")
+        if outcome == "timeout":
+            raise TimeoutExceeded(f"endpoint {self.name} timed out")
 
     # ------------------------------------------------------------------
     # Remote interface (all metered)
@@ -35,6 +77,7 @@ class Endpoint:
 
     def ask(self, pattern: TriplePattern) -> bool:
         """ASK-style probe: does any triple match?"""
+        self._maybe_fail()
         self.requests += 1
         for _ in self.graph.triples(_to_graph_pattern(pattern)):
             return True
@@ -42,6 +85,7 @@ class Endpoint:
 
     def match(self, pattern: TriplePattern) -> List[Triple]:
         """Fetch all triples matching a (possibly partially bound) pattern."""
+        self._maybe_fail()
         self.requests += 1
         results = list(self.graph.triples(_to_graph_pattern(pattern)))
         self.bindings_shipped += len(results)

@@ -1,11 +1,21 @@
-"""Federated execution: bind joins over planned patterns."""
+"""Federated execution: bind joins over planned patterns.
+
+Fault tolerance (experiment E17): when endpoints are chaos-injected, every
+remote call runs under a shared :class:`~repro.faults.RetryPolicy`; an
+endpoint whose calls permanently fail (dead, or retries exhausted) is dropped
+from the rest of the query and the executor *degrades gracefully* — it
+returns the results obtainable from the surviving endpoints, flags the answer
+``complete=False``, and reports per-endpoint failure counts, instead of
+raising mid-join.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Union
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Union
 
-from repro.errors import FederationError
+from repro.errors import FaultError, FederationError
+from repro.faults.retry import RetryPolicy, RetryState
 from repro.federation.endpoint import Endpoint
 from repro.federation.planner import FederatedPlan, plan_query
 from repro.sparql.ast import SelectQuery, TriplePattern, Variable
@@ -17,11 +27,17 @@ _EMPTY_REGISTRY = FunctionRegistry()
 
 @dataclass
 class FederationMetrics:
-    """What E8 reports per query."""
+    """What E8 reports per query (plus E17's fault accounting)."""
 
     requests: int = 0
     bindings_shipped: int = 0
     results: int = 0
+    #: False when at least one endpoint was lost and the answer is partial.
+    complete: bool = True
+    #: Endpoint name -> calls that failed terminally (after retries).
+    endpoint_failures: Dict[str, int] = field(default_factory=dict)
+    #: Transient failures that a retry recovered.
+    retries: int = 0
 
 
 def execute_federated(
@@ -29,12 +45,18 @@ def execute_federated(
     endpoints: Sequence[Endpoint],
     source_selection: str = "statistics",
     registry: FunctionRegistry = _EMPTY_REGISTRY,
+    retry_policy: Optional[RetryPolicy] = None,
+    graceful: bool = True,
 ) -> tuple:
     """Execute a federated query; returns (solutions, metrics).
 
     Evaluation is an index-style bind join: each solution so far is
     substituted into the next pattern before it is sent to that pattern's
     sources, so upstream selectivity cuts remote work.
+
+    ``retry_policy`` wraps each remote call (transient endpoint faults are
+    retried); with ``graceful`` set, a permanently failing endpoint yields a
+    partial answer (``metrics.complete`` False) instead of an exception.
     """
     for endpoint in endpoints:
         endpoint.reset_accounting()
@@ -43,13 +65,43 @@ def execute_federated(
     else:
         plan = plan_query(query, endpoints, source_selection=source_selection)
 
+    dead: Set[str] = set()
+    endpoint_failures: Dict[str, int] = {}
+    retry_total = 0
+
+    def fetch(endpoint: Endpoint, pattern: TriplePattern) -> Optional[list]:
+        """One remote call with retry + degradation; None = endpoint lost."""
+        nonlocal retry_total
+        if endpoint.name in dead:
+            return None
+        state = RetryState()
+        try:
+            if retry_policy is not None:
+                return retry_policy.call(
+                    lambda: endpoint.match(pattern), state=state
+                )
+            return endpoint.match(pattern)
+        except FaultError:
+            endpoint_failures[endpoint.name] = (
+                endpoint_failures.get(endpoint.name, 0) + 1
+            )
+            if not graceful:
+                raise
+            dead.add(endpoint.name)
+            return None
+        finally:
+            retry_total += state.retries
+
     solutions: List[Bindings] = [{}]
     for step in plan.steps:
         next_solutions: List[Bindings] = []
         for solution in solutions:
             concrete = _substitute(step.pattern, solution)
             for endpoint in step.sources:
-                for triple in endpoint.match(concrete):
+                triples = fetch(endpoint, concrete)
+                if triples is None:
+                    continue
+                for triple in triples:
                     extended = _extend(solution, concrete, triple)
                     if extended is not None:
                         next_solutions.append(extended)
@@ -88,6 +140,9 @@ def execute_federated(
         requests=sum(e.requests for e in endpoints),
         bindings_shipped=sum(e.bindings_shipped for e in endpoints),
         results=len(solutions),
+        complete=not dead,
+        endpoint_failures=endpoint_failures,
+        retries=retry_total,
     )
     return solutions, metrics
 

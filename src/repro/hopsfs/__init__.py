@@ -21,7 +21,7 @@ This package reproduces those architectural properties in simulation:
 Experiment E1 sweeps shard count and op mix over both systems.
 """
 
-from repro.hopsfs.kvstore import ShardedKVStore, SingleLeaderStore
+from repro.hopsfs.kvstore import ShardUnavailable, ShardedKVStore, SingleLeaderStore
 from repro.hopsfs.blocks import BlockManager, DataNode
 from repro.hopsfs.filesystem import FileStat, HopsFS
 from repro.hopsfs.namenode import SingleLeaderFS
@@ -31,6 +31,7 @@ __all__ = [
     "DataNode",
     "FileStat",
     "HopsFS",
+    "ShardUnavailable",
     "ShardedKVStore",
     "SingleLeaderFS",
     "SingleLeaderStore",

@@ -153,6 +153,45 @@ class BlockManager:
     # Failure handling
     # ------------------------------------------------------------------
 
+    def read_block(self, block_id: int, preferred: Optional[int] = None) -> int:
+        """Pick the datanode that serves a read of *block_id*.
+
+        Reads prefer ``preferred`` when it holds a live replica and otherwise
+        fall back to the first surviving replica — a dead datanode degrades a
+        read to a remote one instead of failing it. Raises
+        :class:`~repro.errors.StorageError` only when every replica is gone.
+        """
+        entry = self._blocks.get(block_id)
+        if entry is None:
+            raise StorageError(f"unknown block {block_id}")
+        survivors = [o for o in entry[1] if self.nodes[o].alive]
+        if not survivors:
+            raise StorageError(f"block {block_id} lost: no live replica")
+        if preferred is not None and preferred in survivors:
+            return preferred
+        return survivors[0]
+
+    def inject_failures(self, injector) -> int:
+        """Kill the datanodes a :class:`~repro.faults.FaultInjector` names.
+
+        Returns the number of nodes that actually died (already-dead nodes
+        are skipped so a plan can be applied idempotently).
+        """
+        crashed = 0
+        for node_id in injector.datanode_crashes():
+            if 0 <= node_id < len(self.nodes) and self.nodes[node_id].alive:
+                self.fail_node(node_id)
+                crashed += 1
+        return crashed
+
+    def heal(self) -> Tuple[int, List[int]]:
+        """Detect under-replication and repair what has a surviving copy.
+
+        Returns ``(replicas_created, lost_block_ids)`` — the recovery action
+        a namenode takes after datanode failures.
+        """
+        return self.re_replicate(), self.lost_blocks()
+
     def fail_node(self, node_id: int) -> int:
         """Mark a datanode dead; its replicas vanish. Returns the number of
         blocks that became under-replicated."""

@@ -13,13 +13,39 @@ Cost model (milliseconds, configurable):
   participating shard (prepare + commit rounds)
 * the single-leader store pays ``base_latency`` on its one resource for
   everything, which is why it cannot scale.
+
+Fault injection (experiment E17): a :class:`~repro.faults.FaultInjector`
+with shard outages makes operations touching a down shard raise
+:class:`ShardUnavailable` — a retryable :class:`~repro.errors.StorageError`.
+Passing a :class:`~repro.faults.RetryPolicy` makes the store ride out
+transient outages itself; multi-shard transactions abort atomically (the
+prepare phase checks every participant before a single write lands).
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, TYPE_CHECKING
 
-from repro.errors import StorageError
+from repro.errors import FaultError, StorageError
+from repro.faults.retry import RetryPolicy, RetryState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
+
+
+class ShardUnavailable(StorageError, FaultError):
+    """A metadata shard is down (injected outage).
+
+    Transient outages are retryable; permanent ones are not, so a
+    :class:`~repro.faults.RetryPolicy` gives up on them immediately.
+    """
+
+    def __init__(self, shard: int, permanent: bool = False):
+        kind = "permanently" if permanent else "transiently"
+        super().__init__(f"shard {shard} {kind} unavailable")
+        self.shard = shard
+        self.permanent = permanent
+        self.retryable = not permanent
 
 
 class ShardedKVStore:
@@ -30,6 +56,8 @@ class ShardedKVStore:
         shard_count: int = 4,
         base_latency_ms: float = 0.05,
         two_phase_surcharge_ms: float = 0.08,
+        injector: Optional["FaultInjector"] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         if shard_count < 1:
             raise StorageError(f"shard_count must be >= 1, got {shard_count}")
@@ -38,10 +66,15 @@ class ShardedKVStore:
         self.shard_count = shard_count
         self.base_latency_ms = base_latency_ms
         self.two_phase_surcharge_ms = two_phase_surcharge_ms
+        self._injector = injector
+        self._retry_policy = retry_policy
         self._shards: List[Dict[Any, Any]] = [{} for _ in range(shard_count)]
         self._busy_ms: List[float] = [0.0] * shard_count
         self._op_count = 0
         self._multi_shard_ops = 0
+        self._attempted_ops = 0
+        self.retries = 0
+        self.retry_wait_ms = 0.0
 
     # ------------------------------------------------------------------
     # Shard routing
@@ -62,49 +95,111 @@ class ShardedKVStore:
             self._busy_ms[shard] += cost
 
     # ------------------------------------------------------------------
+    # Fault handling
+    # ------------------------------------------------------------------
+
+    def _prepare(self, shards: Iterable[int]) -> None:
+        """2PC prepare: every participating shard must be reachable.
+
+        Runs before any state mutates, so a shard outage aborts the whole
+        transaction with no partial writes. The attempted-op counter advances
+        on every try, which is what moves transient outage windows along.
+        """
+        if self._injector is None:
+            return
+        op_index = self._attempted_ops
+        self._attempted_ops += 1
+        for shard in sorted(set(shards)):
+            outage = self._injector.shard_outage(shard, op_index)
+            if outage is not None:
+                raise ShardUnavailable(shard, permanent=outage.permanent)
+
+    def _run(self, op: Callable[[], Any]) -> Any:
+        """Execute one transaction body under the retry policy, if any."""
+        if self._retry_policy is None:
+            return op()
+        state = RetryState()
+        try:
+            return self._retry_policy.call(op, state=state, sleep=self._note_wait)
+        finally:
+            self.retries += state.retries
+
+    def _note_wait(self, delay_s: float) -> None:
+        self.retry_wait_ms += delay_s * 1000.0
+
+    # ------------------------------------------------------------------
     # Transactions
     # ------------------------------------------------------------------
 
     def get(self, partition_key: Any, key: Any) -> Any:
         """Read one key (a single-shard transaction)."""
         shard = self.shard_of(partition_key)
-        self._charge([shard])
-        return self._shards[shard].get((partition_key, key))
+
+        def op() -> Any:
+            self._prepare((shard,))
+            self._charge([shard])
+            return self._shards[shard].get((partition_key, key))
+
+        return self._run(op)
 
     def put(self, partition_key: Any, key: Any, value: Any) -> None:
         """Write one key (a single-shard transaction)."""
         shard = self.shard_of(partition_key)
-        self._charge([shard])
-        self._shards[shard][(partition_key, key)] = value
+
+        def op() -> None:
+            self._prepare((shard,))
+            self._charge([shard])
+            self._shards[shard][(partition_key, key)] = value
+
+        self._run(op)
 
     def delete(self, partition_key: Any, key: Any) -> bool:
         shard = self.shard_of(partition_key)
-        self._charge([shard])
-        return self._shards[shard].pop((partition_key, key), None) is not None
+
+        def op() -> bool:
+            self._prepare((shard,))
+            self._charge([shard])
+            return self._shards[shard].pop((partition_key, key), None) is not None
+
+        return self._run(op)
 
     def scan(self, partition_key: Any) -> List[Tuple[Any, Any]]:
         """All (key, value) pairs under one partition (single-shard)."""
         shard = self.shard_of(partition_key)
-        self._charge([shard])
-        return [
-            (key, value)
-            for (pk, key), value in self._shards[shard].items()
-            if pk == partition_key
-        ]
+
+        def op() -> List[Tuple[Any, Any]]:
+            self._prepare((shard,))
+            self._charge([shard])
+            return [
+                (key, value)
+                for (pk, key), value in self._shards[shard].items()
+                if pk == partition_key
+            ]
+
+        return self._run(op)
 
     def transact(self, writes: List[Tuple[Any, Any, Any]], deletes: Optional[List[Tuple[Any, Any]]] = None) -> None:
-        """Atomically apply writes/deletes that may span shards (2PC cost)."""
+        """Atomically apply writes/deletes that may span shards (2PC cost).
+
+        An unreachable participant fails the prepare phase and aborts the
+        transaction before any shard is written — no partial state survives.
+        """
         deletes = deletes or []
         shards = {self.shard_of(pk) for pk, _, _ in writes} | {
             self.shard_of(pk) for pk, _ in deletes
         }
         if not shards:
             return
-        self._charge(shards)
-        for pk, key, value in writes:
-            self._shards[self.shard_of(pk)][(pk, key)] = value
-        for pk, key in deletes:
-            self._shards[self.shard_of(pk)].pop((pk, key), None)
+
+        def op() -> None:
+            self._prepare(shards)
+            self._charge(shards)
+            for pk, key, value in writes:
+                self._shards[self.shard_of(pk)][(pk, key)] = value
+            for pk, key in deletes:
+                self._shards[self.shard_of(pk)].pop((pk, key), None)
+
+        self._run(op)
 
     # ------------------------------------------------------------------
     # Simulated performance accounting

@@ -9,16 +9,31 @@ each synchronisation pays the collective's cost from
 :mod:`repro.cluster.comm`.
 
 Strategies: ``allreduce`` (ring), ``parameter_server``, ``broadcast``.
+
+Fault tolerance (experiment E17):
+
+* **elastic recovery** — with a :class:`~repro.faults.FaultInjector`, a
+  worker that crashes drops out at the next step boundary; its data shard is
+  skipped and the gradient average is rescaled over the examples the
+  survivors actually processed, so every update remains *mathematically
+  exact* for the data it saw (the same update a single worker computing
+  exactly those examples would make);
+* **checkpoint/restore** — ``checkpoint_every`` writes model + optimizer +
+  progress to an ``.npz`` (reusing ``Sequential.state_dict``); a restored
+  trainer resumes the loss trajectory bitwise.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import MLError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
 from repro.cluster.comm import (
     NetworkModel,
     broadcast_time_s,
@@ -40,6 +55,8 @@ class TrainingReport:
     losses: List[float] = field(default_factory=list)
     compute_time_s: float = 0.0
     comm_time_s: float = 0.0
+    worker_crashes: int = 0
+    checkpoints_written: int = 0
 
     @property
     def total_time_s(self) -> float:
@@ -72,6 +89,9 @@ class DataParallelTrainer:
         example_cost_s: float = 1e-4,
         schedule: Optional[WarmupLinearScalingSchedule] = None,
         loss_fn: Callable = softmax_cross_entropy,
+        injector: Optional["FaultInjector"] = None,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_path: Optional[str] = None,
     ):
         if workers < 1:
             raise MLError(f"workers must be >= 1, got {workers}")
@@ -79,6 +99,10 @@ class DataParallelTrainer:
             raise MLError(f"unknown strategy {strategy!r}; pick from {STRATEGIES}")
         if example_cost_s < 0:
             raise MLError("example_cost_s must be non-negative")
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise MLError("checkpoint_every must be >= 1")
+        if checkpoint_every is not None and checkpoint_path is None:
+            raise MLError("checkpoint_every requires checkpoint_path")
         self.model = model
         self.optimizer = optimizer
         self.workers = workers
@@ -88,7 +112,16 @@ class DataParallelTrainer:
         self.example_cost_s = example_cost_s
         self.schedule = schedule
         self.loss_fn = loss_fn
+        self.injector = injector
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_path = checkpoint_path
         self.report = TrainingReport()
+        self._active: List[int] = list(range(workers))
+
+    @property
+    def active_workers(self) -> Tuple[int, ...]:
+        """Worker slots still alive (all of them unless chaos killed some)."""
+        return tuple(self._active)
 
     # ------------------------------------------------------------------
     # One synchronous step
@@ -103,15 +136,27 @@ class DataParallelTrainer:
             )
         if self.schedule is not None:
             self.schedule.apply(self.optimizer, self.report.steps)
+        if self.injector is not None:
+            self._collect_crashes()
 
+        # Data ownership is fixed by the original worker count; dead workers'
+        # shards are skipped and the average is rescaled over the examples
+        # the survivors actually process, keeping the update exact for them.
         shards = np.array_split(np.arange(n), self.workers)
+        if len(self._active) == self.workers:
+            processed = n
+        else:
+            processed = sum(shards[w].size for w in self._active)
+            if processed == 0:
+                raise MLError("surviving workers hold no examples this step")
         self.model.zero_grad()
         parameters = self.model.parameters()
         accumulated = [np.zeros_like(p.value) for p in parameters]
         total_loss = 0.0
         largest_shard = 0
 
-        for shard in shards:
+        for worker in self._active:
+            shard = shards[worker]
             if shard.size == 0:
                 continue
             largest_shard = max(largest_shard, shard.size)
@@ -119,34 +164,111 @@ class DataParallelTrainer:
             logits = self.model.forward(x[shard], training=True)
             loss, dlogits = self.loss_fn(logits, y[shard])
             self.model.backward(dlogits)
-            weight = shard.size / n
+            weight = shard.size / processed
             total_loss += loss * weight
             for accumulator, parameter in zip(accumulated, parameters):
                 accumulator += parameter.grad * weight
 
         # Install the averaged gradient and step once — exactly the update a
-        # single worker with the full batch would apply.
+        # single worker with the processed examples would apply.
         for parameter, accumulator in zip(parameters, accumulated):
             parameter.grad[...] = accumulator
         self.optimizer.step()
 
         # Simulated time: workers compute their shard in parallel, then sync.
         self.report.compute_time_s += largest_shard * self.example_cost_s
-        self.report.comm_time_s += self.sync_time_s()
+        self.report.comm_time_s += self.sync_time_s(len(self._active))
         self.report.steps += 1
         self.report.losses.append(total_loss)
+        if (
+            self.checkpoint_every is not None
+            and self.report.steps % self.checkpoint_every == 0
+        ):
+            self.save_checkpoint()
         return total_loss
 
-    def sync_time_s(self) -> float:
-        """Cost of one gradient synchronisation for the current model size."""
+    def _collect_crashes(self) -> None:
+        """Retire workers the plan kills at (or before) the current step."""
+        for worker in list(self._active):
+            if self.injector.worker_crashed(worker, self.report.steps):
+                self._active.remove(worker)
+                self.report.worker_crashes += 1
+        if not self._active:
+            raise MLError("all workers crashed; no survivors to train on")
+
+    def sync_time_s(self, workers: Optional[int] = None) -> float:
+        """Cost of one gradient synchronisation for the current model size.
+
+        ``workers`` defaults to the configured worker count; the elastic
+        path passes the surviving count so a shrunken ring costs less.
+        """
+        count = self.workers if workers is None else workers
         message = self.model.parameter_bytes
         if self.strategy == "allreduce":
-            return ring_allreduce_time_s(self.workers, message, self.network)
+            return ring_allreduce_time_s(count, message, self.network)
         if self.strategy == "parameter_server":
             return parameter_server_time_s(
-                self.workers, message, self.servers, self.network
+                count, message, self.servers, self.network
             )
-        return broadcast_time_s(self.workers, message, self.network)
+        return broadcast_time_s(count, message, self.network)
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _npz(path: str) -> str:
+        return path if path.endswith(".npz") else path + ".npz"
+
+    def save_checkpoint(self, path: Optional[str] = None) -> str:
+        """Write model + optimizer + progress to one ``.npz`` file.
+
+        Returns the path written. Restoring from it resumes the loss
+        trajectory bitwise (tested in the suite).
+        """
+        path = path if path is not None else self.checkpoint_path
+        if path is None:
+            raise MLError("no checkpoint path configured")
+        path = self._npz(path)
+        payload: Dict[str, np.ndarray] = {}
+        for key, value in self.model.state_dict().items():
+            payload[f"model.{key}"] = value
+        for key, value in self.optimizer.state_dict().items():
+            payload[f"optimizer.{key}"] = value
+        payload["report.steps"] = np.int64(self.report.steps)
+        payload["report.losses"] = np.asarray(self.report.losses, dtype=np.float64)
+        payload["report.compute_time_s"] = np.float64(self.report.compute_time_s)
+        payload["report.comm_time_s"] = np.float64(self.report.comm_time_s)
+        payload["report.worker_crashes"] = np.int64(self.report.worker_crashes)
+        payload["active_workers"] = np.asarray(self._active, dtype=np.int64)
+        np.savez(path, **payload)
+        self.report.checkpoints_written += 1
+        return path
+
+    def load_checkpoint(self, path: Optional[str] = None) -> None:
+        """Restore model, optimizer state, and progress from a checkpoint."""
+        path = path if path is not None else self.checkpoint_path
+        if path is None:
+            raise MLError("no checkpoint path configured")
+        with np.load(self._npz(path)) as data:
+            model_state = {
+                key[len("model."):]: data[key]
+                for key in data.files
+                if key.startswith("model.")
+            }
+            optimizer_state = {
+                key[len("optimizer."):]: data[key]
+                for key in data.files
+                if key.startswith("optimizer.")
+            }
+            self.model.load_state_dict(model_state)
+            self.optimizer.load_state_dict(optimizer_state)
+            self.report.steps = int(data["report.steps"])
+            self.report.losses = [float(v) for v in data["report.losses"]]
+            self.report.compute_time_s = float(data["report.compute_time_s"])
+            self.report.comm_time_s = float(data["report.comm_time_s"])
+            self.report.worker_crashes = int(data["report.worker_crashes"])
+            self._active = [int(w) for w in data["active_workers"]]
 
     # ------------------------------------------------------------------
     # Epoch driver

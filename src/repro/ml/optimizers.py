@@ -36,6 +36,19 @@ class Optimizer:
         for parameter in self.parameters:
             parameter.zero_grad()
 
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Optimizer state as named arrays (for checkpoint files)."""
+        return {"lr": np.float64(self.lr)}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        if "lr" not in state:
+            raise MLError("optimizer state missing 'lr'")
+        self.lr = float(state["lr"])
+
 
 class SGD(Optimizer):
     """SGD with optional momentum and weight decay."""
@@ -66,6 +79,20 @@ class SGD(Optimizer):
             else:
                 update = grad
             parameter.value -= self.lr * update
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state = super().state_dict()
+        for index, velocity in enumerate(self._velocity):
+            state[f"velocity.{index}"] = velocity.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        super().load_state_dict(state)
+        for index, velocity in enumerate(self._velocity):
+            key = f"velocity.{index}"
+            if key not in state:
+                raise MLError(f"optimizer state missing {key}")
+            velocity[...] = state[key]
 
 
 class Adam(Optimizer):
@@ -98,6 +125,25 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             parameter.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state = super().state_dict()
+        state["t"] = np.int64(self._t)
+        for index, (m, v) in enumerate(zip(self._m, self._v)):
+            state[f"m.{index}"] = m.copy()
+            state[f"v.{index}"] = v.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        super().load_state_dict(state)
+        if "t" not in state:
+            raise MLError("optimizer state missing 't'")
+        self._t = int(state["t"])
+        for index, (m, v) in enumerate(zip(self._m, self._v)):
+            for key, target in ((f"m.{index}", m), (f"v.{index}", v)):
+                if key not in state:
+                    raise MLError(f"optimizer state missing {key}")
+                target[...] = state[key]
 
 
 class WarmupLinearScalingSchedule:

@@ -1,0 +1,156 @@
+"""FaultPlan/FaultInjector tests: determinism and plan semantics."""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import (
+    EndpointFault,
+    FaultInjector,
+    FaultPlan,
+    NodeCrash,
+    ShardOutage,
+    Straggler,
+    WorkerCrash,
+)
+
+
+class TestFaultPlan:
+    def test_none_is_empty(self):
+        plan = FaultPlan.none()
+        assert plan.empty
+        assert FaultPlan(seed=99).empty  # seed alone injects nothing
+
+    def test_non_empty(self):
+        assert not FaultPlan(node_crashes=(NodeCrash(0, 1.0),)).empty
+        assert not FaultPlan(task_failure_rate=0.5).empty
+
+    def test_chaos_deterministic(self):
+        kwargs = dict(
+            node_count=8,
+            node_crash_prob=0.3,
+            straggler_prob=0.3,
+            shard_count=8,
+            shard_outage_prob=0.4,
+            endpoints=("a", "b", "c"),
+            endpoint_error_rate=0.1,
+            endpoint_death_prob=0.5,
+            workers=8,
+            worker_crash_prob=0.25,
+        )
+        assert FaultPlan.chaos(17, **kwargs) == FaultPlan.chaos(17, **kwargs)
+        assert FaultPlan.chaos(17, **kwargs) != FaultPlan.chaos(18, **kwargs)
+
+    def test_chaos_respects_rates(self):
+        plan = FaultPlan.chaos(0, node_count=50, node_crash_prob=1.0, horizon_s=5.0)
+        assert len(plan.node_crashes) == 50
+        assert all(0.0 <= c.at_s <= 5.0 for c in plan.node_crashes)
+        assert FaultPlan.chaos(0, node_count=50, node_crash_prob=0.0).empty
+
+    def test_validation(self):
+        with pytest.raises(FaultError):
+            FaultPlan(task_failure_rate=1.0)
+        with pytest.raises(FaultError):
+            Straggler(0, factor=0.5)
+        with pytest.raises(FaultError):
+            EndpointFault("e", error_rate=0.8, timeout_rate=0.5)
+
+
+class TestShardOutage:
+    def test_transient_window(self):
+        outage = ShardOutage(shard=0, start_op=10, duration_ops=5)
+        assert not outage.permanent
+        assert not outage.covers(9)
+        assert outage.covers(10)
+        assert outage.covers(14)
+        assert not outage.covers(15)
+
+    def test_permanent(self):
+        outage = ShardOutage(shard=0, start_op=3, duration_ops=None)
+        assert outage.permanent
+        assert not outage.covers(2)
+        assert outage.covers(10**9)
+
+
+class TestInjectorDeterminism:
+    def test_task_failure_stream_reproducible(self):
+        plan = FaultPlan(seed=5, task_failure_rate=0.5)
+        a = FaultInjector(plan)
+        b = FaultInjector(plan)
+        verdicts_a = [a.task_fails(task_id) for task_id in range(20) for _ in range(3)]
+        verdicts_b = [b.task_fails(task_id) for task_id in range(20) for _ in range(3)]
+        assert verdicts_a == verdicts_b
+        assert any(verdicts_a) and not all(verdicts_a)
+
+    def test_streams_are_per_key(self):
+        """Draws for one task never perturb another task's verdicts."""
+        plan = FaultPlan(seed=5, task_failure_rate=0.5)
+        a = FaultInjector(plan)
+        b = FaultInjector(plan)
+        # a interleaves tasks 0 and 1; b consults only task 1.
+        for _ in range(10):
+            a.task_fails(0)
+        seq_a = [a.task_fails(1) for _ in range(10)]
+        seq_b = [b.task_fails(1) for _ in range(10)]
+        assert seq_a == seq_b
+
+    def test_endpoint_outcomes_reproducible(self):
+        plan = FaultPlan(
+            seed=9,
+            endpoint_faults=(
+                EndpointFault("flaky", error_rate=0.3, timeout_rate=0.2),
+            ),
+        )
+        runs = []
+        for _ in range(2):
+            injector = FaultInjector(plan)
+            runs.append(
+                [injector.endpoint_outcome("flaky", i) for i in range(50)]
+            )
+        assert runs[0] == runs[1]
+        assert {"error", "timeout", "ok"} >= set(runs[0])
+        assert "error" in runs[0] and "ok" in runs[0]
+
+    def test_zero_rate_task_draws_nothing(self):
+        injector = FaultInjector(FaultPlan.none())
+        assert not injector.task_fails(0)
+        assert injector.endpoint_outcome("anything", 0) == "ok"
+        assert injector.straggler_factor(3) == 1.0
+        assert injector.node_crash_time(3) is None
+        assert injector.shard_outage(0, 0) is None
+        assert not injector.worker_crashed(0, 10)
+
+
+class TestInjectorQueries:
+    def test_node_faults(self):
+        plan = FaultPlan(
+            node_crashes=(NodeCrash(2, 7.5),), stragglers=(Straggler(1, 4.0),)
+        )
+        injector = FaultInjector(plan)
+        assert injector.node_crash_time(2) == 7.5
+        assert injector.node_crash_time(0) is None
+        assert injector.straggler_factor(1) == 4.0
+        assert injector.straggler_factor(2) == 1.0
+
+    def test_endpoint_death_dominates(self):
+        plan = FaultPlan(
+            endpoint_faults=(
+                EndpointFault("e", error_rate=0.0, dead_after_calls=3),
+            )
+        )
+        injector = FaultInjector(plan)
+        assert [injector.endpoint_outcome("e", i) for i in range(5)] == [
+            "ok",
+            "ok",
+            "ok",
+            "dead",
+            "dead",
+        ]
+
+    def test_worker_crash_step(self):
+        injector = FaultInjector(
+            FaultPlan(worker_crashes=(WorkerCrash(worker=1, at_step=4),))
+        )
+        assert not injector.worker_crashed(1, 3)
+        assert injector.worker_crashed(1, 4)
+        assert injector.worker_crashed(1, 5)
+        assert not injector.worker_crashed(0, 100)

@@ -1,0 +1,110 @@
+"""RetryPolicy tests: backoff math, deadlines, exhaustion accounting."""
+
+import random
+
+import pytest
+
+from repro.errors import FaultError, MLError, RetryExhausted, TimeoutExceeded
+from repro.faults import RetryPolicy, RetryState
+
+
+class Flaky:
+    """Callable failing ``failures`` times before returning ``value``."""
+
+    def __init__(self, failures, value="ok", error=None):
+        self.failures = failures
+        self.value = value
+        self.error = error if error is not None else FaultError("transient")
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.error
+        return self.value
+
+
+class TestBackoff:
+    def test_exponential_sequence(self):
+        policy = RetryPolicy(base_delay_s=0.1, multiplier=2.0, max_delay_s=1.0,
+                             jitter=0.0)
+        assert [policy.backoff_s(i) for i in range(1, 6)] == [
+            0.1, 0.2, 0.4, 0.8, 1.0  # capped at max_delay_s
+        ]
+
+    def test_jitter_deterministic_and_bounded(self):
+        policy = RetryPolicy(base_delay_s=1.0, multiplier=1.0, jitter=0.25)
+        rng_a, rng_b = random.Random(7), random.Random(7)
+        a = [policy.backoff_s(1, rng_a) for _ in range(20)]
+        b = [policy.backoff_s(1, rng_b) for _ in range(20)]
+        assert a == b
+        assert all(0.75 <= d <= 1.25 for d in a)
+        assert len(set(a)) > 1  # jitter actually perturbs
+
+    def test_validation(self):
+        with pytest.raises(FaultError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(FaultError):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(FaultError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(FaultError):
+            policy = RetryPolicy()
+            policy.backoff_s(0)
+
+
+class TestCall:
+    def test_success_after_retries(self):
+        fn = Flaky(failures=2)
+        state = RetryState()
+        waits = []
+        policy = RetryPolicy(max_attempts=5, base_delay_s=0.1, jitter=0.0)
+        assert policy.call(fn, state=state, sleep=waits.append) == "ok"
+        assert fn.calls == 3
+        assert state.attempts == 3
+        assert state.retries == 2
+        assert waits == [0.1, 0.2]
+        assert state.waited_s == pytest.approx(0.3)
+
+    def test_exhaustion_accounting(self):
+        fn = Flaky(failures=10)
+        policy = RetryPolicy(max_attempts=3, jitter=0.0)
+        with pytest.raises(RetryExhausted) as excinfo:
+            policy.call(fn)
+        assert fn.calls == 3
+        assert excinfo.value.attempts == 3
+        assert isinstance(excinfo.value.last_error, FaultError)
+        assert not excinfo.value.retryable  # giving up is final
+
+    def test_deadline_raises_timeout(self):
+        fn = Flaky(failures=10)
+        # 0.1 + 0.2 fit in 0.35s; the third wait (0.4) would cross it.
+        policy = RetryPolicy(max_attempts=10, base_delay_s=0.1, jitter=0.0,
+                             deadline_s=0.35)
+        state = RetryState()
+        with pytest.raises(TimeoutExceeded):
+            policy.call(fn, state=state)
+        assert state.attempts == 3
+        assert state.waited_s == pytest.approx(0.3)
+
+    def test_non_retryable_error_propagates_immediately(self):
+        fn = Flaky(failures=10, error=MLError("not a fault"))
+        policy = RetryPolicy(max_attempts=5)
+        with pytest.raises(MLError):
+            policy.call(fn)
+        assert fn.calls == 1
+
+    def test_permanent_fault_not_retried(self):
+        class Permanent(FaultError):
+            retryable = False
+
+        fn = Flaky(failures=10, error=Permanent("dead"))
+        with pytest.raises(Permanent):
+            RetryPolicy(max_attempts=5).call(fn)
+        assert fn.calls == 1
+
+    def test_single_attempt_means_no_retry(self):
+        fn = Flaky(failures=1)
+        with pytest.raises(RetryExhausted):
+            RetryPolicy(max_attempts=1).call(fn)
+        assert fn.calls == 1

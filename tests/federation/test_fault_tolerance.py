@@ -1,0 +1,143 @@
+"""Federation under chaos (E17): retries, graceful degradation, determinism."""
+
+import pytest
+
+from repro.errors import TimeoutExceeded
+from repro.faults import EndpointFault, FaultInjector, FaultPlan, RetryPolicy
+from repro.federation import (
+    Endpoint,
+    EndpointDown,
+    EndpointUnavailable,
+    execute_federated,
+)
+from repro.rdf import Graph, Literal, Namespace
+
+EX = Namespace("http://ex.org/")
+PREFIX = "PREFIX ex: <http://ex.org/> "
+QUERY = PREFIX + "SELECT ?f ?c ?r WHERE { ?f ex:crop ?c . ?f ex:rainfall ?r }"
+
+
+def build_endpoints(plan=None):
+    injector = FaultInjector(plan) if plan is not None else None
+    crops = Graph("crops")
+    weather = Graph("weather")
+    for i in range(5):
+        crops.add(EX[f"field{i}"], EX.crop, Literal("wheat" if i % 2 else "maize"))
+        weather.add(EX[f"field{i}"], EX.rainfall, Literal.from_python(100 + i * 10))
+    return [
+        Endpoint("crops", crops, injector=injector),
+        Endpoint("weather", weather, injector=injector),
+    ]
+
+
+class TestEndpointFaults:
+    def test_transient_error_raises_retryable(self):
+        plan = FaultPlan(
+            seed=1,
+            endpoint_faults=(EndpointFault("crops", error_rate=0.89),),
+        )
+        endpoint = build_endpoints(plan)[0]
+        with pytest.raises((EndpointUnavailable, TimeoutExceeded)):
+            for _ in range(50):
+                endpoint.ask(_pattern())
+
+    def test_dead_endpoint_raises_permanent(self):
+        plan = FaultPlan(
+            endpoint_faults=(EndpointFault("crops", dead_after_calls=0),)
+        )
+        endpoint = build_endpoints(plan)[0]
+        with pytest.raises(EndpointDown):
+            endpoint.match(_pattern())
+        assert endpoint.requests == 0  # failed calls are not served
+
+    def test_no_injector_never_fails(self):
+        endpoint = build_endpoints()[0]
+        for _ in range(20):
+            endpoint.ask(_pattern())
+        assert endpoint.requests == 20
+
+
+class TestGracefulDegradation:
+    def test_retry_recovers_complete_results(self):
+        plan = FaultPlan(
+            seed=4,
+            endpoint_faults=(
+                EndpointFault("weather", error_rate=0.5),
+            ),
+        )
+        baseline, _ = execute_federated(QUERY, build_endpoints())
+        solutions, metrics = execute_federated(
+            QUERY,
+            build_endpoints(plan),
+            retry_policy=RetryPolicy(max_attempts=20, jitter=0.0),
+        )
+        assert metrics.complete
+        assert metrics.retries > 0
+        assert metrics.endpoint_failures == {}
+        assert len(solutions) == len(baseline) == 5
+
+    def test_dead_endpoint_yields_partial_results(self):
+        plan = FaultPlan(
+            endpoint_faults=(EndpointFault("weather", dead_after_calls=0),)
+        )
+        solutions, metrics = execute_federated(
+            QUERY,
+            build_endpoints(plan),
+            retry_policy=RetryPolicy(max_attempts=3, jitter=0.0),
+        )
+        assert not metrics.complete
+        assert metrics.endpoint_failures.get("weather", 0) >= 1
+        # The join needs weather bindings, so the answer shrinks to nothing —
+        # but the query returns instead of raising.
+        assert solutions == []
+
+    def test_graceful_off_propagates(self):
+        plan = FaultPlan(
+            endpoint_faults=(EndpointFault("weather", dead_after_calls=0),)
+        )
+        with pytest.raises(EndpointDown):
+            execute_federated(QUERY, build_endpoints(plan), graceful=False)
+
+    def test_failure_free_run_is_complete(self):
+        solutions, metrics = execute_federated(QUERY, build_endpoints())
+        assert metrics.complete
+        assert metrics.endpoint_failures == {}
+        assert metrics.retries == 0
+        assert len(solutions) == 5
+
+    def test_none_plan_matches_no_injector(self):
+        plain, plain_metrics = execute_federated(QUERY, build_endpoints())
+        chaos, chaos_metrics = execute_federated(
+            QUERY, build_endpoints(FaultPlan.none())
+        )
+        assert chaos == plain
+        assert chaos_metrics == plain_metrics
+
+
+class TestDeterminism:
+    def run_once(self):
+        plan = FaultPlan(
+            seed=21,
+            endpoint_faults=(
+                EndpointFault("crops", error_rate=0.3, timeout_rate=0.1),
+                EndpointFault("weather", error_rate=0.3),
+            ),
+        )
+        return execute_federated(
+            QUERY,
+            build_endpoints(plan),
+            retry_policy=RetryPolicy(max_attempts=6, jitter=0.0),
+        )
+
+    def test_same_seed_same_outcome(self):
+        solutions_a, metrics_a = self.run_once()
+        solutions_b, metrics_b = self.run_once()
+        assert solutions_a == solutions_b
+        assert metrics_a == metrics_b
+
+
+def _pattern():
+    from repro.sparql import Variable
+    from repro.sparql.ast import TriplePattern
+
+    return TriplePattern(Variable("f"), EX.crop, Variable("c"))

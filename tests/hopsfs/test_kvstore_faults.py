@@ -1,0 +1,155 @@
+"""KV-store shard outages, 2PC abort atomicity, and replica-fallback reads.
+
+Integer partition keys hash to themselves, so shard routing is deterministic
+across processes (string keys are not under hash randomisation).
+"""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.faults import FaultInjector, FaultPlan, RetryPolicy, ShardOutage
+from repro.hopsfs import BlockManager, ShardedKVStore, ShardUnavailable
+
+
+def store_with(outages, retry_policy=None, shard_count=4):
+    plan = FaultPlan(shard_outages=tuple(outages))
+    return ShardedKVStore(
+        shard_count=shard_count,
+        injector=FaultInjector(plan),
+        retry_policy=retry_policy,
+    )
+
+
+class TestShardOutages:
+    def test_transient_outage_raises_without_policy(self):
+        store = store_with([ShardOutage(shard=1, start_op=0, duration_ops=3)])
+        with pytest.raises(ShardUnavailable) as excinfo:
+            store.put(1, "k", "v")  # partition key 1 -> shard 1
+        assert excinfo.value.shard == 1
+        assert excinfo.value.retryable
+        assert store.get(2, "k") is None  # other shards unaffected
+
+    def test_retry_policy_rides_out_transient_outage(self):
+        store = store_with(
+            [ShardOutage(shard=1, start_op=0, duration_ops=2)],
+            retry_policy=RetryPolicy(max_attempts=5, jitter=0.0),
+        )
+        store.put(1, "k", "v")
+        assert store.retries == 2  # attempts 0 and 1 hit the window
+        assert store.retry_wait_ms > 0
+        assert store.get(1, "k") == "v"
+
+    def test_permanent_outage_not_retried(self):
+        store = store_with(
+            [ShardOutage(shard=1, start_op=0, duration_ops=None)],
+            retry_policy=RetryPolicy(max_attempts=5, jitter=0.0),
+        )
+        with pytest.raises(ShardUnavailable) as excinfo:
+            store.put(1, "k", "v")
+        assert excinfo.value.permanent
+        assert not excinfo.value.retryable
+        assert store.retries == 0  # gave up immediately
+
+    def test_outage_exhausting_retries(self):
+        store = store_with(
+            [ShardOutage(shard=1, start_op=0, duration_ops=100)],
+            retry_policy=RetryPolicy(max_attempts=3, jitter=0.0),
+        )
+        from repro.errors import RetryExhausted
+
+        with pytest.raises(RetryExhausted) as excinfo:
+            store.get(1, "k")
+        assert excinfo.value.attempts == 3
+        assert isinstance(excinfo.value.last_error, ShardUnavailable)
+
+    def test_shard_unavailable_is_storage_error(self):
+        # Existing except-StorageError handlers must keep catching it.
+        assert issubclass(ShardUnavailable, StorageError)
+
+    def test_none_plan_is_zero_overhead(self):
+        faulty = ShardedKVStore(injector=FaultInjector(FaultPlan.none()))
+        plain = ShardedKVStore()
+        for store in (faulty, plain):
+            for i in range(10):
+                store.put(i, "k", i * 2)
+            store.transact([(0, "a", 1), (1, "b", 2)])
+        assert faulty.storage_entries() == plain.storage_entries()
+        assert faulty.makespan_ms() == plain.makespan_ms()
+        assert faulty.op_count == plain.op_count
+        assert faulty.retries == 0
+
+
+class TestTwoPhaseAbort:
+    """A failed multi-shard transaction must leave no partial writes."""
+
+    def test_abort_leaves_no_partial_state(self):
+        store = store_with([ShardOutage(shard=2, start_op=0, duration_ops=None)])
+        store.put(0, "pre", "kept")  # shard 0, before the failing txn
+        before = store.storage_entries()
+        with pytest.raises(ShardUnavailable):
+            # Spans shards 0, 1 (healthy) and 2 (down): must abort whole.
+            store.transact([(0, "a", 1), (1, "b", 2), (2, "c", 3)])
+        assert store.storage_entries() == before
+        assert store.get(0, "a") is None
+        assert store.get(1, "b") is None
+        assert store.get(0, "pre") == "kept"
+
+    def test_abort_applies_to_deletes_too(self):
+        store = store_with([ShardOutage(shard=2, start_op=2, duration_ops=None)])
+        store.put(0, "a", 1)  # op 0
+        store.put(1, "b", 2)  # op 1
+        with pytest.raises(ShardUnavailable):
+            store.transact([(2, "c", 3)], deletes=[(0, "a"), (1, "b")])
+        assert store.get(0, "a") == 1  # delete aborted with the txn
+        assert store.get(1, "b") == 2
+
+    def test_healthy_transaction_commits_atomically(self):
+        store = store_with([ShardOutage(shard=3, start_op=0, duration_ops=None)])
+        store.transact([(0, "a", 1), (1, "b", 2), (2, "c", 3)])
+        assert store.get(0, "a") == 1
+        assert store.get(1, "b") == 2
+        assert store.get(2, "c") == 3
+
+
+class TestReplicaFallbackReads:
+    def make_manager(self):
+        manager = BlockManager(node_count=4, block_size=100, replication=2)
+        manager.allocate_file(300)  # blocks 0..2
+        return manager
+
+    def test_read_prefers_requested_node(self):
+        manager = self.make_manager()
+        owners = manager.block_locations(0)
+        assert manager.read_block(0, preferred=owners[1]) == owners[1]
+
+    def test_read_falls_back_to_survivor(self):
+        manager = self.make_manager()
+        owners = manager.block_locations(0)
+        manager.fail_node(owners[0])
+        served = manager.read_block(0, preferred=owners[0])
+        assert served != owners[0]
+        assert manager.nodes[served].alive
+
+    def test_read_fails_only_when_all_replicas_gone(self):
+        manager = self.make_manager()
+        for owner in list(manager.block_locations(0)):
+            manager.fail_node(owner)
+        with pytest.raises(StorageError):
+            manager.read_block(0)
+
+    def test_inject_failures_is_idempotent(self):
+        manager = self.make_manager()
+        plan = FaultPlan(datanode_crashes=(0, 1))
+        injector = FaultInjector(plan)
+        assert manager.inject_failures(injector) == 2
+        assert manager.inject_failures(injector) == 0  # already dead
+        assert not manager.nodes[0].alive
+        assert not manager.nodes[1].alive
+
+    def test_heal_reports_repairs_and_losses(self):
+        manager = self.make_manager()
+        manager.fail_node(0)
+        created, lost = manager.heal()
+        assert created > 0
+        assert lost == []
+        assert manager.under_replicated_blocks() == []

@@ -1,0 +1,242 @@
+"""Checkpoint/restore, save/load round-trips, and elastic recovery (E17)."""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MLError
+from repro.faults import FaultInjector, FaultPlan, WorkerCrash
+from repro.ml import Adam, DataParallelTrainer, Dense, ReLU, SGD, Sequential
+
+
+def make_model(seed=0, inputs=4, hidden=8, outputs=3):
+    return Sequential(
+        [Dense(inputs, hidden, seed=seed), ReLU(), Dense(hidden, outputs, seed=seed + 1)]
+    )
+
+
+def make_blobs(n=48, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = np.array([[3, 0, 0, 0], [0, 3, 0, 0], [0, 0, 3, 0]], dtype=np.float64)
+    y = rng.integers(0, 3, size=n)
+    x = centers[y] + rng.normal(0, 0.5, size=(n, 4))
+    return x, y
+
+
+class TestNetworkSaveLoadProperty:
+    """Property test: save/load is a bitwise round-trip for any shape/seed."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        hidden=st.integers(min_value=1, max_value=32),
+        batch=st.integers(min_value=1, max_value=16),
+    )
+    def test_forward_pass_identical_after_round_trip(
+        self, tmp_path_factory, seed, hidden, batch
+    ):
+        path = str(tmp_path_factory.mktemp("ckpt") / "model.npz")
+        model = make_model(seed=seed, hidden=hidden)
+        x = np.random.default_rng(seed).normal(size=(batch, 4))
+        before = model.forward(x)
+        model.save(path)
+
+        restored = make_model(seed=seed + 999, hidden=hidden)  # different init
+        restored.load(path)
+        after = restored.forward(x)
+        assert np.array_equal(before, after)  # bitwise, not approx
+        for p, q in zip(model.parameters(), restored.parameters()):
+            assert np.array_equal(p.value, q.value)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        steps=st.integers(min_value=1, max_value=5),
+        use_adam=st.booleans(),
+    )
+    def test_optimizer_state_round_trip(self, seed, steps, use_adam):
+        x, y = make_blobs(n=24, seed=seed % 1000)
+        model = make_model(seed=seed % 1000)
+        params = model.parameters()
+        optimizer = Adam(params, lr=0.01) if use_adam else SGD(
+            params, lr=0.1, momentum=0.9
+        )
+        trainer = DataParallelTrainer(model, optimizer)
+        for _ in range(steps):
+            trainer.train_step(x, y)
+
+        state = optimizer.state_dict()
+        fresh_model = make_model(seed=seed % 1000)
+        fresh_params = fresh_model.parameters()
+        fresh = Adam(fresh_params, lr=0.5) if use_adam else SGD(
+            fresh_params, lr=0.5, momentum=0.1
+        )
+        fresh.load_state_dict(state)
+        restored = fresh.state_dict()
+        assert set(restored) == set(state)
+        for key in state:
+            assert np.array_equal(np.asarray(restored[key]), np.asarray(state[key]))
+
+    def test_load_missing_keys_raises(self):
+        model = make_model()
+        optimizer = Adam(model.parameters())
+        with pytest.raises(MLError):
+            optimizer.load_state_dict({"lr": np.float64(0.1)})
+
+
+class TestCheckpointRestore:
+    def test_resume_matches_uninterrupted_run(self, tmp_path):
+        """Checkpoint at step k, restore, finish: bitwise-identical to a run
+        that never stopped."""
+        x, y = make_blobs(n=40, seed=7)
+        path = str(tmp_path / "trainer.npz")
+
+        model_a = make_model(seed=3)
+        trainer_a = DataParallelTrainer(
+            model_a, Adam(model_a.parameters(), lr=0.01), workers=2
+        )
+        for _ in range(2):
+            trainer_a.train_step(x, y)
+        trainer_a.save_checkpoint(path)
+        reference_losses = [trainer_a.train_step(x, y) for _ in range(3)]
+
+        model_b = make_model(seed=99)  # unrelated init, overwritten by restore
+        trainer_b = DataParallelTrainer(
+            model_b, Adam(model_b.parameters(), lr=0.5), workers=2
+        )
+        trainer_b.load_checkpoint(path)
+        assert trainer_b.report.steps == 2
+        resumed_losses = [trainer_b.train_step(x, y) for _ in range(3)]
+
+        assert resumed_losses == reference_losses  # bitwise, not approx
+        for p, q in zip(model_a.parameters(), model_b.parameters()):
+            assert np.array_equal(p.value, q.value)
+
+    def test_periodic_checkpointing(self, tmp_path):
+        x, y = make_blobs(n=24, seed=1)
+        path = str(tmp_path / "auto")
+        model = make_model(seed=1)
+        trainer = DataParallelTrainer(
+            model,
+            SGD(model.parameters(), lr=0.1),
+            checkpoint_every=2,
+            checkpoint_path=path,
+        )
+        for _ in range(5):
+            trainer.train_step(x, y)
+        assert trainer.report.checkpoints_written == 2  # steps 2 and 4
+        assert os.path.exists(path + ".npz")
+
+    def test_checkpoint_config_validation(self):
+        model = make_model()
+        with pytest.raises(MLError):
+            DataParallelTrainer(
+                model, SGD(model.parameters()), checkpoint_every=2
+            )
+        with pytest.raises(MLError):
+            DataParallelTrainer(
+                model,
+                SGD(model.parameters()),
+                checkpoint_every=0,
+                checkpoint_path="x",
+            )
+        trainer = DataParallelTrainer(model, SGD(model.parameters()))
+        with pytest.raises(MLError):
+            trainer.save_checkpoint()
+
+
+class TestElasticRecovery:
+    def test_crash_detected_at_step_boundary(self):
+        x, y = make_blobs(n=40, seed=2)
+        model = make_model(seed=2)
+        plan = FaultPlan(worker_crashes=(WorkerCrash(worker=1, at_step=2),))
+        trainer = DataParallelTrainer(
+            model,
+            SGD(model.parameters(), lr=0.1),
+            workers=4,
+            injector=FaultInjector(plan),
+        )
+        for _ in range(4):
+            trainer.train_step(x, y)
+        assert trainer.active_workers == (0, 2, 3)
+        assert trainer.report.worker_crashes == 1
+
+    def test_survivor_updates_are_exact(self):
+        """After a crash, each update equals the single-worker update over
+        exactly the surviving workers' shards."""
+        x, y = make_blobs(n=40, seed=4)
+        plan = FaultPlan(worker_crashes=(WorkerCrash(worker=0, at_step=0),))
+
+        elastic_model = make_model(seed=6)
+        elastic = DataParallelTrainer(
+            elastic_model,
+            SGD(elastic_model.parameters(), lr=0.1),
+            workers=4,
+            injector=FaultInjector(plan),
+        )
+        reference_model = make_model(seed=6)
+        reference = DataParallelTrainer(
+            reference_model, SGD(reference_model.parameters(), lr=0.1), workers=1
+        )
+
+        shards = np.array_split(np.arange(40), 4)
+        surviving = np.concatenate([shards[w] for w in (1, 2, 3)])
+        for _ in range(3):
+            loss_elastic = elastic.train_step(x, y)
+            loss_reference = reference.train_step(x[surviving], y[surviving])
+            assert loss_elastic == pytest.approx(loss_reference, rel=1e-12)
+        for p, q in zip(elastic_model.parameters(), reference_model.parameters()):
+            np.testing.assert_allclose(p.value, q.value, atol=1e-12)
+
+    def test_shrunken_ring_syncs_cheaper(self):
+        x, y = make_blobs(n=40, seed=5)
+        model = make_model(seed=5)
+        plan = FaultPlan(worker_crashes=(WorkerCrash(worker=3, at_step=1),))
+        trainer = DataParallelTrainer(
+            model,
+            SGD(model.parameters(), lr=0.1),
+            workers=4,
+            injector=FaultInjector(plan),
+        )
+        trainer.train_step(x, y)
+        full_comm = trainer.report.comm_time_s
+        trainer.train_step(x, y)
+        shrunk_comm = trainer.report.comm_time_s - full_comm
+        assert shrunk_comm < full_comm
+
+    def test_all_workers_dead_raises(self):
+        x, y = make_blobs(n=16, seed=6)
+        model = make_model(seed=6)
+        plan = FaultPlan(
+            worker_crashes=tuple(WorkerCrash(worker=w, at_step=0) for w in range(2))
+        )
+        trainer = DataParallelTrainer(
+            model,
+            SGD(model.parameters(), lr=0.1),
+            workers=2,
+            injector=FaultInjector(plan),
+        )
+        with pytest.raises(MLError):
+            trainer.train_step(x, y)
+
+    def test_none_plan_identical_to_no_injector(self):
+        x, y = make_blobs(n=40, seed=8)
+        plain_model = make_model(seed=8)
+        plain = DataParallelTrainer(
+            plain_model, SGD(plain_model.parameters(), lr=0.1), workers=4
+        )
+        chaos_model = make_model(seed=8)
+        chaos = DataParallelTrainer(
+            chaos_model,
+            SGD(chaos_model.parameters(), lr=0.1),
+            workers=4,
+            injector=FaultInjector(FaultPlan.none()),
+        )
+        for _ in range(3):
+            assert plain.train_step(x, y) == chaos.train_step(x, y)  # bitwise
+        assert plain.report.comm_time_s == chaos.report.comm_time_s
+        for p, q in zip(plain_model.parameters(), chaos_model.parameters()):
+            assert np.array_equal(p.value, q.value)
