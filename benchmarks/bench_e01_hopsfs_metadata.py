@@ -9,27 +9,30 @@ the small-files optimisation removes all block allocations for small files.
 
 import pytest
 
-from benchmarks.conftest import print_series
+from benchmarks.conftest import emit_bench_snapshot, print_series
 from repro.hopsfs import BlockManager, HopsFS, SingleLeaderFS
 from repro.hopsfs.kvstore import ShardedKVStore
 from repro.hopsfs.workload import run_metadata_workload
+from repro.obs import Observability
 
 OPERATIONS = 4000
 SHARD_COUNTS = (1, 2, 4, 8, 16)
 
 
-def _run(shards: int):
-    fs = HopsFS(store=ShardedKVStore(shard_count=shards))
+def _run(shards: int, obs=None):
+    fs = HopsFS(store=ShardedKVStore(shard_count=shards, obs=obs))
     return run_metadata_workload(fs, operations=OPERATIONS, seed=7)
 
 
 def test_e01_throughput_vs_shards(benchmark):
     """Figure-style series: simulated metadata ops/s vs shard count."""
+    obs = Observability()
     results = {}
 
     def workload():
         for shards in SHARD_COUNTS:
-            results[shards] = _run(shards)
+            with obs.tracer.span("bench.e01.sweep", shards=shards):
+                results[shards] = _run(shards, obs=obs)
         return results
 
     benchmark.pedantic(workload, rounds=1, iterations=1)
@@ -57,6 +60,15 @@ def test_e01_throughput_vs_shards(benchmark):
     benchmark.extra_info["ops_per_second"] = {
         str(s): round(r.ops_per_second) for s, r in results.items()
     }
+    for shards, result in results.items():
+        obs.metrics.gauge("bench.e01.sim_ops_per_s", shards=shards).set(
+            result.ops_per_second
+        )
+    emit_bench_snapshot(
+        "e01", obs,
+        meta={"experiment": "E1", "operations": OPERATIONS,
+              "shard_counts": list(SHARD_COUNTS)},
+    )
 
     # Shape assertions: near-linear scaling, single leader flat.
     assert results[4].ops_per_second > results[1].ops_per_second * 2.5

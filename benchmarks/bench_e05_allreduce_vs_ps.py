@@ -11,7 +11,8 @@ latency-dominated regime a full server tier beats the ring's 2(n-1) steps.
 
 import pytest
 
-from benchmarks.conftest import print_series
+from benchmarks.conftest import emit_bench_snapshot, print_series
+from repro.obs import Observability
 from repro.cluster import (
     NetworkModel,
     broadcast_time_s,
@@ -41,11 +42,24 @@ def sweep():
 
 def test_e05_sync_cost_per_step(benchmark):
     """Figure-style series: per-step sync time by strategy and worker count."""
-    rows = benchmark(sweep)
+    obs = Observability()
+    with obs.tracer.span("bench.e05.sweep"):
+        rows = benchmark(sweep)
     print_series("E5: gradient synchronisation cost per step", rows)
     by_workers = {r["workers"]: r for r in rows}
     benchmark.extra_info["ring_vs_ps1_at_64"] = (
         by_workers[64]["ps1_s"] / by_workers[64]["ring_s"]
+    )
+    for row in rows:
+        for strategy in ("ring_s", "ps1_s", "ps8_s", "broadcast_s"):
+            obs.metrics.gauge(
+                "bench.e05.sync_s",
+                strategy=strategy[:-2], workers=row["workers"],
+            ).set(row[strategy])
+    emit_bench_snapshot(
+        "e05", obs,
+        meta={"experiment": "E5", "model_bytes": MODEL_BYTES,
+              "workers": list(WORKERS)},
     )
 
     # Ring saturates: its bandwidth term converges to 2*M*beta, so 64

@@ -3,12 +3,24 @@
 Every bench records its headline series in ``benchmark.extra_info`` so the
 shape results (who wins, by what factor, where crossovers fall) appear in the
 pytest-benchmark JSON/console output alongside the timings, and prints a
-small table for EXPERIMENTS.md.
+small table for EXPERIMENTS.md. Benches that carry a ``repro.obs``
+Observability bundle also drop a ``BENCH_<NAME>.json`` snapshot (into
+``$REPRO_OBS_DIR``, default cwd) via :func:`emit_bench_snapshot`; CI
+validates that file in the observability smoke step.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable
+from typing import Dict, Iterable, Optional
+
+
+def emit_bench_snapshot(name: str, obs, meta: Optional[Dict] = None) -> str:
+    """Write *obs* to the bench's ``BENCH_<NAME>.json``; returns the path."""
+    from repro.obs import bench_snapshot_path, write_snapshot
+
+    path = write_snapshot(bench_snapshot_path(name), obs, meta)
+    print(f"\n[obs] snapshot written: {path}")
+    return path
 
 
 def print_series(title: str, rows: Iterable[Dict]) -> None:

@@ -68,9 +68,9 @@ def parameter_server_time_s(
     _validate(workers, message_bytes)
     if servers < 1:
         raise ClusterError(f"servers must be >= 1, got {servers}")
-    if workers == 1 and servers >= 1:
-        # Still pays one round trip to the server tier.
-        return 2 * network.latency_s + 2 * message_bytes * network.beta
+    # One formula for all worker counts: a lone worker still shards its
+    # push/pull across the server tier, so the cost is 2a + 2M/s*b — the
+    # general expression with n = 1, monotone in the server count.
     per_server_bytes = message_bytes * workers / servers
     return 2 * network.latency_s + 2 * per_server_bytes * network.beta
 

@@ -38,6 +38,8 @@ from typing import Callable, Dict, List, Optional, Set, TYPE_CHECKING
 from repro.errors import ClusterError
 from repro.cluster.resources import ClusterSpec, Node
 from repro.cluster.simclock import Event, Simulation
+from repro.obs import MetricsRegistry, Observability, resolve
+from repro.obs.tracing import Span
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.faults.injector import FaultInjector
@@ -82,23 +84,65 @@ class _Execution:
     event: Event
     local: bool
     speculative: bool = False
+    span: Optional[Span] = None
 
 
-@dataclass
 class SchedulerMetrics:
-    """Aggregate outcomes of a scheduling run."""
+    """Aggregate outcomes of a scheduling run.
 
-    tasks_completed: int = 0
-    locality_hits: int = 0
-    locality_misses: int = 0
-    bytes_transferred: float = 0.0
-    makespan_s: float = 0.0
-    task_failures: int = 0
-    tasks_abandoned: int = 0
-    node_crashes: int = 0
-    speculative_launches: int = 0
-    tasks_lost: int = 0
-    nodes_blacklisted: int = 0
+    The same attribute API as the original dataclass (``tasks_completed``,
+    ``locality_hits``, ...), but every field is now backed by a counter in
+    a :class:`~repro.obs.MetricsRegistry` — the scheduler's own private
+    registry by default, or a shared Observability registry when one is
+    attached, where the series appear as ``scheduler.<field>``. Counts are
+    exact integers either way, so runs are byte-identical to the bespoke
+    fields they replace.
+    """
+
+    _COUNT_FIELDS = (
+        "tasks_completed",
+        "locality_hits",
+        "locality_misses",
+        "task_failures",
+        "tasks_abandoned",
+        "node_crashes",
+        "speculative_launches",
+        "tasks_lost",
+        "nodes_blacklisted",
+    )
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self._registry = registry if registry is not None else MetricsRegistry()
+        self._counters = {
+            name: self._registry.counter(f"scheduler.{name}")
+            for name in self._COUNT_FIELDS
+        }
+        self._bytes = self._registry.counter("scheduler.bytes_transferred")
+        self._makespan = self._registry.gauge("scheduler.makespan_s")
+
+    def inc(self, name: str, amount: float = 1) -> None:
+        if name == "bytes_transferred":
+            self._bytes.inc(amount)
+            return
+        self._counters[name].inc(amount)
+
+    def __getattr__(self, name: str):
+        counters = self.__dict__.get("_counters")
+        if counters is not None and name in counters:
+            return int(counters[name].value)
+        raise AttributeError(name)
+
+    @property
+    def bytes_transferred(self) -> float:
+        return self._bytes.value
+
+    @property
+    def makespan_s(self) -> float:
+        return self._makespan.value
+
+    @makespan_s.setter
+    def makespan_s(self, value: float) -> None:
+        self._makespan.set(value)
 
     @property
     def locality_rate(self) -> float:
@@ -106,6 +150,19 @@ class SchedulerMetrics:
         if total == 0:
             return 1.0
         return self.locality_hits / total
+
+    def as_dict(self) -> Dict[str, float]:
+        summary: Dict[str, float] = {
+            name: getattr(self, name) for name in self._COUNT_FIELDS
+        }
+        summary["bytes_transferred"] = self.bytes_transferred
+        summary["makespan_s"] = self.makespan_s
+        summary["locality_rate"] = self.locality_rate
+        return summary
+
+    def __repr__(self) -> str:  # keeps the old dataclass-style debugging
+        fields = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"SchedulerMetrics({fields})"
 
 
 class Scheduler:
@@ -124,6 +181,7 @@ class Scheduler:
         speculation: bool = False,
         speculation_factor: float = 2.0,
         blacklist_after: Optional[int] = None,
+        obs: Optional[Observability] = None,
     ):
         if locality_wait_s < 0:
             raise ClusterError("locality_wait_s must be non-negative")
@@ -147,7 +205,14 @@ class Scheduler:
         self.speculation_factor = speculation_factor
         self.blacklist_after = blacklist_after
         self.nodes: List[Node] = spec.build_nodes()
-        self.metrics = SchedulerMetrics()
+        self.obs = resolve(obs)
+        # Task lifecycle spans run on *simulated* time: claim an unclocked
+        # tracer for the sim-clock (wall-clock tracers keep their clock).
+        if self.obs.enabled and self.obs.tracer.clock is None:
+            self.obs.tracer.clock = lambda: self.simulation.now
+        self.metrics = SchedulerMetrics(
+            registry=self.obs.metrics if self.obs.enabled else None
+        )
         self._queue: List[Task] = []
         self._free_slots: Dict[str, Dict[int, int]] = {
             "cpu": {n.node_id: n.cpu_slots for n in self.nodes},
@@ -293,15 +358,23 @@ class Scheduler:
         duration = task.work_s / node.speed
         if not local and task.input_bytes:
             duration += self.spec.transfer_time_s(task.input_bytes)
-            self.metrics.bytes_transferred += task.input_bytes
+            self.metrics.inc("bytes_transferred", task.input_bytes)
         if local:
-            self.metrics.locality_hits += 1
+            self.metrics.inc("locality_hits")
         else:
-            self.metrics.locality_misses += 1
+            self.metrics.inc("locality_misses")
 
         execution = _Execution(
             task=task, node_id=node_id, event=None, local=local,  # type: ignore[arg-type]
             speculative=speculative,
+            span=self.obs.tracer.start_span(
+                "scheduler.task",
+                task=task.task_id,
+                node=node_id,
+                kind=task.kind,
+                local=local,
+                speculative=speculative,
+            ),
         )
 
         def finish() -> None:
@@ -353,7 +426,7 @@ class Scheduler:
             return
         # Prefer the fastest free node; break ties toward the lowest id.
         best = max(candidates, key=lambda n: (self.nodes[n].speed, -n))
-        self.metrics.speculative_launches += 1
+        self.metrics.inc("speculative_launches")
         self._launch(task, best, speculative=True)
 
     # ------------------------------------------------------------------
@@ -376,6 +449,8 @@ class Scheduler:
             if sibling is execution:
                 continue
             Simulation.cancel(sibling.event)
+            if sibling.span is not None:
+                sibling.span.end("cancelled")
             self._retire(sibling)
 
     def _finish(self, execution: _Execution) -> None:
@@ -389,15 +464,17 @@ class Scheduler:
         if not failed and self.injector is not None:
             failed = self.injector.task_fails(task.task_id)
         if failed:
+            if execution.span is not None:
+                execution.span.end("failed")
             task.attempts += 1
             self._record_node_failure(execution.node_id)
             if self._running.get(task.task_id):
                 # A speculative copy is still in flight; it is the retry.
-                self.metrics.task_failures += 1
+                self.metrics.inc("task_failures")
             elif task.attempts > self.max_retries:
-                self.metrics.tasks_abandoned += 1
+                self.metrics.inc("tasks_abandoned")
             else:
-                self.metrics.task_failures += 1
+                self.metrics.inc("task_failures")
                 task.submitted_at = self.simulation.now
                 self._queue.append(task)
             self._dispatch()
@@ -405,8 +482,10 @@ class Scheduler:
         task.finished_at = self.simulation.now
         task.ran_on = execution.node_id
         task.ran_local = execution.local
+        if execution.span is not None:
+            execution.span.end("ok")
         self._cancel_siblings(execution)
-        self.metrics.tasks_completed += 1
+        self.metrics.inc("tasks_completed")
         if task.on_complete is not None:
             task.on_complete(task)
         self._dispatch()
@@ -428,14 +507,14 @@ class Scheduler:
         if not usable:
             return  # never blacklist the last schedulable node
         self._blacklisted.add(node_id)
-        self.metrics.nodes_blacklisted += 1
+        self.metrics.inc("nodes_blacklisted")
 
     def _crash_node(self, node_id: int) -> None:
         """The node dies: slots vanish; running work is re-queued or lost."""
         if node_id in self._dead_nodes:
             return
         self._dead_nodes.add(node_id)
-        self.metrics.node_crashes += 1
+        self.metrics.inc("node_crashes")
         self._free_slots["cpu"].pop(node_id, None)
         self._free_slots["gpu"].pop(node_id, None)
         victims = [
@@ -446,6 +525,8 @@ class Scheduler:
         ]
         for execution in victims:
             Simulation.cancel(execution.event)
+            if execution.span is not None:
+                execution.span.end("killed")
             self._retire(execution)
             task = execution.task
             if task.finished_at is not None or self._running.get(task.task_id):
@@ -454,5 +535,5 @@ class Scheduler:
                 task.submitted_at = self.simulation.now
                 self._queue.append(task)
             else:
-                self.metrics.tasks_lost += 1
+                self.metrics.inc("tasks_lost")
         self._dispatch()

@@ -18,6 +18,7 @@ The hierarchy::
     ├── FederationError             federated query planning/execution
     ├── CatalogError                semantic catalogue
     ├── PipelineError               pipeline orchestration
+    ├── ObsError                    observability (metrics/tracing/snapshots)
     └── FaultError                  injected infrastructure faults
         ├── TimeoutExceeded         a call/retry loop overran its deadline
         └── RetryExhausted          a RetryPolicy gave up (carries attempt
@@ -95,6 +96,10 @@ class CatalogError(ReproError):
 
 class PipelineError(ReproError):
     """End-to-end pipeline orchestration failure."""
+
+
+class ObsError(ReproError):
+    """Observability misuse: bad instrument, span, or snapshot document."""
 
 
 class FaultError(ReproError):

@@ -6,18 +6,32 @@ backoff behaviour are uniform and testable. The policy never sleeps real
 time — callers pass a ``sleep`` callable that charges simulated time (or
 nothing), which keeps chaos experiments deterministic and fast.
 
+Jitter is on by default and *deterministic*: each policy owns a
+``random.Random(jitter_seed)`` stream, so two policies built with the same
+parameters replay the same backoff sequence, while the documented
+``jitter=0.1`` actually de-synchronises concurrent retriers. Callers that
+need a shared stream can still pass an explicit ``rng``.
+
 An exception is retried when it is an instance of one of ``retryable_types``
 *and* its ``retryable`` attribute (see :class:`repro.errors.FaultError`) is
 not False — permanent faults like a dead endpoint short-circuit the loop.
+
+Attempt/backoff accounting lands in two places: the per-call
+:class:`RetryState`, and (when an :class:`~repro.obs.Observability` bundle
+is attached) the ``retry.*`` metrics — attempts, recovered retries,
+give-ups, and a backoff-delay histogram, labelled by the policy's ``scope``.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Tuple, Type, TypeVar
+from typing import Callable, Optional, Tuple, Type, TypeVar, TYPE_CHECKING
 
 from repro.errors import FaultError, RetryExhausted, TimeoutExceeded
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Observability
 
 T = TypeVar("T")
 
@@ -40,6 +54,10 @@ class RetryPolicy:
     ``max_attempts=1`` means no retries. The deadline bounds cumulative
     backoff wait: a retry whose wait would cross ``deadline_s`` raises
     :class:`TimeoutExceeded` instead of waiting.
+
+    ``scope`` names the policy in metrics (``retry.*`` series are labelled
+    with it), so one Observability bundle can tell the KV store's retries
+    from the federation executor's.
     """
 
     max_attempts: int = 4
@@ -49,6 +67,11 @@ class RetryPolicy:
     jitter: float = 0.1
     deadline_s: Optional[float] = None
     retryable_types: Tuple[Type[BaseException], ...] = (FaultError,)
+    jitter_seed: int = 0
+    scope: str = "default"
+    obs: Optional["Observability"] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -59,17 +82,26 @@ class RetryPolicy:
             raise FaultError("multiplier must be >= 1")
         if not 0.0 <= self.jitter < 1.0:
             raise FaultError("jitter must be in [0, 1)")
+        # The policy's own jitter stream: deterministic under jitter_seed,
+        # used whenever the caller does not supply an rng.
+        self._rng = random.Random(self.jitter_seed)
 
     def backoff_s(self, retry_index: int, rng: Optional[random.Random] = None) -> float:
-        """Backoff before the ``retry_index``-th retry (1-based), jittered."""
+        """Backoff before the ``retry_index``-th retry (1-based), jittered.
+
+        With no explicit ``rng`` the policy's seeded stream applies the
+        configured jitter (the stream advances per call, so consecutive
+        delays differ but the whole sequence replays under the same seed).
+        """
         if retry_index < 1:
             raise FaultError("retry_index is 1-based")
         delay = min(
             self.base_delay_s * self.multiplier ** (retry_index - 1),
             self.max_delay_s,
         )
-        if self.jitter and rng is not None:
-            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        if self.jitter:
+            stream = rng if rng is not None else self._rng
+            delay *= 1.0 + self.jitter * (2.0 * stream.random() - 1.0)
         return delay
 
     def _is_retryable(self, error: BaseException) -> bool:
@@ -84,6 +116,7 @@ class RetryPolicy:
         state: Optional[RetryState] = None,
         rng: Optional[random.Random] = None,
         sleep: Optional[Callable[[float], None]] = None,
+        obs: Optional["Observability"] = None,
     ) -> T:
         """Invoke ``fn`` under this policy.
 
@@ -92,16 +125,27 @@ class RetryPolicy:
         deadline would be crossed. Non-retryable exceptions propagate
         unchanged on first occurrence.
         """
+        from repro.obs import resolve
+
+        metrics = resolve(obs if obs is not None else self.obs).metrics
+        attempts_total = metrics.counter("retry.attempts", scope=self.scope)
         state = state if state is not None else RetryState()
         while True:
             state.attempts += 1
+            attempts_total.inc()
             try:
-                return fn()
+                result = fn()
             except BaseException as error:  # noqa: BLE001 - filtered below
                 state.last_error = error
                 if not self._is_retryable(error):
+                    metrics.counter(
+                        "retry.giveups", scope=self.scope, reason="permanent"
+                    ).inc()
                     raise
                 if state.attempts >= self.max_attempts:
+                    metrics.counter(
+                        "retry.giveups", scope=self.scope, reason="exhausted"
+                    ).inc()
                     raise RetryExhausted(
                         f"gave up after {state.attempts} attempts: {error}",
                         attempts=state.attempts,
@@ -112,11 +156,22 @@ class RetryPolicy:
                     self.deadline_s is not None
                     and state.waited_s + delay > self.deadline_s
                 ):
+                    metrics.counter(
+                        "retry.giveups", scope=self.scope, reason="deadline"
+                    ).inc()
                     raise TimeoutExceeded(
                         f"retry deadline {self.deadline_s}s exceeded after "
                         f"{state.attempts} attempts: {error}"
                     ) from error
                 state.retries += 1
                 state.waited_s += delay
+                metrics.counter("retry.retries", scope=self.scope).inc()
+                metrics.histogram("retry.backoff_s", scope=self.scope).observe(
+                    delay
+                )
                 if sleep is not None:
                     sleep(delay)
+            else:
+                if state.retries:
+                    metrics.counter("retry.recoveries", scope=self.scope).inc()
+                return result

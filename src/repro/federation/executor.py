@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence, Set, Union
 from repro.errors import FaultError, FederationError
 from repro.faults.retry import RetryPolicy, RetryState
 from repro.federation.endpoint import Endpoint
+from repro.obs import Observability, resolve
 from repro.federation.planner import FederatedPlan, plan_query
 from repro.sparql.ast import SelectQuery, TriplePattern, Variable
 from repro.sparql.evaluator import Bindings, FunctionRegistry, evaluate_expression
@@ -47,6 +48,7 @@ def execute_federated(
     registry: FunctionRegistry = _EMPTY_REGISTRY,
     retry_policy: Optional[RetryPolicy] = None,
     graceful: bool = True,
+    obs: Optional[Observability] = None,
 ) -> tuple:
     """Execute a federated query; returns (solutions, metrics).
 
@@ -57,7 +59,13 @@ def execute_federated(
     ``retry_policy`` wraps each remote call (transient endpoint faults are
     retried); with ``graceful`` set, a permanently failing endpoint yields a
     partial answer (``metrics.complete`` False) instead of an exception.
+
+    With an ``obs`` bundle attached, every remote call runs inside a
+    ``federation.fetch`` span labelled by endpoint, terminal failures and
+    lost endpoints surface as ``federation.*`` counters, and the whole
+    query is one ``federation.query`` span.
     """
+    observability = resolve(obs)
     for endpoint in endpoints:
         endpoint.reset_accounting()
     if isinstance(query, FederatedPlan):
@@ -75,39 +83,52 @@ def execute_federated(
         if endpoint.name in dead:
             return None
         state = RetryState()
-        try:
-            if retry_policy is not None:
-                return retry_policy.call(
-                    lambda: endpoint.match(pattern), state=state
+        with observability.tracer.span(
+            "federation.fetch", endpoint=endpoint.name
+        ) as span:
+            try:
+                if retry_policy is not None:
+                    return retry_policy.call(
+                        lambda: endpoint.match(pattern),
+                        state=state,
+                        obs=obs,
+                    )
+                return endpoint.match(pattern)
+            except FaultError:
+                span.status = "failed"
+                endpoint_failures[endpoint.name] = (
+                    endpoint_failures.get(endpoint.name, 0) + 1
                 )
-            return endpoint.match(pattern)
-        except FaultError:
-            endpoint_failures[endpoint.name] = (
-                endpoint_failures.get(endpoint.name, 0) + 1
-            )
-            if not graceful:
-                raise
-            dead.add(endpoint.name)
-            return None
-        finally:
-            retry_total += state.retries
+                observability.metrics.counter(
+                    "federation.endpoint_failures", endpoint=endpoint.name
+                ).inc()
+                if not graceful:
+                    raise
+                dead.add(endpoint.name)
+                observability.metrics.counter(
+                    "federation.endpoints_lost", endpoint=endpoint.name
+                ).inc()
+                return None
+            finally:
+                retry_total += state.retries
 
-    solutions: List[Bindings] = [{}]
-    for step in plan.steps:
-        next_solutions: List[Bindings] = []
-        for solution in solutions:
-            concrete = _substitute(step.pattern, solution)
-            for endpoint in step.sources:
-                triples = fetch(endpoint, concrete)
-                if triples is None:
-                    continue
-                for triple in triples:
-                    extended = _extend(solution, concrete, triple)
-                    if extended is not None:
-                        next_solutions.append(extended)
-        solutions = next_solutions
-        if not solutions:
-            break
+    with observability.tracer.span("federation.query"):
+        solutions: List[Bindings] = [{}]
+        for step in plan.steps:
+            next_solutions: List[Bindings] = []
+            for solution in solutions:
+                concrete = _substitute(step.pattern, solution)
+                for endpoint in step.sources:
+                    triples = fetch(endpoint, concrete)
+                    if triples is None:
+                        continue
+                    for triple in triples:
+                        extended = _extend(solution, concrete, triple)
+                        if extended is not None:
+                            next_solutions.append(extended)
+            solutions = next_solutions
+            if not solutions:
+                break
 
     # Local filters.
     for expression in plan.filters:
@@ -144,6 +165,13 @@ def execute_federated(
         endpoint_failures=endpoint_failures,
         retries=retry_total,
     )
+    counters = observability.metrics
+    counters.counter("federation.queries").inc()
+    counters.counter("federation.requests").inc(metrics.requests)
+    counters.counter("federation.bindings_shipped").inc(metrics.bindings_shipped)
+    counters.counter("federation.results").inc(metrics.results)
+    if dead:
+        counters.counter("federation.degraded_queries").inc()
     return solutions, metrics
 
 

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.errors import StorageError
 from repro.hopsfs.blocks import BlockManager
 from repro.hopsfs.kvstore import ShardedKVStore
+from repro.obs import Observability, resolve
 
 ROOT_ID = 0
 
@@ -46,8 +47,12 @@ class HopsFS:
         store: Optional[ShardedKVStore] = None,
         blocks: Optional[BlockManager] = None,
         small_file_threshold: int = DEFAULT_SMALL_FILE_THRESHOLD,
+        obs: Optional[Observability] = None,
     ):
-        self.store = store if store is not None else ShardedKVStore()
+        self.obs = resolve(obs)
+        if store is None:
+            store = ShardedKVStore(obs=obs)
+        self.store = store
         self.blocks = blocks if blocks is not None else BlockManager()
         self.small_file_threshold = small_file_threshold
         self._next_inode = ROOT_ID + 1
@@ -119,13 +124,14 @@ class HopsFS:
 
     def mkdir(self, path: str) -> int:
         """Create a directory (parents must exist). Returns the inode id."""
-        parent, name = self._resolve_parent(path)
-        if self.store.get(parent, name) is not None:
-            raise StorageError("already exists", path=path)
-        inode = self._next_inode
-        self._next_inode += 1
-        self.store.put(parent, name, self._dir_record(inode))
-        return inode
+        with self.obs.tracer.span("hopsfs.fs", op="mkdir"):
+            parent, name = self._resolve_parent(path)
+            if self.store.get(parent, name) is not None:
+                raise StorageError("already exists", path=path)
+            inode = self._next_inode
+            self._next_inode += 1
+            self.store.put(parent, name, self._dir_record(inode))
+            return inode
 
     def makedirs(self, path: str) -> None:
         """Create a directory and any missing ancestors."""
@@ -141,40 +147,45 @@ class HopsFS:
 
     def create(self, path: str, data: bytes) -> FileStat:
         """Create a file with contents *data*."""
-        parent, name = self._resolve_parent(path)
-        if self.store.get(parent, name) is not None:
-            raise StorageError("already exists", path=path)
-        inode = self._next_inode
-        self._next_inode += 1
-        size = len(data)
-        if size <= self.small_file_threshold:
-            record = self._file_record(inode, size, data, [])
-        else:
-            block_ids = self.blocks.allocate_file(size) if size else []
-            record = self._file_record(inode, size, None, block_ids)
-            # Block contents are not materialised; the simulation tracks
-            # placement and sizes only.
-        self.store.put(parent, name, record)
-        return self._stat_from_record(path, record)
+        with self.obs.tracer.span("hopsfs.fs", op="create"):
+            parent, name = self._resolve_parent(path)
+            if self.store.get(parent, name) is not None:
+                raise StorageError("already exists", path=path)
+            inode = self._next_inode
+            self._next_inode += 1
+            size = len(data)
+            if size <= self.small_file_threshold:
+                record = self._file_record(inode, size, data, [])
+                self.obs.metrics.counter("hopsfs.files", layout="inline").inc()
+            else:
+                block_ids = self.blocks.allocate_file(size) if size else []
+                record = self._file_record(inode, size, None, block_ids)
+                # Block contents are not materialised; the simulation tracks
+                # placement and sizes only.
+                self.obs.metrics.counter("hopsfs.files", layout="blocks").inc()
+            self.store.put(parent, name, record)
+            return self._stat_from_record(path, record)
 
     def read(self, path: str) -> Optional[bytes]:
         """Read a file. Inline files return their bytes; block files return
         None (contents are not materialised in the simulation) — use
         :meth:`stat` for their size and block layout."""
-        parent, name = self._resolve_parent(path)
-        record = self.store.get(parent, name)
-        if record is None:
-            raise StorageError("no such file", path=path)
-        if record["is_dir"]:
-            raise StorageError("is a directory", path=path)
-        return record["inline"]
+        with self.obs.tracer.span("hopsfs.fs", op="read"):
+            parent, name = self._resolve_parent(path)
+            record = self.store.get(parent, name)
+            if record is None:
+                raise StorageError("no such file", path=path)
+            if record["is_dir"]:
+                raise StorageError("is a directory", path=path)
+            return record["inline"]
 
     def stat(self, path: str) -> FileStat:
-        parent, name = self._resolve_parent(path)
-        record = self.store.get(parent, name)
-        if record is None:
-            raise StorageError("no such file or directory", path=path)
-        return self._stat_from_record(path, record)
+        with self.obs.tracer.span("hopsfs.fs", op="stat"):
+            parent, name = self._resolve_parent(path)
+            record = self.store.get(parent, name)
+            if record is None:
+                raise StorageError("no such file or directory", path=path)
+            return self._stat_from_record(path, record)
 
     def _stat_from_record(self, path: str, record: Dict) -> FileStat:
         if record["is_dir"]:
@@ -197,39 +208,43 @@ class HopsFS:
 
     def listdir(self, path: str) -> List[str]:
         """Names in a directory — a single-partition scan."""
-        parts = self._split(path)
-        inode = self._resolve_dir(parts, path)
-        return sorted(
-            name for name, _ in self.store.scan(inode) if name != "__self__"
-        )
+        with self.obs.tracer.span("hopsfs.fs", op="listdir"):
+            parts = self._split(path)
+            inode = self._resolve_dir(parts, path)
+            return sorted(
+                name for name, _ in self.store.scan(inode) if name != "__self__"
+            )
 
     def delete(self, path: str) -> None:
-        parent, name = self._resolve_parent(path)
-        record = self.store.get(parent, name)
-        if record is None:
-            raise StorageError("no such file or directory", path=path)
-        if record["is_dir"] and any(
-            name != "__self__" for name, _ in self.store.scan(record["inode"])
-        ):
-            raise StorageError("directory not empty", path=path)
-        if not record["is_dir"] and record.get("blocks"):
-            self.blocks.free_blocks(record["blocks"])
-        if record["is_dir"]:
-            self._dir_cache.clear()
-        self.store.delete(parent, name)
+        with self.obs.tracer.span("hopsfs.fs", op="delete"):
+            parent, name = self._resolve_parent(path)
+            record = self.store.get(parent, name)
+            if record is None:
+                raise StorageError("no such file or directory", path=path)
+            if record["is_dir"] and any(
+                name != "__self__"
+                for name, _ in self.store.scan(record["inode"])
+            ):
+                raise StorageError("directory not empty", path=path)
+            if not record["is_dir"] and record.get("blocks"):
+                self.blocks.free_blocks(record["blocks"])
+            if record["is_dir"]:
+                self._dir_cache.clear()
+            self.store.delete(parent, name)
 
     def rename(self, src: str, dst: str) -> None:
         """Move a file/directory. Cross-directory renames span shards (2PC)."""
-        src_parent, src_name = self._resolve_parent(src)
-        dst_parent, dst_name = self._resolve_parent(dst)
-        record = self.store.get(src_parent, src_name)
-        if record is None:
-            raise StorageError("no such file or directory", path=src)
-        if self.store.get(dst_parent, dst_name) is not None:
-            raise StorageError("already exists", path=dst)
-        if record["is_dir"]:
-            self._dir_cache.clear()
-        self.store.transact(
-            writes=[(dst_parent, dst_name, record)],
-            deletes=[(src_parent, src_name)],
-        )
+        with self.obs.tracer.span("hopsfs.fs", op="rename"):
+            src_parent, src_name = self._resolve_parent(src)
+            dst_parent, dst_name = self._resolve_parent(dst)
+            record = self.store.get(src_parent, src_name)
+            if record is None:
+                raise StorageError("no such file or directory", path=src)
+            if self.store.get(dst_parent, dst_name) is not None:
+                raise StorageError("already exists", path=dst)
+            if record["is_dir"]:
+                self._dir_cache.clear()
+            self.store.transact(
+                writes=[(dst_parent, dst_name, record)],
+                deletes=[(src_parent, src_name)],
+            )

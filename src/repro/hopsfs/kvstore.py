@@ -20,6 +20,12 @@ with shard outages makes operations touching a down shard raise
 Passing a :class:`~repro.faults.RetryPolicy` makes the store ride out
 transient outages itself; multi-shard transactions abort atomically (the
 prepare phase checks every participant before a single write lands).
+
+Observability: with a :class:`~repro.obs.Observability` bundle attached the
+store reports per-shard op-latency histograms (``hopsfs.shard_op_ms``),
+single-vs-2PC op counters (``hopsfs.ops``), 2PC abort counters
+(``hopsfs.2pc_aborts``), and the shared ``retry.*`` series for rode-out
+outages. The disabled default is a shared no-op.
 """
 
 from __future__ import annotations
@@ -28,6 +34,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, TYPE_CH
 
 from repro.errors import FaultError, StorageError
 from repro.faults.retry import RetryPolicy, RetryState
+from repro.obs import Observability, resolve
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.injector import FaultInjector
@@ -58,6 +65,7 @@ class ShardedKVStore:
         two_phase_surcharge_ms: float = 0.08,
         injector: Optional["FaultInjector"] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        obs: Optional[Observability] = None,
     ):
         if shard_count < 1:
             raise StorageError(f"shard_count must be >= 1, got {shard_count}")
@@ -68,6 +76,7 @@ class ShardedKVStore:
         self.two_phase_surcharge_ms = two_phase_surcharge_ms
         self._injector = injector
         self._retry_policy = retry_policy
+        self._obs = resolve(obs)
         self._shards: List[Dict[Any, Any]] = [{} for _ in range(shard_count)]
         self._busy_ms: List[float] = [0.0] * shard_count
         self._op_count = 0
@@ -86,13 +95,17 @@ class ShardedKVStore:
     def _charge(self, shards: Iterable[int]) -> None:
         shards = set(shards)
         self._op_count += 1
-        if len(shards) > 1:
+        multi = len(shards) > 1
+        if multi:
             self._multi_shard_ops += 1
             cost = self.base_latency_ms + self.two_phase_surcharge_ms
         else:
             cost = self.base_latency_ms
+        metrics = self._obs.metrics
+        metrics.counter("hopsfs.ops", kind="2pc" if multi else "single").inc()
         for shard in shards:
             self._busy_ms[shard] += cost
+            metrics.histogram("hopsfs.shard_op_ms", shard=shard).observe(cost)
 
     # ------------------------------------------------------------------
     # Fault handling
@@ -109,9 +122,16 @@ class ShardedKVStore:
             return
         op_index = self._attempted_ops
         self._attempted_ops += 1
-        for shard in sorted(set(shards)):
+        shards = sorted(set(shards))
+        for shard in shards:
             outage = self._injector.shard_outage(shard, op_index)
             if outage is not None:
+                self._obs.metrics.counter(
+                    "hopsfs.2pc_aborts",
+                    shard=shard,
+                    permanent=outage.permanent,
+                    multi=len(shards) > 1,
+                ).inc()
                 raise ShardUnavailable(shard, permanent=outage.permanent)
 
     def _run(self, op: Callable[[], Any]) -> Any:
@@ -120,7 +140,12 @@ class ShardedKVStore:
             return op()
         state = RetryState()
         try:
-            return self._retry_policy.call(op, state=state, sleep=self._note_wait)
+            return self._retry_policy.call(
+                op,
+                state=state,
+                sleep=self._note_wait,
+                obs=self._obs if self._obs.enabled else None,
+            )
         finally:
             self.retries += state.retries
 
@@ -241,6 +266,7 @@ class ShardedKVStore:
 class SingleLeaderStore(ShardedKVStore):
     """The HDFS-namenode baseline: one resource serialises every transaction."""
 
-    def __init__(self, base_latency_ms: float = 0.05):
+    def __init__(self, base_latency_ms: float = 0.05,
+                 obs: Optional[Observability] = None):
         super().__init__(shard_count=1, base_latency_ms=base_latency_ms,
-                         two_phase_surcharge_ms=0.0)
+                         two_phase_surcharge_ms=0.0, obs=obs)

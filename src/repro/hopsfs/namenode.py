@@ -13,6 +13,7 @@ from typing import Optional
 from repro.hopsfs.blocks import BlockManager
 from repro.hopsfs.filesystem import DEFAULT_SMALL_FILE_THRESHOLD, HopsFS
 from repro.hopsfs.kvstore import SingleLeaderStore
+from repro.obs import Observability
 
 
 class SingleLeaderFS(HopsFS):
@@ -23,9 +24,11 @@ class SingleLeaderFS(HopsFS):
         base_latency_ms: float = 0.05,
         blocks: Optional[BlockManager] = None,
         small_file_threshold: int = DEFAULT_SMALL_FILE_THRESHOLD,
+        obs: Optional[Observability] = None,
     ):
         super().__init__(
-            store=SingleLeaderStore(base_latency_ms=base_latency_ms),
+            store=SingleLeaderStore(base_latency_ms=base_latency_ms, obs=obs),
             blocks=blocks,
             small_file_threshold=small_file_threshold,
+            obs=obs,
         )

@@ -21,6 +21,12 @@ Fault tolerance (experiment E17):
 * **checkpoint/restore** — ``checkpoint_every`` writes model + optimizer +
   progress to an ``.npz`` (reusing ``Sequential.state_dict``); a restored
   trainer resumes the loss trajectory bitwise.
+
+Observability: with an :class:`~repro.obs.Observability` bundle the trainer
+reports the comm-vs-compute split per strategy (``ml.compute_time_s`` /
+``ml.comm_time_s`` counters in simulated seconds), a per-step total-time
+histogram (``ml.step_time_s``), step/crash/checkpoint counters, and the
+surviving worker count as a gauge.
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 import numpy as np
 
 from repro.errors import MLError
+from repro.obs import Observability, resolve
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.injector import FaultInjector
@@ -92,6 +99,7 @@ class DataParallelTrainer:
         injector: Optional["FaultInjector"] = None,
         checkpoint_every: Optional[int] = None,
         checkpoint_path: Optional[str] = None,
+        obs: Optional[Observability] = None,
     ):
         if workers < 1:
             raise MLError(f"workers must be >= 1, got {workers}")
@@ -115,6 +123,7 @@ class DataParallelTrainer:
         self.injector = injector
         self.checkpoint_every = checkpoint_every
         self.checkpoint_path = checkpoint_path
+        self.obs = resolve(obs)
         self.report = TrainingReport()
         self._active: List[int] = list(range(workers))
 
@@ -176,10 +185,20 @@ class DataParallelTrainer:
         self.optimizer.step()
 
         # Simulated time: workers compute their shard in parallel, then sync.
-        self.report.compute_time_s += largest_shard * self.example_cost_s
-        self.report.comm_time_s += self.sync_time_s(len(self._active))
+        compute_s = largest_shard * self.example_cost_s
+        comm_s = self.sync_time_s(len(self._active))
+        self.report.compute_time_s += compute_s
+        self.report.comm_time_s += comm_s
         self.report.steps += 1
         self.report.losses.append(total_loss)
+        metrics = self.obs.metrics
+        metrics.counter("ml.steps", strategy=self.strategy).inc()
+        metrics.counter("ml.compute_time_s", strategy=self.strategy).inc(compute_s)
+        metrics.counter("ml.comm_time_s", strategy=self.strategy).inc(comm_s)
+        metrics.histogram("ml.step_time_s", strategy=self.strategy).observe(
+            compute_s + comm_s
+        )
+        metrics.gauge("ml.active_workers").set(len(self._active))
         if (
             self.checkpoint_every is not None
             and self.report.steps % self.checkpoint_every == 0
@@ -193,6 +212,7 @@ class DataParallelTrainer:
             if self.injector.worker_crashed(worker, self.report.steps):
                 self._active.remove(worker)
                 self.report.worker_crashes += 1
+                self.obs.metrics.counter("ml.worker_crashes").inc()
         if not self._active:
             raise MLError("all workers crashed; no survivors to train on")
 
@@ -243,6 +263,7 @@ class DataParallelTrainer:
         payload["active_workers"] = np.asarray(self._active, dtype=np.int64)
         np.savez(path, **payload)
         self.report.checkpoints_written += 1
+        self.obs.metrics.counter("ml.checkpoints").inc()
         return path
 
     def load_checkpoint(self, path: Optional[str] = None) -> None:

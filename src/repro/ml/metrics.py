@@ -22,15 +22,30 @@ def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
 def confusion_matrix(
     predictions: np.ndarray, labels: np.ndarray, num_classes: Optional[int] = None
 ) -> np.ndarray:
-    """Rows = true class, columns = predicted class."""
+    """Rows = true class, columns = predicted class.
+
+    Class ids must be non-negative and, when ``num_classes`` is given,
+    below it — fancy indexing would otherwise silently wrap negative ids
+    to the end of the matrix, corrupting every metric built on top.
+    """
     predictions = np.asarray(predictions).ravel()
     labels = np.asarray(labels).ravel()
     if predictions.shape != labels.shape:
         raise MLError(f"shape mismatch: {predictions.shape} vs {labels.shape}")
     if predictions.size == 0:
         raise MLError("confusion matrix of empty arrays")
+    lowest = int(min(predictions.min(), labels.min()))
+    if lowest < 0:
+        raise MLError(f"class ids must be non-negative, got {lowest}")
+    highest = int(max(predictions.max(), labels.max()))
     if num_classes is None:
-        num_classes = int(max(predictions.max(), labels.max())) + 1
+        num_classes = highest + 1
+    elif num_classes < 1:
+        raise MLError(f"num_classes must be >= 1, got {num_classes}")
+    elif highest >= num_classes:
+        raise MLError(
+            f"class id {highest} out of range for num_classes={num_classes}"
+        )
     matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
     np.add.at(matrix, (labels, predictions), 1)
     return matrix

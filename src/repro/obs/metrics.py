@@ -1,0 +1,268 @@
+"""Labelled metric instruments: counters, gauges, histograms.
+
+One :class:`MetricsRegistry` holds every instrument a run produces. An
+instrument is identified by ``(name, frozenset(labels))`` — asking the
+registry for the same name+labels twice returns the same object, so hot
+paths can cache the instrument once and increment it for free afterwards.
+
+The registry is deliberately tiny and dependency-free: values are exact
+Python numbers (counters stay ints as long as callers increment by ints),
+so code that reports through a registry instead of a bespoke field keeps
+byte-identical accounting. ``snapshot()`` renders everything as plain
+JSON-serialisable dicts (see :mod:`repro.obs.export` for the file format).
+
+The null variants (:class:`NullRegistry` and its shared instruments) are
+the disabled path: every mutator is a no-op, every accessor returns zero,
+and a single shared instance backs all names, so instrumented code needs
+no ``if enabled`` checks on the hot path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.errors import ObsError
+
+Number = Union[int, float]
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Default histogram bucket upper bounds — geometric, wide enough to cover
+#: microsecond latencies and kilosecond makespans with one scale.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 100.0, 1000.0
+)
+
+
+def _label_key(labels: Dict[str, object]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically non-decreasing total."""
+
+    __slots__ = ("name", "labels", "_value")
+
+    def __init__(self, name: str, labels: LabelKey):
+        self.name = name
+        self.labels = labels
+        self._value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ObsError(f"counter {self.name!r} cannot decrease")
+        self._value += amount
+
+    @property
+    def value(self) -> Number:
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down (last write wins)."""
+
+    __slots__ = ("name", "labels", "_value")
+
+    def __init__(self, name: str, labels: LabelKey):
+        self.name = name
+        self.labels = labels
+        self._value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self._value = value
+
+    def inc(self, amount: Number = 1) -> None:
+        self._value += amount
+
+    def dec(self, amount: Number = 1) -> None:
+        self._value -= amount
+
+    @property
+    def value(self) -> Number:
+        return self._value
+
+
+class Histogram:
+    """Distribution summary: count/sum/min/max plus cumulative buckets."""
+
+    __slots__ = ("name", "labels", "buckets", "bucket_counts",
+                 "count", "sum", "min", "max")
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelKey,
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+    ):
+        if list(buckets) != sorted(buckets) or len(set(buckets)) != len(buckets):
+            raise ObsError(f"histogram {name!r} buckets must strictly increase")
+        self.name = name
+        self.labels = labels
+        self.buckets = tuple(buckets)
+        self.bucket_counts = [0] * (len(buckets) + 1)  # last = +Inf
+        self.count = 0
+        self.sum: float = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: Number) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def cumulative_buckets(self) -> Dict[str, int]:
+        """``{upper_bound: observations <= bound}`` with a ``+Inf`` tail."""
+        out: Dict[str, int] = {}
+        running = 0
+        for bound, count in zip(self.buckets, self.bucket_counts):
+            running += count
+            out[repr(bound)] = running
+        out["+Inf"] = running + self.bucket_counts[-1]
+        return out
+
+
+class MetricsRegistry:
+    """The per-run instrument store; hand it to every instrumented subsystem."""
+
+    enabled = True
+
+    def __init__(self):
+        self._counters: Dict[Tuple[str, LabelKey], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelKey], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelKey], Histogram] = {}
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        key = (name, _label_key(labels))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter(name, key[1])
+        return instrument
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        key = (name, _label_key(labels))
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge(name, key[1])
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Iterable[float]] = None,
+        **labels: object,
+    ) -> Histogram:
+        key = (name, _label_key(labels))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(
+                name, key[1],
+                tuple(buckets) if buckets is not None else DEFAULT_BUCKETS,
+            )
+        return instrument
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def value(self, name: str, **labels: object) -> Number:
+        """Current value of a counter/gauge (0 if never touched)."""
+        key = (name, _label_key(labels))
+        if key in self._counters:
+            return self._counters[key].value
+        if key in self._gauges:
+            return self._gauges[key].value
+        return 0
+
+    def snapshot(self) -> Dict[str, List[Dict]]:
+        """All instruments as JSON-serialisable records, sorted by identity."""
+
+        def sort_key(instrument):
+            return (instrument.name, instrument.labels)
+
+        return {
+            "counters": [
+                {"name": c.name, "labels": dict(c.labels), "value": c.value}
+                for c in sorted(self._counters.values(), key=sort_key)
+            ],
+            "gauges": [
+                {"name": g.name, "labels": dict(g.labels), "value": g.value}
+                for g in sorted(self._gauges.values(), key=sort_key)
+            ],
+            "histograms": [
+                {
+                    "name": h.name,
+                    "labels": dict(h.labels),
+                    "count": h.count,
+                    "sum": h.sum,
+                    "min": h.min,
+                    "max": h.max,
+                    "mean": h.mean,
+                    "buckets": h.cumulative_buckets(),
+                }
+                for h in sorted(self._histograms.values(), key=sort_key)
+            ],
+        }
+
+
+# ---------------------------------------------------------------------------
+# Disabled path: shared null instruments, zero allocation per call
+# ---------------------------------------------------------------------------
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: Number = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: Number) -> None:
+        pass
+
+    def inc(self, amount: Number = 1) -> None:
+        pass
+
+    def dec(self, amount: Number = 1) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: Number) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter("null", ())
+_NULL_GAUGE = _NullGauge("null", ())
+_NULL_HISTOGRAM = _NullHistogram("null", ())
+
+
+class NullRegistry(MetricsRegistry):
+    """The no-op registry behind the module-level disabled default."""
+
+    enabled = False
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name, buckets=None, **labels) -> Histogram:
+        return _NULL_HISTOGRAM
+
+
+NULL_REGISTRY = NullRegistry()

@@ -6,6 +6,14 @@ join), so selectivity ordering from the algebra layer directly controls work.
 
 Extension functions (the GeoSPARQL ``geof:`` family) are supplied through a
 :class:`FunctionRegistry`; the evaluator itself knows nothing about geometry.
+
+Operator-level observability: pass an :class:`~repro.obs.Observability`
+bundle to :func:`evaluate` and every algebra operator reports how long its
+iterator ran and how many solutions it produced — the ``sparql.op_seconds``
+histogram and ``sparql.op_solutions`` counter, labelled by operator type.
+Timing is inclusive of children (a join's total contains its scans) and
+excludes consumer time between pulls. With no bundle the evaluator takes
+the raw, unwrapped path.
 """
 
 from __future__ import annotations
@@ -13,6 +21,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.errors import SPARQLError
+from repro.obs import Observability, resolve as resolve_obs
 from repro.rdf.graph import Graph
 from repro.rdf.term import Term
 from repro.sparql.algebra import (
@@ -243,6 +252,44 @@ def _evaluate_op(
     graph: Graph,
     bindings: Bindings,
     registry: FunctionRegistry,
+    obs: Optional[Observability] = None,
+) -> Iterator[Bindings]:
+    """Dispatch: raw operator iterator, or the timed wrapper when observed."""
+    iterator = _op_iter(op, graph, bindings, registry, obs)
+    if obs is None or not obs.enabled:
+        return iterator
+    return _timed_iter(iterator, type(op).__name__, obs)
+
+
+def _timed_iter(
+    iterator: Iterator[Bindings], op_name: str, obs: Observability
+) -> Iterator[Bindings]:
+    """Account an operator's iterator time + cardinality to ``sparql.*``."""
+    clock = obs.tracer.now
+    elapsed = 0.0
+    produced = 0
+    try:
+        while True:
+            started = clock()
+            try:
+                solution = next(iterator)
+            except StopIteration:
+                return
+            finally:
+                elapsed += clock() - started
+            produced += 1
+            yield solution
+    finally:
+        obs.metrics.histogram("sparql.op_seconds", op=op_name).observe(elapsed)
+        obs.metrics.counter("sparql.op_solutions", op=op_name).inc(produced)
+
+
+def _op_iter(
+    op: AlgebraOp,
+    graph: Graph,
+    bindings: Bindings,
+    registry: FunctionRegistry,
+    obs: Optional[Observability] = None,
 ) -> Iterator[Bindings]:
     custom = getattr(op, "evaluate_custom", None)
     if custom is not None:
@@ -255,13 +302,15 @@ def _evaluate_op(
         yield from _scan(graph, op.pattern, bindings)
         return
     if isinstance(op, JoinOp):
-        for left_solution in _evaluate_op(op.left, graph, bindings, registry):
-            yield from _evaluate_op(op.right, graph, left_solution, registry)
+        for left_solution in _evaluate_op(op.left, graph, bindings, registry, obs):
+            yield from _evaluate_op(op.right, graph, left_solution, registry, obs)
         return
     if isinstance(op, LeftJoinOp):
-        for left_solution in _evaluate_op(op.left, graph, bindings, registry):
+        for left_solution in _evaluate_op(op.left, graph, bindings, registry, obs):
             extended = False
-            for joined in _evaluate_op(op.right, graph, left_solution, registry):
+            for joined in _evaluate_op(
+                op.right, graph, left_solution, registry, obs
+            ):
                 extended = True
                 yield joined
             if not extended:
@@ -269,10 +318,10 @@ def _evaluate_op(
         return
     if isinstance(op, UnionOp):
         for operand in op.operands:
-            yield from _evaluate_op(operand, graph, bindings, registry)
+            yield from _evaluate_op(operand, graph, bindings, registry, obs)
         return
     if isinstance(op, FilterOp):
-        for solution in _evaluate_op(op.operand, graph, bindings, registry):
+        for solution in _evaluate_op(op.operand, graph, bindings, registry, obs):
             try:
                 keep = effective_boolean_value(
                     evaluate_expression(op.expression, solution, registry)
@@ -283,7 +332,7 @@ def _evaluate_op(
                 yield solution
         return
     if isinstance(op, ExtendOp):
-        for solution in _evaluate_op(op.operand, graph, bindings, registry):
+        for solution in _evaluate_op(op.operand, graph, bindings, registry, obs):
             if op.variable in solution:
                 raise SPARQLError(
                     f"BIND would rebind already-bound variable {op.variable}"
@@ -325,24 +374,40 @@ def evaluate(
     query: Union[SelectQuery, AskQuery, str],
     registry: FunctionRegistry = _EMPTY_REGISTRY,
     options: Optional[CompileOptions] = None,
+    obs: Optional[Observability] = None,
 ) -> Union[List[Bindings], bool]:
     """Evaluate a query (text or AST) against *graph*.
 
     SELECT returns a list of solutions ({Variable: Term}); ASK returns bool.
+    With ``obs``, per-operator timing and cardinality are recorded (see the
+    module docstring) and the whole call runs in a ``sparql.query`` span.
     """
     if isinstance(query, str):
         from repro.sparql.parser import parse_query
 
         query = parse_query(query)
+    observability = resolve_obs(obs)
+    with observability.tracer.span(
+        "sparql.query", form="ask" if isinstance(query, AskQuery) else "select"
+    ):
+        return _evaluate_query(graph, query, registry, options, obs)
 
+
+def _evaluate_query(
+    graph: Graph,
+    query: Union[SelectQuery, AskQuery],
+    registry: FunctionRegistry,
+    options: Optional[CompileOptions],
+    obs: Optional[Observability],
+) -> Union[List[Bindings], bool]:
     if isinstance(query, AskQuery):
         tree = compile_group(query.where, graph, options)
-        for _ in _evaluate_op(tree, graph, {}, registry):
+        for _ in _evaluate_op(tree, graph, {}, registry, obs):
             return True
         return False
 
     tree = compile_group(query.where, graph, options)
-    solutions = list(_evaluate_op(tree, graph, {}, registry))
+    solutions = list(_evaluate_op(tree, graph, {}, registry, obs))
 
     if query.is_aggregate:
         solutions = _aggregate(query, solutions, registry)

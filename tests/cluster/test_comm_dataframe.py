@@ -56,6 +56,24 @@ class TestCommModels:
             32, 1e8, servers=1, network=self.net
         )
 
+    def test_ps_single_worker_uses_general_formula(self):
+        # Regression: a ``workers == 1`` special case ignored ``servers``,
+        # so one worker against a 4-server tier cost the same as against
+        # one server, and adding a second worker could *reduce* the time.
+        t1 = parameter_server_time_s(1, 1e8, servers=4, network=self.net)
+        expected = 2 * self.net.latency_s + 2 * (1e8 / 4) / 1e9
+        assert t1 == pytest.approx(expected)
+        t2 = parameter_server_time_s(2, 1e8, servers=4, network=self.net)
+        assert t2 > t1
+
+    def test_ps_monotone_in_servers_at_one_worker(self):
+        times = [
+            parameter_server_time_s(1, 1e8, servers=s, network=self.net)
+            for s in (1, 2, 4, 8, 16)
+        ]
+        assert times == sorted(times, reverse=True)
+        assert times[-1] < times[0]
+
     def test_validation(self):
         with pytest.raises(ClusterError):
             ring_allreduce_time_s(0, 1e6)

@@ -4,8 +4,6 @@ Also pins the retry-accounting semantics: a task abandoned after N retries
 counts exactly N ``task_failures`` and exactly 1 ``tasks_abandoned``.
 """
 
-import dataclasses
-
 import pytest
 
 from repro.cluster import ClusterSpec, Scheduler
@@ -164,9 +162,7 @@ class TestDeterminism:
         return run_tasks(scheduler, count=16, work_s=1.5)
 
     def test_same_plan_same_timeline(self):
-        assert dataclasses.asdict(self.chaos_metrics()) == dataclasses.asdict(
-            self.chaos_metrics()
-        )
+        assert self.chaos_metrics().as_dict() == self.chaos_metrics().as_dict()
 
     def test_none_plan_matches_no_injector(self):
         """FaultPlan.none() must be indistinguishable from injector=None."""
@@ -174,7 +170,7 @@ class TestDeterminism:
             Scheduler(spec(), injector=FaultInjector(FaultPlan.none()))
         )
         without = run_tasks(Scheduler(spec()))
-        assert dataclasses.asdict(with_injector) == dataclasses.asdict(without)
+        assert with_injector.as_dict() == without.as_dict()
 
 
 class TestRetryAccounting:

@@ -41,6 +41,30 @@ class TestBackoff:
         assert all(0.75 <= d <= 1.25 for d in a)
         assert len(set(a)) > 1  # jitter actually perturbs
 
+    def test_default_jitter_applies_without_explicit_rng(self):
+        # Regression: the documented jitter=0.1 default was silently
+        # dropped unless the caller passed an rng — every default-config
+        # retry across the platform backed off in lockstep.
+        policy = RetryPolicy(base_delay_s=1.0, multiplier=1.0)
+        delays = [policy.backoff_s(1) for _ in range(20)]
+        assert len(set(delays)) > 1
+        assert all(0.9 <= d <= 1.1 for d in delays)
+
+    def test_default_jitter_replays_under_fixed_seed(self):
+        a = RetryPolicy(base_delay_s=1.0, multiplier=1.0, jitter_seed=42)
+        b = RetryPolicy(base_delay_s=1.0, multiplier=1.0, jitter_seed=42)
+        assert [a.backoff_s(1) for _ in range(10)] == [
+            b.backoff_s(1) for _ in range(10)
+        ]
+        c = RetryPolicy(base_delay_s=1.0, multiplier=1.0, jitter_seed=43)
+        assert [a.backoff_s(1)] != [c.backoff_s(1)]
+
+    def test_explicit_rng_still_wins_over_policy_stream(self):
+        policy = RetryPolicy(base_delay_s=1.0, multiplier=1.0, jitter=0.25)
+        assert policy.backoff_s(1, random.Random(7)) == policy.backoff_s(
+            1, random.Random(7)
+        )
+
     def test_validation(self):
         with pytest.raises(FaultError):
             RetryPolicy(max_attempts=0)

@@ -207,6 +207,26 @@ class TestMetrics:
         m = confusion_matrix(np.array([0, 1, 1]), np.array([0, 1, 0]))
         np.testing.assert_array_equal(m, [[1, 1], [0, 1]])
 
+    def test_confusion_matrix_rejects_negative_labels(self):
+        # Regression: fancy indexing silently wrapped -1 to the last row,
+        # corrupting every downstream metric instead of failing loudly.
+        with pytest.raises(MLError):
+            confusion_matrix(np.array([0, 1]), np.array([0, -1]))
+        with pytest.raises(MLError):
+            confusion_matrix(np.array([-2, 1]), np.array([0, 1]))
+
+    def test_confusion_matrix_rejects_out_of_range_labels(self):
+        with pytest.raises(MLError):
+            confusion_matrix(np.array([0, 3]), np.array([0, 1]), num_classes=2)
+        with pytest.raises(MLError):
+            confusion_matrix(np.array([0]), np.array([0]), num_classes=0)
+
+    def test_f1_and_iou_reject_negative_labels(self):
+        with pytest.raises(MLError):
+            f1_scores(np.array([0, -1]), np.array([0, 1]))
+        with pytest.raises(MLError):
+            mean_iou(np.array([0, 1]), np.array([-1, 1]))
+
     def test_f1_perfect(self):
         scores = f1_scores(np.array([0, 1, 2]), np.array([0, 1, 2]))
         assert all(v == 1.0 for v in scores.values())

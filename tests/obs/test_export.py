@@ -1,0 +1,82 @@
+"""Snapshot export: file round-trip, validation, bench paths."""
+
+import json
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs import (
+    Observability,
+    bench_snapshot_path,
+    read_snapshot,
+    validate_snapshot,
+)
+
+
+def populated_obs():
+    obs = Observability()
+    obs.metrics.counter("ops", shard=0).inc(4)
+    obs.metrics.gauge("depth").set(2)
+    obs.metrics.histogram("lat_ms").observe(0.5)
+    with obs.tracer.span("phase"):
+        pass
+    return obs
+
+
+class TestRoundTrip:
+    def test_write_then_read_validates(self, tmp_path):
+        obs = populated_obs()
+        path = obs.write_snapshot(
+            str(tmp_path / "BENCH_TEST.json"), meta={"experiment": "E0"}
+        )
+        document = read_snapshot(path)
+        assert document["schema"] == "repro.obs/v1"
+        assert document["meta"] == {"experiment": "E0"}
+        assert document["metrics"]["counters"][0]["value"] == 4
+        assert document["spans"]["aggregates"][0]["name"] == "phase"
+
+    def test_written_file_is_plain_json(self, tmp_path):
+        path = populated_obs().write_snapshot(str(tmp_path / "s.json"))
+        with open(path) as handle:
+            assert json.load(handle)["schema"] == "repro.obs/v1"
+
+
+class TestValidation:
+    def test_rejects_wrong_schema(self):
+        document = populated_obs().snapshot()
+        document["schema"] = "v0"
+        with pytest.raises(ObsError):
+            validate_snapshot(document)
+
+    @pytest.mark.parametrize("section", ["meta", "metrics", "spans"])
+    def test_rejects_missing_sections(self, section):
+        document = populated_obs().snapshot()
+        del document[section]
+        with pytest.raises(ObsError):
+            validate_snapshot(document)
+
+    def test_rejects_malformed_metric_records(self):
+        document = populated_obs().snapshot()
+        del document["metrics"]["counters"][0]["value"]
+        with pytest.raises(ObsError):
+            validate_snapshot(document)
+
+    def test_rejects_malformed_histograms(self):
+        document = populated_obs().snapshot()
+        del document["metrics"]["histograms"][0]["buckets"]
+        with pytest.raises(ObsError):
+            validate_snapshot(document)
+
+
+class TestBenchPath:
+    def test_bench_path_uses_env_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path))
+        assert bench_snapshot_path("e01") == str(tmp_path / "BENCH_E01.json")
+
+    def test_bench_path_defaults_to_cwd(self, monkeypatch):
+        monkeypatch.delenv("REPRO_OBS_DIR", raising=False)
+        assert bench_snapshot_path("e05") == "./BENCH_E05.json"
+
+    def test_bench_name_validated(self):
+        with pytest.raises(ObsError):
+            bench_snapshot_path("../escape")

@@ -1,0 +1,210 @@
+"""Instrumentation contract: disabled obs is invisible, enabled obs records.
+
+The acceptance bar for ``repro.obs`` is the same as for ``repro.faults``:
+an uninstrumented run must be *identical* whether or not observability is
+wired in — same metrics, same task timeline, byte for byte — and turning
+it on must actually capture every instrumented subsystem.
+"""
+
+import json
+import subprocess
+import sys
+
+import numpy as np
+
+from repro.cluster import ClusterSpec, Scheduler
+from repro.faults import FaultInjector, FaultPlan, NodeCrash, RetryPolicy, Straggler
+from repro.federation import Endpoint, execute_federated
+from repro.hopsfs import HopsFS
+from repro.ml import DataParallelTrainer, Dense, ReLU, SGD, Sequential
+from repro.obs import Observability
+from repro.rdf import Graph, Literal, Namespace
+from repro.sparql import evaluate
+
+EX = Namespace("http://ex.org/")
+
+CHAOS_PLAN = FaultPlan(
+    seed=7,
+    node_crashes=(NodeCrash(node_id=1, at_s=2.0),),
+    stragglers=(Straggler(node_id=2, factor=2.5),),
+    task_failure_rate=0.2,
+)
+
+
+def chaos_run(obs):
+    """One seeded chaos scheduler run; returns (metrics, task timeline)."""
+    scheduler = Scheduler(
+        ClusterSpec(node_count=4, cpu_slots_per_node=2),
+        injector=FaultInjector(CHAOS_PLAN),
+        speculation=True,
+        obs=obs,
+    )
+    tasks = [
+        scheduler.make_task(1.0 + 0.5 * (i % 3), input_bytes=1e6,
+                            preferred_nodes={i % 4})
+        for i in range(16)
+    ]
+    scheduler.submit_all(tasks)
+    metrics = scheduler.run()
+    timeline = [
+        (t.task_id, t.started_at, t.finished_at, t.ran_on, t.attempts)
+        for t in tasks
+    ]
+    return metrics, timeline
+
+
+class TestDisabledParity:
+    def test_scheduler_run_identical_with_and_without_obs(self):
+        bare_metrics, bare_timeline = chaos_run(obs=None)
+        obs_metrics, obs_timeline = chaos_run(obs=Observability())
+        assert obs_timeline == bare_timeline
+        assert obs_metrics.as_dict() == bare_metrics.as_dict()
+        assert repr(obs_metrics.as_dict()) == repr(bare_metrics.as_dict())
+
+    def test_run_digest_identical_across_fresh_interpreters(self):
+        """Enabled-vs-disabled parity with no shared interpreter state."""
+        import os
+
+        repo_root = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
+        program = (
+            "import json, sys\n"
+            f"sys.path.insert(0, {os.path.join(repo_root, 'src')!r})\n"
+            f"sys.path.insert(0, {repo_root!r})\n"
+            "from tests.obs.test_instrumentation import chaos_run\n"
+            "from repro.obs import Observability\n"
+            "obs = Observability() if sys.argv[1] == 'on' else None\n"
+            "metrics, timeline = chaos_run(obs)\n"
+            "print(json.dumps([metrics.as_dict(), timeline], sort_keys=True))\n"
+        )
+        digests = [
+            subprocess.run(
+                [sys.executable, "-c", program, mode],
+                capture_output=True, text=True, check=True,
+            ).stdout
+            for mode in ("off", "on")
+        ]
+        assert digests[0] == digests[1]
+
+    def test_noop_bundle_records_nothing_during_run(self):
+        from repro.obs import NOOP
+
+        chaos_run(obs=None)
+        assert NOOP.metrics.snapshot() == {
+            "counters": [], "gauges": [], "histograms": []
+        }
+        assert NOOP.tracer.finished_spans == []
+
+
+class TestSchedulerCapture:
+    def test_task_spans_run_on_sim_clock(self):
+        obs = Observability()
+        scheduler = Scheduler(
+            ClusterSpec(node_count=2, cpu_slots_per_node=1), obs=obs
+        )
+        scheduler.submit_all([scheduler.make_task(3.0) for _ in range(4)])
+        metrics = scheduler.run()
+        assert obs.tracer.span_count("scheduler.task") == 4
+        # 4 tasks x 3 simulated seconds each — wall-clock would be ~0.
+        assert obs.tracer.total_s("scheduler.task") == 12.0
+        assert obs.metrics.value("scheduler.tasks_completed") == 4
+        assert metrics.tasks_completed == 4
+
+    def test_facade_counts_come_from_the_shared_registry(self):
+        obs = Observability()
+        scheduler = Scheduler(
+            ClusterSpec(node_count=2, cpu_slots_per_node=1), obs=obs
+        )
+        scheduler.submit_all([scheduler.make_task(1.0)])
+        metrics = scheduler.run()
+        snapshot_names = {c["name"] for c in obs.metrics.snapshot()["counters"]}
+        assert "scheduler.tasks_completed" in snapshot_names
+        assert metrics.makespan_s == obs.metrics.value("scheduler.makespan_s")
+
+
+class TestSubsystemCapture:
+    def test_hopsfs_ops_and_latency(self):
+        obs = Observability()
+        fs = HopsFS(obs=obs)
+        fs.mkdir("/sat")
+        fs.create("/sat/tile.bin", data=b"x" * 64)
+        fs.read("/sat/tile.bin")
+        total_ops = (obs.metrics.value("hopsfs.ops", kind="single")
+                     + obs.metrics.value("hopsfs.ops", kind="2pc"))
+        assert total_ops > 0
+        assert obs.metrics.value("hopsfs.files", layout="inline") == 1
+        histograms = obs.metrics.snapshot()["histograms"]
+        assert any(h["name"] == "hopsfs.shard_op_ms" and h["count"] > 0
+                   for h in histograms)
+        assert obs.tracer.span_count("hopsfs.fs") == 3
+
+    def test_federation_query_series(self):
+        crops = Graph("crops")
+        weather = Graph("weather")
+        for i in range(3):
+            crops.add(EX[f"f{i}"], EX.crop, Literal("wheat"))
+            weather.add(EX[f"f{i}"], EX.rainfall, Literal.from_python(100 + i))
+        obs = Observability()
+        solutions, _ = execute_federated(
+            "PREFIX ex: <http://ex.org/> "
+            "SELECT ?f ?r WHERE { ?f ex:crop ?c . ?f ex:rainfall ?r }",
+            [Endpoint("crops", crops), Endpoint("weather", weather)],
+            obs=obs,
+        )
+        assert len(solutions) == 3
+        assert obs.metrics.value("federation.queries") == 1
+        assert obs.metrics.value("federation.requests") > 0
+        assert obs.tracer.span_count("federation.query") == 1
+        assert obs.tracer.span_count("federation.fetch") > 0
+
+    def test_sparql_operator_timing(self):
+        graph = Graph("g")
+        for i in range(4):
+            graph.add(EX[f"s{i}"], EX.p, Literal.from_python(i))
+        obs = Observability()
+        rows = evaluate(
+            graph,
+            "PREFIX ex: <http://ex.org/> SELECT ?s ?v WHERE { ?s ex:p ?v }",
+            obs=obs,
+        )
+        assert len(rows) == 4
+        assert obs.tracer.span_count("sparql.query") == 1
+        histograms = {h["name"] for h in obs.metrics.snapshot()["histograms"]}
+        assert "sparql.op_seconds" in histograms
+        assert obs.metrics.value("sparql.op_solutions", op="ScanOp") >= 4
+
+    def test_ml_step_comm_compute_split(self):
+        model = Sequential([Dense(4, 8, seed=0), ReLU(), Dense(8, 3, seed=1)])
+        trainer = DataParallelTrainer(
+            model, SGD(model.parameters(), lr=0.1),
+            workers=4, strategy="allreduce", obs=(obs := Observability()),
+        )
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(16, 4))
+        y = rng.integers(0, 3, size=16)
+        trainer.train_step(x, y)
+        assert obs.metrics.value("ml.steps", strategy="allreduce") == 1
+        assert obs.metrics.value("ml.compute_time_s", strategy="allreduce") > 0
+        assert obs.metrics.value("ml.comm_time_s", strategy="allreduce") > 0
+        [step] = [h for h in obs.metrics.snapshot()["histograms"]
+                  if h["name"] == "ml.step_time_s"]
+        assert step["count"] == 1
+        assert obs.metrics.value("ml.active_workers") == 4
+
+    def test_retry_attempt_series(self):
+        from repro.errors import FaultError
+
+        failures = iter([True, True, False])
+
+        def flaky():
+            if next(failures):
+                raise FaultError("transient")
+            return "ok"
+
+        obs = Observability()
+        policy = RetryPolicy(max_attempts=5, jitter=0.0, scope="test")
+        assert policy.call(flaky, sleep=lambda _ : None, obs=obs) == "ok"
+        assert obs.metrics.value("retry.attempts", scope="test") == 3
+        assert obs.metrics.value("retry.retries", scope="test") == 2
+        assert obs.metrics.value("retry.recoveries", scope="test") == 1

@@ -1,0 +1,104 @@
+"""MetricsRegistry: instrument identity, accounting, snapshots, null path."""
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs import MetricsRegistry, NULL_REGISTRY, Observability
+
+
+class TestCounters:
+    def test_same_name_labels_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("ops", shard=1)
+        b = registry.counter("ops", shard=1)
+        assert a is b
+        a.inc()
+        b.inc(2)
+        assert registry.value("ops", shard=1) == 3
+
+    def test_labels_partition_series(self):
+        registry = MetricsRegistry()
+        registry.counter("ops", shard=1).inc()
+        registry.counter("ops", shard=2).inc(5)
+        assert registry.value("ops", shard=1) == 1
+        assert registry.value("ops", shard=2) == 5
+        assert registry.value("ops", shard=3) == 0
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x", a=1, b=2) is registry.counter("x", b=2, a=1)
+
+    def test_counts_stay_exact_integers(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("n")
+        for _ in range(1000):
+            counter.inc()
+        assert counter.value == 1000
+        assert isinstance(counter.value, int)
+
+    def test_counter_rejects_decrease(self):
+        with pytest.raises(ObsError):
+            MetricsRegistry().counter("n").inc(-1)
+
+
+class TestGaugesAndHistograms:
+    def test_gauge_last_write_wins(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(3)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value == 2
+
+    def test_histogram_summary_stats(self):
+        histogram = MetricsRegistry().histogram("lat")
+        for value in (0.5, 1.5, 2.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(4.0)
+        assert histogram.min == 0.5
+        assert histogram.max == 2.0
+        assert histogram.mean == pytest.approx(4.0 / 3)
+
+    def test_histogram_cumulative_buckets(self):
+        histogram = MetricsRegistry().histogram("lat", buckets=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            histogram.observe(value)
+        assert histogram.cumulative_buckets() == {
+            "1.0": 1, "10.0": 2, "+Inf": 3
+        }
+
+    def test_histogram_buckets_must_increase(self):
+        with pytest.raises(ObsError):
+            MetricsRegistry().histogram("bad", buckets=(2.0, 1.0))
+
+
+class TestSnapshot:
+    def test_snapshot_is_sorted_and_json_plain(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a", z=1).inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(0.2)
+        snapshot = registry.snapshot()
+        assert [c["name"] for c in snapshot["counters"]] == ["a", "b"]
+        assert snapshot["counters"][0]["labels"] == {"z": "1"}
+        assert snapshot["gauges"] == [{"name": "g", "labels": {}, "value": 1.5}]
+        assert snapshot["histograms"][0]["count"] == 1
+
+
+class TestNullPath:
+    def test_null_registry_swallows_everything(self):
+        NULL_REGISTRY.counter("x", k=1).inc(10)
+        NULL_REGISTRY.gauge("y").set(3)
+        NULL_REGISTRY.histogram("z").observe(1.0)
+        assert NULL_REGISTRY.value("x", k=1) == 0
+        snapshot = NULL_REGISTRY.snapshot()
+        assert snapshot == {"counters": [], "gauges": [], "histograms": []}
+
+    def test_null_instruments_are_shared(self):
+        assert NULL_REGISTRY.counter("a") is NULL_REGISTRY.counter("b")
+
+    def test_enabled_flags(self):
+        assert MetricsRegistry().enabled
+        assert not NULL_REGISTRY.enabled
+        assert Observability().enabled
