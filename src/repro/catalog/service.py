@@ -1,8 +1,16 @@
-"""The semantic catalogue service."""
+"""The semantic catalogue service.
+
+Overload resilience (experiment E18): the catalogue optionally takes an
+:class:`~repro.resilience.AdmissionController` guarding query entry (shed
+queries raise the retryable :class:`~repro.errors.Overloaded`), and every
+query accepts an optional :class:`~repro.resilience.Deadline` checked
+around evaluation. Both default to off — the unguarded path is
+byte-identical to the pre-E18 service.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.catalog import model
 from repro.catalog.ingest import ingest_knowledge, ingest_products
@@ -14,6 +22,10 @@ from repro.rdf.namespace import GEO
 from repro.rdf.term import IRI, Literal
 from repro.raster.products import Product
 from repro.sparql import Variable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.admission import AdmissionController
+    from repro.resilience.deadline import Deadline
 
 _PREFIXES = (
     "PREFIX geo: <http://www.opengis.net/ont/geosparql#> "
@@ -31,8 +43,13 @@ class SemanticCatalog:
     "the knowledge hidden in Sentinel satellite images" is just more triples.
     """
 
-    def __init__(self, store: Optional[GeoStore] = None):
+    def __init__(
+        self,
+        store: Optional[GeoStore] = None,
+        admission: Optional["AdmissionController"] = None,
+    ):
         self.store = store if store is not None else GeoStore()
+        self._admission = admission
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -149,6 +166,8 @@ class SemanticCatalog:
         end_time: Optional[str] = None,
         mission: Optional[str] = None,
         product_type: Optional[str] = None,
+        deadline: Optional["Deadline"] = None,
+        priority: int = 1,
     ) -> List[IRI]:
         """Search by the classic hub parameters; returns product IRIs."""
         patterns = ["?p rdf:type eop:Product ."]
@@ -172,22 +191,50 @@ class SemanticCatalog:
             )
         filter_text = " ".join(f"FILTER ({f})" for f in filters)
         query = (
-            _PREFIXES
-            + "SELECT DISTINCT ?p WHERE { "
+            "SELECT DISTINCT ?p WHERE { "
             + " ".join(patterns)
             + " "
             + filter_text
             + " }"
         )
-        return [s[Variable("p")] for s in self.store.query(query)]
+        solutions = self.query(query, deadline=deadline, priority=priority)
+        return [s[Variable("p")] for s in solutions]
 
     # ------------------------------------------------------------------
     # Knowledge queries
     # ------------------------------------------------------------------
 
-    def query(self, sparql: str):
-        """Run raw SPARQL (prefixes for geo/geof/eop/rdf are prepended)."""
-        return self.store.query(_PREFIXES + sparql)
+    def query(
+        self,
+        sparql: str,
+        deadline: Optional["Deadline"] = None,
+        priority: int = 1,
+    ):
+        """Run raw SPARQL (prefixes for geo/geof/eop/rdf are prepended).
+
+        With an admission controller attached the query takes a ticket
+        (classed by ``priority``) for the duration of evaluation; a
+        ``deadline`` is checked before and after evaluation, so an
+        exhausted budget fails with
+        :class:`~repro.errors.TimeoutExceeded` instead of returning late.
+        """
+        if self._admission is None and deadline is None:
+            return self.store.query(_PREFIXES + sparql)
+        ticket = (
+            self._admission.admit(priority=priority)
+            if self._admission is not None
+            else None
+        )
+        try:
+            if deadline is not None:
+                deadline.check("catalog.query")
+            result = self.store.query(_PREFIXES + sparql)
+            if deadline is not None:
+                deadline.check("catalog.query")
+            return result
+        finally:
+            if ticket is not None:
+                ticket.release()
 
     def count_icebergs_embedded(self, region_name: str, year: int) -> int:
         """The paper's flagship query: icebergs embedded in a named ice

@@ -21,6 +21,13 @@ Fault tolerance (experiment E17) threads through a
 With no injector and the tolerance knobs at their defaults the scheduler is
 byte-identical to the fault-free implementation.
 
+Overload resilience (experiment E18): an optional
+:class:`~repro.resilience.AdmissionController` guards submission — each
+submitted task takes an admission ticket (classed by ``Task.priority``),
+held until the task reaches a terminal state (completed, abandoned, or
+lost in a crash), so queue depth is bounded and batch work is shed first
+under pressure with the retryable :class:`~repro.errors.Overloaded`.
+
 Retry accounting semantics (pinned by the regression suite): a failed
 attempt that *will be retried* counts toward ``task_failures``; the final
 failed attempt of a task that exhausts ``max_retries`` counts as exactly one
@@ -43,6 +50,7 @@ from repro.obs.tracing import Span
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.faults.injector import FaultInjector
+    from repro.resilience.admission import AdmissionController, AdmissionTicket
 
 
 @dataclass
@@ -51,7 +59,9 @@ class Task:
 
     ``work_s`` is the compute time on a speed-1.0 slot; the input is
     ``input_bytes`` stored on ``preferred_nodes`` (empty = no locality
-    preference).
+    preference). ``priority`` is the admission class (0 = batch, 1 =
+    interactive) consulted only when the scheduler has an admission
+    controller attached.
     """
 
     task_id: int
@@ -60,6 +70,7 @@ class Task:
     input_bytes: float = 0.0
     preferred_nodes: Set[int] = field(default_factory=set)
     on_complete: Optional[Callable[["Task"], None]] = None
+    priority: int = 1
 
     submitted_at: float = field(default=0.0, init=False)
     started_at: Optional[float] = field(default=None, init=False)
@@ -182,6 +193,7 @@ class Scheduler:
         speculation_factor: float = 2.0,
         blacklist_after: Optional[int] = None,
         obs: Optional[Observability] = None,
+        admission: Optional["AdmissionController"] = None,
     ):
         if locality_wait_s < 0:
             raise ClusterError("locality_wait_s must be non-negative")
@@ -221,6 +233,8 @@ class Scheduler:
         self._task_counter = itertools.count()
         self._next_wakeup: Optional[float] = None
         self._last_finish_s = 0.0
+        self._admission = admission
+        self._tickets: Dict[int, "AdmissionTicket"] = {}
         self._running: Dict[int, List[_Execution]] = {}
         self._dead_nodes: Set[int] = set()
         self._blacklisted: Set[int] = set()
@@ -252,6 +266,7 @@ class Scheduler:
         input_bytes: float = 0.0,
         preferred_nodes: Optional[Set[int]] = None,
         on_complete: Optional[Callable[[Task], None]] = None,
+        priority: int = 1,
     ) -> Task:
         return Task(
             task_id=next(self._task_counter),
@@ -260,15 +275,32 @@ class Scheduler:
             input_bytes=input_bytes,
             preferred_nodes=set(preferred_nodes or ()),
             on_complete=on_complete,
+            priority=priority,
         )
 
+    def _admit(self, task: Task) -> None:
+        """Take an admission ticket for *task*; raises ``Overloaded`` when
+        the controller sheds it (the task is then not queued)."""
+        if self._admission is None:
+            return
+        self._tickets[task.task_id] = self._admission.admit(
+            priority=task.priority
+        )
+
+    def _release_ticket(self, task: Task) -> None:
+        ticket = self._tickets.pop(task.task_id, None)
+        if ticket is not None:
+            ticket.release()
+
     def submit(self, task: Task) -> None:
+        self._admit(task)
         task.submitted_at = self.simulation.now
         self._queue.append(task)
         self._dispatch()
 
     def submit_all(self, tasks: List[Task]) -> None:
         for task in tasks:
+            self._admit(task)
             task.submitted_at = self.simulation.now
             self._queue.append(task)
         self._dispatch()
@@ -473,6 +505,7 @@ class Scheduler:
                 self.metrics.inc("task_failures")
             elif task.attempts > self.max_retries:
                 self.metrics.inc("tasks_abandoned")
+                self._release_ticket(task)
             else:
                 self.metrics.inc("task_failures")
                 task.submitted_at = self.simulation.now
@@ -486,6 +519,7 @@ class Scheduler:
             execution.span.end("ok")
         self._cancel_siblings(execution)
         self.metrics.inc("tasks_completed")
+        self._release_ticket(task)
         if task.on_complete is not None:
             task.on_complete(task)
         self._dispatch()
@@ -536,4 +570,5 @@ class Scheduler:
                 self._queue.append(task)
             else:
                 self.metrics.inc("tasks_lost")
+                self._release_ticket(task)
         self._dispatch()

@@ -20,9 +20,17 @@ The hierarchy::
     ├── PipelineError               pipeline orchestration
     ├── ObsError                    observability (metrics/tracing/snapshots)
     └── FaultError                  injected infrastructure faults
-        ├── TimeoutExceeded         a call/retry loop overran its deadline
-        └── RetryExhausted          a RetryPolicy gave up (carries attempt
-                                    count and the last underlying error)
+        ├── TimeoutExceeded         a call/retry loop overran its deadline,
+        │                           or a Deadline budget ran out mid-request
+        ├── RetryExhausted          a RetryPolicy gave up (carries attempt
+        │                           count and the last underlying error)
+        ├── CircuitOpen             a CircuitBreaker is open: the call failed
+        │                           fast instead of hammering a flapping
+        │                           dependency (retryable — the breaker may
+        │                           close again after its recovery window)
+        └── Overloaded              an AdmissionController shed the request
+                                    (bulkhead full or low-priority under
+                                    pressure); retryable after backoff
 
 Fault-injection errors (:mod:`repro.faults`) deserve a note: subsystems that
 participate in chaos experiments raise subclasses that *also* derive from
@@ -136,3 +144,43 @@ class RetryExhausted(FaultError):
         super().__init__(message)
         self.attempts = attempts
         self.last_error = last_error
+
+
+class CircuitOpen(FaultError):
+    """A :class:`~repro.resilience.CircuitBreaker` refused the call.
+
+    Raised *instead of* attempting a dependency whose breaker is open, so
+    callers fail in microseconds rather than burning a timeout against a
+    dependency that is known to be down. Retryable: the breaker re-admits
+    probes after its recovery window, so a later attempt can succeed.
+    """
+
+    retryable = True
+
+    def __init__(self, message: str, breaker: Optional[str] = None):
+        super().__init__(message)
+        self.breaker = breaker
+
+
+class Overloaded(FaultError):
+    """An :class:`~repro.resilience.AdmissionController` shed the request.
+
+    The bulkhead was full (``reason="capacity"``) or the request's priority
+    class was below the floor while the controller was under pressure
+    (``reason="pressure"``). Retryable after backoff — shedding is exactly
+    the signal that the serving path needs breathing room *now*.
+    """
+
+    retryable = True
+
+    def __init__(
+        self,
+        message: str,
+        scope: Optional[str] = None,
+        priority: Optional[int] = None,
+        reason: str = "capacity",
+    ):
+        super().__init__(message)
+        self.scope = scope
+        self.priority = priority
+        self.reason = reason

@@ -7,7 +7,8 @@ every scaling experiment be re-measured *under failure*:
 
 * :class:`~repro.faults.injector.FaultPlan` — a declarative, seeded
   description of what goes wrong (node/datanode crashes, stragglers,
-  shard outages, endpoint error/timeout/death, ML worker crashes);
+  shard outages, endpoint error/timeout/death, ML worker crashes, plus
+  E18's time-windowed endpoint flaps and client overload bursts);
   ``FaultPlan.none()`` is the guaranteed no-op plan and
   ``FaultPlan.chaos(seed, ...)`` generates one from failure rates.
 * :class:`~repro.faults.injector.FaultInjector` — the runtime oracle the
@@ -28,9 +29,11 @@ fallback in :mod:`repro.hopsfs.blocks`, retryable shard outages in
 
 from repro.faults.injector import (
     EndpointFault,
+    EndpointFlap,
     FaultInjector,
     FaultPlan,
     NodeCrash,
+    OverloadBurst,
     ShardOutage,
     Straggler,
     WorkerCrash,
@@ -39,9 +42,11 @@ from repro.faults.retry import RetryPolicy, RetryState
 
 __all__ = [
     "EndpointFault",
+    "EndpointFlap",
     "FaultInjector",
     "FaultPlan",
     "NodeCrash",
+    "OverloadBurst",
     "RetryPolicy",
     "RetryState",
     "ShardOutage",

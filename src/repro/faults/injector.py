@@ -105,6 +105,53 @@ class WorkerCrash:
 
 
 @dataclass(frozen=True)
+class EndpointFlap:
+    """Endpoint ``name`` is down for the sim-time window [down_s, up_s).
+
+    Unlike :class:`EndpointFault` (per-call probabilities and call-count
+    death), a flap is a *time-windowed* total outage — the shape a circuit
+    breaker exists for. Several flaps on one endpoint model flapping proper.
+    """
+
+    name: str
+    down_s: float
+    up_s: float
+
+    def __post_init__(self) -> None:
+        if self.down_s < 0 or self.up_s <= self.down_s:
+            raise FaultError(
+                f"flap window must satisfy 0 <= down_s < up_s, got "
+                f"[{self.down_s}, {self.up_s})"
+            )
+
+    def covers(self, at_s: float) -> bool:
+        return self.down_s <= at_s < self.up_s
+
+
+@dataclass(frozen=True)
+class OverloadBurst:
+    """Demand multiplier over a sim-time window (experiment E18).
+
+    During [start_s, start_s + duration_s) the client arrival rate is
+    multiplied by ``factor`` — the flash-crowd shape that drives the
+    admission-control experiments.
+    """
+
+    start_s: float
+    duration_s: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0 or self.duration_s <= 0:
+            raise FaultError("burst window must be non-negative and non-empty")
+        if self.factor < 1.0:
+            raise FaultError(f"burst factor must be >= 1, got {self.factor}")
+
+    def covers(self, at_s: float) -> bool:
+        return self.start_s <= at_s < self.start_s + self.duration_s
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """The full chaos declaration for one experiment run."""
 
@@ -116,6 +163,8 @@ class FaultPlan:
     shard_outages: Tuple[ShardOutage, ...] = ()
     endpoint_faults: Tuple[EndpointFault, ...] = ()
     worker_crashes: Tuple[WorkerCrash, ...] = ()
+    endpoint_flaps: Tuple[EndpointFlap, ...] = ()
+    overload_bursts: Tuple[OverloadBurst, ...] = ()
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.task_failure_rate < 1.0:
@@ -316,6 +365,30 @@ class FaultInjector:
         if draw < fault.error_rate + fault.timeout_rate:
             return TIMEOUT
         return OK
+
+    def endpoint_down_at(self, name: str, at_s: float) -> bool:
+        """Is the endpoint inside one of its flap windows at sim time?"""
+        return any(
+            flap.name == name and flap.covers(at_s)
+            for flap in self.plan.endpoint_flaps
+        )
+
+    # ------------------------------------------------------------------
+    # Overload (experiment E18)
+    # ------------------------------------------------------------------
+
+    def arrival_multiplier(self, at_s: float) -> float:
+        """Client demand multiplier at sim time (1.0 outside every burst).
+
+        Overlapping bursts don't stack — the strongest one wins, so a plan
+        stays interpretable as "the worst flash crowd active right now".
+        """
+        factors = [
+            burst.factor
+            for burst in self.plan.overload_bursts
+            if burst.covers(at_s)
+        ]
+        return max(factors) if factors else 1.0
 
     # ------------------------------------------------------------------
     # ML

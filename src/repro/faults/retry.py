@@ -32,6 +32,7 @@ from repro.errors import FaultError, RetryExhausted, TimeoutExceeded
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs import Observability
+    from repro.resilience.deadline import Deadline
 
 T = TypeVar("T")
 
@@ -51,9 +52,11 @@ class RetryPolicy:
     """Exponential backoff with jitter and an overall deadline.
 
     ``max_attempts`` counts *all* attempts including the first, so
-    ``max_attempts=1`` means no retries. The deadline bounds cumulative
-    backoff wait: a retry whose wait would cross ``deadline_s`` raises
-    :class:`TimeoutExceeded` instead of waiting.
+    ``max_attempts=1`` means no retries. ``deadline_s`` bounds cumulative
+    backoff wait — or, when ``call`` is given a ``clock``, total elapsed
+    time including attempt durations: a retry whose wait would cross the
+    bound raises :class:`TimeoutExceeded` instead of waiting. ``call`` also
+    accepts an end-to-end :class:`~repro.resilience.Deadline` to charge.
 
     ``scope`` names the policy in metrics (``retry.*`` series are labelled
     with it), so one Observability bundle can tell the KV store's retries
@@ -117,6 +120,8 @@ class RetryPolicy:
         rng: Optional[random.Random] = None,
         sleep: Optional[Callable[[float], None]] = None,
         obs: Optional["Observability"] = None,
+        clock: Optional[Callable[[], float]] = None,
+        deadline: Optional["Deadline"] = None,
     ) -> T:
         """Invoke ``fn`` under this policy.
 
@@ -124,13 +129,31 @@ class RetryPolicy:
         error) when attempts run out, and :class:`TimeoutExceeded` when the
         deadline would be crossed. Non-retryable exceptions propagate
         unchanged on first occurrence.
+
+        Deadline accounting comes in two strengths:
+
+        * with no ``clock``, ``deadline_s`` bounds *cumulative backoff*
+          only (``state.waited_s``) — the historical behaviour;
+        * with a ``clock`` (wall or simulated), ``deadline_s`` bounds total
+          elapsed time since the call started, so slow attempts are charged
+          too — a retry whose backoff would land past the deadline raises
+          :class:`TimeoutExceeded` without waiting.
+
+        An end-to-end :class:`~repro.resilience.Deadline` can be passed as
+        ``deadline``: the loop refuses to start an attempt on an expired
+        budget, refuses backoffs that don't fit the remaining budget, and
+        charges backoff waits to unclocked (charge-driven) deadlines.
         """
         from repro.obs import resolve
 
         metrics = resolve(obs if obs is not None else self.obs).metrics
         attempts_total = metrics.counter("retry.attempts", scope=self.scope)
         state = state if state is not None else RetryState()
+        started_at = clock() if clock is not None else 0.0
         while True:
+            if deadline is not None:
+                # Never launch an attempt whose result nobody can wait for.
+                deadline.check(f"retry[{self.scope}]")
             state.attempts += 1
             attempts_total.inc()
             try:
@@ -152,16 +175,29 @@ class RetryPolicy:
                         last_error=error,
                     ) from error
                 delay = self.backoff_s(state.retries + 1, rng)
-                if (
-                    self.deadline_s is not None
-                    and state.waited_s + delay > self.deadline_s
-                ):
+                if self.deadline_s is not None:
+                    # With a clock, attempts count against the deadline too;
+                    # without one, only cumulative backoff does (legacy).
+                    elapsed = (
+                        clock() - started_at if clock is not None
+                        else state.waited_s
+                    )
+                    if elapsed + delay > self.deadline_s:
+                        metrics.counter(
+                            "retry.giveups", scope=self.scope, reason="deadline"
+                        ).inc()
+                        raise TimeoutExceeded(
+                            f"retry deadline {self.deadline_s}s exceeded after "
+                            f"{state.attempts} attempts: {error}"
+                        ) from error
+                if deadline is not None and not deadline.allows(delay):
                     metrics.counter(
                         "retry.giveups", scope=self.scope, reason="deadline"
                     ).inc()
                     raise TimeoutExceeded(
-                        f"retry deadline {self.deadline_s}s exceeded after "
-                        f"{state.attempts} attempts: {error}"
+                        f"deadline for {deadline.label} leaves no room for a "
+                        f"{delay:.6g}s backoff after {state.attempts} "
+                        f"attempts: {error}"
                     ) from error
                 state.retries += 1
                 state.waited_s += delay
@@ -169,6 +205,9 @@ class RetryPolicy:
                 metrics.histogram("retry.backoff_s", scope=self.scope).observe(
                     delay
                 )
+                if deadline is not None and not deadline.clocked:
+                    # Charge-driven deadlines don't see sleeps; bill them.
+                    deadline.charge(delay)
                 if sleep is not None:
                     sleep(delay)
             else:

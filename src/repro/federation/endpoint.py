@@ -12,6 +12,11 @@ and raises :class:`EndpointUnavailable` (transient, retryable),
 :class:`~repro.errors.TimeoutExceeded` (transient), or :class:`EndpointDown`
 (permanent, not retryable). Planning-side statistics stay fault-free — they
 model cached VoID descriptors, not live calls.
+
+Deadline propagation (experiment E18): remote calls accept an optional
+:class:`~repro.resilience.Deadline`; an endpoint built with a simulated
+per-call ``latency_s`` charges it against the request budget before
+serving, so slow endpoints visibly consume the time the caller is spending.
 """
 
 from __future__ import annotations
@@ -26,6 +31,7 @@ from repro.sparql.ast import TriplePattern, Variable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.injector import FaultInjector
+    from repro.resilience.deadline import Deadline
 
 
 class EndpointUnavailable(FederationError, FaultError):
@@ -48,13 +54,17 @@ class Endpoint:
         name: str,
         graph: Graph,
         injector: Optional["FaultInjector"] = None,
+        latency_s: float = 0.0,
     ):
         if not name:
             raise FederationError("endpoint needs a name")
+        if latency_s < 0:
+            raise FederationError("endpoint latency must be non-negative")
         self.name = name
         self.graph = graph
         self.requests = 0
         self.bindings_shipped = 0
+        self.latency_s = latency_s
         self._injector = injector
         self._call_index = 0
 
@@ -71,21 +81,41 @@ class Endpoint:
         if outcome == "timeout":
             raise TimeoutExceeded(f"endpoint {self.name} timed out")
 
+    def _spend(self, deadline: Optional["Deadline"]) -> None:
+        """Charge one call's simulated service time to the request budget.
+
+        The charge lands *before* the call is served: a request whose
+        budget cannot cover this endpoint's latency fails with
+        :class:`TimeoutExceeded` rather than pretending the data arrived
+        in time — the deadline-propagation contract of E18.
+        """
+        if deadline is None:
+            return
+        if self.latency_s:
+            deadline.charge(self.latency_s)
+        deadline.check(f"endpoint[{self.name}]")
+
     # ------------------------------------------------------------------
     # Remote interface (all metered)
     # ------------------------------------------------------------------
 
-    def ask(self, pattern: TriplePattern) -> bool:
+    def ask(
+        self, pattern: TriplePattern, deadline: Optional["Deadline"] = None
+    ) -> bool:
         """ASK-style probe: does any triple match?"""
         self._maybe_fail()
+        self._spend(deadline)
         self.requests += 1
         for _ in self.graph.triples(_to_graph_pattern(pattern)):
             return True
         return False
 
-    def match(self, pattern: TriplePattern) -> List[Triple]:
+    def match(
+        self, pattern: TriplePattern, deadline: Optional["Deadline"] = None
+    ) -> List[Triple]:
         """Fetch all triples matching a (possibly partially bound) pattern."""
         self._maybe_fail()
+        self._spend(deadline)
         self.requests += 1
         results = list(self.graph.triples(_to_graph_pattern(pattern)))
         self.bindings_shipped += len(results)

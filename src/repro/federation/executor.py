@@ -2,19 +2,33 @@
 
 Fault tolerance (experiment E17): when endpoints are chaos-injected, every
 remote call runs under a shared :class:`~repro.faults.RetryPolicy`; an
-endpoint whose calls permanently fail (dead, or retries exhausted) is dropped
-from the rest of the query and the executor *degrades gracefully* — it
-returns the results obtainable from the surviving endpoints, flags the answer
+endpoint whose calls permanently fail (dead) is dropped from the rest of the
+query and the executor *degrades gracefully* — it returns the results
+obtainable from the surviving endpoints, flags the answer
 ``complete=False``, and reports per-endpoint failure counts, instead of
-raising mid-join.
+raising mid-join. A call that fails *transiently* even after retries (a
+timeout, an exhausted retry budget over retryable errors) only counts in
+``endpoint_failures`` — the endpoint stays in play for later patterns.
+
+Overload resilience (experiment E18): the executor optionally takes the
+whole :mod:`repro.resilience` kit — a per-query
+:class:`~repro.resilience.Deadline` (checked before every remote call, so
+one slow endpoint cannot consume the query's whole budget), a
+:class:`~repro.resilience.CircuitBreakerSet` keyed by endpoint name (an
+open breaker fails the call fast with
+:class:`~repro.errors.CircuitOpen` instead of hammering a flapping
+endpoint), and an :class:`~repro.resilience.AdmissionController` guarding
+query entry (shed queries raise the retryable
+:class:`~repro.errors.Overloaded` before any remote work starts). All
+three default to None, leaving the pre-E18 path byte-identical.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Union
+from typing import Dict, List, Optional, Sequence, Set, Union, TYPE_CHECKING
 
-from repro.errors import FaultError, FederationError
+from repro.errors import CircuitOpen, FaultError, FederationError, RetryExhausted
 from repro.faults.retry import RetryPolicy, RetryState
 from repro.federation.endpoint import Endpoint
 from repro.obs import Observability, resolve
@@ -23,12 +37,15 @@ from repro.sparql.ast import SelectQuery, TriplePattern, Variable
 from repro.sparql.evaluator import Bindings, FunctionRegistry, evaluate_expression
 from repro.sparql.functions import EvaluationError, effective_boolean_value
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience import AdmissionController, CircuitBreakerSet, Deadline
+
 _EMPTY_REGISTRY = FunctionRegistry()
 
 
 @dataclass
 class FederationMetrics:
-    """What E8 reports per query (plus E17's fault accounting)."""
+    """What E8 reports per query (plus E17/E18's fault accounting)."""
 
     requests: int = 0
     bindings_shipped: int = 0
@@ -39,6 +56,23 @@ class FederationMetrics:
     endpoint_failures: Dict[str, int] = field(default_factory=dict)
     #: Transient failures that a retry recovered.
     retries: int = 0
+    #: Terminal-but-transient failures (timeouts, exhausted retries over
+    #: retryable errors, open breakers) — the endpoint was *not* lost.
+    transient_failures: int = 0
+
+
+def _is_permanent(error: BaseException) -> bool:
+    """Did this terminal failure prove the endpoint unrecoverable?
+
+    A :class:`RetryExhausted` wrapper is judged by the error it gave up on:
+    exhausting retries over *transient* faults (errors, timeouts) says the
+    endpoint was unlucky, not dead. Only a non-retryable underlying fault
+    (e.g. ``EndpointDown``) condemns the endpoint for the rest of the query.
+    """
+    if isinstance(error, RetryExhausted):
+        last = error.last_error
+        return last is not None and _is_permanent(last)
+    return not getattr(error, "retryable", False)
 
 
 def execute_federated(
@@ -49,6 +83,10 @@ def execute_federated(
     retry_policy: Optional[RetryPolicy] = None,
     graceful: bool = True,
     obs: Optional[Observability] = None,
+    deadline: Optional["Deadline"] = None,
+    breakers: Optional["CircuitBreakerSet"] = None,
+    admission: Optional["AdmissionController"] = None,
+    priority: int = 1,
 ) -> tuple:
     """Execute a federated query; returns (solutions, metrics).
 
@@ -59,12 +97,45 @@ def execute_federated(
     ``retry_policy`` wraps each remote call (transient endpoint faults are
     retried); with ``graceful`` set, a permanently failing endpoint yields a
     partial answer (``metrics.complete`` False) instead of an exception.
+    Transient terminal failures (timeouts, exhausted retries over retryable
+    errors) count in ``metrics.endpoint_failures`` but do *not* drop the
+    endpoint — only proof of permanent death does.
+
+    Resilience (all optional): ``deadline`` is the query's end-to-end time
+    budget — checked before every remote call and handed to the retry loop,
+    expiry raises :class:`~repro.errors.TimeoutExceeded` even under
+    ``graceful`` (a deadline miss is the *caller's* failure condition, not a
+    degradable data-source loss). ``breakers`` supplies one circuit breaker
+    per endpoint; ``admission`` guards query entry and may raise
+    :class:`~repro.errors.Overloaded` with the given ``priority`` class.
 
     With an ``obs`` bundle attached, every remote call runs inside a
     ``federation.fetch`` span labelled by endpoint, terminal failures and
     lost endpoints surface as ``federation.*`` counters, and the whole
     query is one ``federation.query`` span.
     """
+    ticket = admission.admit(priority=priority) if admission is not None else None
+    try:
+        return _execute_admitted(
+            query, endpoints, source_selection, registry, retry_policy,
+            graceful, obs, deadline, breakers,
+        )
+    finally:
+        if ticket is not None:
+            ticket.release()
+
+
+def _execute_admitted(
+    query,
+    endpoints: Sequence[Endpoint],
+    source_selection: str,
+    registry: FunctionRegistry,
+    retry_policy: Optional[RetryPolicy],
+    graceful: bool,
+    obs: Optional[Observability],
+    deadline: Optional["Deadline"],
+    breakers: Optional["CircuitBreakerSet"],
+) -> tuple:
     observability = resolve(obs)
     for endpoint in endpoints:
         endpoint.reset_accounting()
@@ -76,12 +147,32 @@ def execute_federated(
     dead: Set[str] = set()
     endpoint_failures: Dict[str, int] = {}
     retry_total = 0
+    transient_failures = 0
+
+    def remote_call(endpoint: Endpoint, pattern: TriplePattern) -> list:
+        """One attempt, gated by the endpoint's breaker when one exists."""
+        if breakers is None:
+            return endpoint.match(pattern, deadline=deadline)
+        breaker = breakers.for_key(endpoint.name)
+        breaker.before_call()
+        try:
+            result = endpoint.match(pattern, deadline=deadline)
+        except FaultError:
+            breaker.record_failure()
+            raise
+        breaker.record_success()
+        return result
 
     def fetch(endpoint: Endpoint, pattern: TriplePattern) -> Optional[list]:
-        """One remote call with retry + degradation; None = endpoint lost."""
-        nonlocal retry_total
+        """One remote call with retry + degradation; None = no data."""
+        nonlocal retry_total, transient_failures
         if endpoint.name in dead:
             return None
+        if deadline is not None:
+            # The query's budget is gone: stop issuing remote work. This
+            # propagates even under graceful degradation — a deadline miss
+            # is a request failure, not a data-source loss.
+            deadline.check("federation.fetch")
         state = RetryState()
         with observability.tracer.span(
             "federation.fetch", endpoint=endpoint.name
@@ -89,12 +180,13 @@ def execute_federated(
             try:
                 if retry_policy is not None:
                     return retry_policy.call(
-                        lambda: endpoint.match(pattern),
+                        lambda: remote_call(endpoint, pattern),
                         state=state,
                         obs=obs,
+                        deadline=deadline,
                     )
-                return endpoint.match(pattern)
-            except FaultError:
+                return remote_call(endpoint, pattern)
+            except FaultError as error:
                 span.status = "failed"
                 endpoint_failures[endpoint.name] = (
                     endpoint_failures.get(endpoint.name, 0) + 1
@@ -104,10 +196,21 @@ def execute_federated(
                 ).inc()
                 if not graceful:
                     raise
-                dead.add(endpoint.name)
-                observability.metrics.counter(
-                    "federation.endpoints_lost", endpoint=endpoint.name
-                ).inc()
+                if _is_permanent(error):
+                    dead.add(endpoint.name)
+                    observability.metrics.counter(
+                        "federation.endpoints_lost", endpoint=endpoint.name
+                    ).inc()
+                else:
+                    if deadline is not None and deadline.expired:
+                        # Out of time mid-retry: a deadline miss fails the
+                        # whole query, graceful or not.
+                        raise
+                    transient_failures += 1
+                    observability.metrics.counter(
+                        "federation.transient_failures",
+                        endpoint=endpoint.name,
+                    ).inc()
                 return None
             finally:
                 retry_total += state.retries
@@ -164,6 +267,7 @@ def execute_federated(
         complete=not dead,
         endpoint_failures=endpoint_failures,
         retries=retry_total,
+        transient_failures=transient_failures,
     )
     counters = observability.metrics
     counters.counter("federation.queries").inc()

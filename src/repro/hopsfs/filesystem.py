@@ -10,17 +10,26 @@ Small files (below ``small_file_threshold``) are stored *inline in the
 metadata store* ("Size Matters" [17]): reading them is one metadata round
 trip instead of metadata + datanode I/O. Experiment E1's ablation toggles the
 threshold.
+
+Deadline propagation (experiment E18): every filesystem operation accepts an
+optional :class:`~repro.resilience.Deadline` and hands it to each metadata
+transaction it issues, so one request's path resolution + record ops all
+draw from a single budget — a slow or flapping shard fails the request with
+:class:`~repro.errors.TimeoutExceeded` instead of silently stretching it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.errors import StorageError
 from repro.hopsfs.blocks import BlockManager
 from repro.hopsfs.kvstore import ShardedKVStore
 from repro.obs import Observability, resolve
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.deadline import Deadline
 
 ROOT_ID = 0
 
@@ -94,7 +103,12 @@ class HopsFS:
         parts = [p for p in path.split("/") if p]
         return parts
 
-    def _resolve_dir(self, parts: List[str], path: str) -> int:
+    def _resolve_dir(
+        self,
+        parts: List[str],
+        path: str,
+        deadline: Optional["Deadline"] = None,
+    ) -> int:
         """Resolve a component list to a directory inode id (hint cached)."""
         key = tuple(parts)
         cached = self._dir_cache.get(key)
@@ -102,7 +116,7 @@ class HopsFS:
             return cached
         current = ROOT_ID
         for part in parts:
-            record = self.store.get(current, part)
+            record = self.store.get(current, part, deadline=deadline)
             if record is None:
                 raise StorageError("no such directory", path=path)
             if not record["is_dir"]:
@@ -111,45 +125,50 @@ class HopsFS:
         self._dir_cache[key] = current
         return current
 
-    def _resolve_parent(self, path: str) -> Tuple[int, str]:
+    def _resolve_parent(
+        self, path: str, deadline: Optional["Deadline"] = None
+    ) -> Tuple[int, str]:
         parts = self._split(path)
         if not parts:
             raise StorageError("path refers to root", path=path)
-        parent = self._resolve_dir(parts[:-1], path)
+        parent = self._resolve_dir(parts[:-1], path, deadline)
         return parent, parts[-1]
 
     # ------------------------------------------------------------------
     # Operations
     # ------------------------------------------------------------------
 
-    def mkdir(self, path: str) -> int:
+    def mkdir(self, path: str, deadline: Optional["Deadline"] = None) -> int:
         """Create a directory (parents must exist). Returns the inode id."""
         with self.obs.tracer.span("hopsfs.fs", op="mkdir"):
-            parent, name = self._resolve_parent(path)
-            if self.store.get(parent, name) is not None:
+            parent, name = self._resolve_parent(path, deadline)
+            if self.store.get(parent, name, deadline=deadline) is not None:
                 raise StorageError("already exists", path=path)
             inode = self._next_inode
             self._next_inode += 1
-            self.store.put(parent, name, self._dir_record(inode))
+            self.store.put(parent, name, self._dir_record(inode),
+                           deadline=deadline)
             return inode
 
-    def makedirs(self, path: str) -> None:
+    def makedirs(self, path: str, deadline: Optional["Deadline"] = None) -> None:
         """Create a directory and any missing ancestors."""
         parts = self._split(path)
         current = "/"
         for part in parts:
             current = current.rstrip("/") + "/" + part
             try:
-                self.mkdir(current)
+                self.mkdir(current, deadline=deadline)
             except StorageError as exc:
                 if "already exists" not in str(exc):
                     raise
 
-    def create(self, path: str, data: bytes) -> FileStat:
+    def create(
+        self, path: str, data: bytes, deadline: Optional["Deadline"] = None
+    ) -> FileStat:
         """Create a file with contents *data*."""
         with self.obs.tracer.span("hopsfs.fs", op="create"):
-            parent, name = self._resolve_parent(path)
-            if self.store.get(parent, name) is not None:
+            parent, name = self._resolve_parent(path, deadline)
+            if self.store.get(parent, name, deadline=deadline) is not None:
                 raise StorageError("already exists", path=path)
             inode = self._next_inode
             self._next_inode += 1
@@ -163,26 +182,30 @@ class HopsFS:
                 # Block contents are not materialised; the simulation tracks
                 # placement and sizes only.
                 self.obs.metrics.counter("hopsfs.files", layout="blocks").inc()
-            self.store.put(parent, name, record)
+            self.store.put(parent, name, record, deadline=deadline)
             return self._stat_from_record(path, record)
 
-    def read(self, path: str) -> Optional[bytes]:
+    def read(
+        self, path: str, deadline: Optional["Deadline"] = None
+    ) -> Optional[bytes]:
         """Read a file. Inline files return their bytes; block files return
         None (contents are not materialised in the simulation) — use
         :meth:`stat` for their size and block layout."""
         with self.obs.tracer.span("hopsfs.fs", op="read"):
-            parent, name = self._resolve_parent(path)
-            record = self.store.get(parent, name)
+            parent, name = self._resolve_parent(path, deadline)
+            record = self.store.get(parent, name, deadline=deadline)
             if record is None:
                 raise StorageError("no such file", path=path)
             if record["is_dir"]:
                 raise StorageError("is a directory", path=path)
             return record["inline"]
 
-    def stat(self, path: str) -> FileStat:
+    def stat(
+        self, path: str, deadline: Optional["Deadline"] = None
+    ) -> FileStat:
         with self.obs.tracer.span("hopsfs.fs", op="stat"):
-            parent, name = self._resolve_parent(path)
-            record = self.store.get(parent, name)
+            parent, name = self._resolve_parent(path, deadline)
+            record = self.store.get(parent, name, deadline=deadline)
             if record is None:
                 raise StorageError("no such file or directory", path=path)
             return self._stat_from_record(path, record)
@@ -199,52 +222,60 @@ class HopsFS:
             block_ids=tuple(record.get("blocks", ())),
         )
 
-    def exists(self, path: str) -> bool:
+    def exists(self, path: str, deadline: Optional["Deadline"] = None) -> bool:
         try:
-            self.stat(path)
+            self.stat(path, deadline=deadline)
             return True
         except StorageError:
             return False
 
-    def listdir(self, path: str) -> List[str]:
+    def listdir(
+        self, path: str, deadline: Optional["Deadline"] = None
+    ) -> List[str]:
         """Names in a directory — a single-partition scan."""
         with self.obs.tracer.span("hopsfs.fs", op="listdir"):
             parts = self._split(path)
-            inode = self._resolve_dir(parts, path)
+            inode = self._resolve_dir(parts, path, deadline)
             return sorted(
-                name for name, _ in self.store.scan(inode) if name != "__self__"
+                name
+                for name, _ in self.store.scan(inode, deadline=deadline)
+                if name != "__self__"
             )
 
-    def delete(self, path: str) -> None:
+    def delete(self, path: str, deadline: Optional["Deadline"] = None) -> None:
         with self.obs.tracer.span("hopsfs.fs", op="delete"):
-            parent, name = self._resolve_parent(path)
-            record = self.store.get(parent, name)
+            parent, name = self._resolve_parent(path, deadline)
+            record = self.store.get(parent, name, deadline=deadline)
             if record is None:
                 raise StorageError("no such file or directory", path=path)
             if record["is_dir"] and any(
                 name != "__self__"
-                for name, _ in self.store.scan(record["inode"])
+                for name, _ in self.store.scan(record["inode"],
+                                               deadline=deadline)
             ):
                 raise StorageError("directory not empty", path=path)
             if not record["is_dir"] and record.get("blocks"):
                 self.blocks.free_blocks(record["blocks"])
             if record["is_dir"]:
                 self._dir_cache.clear()
-            self.store.delete(parent, name)
+            self.store.delete(parent, name, deadline=deadline)
 
-    def rename(self, src: str, dst: str) -> None:
+    def rename(
+        self, src: str, dst: str, deadline: Optional["Deadline"] = None
+    ) -> None:
         """Move a file/directory. Cross-directory renames span shards (2PC)."""
         with self.obs.tracer.span("hopsfs.fs", op="rename"):
-            src_parent, src_name = self._resolve_parent(src)
-            dst_parent, dst_name = self._resolve_parent(dst)
-            record = self.store.get(src_parent, src_name)
+            src_parent, src_name = self._resolve_parent(src, deadline)
+            dst_parent, dst_name = self._resolve_parent(dst, deadline)
+            record = self.store.get(src_parent, src_name, deadline=deadline)
             if record is None:
                 raise StorageError("no such file or directory", path=src)
-            if self.store.get(dst_parent, dst_name) is not None:
+            if self.store.get(dst_parent, dst_name, deadline=deadline) is not None:
                 raise StorageError("already exists", path=dst)
             if record["is_dir"]:
                 self._dir_cache.clear()
             self.store.transact(
                 writes=[(dst_parent, dst_name, record)],
                 deletes=[(src_parent, src_name)],
+                deadline=deadline,
             )

@@ -26,6 +26,15 @@ store reports per-shard op-latency histograms (``hopsfs.shard_op_ms``),
 single-vs-2PC op counters (``hopsfs.ops``), 2PC abort counters
 (``hopsfs.2pc_aborts``), and the shared ``retry.*`` series for rode-out
 outages. The disabled default is a shared no-op.
+
+Overload resilience (experiment E18): every transaction accepts an optional
+:class:`~repro.resilience.Deadline` — the op's simulated cost is charged
+against the request budget (the store has no clock, so deadlines here are
+charge-driven), and an exhausted budget fails the op with
+:class:`~repro.errors.TimeoutExceeded` before any shard is touched. A
+:class:`~repro.resilience.CircuitBreakerSet` keyed by shard id fails ops
+fast with :class:`~repro.errors.CircuitOpen` while a shard's outage window
+keeps tripping its breaker. Both default to disabled (byte-identical path).
 """
 
 from __future__ import annotations
@@ -38,6 +47,8 @@ from repro.obs import Observability, resolve
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.injector import FaultInjector
+    from repro.resilience.breaker import CircuitBreakerSet
+    from repro.resilience.deadline import Deadline
 
 
 class ShardUnavailable(StorageError, FaultError):
@@ -66,6 +77,7 @@ class ShardedKVStore:
         injector: Optional["FaultInjector"] = None,
         retry_policy: Optional[RetryPolicy] = None,
         obs: Optional[Observability] = None,
+        breakers: Optional["CircuitBreakerSet"] = None,
     ):
         if shard_count < 1:
             raise StorageError(f"shard_count must be >= 1, got {shard_count}")
@@ -76,6 +88,7 @@ class ShardedKVStore:
         self.two_phase_surcharge_ms = two_phase_surcharge_ms
         self._injector = injector
         self._retry_policy = retry_policy
+        self._breakers = breakers
         self._obs = resolve(obs)
         self._shards: List[Dict[Any, Any]] = [{} for _ in range(shard_count)]
         self._busy_ms: List[float] = [0.0] * shard_count
@@ -92,7 +105,9 @@ class ShardedKVStore:
     def shard_of(self, partition_key: Any) -> int:
         return hash(partition_key) % self.shard_count
 
-    def _charge(self, shards: Iterable[int]) -> None:
+    def _charge(
+        self, shards: Iterable[int], deadline: Optional["Deadline"] = None
+    ) -> None:
         shards = set(shards)
         self._op_count += 1
         multi = len(shards) > 1
@@ -106,6 +121,10 @@ class ShardedKVStore:
         for shard in shards:
             self._busy_ms[shard] += cost
             metrics.histogram("hopsfs.shard_op_ms", shard=shard).observe(cost)
+        if deadline is not None:
+            # The op's simulated latency comes out of the request budget —
+            # the store has no clock, so the deadline is charge-driven here.
+            deadline.charge(cost / 1000.0)
 
     # ------------------------------------------------------------------
     # Fault handling
@@ -134,7 +153,9 @@ class ShardedKVStore:
                 ).inc()
                 raise ShardUnavailable(shard, permanent=outage.permanent)
 
-    def _run(self, op: Callable[[], Any]) -> Any:
+    def _run(
+        self, op: Callable[[], Any], deadline: Optional["Deadline"] = None
+    ) -> Any:
         """Execute one transaction body under the retry policy, if any."""
         if self._retry_policy is None:
             return op()
@@ -145,6 +166,7 @@ class ShardedKVStore:
                 state=state,
                 sleep=self._note_wait,
                 obs=self._obs if self._obs.enabled else None,
+                deadline=deadline,
             )
         finally:
             self.retries += state.retries
@@ -152,58 +174,102 @@ class ShardedKVStore:
     def _note_wait(self, delay_s: float) -> None:
         self.retry_wait_ms += delay_s * 1000.0
 
+    def _execute(
+        self,
+        shards: Iterable[int],
+        body: Callable[[], Any],
+        deadline: Optional["Deadline"],
+    ) -> Any:
+        """One transaction: deadline gate -> breaker gate -> prepare ->
+        charge -> body, all under the retry policy.
+
+        With no deadline and no breakers this collapses to exactly the
+        prepare/charge/body sequence the pre-E18 store ran.
+        """
+        participants = sorted(set(shards))
+
+        def op() -> Any:
+            if deadline is not None:
+                deadline.check("hopsfs.kvstore")
+            if self._breakers is not None:
+                for shard in participants:
+                    self._breakers.for_key(shard).before_call()
+            try:
+                self._prepare(participants)
+            except ShardUnavailable as error:
+                if self._breakers is not None:
+                    self._breakers.for_key(error.shard).record_failure()
+                raise
+            self._charge(participants, deadline)
+            result = body()
+            if self._breakers is not None:
+                for shard in participants:
+                    self._breakers.for_key(shard).record_success()
+            return result
+
+        return self._run(op, deadline)
+
     # ------------------------------------------------------------------
     # Transactions
     # ------------------------------------------------------------------
 
-    def get(self, partition_key: Any, key: Any) -> Any:
+    def get(
+        self, partition_key: Any, key: Any,
+        deadline: Optional["Deadline"] = None,
+    ) -> Any:
         """Read one key (a single-shard transaction)."""
         shard = self.shard_of(partition_key)
+        return self._execute(
+            (shard,),
+            lambda: self._shards[shard].get((partition_key, key)),
+            deadline,
+        )
 
-        def op() -> Any:
-            self._prepare((shard,))
-            self._charge([shard])
-            return self._shards[shard].get((partition_key, key))
-
-        return self._run(op)
-
-    def put(self, partition_key: Any, key: Any, value: Any) -> None:
+    def put(
+        self, partition_key: Any, key: Any, value: Any,
+        deadline: Optional["Deadline"] = None,
+    ) -> None:
         """Write one key (a single-shard transaction)."""
         shard = self.shard_of(partition_key)
 
-        def op() -> None:
-            self._prepare((shard,))
-            self._charge([shard])
+        def body() -> None:
             self._shards[shard][(partition_key, key)] = value
 
-        self._run(op)
+        self._execute((shard,), body, deadline)
 
-    def delete(self, partition_key: Any, key: Any) -> bool:
+    def delete(
+        self, partition_key: Any, key: Any,
+        deadline: Optional["Deadline"] = None,
+    ) -> bool:
         shard = self.shard_of(partition_key)
+        return self._execute(
+            (shard,),
+            lambda: self._shards[shard].pop((partition_key, key), None)
+            is not None,
+            deadline,
+        )
 
-        def op() -> bool:
-            self._prepare((shard,))
-            self._charge([shard])
-            return self._shards[shard].pop((partition_key, key), None) is not None
-
-        return self._run(op)
-
-    def scan(self, partition_key: Any) -> List[Tuple[Any, Any]]:
+    def scan(
+        self, partition_key: Any, deadline: Optional["Deadline"] = None
+    ) -> List[Tuple[Any, Any]]:
         """All (key, value) pairs under one partition (single-shard)."""
         shard = self.shard_of(partition_key)
 
-        def op() -> List[Tuple[Any, Any]]:
-            self._prepare((shard,))
-            self._charge([shard])
+        def body() -> List[Tuple[Any, Any]]:
             return [
                 (key, value)
                 for (pk, key), value in self._shards[shard].items()
                 if pk == partition_key
             ]
 
-        return self._run(op)
+        return self._execute((shard,), body, deadline)
 
-    def transact(self, writes: List[Tuple[Any, Any, Any]], deletes: Optional[List[Tuple[Any, Any]]] = None) -> None:
+    def transact(
+        self,
+        writes: List[Tuple[Any, Any, Any]],
+        deletes: Optional[List[Tuple[Any, Any]]] = None,
+        deadline: Optional["Deadline"] = None,
+    ) -> None:
         """Atomically apply writes/deletes that may span shards (2PC cost).
 
         An unreachable participant fails the prepare phase and aborts the
@@ -216,15 +282,13 @@ class ShardedKVStore:
         if not shards:
             return
 
-        def op() -> None:
-            self._prepare(shards)
-            self._charge(shards)
+        def body() -> None:
             for pk, key, value in writes:
                 self._shards[self.shard_of(pk)][(pk, key)] = value
             for pk, key in deletes:
                 self._shards[self.shard_of(pk)].pop((pk, key), None)
 
-        self._run(op)
+        self._execute(shards, body, deadline)
 
     # ------------------------------------------------------------------
     # Simulated performance accounting

@@ -1,0 +1,136 @@
+"""Request deadlines: one time budget propagated end-to-end.
+
+A :class:`Deadline` is created once at the edge of the serving path (one per
+query/request) and handed down through every layer that does work on its
+behalf — catalog -> federation executor -> endpoint, HopsFS filesystem ->
+kvstore — so a single slow shard or flapping endpoint cannot silently consume
+the whole request's time. Layers interact with it two ways:
+
+* **clocked** deadlines watch a clock callable (``time.monotonic``, or a
+  simulation's ``lambda: sim.now``): elapsed time accrues on its own;
+* **charged** deadlines (no clock) are advanced explicitly by the simulated
+  costs each layer already computes — the KV store charges its per-op
+  latency, :class:`~repro.faults.RetryPolicy` charges its backoff waits.
+
+Both kinds answer :meth:`remaining`/:meth:`check` identically, so downstream
+code never cares which flavour it was handed. ``check()`` raises the shared
+:class:`~repro.errors.TimeoutExceeded`, which the rest of the fault stack
+already understands (retryable, counts as a transient terminal failure —
+it never marks an endpoint dead).
+
+:data:`NO_DEADLINE` is the shared null object: infinite budget, ``charge``
+is a no-op, ``check`` never raises. Subsystems accept
+``deadline: Optional[Deadline] = None`` and skip all deadline logic when
+unset, keeping the disabled path byte-identical to pre-resilience code.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+from repro.errors import FaultError, TimeoutExceeded
+
+
+class Deadline:
+    """A finite time budget for one request.
+
+    ``budget_s`` is the total allowance; ``clock`` (optional) is the time
+    source the deadline watches. With no clock, only explicit
+    :meth:`charge` calls consume budget — the mode the simulated stores
+    use, where cost is computed rather than measured.
+    """
+
+    __slots__ = ("budget_s", "label", "_clock", "_started_at", "_charged_s")
+
+    def __init__(
+        self,
+        budget_s: float,
+        clock: Optional[Callable[[], float]] = None,
+        label: str = "request",
+    ):
+        if budget_s < 0:
+            raise FaultError(f"deadline budget must be >= 0, got {budget_s}")
+        self.budget_s = budget_s
+        self.label = label
+        self._clock = clock
+        self._started_at = clock() if clock is not None else 0.0
+        self._charged_s = 0.0
+
+    # ------------------------------------------------------------------
+    # Budget accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def clocked(self) -> bool:
+        """True when a clock drives this deadline (charges still count)."""
+        return self._clock is not None
+
+    def elapsed(self) -> float:
+        """Time consumed so far: clock drift (if clocked) plus charges."""
+        drift = self._clock() - self._started_at if self._clock else 0.0
+        return drift + self._charged_s
+
+    def remaining(self) -> float:
+        """Budget left; never negative (an expired deadline reports 0)."""
+        return max(0.0, self.budget_s - self.elapsed())
+
+    @property
+    def expired(self) -> bool:
+        return self.elapsed() > self.budget_s
+
+    def charge(self, seconds: float) -> None:
+        """Consume *seconds* of budget explicitly (simulated work)."""
+        if seconds < 0:
+            raise FaultError(f"cannot charge negative time ({seconds})")
+        self._charged_s += seconds
+
+    def check(self, what: str = "") -> None:
+        """Raise :class:`TimeoutExceeded` if the budget is gone.
+
+        Layers call this *before* starting a unit of work, so a request
+        that is already out of time fails fast instead of doing work whose
+        result nobody is waiting for.
+        """
+        if self.expired:
+            where = f" at {what}" if what else ""
+            raise TimeoutExceeded(
+                f"deadline for {self.label} exceeded{where}: "
+                f"{self.elapsed():.6g}s elapsed of {self.budget_s:.6g}s budget"
+            )
+
+    def allows(self, seconds: float) -> bool:
+        """Would spending *seconds* more still fit in the budget?"""
+        return self.elapsed() + seconds <= self.budget_s
+
+    def __repr__(self) -> str:
+        return (
+            f"Deadline({self.label!r}, budget={self.budget_s:.6g}s, "
+            f"remaining={self.remaining():.6g}s)"
+        )
+
+
+class _NoDeadline(Deadline):
+    """The shared disabled default: an infinite, incorruptible budget."""
+
+    __slots__ = ()
+
+    def __init__(self):
+        super().__init__(math.inf, clock=None, label="none")
+
+    def charge(self, seconds: float) -> None:
+        pass
+
+    def check(self, what: str = "") -> None:
+        pass
+
+    @property
+    def expired(self) -> bool:
+        return False
+
+    def allows(self, seconds: float) -> bool:
+        return True
+
+
+#: Shared null deadline — never expires, charging it is a no-op.
+NO_DEADLINE = _NoDeadline()

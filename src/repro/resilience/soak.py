@@ -1,0 +1,392 @@
+"""Deterministic chaos soak: the resilience layer under sustained abuse.
+
+A self-contained serving simulation — ``servers`` workers draining a FIFO
+queue of requests against named backends — driven for a long, seeded
+schedule of misbehaviour from an extended :class:`~repro.faults.FaultPlan`:
+
+* **endpoint flaps** (:class:`~repro.faults.EndpointFlap`) take backends
+  down for sim-time windows; an unprotected server burns the full request
+  timeout discovering this, a protected one trips the backend's circuit
+  breaker and fails the rest of the window fast;
+* **overload bursts** (:class:`~repro.faults.OverloadBurst`) multiply the
+  arrival rate; an unprotected queue grows without bound and every request
+  in it goes stale, a protected admission controller sheds the excess
+  (batch traffic first) at the door;
+* per-request **deadlines** (:class:`~repro.resilience.Deadline` on the
+  sim clock) let the protected side drop queued work that already expired
+  instead of serving answers nobody is waiting for.
+
+Everything is deterministic: arrivals, priorities and backend choices come
+from seeded streams, the fault schedule is a pure function of the seed, and
+the discrete-event clock (:class:`~repro.cluster.simclock.Simulation`)
+replaces wall time. Running the same :class:`SoakConfig` twice yields the
+same :class:`SoakReport`, bit for bit — which is what lets CI run a short
+soak as a regression gate.
+
+The report's :meth:`SoakReport.verify` checks the liveness and accounting
+invariants the soak exists to prove: every arrival is accounted for in
+exactly one terminal state, no admission ticket leaks, the queue drains,
+and the simulation terminates.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.cluster.simclock import Simulation
+from repro.errors import CircuitOpen, FaultError
+from repro.faults.injector import (
+    EndpointFlap,
+    FaultInjector,
+    FaultPlan,
+    OverloadBurst,
+)
+from repro.obs import Observability, resolve
+from repro.resilience.admission import (
+    AdmissionController,
+    PRIORITY_BATCH,
+    PRIORITY_INTERACTIVE,
+)
+from repro.resilience.breaker import CircuitBreakerSet, _derive_seed
+from repro.resilience.deadline import Deadline
+
+
+@dataclass(frozen=True)
+class SoakConfig:
+    """One soak run's knobs. The defaults describe a cluster that is
+    healthy at the base arrival rate and melts under the chaos plan."""
+
+    seed: int = 0
+    requests: int = 1200
+    backends: int = 4
+    servers: int = 8
+    arrival_rate: float = 60.0  #: base requests/s, before burst multipliers
+    service_time_s: float = 0.1  #: a healthy backend's service time
+    timeout_s: float = 1.0  #: time burned discovering a dead backend
+    deadline_s: float = 0.5  #: per-request latency target
+    batch_fraction: float = 0.4  #: share of arrivals in the batch class
+    #: chaos shape (consumed by :func:`soak_plan`)
+    flaps_per_backend: int = 3
+    flap_down_s: float = 2.0
+    burst_count: int = 3
+    burst_duration_s: float = 3.0
+    burst_factor: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.requests < 1 or self.backends < 1 or self.servers < 1:
+            raise FaultError("soak needs >= 1 request, backend and server")
+        if min(self.arrival_rate, self.service_time_s, self.timeout_s,
+               self.deadline_s) <= 0:
+            raise FaultError("soak rates and times must be positive")
+        if not 0.0 <= self.batch_fraction <= 1.0:
+            raise FaultError("batch_fraction must be in [0, 1]")
+
+    def backend_names(self) -> Tuple[str, ...]:
+        return tuple(f"backend-{i}" for i in range(self.backends))
+
+
+def soak_plan(config: SoakConfig) -> FaultPlan:
+    """The seeded chaos schedule: flapping backends + demand bursts.
+
+    A pure function of the config — the soak's one source of randomness
+    besides the workload streams, fully consumed here.
+    """
+    rng = random.Random(_derive_seed(config.seed, "soak-plan"))
+    horizon = config.requests / config.arrival_rate
+    flaps = []
+    for name in config.backend_names():
+        for _ in range(config.flaps_per_backend):
+            down = rng.uniform(0.0, max(horizon - config.flap_down_s, 0.1))
+            flaps.append(
+                EndpointFlap(name, down, down + config.flap_down_s)
+            )
+    bursts = []
+    for _ in range(config.burst_count):
+        start = rng.uniform(0.0, max(horizon - config.burst_duration_s, 0.1))
+        bursts.append(
+            OverloadBurst(start, config.burst_duration_s, config.burst_factor)
+        )
+    return FaultPlan(
+        seed=config.seed,
+        endpoint_flaps=tuple(flaps),
+        overload_bursts=tuple(bursts),
+    )
+
+
+@dataclass
+class SoakReport:
+    """Outcome of one soak run; every arrival lands in exactly one bucket."""
+
+    protected: bool
+    arrivals: int = 0
+    ok: int = 0  #: completed within the deadline (goodput)
+    late: int = 0  #: completed, but past the deadline
+    failed: int = 0  #: backend down (burned timeout) or breaker fast-fail
+    shed: int = 0  #: rejected at admission
+    expired: int = 0  #: dropped from the queue, deadline already gone
+    fast_failures: int = 0  #: the failed subset rejected by an open breaker
+    duration_s: float = 0.0
+    events_processed: int = 0
+    breaker_opens: int = 0
+    breaker_rejections: int = 0
+    admission_high_water: int = 0
+    latencies_s: List[float] = field(default_factory=list)
+    #: set by verify(): leftover queue/servers/tickets at the end of the run
+    residual: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def goodput(self) -> float:
+        """Requests served within deadline per second of simulated time."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.ok / self.duration_s
+
+    def latency_percentile(self, q: float) -> float:
+        """Percentile over *completed* request latencies (ok + late)."""
+        if not self.latencies_s:
+            return 0.0
+        ordered = sorted(self.latencies_s)
+        index = min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))
+        return ordered[index]
+
+    @property
+    def p99_latency_s(self) -> float:
+        return self.latency_percentile(0.99)
+
+    def verify(self) -> None:
+        """Raise :class:`FaultError` on any liveness/accounting violation."""
+        accounted = self.ok + self.late + self.failed + self.shed + self.expired
+        if accounted != self.arrivals:
+            raise FaultError(
+                f"soak accounting leak: {self.arrivals} arrivals but "
+                f"{accounted} terminal outcomes"
+            )
+        if len(self.latencies_s) != self.ok + self.late:
+            raise FaultError("latency samples disagree with completions")
+        for name, value in self.residual.items():
+            if value != 0:
+                raise FaultError(f"soak did not drain: {name}={value}")
+        if self.events_processed < self.arrivals:
+            raise FaultError("simulation ended before processing arrivals")
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "protected": float(self.protected),
+            "arrivals": float(self.arrivals),
+            "ok": float(self.ok),
+            "late": float(self.late),
+            "failed": float(self.failed),
+            "shed": float(self.shed),
+            "expired": float(self.expired),
+            "goodput_rps": self.goodput,
+            "p99_latency_s": self.p99_latency_s,
+            "breaker_opens": float(self.breaker_opens),
+            "duration_s": self.duration_s,
+        }
+
+
+@dataclass
+class _Request:
+    index: int
+    arrived_at: float
+    backend: str
+    priority: int
+    deadline: Optional[Deadline]
+    ticket: object = None
+
+
+class _Soak:
+    """One run of the serving simulation (protected or bare)."""
+
+    def __init__(self, config: SoakConfig, protected: bool,
+                 obs: Optional[Observability] = None):
+        self.config = config
+        self.protected = protected
+        self.obs = resolve(obs)
+        self.sim = Simulation()
+        self.injector = FaultInjector(soak_plan(config))
+        self.queue: Deque[_Request] = deque()
+        self.free_servers = config.servers
+        self.report = SoakReport(protected=protected)
+        if protected:
+            self.admission: Optional[AdmissionController] = AdmissionController(
+                max_in_flight=config.servers,
+                max_queue=4 * config.servers,
+                priority_floor=PRIORITY_INTERACTIVE,
+                scope="soak",
+                obs=obs,
+            )
+            self.breakers: Optional[CircuitBreakerSet] = CircuitBreakerSet(
+                clock=lambda: self.sim.now,
+                seed=_derive_seed(config.seed, "soak-breakers"),
+                obs=obs,
+                failure_threshold=3,
+                window=8,
+                recovery_time_s=config.flap_down_s / 2.0,
+                half_open_probes=1,
+                probe_admit=0.5,
+            )
+        else:
+            self.admission = None
+            self.breakers = None
+
+    # ------------------------------------------------------------------
+    # Workload generation
+    # ------------------------------------------------------------------
+
+    def _arrival_times(self) -> List[float]:
+        """Exponential interarrivals, inflated inside overload bursts."""
+        rng = random.Random(_derive_seed(self.config.seed, "soak-arrivals"))
+        times: List[float] = []
+        now = 0.0
+        for _ in range(self.config.requests):
+            rate = self.config.arrival_rate * self.injector.arrival_multiplier(
+                now
+            )
+            now += rng.expovariate(rate)
+            times.append(now)
+        return times
+
+    def _requests(self) -> List[_Request]:
+        rng = random.Random(_derive_seed(self.config.seed, "soak-requests"))
+        backends = self.config.backend_names()
+        requests = []
+        for index, at_s in enumerate(self._arrival_times()):
+            requests.append(
+                _Request(
+                    index=index,
+                    arrived_at=at_s,
+                    backend=backends[rng.randrange(len(backends))],
+                    priority=(
+                        PRIORITY_BATCH
+                        if rng.random() < self.config.batch_fraction
+                        else PRIORITY_INTERACTIVE
+                    ),
+                    deadline=None,
+                )
+            )
+        return requests
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+
+    def run(self) -> SoakReport:
+        for request in self._requests():
+            self.sim.schedule_at(
+                request.arrived_at,
+                lambda request=request: self._arrive(request),
+            )
+        self.sim.run()
+        report = self.report
+        report.duration_s = self.sim.now
+        report.events_processed = self.sim.events_processed
+        if self.breakers is not None:
+            report.breaker_opens = self.breakers.total_opens()
+            report.breaker_rejections = self.breakers.total_rejections()
+        if self.admission is not None:
+            report.admission_high_water = self.admission.high_water
+            report.residual["admission_in_flight"] = self.admission.in_flight
+        report.residual["queued"] = len(self.queue)
+        report.residual["busy_servers"] = (
+            self.config.servers - self.free_servers
+        )
+        return report
+
+    def _arrive(self, request: _Request) -> None:
+        self.report.arrivals += 1
+        if self.admission is not None:
+            request.ticket = self.admission.try_admit(request.priority)
+            if request.ticket is None:
+                self.report.shed += 1
+                return
+            request.deadline = Deadline(
+                self.config.deadline_s,
+                clock=lambda: self.sim.now,
+                label=f"request-{request.index}",
+            )
+        self.queue.append(request)
+        self._drain()
+
+    def _drain(self) -> None:
+        while self.free_servers > 0 and self.queue:
+            request = self.queue.popleft()
+            if request.deadline is not None and request.deadline.expired:
+                # Stale before service even began: drop it for free instead
+                # of burning a server on an answer nobody is waiting for.
+                self.report.expired += 1
+                self._settle(request)
+                continue
+            if self.breakers is not None:
+                breaker = self.breakers.for_key(request.backend)
+                try:
+                    breaker.before_call()
+                except CircuitOpen:
+                    self.report.failed += 1
+                    self.report.fast_failures += 1
+                    self._settle(request)
+                    continue
+            self._serve(request)
+
+    def _serve(self, request: _Request) -> None:
+        self.free_servers -= 1
+        down = self.injector.endpoint_down_at(request.backend, self.sim.now)
+        busy = self.config.timeout_s if down else self.config.service_time_s
+        self.sim.schedule(
+            busy, lambda: self._finish(request, failed=down)
+        )
+
+    def _finish(self, request: _Request, failed: bool) -> None:
+        self.free_servers += 1
+        if self.breakers is not None:
+            breaker = self.breakers.for_key(request.backend)
+            if failed:
+                breaker.record_failure()
+            else:
+                breaker.record_success()
+        if failed:
+            self.report.failed += 1
+        else:
+            latency = self.sim.now - request.arrived_at
+            self.report.latencies_s.append(latency)
+            if latency <= self.config.deadline_s:
+                self.report.ok += 1
+            else:
+                self.report.late += 1
+        self._settle(request)
+        self._drain()
+
+    def _settle(self, request: _Request) -> None:
+        if request.ticket is not None:
+            request.ticket.release()
+            request.ticket = None
+
+
+def run_soak(
+    config: SoakConfig,
+    protected: bool = True,
+    obs: Optional[Observability] = None,
+) -> SoakReport:
+    """Run one deterministic soak; returns its verified-able report."""
+    return _Soak(config, protected, obs=obs).run()
+
+
+def main() -> int:  # pragma: no cover - exercised via CI smoke
+    """Quickstart entry point: ``python -m repro.resilience.soak``."""
+    config = SoakConfig()
+    for protected in (False, True):
+        report = run_soak(config, protected=protected)
+        report.verify()
+        label = "protected" if protected else "unprotected"
+        print(f"[{label}] " + " ".join(
+            f"{key}={value:.4g}" for key, value in report.summary().items()
+            if key != "protected"
+        ))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,153 @@
+"""Property tests: RetryPolicy never spends past its deadline.
+
+Hypothesis drives the policy with arbitrary backoff shapes, budgets and
+failure counts, under both deadline flavours:
+
+* a *clocked* :class:`~repro.resilience.Deadline` watching a fake clock
+  that advances on every attempt and sleep;
+* a *charge-driven* one that only sees the backoff waits the policy bills
+  to it.
+
+In every case the invariant is the same: the loop may fail with
+``TimeoutExceeded`` (or exhaust attempts, or succeed), but it must never
+start a backoff sleep that lands past the budget, and cumulative waits
+stay within it.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import FaultError, RetryExhausted, TimeoutExceeded
+from repro.faults import RetryPolicy, RetryState
+from repro.resilience import Deadline
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class Flaky:
+    def __init__(self, failures):
+        self.failures = failures
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise FaultError("transient")
+        return "ok"
+
+
+policies = st.builds(
+    RetryPolicy,
+    max_attempts=st.integers(min_value=1, max_value=12),
+    base_delay_s=st.floats(min_value=0.001, max_value=2.0),
+    multiplier=st.floats(min_value=1.0, max_value=4.0),
+    max_delay_s=st.floats(min_value=0.5, max_value=8.0),
+    jitter=st.floats(min_value=0.0, max_value=0.5),
+    jitter_seed=st.integers(min_value=0, max_value=1000),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    policy=policies,
+    budget=st.floats(min_value=0.0, max_value=5.0),
+    failures=st.integers(min_value=0, max_value=20),
+    attempt_cost=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_clocked_deadline_never_waits_past_budget(
+    policy, budget, failures, attempt_cost
+):
+    clock = FakeClock()
+    deadline = Deadline(budget, clock=clock)
+    state = RetryState()
+    waits = []
+
+    def sleep(delay):
+        waits.append((clock.now, delay))
+        clock.now += delay
+
+    def flaky_with_cost(flaky=Flaky(failures)):
+        clock.now += attempt_cost
+        return flaky()
+
+    try:
+        policy.call(
+            flaky_with_cost, state=state, sleep=sleep, clock=clock,
+            deadline=deadline,
+        )
+    except (TimeoutExceeded, RetryExhausted):
+        pass
+    # No sleep may begin on an expired budget or overshoot it: the loop
+    # checks allows(delay) with attempt time already on the clock.
+    for started_at, delay in waits:
+        assert started_at + delay <= budget + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    policy=policies,
+    budget=st.floats(min_value=0.0, max_value=5.0),
+    failures=st.integers(min_value=0, max_value=20),
+)
+def test_charged_deadline_bounds_cumulative_backoff(policy, budget, failures):
+    deadline = Deadline(budget)
+    state = RetryState()
+    try:
+        policy.call(Flaky(failures), state=state, deadline=deadline)
+    except (TimeoutExceeded, RetryExhausted):
+        pass
+    # The policy bills every backoff to the charge-driven deadline and
+    # refuses any that does not fit, so waits never exceed the budget.
+    assert state.waited_s <= budget + 1e-9
+    assert deadline.elapsed() == pytest.approx(state.waited_s)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    policy=policies,
+    failures=st.integers(min_value=0, max_value=20),
+)
+def test_expired_deadline_refuses_to_start(policy, failures):
+    deadline = Deadline(0.5)
+    deadline.charge(1.0)
+    flaky = Flaky(failures)
+    with pytest.raises(TimeoutExceeded):
+        policy.call(flaky, deadline=deadline)
+    assert flaky.calls == 0  # no attempt launched on a dead budget
+
+
+def test_legacy_behaviour_without_clock_or_deadline():
+    # The satellite fix must not disturb existing callers: deadline_s still
+    # bounds cumulative backoff only when no clock is given.
+    policy = RetryPolicy(max_attempts=10, base_delay_s=1.0, multiplier=1.0,
+                         jitter=0.0, deadline_s=2.5)
+    state = RetryState()
+    with pytest.raises(TimeoutExceeded):
+        policy.call(Flaky(10), state=state)
+    assert state.waited_s <= 2.5
+
+
+def test_clock_charges_attempt_time_against_deadline_s():
+    # With a clock, slow attempts count against deadline_s too — the
+    # satellite bug was that only backoff did.
+    clock = FakeClock()
+
+    def slow_failure():
+        clock.now += 2.0
+        raise FaultError("transient")
+
+    policy = RetryPolicy(max_attempts=10, base_delay_s=1.0, multiplier=1.0,
+                         jitter=0.0, deadline_s=2.5)
+    state = RetryState()
+    with pytest.raises(TimeoutExceeded):
+        policy.call(slow_failure, state=state, clock=clock)
+    # One 2s attempt plus a 1s backoff would cross 2.5s: refused before
+    # any wait happened.
+    assert state.attempts == 1
+    assert state.waited_s == 0.0

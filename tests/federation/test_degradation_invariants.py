@@ -1,0 +1,126 @@
+"""Degradation invariants: ``complete`` is exactly "no endpoint was lost".
+
+Pins the satellite fix for the executor's dead-marking bug: a transient
+``TimeoutExceeded`` (or retries exhausted over retryable errors) must NOT
+permanently kill an endpoint the way ``EndpointDown`` does. The invariants:
+
+* ``metrics.complete`` is False iff at least one endpoint was actually
+  lost (proven permanently dead), never for transient terminal failures;
+* every terminal failure counts in ``endpoint_failures``; the transient
+  subset is mirrored in ``transient_failures``;
+* an endpoint that timed out on one pattern still serves later patterns.
+"""
+
+import pytest
+
+from repro.errors import TimeoutExceeded
+from repro.faults import EndpointFault, FaultInjector, FaultPlan, RetryPolicy
+from repro.federation import Endpoint, execute_federated
+from repro.rdf import Graph, Literal, Namespace
+
+EX = Namespace("http://ex.org/")
+
+QUERY = (
+    "PREFIX ex: <http://ex.org/> "
+    "SELECT ?f ?c ?r WHERE { ?f ex:crop ?c . ?f ex:rain ?r }"
+)
+
+
+def build_endpoints(plan=None, rows=20):
+    injector = FaultInjector(plan) if plan is not None else None
+    crops = Graph("crops")
+    weather = Graph("weather")
+    for i in range(rows):
+        crops.add(EX[f"f{i}"], EX.crop, Literal("wheat"))
+        weather.add(EX[f"f{i}"], EX.rain, Literal.from_python(10 + i))
+    return [
+        Endpoint("crops", crops, injector=injector),
+        Endpoint("weather", weather, injector=injector),
+    ]
+
+
+def test_transient_timeouts_do_not_doom_the_endpoint():
+    # weather times out on every call; a 2-attempt policy exhausts its
+    # retries (RetryExhausted over a retryable error) on the first fetch.
+    plan = FaultPlan(
+        seed=1,
+        endpoint_faults=(EndpointFault("weather", timeout_rate=1.0),),
+    )
+    endpoints = build_endpoints(plan)
+    solutions, metrics = execute_federated(
+        QUERY, endpoints, retry_policy=RetryPolicy(max_attempts=2, jitter=0.0)
+    )
+    # The endpoint failed terminally but transiently: the answer is
+    # incomplete in practice (no rain rows) yet no endpoint was LOST,
+    # so complete stays True and the failure is booked as transient.
+    assert metrics.complete
+    assert metrics.endpoint_failures.get("weather", 0) > 0
+    assert metrics.transient_failures == sum(
+        metrics.endpoint_failures.values()
+    )
+    assert solutions == []
+
+
+def test_permanent_death_flips_complete_false():
+    plan = FaultPlan(
+        seed=1,
+        endpoint_faults=(EndpointFault("weather", dead_after_calls=0),),
+    )
+    endpoints = build_endpoints(plan)
+    solutions, metrics = execute_federated(
+        QUERY, endpoints, retry_policy=RetryPolicy(max_attempts=2, jitter=0.0)
+    )
+    assert not metrics.complete
+    assert metrics.transient_failures == 0
+    assert metrics.endpoint_failures.get("weather", 0) > 0
+
+
+def test_timed_out_endpoint_serves_later_patterns():
+    # weather times out exactly once (first call), then recovers. With a
+    # single-attempt policy, that one failure is terminal for the first
+    # fetch — but the endpoint must stay in play afterwards.
+    class OneTimeout(Endpoint):
+        def __init__(self, name, graph):
+            super().__init__(name, graph)
+            self._timeouts_left = 1
+
+        def match(self, pattern, deadline=None):
+            if self._timeouts_left:
+                self._timeouts_left -= 1
+                raise TimeoutExceeded(f"endpoint {self.name} timed out")
+            return super().match(pattern, deadline=deadline)
+
+    crops = Graph("crops")
+    weather = Graph("weather")
+    for i in range(4):
+        crops.add(EX[f"f{i}"], EX.crop, Literal("wheat"))
+        weather.add(EX[f"f{i}"], EX.rain, Literal.from_python(10 + i))
+    endpoints = [Endpoint("crops", crops), OneTimeout("weather", weather)]
+    # Pattern order: crop first, then rain — the first rain fetch (for the
+    # first solution) times out, the remaining solutions' fetches succeed.
+    solutions, metrics = execute_federated(
+        QUERY, endpoints, retry_policy=RetryPolicy(max_attempts=1, jitter=0.0)
+    )
+    assert metrics.complete  # nothing was lost...
+    assert metrics.transient_failures == 1  # ...one fetch failed in passing
+    assert 0 < len(solutions) < 4  # partial rows, surviving endpoint reused
+
+
+def test_complete_false_iff_endpoint_lost_across_seeds():
+    # Sweep chaos seeds: in every run, complete must equal "no endpoint
+    # was condemned", i.e. transient-only runs never flip it.
+    for seed in range(12):
+        plan = FaultPlan(
+            seed=seed,
+            endpoint_faults=(
+                EndpointFault("weather", error_rate=0.3, timeout_rate=0.2),
+            ),
+        )
+        endpoints = build_endpoints(plan, rows=10)
+        _, metrics = execute_federated(
+            QUERY, endpoints,
+            retry_policy=RetryPolicy(max_attempts=3, jitter=0.0),
+        )
+        assert metrics.complete  # transient faults only: nothing is lost
+        failures = sum(metrics.endpoint_failures.values())
+        assert metrics.transient_failures == failures

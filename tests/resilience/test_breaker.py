@@ -1,0 +1,227 @@
+"""Circuit breaker tests: the state machine, determinism, the set."""
+
+import pytest
+
+from repro.errors import CircuitOpen, FaultError
+from repro.obs import Observability
+from repro.resilience import (
+    CLOSED,
+    CircuitBreaker,
+    CircuitBreakerSet,
+    HALF_OPEN,
+    NULL_BREAKER,
+    OPEN,
+)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+def make_breaker(**kwargs):
+    defaults = dict(
+        name="ep", failure_threshold=3, window=8, recovery_calls=4,
+        half_open_probes=1, probe_admit=1.0, seed=1,
+    )
+    defaults.update(kwargs)
+    return CircuitBreaker(**defaults)
+
+
+def trip(breaker):
+    for _ in range(breaker.failure_threshold):
+        breaker.before_call()
+        breaker.record_failure()
+    assert breaker.state == OPEN
+    return breaker
+
+
+class TestStateMachine:
+    def test_trips_after_threshold_failures_in_window(self):
+        breaker = make_breaker()
+        for _ in range(2):
+            breaker.before_call()
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.before_call()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.opens == 1
+
+    def test_successes_age_failures_out_of_the_window(self):
+        breaker = make_breaker(failure_threshold=3, window=3)
+        for outcome in (True, False, True, False, True, False):
+            breaker.before_call()
+            if outcome:
+                breaker.record_failure()
+            else:
+                breaker.record_success()
+        # Never 3 failures within any 3-call window.
+        assert breaker.state == CLOSED
+
+    def test_open_rejects_with_circuit_open(self):
+        breaker = trip(make_breaker())
+        with pytest.raises(CircuitOpen) as excinfo:
+            breaker.before_call()
+        assert excinfo.value.breaker == "ep"
+        assert excinfo.value.retryable
+        assert breaker.rejections == 1
+
+    def test_unclocked_recovery_counts_rejected_calls(self):
+        breaker = trip(make_breaker(recovery_calls=2))
+        for _ in range(2):
+            with pytest.raises(CircuitOpen):
+                breaker.before_call()
+        # Recovery window elapsed: next call is a half-open probe.
+        breaker.before_call()
+        assert breaker.state == HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.closes == 1
+
+    def test_clocked_recovery_waits_for_time(self):
+        clock = FakeClock()
+        breaker = trip(make_breaker(clock=clock, recovery_time_s=10.0))
+        clock.now = 9.9
+        with pytest.raises(CircuitOpen):
+            breaker.before_call()
+        clock.now = 10.0
+        breaker.before_call()
+        assert breaker.state == HALF_OPEN
+
+    def test_probe_failure_reopens(self):
+        breaker = trip(make_breaker(recovery_calls=1))
+        with pytest.raises(CircuitOpen):
+            breaker.before_call()
+        breaker.before_call()  # admitted probe
+        assert breaker.state == HALF_OPEN
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.opens == 2
+
+    def test_multiple_probes_required_to_close(self):
+        breaker = trip(make_breaker(recovery_calls=1, half_open_probes=2))
+        with pytest.raises(CircuitOpen):
+            breaker.before_call()
+        breaker.before_call()
+        breaker.record_success()
+        assert breaker.state == HALF_OPEN  # one success is not enough
+        breaker.before_call()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_probe_admission_is_seeded_and_replayable(self):
+        def probe_pattern(seed):
+            breaker = trip(
+                make_breaker(recovery_calls=1, probe_admit=0.5, seed=seed)
+            )
+            with pytest.raises(CircuitOpen):
+                breaker.before_call()
+            pattern = []
+            for _ in range(10):
+                try:
+                    breaker.before_call()
+                    pattern.append(True)
+                except CircuitOpen:
+                    pattern.append(False)
+            return pattern
+
+        assert probe_pattern(3) == probe_pattern(3)
+        assert True in probe_pattern(3) and False in probe_pattern(3)
+
+    def test_call_wrapper_counts_fault_errors_only(self):
+        breaker = make_breaker()
+        with pytest.raises(ValueError):
+            breaker.call(lambda: (_ for _ in ()).throw(ValueError("no")))
+        assert breaker.state == CLOSED
+        for _ in range(3):
+            with pytest.raises(FaultError):
+                breaker.call(
+                    lambda: (_ for _ in ()).throw(FaultError("boom"))
+                )
+        assert breaker.state == OPEN
+
+    def test_validation(self):
+        with pytest.raises(FaultError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(FaultError):
+            CircuitBreaker(failure_threshold=5, window=4)
+        with pytest.raises(FaultError):
+            CircuitBreaker(probe_admit=0.0)
+        with pytest.raises(FaultError):
+            CircuitBreaker(half_open_probes=0)
+
+
+class TestObservability:
+    def test_state_gauge_and_counters(self):
+        obs = Observability()
+        breaker = make_breaker(obs=obs)
+        trip(breaker)
+        gauge = obs.metrics.gauge("resilience.breaker_state", breaker="ep")
+        assert gauge.value == 2  # OPEN
+        opens = obs.metrics.counter("resilience.breaker_opens", breaker="ep")
+        assert opens.value == 1
+
+
+class TestNullBreaker:
+    def test_admits_everything_records_nothing(self):
+        NULL_BREAKER.before_call()
+        NULL_BREAKER.record_failure()
+        NULL_BREAKER.record_failure()
+        NULL_BREAKER.record_failure()
+        assert NULL_BREAKER.state == CLOSED
+        assert NULL_BREAKER.call(lambda: 41) == 41
+
+
+class TestBreakerSet:
+    def test_memoises_per_key(self):
+        breakers = CircuitBreakerSet(seed=0)
+        assert breakers.for_key("a") is breakers.for_key("a")
+        assert breakers.for_key("a") is not breakers.for_key("b")
+        assert len(breakers) == 2
+
+    def test_per_key_seeds_stable_across_sets(self):
+        # The same key probes on the same schedule regardless of which
+        # other breakers exist in the set.
+        first = CircuitBreakerSet(seed=9, failure_threshold=1, window=1,
+                                  recovery_calls=1, probe_admit=0.5)
+        second = CircuitBreakerSet(seed=9, failure_threshold=1, window=1,
+                                   recovery_calls=1, probe_admit=0.5)
+        second.for_key("other")  # extra neighbour must not shift streams
+
+        def pattern(breakers):
+            breaker = breakers.for_key("shared")
+            breaker.before_call()
+            breaker.record_failure()
+            with pytest.raises(CircuitOpen):
+                breaker.before_call()
+            admitted = []
+            for _ in range(8):
+                try:
+                    breaker.before_call()
+                    admitted.append(True)
+                    breaker.record_failure()  # re-open; keep probing
+                    with pytest.raises(CircuitOpen):
+                        breaker.before_call()
+                except CircuitOpen:
+                    admitted.append(False)
+            return admitted
+
+        assert pattern(first) == pattern(second)
+
+    def test_aggregates(self):
+        breakers = CircuitBreakerSet(
+            seed=0, failure_threshold=1, window=1, recovery_calls=100
+        )
+        breaker = breakers.for_key("ep0")
+        breaker.before_call()
+        breaker.record_failure()
+        with pytest.raises(CircuitOpen):
+            breakers.for_key("ep0").before_call()
+        breakers.for_key("ep1")
+        assert breakers.open_count() == 1
+        assert breakers.total_opens() == 1
+        assert breakers.total_rejections() == 1

@@ -1,0 +1,89 @@
+"""Deadline tests: clocked vs charge-driven budgets, the null object."""
+
+import math
+
+import pytest
+
+from repro.errors import FaultError, TimeoutExceeded
+from repro.resilience import Deadline, NO_DEADLINE
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class TestChargedDeadline:
+    def test_charges_accumulate_and_expire(self):
+        deadline = Deadline(1.0)
+        assert not deadline.clocked
+        assert deadline.remaining() == 1.0
+        deadline.charge(0.6)
+        assert deadline.remaining() == pytest.approx(0.4)
+        assert not deadline.expired
+        deadline.charge(0.6)
+        assert deadline.expired
+        assert deadline.remaining() == 0.0
+
+    def test_check_raises_with_context(self):
+        deadline = Deadline(0.5, label="query-7")
+        deadline.charge(1.0)
+        with pytest.raises(TimeoutExceeded) as excinfo:
+            deadline.check("hopsfs.kvstore")
+        assert "query-7" in str(excinfo.value)
+        assert "hopsfs.kvstore" in str(excinfo.value)
+
+    def test_exact_budget_is_not_expired(self):
+        # Expiry is strict: spending exactly the budget is still in time.
+        deadline = Deadline(1.0)
+        deadline.charge(1.0)
+        assert not deadline.expired
+        deadline.check()  # must not raise
+
+    def test_allows_previews_spending(self):
+        deadline = Deadline(1.0)
+        deadline.charge(0.7)
+        assert deadline.allows(0.3)
+        assert not deadline.allows(0.31)
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(FaultError):
+            Deadline(1.0).charge(-0.1)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(FaultError):
+            Deadline(-1.0)
+
+
+class TestClockedDeadline:
+    def test_clock_drift_consumes_budget(self):
+        clock = FakeClock(10.0)
+        deadline = Deadline(2.0, clock=clock)
+        assert deadline.clocked
+        clock.now = 11.5
+        assert deadline.elapsed() == pytest.approx(1.5)
+        clock.now = 12.5
+        assert deadline.expired
+        with pytest.raises(TimeoutExceeded):
+            deadline.check("federation.fetch")
+
+    def test_charges_add_to_clock_drift(self):
+        clock = FakeClock()
+        deadline = Deadline(2.0, clock=clock)
+        clock.now = 1.0
+        deadline.charge(0.5)
+        assert deadline.elapsed() == pytest.approx(1.5)
+        assert deadline.remaining() == pytest.approx(0.5)
+
+
+class TestNoDeadline:
+    def test_never_expires_and_charging_is_noop(self):
+        assert NO_DEADLINE.budget_s == math.inf
+        NO_DEADLINE.charge(1e12)
+        assert not NO_DEADLINE.expired
+        NO_DEADLINE.check("anywhere")
+        assert NO_DEADLINE.allows(1e12)
+        assert NO_DEADLINE.remaining() == math.inf

@@ -1,0 +1,158 @@
+"""Disabled-path parity: unset resilience arguments change nothing.
+
+The E18 contract mirrors ``repro.faults`` and ``repro.obs``: every
+subsystem takes its resilience collaborators as optional arguments, and a
+run with them unset (or set to the shared null objects) is byte-identical
+to the pre-resilience code path. These tests drive seeded chaos workloads
+through the kvstore, the federation executor, the scheduler and the
+catalog twice — bare vs null-object — and require identical outcomes.
+"""
+
+import random
+from datetime import datetime
+
+from repro.catalog import SemanticCatalog
+from repro.cluster import ClusterSpec, Scheduler
+from repro.faults import EndpointFault, FaultInjector, FaultPlan, RetryPolicy
+from repro.federation import Endpoint, execute_federated
+from repro.hopsfs.kvstore import ShardedKVStore
+from repro.raster.products import ProductArchive
+from repro.rdf import Graph, Literal, Namespace
+from repro.resilience import NO_DEADLINE, NULL_ADMISSION
+
+SEED = 18
+
+
+def chaos_store(**resilience):
+    plan = FaultPlan.chaos(
+        SEED, shard_count=4, shard_outage_prob=0.5, outage_start_ops=5,
+        outage_duration_ops=10,
+    )
+    store = ShardedKVStore(
+        shard_count=4,
+        injector=FaultInjector(plan),
+        retry_policy=RetryPolicy(max_attempts=16, jitter=0.0),
+    )
+    rng = random.Random(SEED)
+    reads = []
+    for i in range(200):
+        key = rng.randrange(40)
+        if rng.random() < 0.5:
+            store.put(key, f"k{i}", i, **resilience)
+        else:
+            reads.append(store.get(key, f"k{i % 7}", **resilience))
+    return store, reads
+
+
+def store_digest(store, reads):
+    return (
+        store.op_count,
+        store.multi_shard_fraction,
+        store.makespan_ms(),
+        store.total_work_ms(),
+        store.storage_entries(),
+        store.retries,
+        store.retry_wait_ms,
+        reads,
+    )
+
+
+def test_kvstore_parity():
+    bare = store_digest(*chaos_store())
+    null = store_digest(*chaos_store(deadline=NO_DEADLINE))
+    assert bare == null
+
+
+def build_federation():
+    EX = Namespace("http://ex.org/")
+    crops = Graph("crops")
+    weather = Graph("weather")
+    for i in range(30):
+        crops.add(EX[f"f{i}"], EX.crop, Literal("wheat" if i % 2 else "maize"))
+        weather.add(EX[f"f{i}"], EX.rain, Literal.from_python(10 + i))
+    plan = FaultPlan(
+        seed=SEED,
+        endpoint_faults=(
+            EndpointFault("weather", error_rate=0.25, timeout_rate=0.1),
+        ),
+    )
+    injector = FaultInjector(plan)
+    query = (
+        "PREFIX ex: <http://ex.org/> "
+        "SELECT ?f ?c ?r WHERE { ?f ex:crop ?c . ?f ex:rain ?r }"
+    )
+    return query, [
+        Endpoint("crops", crops, injector=injector),
+        Endpoint("weather", weather, injector=injector),
+    ]
+
+
+def federation_digest(**resilience):
+    query, endpoints = build_federation()
+    solutions, metrics = execute_federated(
+        query, endpoints, retry_policy=RetryPolicy(max_attempts=8, jitter=0.0),
+        **resilience,
+    )
+    return (
+        sorted(
+            tuple(sorted((str(k), str(v)) for k, v in s.items()))
+            for s in solutions
+        ),
+        metrics.requests,
+        metrics.bindings_shipped,
+        metrics.results,
+        metrics.complete,
+        metrics.endpoint_failures,
+        metrics.retries,
+        metrics.transient_failures,
+    )
+
+
+def test_federation_parity():
+    bare = federation_digest()
+    null = federation_digest(
+        deadline=NO_DEADLINE, admission=NULL_ADMISSION
+    )
+    assert bare == null
+
+
+def scheduler_digest(**resilience):
+    plan = FaultPlan.chaos(
+        SEED, node_count=6, node_crash_prob=0.2, horizon_s=15.0,
+        task_failure_rate=0.05,
+    )
+    scheduler = Scheduler(
+        ClusterSpec(node_count=6, cpu_slots_per_node=2),
+        injector=FaultInjector(plan),
+        max_retries=6,
+        **resilience,
+    )
+    scheduler.submit_all([scheduler.make_task(1.5) for _ in range(60)])
+    return scheduler.run().as_dict()
+
+
+def test_scheduler_parity():
+    assert scheduler_digest() == scheduler_digest(admission=NULL_ADMISSION)
+
+
+def catalog_digest(**resilience):
+    catalog = SemanticCatalog(
+        admission=resilience.pop("admission", None)
+    )
+    archive = ProductArchive(
+        extent=(0.0, 50.0, 30.0, 80.0),
+        start=datetime(2017, 1, 1),
+        days=120,
+        seed=SEED,
+    )
+    catalog.add_products(archive.generate(12))
+    return [
+        str(iri)
+        for iri in catalog.search_products(mission="Sentinel-1", **resilience)
+    ]
+
+
+def test_catalog_parity():
+    bare = catalog_digest()
+    null = catalog_digest(admission=NULL_ADMISSION, deadline=NO_DEADLINE)
+    assert bare == null
