@@ -1,0 +1,55 @@
+"""Deterministic multi-tier caching for the hot read path (experiment E19).
+
+The paper's platform numbers — HopsFS's million metadata ops per second,
+Strabon-style stores scaling past 100 GB — are about making the *hot read
+path* cheap. After the faults/obs/resilience trilogy the stack recomputed
+everything per request: every query re-parsed and re-compiled its text,
+federation re-fetched identical sub-queries per binding, and HopsFS threw
+away its whole directory-hint table on any directory delete. This package
+is the missing layer: three cache tiers, all deterministic (no wall clock,
+no randomness), all exactly invalidated, all observable, all optional.
+
+* :class:`~repro.cache.plan.PlanCache` — parsed ASTs + compiled operator
+  trees keyed on (owner, query text, :class:`CompileOptions`, store
+  content-version). Stores bump a monotonic :attr:`Graph.version` on every
+  mutation, so invalidation is exact. Shared by the SPARQL evaluator,
+  :class:`GeoStore`, :class:`SemanticCatalog` and :class:`VirtualGeoStore`.
+* :class:`~repro.cache.federation.FederationResultCache` — (endpoint,
+  sub-query, endpoint epoch) -> shipped triples, with an optional sim-clock
+  TTL. The executor bumps an endpoint's epoch whenever its circuit breaker
+  changes state or the endpoint is marked dead.
+* :class:`~repro.cache.hopsfs.DirHintCache` — HopsFS directory hints in a
+  bounded LRU with prefix-scoped eviction (a sibling delete no longer
+  flushes hot ancestors) and optional negative entries.
+
+The contract mirrors ``repro.faults`` / ``repro.obs`` / ``repro.resilience``:
+every consumer takes its cache as an optional argument defaulting to None
+(or, for HopsFS, to behaviour equivalent to the uncached seed), the
+disabled path is byte-identical to pre-cache code, and parity tests pin
+that. A cache *hit* does no store/remote work and therefore charges
+nothing to the request's :class:`~repro.resilience.Deadline` — that is the
+entire point of the tier.
+
+Typical use::
+
+    from repro.cache import PlanCache
+    cache = PlanCache(capacity=256)
+    store = GeoStore(plan_cache=cache)
+    store.query(text)   # cold: parse + compile + rewrite
+    store.query(text)   # warm: straight to evaluation
+    store.add(s, p, o)  # version bump -> next query recompiles
+"""
+
+from repro.cache.federation import FederationResultCache
+from repro.cache.hopsfs import DirHintCache, NegativeEntry
+from repro.cache.lru import LRUCache, MISS
+from repro.cache.plan import PlanCache
+
+__all__ = [
+    "DirHintCache",
+    "FederationResultCache",
+    "LRUCache",
+    "MISS",
+    "NegativeEntry",
+    "PlanCache",
+]

@@ -1,0 +1,133 @@
+"""The federation result cache: sub-query answers, epoch- and TTL-bounded.
+
+Bind-join execution re-issues the same concrete sub-query (an endpoint, a
+partially bound triple pattern) once per upstream binding — across repeated
+queries over slowly changing remote data the same answer ships again and
+again. A :class:`FederationResultCache` remembers those answers with two
+invalidation mechanisms, both deterministic:
+
+* **endpoint epochs** — every entry's key embeds the endpoint's current
+  epoch; :meth:`bump_epoch` (called by the executor when a circuit breaker
+  changes state or an endpoint is marked dead) moves all future lookups to
+  a new keyspace, so stale entries become unreachable and age out of the
+  LRU. Endpoint "weather" can therefore never serve answers cached before
+  the storm.
+* **TTL on the simulation clock** — an optional ``ttl_s`` measured against
+  a caller-supplied ``clock`` callable (a sim clock such as
+  ``lambda: tracer.now()``; never ``time.time``, which would break run
+  determinism). Entries older than the TTL read as misses and are evicted
+  on contact.
+
+Deadline interaction is the point of the tier: a hit returns without any
+endpoint call, so nothing is charged to the request's
+:class:`~repro.resilience.Deadline` — the warm path is simulated-free.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.cache.lru import LRUCache, MISS
+from repro.errors import CacheError
+from repro.obs import Observability, resolve
+
+
+class FederationResultCache:
+    """Caches (endpoint, sub-query) -> shipped triples across bind joins."""
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        ttl_s: Optional[float] = None,
+        clock: Optional[Callable[[], float]] = None,
+        obs: Optional[Observability] = None,
+    ):
+        if ttl_s is not None and clock is None:
+            raise CacheError("a TTL needs a clock (pass the sim clock, not time.time)")
+        if ttl_s is not None and ttl_s <= 0:
+            raise CacheError(f"ttl_s must be positive, got {ttl_s}")
+        self._cache = LRUCache(capacity, tier="federation", obs=obs)
+        self._epochs: Dict[str, int] = {}
+        self._clock = clock
+        self.ttl_s = ttl_s
+        self.expirations = 0
+        self.flushes = 0
+        self._flush_counter = resolve(obs).metrics.counter(
+            "cache.flushes", tier="federation"
+        )
+
+    # ------------------------------------------------------------------
+    # Epochs
+    # ------------------------------------------------------------------
+
+    def epoch(self, endpoint_name: str) -> int:
+        return self._epochs.get(endpoint_name, 0)
+
+    def bump_epoch(self, endpoint_name: str) -> int:
+        """Invalidate every cached answer from one endpoint.
+
+        Old-epoch entries are left to age out of the LRU — no scan needed.
+        """
+        epoch = self._epochs.get(endpoint_name, 0) + 1
+        self._epochs[endpoint_name] = epoch
+        self.flushes += 1
+        self._flush_counter.inc()
+        return epoch
+
+    def _key(self, endpoint_name: str, pattern):
+        return (
+            endpoint_name,
+            self.epoch(endpoint_name),
+            pattern.subject,
+            pattern.predicate,
+            pattern.object,
+        )
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+    # ------------------------------------------------------------------
+
+    def get(self, endpoint_name: str, pattern):
+        """The cached answer, or :data:`~repro.cache.lru.MISS`.
+
+        (An empty result list is a perfectly good cached answer, hence the
+        sentinel instead of None.)
+        """
+        key = self._key(endpoint_name, pattern)
+        entry = self._cache.get(key)
+        if entry is MISS:
+            return MISS
+        value, stored_at = entry
+        if self.ttl_s is not None and self._clock() - stored_at > self.ttl_s:
+            self._cache.evict(key)
+            self.expirations += 1
+            # An expired entry was a miss in disguise; the LRU counted a
+            # hit above, so rebalance the local tallies.
+            self._cache.hits -= 1
+            self._cache.misses += 1
+            return MISS
+        return value
+
+    def put(self, endpoint_name: str, pattern, value) -> None:
+        stored_at = self._clock() if self._clock is not None else 0.0
+        self._cache.put(self._key(endpoint_name, pattern), (value, stored_at))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        stats = self._cache.stats
+        stats["expirations"] = self.expirations
+        stats["flushes"] = self.flushes
+        return stats
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def __repr__(self) -> str:
+        return f"FederationResultCache({self.stats})"

@@ -1,0 +1,108 @@
+"""The HopsFS directory-hint cache: bounded, prefix-invalidated, negative-aware.
+
+HopsFS (Niazi et al.) gets much of its metadata throughput from inode-hint
+caching: resolving ``/data/2017/s1/scene.tif`` should not re-read the shard
+rows for ``/``, ``/data`` and ``/data/2017`` on every operation. The seed
+implementation cached hints in a plain dict and, on *any* directory delete
+or rename, cleared the whole thing — one cold sibling delete and every hot
+ancestor path on the node re-resolves through the shards.
+
+:class:`DirHintCache` replaces that with
+
+* a **bounded LRU** (component-tuple key -> directory inode id), so an
+  adversarial workload cannot grow the hint table without bound;
+* **prefix-scoped eviction**: deleting or renaming ``/a/b`` evicts exactly
+  the keys ``("a", "b", ...)`` — ``/`` and ``/a`` stay hot (the regression
+  test pins this);
+* optional **negative entries**: with ``negative=True`` a failed directory
+  resolution is remembered (as the failure it produced), so repeated
+  lookups of a missing path stop walking the store — and stop charging the
+  request's :class:`~repro.resilience.Deadline` — until a ``mkdir``/
+  ``create``/``rename`` under that prefix evicts the hint. Negative caching
+  changes the *cost* of the failure path (that is its purpose), never its
+  outcome, and is off by default.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.cache.lru import LRUCache, MISS
+from repro.obs import Observability
+
+
+class NegativeEntry:
+    """A remembered resolution failure (the error message to replay)."""
+
+    __slots__ = ("message",)
+
+    def __init__(self, message: str):
+        self.message = message
+
+    def __repr__(self) -> str:
+        return f"NegativeEntry({self.message!r})"
+
+
+class DirHintCache:
+    """Component-tuple -> inode hints for HopsFS path resolution."""
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        negative: bool = False,
+        obs: Optional[Observability] = None,
+    ):
+        self._cache = LRUCache(capacity, tier="hopsfs_dir", obs=obs)
+        self.negative = negative
+        self.negative_hits = 0
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+    # ------------------------------------------------------------------
+
+    def get(self, key: Tuple[str, ...]):
+        """The cached inode id, a :class:`NegativeEntry`, or ``None`` (miss)."""
+        value = self._cache.get(key)
+        if value is MISS:
+            return None
+        if isinstance(value, NegativeEntry):
+            self.negative_hits += 1
+        return value
+
+    def put(self, key: Tuple[str, ...], inode_id: int) -> None:
+        self._cache.put(key, inode_id)
+
+    def put_negative(self, key: Tuple[str, ...], message: str) -> None:
+        """Remember a failed resolution (no-op unless ``negative`` is on)."""
+        if self.negative:
+            self._cache.put(key, NegativeEntry(message))
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+
+    def evict_prefix(self, parts: Tuple[str, ...]) -> int:
+        """Scoped invalidation: drop *parts* and everything beneath it."""
+        return self._cache.evict_prefix(tuple(parts))
+
+    def clear(self) -> int:
+        return self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def __contains__(self, key: Tuple[str, ...]) -> bool:
+        return key in self._cache
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        stats = self._cache.stats
+        stats["negative_hits"] = self.negative_hits
+        return stats
+
+    def __repr__(self) -> str:
+        return f"DirHintCache({self.stats})"

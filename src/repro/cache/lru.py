@@ -1,0 +1,147 @@
+"""The deterministic bounded LRU every cache tier is built on.
+
+Nothing here consults a clock or a random stream: eviction order is a pure
+function of the call sequence, so two identical runs hit, miss and evict
+identically — the property the cache-parity tests and the E19 bench lean on.
+
+Keys are ordinary hashable values; tiers that key by *path components*
+(HopsFS directory hints) use tuple keys so :meth:`LRUCache.evict_prefix`
+can drop exactly the subtree an invalidation touches and nothing else.
+
+Observability follows the house pattern: pass an
+:class:`~repro.obs.Observability` bundle and every hit/miss/eviction lands
+in the ``cache.hits`` / ``cache.misses`` / ``cache.evictions`` counters
+labelled by ``tier``; without one the counters are the shared null objects
+and only the cheap local integers are maintained.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Hashable, Iterator, Optional, Tuple
+
+from repro.errors import CacheError
+from repro.obs import Observability, resolve
+
+#: Sentinel distinguishing "not cached" from a cached None / empty value.
+MISS = object()
+
+
+class LRUCache:
+    """A bounded mapping with least-recently-used eviction.
+
+    ``get`` refreshes recency; ``__contains__`` and iteration do not, so
+    introspection (tests, stats dumps) never perturbs eviction order.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        tier: str = "lru",
+        obs: Optional[Observability] = None,
+    ):
+        if capacity < 1:
+            raise CacheError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.tier = tier
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._data: "OrderedDict[Hashable, object]" = OrderedDict()
+        metrics = resolve(obs).metrics
+        self._hit_counter = metrics.counter("cache.hits", tier=tier)
+        self._miss_counter = metrics.counter("cache.misses", tier=tier)
+        self._eviction_counter = metrics.counter("cache.evictions", tier=tier)
+
+    # ------------------------------------------------------------------
+    # Core mapping
+    # ------------------------------------------------------------------
+
+    def get(self, key: Hashable, default: object = MISS) -> object:
+        """The cached value (refreshing recency), or *default* on a miss."""
+        value = self._data.get(key, MISS)
+        if value is MISS:
+            self.misses += 1
+            self._miss_counter.inc()
+            return default
+        self._data.move_to_end(key)
+        self.hits += 1
+        self._hit_counter.inc()
+        return value
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Insert/update a key, evicting the coldest entries past capacity."""
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+            self.evictions += 1
+            self._eviction_counter.inc()
+
+    def evict(self, key: Hashable) -> bool:
+        """Drop one key; returns whether it was present."""
+        if key in self._data:
+            del self._data[key]
+            self.evictions += 1
+            self._eviction_counter.inc()
+            return True
+        return False
+
+    def evict_prefix(self, prefix: Tuple) -> int:
+        """Drop every tuple key starting with *prefix*; returns the count.
+
+        The scoped-invalidation primitive: deleting ``/a/b`` evicts exactly
+        the keys ``("a", "b", ...)`` while hot ancestors stay cached.
+        """
+        depth = len(prefix)
+        doomed = [
+            key
+            for key in self._data
+            if isinstance(key, tuple) and key[:depth] == prefix
+        ]
+        for key in doomed:
+            del self._data[key]
+        self.evictions += len(doomed)
+        self._eviction_counter.inc(len(doomed))
+        return len(doomed)
+
+    def clear(self) -> int:
+        """Drop everything; returns how many entries died."""
+        count = len(self._data)
+        self._data.clear()
+        self.evictions += count
+        self._eviction_counter.inc(count)
+        return count
+
+    # ------------------------------------------------------------------
+    # Introspection (never touches recency)
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def keys(self) -> Iterator[Hashable]:
+        return iter(self._data.keys())
+
+    def peek(self, key: Hashable, default: object = MISS) -> object:
+        """``get`` without the recency refresh or hit/miss accounting."""
+        return self._data.get(key, default)
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        return {
+            "size": len(self._data),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"LRUCache(tier={self.tier!r}, {len(self._data)}/{self.capacity}, "
+            f"hits={self.hits}, misses={self.misses}, evictions={self.evictions})"
+        )

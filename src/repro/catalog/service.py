@@ -24,6 +24,7 @@ from repro.raster.products import Product
 from repro.sparql import Variable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cache.plan import PlanCache
     from repro.resilience.admission import AdmissionController
     from repro.resilience.deadline import Deadline
 
@@ -47,9 +48,18 @@ class SemanticCatalog:
         self,
         store: Optional[GeoStore] = None,
         admission: Optional["AdmissionController"] = None,
+        plan_cache: Optional["PlanCache"] = None,
     ):
         self.store = store if store is not None else GeoStore()
         self._admission = admission
+        if plan_cache is not None:
+            # The catalogue's queries all run through its store, so the
+            # cache simply rides on it (keys are per-store, see PlanCache).
+            self.store.plan_cache = plan_cache
+
+    @property
+    def plan_cache(self) -> Optional["PlanCache"]:
+        return self.store.plan_cache
 
     # ------------------------------------------------------------------
     # Ingestion

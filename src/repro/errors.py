@@ -110,6 +110,10 @@ class ObsError(ReproError):
     """Observability misuse: bad instrument, span, or snapshot document."""
 
 
+class CacheError(ReproError):
+    """Cache misconfiguration (bad capacity, TTL without a clock, ...)."""
+
+
 class FaultError(ReproError):
     """An injected infrastructure fault (see :mod:`repro.faults`).
 

@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Union, TYPE_CHECKING
 
+from repro.cache.lru import MISS
 from repro.errors import CircuitOpen, FaultError, FederationError, RetryExhausted
 from repro.faults.retry import RetryPolicy, RetryState
 from repro.federation.endpoint import Endpoint
@@ -38,6 +39,7 @@ from repro.sparql.evaluator import Bindings, FunctionRegistry, evaluate_expressi
 from repro.sparql.functions import EvaluationError, effective_boolean_value
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cache.federation import FederationResultCache
     from repro.resilience import AdmissionController, CircuitBreakerSet, Deadline
 
 _EMPTY_REGISTRY = FunctionRegistry()
@@ -59,6 +61,9 @@ class FederationMetrics:
     #: Terminal-but-transient failures (timeouts, exhausted retries over
     #: retryable errors, open breakers) — the endpoint was *not* lost.
     transient_failures: int = 0
+    #: Sub-queries answered from the result cache (no remote call, no
+    #: deadline charge). Zero whenever no cache is configured.
+    cache_hits: int = 0
 
 
 def _is_permanent(error: BaseException) -> bool:
@@ -87,6 +92,7 @@ def execute_federated(
     breakers: Optional["CircuitBreakerSet"] = None,
     admission: Optional["AdmissionController"] = None,
     priority: int = 1,
+    result_cache: Optional["FederationResultCache"] = None,
 ) -> tuple:
     """Execute a federated query; returns (solutions, metrics).
 
@@ -113,12 +119,19 @@ def execute_federated(
     ``federation.fetch`` span labelled by endpoint, terminal failures and
     lost endpoints surface as ``federation.*`` counters, and the whole
     query is one ``federation.query`` span.
+
+    ``result_cache`` (a :class:`~repro.cache.FederationResultCache`,
+    experiment E19) answers repeated (endpoint, sub-query) pairs locally: a
+    hit skips the remote call entirely — no request accounting, no retry,
+    no deadline charge. The executor bumps the endpoint's cache epoch
+    whenever its circuit breaker changes state or the endpoint is marked
+    dead, so answers cached before an incident are never served after it.
     """
     ticket = admission.admit(priority=priority) if admission is not None else None
     try:
         return _execute_admitted(
             query, endpoints, source_selection, registry, retry_policy,
-            graceful, obs, deadline, breakers,
+            graceful, obs, deadline, breakers, result_cache,
         )
     finally:
         if ticket is not None:
@@ -135,6 +148,7 @@ def _execute_admitted(
     obs: Optional[Observability],
     deadline: Optional["Deadline"],
     breakers: Optional["CircuitBreakerSet"],
+    result_cache: Optional["FederationResultCache"] = None,
 ) -> tuple:
     observability = resolve(obs)
     for endpoint in endpoints:
@@ -148,26 +162,44 @@ def _execute_admitted(
     endpoint_failures: Dict[str, int] = {}
     retry_total = 0
     transient_failures = 0
+    cache_hit_total = 0
 
     def remote_call(endpoint: Endpoint, pattern: TriplePattern) -> list:
         """One attempt, gated by the endpoint's breaker when one exists."""
         if breakers is None:
             return endpoint.match(pattern, deadline=deadline)
         breaker = breakers.for_key(endpoint.name)
-        breaker.before_call()
+        state_before = breaker.state
         try:
-            result = endpoint.match(pattern, deadline=deadline)
-        except FaultError:
-            breaker.record_failure()
-            raise
-        breaker.record_success()
-        return result
+            breaker.before_call()
+            try:
+                result = endpoint.match(pattern, deadline=deadline)
+            except FaultError:
+                breaker.record_failure()
+                raise
+            breaker.record_success()
+            return result
+        finally:
+            if result_cache is not None and breaker.state != state_before:
+                # Any breaker transition (trip, probe window, close) is
+                # endpoint "weather": answers cached before it are suspect.
+                result_cache.bump_epoch(endpoint.name)
 
     def fetch(endpoint: Endpoint, pattern: TriplePattern) -> Optional[list]:
         """One remote call with retry + degradation; None = no data."""
-        nonlocal retry_total, transient_failures
+        nonlocal retry_total, transient_failures, cache_hit_total
         if endpoint.name in dead:
             return None
+        if result_cache is not None:
+            cached = result_cache.get(endpoint.name, pattern)
+            if cached is not MISS:
+                # Served locally: no remote call, no retry, and — the point
+                # of the tier — nothing charged to the request deadline.
+                cache_hit_total += 1
+                observability.metrics.counter(
+                    "federation.cache_hits", endpoint=endpoint.name
+                ).inc()
+                return cached
         if deadline is not None:
             # The query's budget is gone: stop issuing remote work. This
             # propagates even under graceful degradation — a deadline miss
@@ -179,13 +211,17 @@ def _execute_admitted(
         ) as span:
             try:
                 if retry_policy is not None:
-                    return retry_policy.call(
+                    result = retry_policy.call(
                         lambda: remote_call(endpoint, pattern),
                         state=state,
                         obs=obs,
                         deadline=deadline,
                     )
-                return remote_call(endpoint, pattern)
+                else:
+                    result = remote_call(endpoint, pattern)
+                if result_cache is not None:
+                    result_cache.put(endpoint.name, pattern, result)
+                return result
             except FaultError as error:
                 span.status = "failed"
                 endpoint_failures[endpoint.name] = (
@@ -198,6 +234,8 @@ def _execute_admitted(
                     raise
                 if _is_permanent(error):
                     dead.add(endpoint.name)
+                    if result_cache is not None:
+                        result_cache.bump_epoch(endpoint.name)
                     observability.metrics.counter(
                         "federation.endpoints_lost", endpoint=endpoint.name
                     ).inc()
@@ -268,6 +306,7 @@ def _execute_admitted(
         endpoint_failures=endpoint_failures,
         retries=retry_total,
         transient_failures=transient_failures,
+        cache_hits=cache_hit_total,
     )
     counters = observability.metrics
     counters.counter("federation.queries").inc()

@@ -11,7 +11,7 @@ pair the two arms of experiment E2/E3.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Set, Union
+from typing import Dict, Iterator, List, Optional, Set, TYPE_CHECKING, Union
 
 from repro.geometry import BoundingBox, RTree, contains as geom_contains
 from repro.geosparql.functions import (
@@ -42,8 +42,16 @@ from repro.sparql.ast import (
     Variable,
     VarExpr,
 )
-from repro.sparql.evaluator import Bindings, FunctionRegistry, _evaluate_op
+from repro.sparql.evaluator import (
+    Bindings,
+    FunctionRegistry,
+    _evaluate_op,
+    apply_solution_modifiers,
+)
 from repro.sparql.parser import parse_query
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cache.plan import PlanCache
 
 
 class _SpatialCandidateOp(AlgebraOp):
@@ -93,12 +101,19 @@ class GeoStore:
     #: Whether spatial filters are rewritten to use the R-tree.
     use_spatial_index = True
 
-    def __init__(self, max_entries: int = 16):
+    def __init__(
+        self,
+        max_entries: int = 16,
+        plan_cache: Optional["PlanCache"] = None,
+    ):
         self.graph = Graph()
         self.registry = geo_function_registry()
         self._rtree: RTree[Literal] = RTree(max_entries=max_entries)
         self._indexed: Set[Literal] = set()
         self._stats = {"spatial_rewrites": 0, "candidates_examined": 0}
+        #: Optional shared :class:`~repro.cache.PlanCache`; may be attached
+        #: after construction. None (the default) takes the uncached path.
+        self.plan_cache = plan_cache
 
     # ------------------------------------------------------------------
     # Loading
@@ -147,6 +162,11 @@ class GeoStore:
     def stats(self) -> Dict[str, int]:
         return dict(self._stats)
 
+    @property
+    def content_version(self) -> int:
+        """Monotonic content version (every load path mutates the graph)."""
+        return self.graph.version
+
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
@@ -178,38 +198,28 @@ class GeoStore:
         query: Union[str, SelectQuery, AskQuery],
         options: Optional[CompileOptions] = None,
     ) -> Union[List[Bindings], bool]:
-        """Evaluate a (Geo)SPARQL query with spatial-index acceleration."""
+        """Evaluate a (Geo)SPARQL query with spatial-index acceleration.
+
+        With a :attr:`plan_cache` attached, *string* queries reuse parsed
+        ASTs and compiled (spatially rewritten) plans across calls; the key
+        includes :attr:`content_version`, so any mutation recompiles.
+        """
+        text: Optional[str] = None
         if isinstance(query, str):
-            query = parse_query(query)
+            text = query
+            if self.plan_cache is not None:
+                query = self.plan_cache.parse(text)
+            else:
+                query = parse_query(text)
         if isinstance(query, AskQuery):
-            tree = self._plan(query.where, options)
+            tree = self._plan(query.where, options, text=text)
             for _ in _evaluate_op(tree, self.graph, {}, self.registry):
                 return True
             return False
 
-        tree = self._plan(query.where, options)
+        tree = self._plan(query.where, options, text=text)
         solutions = list(_evaluate_op(tree, self.graph, {}, self.registry))
-        # Delegate solution modifiers / aggregation to the core evaluator by
-        # reusing its private helpers through a thin shim query.
-        from repro.sparql.evaluator import _aggregate, _distinct, _order_key, _project
-
-        if query.is_aggregate:
-            solutions = _aggregate(query, solutions, self.registry)
-        else:
-            solutions = _project(query.variables, solutions)
-        if query.order_by:
-            for condition in reversed(query.order_by):
-                solutions.sort(
-                    key=lambda s, c=condition: _order_key(c.expression, s, self.registry),
-                    reverse=condition.descending,
-                )
-        if query.distinct:
-            solutions = _distinct(solutions)
-        if query.offset:
-            solutions = solutions[query.offset:]
-        if query.limit is not None:
-            solutions = solutions[: query.limit]
-        return solutions
+        return apply_solution_modifiers(query, solutions, self.registry)
 
     def explain(
         self,
@@ -256,7 +266,26 @@ class GeoStore:
         walk(tree, 0)
         return "\n".join(lines)
 
-    def _plan(self, where, options: Optional[CompileOptions]) -> AlgebraOp:
+    def _plan(
+        self,
+        where,
+        options: Optional[CompileOptions],
+        text: Optional[str] = None,
+    ) -> AlgebraOp:
+        if self.plan_cache is not None and text is not None:
+            # Cached per store *and* content version: the spatial rewrite
+            # bakes R-tree candidate lists into the tree, and every index
+            # mutation also bumps the graph version, so the key is exact.
+            return self.plan_cache.plan(
+                self,
+                text,
+                options,
+                self.graph.version,
+                lambda: self._build_plan(where, options),
+            )
+        return self._build_plan(where, options)
+
+    def _build_plan(self, where, options: Optional[CompileOptions]) -> AlgebraOp:
         tree = compile_group(where, self.graph, options)
         if self.use_spatial_index:
             rebuilt = self._rewrite_spatial_global(tree)

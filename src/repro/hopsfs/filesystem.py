@@ -16,6 +16,12 @@ optional :class:`~repro.resilience.Deadline` and hands it to each metadata
 transaction it issues, so one request's path resolution + record ops all
 draw from a single budget — a slow or flapping shard fails the request with
 :class:`~repro.errors.TimeoutExceeded` instead of silently stretching it.
+
+Directory-hint caching (experiment E19): path resolution runs through a
+:class:`~repro.cache.DirHintCache` — a bounded LRU whose invalidation is
+*prefix-scoped*: deleting or renaming a directory evicts exactly its
+subtree's hints instead of flushing the table, so hot ancestors stay cached
+and keep costing zero store round trips (and zero deadline charge).
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
+from repro.cache.hopsfs import DirHintCache, NegativeEntry
 from repro.errors import StorageError
 from repro.hopsfs.blocks import BlockManager
 from repro.hopsfs.kvstore import ShardedKVStore
@@ -57,6 +64,7 @@ class HopsFS:
         blocks: Optional[BlockManager] = None,
         small_file_threshold: int = DEFAULT_SMALL_FILE_THRESHOLD,
         obs: Optional[Observability] = None,
+        dir_cache: Optional[DirHintCache] = None,
     ):
         self.obs = resolve(obs)
         if store is None:
@@ -67,10 +75,20 @@ class HopsFS:
         self._next_inode = ROOT_ID + 1
         # Inode-hint cache (the HopsFS design): directory-path resolution is
         # cached so hot ancestors (/, /data, ...) don't serialise every
-        # operation through the shards that own them.
-        self._dir_cache: Dict[Tuple[str, ...], int] = {}
+        # operation through the shards that own them. A bounded LRU with
+        # prefix-scoped eviction — deleting or renaming a directory evicts
+        # exactly its subtree's hints, not the whole table (E19). Pass a
+        # ``DirHintCache(negative=True)`` to also remember failed lookups.
+        self._dir_cache = (
+            dir_cache if dir_cache is not None else DirHintCache(obs=obs)
+        )
         # Root directory exists implicitly; register it so scans work.
         self.store.put(ROOT_ID, "__self__", self._dir_record(ROOT_ID))
+
+    @property
+    def dir_cache_stats(self) -> Dict[str, int]:
+        """Hit/miss/eviction accounting of the directory-hint cache."""
+        return self._dir_cache.stats
 
     # ------------------------------------------------------------------
     # Records
@@ -109,20 +127,29 @@ class HopsFS:
         path: str,
         deadline: Optional["Deadline"] = None,
     ) -> int:
-        """Resolve a component list to a directory inode id (hint cached)."""
+        """Resolve a component list to a directory inode id (hint cached).
+
+        A positive hit costs zero store round trips (and charges nothing to
+        *deadline*); with negative caching on, a remembered failure replays
+        its error equally for free.
+        """
         key = tuple(parts)
         cached = self._dir_cache.get(key)
+        if isinstance(cached, NegativeEntry):
+            raise StorageError(cached.message, path=path)
         if cached is not None:
             return cached
         current = ROOT_ID
         for part in parts:
             record = self.store.get(current, part, deadline=deadline)
             if record is None:
+                self._dir_cache.put_negative(key, "no such directory")
                 raise StorageError("no such directory", path=path)
             if not record["is_dir"]:
+                self._dir_cache.put_negative(key, "not a directory")
                 raise StorageError("not a directory", path=path)
             current = record["inode"]
-        self._dir_cache[key] = current
+        self._dir_cache.put(key, current)
         return current
 
     def _resolve_parent(
@@ -148,6 +175,10 @@ class HopsFS:
             self._next_inode += 1
             self.store.put(parent, name, self._dir_record(inode),
                            deadline=deadline)
+            if self._dir_cache.negative:
+                # The path (and anything probed beneath it) just came into
+                # existence; remembered failures there are now stale.
+                self._dir_cache.evict_prefix(tuple(self._split(path)))
             return inode
 
     def makedirs(self, path: str, deadline: Optional["Deadline"] = None) -> None:
@@ -183,6 +214,10 @@ class HopsFS:
                 # placement and sizes only.
                 self.obs.metrics.counter("hopsfs.files", layout="blocks").inc()
             self.store.put(parent, name, record, deadline=deadline)
+            if self._dir_cache.negative:
+                # A "no such directory" hint for this path would now be the
+                # wrong failure ("not a directory"); drop it.
+                self._dir_cache.evict_prefix(tuple(self._split(path)))
             return self._stat_from_record(path, record)
 
     def read(
@@ -257,7 +292,10 @@ class HopsFS:
             if not record["is_dir"] and record.get("blocks"):
                 self.blocks.free_blocks(record["blocks"])
             if record["is_dir"]:
-                self._dir_cache.clear()
+                # Scoped invalidation (the E19 bugfix): only hints at or
+                # below the deleted directory can be stale — hot ancestors
+                # (/, /data, ...) stay cached across a sibling delete.
+                self._dir_cache.evict_prefix(tuple(self._split(path)))
             self.store.delete(parent, name, deadline=deadline)
 
     def rename(
@@ -273,7 +311,13 @@ class HopsFS:
             if self.store.get(dst_parent, dst_name, deadline=deadline) is not None:
                 raise StorageError("already exists", path=dst)
             if record["is_dir"]:
-                self._dir_cache.clear()
+                # The moved subtree's hints die with its old name; nothing
+                # outside the source prefix can have gone stale.
+                self._dir_cache.evict_prefix(tuple(self._split(src)))
+            if self._dir_cache.negative:
+                # Remembered failures under the destination just became
+                # reachable paths.
+                self._dir_cache.evict_prefix(tuple(self._split(dst)))
             self.store.transact(
                 writes=[(dst_parent, dst_name, record)],
                 deletes=[(src_parent, src_name)],

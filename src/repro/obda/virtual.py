@@ -14,7 +14,7 @@ with constant predicates — the fragment Ontop's core rewriting covers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, TYPE_CHECKING, Union
 
 from repro.errors import ReproError
 from repro.geometry import Geometry
@@ -39,6 +39,9 @@ from repro.sparql.ast import (
 from repro.sparql.evaluator import Bindings, evaluate_expression
 from repro.sparql.functions import EvaluationError, effective_boolean_value
 from repro.sparql.parser import parse_query
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cache.plan import PlanCache
 
 _RDF_TYPE = RDF.type
 _HAS_GEOMETRY = GEO.hasGeometry
@@ -76,10 +79,20 @@ class _SubjectGroup:
 class VirtualGeoStore:
     """Answers (Geo)SPARQL over relational tables without materialising RDF."""
 
-    def __init__(self, database: Database):
+    def __init__(
+        self,
+        database: Database,
+        plan_cache: Optional["PlanCache"] = None,
+    ):
         self.database = database
         self._sources: List[_MappedSource] = []
         self._registry = geo_function_registry()
+        #: Optional shared :class:`~repro.cache.PlanCache`. Rewriting plans
+        #: (parse, extraction, subject grouping) are pure functions of the
+        #: query text; table rows are always scanned live, so results stay
+        #: fresh. The key still includes the mapping count so a new
+        #: ``add_mapping`` can never meet a stale plan.
+        self.plan_cache = plan_cache
 
     def add_mapping(self, table_name: str, mapping: TriplesMap) -> None:
         """Expose *table_name* through *mapping*."""
@@ -95,12 +108,25 @@ class VirtualGeoStore:
     # ------------------------------------------------------------------
 
     def query(self, query: Union[str, SelectQuery]) -> List[Bindings]:
+        text: Optional[str] = None
         if isinstance(query, str):
-            query = parse_query(query)
+            text = query
+            if self.plan_cache is not None:
+                query = self.plan_cache.parse(text)
+            else:
+                query = parse_query(text)
         if not isinstance(query, SelectQuery) or query.is_aggregate:
             raise ReproError("VirtualGeoStore supports plain SELECT queries")
-        patterns, filters = self._extract(query)
-        groups = self._group_by_subject(patterns)
+        if self.plan_cache is not None and text is not None:
+            filters, groups = self.plan_cache.plan(
+                self,
+                text,
+                None,
+                len(self._sources),
+                lambda: self._rewrite(query),
+            )
+        else:
+            filters, groups = self._rewrite(query)
         solution_sets = [self._evaluate_group(g, filters) for g in groups]
 
         solutions = [{}]
@@ -132,6 +158,13 @@ class VirtualGeoStore:
         if query.limit is not None:
             solutions = solutions[: query.limit]
         return solutions
+
+    def _rewrite(
+        self, query: SelectQuery
+    ) -> Tuple[List[Expression], List[_SubjectGroup]]:
+        """The cacheable rewrite: pattern extraction + subject grouping."""
+        patterns, filters = self._extract(query)
+        return filters, self._group_by_subject(patterns)
 
     def _filter_ok(self, expression: Expression, solution: Bindings) -> bool:
         try:

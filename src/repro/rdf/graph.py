@@ -23,10 +23,18 @@ class Graph:
     def __init__(self, name: str = "default"):
         self.name = name
         self._triples: Set[Triple] = set()
+        # Monotonic mutation counter: bumped on every successful add/remove,
+        # so plan caches can key on content identity (see repro.cache).
+        self._version = 0
         # index[first][second] -> set of third
         self._spo: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(lambda: defaultdict(set))
         self._pos: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(lambda: defaultdict(set))
         self._osp: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(lambda: defaultdict(set))
+
+    @property
+    def version(self) -> int:
+        """Content version: changes iff the triple set has changed."""
+        return self._version
 
     # ------------------------------------------------------------------
     # Mutation
@@ -38,6 +46,7 @@ class Graph:
         if triple in self._triples:
             return False
         self._triples.add(triple)
+        self._version += 1
         s, p, o = triple
         self._spo[s][p].add(o)
         self._pos[p][o].add(s)
@@ -57,6 +66,7 @@ class Graph:
         if triple not in self._triples:
             return False
         self._triples.discard(triple)
+        self._version += 1
         s, p, o = triple
         self._prune(self._spo, s, p, o)
         self._prune(self._pos, p, o, s)

@@ -18,13 +18,19 @@ selectivity-ordered joins, and evaluates with an iterator model over
 
 from repro.sparql.ast import SelectQuery, Variable
 from repro.sparql.parser import parse_query
-from repro.sparql.evaluator import Bindings, FunctionRegistry, evaluate
+from repro.sparql.evaluator import (
+    Bindings,
+    FunctionRegistry,
+    apply_solution_modifiers,
+    evaluate,
+)
 
 __all__ = [
     "Bindings",
     "FunctionRegistry",
     "SelectQuery",
     "Variable",
+    "apply_solution_modifiers",
     "evaluate",
     "parse_query",
 ]

@@ -18,7 +18,17 @@ the raw, unwrapped path.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    TYPE_CHECKING,
+    Union,
+)
 
 from repro.errors import SPARQLError
 from repro.obs import Observability, resolve as resolve_obs
@@ -59,6 +69,9 @@ from repro.sparql.functions import (
     effective_boolean_value,
     to_term,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cache.plan import PlanCache
 
 Bindings = Dict[Variable, Term]
 ExtensionFunction = Callable[[List[Value]], Value]
@@ -375,22 +388,51 @@ def evaluate(
     registry: FunctionRegistry = _EMPTY_REGISTRY,
     options: Optional[CompileOptions] = None,
     obs: Optional[Observability] = None,
+    cache: Optional["PlanCache"] = None,
 ) -> Union[List[Bindings], bool]:
     """Evaluate a query (text or AST) against *graph*.
 
     SELECT returns a list of solutions ({Variable: Term}); ASK returns bool.
     With ``obs``, per-operator timing and cardinality are recorded (see the
     module docstring) and the whole call runs in a ``sparql.query`` span.
+    With a :class:`~repro.cache.PlanCache`, *string* queries skip parsing
+    and compilation when the text was seen before against the same graph
+    content (keyed on ``graph.version``, so any mutation recompiles); AST
+    queries always take the uncached path.
     """
+    text: Optional[str] = None
     if isinstance(query, str):
-        from repro.sparql.parser import parse_query
+        text = query
+        if cache is not None:
+            query = cache.parse(text)
+        else:
+            from repro.sparql.parser import parse_query
 
-        query = parse_query(query)
+            query = parse_query(text)
     observability = resolve_obs(obs)
     with observability.tracer.span(
         "sparql.query", form="ask" if isinstance(query, AskQuery) else "select"
     ):
-        return _evaluate_query(graph, query, registry, options, obs)
+        return _evaluate_query(graph, query, registry, options, obs, cache, text)
+
+
+def _compile(
+    where,
+    graph: Graph,
+    options: Optional[CompileOptions],
+    cache: Optional["PlanCache"],
+    text: Optional[str],
+) -> AlgebraOp:
+    """Compile a WHERE group, through the plan cache when one applies."""
+    if cache is None or text is None:
+        return compile_group(where, graph, options)
+    return cache.plan(
+        graph,
+        text,
+        options,
+        graph.version,
+        lambda: compile_group(where, graph, options),
+    )
 
 
 def _evaluate_query(
@@ -399,27 +441,45 @@ def _evaluate_query(
     registry: FunctionRegistry,
     options: Optional[CompileOptions],
     obs: Optional[Observability],
+    cache: Optional["PlanCache"] = None,
+    text: Optional[str] = None,
 ) -> Union[List[Bindings], bool]:
     if isinstance(query, AskQuery):
-        tree = compile_group(query.where, graph, options)
+        tree = _compile(query.where, graph, options, cache, text)
         for _ in _evaluate_op(tree, graph, {}, registry, obs):
             return True
         return False
 
-    tree = compile_group(query.where, graph, options)
+    tree = _compile(query.where, graph, options, cache, text)
     solutions = list(_evaluate_op(tree, graph, {}, registry, obs))
+    return apply_solution_modifiers(query, solutions, registry)
 
+
+def apply_solution_modifiers(
+    query: SelectQuery,
+    solutions: List[Bindings],
+    registry: FunctionRegistry = _EMPTY_REGISTRY,
+) -> List[Bindings]:
+    """Aggregation and solution modifiers, in the SPARQL-algebra order.
+
+    Per SPARQL 1.1 (18.2.4-18.2.5) the pipeline is: aggregate, ORDER BY,
+    projection, DISTINCT, then the OFFSET/LIMIT slice. ORDER BY runs
+    *before* projection so it can sort by variables the SELECT clause drops
+    — projecting first silently degraded every such sort key to the unbound
+    sentinel. Both local stores (the core evaluator and ``GeoStore``) feed
+    their raw solution lists through this one pipeline.
+    """
+    solutions = list(solutions)
     if query.is_aggregate:
         solutions = _aggregate(query, solutions, registry)
-    else:
-        solutions = _project(query.variables, solutions)
-
     if query.order_by:
         for condition in reversed(query.order_by):
             solutions.sort(
                 key=lambda s, c=condition: _order_key(c.expression, s, registry),
                 reverse=condition.descending,
             )
+    if not query.is_aggregate:
+        solutions = _project(query.variables, solutions)
     if query.distinct:
         solutions = _distinct(solutions)
     if query.offset:

@@ -1,0 +1,167 @@
+"""The federation result cache: epochs, TTL on the sim clock, executor wiring."""
+
+import pytest
+
+from repro.cache import FederationResultCache, MISS
+from repro.errors import CacheError
+from repro.faults import EndpointFault, FaultInjector, FaultPlan
+from repro.federation import Endpoint, execute_federated
+from repro.rdf import Graph, Literal, Namespace
+from repro.resilience import CircuitBreakerSet
+from repro.sparql.ast import TriplePattern, Variable
+
+EX = Namespace("http://ex.org/")
+PREFIX = "PREFIX ex: <http://ex.org/> "
+
+QUERY = PREFIX + "SELECT ?f ?c ?r WHERE { ?f ex:crop ?c . ?f ex:rainfall ?r }"
+
+
+def build_endpoints(injector=None):
+    crops = Graph("crops")
+    weather = Graph("weather")
+    for i in range(4):
+        crops.add(EX[f"field{i}"], EX.crop, Literal("wheat" if i % 2 else "maize"))
+        weather.add(EX[f"field{i}"], EX.rainfall, Literal.from_python(100 + i * 10))
+    return [
+        Endpoint("crops", crops, injector=injector),
+        Endpoint("weather", weather, injector=injector),
+    ]
+
+
+def pattern(subject=None, predicate=None, obj=None):
+    return TriplePattern(
+        subject if subject is not None else Variable("s"),
+        predicate if predicate is not None else Variable("p"),
+        obj if obj is not None else Variable("o"),
+    )
+
+
+class TestCacheUnit:
+    def test_miss_is_the_sentinel_not_none(self):
+        cache = FederationResultCache()
+        assert cache.get("crops", pattern()) is MISS
+
+    def test_empty_result_list_is_a_valid_answer(self):
+        cache = FederationResultCache()
+        cache.put("crops", pattern(), [])
+        assert cache.get("crops", pattern()) == []
+
+    def test_roundtrip(self):
+        cache = FederationResultCache()
+        cache.put("crops", pattern(), ["t1", "t2"])
+        assert cache.get("crops", pattern()) == ["t1", "t2"]
+
+    def test_distinct_patterns_distinct_entries(self):
+        cache = FederationResultCache()
+        cache.put("crops", pattern(predicate=EX.crop), ["a"])
+        assert cache.get("crops", pattern(predicate=EX.rainfall)) is MISS
+
+    def test_epoch_bump_hides_old_entries(self):
+        cache = FederationResultCache()
+        cache.put("crops", pattern(), ["stale"])
+        cache.bump_epoch("crops")
+        assert cache.get("crops", pattern()) is MISS
+        assert cache.flushes == 1
+
+    def test_epoch_bump_is_per_endpoint(self):
+        cache = FederationResultCache()
+        cache.put("crops", pattern(), ["a"])
+        cache.put("weather", pattern(), ["b"])
+        cache.bump_epoch("crops")
+        assert cache.get("crops", pattern()) is MISS
+        assert cache.get("weather", pattern()) == ["b"]
+
+    def test_ttl_expires_on_the_supplied_clock(self):
+        now = [0.0]
+        cache = FederationResultCache(ttl_s=10.0, clock=lambda: now[0])
+        cache.put("crops", pattern(), ["fresh"])
+        now[0] = 5.0
+        assert cache.get("crops", pattern()) == ["fresh"]
+        now[0] = 10.5
+        assert cache.get("crops", pattern()) is MISS
+        assert cache.expirations == 1
+
+    def test_expiry_counts_as_a_miss_not_a_hit(self):
+        now = [0.0]
+        cache = FederationResultCache(ttl_s=1.0, clock=lambda: now[0])
+        cache.put("crops", pattern(), ["v"])
+        now[0] = 2.0
+        cache.get("crops", pattern())
+        assert cache.stats["hits"] == 0
+        assert cache.stats["misses"] == 1
+
+    def test_ttl_without_clock_rejected(self):
+        with pytest.raises(CacheError):
+            FederationResultCache(ttl_s=5.0)
+
+    def test_nonpositive_ttl_rejected(self):
+        with pytest.raises(CacheError):
+            FederationResultCache(ttl_s=0.0, clock=lambda: 0.0)
+
+
+class TestExecutorIntegration:
+    def test_warm_query_issues_no_remote_requests(self):
+        endpoints = build_endpoints()
+        cache = FederationResultCache()
+        cold_solutions, cold_metrics = execute_federated(
+            QUERY, endpoints, result_cache=cache
+        )
+        warm_solutions, warm_metrics = execute_federated(
+            QUERY, endpoints, result_cache=cache
+        )
+        assert warm_solutions == cold_solutions
+        assert cold_metrics.requests > 0 and cold_metrics.cache_hits == 0
+        assert warm_metrics.requests == 0
+        assert warm_metrics.cache_hits > 0
+
+    def test_results_identical_with_and_without_cache(self):
+        bare_solutions, _ = execute_federated(QUERY, build_endpoints())
+        endpoints = build_endpoints()
+        cache = FederationResultCache()
+        cold_solutions, _ = execute_federated(QUERY, endpoints, result_cache=cache)
+        warm_solutions, _ = execute_federated(QUERY, endpoints, result_cache=cache)
+        assert bare_solutions == cold_solutions == warm_solutions
+
+    def test_metrics_cache_hits_zero_without_cache(self):
+        _, metrics = execute_federated(QUERY, build_endpoints())
+        assert metrics.cache_hits == 0
+
+    def test_dead_endpoint_flushes_its_entries(self):
+        plan = FaultPlan(
+            seed=7,
+            endpoint_faults=(EndpointFault("weather", dead_after_calls=0),),
+        )
+        endpoints = build_endpoints(injector=FaultInjector(plan))
+        cache = FederationResultCache()
+        _, metrics = execute_federated(QUERY, endpoints, result_cache=cache)
+        assert not metrics.complete
+        assert cache.flushes >= 1
+        assert cache.epoch("weather") >= 1
+        assert cache.epoch("crops") == 0
+
+    def test_breaker_trip_flushes_the_endpoint(self):
+        plan = FaultPlan(
+            seed=7,
+            endpoint_faults=(EndpointFault("weather", error_rate=1.0),),
+        )
+        endpoints = build_endpoints(injector=FaultInjector(plan))
+        cache = FederationResultCache()
+        breakers = CircuitBreakerSet(failure_threshold=2, window=4)
+        execute_federated(
+            QUERY, endpoints, result_cache=cache, breakers=breakers,
+        )
+        assert breakers.for_key("weather").opens >= 1
+        assert cache.epoch("weather") >= 1
+        assert cache.epoch("crops") == 0
+
+    def test_plan_and_result_caches_compose(self):
+        # The catalogue-level picture: parsed/planned once, answered twice,
+        # second time entirely from local state.
+        endpoints = build_endpoints()
+        result_cache = FederationResultCache()
+        for _ in range(2):
+            solutions, metrics = execute_federated(
+                QUERY, endpoints, result_cache=result_cache
+            )
+        assert metrics.requests == 0
+        assert len(solutions) == 4

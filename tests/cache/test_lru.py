@@ -1,0 +1,136 @@
+"""The LRU primitive: deterministic eviction, prefix scoping, accounting."""
+
+import pytest
+
+from repro.cache import LRUCache, MISS
+from repro.errors import CacheError
+from repro.obs import Observability
+
+
+class TestBasics:
+    def test_miss_returns_sentinel(self):
+        cache = LRUCache(capacity=2)
+        assert cache.get("a") is MISS
+
+    def test_put_get_roundtrip(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+
+    def test_cached_none_is_not_a_miss(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", None)
+        assert cache.get("a") is None
+        assert cache.hits == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(CacheError):
+            LRUCache(capacity=0)
+        with pytest.raises(CacheError):
+            LRUCache(capacity=-3)
+
+
+class TestEviction:
+    def test_coldest_entry_evicted_first(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert "a" not in cache
+        assert "b" in cache and "c" in cache
+        assert cache.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # a is now the warmest
+        cache.put("c", 3)
+        assert "a" in cache
+        assert "b" not in cache
+
+    def test_peek_and_contains_do_not_refresh(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.peek("a")
+        assert "a" in cache
+        cache.put("c", 3)  # a is still the coldest
+        assert "a" not in cache
+
+    def test_update_refreshes_recency(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        cache.put("c", 3)
+        assert cache.get("a") == 10
+        assert "b" not in cache
+
+    def test_eviction_is_a_pure_function_of_the_call_sequence(self):
+        def drive(cache):
+            for index in range(40):
+                cache.put(index % 7, index)
+                cache.get((index * 3) % 7)
+            return sorted(cache.keys()), cache.stats
+
+        assert drive(LRUCache(capacity=4)) == drive(LRUCache(capacity=4))
+
+
+class TestPrefixEviction:
+    def test_evicts_exactly_the_subtree(self):
+        cache = LRUCache(capacity=16)
+        for key in [(), ("data",), ("data", "a"), ("data", "a", "x"), ("data", "b")]:
+            cache.put(key, key)
+        assert cache.evict_prefix(("data", "a")) == 2
+        assert ("data", "a") not in cache
+        assert ("data", "a", "x") not in cache
+        assert () in cache and ("data",) in cache and ("data", "b") in cache
+
+    def test_empty_prefix_matches_all_tuple_keys(self):
+        cache = LRUCache(capacity=16)
+        cache.put(("a",), 1)
+        cache.put("scalar", 2)
+        assert cache.evict_prefix(()) == 1
+        assert "scalar" in cache
+
+    def test_sibling_names_sharing_a_string_prefix_survive(self):
+        # ("data", "ab") must NOT be evicted by prefix ("data", "a") —
+        # scoping is per component, not per character.
+        cache = LRUCache(capacity=16)
+        cache.put(("data", "a"), 1)
+        cache.put(("data", "ab"), 2)
+        cache.evict_prefix(("data", "a"))
+        assert ("data", "ab") in cache
+
+
+class TestAccounting:
+    def test_stats_shape(self):
+        cache = LRUCache(capacity=2, tier="unit")
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("nope")
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert cache.stats == {
+            "size": 2, "capacity": 2, "hits": 1, "misses": 1, "evictions": 1,
+        }
+
+    def test_clear_counts_as_evictions(self):
+        cache = LRUCache(capacity=4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.clear() == 2
+        assert cache.evictions == 2
+        assert len(cache) == 0
+
+    def test_obs_counters_labelled_by_tier(self):
+        obs = Observability()
+        cache = LRUCache(capacity=1, tier="unit", obs=obs)
+        cache.get("a")            # miss
+        cache.put("a", 1)
+        cache.get("a")            # hit
+        cache.put("b", 2)         # evicts a
+        assert obs.metrics.value("cache.hits", tier="unit") == 1
+        assert obs.metrics.value("cache.misses", tier="unit") == 1
+        assert obs.metrics.value("cache.evictions", tier="unit") == 1

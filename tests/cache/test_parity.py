@@ -1,0 +1,231 @@
+"""Cache parity: a warm cache may only change *cost*, never answers.
+
+The E19 contract mirrors ``repro.faults``/``repro.obs``/``repro.resilience``:
+caches are optional collaborators, the no-cache path is byte-identical to
+the seed code, and the cached path must return byte-identical *results*
+(its whole point is changing the work, not the answers). Each test drives a
+fixed seeded workload twice — cache off vs cache on (cold *and* warm, with
+mutations interleaved so invalidation is exercised, not just hits) — and
+requires identical outcomes.
+
+Fault-injected federation runs are deliberately compared only cache-off vs
+cache-off here: a cache hit skips a remote call, which shifts every later
+call's index in the injector's per-endpoint stream, so cached-vs-uncached
+equivalence under chaos is not a property the design promises.
+"""
+
+import random
+
+from repro.cache import DirHintCache, FederationResultCache, PlanCache
+from repro.federation import Endpoint, execute_federated
+from repro.geometry import Point, Polygon
+from repro.geosparql import GeoStore, geometry_literal
+from repro.geotriples import ObjectMap, TriplesMap
+from repro.hopsfs import BlockManager, HopsFS
+from repro.hopsfs.workload import run_metadata_workload
+from repro.obda import Column, Database, VirtualGeoStore
+from repro.rdf import GEO, Graph, Literal, Namespace
+from repro.rdf.term import XSD_INTEGER
+from repro.sparql import evaluate
+
+SEED = 19
+
+EX = Namespace("http://ex.org/")
+EXS = "http://ex.org/"
+PREFIXES = (
+    "PREFIX ex: <http://ex.org/> "
+    "PREFIX geo: <http://www.opengis.net/ont/geosparql#> "
+    "PREFIX geof: <http://www.opengis.net/def/function/geosparql/> "
+)
+
+
+def solution_digest(solutions):
+    return [
+        tuple(sorted((str(k), str(v)) for k, v in s.items())) for s in solutions
+    ]
+
+
+# ----------------------------------------------------------------------
+# Evaluator
+# ----------------------------------------------------------------------
+
+EVALUATOR_QUERIES = [
+    PREFIXES + "SELECT ?n WHERE { ?x ex:name ?n } ORDER BY ?n",
+    PREFIXES + "SELECT DISTINCT ?c WHERE { ?x ex:crop ?c } ORDER BY ?c LIMIT 3",
+    PREFIXES + "SELECT ?x ?a WHERE { ?x ex:age ?a . ?x ex:name ?n } "
+    "ORDER BY DESC(?a) OFFSET 1",
+    PREFIXES + "SELECT ?c (COUNT(?x) AS ?k) WHERE { ?x ex:crop ?c } GROUP BY ?c",
+]
+
+
+def evaluator_digest(cache):
+    rng = random.Random(SEED)
+    graph = Graph()
+    digest = []
+    for round_no in range(6):
+        # Mutate between rounds so version-keyed invalidation is on trial.
+        for _ in range(10):
+            i = rng.randrange(50)
+            graph.add(EX[f"p{i}"], EX.name, Literal.from_python(f"name{i}"))
+            graph.add(EX[f"p{i}"], EX.age, Literal.from_python(20 + i % 30))
+            graph.add(EX[f"p{i}"], EX.crop,
+                      Literal.from_python(["wheat", "maize", "rye"][i % 3]))
+        for query in EVALUATOR_QUERIES:
+            digest.append(solution_digest(evaluate(graph, query, cache=cache)))
+    return digest
+
+
+def test_evaluator_parity():
+    assert evaluator_digest(None) == evaluator_digest(PlanCache())
+
+
+def test_evaluator_shared_cache_parity():
+    # One PlanCache shared across two graphs must not cross-contaminate.
+    cache = PlanCache()
+    assert evaluator_digest(None) == evaluator_digest(cache)
+    assert evaluator_digest(None) == evaluator_digest(cache)
+
+
+# ----------------------------------------------------------------------
+# GeoStore
+# ----------------------------------------------------------------------
+
+def geostore_digest(plan_cache):
+    rng = random.Random(SEED)
+    store = GeoStore(plan_cache=plan_cache)
+    digest = []
+    for round_no in range(5):
+        for _ in range(8):
+            i = rng.randrange(60)
+            store.add(EX[f"f{i}"], GEO.asWKT,
+                      geometry_literal(Point(i % 10, i // 10)))
+        box = geometry_literal(
+            Polygon.box(rng.randrange(5), rng.randrange(5), 8, 8)
+        )
+        query = (
+            PREFIXES
+            + "SELECT ?f WHERE { ?f geo:asWKT ?g . "
+            + f'FILTER (geof:sfIntersects(?g, "{box.lexical}"^^geo:wktLiteral)) }}'
+        )
+        digest.append(solution_digest(store.query(query)))
+        digest.append(solution_digest(store.query(query)))  # warm repeat
+    return digest
+
+
+def test_geostore_parity():
+    assert geostore_digest(None) == geostore_digest(PlanCache())
+
+
+# ----------------------------------------------------------------------
+# VirtualGeoStore (OBDA)
+# ----------------------------------------------------------------------
+
+def virtual_store(plan_cache):
+    db = Database()
+    fields = db.create_table(
+        "fields",
+        [
+            Column("id", "integer"),
+            Column("crop", "string"),
+            Column("area", "integer"),
+            Column("geometry", "geometry"),
+        ],
+    )
+    fields.insert_many(
+        [
+            {"id": i, "crop": ["wheat", "maize", "rye"][i % 3], "area": 5 + i,
+             "geometry": Polygon.box(i * 10, 0, i * 10 + 8, 8)}
+            for i in range(12)
+        ]
+    )
+    store = VirtualGeoStore(db, plan_cache=plan_cache)
+    store.add_mapping(
+        "fields",
+        TriplesMap(
+            subject_template=EXS + "field/{id}",
+            type_iri=EXS + "Field",
+            object_maps=[
+                ObjectMap(predicate=EXS + "crop", column="crop"),
+                ObjectMap(predicate=EXS + "areaHa", column="area",
+                          datatype=XSD_INTEGER),
+                ObjectMap(predicate=EXS + "geom", column="geometry",
+                          is_geometry=True),
+            ],
+        ),
+    )
+    return store
+
+
+VIRTUAL_QUERIES = [
+    PREFIXES + "SELECT ?f ?c WHERE { ?f ex:crop ?c }",
+    PREFIXES + "SELECT ?f WHERE { ?f ex:areaHa ?a . FILTER (?a > 10) }",
+]
+
+
+def virtual_digest(plan_cache):
+    store = virtual_store(plan_cache)
+    digest = []
+    for query in VIRTUAL_QUERIES * 2:  # repeats exercise the warm path
+        digest.append(solution_digest(store.query(query)))
+    return digest
+
+
+def test_virtual_store_parity():
+    assert virtual_digest(None) == virtual_digest(PlanCache())
+
+
+# ----------------------------------------------------------------------
+# Federation (fault-free: cached and uncached must agree exactly)
+# ----------------------------------------------------------------------
+
+def federation_digest(result_cache):
+    crops = Graph("crops")
+    weather = Graph("weather")
+    for i in range(20):
+        crops.add(EX[f"f{i}"], EX.crop, Literal("wheat" if i % 2 else "maize"))
+        weather.add(EX[f"f{i}"], EX.rain, Literal.from_python(10 + i))
+    endpoints = [Endpoint("crops", crops), Endpoint("weather", weather)]
+    query = (
+        "PREFIX ex: <http://ex.org/> "
+        "SELECT ?f ?c ?r WHERE { ?f ex:crop ?c . ?f ex:rain ?r }"
+    )
+    digest = []
+    for _ in range(3):
+        solutions, metrics = execute_federated(
+            query, endpoints, result_cache=result_cache
+        )
+        digest.append((sorted(solution_digest(solutions)), metrics.results,
+                       metrics.complete))
+    return digest
+
+
+def test_federation_parity():
+    assert federation_digest(None) == federation_digest(FederationResultCache())
+
+
+# ----------------------------------------------------------------------
+# HopsFS (outcomes must not depend on hint-cache capacity or negatives)
+# ----------------------------------------------------------------------
+
+def hopsfs_digest(dir_cache):
+    fs = HopsFS(
+        blocks=BlockManager(node_count=4, block_size=1024, replication=2),
+        dir_cache=dir_cache,
+    )
+    run_metadata_workload(
+        fs, operations=600, directories=8, seed=SEED, payload_bytes=64
+    )
+    # Outcomes only: store round trips and timings are *cost* and are
+    # allowed (expected!) to differ with cache capacity.
+    return {d: fs.listdir(f"/data/dir{d:04d}") for d in range(8)}
+
+
+def test_hopsfs_capacity_parity():
+    # A capacity-1 cache thrashes but must answer identically.
+    assert hopsfs_digest(DirHintCache()) == hopsfs_digest(DirHintCache(capacity=1))
+
+
+def test_hopsfs_negative_parity():
+    assert hopsfs_digest(DirHintCache()) == hopsfs_digest(
+        DirHintCache(negative=True)
+    )

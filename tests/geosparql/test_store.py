@@ -213,3 +213,95 @@ class TestIndexBaselineParity:
         query = selection_query(0, 0, 100, 30)
         assert result_ids(bulk.query(query)) == result_ids(incremental.query(query))
         assert bulk.geometry_count == incremental.geometry_count == 200
+
+
+class TestSolutionModifiers:
+    """GeoStore shares the evaluator's modifier pipeline (the E19 bugfix:
+    ORDER BY must see pre-projection bindings, then project)."""
+
+    def ordered_store(self):
+        # Insertion order deliberately matches *neither* sort direction.
+        return load_points(GeoStore(), [(5, 0), (1, 0), (9, 0), (3, 0)])
+
+    def test_order_by_non_projected_ascending(self):
+        store = self.ordered_store()
+        result = store.query(
+            PREFIXES + "SELECT ?f WHERE { ?f ex:id ?i } ORDER BY ?i"
+        )
+        assert [s[Variable("f")] for s in result] == [
+            EX.f0, EX.f1, EX.f2, EX.f3,
+        ]
+        # ...and the sort key itself was projected away.
+        assert all(set(s) == {Variable("f")} for s in result)
+
+    def test_order_by_non_projected_descending(self):
+        store = self.ordered_store()
+        result = store.query(
+            PREFIXES + "SELECT ?f WHERE { ?f ex:id ?i } ORDER BY DESC(?i)"
+        )
+        assert [s[Variable("f")] for s in result] == [
+            EX.f3, EX.f2, EX.f1, EX.f0,
+        ]
+
+    def test_distinct_order_offset_limit_oracle(self):
+        store = GeoStore()
+        # (category, rank): sorted by rank -> b(1), a(2), c(3), a(4)
+        for i, (cat, rank) in enumerate(
+            [("a", 2), ("b", 1), ("a", 4), ("c", 3)]
+        ):
+            store.add(EX[f"r{i}"], EX.cat, Literal.from_python(cat))
+            store.add(EX[f"r{i}"], EX.rank, Literal.from_python(rank))
+        query = (
+            PREFIXES
+            + "SELECT DISTINCT ?c WHERE { ?x ex:cat ?c . ?x ex:rank ?r } "
+            + "ORDER BY ?r OFFSET 1 LIMIT 2"
+        )
+        # distinct-after-sort: [b, a, c] -> offset 1, limit 2 -> [a, c]
+        values = [str(s[Variable("c")].to_python()) for s in store.query(query)]
+        assert values == ["a", "c"]
+
+    def test_matches_core_evaluator(self):
+        from repro.sparql import evaluate
+
+        store = self.ordered_store()
+        query = PREFIXES + "SELECT ?f WHERE { ?f ex:id ?i } ORDER BY DESC(?i)"
+        assert store.query(query) == evaluate(store.graph, query)
+
+
+class TestSpatialCandidateOp:
+    """The already-bound membership path of the rewrite's custom operator."""
+
+    def make_op(self):
+        from repro.geosparql.store import _SpatialCandidateOp
+
+        candidates = [
+            geometry_literal(Point(0, 0)),
+            geometry_literal(Point(5, 5)),
+        ]
+        return _SpatialCandidateOp(Variable("g"), candidates), candidates
+
+    def evaluate(self, op, bindings):
+        from repro.rdf import Graph
+        from repro.sparql import FunctionRegistry
+
+        return list(op.evaluate_custom(Graph(), bindings, FunctionRegistry()))
+
+    def test_unbound_variable_yields_all_candidates(self):
+        op, candidates = self.make_op()
+        solutions = self.evaluate(op, {})
+        assert [s[Variable("g")] for s in solutions] == candidates
+
+    def test_bound_candidate_passes_membership(self):
+        op, candidates = self.make_op()
+        bindings = {Variable("g"): candidates[1], Variable("f"): EX.f1}
+        solutions = self.evaluate(op, bindings)
+        assert solutions == [bindings]
+        assert solutions[0] is not bindings  # a copy, not the caller's dict
+
+    def test_bound_non_candidate_is_filtered(self):
+        op, _ = self.make_op()
+        assert self.evaluate(op, {Variable("g"): geometry_literal(Point(99, 99))}) == []
+
+    def test_bound_variables_reports_its_variable(self):
+        op, _ = self.make_op()
+        assert op.bound_variables() == {Variable("g")}

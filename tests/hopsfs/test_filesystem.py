@@ -192,3 +192,105 @@ class TestScaling:
         # high probability across 4 shards).
         assert fs.store.multi_shard_fraction >= 0.0  # recorded
         assert fs.store.op_count > 0
+
+
+class TestDirHintCache:
+    """Scoped invalidation of directory hints (the E19 bugfix): a delete or
+    rename evicts exactly its subtree, never the hot ancestors."""
+
+    def warm(self, fs, *paths):
+        for path in paths:
+            fs.listdir(path)
+
+    def test_sibling_delete_keeps_hot_ancestors(self, fs):
+        fs.makedirs("/data/a")
+        fs.mkdir("/data/b")
+        self.warm(fs, "/", "/data", "/data/a", "/data/b")
+        assert ("data",) in fs._dir_cache and ("data", "b") in fs._dir_cache
+        fs.delete("/data/b")
+        # The regression the seed code failed: unrelated hot hints survive.
+        assert () in fs._dir_cache
+        assert ("data",) in fs._dir_cache
+        assert ("data", "a") in fs._dir_cache
+        assert ("data", "b") not in fs._dir_cache
+
+    def test_hot_ancestor_resolution_is_free_after_sibling_delete(self, fs):
+        fs.makedirs("/data/a")
+        fs.mkdir("/data/b")
+        self.warm(fs, "/data", "/data/a")
+        fs.delete("/data/b")
+        hits_before = fs.dir_cache_stats["hits"]
+        fs.listdir("/data/a")
+        assert fs.dir_cache_stats["hits"] > hits_before
+
+    def test_delete_then_recreate_resolves_the_new_inode(self, fs):
+        fs.makedirs("/data/x")
+        self.warm(fs, "/data/x")
+        old_inode = fs.stat("/data/x").inode_id
+        fs.delete("/data/x")
+        fs.mkdir("/data/x")
+        fs.create("/data/x/f", b"hello")
+        assert fs.stat("/data/x").inode_id != old_inode
+        assert fs.listdir("/data/x") == ["f"]
+        assert fs.read("/data/x/f") == b"hello"
+
+    def test_rename_evicts_only_the_moved_subtree(self, fs):
+        fs.makedirs("/a/sub/deep")
+        fs.mkdir("/b")
+        self.warm(fs, "/a", "/a/sub", "/a/sub/deep", "/b")
+        fs.rename("/a/sub", "/b/sub")
+        assert ("a",) in fs._dir_cache and ("b",) in fs._dir_cache
+        assert ("a", "sub") not in fs._dir_cache
+        assert ("a", "sub", "deep") not in fs._dir_cache
+        assert fs.listdir("/a") == []
+        assert fs.listdir("/b/sub") == ["deep"]
+
+    def test_file_delete_evicts_nothing(self, fs):
+        fs.mkdir("/data")
+        fs.create("/data/f", b"x")
+        self.warm(fs, "/", "/data")
+        evictions_before = fs.dir_cache_stats["evictions"]
+        fs.delete("/data/f")
+        assert fs.dir_cache_stats["evictions"] == evictions_before
+        assert ("data",) in fs._dir_cache
+
+    def test_bounded_capacity_thrashes_but_stays_correct(self):
+        from repro.cache import DirHintCache
+
+        fs = HopsFS(dir_cache=DirHintCache(capacity=2))
+        for d in range(6):
+            fs.makedirs(f"/d{d}/sub")
+            fs.create(f"/d{d}/sub/f", b"x")
+        assert len(fs._dir_cache) <= 2
+        assert fs.dir_cache_stats["evictions"] > 0
+        for d in range(6):
+            assert fs.read(f"/d{d}/sub/f") == b"x"
+
+    def test_negative_caching_replays_failures_cheaply(self):
+        from repro.cache import DirHintCache
+
+        fs = HopsFS(dir_cache=DirHintCache(negative=True))
+        for _ in range(3):
+            with pytest.raises(StorageError, match="no such directory"):
+                fs.stat("/nope/file")
+        assert fs.dir_cache_stats["negative_hits"] >= 2
+
+    def test_negative_entry_invalidated_by_mkdir(self):
+        from repro.cache import DirHintCache
+
+        fs = HopsFS(dir_cache=DirHintCache(negative=True))
+        with pytest.raises(StorageError):
+            fs.stat("/nope/file")
+        fs.mkdir("/nope")
+        fs.create("/nope/file", b"now real")
+        assert fs.read("/nope/file") == b"now real"
+
+    def test_negative_entry_invalidated_by_rename(self):
+        from repro.cache import DirHintCache
+
+        fs = HopsFS(dir_cache=DirHintCache(negative=True))
+        fs.makedirs("/src/inner")
+        with pytest.raises(StorageError):
+            fs.stat("/dst/x")  # remembered failure under /dst
+        fs.rename("/src", "/dst")
+        assert fs.listdir("/dst") == ["inner"]

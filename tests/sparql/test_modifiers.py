@@ -1,0 +1,157 @@
+"""Solution-modifier ordering: the SPARQL-algebra pipeline, pinned.
+
+Regression suite for the ORDER BY-before-projection bugfix: the seed
+evaluator projected first and sorted second, so ``ORDER BY ?x`` on a
+variable the SELECT clause drops degraded every sort key to the unbound
+sentinel and silently returned input order. Per SPARQL 1.1 (18.2.4-18.2.5)
+the pipeline is aggregate -> ORDER BY -> projection -> DISTINCT -> slice,
+and both local stores now share it via
+:func:`repro.sparql.evaluator.apply_solution_modifiers`.
+"""
+
+import pytest
+
+from repro.rdf import Graph, Literal, Namespace
+from repro.sparql import Variable, apply_solution_modifiers, evaluate, parse_query
+
+EX = Namespace("http://ex.org/")
+PREFIX = "PREFIX ex: <http://ex.org/> "
+
+
+@pytest.fixture
+def people():
+    graph = Graph()
+    for key, name, age in (
+        ("alice", "Alice", 30),
+        ("bob", "Bob", 25),
+        ("carol", "Carol", 35),
+        ("dave", "Dave", 28),
+    ):
+        graph.add(EX[key], EX.name, Literal.from_python(name))
+        graph.add(EX[key], EX.age, Literal.from_python(age))
+    return graph
+
+
+def names(result):
+    return [str(s[Variable("n")].to_python()) for s in result]
+
+
+class TestOrderByNonProjected:
+    def test_ascending(self, people):
+        """ORDER BY a variable the projection drops must still sort."""
+        result = evaluate(
+            people,
+            PREFIX + "SELECT ?n WHERE { ?x ex:name ?n . ?x ex:age ?a } ORDER BY ?a",
+        )
+        assert names(result) == ["Bob", "Dave", "Alice", "Carol"]
+
+    def test_descending(self, people):
+        # Asserting both directions means a pass cannot be the accident of
+        # input order coinciding with one of them (the pre-fix failure mode
+        # was "stable sort on all-equal sentinel keys" = input order).
+        result = evaluate(
+            people,
+            PREFIX
+            + "SELECT ?n WHERE { ?x ex:name ?n . ?x ex:age ?a } ORDER BY DESC(?a)",
+        )
+        assert names(result) == ["Carol", "Alice", "Dave", "Bob"]
+
+    def test_projected_column_dropped(self, people):
+        """The sort variable must not leak into the projected solutions."""
+        result = evaluate(
+            people,
+            PREFIX + "SELECT ?n WHERE { ?x ex:name ?n . ?x ex:age ?a } ORDER BY ?a",
+        )
+        assert all(set(s) == {Variable("n")} for s in result)
+
+    def test_order_by_projected_still_works(self, people):
+        result = evaluate(
+            people,
+            PREFIX + "SELECT ?n WHERE { ?x ex:name ?n } ORDER BY ?n",
+        )
+        assert names(result) == ["Alice", "Bob", "Carol", "Dave"]
+
+
+class TestDistinctOrderSlice:
+    """DISTINCT + ORDER BY + OFFSET/LIMIT against a hand-computed oracle."""
+
+    @pytest.fixture
+    def market(self):
+        graph = Graph()
+        for key, category, price in (
+            ("a1", "fruit", 5),
+            ("a2", "veg", 3),
+            ("a3", "fruit", 1),
+            ("a4", "dairy", 4),
+        ):
+            graph.add(EX[key], EX.cat, Literal.from_python(category))
+            graph.add(EX[key], EX.price, Literal.from_python(price))
+        return graph
+
+    # Oracle, by hand. Pre-projection solutions sorted by ?p ascending:
+    #   (fruit, 1), (veg, 3), (dairy, 4), (fruit, 5)
+    # project to ?cat:   [fruit, veg, dairy, fruit]
+    # DISTINCT (keep first occurrence):  [fruit, veg, dairy]
+    # OFFSET 1:          [veg, dairy]
+    # LIMIT 2:           [veg, dairy]
+
+    QUERY = (
+        PREFIX
+        + "SELECT DISTINCT ?cat WHERE { ?x ex:cat ?cat . ?x ex:price ?p } "
+        + "ORDER BY ?p"
+    )
+
+    def cats(self, result):
+        return [str(s[Variable("cat")].to_python()) for s in result]
+
+    def test_distinct_keeps_first_in_sort_order(self, market):
+        assert self.cats(evaluate(market, self.QUERY)) == ["fruit", "veg", "dairy"]
+
+    def test_offset_limit_slice_runs_last(self, market):
+        result = evaluate(market, self.QUERY + " OFFSET 1 LIMIT 2")
+        assert self.cats(result) == ["veg", "dairy"]
+
+    def test_limit_alone(self, market):
+        assert self.cats(evaluate(market, self.QUERY + " LIMIT 1")) == ["fruit"]
+
+    def test_offset_past_end(self, market):
+        assert evaluate(market, self.QUERY + " OFFSET 9") == []
+
+
+class TestSharedHelper:
+    def test_apply_solution_modifiers_direct(self, people):
+        """The helper is the one pipeline home: drives it without a store."""
+        query = parse_query(
+            PREFIX + "SELECT ?n WHERE { ?x ex:name ?n . ?x ex:age ?a } ORDER BY ?a"
+        )
+        raw = [
+            {Variable("n"): Literal.from_python(name),
+             Variable("a"): Literal.from_python(age)}
+            for name, age in (("Zoe", 9), ("Amy", 3), ("Max", 6))
+        ]
+        result = apply_solution_modifiers(query, raw)
+        assert [str(s[Variable("n")].to_python()) for s in result] == [
+            "Amy", "Max", "Zoe",
+        ]
+
+    def test_helper_does_not_mutate_input(self, people):
+        query = parse_query(PREFIX + "SELECT ?n WHERE { ?x ex:name ?n } ORDER BY ?n")
+        raw = [
+            {Variable("n"): Literal.from_python(name)} for name in ("b", "a")
+        ]
+        snapshot = list(raw)
+        apply_solution_modifiers(query, raw)
+        assert raw == snapshot
+
+    def test_aggregate_order_by_alias(self):
+        graph = Graph()
+        for key, category in (("x", "a"), ("y", "a"), ("z", "b")):
+            graph.add(EX[key], EX.cat, Literal.from_python(category))
+        result = evaluate(
+            graph,
+            PREFIX
+            + "SELECT ?cat (COUNT(?s) AS ?c) WHERE { ?s ex:cat ?cat } "
+            + "GROUP BY ?cat ORDER BY DESC(?c)",
+        )
+        counts = [int(s[Variable("c")].to_python()) for s in result]
+        assert counts == [2, 1]
