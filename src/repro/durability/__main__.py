@@ -1,0 +1,5 @@
+"""CLI entry: ``python -m repro.durability`` runs the crash-point sweep."""
+
+from repro.durability.harness import main
+
+raise SystemExit(main())

@@ -1,0 +1,184 @@
+"""End-to-end content checksums for block storage (experiment E20).
+
+The simulation does not materialise block bytes, so a replica's "contents"
+are modelled as a 64-bit **content fingerprint** — a stable hash of
+``(block_id, size, generation)``. Every write refreshes the authoritative
+fingerprint; every replica carries its own copy. Silent faults
+(:class:`~repro.faults.BitFlip`, :class:`~repro.faults.StaleReplica`)
+perturb a *replica's* fingerprint while leaving the authoritative one
+alone, which is exactly the disk-rot shape: the namenode believes one
+thing, the platter holds another, and only comparing the two can tell.
+
+:class:`BlockChecksums` is the optional ledger a
+:class:`~repro.hopsfs.BlockManager` consults:
+
+* ``verify=True`` — reads check the chosen replica and transparently fail
+  over to an intact one (``durability.corrupt_reads_detected``); a block
+  with no intact replica raises :class:`~repro.errors.BlockCorruption`.
+* ``verify=False`` — the ledger still tracks fingerprints (so a bench can
+  *count* the corrupt reads a checksum-less deployment serves,
+  ``durability.corrupt_reads_served``) but never changes which replica a
+  read picks: answers are byte-identical to a manager with no ledger.
+* ``None`` (the manager's default) — no ledger at all, the pre-E20 path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, Optional, Tuple, TYPE_CHECKING
+
+from repro.errors import StorageError
+from repro.obs import Observability, resolve
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
+
+
+def content_fingerprint(block_id: int, size: int, generation: int) -> int:
+    """Stable 64-bit fingerprint of one generation of a block's contents."""
+    digest = hashlib.blake2b(
+        f"block:{block_id}:{size}:{generation}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+def flipped_fingerprint(fingerprint: int) -> int:
+    """The fingerprint a bit-flipped replica reads back as (never equal)."""
+    return fingerprint ^ 0xA5A5_A5A5_A5A5_A5A5
+
+
+class BlockChecksums:
+    """Per-replica content fingerprints with verification accounting."""
+
+    def __init__(self, verify: bool = True,
+                 obs: Optional[Observability] = None):
+        self.verify = verify
+        self._obs = resolve(obs)
+        self._size: Dict[int, int] = {}  # block_id -> size
+        self._generation: Dict[int, int] = {}  # block_id -> generation
+        # (block_id, node_id) -> the fingerprint this replica reads back as
+        self._replica: Dict[Tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle hooks (called by BlockManager)
+    # ------------------------------------------------------------------
+
+    def expected(self, block_id: int) -> int:
+        """The authoritative fingerprint of the block's current generation."""
+        if block_id not in self._size:
+            raise StorageError(f"no checksum tracked for block {block_id}")
+        return content_fingerprint(
+            block_id, self._size[block_id], self._generation[block_id]
+        )
+
+    def generation(self, block_id: int) -> int:
+        return self._generation.get(block_id, 0)
+
+    def on_place(self, block_id: int, size: int, node_id: int) -> None:
+        """A replica was written in full (allocation or re-replication)."""
+        if block_id not in self._size:
+            self._size[block_id] = size
+            self._generation[block_id] = 0
+        self._replica[(block_id, node_id)] = self.expected(block_id)
+
+    def on_drop(self, block_id: int, node_id: int) -> None:
+        self._replica.pop((block_id, node_id), None)
+
+    def on_free(self, block_id: int) -> None:
+        self._size.pop(block_id, None)
+        self._generation.pop(block_id, None)
+        for key in [k for k in self._replica if k[0] == block_id]:
+            del self._replica[key]
+
+    def on_update(self, block_id: int, node_ids: Iterable[int]) -> int:
+        """The block was rewritten: bump its generation, refresh replicas.
+
+        Returns the new generation. A replica that a later
+        :class:`~repro.faults.StaleReplica` fault reverts will hold the
+        *previous* generation's (still self-consistent!) fingerprint —
+        detectable only because fingerprints cover the generation.
+        """
+        if block_id not in self._size:
+            raise StorageError(f"no checksum tracked for block {block_id}")
+        self._generation[block_id] += 1
+        fingerprint = self.expected(block_id)
+        for node_id in node_ids:
+            self._replica[(block_id, node_id)] = fingerprint
+        return self._generation[block_id]
+
+    # ------------------------------------------------------------------
+    # Silent-fault application
+    # ------------------------------------------------------------------
+
+    def corrupt_replica(self, block_id: int, node_id: int,
+                        kind: str = "bit_flip") -> bool:
+        """Rot one replica in place; returns False if it does not exist.
+
+        ``bit_flip`` garbles the fingerprint outright; ``stale`` reverts the
+        replica to the previous generation's fingerprint (a no-op at
+        generation 0 — a replica that never saw a second write cannot be
+        stale).
+        """
+        key = (block_id, node_id)
+        if key not in self._replica:
+            return False
+        if kind == "bit_flip":
+            self._replica[key] = flipped_fingerprint(self._replica[key])
+        elif kind == "stale":
+            generation = self._generation[block_id]
+            if generation == 0:
+                return False
+            self._replica[key] = content_fingerprint(
+                block_id, self._size[block_id], generation - 1
+            )
+        else:
+            raise StorageError(f"unknown corruption kind {kind!r}")
+        return True
+
+    def apply_silent_faults(self, injector: "FaultInjector") -> int:
+        """Apply the plan's BitFlip/StaleReplica entries; returns count."""
+        applied = 0
+        for flip in injector.block_bit_flips():
+            if self.corrupt_replica(flip.block_id, flip.node_id, "bit_flip"):
+                applied += 1
+        for stale in injector.block_stale_replicas():
+            if self.corrupt_replica(stale.block_id, stale.node_id, "stale"):
+                applied += 1
+        return applied
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+
+    def replica_intact(self, block_id: int, node_id: int) -> bool:
+        """Does the replica's fingerprint match the authoritative one?
+
+        An untracked replica (placed before the ledger was attached) is
+        treated as intact — there is nothing to compare against.
+        """
+        stored = self._replica.get((block_id, node_id))
+        if stored is None:
+            return True
+        return stored == self.expected(block_id)
+
+    def repair_replica(self, block_id: int, node_id: int) -> None:
+        """Overwrite a replica from an intact copy: fingerprint restored."""
+        self._replica[(block_id, node_id)] = self.expected(block_id)
+
+    def note_detected(self, block_id: int, node_id: int) -> None:
+        self._obs.metrics.counter(
+            "durability.corrupt_reads_detected", node=node_id
+        ).inc()
+
+    def note_served(self, block_id: int, node_id: int) -> None:
+        self._obs.metrics.counter(
+            "durability.corrupt_reads_served", node=node_id
+        ).inc()
+
+    @property
+    def tracked_replicas(self) -> int:
+        return len(self._replica)
+
+    def replicas(self) -> Tuple[Tuple[int, int], ...]:
+        """All tracked ``(block_id, node_id)`` pairs (fsck/scrub surface)."""
+        return tuple(self._replica)

@@ -1,0 +1,467 @@
+"""Per-shard write-ahead logging for the metadata store (experiment E20).
+
+Real framing, real serialisation, real checksums: every record is pickled,
+length-prefixed and CRC-protected in a flat byte buffer per shard — the
+buffer *is* the simulated disk, and it survives a :meth:`crash` that wipes
+the store's volatile dictionaries. Because the bytes are real, the silent
+faults are too: a :class:`~repro.faults.TornWrite` leaves a genuine partial
+record that replay must recognise by its failing CRC, and a mid-log flip
+is indistinguishable from rot — :class:`~repro.errors.WALCorrupted`.
+
+Record kinds::
+
+    put         {pk, key, value}            single-shard write
+    delete      {pk, key}                   single-shard delete
+    txn-prepare {txn, writes, deletes}      this shard's slice of a 2PC txn
+    txn-commit  {txn}                       the commit marker
+
+2PC ordering is the crux: a transaction appends its ``txn-prepare`` record
+to *every* participant's log before the first ``txn-commit`` marker lands
+anywhere. Recovery therefore decides commit globally — a transaction is
+committed iff its marker survives in **any** participant's log (the
+coordinator's decision is durable once written once), and a prepare with no
+marker anywhere is an abort and replays as nothing. That single rule is
+what makes the crash-point sweep in :mod:`repro.durability.harness` come
+out clean at every record boundary.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple, TYPE_CHECKING
+
+from repro.errors import SimulatedCrash, StorageError, WALCorrupted
+from repro.obs import Observability, resolve
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
+    from repro.durability.snapshot import ShardSnapshot
+
+#: Record framing: big-endian (payload length, payload CRC32).
+_HEADER = struct.Struct(">II")
+
+PUT = "put"
+DELETE = "delete"
+TXN_PREPARE = "txn-prepare"
+TXN_COMMIT = "txn-commit"
+
+
+def encode_record(record: Dict[str, Any]) -> bytes:
+    """Frame one record: header(length, crc32) + pickled payload."""
+    payload = pickle.dumps(record, protocol=4)
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+class WriteAheadLog:
+    """One shard's append-only log over a flat byte buffer."""
+
+    def __init__(self, shard: int):
+        self.shard = shard
+        self.buffer = bytearray()
+        self.record_count = 0
+        #: byte offset the retained buffer starts at (>0 after truncation)
+        self.base_offset = 0
+
+    @property
+    def size(self) -> int:
+        """Total log length in bytes, counting any truncated prefix."""
+        return self.base_offset + len(self.buffer)
+
+    def append(self, record: Dict[str, Any], torn: bool = False) -> int:
+        """Append one record; returns the log size after the append.
+
+        ``torn=True`` writes only a prefix of the frame — the crash-mid-write
+        artifact replay must discard.
+        """
+        frame = encode_record(record)
+        if torn:
+            # Header plus half the payload: enough to look like a record,
+            # not enough to checksum. Always at least one byte short.
+            keep = _HEADER.size + (len(frame) - _HEADER.size) // 2
+            frame = frame[: min(keep, len(frame) - 1)]
+        self.buffer.extend(frame)
+        if not torn:
+            self.record_count += 1
+        return self.size
+
+    def records(self, from_offset: int = 0) -> Tuple[List[Dict[str, Any]], bool]:
+        """Decode records from byte offset ``from_offset`` to the tail.
+
+        Returns ``(records, torn_tail)``. A short or CRC-failing *final*
+        frame is the expected crash artifact and is discarded
+        (``torn_tail=True``); a bad frame with valid data after it cannot be
+        explained by a crash and raises :class:`WALCorrupted`.
+        """
+        records, torn, _ = self._scan(from_offset)
+        return records, torn
+
+    def _scan(
+        self, from_offset: int
+    ) -> Tuple[List[Dict[str, Any]], bool, int]:
+        """Decode from ``from_offset``; also returns the last valid buffer
+        position (relative to the retained buffer) for tail repair."""
+        if from_offset < self.base_offset:
+            raise StorageError(
+                f"WAL prefix before offset {self.base_offset} was truncated; "
+                f"cannot replay from {from_offset}"
+            )
+        position = from_offset - self.base_offset
+        data = self.buffer
+        out: List[Dict[str, Any]] = []
+        index = 0
+        while position < len(data):
+            if position + _HEADER.size > len(data):
+                return out, True, position  # torn header at the tail
+            length, crc = _HEADER.unpack_from(data, position)
+            start = position + _HEADER.size
+            end = start + length
+            if end > len(data):
+                return out, True, position  # torn payload at the tail
+            payload = bytes(data[start:end])
+            if zlib.crc32(payload) != crc:
+                if end == len(data):
+                    return out, True, position  # torn final frame
+                raise WALCorrupted(
+                    f"WAL record {index} on shard {self.shard} failed its "
+                    "CRC with valid records after it",
+                    shard=self.shard,
+                    record_index=index,
+                )
+            out.append(pickle.loads(payload))
+            position = end
+            index += 1
+        return out, False, position
+
+    def repair_tail(self) -> int:
+        """Drop a torn tail so post-recovery appends frame cleanly.
+
+        Returns the number of garbage bytes discarded (0 for a clean log).
+        """
+        _, torn, valid_end = self._scan(self.base_offset)
+        if not torn:
+            return 0
+        dropped = len(self.buffer) - valid_end
+        del self.buffer[valid_end:]
+        return dropped
+
+    def truncate_before(self, offset: int) -> int:
+        """Drop the prefix below byte ``offset`` (post-checkpoint cleanup).
+
+        Returns the number of bytes released. After truncation a recovery
+        that cannot use the covering snapshot has nothing to replay from.
+        """
+        if offset < self.base_offset or offset > self.size:
+            raise StorageError(
+                f"cannot truncate WAL to offset {offset}: retained range is "
+                f"[{self.base_offset}, {self.size}]"
+            )
+        dropped = offset - self.base_offset
+        del self.buffer[:dropped]
+        self.base_offset = offset
+        return dropped
+
+
+@dataclass
+class RecoveryReport:
+    """What one :meth:`DurabilityLayer.recover` run found and did."""
+
+    shards: int = 0
+    records_replayed: int = 0
+    torn_tails_discarded: int = 0
+    committed_txns: int = 0
+    aborted_txns: int = 0
+    snapshots_used: int = 0
+    snapshot_fallbacks: int = 0
+    markers_healed: int = 0
+
+    def merge_shard(self, replayed: int, torn: bool) -> None:
+        self.shards += 1
+        self.records_replayed += replayed
+        if torn:
+            self.torn_tails_discarded += 1
+
+
+class DurabilityLayer:
+    """The WAL set + snapshot store one :class:`ShardedKVStore` writes through.
+
+    Optional collaborator following the ``repro.faults`` null-object
+    pattern: a store built without one runs the exact pre-E20 byte path.
+    ``crash_after_records`` arms a crash point for the recovery harness —
+    the append that would make the durable record count exceed it raises
+    :class:`~repro.errors.SimulatedCrash` instead (``torn_crash=True``
+    additionally leaves that record's torn prefix on disk first).
+    """
+
+    def __init__(
+        self,
+        injector: Optional["FaultInjector"] = None,
+        obs: Optional[Observability] = None,
+        crash_after_records: Optional[int] = None,
+        torn_crash: bool = False,
+    ):
+        self._injector = injector
+        self._obs = resolve(obs)
+        self.crash_after_records = crash_after_records
+        self.torn_crash = torn_crash
+        self.logs: List[WriteAheadLog] = []
+        self.snapshots: List[Optional["ShardSnapshot"]] = []
+        self._snapshots_taken: List[int] = []
+        self.appended_records = 0
+        self._next_txn = 0
+
+    # ------------------------------------------------------------------
+    # Binding
+    # ------------------------------------------------------------------
+
+    def bind(self, shard_count: int) -> None:
+        """Attach to a store; one WAL per shard. Idempotent per store."""
+        if self.logs:
+            if len(self.logs) != shard_count:
+                raise StorageError(
+                    f"durability layer already bound to {len(self.logs)} "
+                    f"shards; cannot rebind to {shard_count}"
+                )
+            return
+        self.logs = [WriteAheadLog(shard) for shard in range(shard_count)]
+        self.snapshots = [None] * shard_count
+        self._snapshots_taken = [0] * shard_count
+
+    def _require_bound(self) -> None:
+        if not self.logs:
+            raise StorageError("durability layer is not bound to a store")
+
+    # ------------------------------------------------------------------
+    # Appends
+    # ------------------------------------------------------------------
+
+    def _append(self, shard: int, record: Dict[str, Any]) -> None:
+        """One durable append, honouring torn-write faults + crash points."""
+        log = self.logs[shard]
+        torn = False
+        if self._injector is not None and self._injector.wal_torn(
+            shard, log.record_count
+        ):
+            torn = True
+        crash_here = (
+            self.crash_after_records is not None
+            and self.appended_records >= self.crash_after_records
+        )
+        if crash_here and self.torn_crash:
+            torn = True
+        if crash_here and not torn:
+            raise SimulatedCrash(
+                f"crash point: {self.appended_records} records durable, "
+                f"append to shard {shard} never started",
+                records_durable=self.appended_records,
+            )
+        log.append(record, torn=torn)
+        metrics = self._obs.metrics
+        metrics.counter("durability.wal_appends", shard=shard,
+                        kind=record["kind"], torn=torn).inc()
+        if torn:
+            # A torn write *is* a crash: no writer survives one.
+            raise SimulatedCrash(
+                f"torn append on shard {shard}: "
+                f"{self.appended_records} records durable",
+                records_durable=self.appended_records,
+            )
+        self.appended_records += 1
+
+    def log_put(self, shard: int, pk: Any, key: Any, value: Any) -> None:
+        self._append(shard, {"kind": PUT, "pk": pk, "key": key, "value": value})
+
+    def log_delete(self, shard: int, pk: Any, key: Any) -> None:
+        self._append(shard, {"kind": DELETE, "pk": pk, "key": key})
+
+    def log_transaction(
+        self,
+        by_shard: Dict[int, Tuple[List[Tuple[Any, Any, Any]],
+                                  List[Tuple[Any, Any]]]],
+    ) -> int:
+        """Durably stage one 2PC transaction; returns its txn id.
+
+        Prepares land on every participant before any commit marker does —
+        the ordering recovery's any-marker-means-committed rule depends on.
+        """
+        self._require_bound()
+        txn = self._next_txn
+        self._next_txn += 1
+        participants = sorted(by_shard)
+        for shard in participants:
+            writes, deletes = by_shard[shard]
+            self._append(shard, {
+                "kind": TXN_PREPARE, "txn": txn,
+                "writes": list(writes), "deletes": list(deletes),
+            })
+        for shard in participants:
+            self._append(shard, {"kind": TXN_COMMIT, "txn": txn})
+        return txn
+
+    # ------------------------------------------------------------------
+    # Checkpoints
+    # ------------------------------------------------------------------
+
+    def checkpoint(self, shard: int, state: Dict[Any, Any],
+                   truncate: bool = False) -> "ShardSnapshot":
+        """Snapshot one shard's state at its current WAL offset.
+
+        ``truncate=True`` releases the covered log prefix — cheaper disk,
+        but a corrupt snapshot then has no full-replay fallback.
+        """
+        from repro.durability.snapshot import ShardSnapshot
+
+        self._require_bound()
+        index = self._snapshots_taken[shard]
+        self._snapshots_taken[shard] += 1
+        snapshot = ShardSnapshot.capture(
+            shard, state, wal_offset=self.logs[shard].size, index=index
+        )
+        if self._injector is not None and self._injector.snapshot_corrupted(
+            shard, index
+        ):
+            snapshot.rot()
+        self.snapshots[shard] = snapshot
+        self._obs.metrics.counter("durability.snapshots", shard=shard).inc()
+        if truncate:
+            self.logs[shard].truncate_before(snapshot.wal_offset)
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+
+    def committed_txns(self) -> Set[int]:
+        """Txn ids with a commit marker in *any* participant's log."""
+        committed: Set[int] = set()
+        for log in self.logs:
+            records, _ = log.records(log.base_offset)
+            for record in records:
+                if record["kind"] == TXN_COMMIT:
+                    committed.add(record["txn"])
+        return committed
+
+    def recover(self) -> Tuple[List[Dict[Any, Any]], RecoveryReport]:
+        """Rebuild every shard from snapshot + WAL replay.
+
+        The commit decision is global (see :meth:`committed_txns`), so a 2PC
+        transaction either replays on all its participants or on none.
+        """
+        from repro.errors import SnapshotCorrupted
+
+        self._require_bound()
+        report = RecoveryReport()
+        committed = self.committed_txns()
+        seen_txns: Set[int] = set()
+        shards: List[Dict[Any, Any]] = []
+        for shard, log in enumerate(self.logs):
+            # Drop crash garbage first so post-recovery appends frame
+            # cleanly after the last whole record.
+            torn = log.repair_tail() > 0
+            state: Dict[Any, Any] = {}
+            from_offset = log.base_offset
+            snapshot = self.snapshots[shard]
+            if snapshot is not None:
+                try:
+                    state = snapshot.restore()
+                    from_offset = snapshot.wal_offset
+                    report.snapshots_used += 1
+                except SnapshotCorrupted:
+                    if log.base_offset > 0:
+                        raise SnapshotCorrupted(
+                            f"snapshot for shard {shard} is corrupt and the "
+                            "covered WAL prefix was truncated: state lost",
+                            shard=shard,
+                        )
+                    state = {}
+                    from_offset = 0
+                    report.snapshot_fallbacks += 1
+                    self._obs.metrics.counter(
+                        "durability.snapshot_fallbacks", shard=shard
+                    ).inc()
+            records, _ = log.records(from_offset)
+            replayed = self._replay(state, records, committed, seen_txns)
+            report.merge_shard(replayed, torn)
+            report.markers_healed += self._heal_markers(log, committed)
+            shards.append(state)
+        report.committed_txns = len(committed & seen_txns)
+        report.aborted_txns = len(seen_txns - committed)
+        metrics = self._obs.metrics
+        metrics.counter("durability.recoveries").inc()
+        metrics.counter("durability.replayed_records").inc(
+            report.records_replayed
+        )
+        if report.torn_tails_discarded:
+            metrics.counter("durability.torn_tails_discarded").inc(
+                report.torn_tails_discarded
+            )
+        if report.markers_healed:
+            metrics.counter("durability.markers_healed").inc(
+                report.markers_healed
+            )
+        return shards, report
+
+    @staticmethod
+    def _heal_markers(log: WriteAheadLog, committed: Set[int]) -> int:
+        """Complete the commit point locally for globally-committed txns.
+
+        A crash between a transaction's markers can leave a participant
+        holding a prepare with the decision only durable elsewhere; writing
+        the missing local marker now keeps the decision survivable even if
+        the *other* participant's log is later checkpoint-truncated.
+        """
+        records, _ = log.records(log.base_offset)
+        local_markers = {
+            r["txn"] for r in records if r["kind"] == TXN_COMMIT
+        }
+        local_prepares = {
+            r["txn"] for r in records if r["kind"] == TXN_PREPARE
+        }
+        healed = 0
+        for txn in sorted((local_prepares & committed) - local_markers):
+            log.append({"kind": TXN_COMMIT, "txn": txn})
+            healed += 1
+        return healed
+
+    @staticmethod
+    def _replay(
+        state: Dict[Any, Any],
+        records: List[Dict[str, Any]],
+        committed: Set[int],
+        seen_txns: Set[int],
+    ) -> int:
+        """Apply one shard's record stream to ``state`` in log order."""
+        applied = 0
+        for record in records:
+            kind = record["kind"]
+            if kind == PUT:
+                state[(record["pk"], record["key"])] = record["value"]
+            elif kind == DELETE:
+                state.pop((record["pk"], record["key"]), None)
+            elif kind == TXN_PREPARE:
+                seen_txns.add(record["txn"])
+                if record["txn"] in committed:
+                    for pk, key, value in record["writes"]:
+                        state[(pk, key)] = value
+                    for pk, key in record["deletes"]:
+                        state.pop((pk, key), None)
+            elif kind == TXN_COMMIT:
+                pass  # consumed globally by committed_txns()
+            else:
+                raise WALCorrupted(f"unknown WAL record kind {kind!r}")
+            applied += 1
+        return applied
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(log.size for log in self.logs)
+
+    @property
+    def total_records(self) -> int:
+        return sum(log.record_count for log in self.logs)

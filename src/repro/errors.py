@@ -12,6 +12,12 @@ The hierarchy::
     │   └── SPARQLSyntaxError
     ├── RasterError                 raster grids
     ├── StorageError                HopsFS-sim filesystem/metadata
+    │   └── DataCorruption          a detected integrity violation (E20):
+    │       ├── WALCorrupted        a non-tail WAL record failed its CRC
+    │       ├── SnapshotCorrupted   a shard snapshot failed its checksum and
+    │       │                       no complete WAL remains to replay
+    │       └── BlockCorruption     every replica of a block failed
+    │                               verification — nothing intact to serve
     ├── ClusterError                cluster simulator
     ├── MLError                     model construction/training
     ├── MappingError                GeoTriples mappings
@@ -28,9 +34,13 @@ The hierarchy::
         │                           fast instead of hammering a flapping
         │                           dependency (retryable — the breaker may
         │                           close again after its recovery window)
-        └── Overloaded              an AdmissionController shed the request
-                                    (bulkhead full or low-priority under
-                                    pressure); retryable after backoff
+        ├── Overloaded              an AdmissionController shed the request
+        │                           (bulkhead full or low-priority under
+        │                           pressure); retryable after backoff
+        └── SimulatedCrash          the durability harness killed the process
+                                    at a WAL record boundary; never retryable
+                                    — the caller is dead, recovery is the
+                                    only way forward
 
 Fault-injection errors (:mod:`repro.faults`) deserve a note: subsystems that
 participate in chaos experiments raise subclasses that *also* derive from
@@ -80,6 +90,53 @@ class StorageError(ReproError):
     def __init__(self, message: str, path: str | None = None):
         super().__init__(message if path is None else f"{message}: {path}")
         self.path = path
+
+
+class DataCorruption(StorageError):
+    """A detected data-integrity violation (experiment E20).
+
+    Deliberately *not* a :class:`FaultError`: corruption that checksums catch
+    is a storage-state condition, not a transient call failure — retrying the
+    same read against the same corrupt bytes can never succeed, so
+    :class:`~repro.faults.retry.RetryPolicy` must not loop on it. Recovery
+    (replica failover, scrub/repair, WAL replay) is the correct response.
+    """
+
+
+class WALCorrupted(DataCorruption):
+    """A write-ahead-log record *before the tail* failed its CRC.
+
+    A torn tail is expected after a crash and silently discarded; a bad
+    record with valid records after it means the log itself rotted, which no
+    replay can paper over.
+    """
+
+    def __init__(self, message: str, shard: int | None = None,
+                 record_index: int | None = None):
+        super().__init__(message)
+        self.shard = shard
+        self.record_index = record_index
+
+
+class SnapshotCorrupted(DataCorruption):
+    """A shard snapshot failed verification and no complete WAL remains.
+
+    With the full log still on disk a corrupt snapshot only costs a longer
+    replay; this error means the prefix was truncated away, so the shard's
+    state is genuinely unrecoverable.
+    """
+
+    def __init__(self, message: str, shard: int | None = None):
+        super().__init__(message)
+        self.shard = shard
+
+
+class BlockCorruption(DataCorruption):
+    """Every replica of a block failed its content checksum."""
+
+    def __init__(self, message: str, block_id: int | None = None):
+        super().__init__(message)
+        self.block_id = block_id
 
 
 class ClusterError(ReproError):
@@ -188,3 +245,19 @@ class Overloaded(FaultError):
         self.scope = scope
         self.priority = priority
         self.reason = reason
+
+
+class SimulatedCrash(FaultError):
+    """The durability harness killed the store at a WAL record boundary.
+
+    Raised by :class:`~repro.durability.DurabilityLayer` when a crash point
+    trips mid-append. Never retryable: the "process" is gone, and the whole
+    point of experiment E20 is proving that ``crash()`` + ``recover()`` — not
+    another attempt — restores every committed write.
+    """
+
+    retryable = False
+
+    def __init__(self, message: str, records_durable: int = 0):
+        super().__init__(message)
+        self.records_durable = records_durable

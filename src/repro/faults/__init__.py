@@ -7,8 +7,11 @@ every scaling experiment be re-measured *under failure*:
 
 * :class:`~repro.faults.injector.FaultPlan` — a declarative, seeded
   description of what goes wrong (node/datanode crashes, stragglers,
-  shard outages, endpoint error/timeout/death, ML worker crashes, plus
-  E18's time-windowed endpoint flaps and client overload bursts);
+  shard outages, endpoint error/timeout/death, ML worker crashes,
+  E18's time-windowed endpoint flaps and client overload bursts, plus
+  E20's *silent* storage faults: replica bit flips, torn WAL writes,
+  stale replicas and snapshot corruption — failures nothing notices
+  until a checksum looks);
   ``FaultPlan.none()`` is the guaranteed no-op plan and
   ``FaultPlan.chaos(seed, ...)`` generates one from failure rates.
 * :class:`~repro.faults.injector.FaultInjector` — the runtime oracle the
@@ -24,10 +27,12 @@ blacklisting in :mod:`repro.cluster.scheduler`, re-replication and replica
 fallback in :mod:`repro.hopsfs.blocks`, retryable shard outages in
 :mod:`repro.hopsfs.kvstore`, graceful degradation in
 :mod:`repro.federation.executor`, checkpoint/restore and elastic recovery in
-:mod:`repro.ml.distributed`.
+:mod:`repro.ml.distributed`, and WAL crash recovery / checksum verification /
+scrub-and-repair for the silent-fault kinds in :mod:`repro.durability`.
 """
 
 from repro.faults.injector import (
+    BitFlip,
     EndpointFault,
     EndpointFlap,
     FaultInjector,
@@ -35,12 +40,16 @@ from repro.faults.injector import (
     NodeCrash,
     OverloadBurst,
     ShardOutage,
+    SnapshotCorruption,
+    StaleReplica,
     Straggler,
+    TornWrite,
     WorkerCrash,
 )
 from repro.faults.retry import RetryPolicy, RetryState
 
 __all__ = [
+    "BitFlip",
     "EndpointFault",
     "EndpointFlap",
     "FaultInjector",
@@ -50,6 +59,9 @@ __all__ = [
     "RetryPolicy",
     "RetryState",
     "ShardOutage",
+    "SnapshotCorruption",
+    "StaleReplica",
     "Straggler",
+    "TornWrite",
     "WorkerCrash",
 ]

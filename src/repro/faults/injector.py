@@ -152,6 +152,67 @@ class OverloadBurst:
 
 
 @dataclass(frozen=True)
+class BitFlip:
+    """Replica of ``block_id`` on datanode ``node_id`` silently rots (E20).
+
+    The bytes on disk no longer match the block's content fingerprint; only
+    checksum verification (or the scrubber) can tell — reads without it
+    happily serve the garbage.
+    """
+
+    node_id: int
+    block_id: int
+
+
+@dataclass(frozen=True)
+class TornWrite:
+    """WAL record ``record_index`` on ``shard`` lands only partially (E20).
+
+    Models a crash mid-``write()``: the record's header-and-prefix reach disk
+    but the tail doesn't, so recovery must recognise and discard it. The
+    append that tears also kills the process (a torn write *is* a crash
+    artifact — there is no torn write the writer survives).
+    """
+
+    shard: int
+    record_index: int
+
+    def __post_init__(self) -> None:
+        if self.record_index < 0:
+            raise FaultError("record_index must be >= 0")
+
+
+@dataclass(frozen=True)
+class StaleReplica:
+    """Replica of ``block_id`` on ``node_id`` missed the latest write (E20).
+
+    The replica's bytes are a *valid previous generation* of the block, not
+    random garbage — the silent failure mode of an interrupted replica
+    update. Detectable only because fingerprints cover the generation.
+    """
+
+    node_id: int
+    block_id: int
+
+
+@dataclass(frozen=True)
+class SnapshotCorruption:
+    """The ``snapshot_index``-th checkpoint of ``shard`` rots on disk (E20).
+
+    Detected at recovery by the snapshot checksum; with the full WAL still
+    present recovery falls back to a from-scratch replay, otherwise the
+    shard is genuinely lost.
+    """
+
+    shard: int
+    snapshot_index: int = 0
+
+    def __post_init__(self) -> None:
+        if self.snapshot_index < 0:
+            raise FaultError("snapshot_index must be >= 0")
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """The full chaos declaration for one experiment run."""
 
@@ -165,6 +226,10 @@ class FaultPlan:
     worker_crashes: Tuple[WorkerCrash, ...] = ()
     endpoint_flaps: Tuple[EndpointFlap, ...] = ()
     overload_bursts: Tuple[OverloadBurst, ...] = ()
+    bit_flips: Tuple[BitFlip, ...] = ()
+    torn_writes: Tuple[TornWrite, ...] = ()
+    stale_replicas: Tuple[StaleReplica, ...] = ()
+    snapshot_corruptions: Tuple[SnapshotCorruption, ...] = ()
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.task_failure_rate < 1.0:
@@ -208,6 +273,9 @@ class FaultPlan:
         workers: int = 0,
         worker_crash_prob: float = 0.0,
         max_step: int = 100,
+        block_count: int = 0,
+        bit_flip_prob: float = 0.0,
+        stale_replica_prob: float = 0.0,
     ) -> "FaultPlan":
         """Generate a concrete plan from a seed and per-subsystem rates.
 
@@ -256,6 +324,22 @@ class FaultPlan:
             for w in range(workers)
             if rng.random() < worker_crash_prob
         )
+        # Silent storage faults (E20): independent draws over the
+        # (datanode, block) grid, appended after every pre-E20 draw so a
+        # given seed's crash/outage schedule is unchanged by the new knobs.
+        bit_flips = tuple(
+            BitFlip(node_id=n, block_id=b)
+            for n in range(datanode_count)
+            for b in range(block_count)
+            if rng.random() < bit_flip_prob
+        )
+        flipped = {(f.node_id, f.block_id) for f in bit_flips}
+        stale_replicas = tuple(
+            StaleReplica(node_id=n, block_id=b)
+            for n in range(datanode_count)
+            for b in range(block_count)
+            if (n, b) not in flipped and rng.random() < stale_replica_prob
+        )
         return cls(
             seed=seed,
             node_crashes=node_crashes,
@@ -265,6 +349,8 @@ class FaultPlan:
             shard_outages=shard_outages,
             endpoint_faults=endpoint_faults,
             worker_crashes=worker_crashes,
+            bit_flips=bit_flips,
+            stale_replicas=stale_replicas,
         )
 
 
@@ -341,6 +427,32 @@ class FaultInjector:
     def datanode_crashes(self) -> Tuple[int, ...]:
         """Datanode ids the plan kills (applied once by the BlockManager)."""
         return self.plan.datanode_crashes
+
+    # ------------------------------------------------------------------
+    # Silent storage faults (experiment E20)
+    # ------------------------------------------------------------------
+
+    def wal_torn(self, shard: int, record_index: int) -> bool:
+        """Is this shard's ``record_index``-th WAL append torn mid-write?"""
+        return any(
+            torn.shard == shard and torn.record_index == record_index
+            for torn in self.plan.torn_writes
+        )
+
+    def snapshot_corrupted(self, shard: int, snapshot_index: int) -> bool:
+        """Does this shard's ``snapshot_index``-th checkpoint rot on disk?"""
+        return any(
+            rot.shard == shard and rot.snapshot_index == snapshot_index
+            for rot in self.plan.snapshot_corruptions
+        )
+
+    def block_bit_flips(self) -> Tuple[BitFlip, ...]:
+        """Replica corruptions to apply (once) to block storage."""
+        return self.plan.bit_flips
+
+    def block_stale_replicas(self) -> Tuple[StaleReplica, ...]:
+        """Replicas that silently revert to their previous generation."""
+        return self.plan.stale_replicas
 
     # ------------------------------------------------------------------
     # Federation

@@ -15,6 +15,11 @@ need a shared stream can still pass an explicit ``rng``.
 An exception is retried when it is an instance of one of ``retryable_types``
 *and* its ``retryable`` attribute (see :class:`repro.errors.FaultError`) is
 not False — permanent faults like a dead endpoint short-circuit the loop.
+Two whole families are deliberately outside the net (experiment E20):
+:class:`~repro.errors.DataCorruption` is not a :class:`FaultError` at all
+(re-reading the same corrupt bytes can never succeed — replica failover,
+scrubbing or WAL replay are the fix), and :class:`~repro.errors.SimulatedCrash`
+sets ``retryable = False`` (the process is dead; only ``recover()`` helps).
 
 Attempt/backoff accounting lands in two places: the per-call
 :class:`RetryState`, and (when an :class:`~repro.obs.Observability` bundle

@@ -19,6 +19,12 @@ This package reproduces those architectural properties in simulation:
   baseline where every metadata operation serialises through one namenode.
 
 Experiment E1 sweeps shard count and op mix over both systems.
+
+Durability (experiment E20): attach a
+:class:`~repro.durability.DurabilityLayer` to the sharded store for
+write-ahead logging with crash/recovery, and a
+:class:`~repro.durability.BlockChecksums` ledger to the block manager for
+verified, corruption-detecting replica reads. Both default off.
 """
 
 from repro.hopsfs.kvstore import ShardUnavailable, ShardedKVStore, SingleLeaderStore

@@ -1,11 +1,26 @@
-"""Block storage: datanodes, placement, and replication."""
+"""Block storage: datanodes, placement, replication, and integrity.
+
+End-to-end checksums (experiment E20): an optional
+:class:`~repro.durability.BlockChecksums` ledger gives every replica a
+content fingerprint. With verification on, :meth:`BlockManager.read_block`
+checks the replica it picked and transparently fails over to an intact
+one — a silent :class:`~repro.faults.BitFlip` or
+:class:`~repro.faults.StaleReplica` degrades a read instead of corrupting
+it — and the :class:`~repro.durability.Scrubber` sweeps replicas repairing
+what still has a healthy copy. Without a ledger (the default) the manager
+runs the exact pre-E20 path.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
-from repro.errors import StorageError
+from repro.errors import BlockCorruption, StorageError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.durability.checksum import BlockChecksums
+    from repro.faults.injector import FaultInjector
 
 DEFAULT_BLOCK_SIZE = 128 * 1024 * 1024  # 128 MB, the HDFS default
 DEFAULT_REPLICATION = 3
@@ -42,7 +57,10 @@ class BlockManager:
     """Allocates blocks across datanodes with replication.
 
     Placement is round-robin over the nodes with enough free space, which
-    keeps the simulation deterministic and balanced.
+    keeps the simulation deterministic and balanced. Replica reads that
+    cannot use the caller's preferred node rotate deterministically over
+    the survivors (seeded by ``read_rotation_seed``) instead of always
+    landing on the lowest-id one.
     """
 
     def __init__(
@@ -51,6 +69,8 @@ class BlockManager:
         node_capacity_bytes: int = 10 * 1024**4,
         block_size: int = DEFAULT_BLOCK_SIZE,
         replication: int = DEFAULT_REPLICATION,
+        checksums: Optional["BlockChecksums"] = None,
+        read_rotation_seed: int = 0,
     ):
         if node_count < 1:
             raise StorageError("node_count must be >= 1")
@@ -63,8 +83,15 @@ class BlockManager:
         self.block_size = block_size
         self.replication = replication
         self.nodes = [DataNode(i, node_capacity_bytes) for i in range(node_count)]
+        self.checksums = checksums
         self._next_block_id = 0
         self._next_node = 0
+        # Fallback reads rotate from this seeded counter so post-failure
+        # traffic spreads over survivors instead of hammering the first.
+        self._read_rotation = read_rotation_seed
+        # Blocks the last repair sweep could not place anywhere (reported,
+        # not raised: one stuck block must not abort the whole sweep).
+        self.unplaceable_blocks: List[int] = []
         # block_id -> (size, [node ids])
         self._blocks: Dict[int, Tuple[int, List[int]]] = {}
 
@@ -97,6 +124,8 @@ class BlockManager:
             if attempts >= len(self.nodes):
                 for node_id in placed:
                     self.nodes[node_id].drop(block_id)
+                    if self.checksums is not None:
+                        self.checksums.on_drop(block_id, node_id)
                 raise StorageError(
                     f"cannot place block of {size} bytes with replication "
                     f"{count}: insufficient live capacity"
@@ -112,6 +141,8 @@ class BlockManager:
             ):
                 continue
             node.store(block_id, size)
+            if self.checksums is not None:
+                self.checksums.on_place(block_id, size, node.node_id)
             placed.append(node.node_id)
         return placed
 
@@ -123,6 +154,8 @@ class BlockManager:
             _, node_ids = entry
             for node_id in node_ids:
                 self.nodes[node_id].drop(block_id)
+            if self.checksums is not None:
+                self.checksums.on_free(block_id)
 
     def block_locations(self, block_id: int) -> List[int]:
         """Datanode ids holding replicas of a block."""
@@ -131,9 +164,33 @@ class BlockManager:
             raise StorageError(f"unknown block {block_id}")
         return list(entry[1])
 
+    def update_block(self, block_id: int) -> int:
+        """Rewrite a block in place: every live replica takes the new
+        generation. Returns the new generation (0 with no checksum ledger —
+        generations only exist to be fingerprinted).
+
+        This is the write a :class:`~repro.faults.StaleReplica` fault makes
+        one replica silently miss *afterwards*.
+        """
+        entry = self._blocks.get(block_id)
+        if entry is None:
+            raise StorageError(f"unknown block {block_id}")
+        if self.checksums is None:
+            return 0
+        return self.checksums.on_update(block_id, entry[1])
+
     @property
     def block_count(self) -> int:
         return len(self._blocks)
+
+    def block_table(self) -> Dict[int, Tuple[int, List[int]]]:
+        """Copy of the block map ``{block_id: (size, [owner ids])}``.
+
+        An offline inspection surface for fsck and the scrubber."""
+        return {
+            block_id: (size, list(owners))
+            for block_id, (size, owners) in self._blocks.items()
+        }
 
     def total_stored_bytes(self) -> int:
         """Bytes on disk including replication overhead."""
@@ -156,10 +213,14 @@ class BlockManager:
     def read_block(self, block_id: int, preferred: Optional[int] = None) -> int:
         """Pick the datanode that serves a read of *block_id*.
 
-        Reads prefer ``preferred`` when it holds a live replica and otherwise
-        fall back to the first surviving replica — a dead datanode degrades a
-        read to a remote one instead of failing it. Raises
-        :class:`~repro.errors.StorageError` only when every replica is gone.
+        Reads prefer ``preferred`` when it holds a live (and, with
+        verification on, intact) replica; otherwise they rotate
+        deterministically over the surviving replicas, so post-failure
+        traffic spreads instead of hot-spotting the lowest-id node. With a
+        verifying checksum ledger, corrupt replicas are detected and
+        skipped; :class:`~repro.errors.BlockCorruption` means nothing
+        intact remains, plain :class:`~repro.errors.StorageError` that
+        every replica is gone.
         """
         entry = self._blocks.get(block_id)
         if entry is None:
@@ -167,9 +228,43 @@ class BlockManager:
         survivors = [o for o in entry[1] if self.nodes[o].alive]
         if not survivors:
             raise StorageError(f"block {block_id} lost: no live replica")
+        verifying = self.checksums is not None and self.checksums.verify
+        candidates: List[int] = []
         if preferred is not None and preferred in survivors:
-            return preferred
-        return survivors[0]
+            candidates.append(preferred)
+        else:
+            # Seeded rotation over survivors: deterministic, but not
+            # always survivors[0].
+            start = self._read_rotation % len(survivors)
+            self._read_rotation += 1
+            candidates.extend(survivors[start:] + survivors[:start])
+        if not verifying:
+            served = candidates[0]
+            if (
+                self.checksums is not None
+                and not self.checksums.replica_intact(block_id, served)
+            ):
+                # Verification off: the corrupt bytes go to the client,
+                # and only the ledger knows.
+                self.checksums.note_served(block_id, served)
+            return served
+        if preferred is not None and preferred in survivors:
+            # The preferred replica may be corrupt; line up fallbacks.
+            start = self._read_rotation % len(survivors)
+            self._read_rotation += 1
+            candidates.extend(
+                o for o in survivors[start:] + survivors[:start]
+                if o != preferred
+            )
+        for candidate in candidates:
+            if self.checksums.replica_intact(block_id, candidate):
+                return candidate
+            self.checksums.note_detected(block_id, candidate)
+        raise BlockCorruption(
+            f"block {block_id}: all {len(survivors)} live replicas failed "
+            "checksum verification",
+            block_id=block_id,
+        )
 
     def inject_failures(self, injector) -> int:
         """Kill the datanodes a :class:`~repro.faults.FaultInjector` names.
@@ -184,11 +279,23 @@ class BlockManager:
                 crashed += 1
         return crashed
 
+    def inject_silent_faults(self, injector: "FaultInjector") -> int:
+        """Rot the replicas the plan's BitFlip/StaleReplica entries name.
+
+        Needs a checksum ledger to have anything to perturb — without one
+        the simulation has no notion of replica contents and this is a
+        no-op returning 0.
+        """
+        if self.checksums is None:
+            return 0
+        return self.checksums.apply_silent_faults(injector)
+
     def heal(self) -> Tuple[int, List[int]]:
         """Detect under-replication and repair what has a surviving copy.
 
         Returns ``(replicas_created, lost_block_ids)`` — the recovery action
-        a namenode takes after datanode failures.
+        a namenode takes after datanode failures. Blocks the sweep could not
+        place are reported in :attr:`unplaceable_blocks`, not raised.
         """
         return self.re_replicate(), self.lost_blocks()
 
@@ -206,6 +313,8 @@ class BlockManager:
             size, owners = self._blocks[block_id]
             owners = [o for o in owners if o != node_id]
             self._blocks[block_id] = (size, owners)
+            if self.checksums is not None:
+                self.checksums.on_drop(block_id, node_id)
             affected += 1
         node.blocks.clear()
         node.used_bytes = 0
@@ -229,17 +338,25 @@ class BlockManager:
         """Restore replication for under-replicated (non-lost) blocks.
 
         Returns the number of replicas created. Lost blocks (no surviving
-        replica) are skipped — there is nothing to copy from.
+        replica) are skipped — there is nothing to copy from. Blocks that
+        cannot be placed (insufficient live capacity) are *also* skipped
+        and reported in :attr:`unplaceable_blocks`: one stuck block must
+        not leave every later block under-replicated.
         """
         created = 0
+        self.unplaceable_blocks = []
         for block_id in self.under_replicated_blocks():
             size, owners = self._blocks[block_id]
             if not owners:
                 continue
             missing = self.replication - len(owners)
-            new_owners = self._place_replicas(
-                block_id, size, missing, exclude=set(owners)
-            )
+            try:
+                new_owners = self._place_replicas(
+                    block_id, size, missing, exclude=set(owners)
+                )
+            except StorageError:
+                self.unplaceable_blocks.append(block_id)
+                continue
             self._blocks[block_id] = (size, owners + new_owners)
             created += len(new_owners)
         return created

@@ -36,6 +36,8 @@ from repro.hopsfs.kvstore import ShardedKVStore
 from repro.obs import Observability, resolve
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.durability.fsck import FsckReport
+    from repro.durability.wal import DurabilityLayer, RecoveryReport
     from repro.resilience.deadline import Deadline
 
 ROOT_ID = 0
@@ -65,10 +67,16 @@ class HopsFS:
         small_file_threshold: int = DEFAULT_SMALL_FILE_THRESHOLD,
         obs: Optional[Observability] = None,
         dir_cache: Optional[DirHintCache] = None,
+        durability: Optional["DurabilityLayer"] = None,
     ):
         self.obs = resolve(obs)
         if store is None:
-            store = ShardedKVStore(obs=obs)
+            store = ShardedKVStore(obs=obs, durability=durability)
+        elif durability is not None:
+            raise StorageError(
+                "pass durability either to HopsFS or to the store it wraps, "
+                "not both"
+            )
         self.store = store
         self.blocks = blocks if blocks is not None else BlockManager()
         self.small_file_threshold = small_file_threshold
@@ -323,3 +331,34 @@ class HopsFS:
                 deletes=[(src_parent, src_name)],
                 deadline=deadline,
             )
+
+    # ------------------------------------------------------------------
+    # Durability and integrity (experiment E20)
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Power loss on the metadata tier; needs a durability layer."""
+        self.store.crash()
+        # Volatile caches die with the process.
+        self._dir_cache.clear()
+
+    def recover(self) -> "RecoveryReport":
+        """Rebuild metadata from snapshot + WAL replay after :meth:`crash`.
+
+        Also re-derives the inode allocator from the recovered records, so
+        post-recovery creates cannot collide with surviving inodes.
+        """
+        report = self.store.recover()
+        highest = ROOT_ID
+        for shard in range(self.store.shard_count):
+            for _, _, record in self.store.shard_items(shard):
+                if isinstance(record, dict) and "inode" in record:
+                    highest = max(highest, record["inode"])
+        self._next_inode = highest + 1
+        return report
+
+    def fsck(self) -> "FsckReport":
+        """Cross-layer integrity check (metadata ↔ blocks ↔ datanodes)."""
+        from repro.durability.fsck import fsck_filesystem
+
+        return fsck_filesystem(self)

@@ -35,6 +35,17 @@ charge-driven), and an exhausted budget fails the op with
 :class:`~repro.resilience.CircuitBreakerSet` keyed by shard id fails ops
 fast with :class:`~repro.errors.CircuitOpen` while a shard's outage window
 keeps tripping its breaker. Both default to disabled (byte-identical path).
+
+Durability (experiment E20): with a
+:class:`~repro.durability.DurabilityLayer` attached, every mutation appends
+a typed record to the owning shard's write-ahead log *before* touching
+volatile state — single-shard puts/deletes directly, multi-shard
+transactions as per-participant ``txn-prepare`` records followed by
+``txn-commit`` markers. :meth:`crash` then models power loss (the
+dictionaries vanish, the logs survive) and :meth:`recover` rebuilds every
+shard from its latest checksummed snapshot plus WAL replay, applying a 2PC
+transaction iff a commit marker survives anywhere. Defaulted off: without a
+layer the store runs the exact pre-E20 path.
 """
 
 from __future__ import annotations
@@ -46,6 +57,8 @@ from repro.faults.retry import RetryPolicy, RetryState
 from repro.obs import Observability, resolve
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.durability.snapshot import ShardSnapshot
+    from repro.durability.wal import DurabilityLayer, RecoveryReport
     from repro.faults.injector import FaultInjector
     from repro.resilience.breaker import CircuitBreakerSet
     from repro.resilience.deadline import Deadline
@@ -78,6 +91,7 @@ class ShardedKVStore:
         retry_policy: Optional[RetryPolicy] = None,
         obs: Optional[Observability] = None,
         breakers: Optional["CircuitBreakerSet"] = None,
+        durability: Optional["DurabilityLayer"] = None,
     ):
         if shard_count < 1:
             raise StorageError(f"shard_count must be >= 1, got {shard_count}")
@@ -89,6 +103,9 @@ class ShardedKVStore:
         self._injector = injector
         self._retry_policy = retry_policy
         self._breakers = breakers
+        self._durability = durability
+        if durability is not None:
+            durability.bind(shard_count)
         self._obs = resolve(obs)
         self._shards: List[Dict[Any, Any]] = [{} for _ in range(shard_count)]
         self._busy_ms: List[float] = [0.0] * shard_count
@@ -233,6 +250,10 @@ class ShardedKVStore:
         shard = self.shard_of(partition_key)
 
         def body() -> None:
+            if self._durability is not None:
+                # WAL first: the record must be durable before the state
+                # changes, or a crash loses an acknowledged write.
+                self._durability.log_put(shard, partition_key, key, value)
             self._shards[shard][(partition_key, key)] = value
 
         self._execute((shard,), body, deadline)
@@ -242,12 +263,13 @@ class ShardedKVStore:
         deadline: Optional["Deadline"] = None,
     ) -> bool:
         shard = self.shard_of(partition_key)
-        return self._execute(
-            (shard,),
-            lambda: self._shards[shard].pop((partition_key, key), None)
-            is not None,
-            deadline,
-        )
+
+        def body() -> bool:
+            if self._durability is not None:
+                self._durability.log_delete(shard, partition_key, key)
+            return self._shards[shard].pop((partition_key, key), None) is not None
+
+        return self._execute((shard,), body, deadline)
 
     def scan(
         self, partition_key: Any, deadline: Optional["Deadline"] = None
@@ -283,12 +305,70 @@ class ShardedKVStore:
             return
 
         def body() -> None:
+            if self._durability is not None:
+                # Stage per-participant prepare records, then the commit
+                # markers — all durable before any dictionary mutates, so a
+                # crash anywhere in between recovers all-or-nothing.
+                by_shard: Dict[int, Tuple[List, List]] = {}
+                for pk, key, value in writes:
+                    entry = by_shard.setdefault(self.shard_of(pk), ([], []))
+                    entry[0].append((pk, key, value))
+                for pk, key in deletes:
+                    entry = by_shard.setdefault(self.shard_of(pk), ([], []))
+                    entry[1].append((pk, key))
+                self._durability.log_transaction(by_shard)
             for pk, key, value in writes:
                 self._shards[self.shard_of(pk)][(pk, key)] = value
             for pk, key in deletes:
                 self._shards[self.shard_of(pk)].pop((pk, key), None)
 
         self._execute(shards, body, deadline)
+
+    # ------------------------------------------------------------------
+    # Durability: crash, recovery, checkpoints (experiment E20)
+    # ------------------------------------------------------------------
+
+    @property
+    def durability(self) -> Optional["DurabilityLayer"]:
+        return self._durability
+
+    def _require_durability(self) -> "DurabilityLayer":
+        if self._durability is None:
+            raise StorageError(
+                "store has no durability layer: crash/recover/checkpoint "
+                "need a DurabilityLayer attached at construction"
+            )
+        return self._durability
+
+    def crash(self) -> None:
+        """Power loss: volatile dictionaries vanish, WAL and snapshots stay.
+
+        Only meaningful with a durability layer — without one a crash is
+        unrecoverable data loss, which the store refuses to simulate.
+        """
+        self._require_durability()
+        self._shards = [{} for _ in range(self.shard_count)]
+
+    def recover(self) -> "RecoveryReport":
+        """Rebuild every shard from snapshot + WAL replay; returns a report.
+
+        Replay rebuilds state without re-charging per-op latency: recovery
+        is a local scan of the log, not a stream of client transactions.
+        """
+        durability = self._require_durability()
+        shards, report = durability.recover()
+        self._shards = shards
+        return report
+
+    def checkpoint(self, shard: Optional[int] = None,
+                   truncate: bool = False) -> List["ShardSnapshot"]:
+        """Snapshot one shard (or all) at the current WAL offset."""
+        durability = self._require_durability()
+        targets = range(self.shard_count) if shard is None else (shard,)
+        return [
+            durability.checkpoint(s, dict(self._shards[s]), truncate=truncate)
+            for s in targets
+        ]
 
     # ------------------------------------------------------------------
     # Simulated performance accounting
@@ -325,6 +405,17 @@ class ShardedKVStore:
 
     def storage_entries(self) -> int:
         return sum(len(s) for s in self._shards)
+
+    def shard_items(self, shard: int) -> List[Tuple[Any, Any, Any]]:
+        """(partition_key, key, value) triples on one shard.
+
+        An offline inspection for fsck and recovery oracles — charges no
+        simulated latency and bypasses fault injection.
+        """
+        if not 0 <= shard < self.shard_count:
+            raise StorageError(f"unknown shard {shard}")
+        return [(pk, key, value)
+                for (pk, key), value in self._shards[shard].items()]
 
 
 class SingleLeaderStore(ShardedKVStore):

@@ -14,7 +14,9 @@ stack measures itself. One :class:`Observability` bundle carries
 
 Instrumented subsystems (``Scheduler``, ``ShardedKVStore``, ``HopsFS``,
 ``execute_federated``, ``RetryPolicy``, the SPARQL evaluator,
-``DataParallelTrainer``) all take an optional ``obs`` argument defaulting
+``DataParallelTrainer``, and the E20 durability layer — ``durability.*``
+counters for WAL appends, recoveries, detected/served corrupt reads,
+scrub repairs and fsck runs) all take an optional ``obs`` argument defaulting
 to the module-level :data:`NOOP` — mirroring the ``repro.faults`` pattern:
 with observability disabled every instrument call hits a shared null
 object, runs are byte-identical to uninstrumented code, and the overhead

@@ -80,17 +80,50 @@ class TestDataNodeFailure:
     def test_re_replicate_capacity_exhausted(self):
         # 3 nodes x 200 B, three 100 B blocks at replication 2 = every byte
         # used; killing a node leaves under-replicated blocks with no
-        # live capacity to copy to.
+        # live capacity to copy to. The sweep must not raise: unplaceable
+        # blocks are skipped and reported so the rest still get repaired.
         manager = BlockManager(
             node_count=3, node_capacity_bytes=200, block_size=100, replication=2
         )
         for _ in range(3):
             manager.allocate_file(100)
         manager.fail_node(0)
-        assert manager.under_replicated_blocks()
+        under = manager.under_replicated_blocks()
+        assert under
         assert not manager.lost_blocks()
-        with pytest.raises(StorageError):
-            manager.re_replicate()  # nowhere to put the copies
+        created = manager.re_replicate()  # nowhere to put the copies
+        assert created == 0
+        assert sorted(manager.unplaceable_blocks) == sorted(under)
+
+    def test_re_replicate_skips_unplaceable_and_repairs_rest(self):
+        # Regression for the sweep-aborting bug: one oversized block that
+        # cannot be re-placed used to raise out of re_replicate() and leave
+        # every later block under-replicated. Node capacities are sized so
+        # the big block's lost replica fits nowhere, while the small blocks'
+        # do.
+        manager = BlockManager(
+            node_count=4, node_capacity_bytes=1000, block_size=400,
+            replication=2,
+        )
+        big = manager.allocate_file(400)[0]
+        smalls = [manager.allocate_file(50)[0] for _ in range(4)]
+        # Fill the nodes NOT holding the big block so its copy can't land.
+        big_owners = set(manager.block_locations(big))
+        for node in manager.nodes:
+            if node.node_id not in big_owners:
+                node.used_bytes = node.capacity_bytes - 100
+        victim = next(iter(big_owners))
+        manager.fail_node(victim)
+        assert big in manager.under_replicated_blocks()
+        created = manager.re_replicate()
+        # The big block is reported, not raised, and the small blocks the
+        # victim also held are all back at full replication.
+        assert manager.unplaceable_blocks == [big]
+        assert created > 0
+        remaining = set(manager.under_replicated_blocks())
+        assert remaining == {big}
+        for block_id in smalls:
+            assert len(manager.block_locations(block_id)) == 2
 
 
 class TestTaskRetries:

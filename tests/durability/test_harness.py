@@ -1,0 +1,50 @@
+"""The crash-point sweep: every boundary clean, and the CLI contract."""
+
+import pytest
+
+from repro.durability import CrashPointHarness
+from repro.durability.harness import main, make_workload
+
+
+class TestSweep:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_sweep_is_clean_at_every_boundary(self, seed):
+        harness = CrashPointHarness(seed=seed, ops=12)
+        report = harness.run().verify()
+        # Every WAL record boundary swept twice: clean crash + torn crash.
+        assert report.crash_points == 2 * report.wal_records
+        assert report.wal_records > 0
+
+    def test_workload_is_seed_deterministic(self):
+        assert make_workload(3, ops=20) == make_workload(3, ops=20)
+        assert make_workload(3, ops=20) != make_workload(4, ops=20)
+
+    def test_workload_mixes_single_and_multi_shard_ops(self):
+        kinds = {op[0] for op in make_workload(0, ops=24)}
+        assert "put" in kinds
+        assert "transact" in kinds
+
+    def test_oracle_tracks_every_prefix(self):
+        harness = CrashPointHarness(seed=0, ops=10)
+        oracle = harness.oracle_states()
+        assert len(oracle) == len(harness.workload) + 1
+        assert oracle[0] == {}
+
+    def test_report_verify_raises_on_failures(self):
+        harness = CrashPointHarness(seed=0, ops=8)
+        report = harness.run()
+        report.failures.append("synthetic failure")
+        with pytest.raises(AssertionError):
+            report.verify()
+
+
+class TestCli:
+    def test_main_exits_zero_on_clean_sweep(self, capsys):
+        assert main(["--seeds", "0", "--ops", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "recovery soak clean" in out
+
+    def test_main_sweeps_multiple_seeds(self, capsys):
+        assert main(["--seeds", "0,1", "--ops", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "seed 0:" in out and "seed 1:" in out

@@ -1,0 +1,153 @@
+"""Store- and filesystem-level crash/recovery over the WAL."""
+
+import pytest
+
+from repro.durability import DurabilityLayer
+from repro.errors import SimulatedCrash, StorageError
+from repro.hopsfs import HopsFS, ShardedKVStore
+
+
+def flatten(store):
+    return {
+        (pk, key): value
+        for shard in range(store.shard_count)
+        for pk, key, value in store.shard_items(shard)
+    }
+
+
+def durable_store(**kwargs):
+    return ShardedKVStore(shard_count=4, durability=DurabilityLayer(**kwargs))
+
+
+class TestStoreRecovery:
+    def test_puts_and_deletes_survive_a_crash(self):
+        store = durable_store()
+        for i in range(8):
+            store.put(i, "k", i * 10)
+        store.delete(3, "k")
+        before = flatten(store)
+        store.crash()
+        assert flatten(store) == {}  # volatile state really died
+        report = store.recover()
+        assert flatten(store) == before
+        assert report.records_replayed == 9
+
+    def test_transactions_recover_atomically(self):
+        store = durable_store()
+        store.transact([(0, "a", 1), (1, "b", 2), (2, "c", 3)])
+        store.transact([(5, "d", 4)], deletes=[(0, "a")])
+        before = flatten(store)
+        store.crash()
+        report = store.recover()
+        assert flatten(store) == before
+        assert report.committed_txns == 2
+
+    def test_crash_mid_transaction_is_all_or_nothing(self):
+        # Arm the crash point at every boundary inside one transaction.
+        probe = durable_store()
+        probe.put(0, "seed", 1)
+        base = probe.durability.appended_records
+        txn = [(0, "a", 1), (1, "b", 2), (2, "c", 3)]
+        # The txn appends 3 prepares + 3 markers after `base` records.
+        for k in range(base, base + 6):
+            store = durable_store(crash_after_records=k)
+            store.put(0, "seed", 1)
+            with pytest.raises(SimulatedCrash):
+                store.transact(txn)
+            store.crash()
+            store.recover()
+            state = flatten(store)
+            applied = {(0, "a"): 1, (1, "b"): 2, (2, "c"): 3,
+                       (0, "seed"): 1}
+            assert state == {(0, "seed"): 1} or state == applied, (
+                f"partial transaction visible at crash point {k}: {state}"
+            )
+
+    def test_checkpoint_then_crash_recovers_from_snapshot(self):
+        store = durable_store()
+        for i in range(6):
+            store.put(i, "k", i)
+        store.checkpoint(truncate=True)
+        store.put(9, "post", "snapshot")
+        before = flatten(store)
+        store.crash()
+        report = store.recover()
+        assert flatten(store) == before
+        assert report.snapshots_used == store.shard_count
+        assert report.records_replayed == 1  # only the post-snapshot put
+
+    def test_recovery_does_not_recharge_latency(self):
+        store = durable_store()
+        for i in range(10):
+            store.put(i, "k", i)
+        busy = store.makespan_ms()
+        ops = store.op_count
+        store.crash()
+        store.recover()
+        assert store.makespan_ms() == busy
+        assert store.op_count == ops
+
+    def test_crash_without_layer_refuses(self):
+        store = ShardedKVStore()
+        with pytest.raises(StorageError):
+            store.crash()
+        with pytest.raises(StorageError):
+            store.recover()
+
+    def test_recovered_store_accepts_new_writes(self):
+        store = durable_store()
+        store.put(1, "a", "old")
+        store.crash()
+        store.recover()
+        store.put(1, "b", "new")
+        store.crash()
+        store.recover()
+        assert store.get(1, "a") == "old"
+        assert store.get(1, "b") == "new"
+
+    def test_recovery_after_torn_crash_appends_cleanly(self):
+        store = durable_store(crash_after_records=2, torn_crash=True)
+        store.put(1, "a", 1)
+        store.put(2, "b", 2)
+        with pytest.raises(SimulatedCrash):
+            store.put(3, "c", 3)
+        store.crash()
+        # Disarm the crash point the way a restarted process would.
+        store.durability.crash_after_records = None
+        report = store.recover()
+        assert report.torn_tails_discarded == 1
+        store.put(3, "c", "retry")
+        store.crash()
+        store.recover()
+        assert store.get(3, "c") == "retry"
+
+
+class TestFilesystemRecovery:
+    def test_fs_crash_recover_round_trip(self):
+        fs = HopsFS(durability=DurabilityLayer())
+        fs.makedirs("/data/raw")
+        fs.create("/data/raw/scene1", b"copernicus")
+        fs.create("/data/raw/scene2", b"sentinel")
+        fs.rename("/data/raw/scene2", "/data/scene2")
+        fs.delete("/data/raw/scene1")
+        listing = fs.listdir("/data")
+        fs.crash()
+        fs.recover()
+        assert fs.listdir("/data") == listing
+        assert fs.read("/data/scene2") == b"sentinel"
+        assert not fs.exists("/data/raw/scene1")
+        fs.fsck().verify()
+
+    def test_inode_allocator_survives_recovery(self):
+        fs = HopsFS(durability=DurabilityLayer())
+        fs.makedirs("/a")
+        stat = fs.create("/a/f", b"x")
+        fs.crash()
+        fs.recover()
+        new = fs.create("/a/g", b"y")
+        assert new.inode_id > stat.inode_id
+        assert fs.fsck().ok
+
+    def test_durability_kwarg_conflicts_with_explicit_store(self):
+        with pytest.raises(StorageError):
+            HopsFS(store=ShardedKVStore(), durability=DurabilityLayer())

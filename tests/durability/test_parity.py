@@ -1,0 +1,109 @@
+"""Durability parity: the disabled path is byte-identical to the seed code.
+
+Same contract as ``repro.faults``/``repro.obs``/``repro.cache``: durability
+is an optional collaborator, and *enabling* it may only add durable state —
+never change answers, op counts, or simulated latency. Each test runs a
+fixed seeded workload with the layer off and on and requires identical
+outcomes on everything observable.
+"""
+
+from repro.durability import BlockChecksums, DurabilityLayer
+from repro.hopsfs import BlockManager, HopsFS, ShardedKVStore
+from repro.hopsfs.workload import run_metadata_workload
+
+SEED = 20
+
+
+def drive_store(store):
+    for i in range(40):
+        store.put(i % 7, f"k{i % 5}", {"i": i})
+        if i % 4 == 0:
+            store.delete((i + 1) % 7, f"k{i % 5}")
+        if i % 5 == 0:
+            store.transact(
+                [(i % 7, "t", i), ((i + 3) % 7, "t2", i)],
+                deletes=[((i + 1) % 7, "t")],
+            )
+    return {
+        (pk, key): value
+        for shard in range(store.shard_count)
+        for pk, key, value in store.shard_items(shard)
+    }
+
+
+class TestStoreParity:
+    def test_wal_changes_no_answers_and_no_costs(self):
+        plain = ShardedKVStore(shard_count=4)
+        durable = ShardedKVStore(shard_count=4, durability=DurabilityLayer())
+        assert drive_store(plain) == drive_store(durable)
+        assert plain.op_count == durable.op_count
+        assert plain.makespan_ms() == durable.makespan_ms()
+        assert plain.total_work_ms() == durable.total_work_ms()
+        assert plain.multi_shard_fraction == durable.multi_shard_fraction
+
+    def test_reads_identical_after_crash_recovery(self):
+        durable = ShardedKVStore(shard_count=4, durability=DurabilityLayer())
+        expected = drive_store(durable)
+        durable.crash()
+        durable.recover()
+        recovered = {
+            (pk, key): value
+            for shard in range(durable.shard_count)
+            for pk, key, value in durable.shard_items(shard)
+        }
+        assert recovered == expected
+
+
+class TestBlockParity:
+    def drive(self, manager):
+        manager.allocate_file(950)  # 10 blocks
+        manager.fail_node(1)
+        manager.re_replicate()
+        reads = [manager.read_block(b % manager.block_count) for b in range(25)]
+        reads += [
+            manager.read_block(0, preferred=manager.block_locations(0)[0])
+        ]
+        return reads, manager.block_table(), manager.total_stored_bytes()
+
+    def test_ledger_off_vs_non_verifying_ledger(self):
+        plain = BlockManager(node_count=5, block_size=100, replication=2)
+        ledgered = BlockManager(
+            node_count=5, block_size=100, replication=2,
+            checksums=BlockChecksums(verify=False),
+        )
+        assert self.drive(plain) == self.drive(ledgered)
+
+    def test_verifying_ledger_identical_without_corruption(self):
+        # With nothing corrupt, verification must not change a single read.
+        plain = BlockManager(node_count=5, block_size=100, replication=2)
+        verifying = BlockManager(
+            node_count=5, block_size=100, replication=2,
+            checksums=BlockChecksums(verify=True),
+        )
+        assert self.drive(plain) == self.drive(verifying)
+
+
+class TestFilesystemParity:
+    def test_metadata_workload_identical_with_wal(self):
+        plain = run_metadata_workload(
+            HopsFS(), operations=400, directories=8, seed=SEED
+        )
+        durable = run_metadata_workload(
+            HopsFS(durability=DurabilityLayer()),
+            operations=400, directories=8, seed=SEED,
+        )
+        assert plain == durable
+
+    def test_filesystem_contents_identical_with_wal(self):
+        def build(fs):
+            fs.makedirs("/data/a")
+            fs.makedirs("/data/b")
+            for i in range(10):
+                fs.create(f"/data/a/f{i}", b"x" * (i * 40))
+            fs.rename("/data/a/f3", "/data/b/f3")
+            fs.delete("/data/a/f4")
+            return sorted(
+                (d, tuple(fs.listdir(d))) for d in ("/data", "/data/a", "/data/b")
+            )
+
+        assert build(HopsFS()) == build(HopsFS(durability=DurabilityLayer()))

@@ -1,0 +1,99 @@
+"""Replica-read rotation and repair-sweep reporting (E20 satellites).
+
+The pre-E20 fallback read always served ``survivors[0]``, so every read of
+a block whose preferred node died hammered the same survivor. Fallbacks now
+rotate deterministically (seeded counter), spreading post-failure traffic.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.errors import StorageError
+from repro.hopsfs import BlockManager
+
+
+def manager_with_block(node_count=4, replication=3):
+    manager = BlockManager(
+        node_count=node_count, block_size=100, replication=replication
+    )
+    manager.allocate_file(100)  # block 0 on `replication` nodes
+    return manager
+
+
+class TestSeededReadRotation:
+    def test_preferred_replica_still_wins(self):
+        manager = manager_with_block()
+        owners = manager.block_locations(0)
+        for owner in owners:
+            assert manager.read_block(0, preferred=owner) == owner
+
+    def test_fallback_reads_spread_over_survivors(self):
+        manager = manager_with_block()
+        owners = manager.block_locations(0)
+        served = Counter(manager.read_block(0) for _ in range(30))
+        # Every replica takes a share, and an even one: 30 reads over
+        # 3 survivors rotate to exactly 10 each.
+        assert set(served) == set(owners)
+        assert all(count == 10 for count in served.values())
+
+    def test_fallback_spread_after_preferred_dies(self):
+        manager = manager_with_block()
+        owners = manager.block_locations(0)
+        manager.fail_node(owners[0])
+        survivors = set(owners[1:])
+        served = Counter(
+            manager.read_block(0, preferred=owners[0]) for _ in range(20)
+        )
+        assert set(served) == survivors
+        assert all(count == 10 for count in served.values())
+
+    def test_rotation_is_seed_deterministic(self):
+        def sequence(seed):
+            manager = BlockManager(
+                node_count=4, block_size=100, replication=3,
+                read_rotation_seed=seed,
+            )
+            manager.allocate_file(100)
+            return [manager.read_block(0) for _ in range(12)]
+
+        assert sequence(7) == sequence(7)
+        assert sequence(7) != sequence(8)  # seed shifts the phase
+
+    def test_read_still_fails_when_all_replicas_gone(self):
+        manager = manager_with_block()
+        for owner in list(manager.block_locations(0)):
+            manager.fail_node(owner)
+        with pytest.raises(StorageError):
+            manager.read_block(0)
+
+
+class TestRepairSweepReporting:
+    def test_unplaceable_blocks_resets_between_sweeps(self):
+        manager = BlockManager(
+            node_count=3, node_capacity_bytes=200, block_size=100,
+            replication=2,
+        )
+        for _ in range(3):
+            manager.allocate_file(100)
+        manager.fail_node(0)
+        manager.re_replicate()
+        assert manager.unplaceable_blocks
+        # Free capacity (delete a block) and sweep again: the report must
+        # reflect *this* sweep, not accumulate history.
+        manager.free_blocks([manager.unplaceable_blocks[0]])
+        manager.re_replicate()
+        assert manager.unplaceable_blocks == []
+        assert manager.under_replicated_blocks() == []
+
+    def test_heal_reports_both_channels(self):
+        manager = BlockManager(
+            node_count=4, block_size=100, replication=2
+        )
+        for _ in range(4):
+            manager.allocate_file(100)
+        manager.fail_node(0)
+        created, lost = manager.heal()
+        assert created > 0
+        assert lost == []
+        assert manager.unplaceable_blocks == []

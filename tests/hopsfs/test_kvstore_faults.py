@@ -110,6 +110,69 @@ class TestTwoPhaseAbort:
         assert store.get(1, "b") == 2
         assert store.get(2, "c") == 3
 
+    def test_abort_under_outage_leaves_no_durable_trace(self):
+        # E17 x E20: a mid-transaction shard outage aborts in the prepare
+        # phase, before the WAL sees a single record — the aborted attempt
+        # must be invisible to both live state and crash recovery.
+        from repro.durability import DurabilityLayer
+
+        layer = DurabilityLayer()
+        plan = FaultPlan(
+            shard_outages=(ShardOutage(shard=2, start_op=1, duration_ops=1),)
+        )
+        store = ShardedKVStore(
+            shard_count=4, injector=FaultInjector(plan), durability=layer
+        )
+        store.put(0, "pre", "kept")  # op 0, before the outage window
+        with pytest.raises(ShardUnavailable):
+            store.transact([(0, "a", 1), (1, "b", 2), (2, "c", 3)])  # op 1
+        assert store.get(0, "a") is None
+        assert store.get(2, "c") is None
+        assert layer.appended_records == 1  # just the pre-outage put
+        # The window has passed: the same transaction now commits, and a
+        # crash + recovery sees exactly one atomic copy of it.
+        store.transact([(0, "a", 1), (1, "b", 2), (2, "c", 3)])
+        live = {
+            (pk, k): v
+            for s in range(store.shard_count)
+            for pk, k, v in store.shard_items(s)
+        }
+        store.crash()
+        report = store.recover()
+        recovered = {
+            (pk, k): v
+            for s in range(store.shard_count)
+            for pk, k, v in store.shard_items(s)
+        }
+        assert recovered == live
+        assert report.committed_txns == 1
+        assert report.aborted_txns == 0
+
+    def test_abort_under_retry_policy_commits_exactly_once(self):
+        # A retried transaction must not stage duplicate prepares: the
+        # failed attempts died before the durability layer was touched.
+        from repro.durability import DurabilityLayer
+
+        layer = DurabilityLayer()
+        plan = FaultPlan(
+            shard_outages=(ShardOutage(shard=1, start_op=0, duration_ops=2),)
+        )
+        store = ShardedKVStore(
+            shard_count=4,
+            injector=FaultInjector(plan),
+            retry_policy=RetryPolicy(max_attempts=5, jitter=0.0),
+            durability=layer,
+        )
+        store.transact([(0, "a", 1), (1, "b", 2)])
+        assert store.retries == 2
+        # 2 prepares + 2 commit markers, once — not once per attempt.
+        assert layer.appended_records == 4
+        store.crash()
+        report = store.recover()
+        assert report.committed_txns == 1
+        assert store.get(0, "a") == 1
+        assert store.get(1, "b") == 2
+
 
 class TestReplicaFallbackReads:
     def make_manager(self):
