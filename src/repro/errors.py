@@ -25,6 +25,15 @@ The hierarchy::
     ├── CatalogError                semantic catalogue
     ├── PipelineError               pipeline orchestration
     ├── ObsError                    observability (metrics/tracing/snapshots)
+    ├── ServingError                request gateway (E21):
+    │   ├── AuthFailed              unknown/revoked API key — not retryable
+    │   ├── QuotaExceeded           a tenant's token bucket or in-flight cap
+    │   │                           rejected the request (also a FaultError,
+    │   │                           retryable; carries retry_after_s)
+    │   └── Shed                    the gateway translated an internal
+    │                               Overloaded/CircuitOpen into a typed
+    │                               per-tenant rejection (also a FaultError,
+    │                               retryable; carries retry_after_s)
     └── FaultError                  injected infrastructure faults
         ├── TimeoutExceeded         a call/retry loop overran its deadline,
         │                           or a Deadline budget ran out mid-request
@@ -171,6 +180,24 @@ class CacheError(ReproError):
     """Cache misconfiguration (bad capacity, TTL without a clock, ...)."""
 
 
+class ServingError(ReproError):
+    """Request-gateway failure (see :mod:`repro.serving`, experiment E21).
+
+    The gateway's contract is that tenants see *typed, per-tenant* errors
+    with actionable hints — never the internals (:class:`Overloaded`,
+    :class:`CircuitOpen`) of the layers behind it.
+    """
+
+
+class AuthFailed(ServingError):
+    """The request's API key matched no registered tenant.
+
+    Deliberately *not* retryable and not a :class:`FaultError`: retrying the
+    same bad credential can never succeed, and backoff loops must not spin
+    on it.
+    """
+
+
 class FaultError(ReproError):
     """An injected infrastructure fault (see :mod:`repro.faults`).
 
@@ -244,6 +271,56 @@ class Overloaded(FaultError):
         super().__init__(message)
         self.scope = scope
         self.priority = priority
+        self.reason = reason
+
+
+class QuotaExceeded(ServingError, FaultError):
+    """The gateway rejected a request at a tenant's own limits.
+
+    ``reason`` is ``"rate"`` (token bucket empty) or ``"in_flight"`` (the
+    tenant's concurrent-request cap is full). Retryable: ``retry_after_s``
+    tells the tenant when capacity returns — for a rate rejection it is the
+    exact time until the bucket refills one token, so a well-behaved client
+    that waits it out is never rejected twice in a row.
+    """
+
+    retryable = True
+
+    def __init__(
+        self,
+        message: str,
+        tenant: Optional[str] = None,
+        retry_after_s: float = 0.0,
+        reason: str = "rate",
+    ):
+        super().__init__(message)
+        self.tenant = tenant
+        self.retry_after_s = retry_after_s
+        self.reason = reason
+
+
+class Shed(ServingError, FaultError):
+    """The gateway shed a request for platform (not tenant) reasons.
+
+    Raised where an internal :class:`Overloaded` (bulkhead full) or
+    :class:`CircuitOpen` (backend breaker open) would otherwise escape to a
+    tenant. ``reason`` preserves the cause (``"overloaded"``,
+    ``"breaker_open"``); ``retry_after_s`` is the gateway's backoff hint.
+    Retryable — shedding is precisely the signal to come back later.
+    """
+
+    retryable = True
+
+    def __init__(
+        self,
+        message: str,
+        tenant: Optional[str] = None,
+        retry_after_s: float = 0.0,
+        reason: str = "overloaded",
+    ):
+        super().__init__(message)
+        self.tenant = tenant
+        self.retry_after_s = retry_after_s
         self.reason = reason
 
 

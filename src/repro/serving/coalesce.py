@@ -1,0 +1,112 @@
+"""Request coalescing: concurrent identical queries share one execution.
+
+The in-flight table maps a **tenant-visible key** — ``(backend kind, query
+text, options identity, backend content version)`` — to the one
+:class:`CoalesceEntry` currently queued or executing for it. The first
+request with a fresh key becomes the *leader* and is enqueued for
+execution; every later identical request, from *any* tenant, attaches as a
+*follower* and never reaches a backend. When the leader's execution
+settles, the outcome fans out to every member **exactly once**.
+
+Two rules keep sharing honest:
+
+* the key includes the backend's content version (the same monotonic
+  counter E19's :class:`~repro.cache.PlanCache` keys on), so a query
+  submitted after a store mutation can never share a pre-mutation
+  execution; and
+* sharing an *execution* never shares a *deadline* — each member keeps its
+  own :class:`~repro.resilience.Deadline`, and a follower whose budget
+  runs out before the leader finishes is settled with
+  :class:`~repro.errors.TimeoutExceeded`, never handed a late result (the
+  gateway enforces this at fan-out).
+
+Entries live from submit to settlement: an entry mid-execution still
+accepts followers, which is where most of the duplicate-execution savings
+come from under bursty traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ServingError
+
+QUEUED = "queued"
+RUNNING = "running"
+
+CoalesceKey = Tuple[str, str, Optional[tuple], int]
+
+
+class CoalesceEntry:
+    """One shared execution: a leader plus any number of followers."""
+
+    __slots__ = ("key", "members", "state")
+
+    def __init__(self, key: CoalesceKey, leader: object):
+        self.key = key
+        self.members: List[object] = [leader]
+        self.state = QUEUED
+
+    @property
+    def leader(self) -> object:
+        return self.members[0]
+
+    @property
+    def followers(self) -> List[object]:
+        return self.members[1:]
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __repr__(self) -> str:
+        return (
+            f"CoalesceEntry(kind={self.key[0]!r}, members={len(self.members)}, "
+            f"state={self.state})"
+        )
+
+
+class Coalescer:
+    """The in-flight table; one entry per live tenant-visible key."""
+
+    def __init__(self):
+        self._entries: Dict[CoalesceKey, CoalesceEntry] = {}
+        self.opened = 0  #: entries created (= executions requested)
+        self.attached = 0  #: followers that shared an execution
+
+    def lookup(self, key: CoalesceKey) -> Optional[CoalesceEntry]:
+        return self._entries.get(key)
+
+    def open(self, key: CoalesceKey, leader: object) -> CoalesceEntry:
+        """Create the entry for a fresh key; *leader* will execute."""
+        if key in self._entries:
+            raise ServingError(f"coalesce key already in flight: {key!r}")
+        entry = CoalesceEntry(key, leader)
+        self._entries[key] = entry
+        self.opened += 1
+        return entry
+
+    def attach(self, entry: CoalesceEntry, follower: object) -> None:
+        """Add a follower to a live (queued or running) entry."""
+        if self._entries.get(entry.key) is not entry:
+            raise ServingError("cannot attach to a settled coalesce entry")
+        entry.members.append(follower)
+        self.attached += 1
+
+    def close(self, entry: CoalesceEntry) -> None:
+        """Retire a settled entry; its key is immediately reusable."""
+        live = self._entries.pop(entry.key, None)
+        if live is not entry:
+            raise ServingError("coalesce entry closed twice")
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"Coalescer(in_flight={len(self._entries)}, opened={self.opened}, "
+            f"attached={self.attached})"
+        )

@@ -1,0 +1,523 @@
+"""The E21 serving soak: one abusive tenant vs everyone, with and without
+the gateway.
+
+The same seeded open-loop workload (:mod:`repro.serving.workload` — Zipf
+tenant skew, diurnal swell, flash bursts; several times the backend's
+capacity at the peaks) is played twice against the same simulated backend
+pool on the same discrete-event clock:
+
+* **unprotected** — requests hit the backends directly through one FIFO
+  queue: nothing is ever refused, the backlog during overload grows
+  without bound, and the heavy tenant's flood inflates every tenant's
+  latency equally — the few answers that still make their deadline are
+  distributed like the *offered* load, i.e. almost all to the abuser;
+* **protected** — requests go through the :class:`~repro.serving.Gateway`:
+  per-tenant token buckets clip each tenant near its fair share,
+  weighted-fair queueing keeps burst service even, the E18 bulkhead bounds
+  the in-gateway population (so queue wait stays under the deadline), and
+  coalescing lets concurrent identical queries share executions.
+
+The report measures what the issue asks for: per-tenant goodput and its
+Jain fairness index (``(sum x)^2 / (n * sum x^2)`` over per-tenant
+within-deadline completions — 1.0 is perfectly even, ``1/n`` is one tenant
+taking everything), p99 latency, and duplicate executions avoided by
+coalescing. :meth:`ServingSoakReport.verify` enforces the accounting and
+**ticket-leak** invariants: every arrival lands in exactly one terminal
+bucket, and at the end of the run the gateway must be fully drained — no
+queued entry, no live coalesce key, no tenant in-flight residue, and
+``tickets_issued == tickets_released`` (a ticket outliving its request
+fails the soak).
+
+Everything is a pure function of the seed; ``python -m repro.serving.soak
+--smoke`` runs a short protected-vs-unprotected comparison and writes a
+``BENCH_E21.json`` snapshot for the CI gate.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.cluster.simclock import Simulation
+from repro.errors import QuotaExceeded, ServingError, Shed
+from repro.obs import Observability, resolve
+from repro.resilience.admission import AdmissionController, PRIORITY_INTERACTIVE
+from repro.resilience.breaker import _derive_seed
+from repro.resilience.deadline import Deadline
+from repro.serving.backends import CallableBackend
+from repro.serving.gateway import Gateway, GatewayRequest, OK
+from repro.serving.tenant import TenantConfig
+from repro.serving.workload import Arrival, WorkloadConfig, generate_arrivals
+
+
+def jain_index(values) -> float:
+    """Jain's fairness index; 1.0 = perfectly even, 1/n = winner-take-all."""
+    values = list(values)
+    if not values:
+        return 0.0
+    total = float(sum(values))
+    squares = sum(v * v for v in values)
+    if squares <= 0.0:
+        return 0.0
+    return (total * total) / (len(values) * squares)
+
+
+@dataclass(frozen=True)
+class ServingSoakConfig:
+    """One soak run. Defaults: ~6x capacity offered at the diurnal mean,
+    the heaviest of 8 Zipf(1.5) tenants alone offering ~3x capacity."""
+
+    seed: int = 21
+    requests: int = 20_000
+    tenants: int = 8
+    servers: int = 8
+    service_time_s: float = 0.008  #: base per-query service time
+    service_spread: float = 0.25  #: per-query multiplier in [1-s, 1+s]
+    deadline_s: float = 0.5
+    base_rate: float = 6000.0  #: aggregate offered requests/s (mean)
+    zipf_s: float = 1.5
+    diurnal_amplitude: float = 0.4
+    diurnal_period_s: float = 10.0
+    burst_count: int = 3
+    burst_factor: float = 3.0
+    burst_duration_s: float = 2.0
+    query_pool: int = 32
+    query_zipf_s: float = 1.1
+    batch_fraction: float = 0.25
+    quota_headroom: float = 1.12  #: tenant rate = fair share * headroom
+    quota_burst: float = 32.0
+    admission_queue_factor: int = 8  #: bulkhead queue = factor * servers
+    coalesce: bool = True
+
+    def __post_init__(self) -> None:
+        if self.servers < 1:
+            raise ServingError("soak needs >= 1 server")
+        if self.service_time_s <= 0 or self.deadline_s <= 0:
+            raise ServingError("soak times must be positive")
+        if not 0.0 <= self.service_spread < 1.0:
+            raise ServingError("service_spread must be in [0, 1)")
+
+    def workload(self) -> WorkloadConfig:
+        return WorkloadConfig(
+            seed=self.seed,
+            tenants=self.tenants,
+            requests=self.requests,
+            zipf_s=self.zipf_s,
+            base_rate=self.base_rate,
+            diurnal_amplitude=self.diurnal_amplitude,
+            diurnal_period_s=self.diurnal_period_s,
+            burst_count=self.burst_count,
+            burst_factor=self.burst_factor,
+            burst_duration_s=self.burst_duration_s,
+            query_pool=self.query_pool,
+            query_zipf_s=self.query_zipf_s,
+            batch_fraction=self.batch_fraction,
+        )
+
+    def capacity_rps(self) -> float:
+        """Backend pool throughput at the mean service time."""
+        return self.servers / self.service_time_s
+
+    def tenant_rate_quota(self) -> float:
+        return self.capacity_rps() / self.tenants * self.quota_headroom
+
+    def service_times(self) -> List[float]:
+        """Deterministic per-query service times (same in both modes)."""
+        rng = random.Random(_derive_seed(self.seed, "serving-service"))
+        return [
+            self.service_time_s
+            * rng.uniform(1.0 - self.service_spread, 1.0 + self.service_spread)
+            for _ in range(self.query_pool)
+        ]
+
+
+@dataclass
+class TenantOutcome:
+    """One tenant's ledger; every arrival lands in exactly one bucket."""
+
+    name: str
+    arrivals: int = 0
+    ok: int = 0  #: result delivered within the deadline
+    late: int = 0  #: result delivered past the deadline (unprotected only)
+    expired: int = 0  #: deadline ran out while queued/coalesced
+    shed: int = 0  #: typed Shed (bulkhead full)
+    quota_rejected: int = 0  #: typed QuotaExceeded (tenant's own limits)
+    coalesced: int = 0  #: rode another request's execution as a follower
+
+    @property
+    def accounted(self) -> int:
+        return self.ok + self.late + self.expired + self.shed + self.quota_rejected
+
+
+@dataclass
+class ServingSoakReport:
+    """Outcome of one soak run (one mode)."""
+
+    protected: bool
+    per_tenant: Dict[str, TenantOutcome] = field(default_factory=dict)
+    executions: int = 0  #: backend executions actually run
+    duration_s: float = 0.0
+    events_processed: int = 0
+    latencies_s: List[float] = field(default_factory=list)
+    #: leftover state at the end of the run; verify() requires all zeros
+    residual: Dict[str, int] = field(default_factory=dict)
+
+    # -- aggregates ----------------------------------------------------
+
+    def total(self, bucket: str) -> int:
+        return sum(getattr(t, bucket) for t in self.per_tenant.values())
+
+    @property
+    def arrivals(self) -> int:
+        return self.total("arrivals")
+
+    @property
+    def ok(self) -> int:
+        return self.total("ok")
+
+    @property
+    def served(self) -> int:
+        """Requests that received a result (within deadline or late)."""
+        return self.total("ok") + self.total("late")
+
+    @property
+    def coalesced(self) -> int:
+        return self.total("coalesced")
+
+    @property
+    def duplicate_executions_avoided(self) -> int:
+        """Requests served without their own backend execution."""
+        return self.served - self.executions if self.protected else 0
+
+    @property
+    def jain_goodput(self) -> float:
+        """Jain's index over per-tenant within-deadline completions."""
+        return jain_index(t.ok for t in self.per_tenant.values())
+
+    def latency_percentile(self, q: float) -> float:
+        if not self.latencies_s:
+            return 0.0
+        ordered = sorted(self.latencies_s)
+        index = min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))
+        return ordered[index]
+
+    @property
+    def p99_latency_s(self) -> float:
+        return self.latency_percentile(0.99)
+
+    # -- invariants ----------------------------------------------------
+
+    def verify(self) -> None:
+        """Raise :class:`ServingError` on any accounting/leak violation."""
+        for outcome in self.per_tenant.values():
+            if outcome.accounted != outcome.arrivals:
+                raise ServingError(
+                    f"tenant {outcome.name!r} accounting leak: "
+                    f"{outcome.arrivals} arrivals, {outcome.accounted} outcomes"
+                )
+        if len(self.latencies_s) != self.served:
+            raise ServingError("latency samples disagree with completions")
+        for name, value in self.residual.items():
+            if value != 0:
+                raise ServingError(f"soak did not drain: {name}={value}")
+        if self.events_processed < self.arrivals:
+            raise ServingError("simulation ended before processing arrivals")
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "protected": float(self.protected),
+            "arrivals": float(self.arrivals),
+            "ok": float(self.ok),
+            "late": float(self.total("late")),
+            "expired": float(self.total("expired")),
+            "shed": float(self.total("shed")),
+            "quota_rejected": float(self.total("quota_rejected")),
+            "coalesced": float(self.coalesced),
+            "executions": float(self.executions),
+            "duplicate_executions_avoided": float(
+                self.duplicate_executions_avoided
+            ),
+            "jain_goodput": self.jain_goodput,
+            "p99_latency_s": self.p99_latency_s,
+            "duration_s": self.duration_s,
+        }
+
+    def tenant_rows(self) -> List[Dict[str, object]]:
+        return [
+            {
+                "tenant": t.name, "arrivals": t.arrivals, "ok": t.ok,
+                "late": t.late, "expired": t.expired, "shed": t.shed,
+                "quota": t.quota_rejected, "coalesced": t.coalesced,
+            }
+            for _, t in sorted(self.per_tenant.items())
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Protected mode: through the gateway
+# ---------------------------------------------------------------------------
+
+class _ProtectedSoak:
+    def __init__(self, config: ServingSoakConfig,
+                 obs: Optional[Observability] = None):
+        self.config = config
+        self.sim = Simulation()
+        self.obs = resolve(obs)
+        self.service_times = config.service_times()
+        self.gateway = Gateway(
+            CallableBackend(lambda q: f"result:{q}", kind="store"),
+            clock=lambda: self.sim.now,
+            admission=AdmissionController(
+                max_in_flight=config.servers,
+                max_queue=config.admission_queue_factor * config.servers,
+                priority_floor=PRIORITY_INTERACTIVE,
+                scope="serving",
+                obs=obs,
+            ),
+            coalesce=config.coalesce,
+            obs=obs,
+        )
+        rate = config.tenant_rate_quota()
+        for name in config.workload().tenant_names():
+            self.gateway.register_tenant(
+                TenantConfig(
+                    name=name,
+                    api_key=f"key-{name}",
+                    weight=1.0,
+                    rate=rate,
+                    burst=config.quota_burst,
+                )
+            )
+        self.free_servers = config.servers
+        self.report = ServingSoakReport(protected=True)
+        self.report.per_tenant = {
+            name: TenantOutcome(name)
+            for name in config.workload().tenant_names()
+        }
+
+    def run(self) -> ServingSoakReport:
+        names = self.config.workload().tenant_names()
+        for arrival in generate_arrivals(self.config.workload()):
+            self.sim.schedule_at(
+                arrival.at_s,
+                lambda arrival=arrival, name=names[arrival.tenant]: (
+                    self._arrive(arrival, name)
+                ),
+            )
+        self.sim.run()
+        gateway = self.gateway
+        gateway.assert_drained()  # ticket-leak / drain invariant, hard fail
+        report = self.report
+        for name, session in gateway.tenants.sessions.items():
+            outcome = report.per_tenant[name]
+            outcome.ok = session.ok
+            outcome.expired = session.expired
+            outcome.shed = session.shed
+            outcome.quota_rejected = session.quota_rejected
+            outcome.coalesced = session.coalesced
+            # session.failed stays 0: the synthetic backend never errors.
+            if session.failed:
+                raise ServingError(
+                    f"unexpected backend failures for {name}: {session.failed}"
+                )
+        report.executions = gateway.executions
+        report.duration_s = self.sim.now
+        report.events_processed = self.sim.events_processed
+        report.residual["queued"] = len(gateway.queue)
+        report.residual["coalesce_in_flight"] = gateway.coalescer.in_flight
+        report.residual["ticket_leak"] = (
+            gateway.tickets_issued - gateway.tickets_released
+        )
+        report.residual["busy_servers"] = (
+            self.config.servers - self.free_servers
+        )
+        return report
+
+    def _arrive(self, arrival: Arrival, tenant_name: str) -> None:
+        self.report.per_tenant[tenant_name].arrivals += 1
+        request = GatewayRequest(
+            api_key=f"key-{tenant_name}",
+            query=f"q{arrival.query}",
+            kind="store",
+            priority=arrival.priority,
+            deadline=Deadline(
+                self.config.deadline_s,
+                clock=lambda: self.sim.now,
+                label=tenant_name,
+            ),
+        )
+        try:
+            self.gateway.submit(request)
+        except (QuotaExceeded, Shed):
+            return  # counted per-tenant by the gateway's sessions
+        self._pump()
+
+    def _pump(self) -> None:
+        while self.free_servers > 0:
+            entry = self.gateway.next_dispatch()
+            if entry is None:
+                return
+            self.free_servers -= 1
+            query_index = int(entry.leader.query[1:])
+            self.sim.schedule(
+                self.service_times[query_index],
+                lambda entry=entry: self._finish(entry),
+            )
+
+    def _finish(self, entry) -> None:
+        self.free_servers += 1
+        query = entry.leader.query
+        settled = self.gateway.complete(entry, result=f"result:{query}")
+        now = self.sim.now
+        for member in settled:
+            if member.category == OK:
+                self.report.latencies_s.append(now - member.submitted_at)
+        self._pump()
+
+
+# ---------------------------------------------------------------------------
+# Unprotected mode: straight to the backends, one FIFO
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _DirectRequest:
+    arrived_at: float
+    tenant: str
+    query: int
+
+
+class _UnprotectedSoak:
+    def __init__(self, config: ServingSoakConfig):
+        self.config = config
+        self.sim = Simulation()
+        self.service_times = config.service_times()
+        self.queue: Deque[_DirectRequest] = deque()
+        self.free_servers = config.servers
+        self.report = ServingSoakReport(protected=False)
+        self.report.per_tenant = {
+            name: TenantOutcome(name)
+            for name in config.workload().tenant_names()
+        }
+
+    def run(self) -> ServingSoakReport:
+        names = self.config.workload().tenant_names()
+        for arrival in generate_arrivals(self.config.workload()):
+            request = _DirectRequest(
+                arrived_at=arrival.at_s,
+                tenant=names[arrival.tenant],
+                query=arrival.query,
+            )
+            self.sim.schedule_at(
+                arrival.at_s, lambda request=request: self._arrive(request)
+            )
+        self.sim.run()
+        report = self.report
+        report.duration_s = self.sim.now
+        report.events_processed = self.sim.events_processed
+        report.residual["queued"] = len(self.queue)
+        report.residual["busy_servers"] = (
+            self.config.servers - self.free_servers
+        )
+        return report
+
+    def _arrive(self, request: _DirectRequest) -> None:
+        self.report.per_tenant[request.tenant].arrivals += 1
+        self.queue.append(request)
+        self._pump()
+
+    def _pump(self) -> None:
+        while self.free_servers > 0 and self.queue:
+            request = self.queue.popleft()
+            self.free_servers -= 1
+            self.sim.schedule(
+                self.service_times[request.query],
+                lambda request=request: self._finish(request),
+            )
+
+    def _finish(self, request: _DirectRequest) -> None:
+        self.free_servers += 1
+        self.report.executions += 1
+        latency = self.sim.now - request.arrived_at
+        self.report.latencies_s.append(latency)
+        outcome = self.report.per_tenant[request.tenant]
+        if latency <= self.config.deadline_s:
+            outcome.ok += 1
+        else:
+            outcome.late += 1
+        self._pump()
+
+
+def run_serving_soak(
+    config: ServingSoakConfig,
+    protected: bool = True,
+    obs: Optional[Observability] = None,
+) -> ServingSoakReport:
+    """Run one deterministic soak; the report is verify()-able."""
+    if protected:
+        return _ProtectedSoak(config, obs=obs).run()
+    return _UnprotectedSoak(config).run()
+
+
+def run_comparison(
+    config: ServingSoakConfig, obs: Optional[Observability] = None
+) -> Tuple[ServingSoakReport, ServingSoakReport]:
+    """(unprotected, protected) under the same workload; both verified."""
+    bare = run_serving_soak(config, protected=False)
+    guarded = run_serving_soak(config, protected=True, obs=obs)
+    bare.verify()
+    guarded.verify()
+    return bare, guarded
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.serving.soak [--smoke] [--seed N] [--requests N]``"""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="E21 serving-gateway soak: protected vs unprotected"
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="short CI-sized run")
+    parser.add_argument("--seed", type=int, default=21)
+    parser.add_argument("--requests", type=int, default=None)
+    args = parser.parse_args(argv)
+    requests = args.requests
+    if requests is None:
+        requests = 12_000 if args.smoke else 120_000
+    config = ServingSoakConfig(seed=args.seed, requests=requests)
+    obs = Observability(clock=lambda: 0.0)
+    bare, guarded = run_comparison(config, obs=obs)
+    for label, report in (("unprotected", bare), ("protected", guarded)):
+        print(f"[{label}] " + " ".join(
+            f"{key}={value:.5g}" for key, value in report.summary().items()
+            if key != "protected"
+        ))
+    from repro.obs import bench_snapshot_path, write_snapshot
+
+    path = write_snapshot(
+        bench_snapshot_path("E21"),
+        obs,
+        meta={
+            "experiment": "E21",
+            "seed": config.seed,
+            "requests": config.requests,
+            "tenants": config.tenants,
+            "jain_protected": guarded.jain_goodput,
+            "jain_unprotected": bare.jain_goodput,
+            "p99_protected_s": guarded.p99_latency_s,
+            "p99_unprotected_s": bare.p99_latency_s,
+            "duplicate_executions_avoided": (
+                guarded.duplicate_executions_avoided
+            ),
+            "executions_protected": guarded.executions,
+            "executions_unprotected": bare.executions,
+        },
+    )
+    print(f"[obs] snapshot written: {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,209 @@
+"""Tenants: API-key identity, token-bucket quotas, per-tenant accounting.
+
+A :class:`TenantConfig` is the immutable contract one tenant signed up for:
+an API key, a weighted-fair-queue weight, and two independent quotas —
+
+* a **rate quota** (``rate`` requests/s sustained, up to ``burst`` at
+  once), enforced by a deterministic :class:`TokenBucket` that refills
+  continuously from a caller-supplied clock (wall or sim); and
+* an **in-flight cap** (``max_in_flight``), the tenant's private bulkhead:
+  requests the tenant already has inside the gateway, queued or executing.
+
+Both default to unlimited so the parity contract holds: a gateway built
+from default tenants admits exactly what direct access would.
+
+A :class:`TenantSession` is the live half — bucket state, in-flight count
+and outcome counters — created by :class:`TenantRegistry.register` and
+looked up by :meth:`TenantRegistry.authenticate` on every request. The
+registry raises the non-retryable :class:`~repro.errors.AuthFailed` for an
+unknown key; quota rejections raise
+:class:`~repro.errors.QuotaExceeded` with an exact ``retry_after_s`` hint
+(time until the bucket refills one token), computed — like everything here
+— without ever reading a wall clock the caller did not provide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.errors import AuthFailed, QuotaExceeded, ServingError
+from repro.resilience.admission import PRIORITY_INTERACTIVE
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """One tenant's identity, weight and quotas (immutable)."""
+
+    name: str
+    api_key: str
+    weight: float = 1.0  #: weighted-fair-queue share
+    rate: Optional[float] = None  #: sustained requests/s; None = unlimited
+    burst: float = 4.0  #: token-bucket depth (max requests at once)
+    max_in_flight: Optional[int] = None  #: concurrent requests; None = unlimited
+    priority: int = PRIORITY_INTERACTIVE  #: admission class for the bulkhead
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ServingError("tenant name must be non-empty")
+        if self.weight <= 0:
+            raise ServingError(f"tenant weight must be > 0, got {self.weight}")
+        if self.rate is not None and self.rate <= 0:
+            raise ServingError(f"tenant rate must be > 0, got {self.rate}")
+        if self.burst < 1:
+            raise ServingError(f"tenant burst must be >= 1, got {self.burst}")
+        if self.max_in_flight is not None and self.max_in_flight < 1:
+            raise ServingError("tenant max_in_flight must be >= 1")
+
+
+class TokenBucket:
+    """A deterministic token bucket: ``rate`` tokens/s, depth ``burst``.
+
+    Refill is continuous and computed lazily from the clock at each
+    :meth:`try_take`, so two runs on the same clock trace behave
+    identically. The bucket never reads a clock on its own.
+    """
+
+    __slots__ = ("rate", "burst", "_tokens", "_refilled_at")
+
+    def __init__(self, rate: float, burst: float, now: float = 0.0):
+        if rate <= 0 or burst < 1:
+            raise ServingError(
+                f"token bucket needs rate > 0 and burst >= 1 "
+                f"(got rate={rate}, burst={burst})"
+            )
+        self.rate = rate
+        self.burst = burst
+        self._tokens = float(burst)
+        self._refilled_at = now
+
+    def _refill(self, now: float) -> None:
+        if now > self._refilled_at:
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._refilled_at) * self.rate
+            )
+        self._refilled_at = max(self._refilled_at, now)
+
+    @property
+    def tokens(self) -> float:
+        """Tokens available as of the last refill (introspection only)."""
+        return self._tokens
+
+    def try_take(self, now: float) -> bool:
+        """Take one token at time *now*; False if the bucket is empty."""
+        self._refill(now)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    def retry_after(self, now: float) -> float:
+        """Seconds from *now* until one whole token will be available."""
+        self._refill(now)
+        if self._tokens >= 1.0:
+            return 0.0
+        return (1.0 - self._tokens) / self.rate
+
+
+class TenantSession:
+    """One tenant's live serving state: quota bucket, in-flight, counters."""
+
+    def __init__(self, config: TenantConfig, now: float = 0.0):
+        self.config = config
+        self.bucket = (
+            TokenBucket(config.rate, config.burst, now)
+            if config.rate is not None
+            else None
+        )
+        self.in_flight = 0
+        # Outcome accounting; every submitted request lands in exactly one.
+        self.submitted = 0
+        self.ok = 0  #: results delivered (within deadline when one was set)
+        self.failed = 0  #: settled with a non-quota, non-shed error
+        self.quota_rejected = 0
+        self.shed = 0
+        self.expired = 0  #: deadline ran out while queued/coalesced
+        self.coalesced = 0  #: served as a follower of a shared execution
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+    @property
+    def weight(self) -> float:
+        return self.config.weight
+
+    def check_quota(self, now: float) -> None:
+        """Raise :class:`QuotaExceeded` unless this request may enter."""
+        config = self.config
+        if (
+            config.max_in_flight is not None
+            and self.in_flight >= config.max_in_flight
+        ):
+            self.quota_rejected += 1
+            raise QuotaExceeded(
+                f"tenant {config.name!r} has {self.in_flight} requests in "
+                f"flight of {config.max_in_flight} allowed",
+                tenant=config.name,
+                retry_after_s=0.0,
+                reason="in_flight",
+            )
+        if self.bucket is not None and not self.bucket.try_take(now):
+            self.quota_rejected += 1
+            raise QuotaExceeded(
+                f"tenant {config.name!r} exceeded {config.rate}/s "
+                f"(burst {config.burst})",
+                tenant=config.name,
+                retry_after_s=self.bucket.retry_after(now),
+                reason="rate",
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"TenantSession({self.config.name!r}, in_flight={self.in_flight}, "
+            f"ok={self.ok}, quota_rejected={self.quota_rejected}, "
+            f"shed={self.shed})"
+        )
+
+
+class TenantRegistry:
+    """API-key -> session lookup for every tenant the gateway knows."""
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self._clock = clock if clock is not None else (lambda: 0.0)
+        self._by_key: Dict[str, TenantSession] = {}
+        self._by_name: Dict[str, TenantSession] = {}
+        self.auth_failures = 0
+
+    def register(self, config: TenantConfig) -> TenantSession:
+        if config.api_key in self._by_key:
+            raise ServingError(
+                f"API key already registered (tenant "
+                f"{self._by_key[config.api_key].name!r})"
+            )
+        if config.name in self._by_name:
+            raise ServingError(f"tenant {config.name!r} already registered")
+        session = TenantSession(config, now=self._clock())
+        self._by_key[config.api_key] = session
+        self._by_name[config.name] = session
+        return session
+
+    def authenticate(self, api_key: str) -> TenantSession:
+        session = self._by_key.get(api_key)
+        if session is None:
+            self.auth_failures += 1
+            raise AuthFailed(f"unknown API key {api_key!r}")
+        return session
+
+    def session(self, name: str) -> TenantSession:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise AuthFailed(f"unknown tenant {name!r}") from None
+
+    @property
+    def sessions(self) -> Dict[str, TenantSession]:
+        return dict(self._by_name)
+
+    def __len__(self) -> int:
+        return len(self._by_name)

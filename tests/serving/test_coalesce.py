@@ -1,0 +1,207 @@
+"""Request coalescing: shared executions, per-member deadlines."""
+
+import pytest
+
+from repro.errors import ServingError, TimeoutExceeded
+from repro.serving import (
+    CallableBackend,
+    Coalescer,
+    Gateway,
+    GatewayRequest,
+    TenantConfig,
+)
+from repro.serving.coalesce import QUEUED
+from repro.serving.gateway import EXPIRED, OK
+from repro.resilience.deadline import Deadline
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def make_gateway(clock, fn=lambda q: f"result:{q}", version_fn=None):
+    gateway = Gateway(
+        CallableBackend(fn, version_fn=version_fn), clock=clock
+    )
+    gateway.register_tenant(TenantConfig(name="a", api_key="key-a"))
+    gateway.register_tenant(TenantConfig(name="b", api_key="key-b"))
+    return gateway
+
+
+class TestCoalescerTable:
+    def test_open_attach_close(self):
+        table = Coalescer()
+        entry = table.open(("k", "q", None, 0), "leader")
+        assert entry.state == QUEUED
+        assert table.lookup(("k", "q", None, 0)) is entry
+        table.attach(entry, "follower")
+        assert entry.leader == "leader"
+        assert entry.followers == ["follower"]
+        assert table.opened == 1 and table.attached == 1
+        table.close(entry)
+        assert table.lookup(("k", "q", None, 0)) is None
+        assert table.in_flight == 0
+
+    def test_double_open_and_double_close_rejected(self):
+        table = Coalescer()
+        entry = table.open(("k", "q", None, 0), "leader")
+        with pytest.raises(ServingError):
+            table.open(("k", "q", None, 0), "other")
+        table.close(entry)
+        with pytest.raises(ServingError):
+            table.close(entry)
+        with pytest.raises(ServingError):
+            table.attach(entry, "late")
+
+    def test_key_reusable_after_close(self):
+        table = Coalescer()
+        first = table.open(("k", "q", None, 0), "l1")
+        table.close(first)
+        second = table.open(("k", "q", None, 0), "l2")
+        assert second is not first
+        assert table.opened == 2
+
+
+class TestGatewayCoalescing:
+    def test_identical_queries_share_one_execution(self):
+        clock = Clock()
+        calls = []
+        gateway = make_gateway(clock, fn=lambda q: calls.append(q) or len(calls))
+        leader = gateway.submit(GatewayRequest("key-a", "q1"))
+        follower = gateway.submit(GatewayRequest("key-b", "q1"))
+        assert follower.entry is leader.entry
+        assert follower.follower and not leader.follower
+        entry = gateway.next_dispatch()
+        settled = gateway.execute(entry)
+        assert len(settled) == 2
+        assert calls == ["q1"]  # one backend call for two requests
+        assert leader.result == follower.result == 1
+        gateway.assert_drained()
+
+    def test_version_change_splits_the_key(self):
+        clock = Clock()
+        version = [0]
+        gateway = make_gateway(clock, version_fn=lambda: version[0])
+        leader = gateway.submit(GatewayRequest("key-a", "q1"))
+        version[0] += 1  # a store mutation lands mid-flight
+        fresh = gateway.submit(GatewayRequest("key-b", "q1"))
+        # The post-mutation request must not share the stale execution.
+        assert fresh.entry is not leader.entry
+        assert not fresh.follower
+
+    def test_attach_while_running(self):
+        clock = Clock()
+        gateway = make_gateway(clock)
+        leader = gateway.submit(GatewayRequest("key-a", "q1"))
+        entry = gateway.next_dispatch()
+        assert entry is leader.entry
+        # The entry is mid-execution; an identical arrival still coalesces.
+        follower = gateway.submit(GatewayRequest("key-b", "q1"))
+        assert follower.entry is entry
+        gateway.complete(entry, result="r")
+        assert leader.result == follower.result == "r"
+        gateway.assert_drained()
+
+    def test_disabled_coalescing_never_shares(self):
+        clock = Clock()
+        gateway = Gateway(
+            CallableBackend(lambda q: q), clock=clock, coalesce=False
+        )
+        gateway.register_tenant(TenantConfig(name="a", api_key="key-a"))
+        first = gateway.submit(GatewayRequest("key-a", "q1"))
+        second = gateway.submit(GatewayRequest("key-a", "q1"))
+        assert first.entry is not second.entry
+        assert gateway.coalescer.attached == 0
+
+
+class TestFollowerDeadlines:
+    """Satellite regression: sharing an execution never shares a deadline."""
+
+    def test_expired_follower_gets_timeout_not_late_result(self):
+        clock = Clock()
+        gateway = make_gateway(clock)
+        leader = gateway.submit(
+            GatewayRequest(
+                "key-a", "q1", deadline=Deadline(10.0, clock=clock)
+            )
+        )
+        follower = gateway.submit(
+            GatewayRequest(
+                "key-b", "q1", deadline=Deadline(0.5, clock=clock)
+            )
+        )
+        assert follower.entry is leader.entry
+        entry = gateway.next_dispatch()
+        # The execution takes 1s — longer than the follower's 0.5s budget.
+        clock.now = 1.0
+        gateway.complete(entry, result="late-answer")
+        assert leader.category == OK and leader.result == "late-answer"
+        assert follower.category == EXPIRED
+        assert follower.result is None  # the late result is withheld
+        assert isinstance(follower.error, TimeoutExceeded)
+        gateway.assert_drained()
+
+    def test_follower_expired_before_dispatch_fails_fast(self):
+        clock = Clock()
+        gateway = make_gateway(clock)
+        leader = gateway.submit(
+            GatewayRequest(
+                "key-a", "q1", deadline=Deadline(10.0, clock=clock)
+            )
+        )
+        follower = gateway.submit(
+            GatewayRequest(
+                "key-b", "q1", deadline=Deadline(0.2, clock=clock)
+            )
+        )
+        clock.now = 0.5  # follower expires while the entry is still queued
+        entry = gateway.next_dispatch()
+        assert entry is leader.entry
+        assert follower.settled and follower.category == EXPIRED
+        assert isinstance(follower.error, TimeoutExceeded)
+        gateway.complete(entry, result="r")
+        assert leader.result == "r"
+        gateway.assert_drained()
+
+    def test_entry_with_all_members_expired_is_dropped(self):
+        clock = Clock()
+        calls = []
+        gateway = make_gateway(clock, fn=lambda q: calls.append(q))
+        request = gateway.submit(
+            GatewayRequest(
+                "key-a", "q1", deadline=Deadline(0.1, clock=clock)
+            )
+        )
+        clock.now = 1.0
+        # Nobody is waiting: the entry is dropped, no backend time spent.
+        assert gateway.next_dispatch() is None
+        assert request.category == EXPIRED
+        assert calls == []
+        gateway.assert_drained()
+
+    def test_leader_expired_follower_alive_still_executes(self):
+        clock = Clock()
+        gateway = make_gateway(clock)
+        leader = gateway.submit(
+            GatewayRequest(
+                "key-a", "q1", deadline=Deadline(0.1, clock=clock)
+            )
+        )
+        follower = gateway.submit(
+            GatewayRequest(
+                "key-b", "q1", deadline=Deadline(10.0, clock=clock)
+            )
+        )
+        clock.now = 0.5
+        entry = gateway.next_dispatch()
+        assert entry is not None
+        assert leader.category == EXPIRED
+        # The execution deadline is the surviving member's own.
+        assert gateway.execution_deadline(entry) is follower.deadline
+        gateway.complete(entry, result="r")
+        assert follower.result == "r"
+        gateway.assert_drained()

@@ -1,0 +1,205 @@
+"""Disabled-path parity: a default gateway changes no answers.
+
+The E21 contract extends the E17–E20 convention one layer up: the gateway
+is an *optional* front door, and with every knob at its default — one
+tenant, no quotas, no admission controller, no deadline — routing a query
+through ``Gateway.query`` is byte-identical to calling the backend
+directly. Each test runs a fixed seeded workload twice, direct vs gated,
+and requires identical digests.
+"""
+
+import random
+from datetime import datetime
+
+from repro.catalog import SemanticCatalog
+from repro.federation import Endpoint, execute_federated
+from repro.geometry import Point, Polygon
+from repro.geosparql import GeoStore, geometry_literal
+from repro.raster.products import ProductArchive
+from repro.rdf import GEO, Graph, Literal, Namespace
+from repro.serving import (
+    CatalogBackend,
+    FederationBackend,
+    Gateway,
+    StoreBackend,
+    TenantConfig,
+)
+
+SEED = 21
+
+EX = Namespace("http://ex.org/")
+PREFIXES = (
+    "PREFIX ex: <http://ex.org/> "
+    "PREFIX geo: <http://www.opengis.net/ont/geosparql#> "
+    "PREFIX geof: <http://www.opengis.net/def/function/geosparql/> "
+)
+
+API_KEY = "parity-key"
+
+
+def default_gateway(backend):
+    """A gateway with every knob at its default and one open tenant."""
+    gateway = Gateway(backend)
+    gateway.register_tenant(TenantConfig(name="solo", api_key=API_KEY))
+    return gateway
+
+
+def solution_digest(solutions):
+    return [
+        tuple(sorted((str(k), str(v)) for k, v in s.items()))
+        for s in solutions
+    ]
+
+
+# ----------------------------------------------------------------------
+# GeoStore (raw SPARQL backend)
+# ----------------------------------------------------------------------
+
+def build_store():
+    rng = random.Random(SEED)
+    store = GeoStore()
+    for _ in range(40):
+        i = rng.randrange(60)
+        store.add(
+            EX[f"f{i}"], GEO.asWKT,
+            geometry_literal(Point(i % 10, i // 10)),
+        )
+        store.add(EX[f"f{i}"], EX.crop,
+                  Literal(["wheat", "maize", "rye"][i % 3]))
+    return store
+
+
+def store_queries():
+    rng = random.Random(SEED + 1)
+    queries = []
+    for _ in range(6):
+        box = geometry_literal(
+            Polygon.box(rng.randrange(5), rng.randrange(5), 8, 8)
+        )
+        queries.append(
+            PREFIXES
+            + "SELECT ?f ?c WHERE { ?f geo:asWKT ?g . ?f ex:crop ?c . "
+            + f'FILTER (geof:sfIntersects(?g, "{box.lexical}"'
+            + "^^geo:wktLiteral)) } ORDER BY ?f"
+        )
+    return queries
+
+
+def test_store_parity():
+    direct_store = build_store()
+    direct = [
+        solution_digest(direct_store.query(q)) for q in store_queries()
+    ]
+    gateway = default_gateway(StoreBackend(build_store()))
+    gated = [
+        solution_digest(gateway.query(API_KEY, q, kind="sparql"))
+        for q in store_queries()
+    ]
+    assert direct == gated
+    gateway.assert_drained()
+
+
+def test_store_parity_survives_mutations():
+    """Interleaved writes move the content version; answers still match."""
+
+    def run(store, ask):
+        rng = random.Random(SEED + 2)
+        digest = []
+        for round_no in range(4):
+            for _ in range(5):
+                i = rng.randrange(60)
+                store.add(
+                    EX[f"g{i}"], GEO.asWKT,
+                    geometry_literal(Point(i % 8, i // 8)),
+                )
+            query = (
+                PREFIXES + "SELECT ?f WHERE { ?f geo:asWKT ?g } ORDER BY ?f"
+            )
+            digest.append(solution_digest(ask(query)))
+        return digest
+
+    direct_store = build_store()
+    direct = run(direct_store, direct_store.query)
+    gated_store = build_store()
+    gateway = default_gateway(StoreBackend(gated_store))
+    gated = run(
+        gated_store, lambda q: gateway.query(API_KEY, q, kind="sparql")
+    )
+    assert direct == gated
+    gateway.assert_drained()
+
+
+# ----------------------------------------------------------------------
+# Semantic catalogue
+# ----------------------------------------------------------------------
+
+def build_catalog():
+    catalog = SemanticCatalog()
+    archive = ProductArchive(
+        extent=(0.0, 50.0, 30.0, 80.0),
+        start=datetime(2017, 1, 1),
+        days=120,
+        seed=SEED,
+    )
+    catalog.add_products(archive.generate(12))
+    return catalog
+
+
+CATALOG_QUERY = (
+    "SELECT ?p ?m WHERE { ?p eop:mission ?m } ORDER BY ?p"
+)
+
+
+def test_catalog_parity():
+    direct = solution_digest(build_catalog().query(CATALOG_QUERY))
+    gateway = default_gateway(CatalogBackend(build_catalog()))
+    gated = solution_digest(
+        gateway.query(API_KEY, CATALOG_QUERY, kind="catalog")
+    )
+    assert direct == gated
+    gateway.assert_drained()
+
+
+# ----------------------------------------------------------------------
+# Federation
+# ----------------------------------------------------------------------
+
+def build_endpoints():
+    crops = Graph("crops")
+    weather = Graph("weather")
+    for i in range(30):
+        crops.add(EX[f"f{i}"], EX.crop,
+                  Literal("wheat" if i % 2 else "maize"))
+        weather.add(EX[f"f{i}"], EX.rain, Literal.from_python(10 + i))
+    return [Endpoint("crops", crops), Endpoint("weather", weather)]
+
+
+FEDERATED_QUERY = (
+    "PREFIX ex: <http://ex.org/> "
+    "SELECT ?f ?c ?r WHERE { ?f ex:crop ?c . ?f ex:rain ?r }"
+)
+
+
+def federation_digest(solutions, metrics):
+    return (
+        sorted(
+            tuple(sorted((str(k), str(v)) for k, v in s.items()))
+            for s in solutions
+        ),
+        metrics.requests,
+        metrics.bindings_shipped,
+        metrics.results,
+        metrics.complete,
+    )
+
+
+def test_federation_parity():
+    direct = federation_digest(
+        *execute_federated(FEDERATED_QUERY, build_endpoints())
+    )
+    gateway = default_gateway(FederationBackend(build_endpoints()))
+    gated = federation_digest(
+        *gateway.query(API_KEY, FEDERATED_QUERY, kind="federation")
+    )
+    assert direct == gated
+    gateway.assert_drained()

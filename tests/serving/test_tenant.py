@@ -1,0 +1,128 @@
+"""Tenant identity, token buckets and quota accounting."""
+
+import pytest
+
+from repro.errors import AuthFailed, QuotaExceeded, ServingError
+from repro.serving import TenantConfig, TenantRegistry, TokenBucket
+from repro.serving.tenant import TenantSession
+
+
+class TestTokenBucket:
+    def test_starts_full_and_drains(self):
+        bucket = TokenBucket(rate=10.0, burst=3.0)
+        assert bucket.try_take(0.0)
+        assert bucket.try_take(0.0)
+        assert bucket.try_take(0.0)
+        assert not bucket.try_take(0.0)
+
+    def test_refills_continuously(self):
+        bucket = TokenBucket(rate=10.0, burst=1.0)
+        assert bucket.try_take(0.0)
+        assert not bucket.try_take(0.0)
+        # 0.1s at 10/s refills exactly one token.
+        assert bucket.try_take(0.1)
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=2.0)
+        assert bucket.try_take(0.0)
+        # A long idle period cannot bank more than `burst` tokens.
+        bucket._refill(100.0)
+        assert bucket.tokens == 2.0
+
+    def test_retry_after_is_exact(self):
+        bucket = TokenBucket(rate=4.0, burst=1.0)
+        assert bucket.try_take(0.0)
+        # Empty bucket at rate 4/s: one token is 0.25s away.
+        assert bucket.retry_after(0.0) == pytest.approx(0.25)
+        # Waiting exactly that long makes the next take succeed.
+        assert bucket.try_take(0.25)
+
+    def test_retry_after_zero_when_token_available(self):
+        bucket = TokenBucket(rate=1.0, burst=2.0)
+        assert bucket.retry_after(0.0) == 0.0
+
+    def test_time_never_runs_backwards(self):
+        bucket = TokenBucket(rate=10.0, burst=1.0)
+        assert bucket.try_take(1.0)
+        # A stale timestamp must not refill (or crash) the bucket.
+        assert not bucket.try_take(0.5)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ServingError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ServingError):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestTenantConfig:
+    def test_validation(self):
+        with pytest.raises(ServingError):
+            TenantConfig(name="", api_key="k")
+        with pytest.raises(ServingError):
+            TenantConfig(name="t", api_key="k", weight=0.0)
+        with pytest.raises(ServingError):
+            TenantConfig(name="t", api_key="k", rate=-1.0)
+        with pytest.raises(ServingError):
+            TenantConfig(name="t", api_key="k", max_in_flight=0)
+
+    def test_defaults_are_unlimited(self):
+        config = TenantConfig(name="t", api_key="k")
+        session = TenantSession(config)
+        for _ in range(1000):
+            session.check_quota(0.0)  # never raises
+
+
+class TestQuota:
+    def test_rate_quota_rejects_with_hint(self):
+        session = TenantSession(
+            TenantConfig(name="t", api_key="k", rate=2.0, burst=1.0)
+        )
+        session.check_quota(0.0)
+        with pytest.raises(QuotaExceeded) as excinfo:
+            session.check_quota(0.0)
+        error = excinfo.value
+        assert error.tenant == "t"
+        assert error.reason == "rate"
+        assert error.retry_after_s == pytest.approx(0.5)
+        assert error.retryable
+        assert session.quota_rejected == 1
+        # Waiting out the hint succeeds.
+        session.check_quota(0.5)
+
+    def test_in_flight_cap(self):
+        session = TenantSession(
+            TenantConfig(name="t", api_key="k", max_in_flight=2)
+        )
+        session.in_flight = 2
+        with pytest.raises(QuotaExceeded) as excinfo:
+            session.check_quota(0.0)
+        assert excinfo.value.reason == "in_flight"
+        session.in_flight = 1
+        session.check_quota(0.0)
+
+
+class TestRegistry:
+    def test_register_and_authenticate(self):
+        registry = TenantRegistry()
+        registry.register(TenantConfig(name="a", api_key="key-a"))
+        assert registry.authenticate("key-a").name == "a"
+        assert registry.session("a").name == "a"
+        assert len(registry) == 1
+
+    def test_unknown_key_fails_and_counts(self):
+        registry = TenantRegistry()
+        with pytest.raises(AuthFailed):
+            registry.authenticate("nope")
+        assert registry.auth_failures == 1
+        # AuthFailed is deliberately non-retryable (not a FaultError).
+        from repro.errors import FaultError
+
+        assert not issubclass(AuthFailed, FaultError)
+
+    def test_duplicate_key_and_name_rejected(self):
+        registry = TenantRegistry()
+        registry.register(TenantConfig(name="a", api_key="k1"))
+        with pytest.raises(ServingError):
+            registry.register(TenantConfig(name="b", api_key="k1"))
+        with pytest.raises(ServingError):
+            registry.register(TenantConfig(name="a", api_key="k2"))

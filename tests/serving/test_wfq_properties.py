@@ -1,0 +1,113 @@
+"""Hypothesis properties of the weighted-fair queue.
+
+The three guarantees the gateway's fairness story rests on:
+
+* **work conservation** — the queue never withholds service: any pop on a
+  non-empty queue yields an item, and everything pushed is eventually
+  popped;
+* **no starvation** — once an item is queued, the number of dispatches
+  before it is served is bounded by its finish tag: each competitor can
+  slot at most ``ceil(w_competitor / w_item)`` later arrivals below it;
+* **weight-proportional throughput** — under sustained backlog, dispatch
+  counts track ``weight / total_weight`` to within a constant per tenant.
+"""
+
+import math
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.serving import WeightedFairQueue
+
+weights_lists = st.lists(
+    st.floats(min_value=0.5, max_value=8.0, allow_nan=False),
+    min_size=2,
+    max_size=5,
+)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    tenants=st.integers(min_value=1, max_value=6),
+    operations=st.integers(min_value=1, max_value=200),
+)
+@settings(max_examples=60, deadline=None)
+def test_work_conservation(seed, tenants, operations):
+    """pop() yields an item iff the queue is non-empty; counts balance."""
+    rng = random.Random(seed)
+    queue = WeightedFairQueue()
+    live = 0
+    pushed = 0
+    for i in range(operations):
+        if rng.random() < 0.6:
+            queue.push(f"t{rng.randrange(tenants)}", rng.uniform(0.5, 4.0), i)
+            live += 1
+            pushed += 1
+        else:
+            popped = queue.pop()
+            assert (popped is not None) == (live > 0)
+            if popped is not None:
+                live -= 1
+        assert len(queue) == live
+    drained = 0
+    while queue.pop() is not None:
+        drained += 1
+    assert drained == live
+    assert queue.pushed == pushed
+    assert queue.popped == pushed
+
+
+@given(weights=weights_lists, seed=st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=60, deadline=None)
+def test_no_starvation_bound(weights, seed):
+    """A queued item is dispatched within its tag-derived bound even while
+    every other tenant keeps pushing fresh work after every dispatch."""
+    rng = random.Random(seed)
+    target_weight = weights[0]
+    adversaries = weights[1:]
+    queue = WeightedFairQueue()
+    backlog = rng.randrange(0, 20)
+    for index, weight in enumerate(adversaries):
+        for i in range(backlog):
+            queue.push(f"adv{index}", weight, f"adv{index}-{i}")
+    queued_before = len(queue)
+    queue.push("target", target_weight, "x")
+    bound = (
+        queued_before
+        + sum(math.ceil(w / target_weight) for w in adversaries)
+        + 1
+    )
+    for dispatch in range(1, bound + 1):
+        popped = queue.pop()
+        assert popped is not None
+        if popped[1] == "x":
+            break
+        # The adversaries never let up: each pushes again after every
+        # dispatch, so only the tag discipline protects the target.
+        for index, weight in enumerate(adversaries):
+            queue.push(f"adv{index}", weight, f"more{index}-{dispatch}")
+    else:
+        raise AssertionError(
+            f"target not dispatched within bound of {bound}"
+        )
+
+
+@given(weights=weights_lists, dispatches=st.integers(min_value=20, max_value=300))
+@settings(max_examples=60, deadline=None)
+def test_weight_proportional_throughput(weights, dispatches):
+    """Backlogged tenants receive dispatch shares ~ weight/total."""
+    queue = WeightedFairQueue()
+    # Prefill everyone past the dispatch horizon: sustained backlog.
+    for index, weight in enumerate(weights):
+        for i in range(dispatches + 1):
+            queue.push(f"t{index}", weight, i)
+    served = {f"t{index}": 0 for index in range(len(weights))}
+    for _ in range(dispatches):
+        tenant, _ = queue.pop()
+        served[tenant] += 1
+    total_weight = sum(weights)
+    for index, weight in enumerate(weights):
+        expected = dispatches * weight / total_weight
+        # Finish-tag WFQ tracks the fluid (GPS) allocation to within a
+        # couple of unit-cost items per tenant.
+        assert abs(served[f"t{index}"] - expected) <= 3.0

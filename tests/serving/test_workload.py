@@ -1,0 +1,105 @@
+"""The seeded open-loop workload generator."""
+
+import math
+from collections import Counter
+
+import pytest
+
+from repro.errors import ServingError
+from repro.serving import (
+    WorkloadConfig,
+    burst_windows,
+    generate_arrivals,
+    rate_at,
+    zipf_weights,
+)
+
+SMALL = WorkloadConfig(seed=7, requests=4000, base_rate=800.0)
+
+
+def test_zipf_weights_normalised_and_skewed():
+    weights = zipf_weights(8, 1.5)
+    assert sum(weights) == pytest.approx(1.0)
+    assert weights == sorted(weights, reverse=True)
+    # Zipf(1.5) over 8 ranks: the head takes about half the mass.
+    assert weights[0] > 0.5 > weights[1]
+    with pytest.raises(ServingError):
+        zipf_weights(0, 1.5)
+
+
+def test_arrival_count_and_ordering():
+    arrivals = generate_arrivals(SMALL)
+    assert len(arrivals) == SMALL.requests
+    times = [a.at_s for a in arrivals]
+    assert times == sorted(times)
+    assert times[0] > 0.0
+
+
+def test_determinism():
+    first = generate_arrivals(SMALL)
+    second = generate_arrivals(SMALL)
+    assert first == second
+    different = generate_arrivals(
+        WorkloadConfig(seed=8, requests=4000, base_rate=800.0)
+    )
+    assert different != first
+
+
+def test_tenant_skew_matches_zipf():
+    arrivals = generate_arrivals(SMALL)
+    counts = Counter(a.tenant for a in arrivals)
+    weights = zipf_weights(SMALL.tenants, SMALL.zipf_s)
+    for tenant, weight in enumerate(weights):
+        share = counts[tenant] / len(arrivals)
+        assert share == pytest.approx(weight, abs=0.03)
+
+
+def test_query_pool_is_hot():
+    arrivals = generate_arrivals(SMALL)
+    counts = Counter(a.query for a in arrivals)
+    assert set(counts) <= set(range(SMALL.query_pool))
+    # The hot query is requested far more than a uniform draw would give.
+    assert counts.most_common(1)[0][1] > 2 * len(arrivals) / SMALL.query_pool
+
+
+def test_priority_mix():
+    arrivals = generate_arrivals(SMALL)
+    batch = sum(1 for a in arrivals if a.priority == 0)
+    assert batch / len(arrivals) == pytest.approx(
+        SMALL.batch_fraction, abs=0.03
+    )
+
+
+def test_burst_windows_raise_the_rate():
+    windows = burst_windows(SMALL)
+    assert len(windows) == SMALL.burst_count
+    for start, end in windows:
+        assert end - start == pytest.approx(SMALL.burst_duration_s)
+        mid = (start + end) / 2.0
+        in_burst = rate_at(SMALL, windows, mid)
+        outside = rate_at(SMALL, (), mid)
+        assert in_burst == pytest.approx(outside * SMALL.burst_factor)
+
+
+def test_diurnal_modulation():
+    config = WorkloadConfig(
+        seed=7, diurnal_amplitude=0.5, diurnal_period_s=40.0
+    )
+    peak = rate_at(config, (), 10.0)  # sin peaks a quarter-period in
+    trough = rate_at(config, (), 30.0)
+    assert peak == pytest.approx(config.base_rate * 1.5)
+    assert trough == pytest.approx(config.base_rate * 0.5)
+    assert math.isclose(
+        rate_at(config, (), 0.0), config.base_rate, rel_tol=1e-9
+    )
+
+
+def test_config_validation():
+    with pytest.raises(ServingError):
+        WorkloadConfig(tenants=0)
+    with pytest.raises(ServingError):
+        WorkloadConfig(diurnal_amplitude=1.5)
+    with pytest.raises(ServingError):
+        WorkloadConfig(burst_factor=0.5)
+    with pytest.raises(ServingError):
+        WorkloadConfig(batch_fraction=1.5)
