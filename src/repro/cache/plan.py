@@ -14,6 +14,9 @@ the spatial rewrite that bakes R-tree candidate lists into the tree. A
   and the content version is the owner's monotonically bumped mutation
   counter (:attr:`repro.rdf.graph.Graph.version`) — any mutation moves the
   key, so a cached plan can never describe data that changed under it.
+  The options tuple (``dataclasses.astuple``) includes the ``engine``
+  field, so the interpreted evaluator and the E22 vector engine — whose
+  plans are cost-ordered differently — never share a cache entry.
 
 One ``PlanCache`` may be shared by several stores (the evaluator, a
 ``GeoStore``, the catalogue over it, a ``VirtualGeoStore``); entries never

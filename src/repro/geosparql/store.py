@@ -211,6 +211,17 @@ class GeoStore:
                 query = self.plan_cache.parse(text)
             else:
                 query = parse_query(text)
+        if options is not None and options.engine == "vector":
+            # Columnar execution of the spatially rewritten plan: the
+            # candidate scan runs through the interpreted fallback (it is a
+            # custom operator) and feeds the vectorized hash joins.
+            from repro.sparql.vector import execute_tree, finish_select
+
+            tree = self._plan(query.where, options, text=text)
+            batch, ctx = execute_tree(tree, self.graph, self.registry)
+            if isinstance(query, AskQuery):
+                return batch.nrows > 0
+            return finish_select(query, batch, ctx)
         if isinstance(query, AskQuery):
             tree = self._plan(query.where, options, text=text)
             for _ in _evaluate_op(tree, self.graph, {}, self.registry):
@@ -290,6 +301,12 @@ class GeoStore:
         if self.use_spatial_index:
             rebuilt = self._rewrite_spatial_global(tree)
             tree = rebuilt if rebuilt is not None else self._rewrite_spatial(tree)
+        if options is not None and options.engine == "vector" and options.reorder_patterns:
+            # Cost-order the pure scan regions; subtrees containing the
+            # spatial candidate op keep their bound-variable-aware order.
+            from repro.sparql.vector import apply_cost_order
+
+            tree = apply_cost_order(tree, self.graph)
         return tree
 
     def _rewrite_spatial_global(self, tree: AlgebraOp) -> Optional[AlgebraOp]:

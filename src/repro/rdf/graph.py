@@ -4,12 +4,27 @@ Every triple pattern with at least one bound position is answered from an
 index; only the fully unbound pattern scans. This is the storage layer under
 both the Strabon-like GeoStore and the naive baseline — the baselines differ
 only in how they treat *spatial* filters, so E2 isolates the spatial index.
+
+The graph also maintains a **term dictionary** mapping every term it has ever
+seen to a dense integer id (:meth:`term_id` / :meth:`term_for_id`). Ids are
+assigned in first-seen order and never recycled — the dictionary is
+append-only even under :meth:`remove` — so columnar consumers
+(:mod:`repro.sparql.vector`) can keep id-indexed decode arrays that stay
+valid across mutations and only ever need extending.
+
+Alongside the dictionary the graph keeps an **id-row table**: three parallel
+lists of (subject, predicate, object) ids, one row per live triple
+(:meth:`id_columns`). Rows are unordered; :meth:`remove` swap-pops so both
+mutations stay O(1). The vector engine snapshots these lists into numpy
+arrays (keyed on :attr:`version`) and answers every scan with boolean masks
+instead of iterating triples through Python.
 """
 
 from __future__ import annotations
 
+from array import array
 from collections import defaultdict
-from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.errors import RDFError
 from repro.rdf.term import Term, Triple, make_triple
@@ -30,6 +45,19 @@ class Graph:
         self._spo: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(lambda: defaultdict(set))
         self._pos: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(lambda: defaultdict(set))
         self._osp: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(lambda: defaultdict(set))
+        # Term dictionary: dense ids in first-seen order, never recycled.
+        self._term_ids: Dict[Term, int] = {}
+        self._id_terms: List[Term] = []
+        # Id-row table: parallel (s, p, o) id columns, one row per live
+        # triple, in no particular order. Stored as array('q') so columnar
+        # consumers can snapshot them through the buffer protocol (a memcpy,
+        # not a per-element conversion). _row_of maps a triple to its row so
+        # remove can swap-pop in O(1).
+        self._row_s = array("q")
+        self._row_p = array("q")
+        self._row_o = array("q")
+        self._row_triples: List[Triple] = []
+        self._row_of: Dict[Triple, int] = {}
 
     @property
     def version(self) -> int:
@@ -51,6 +79,11 @@ class Graph:
         self._spo[s][p].add(o)
         self._pos[p][o].add(s)
         self._osp[o][s].add(p)
+        self._row_of[triple] = len(self._row_s)
+        self._row_s.append(self._intern(s))
+        self._row_p.append(self._intern(p))
+        self._row_o.append(self._intern(o))
+        self._row_triples.append(triple)
         return True
 
     def add_triple(self, triple: Triple) -> bool:
@@ -71,6 +104,19 @@ class Graph:
         self._prune(self._spo, s, p, o)
         self._prune(self._pos, p, o, s)
         self._prune(self._osp, o, s, p)
+        row = self._row_of.pop(triple)
+        last = len(self._row_triples) - 1
+        if row != last:
+            moved = self._row_triples[last]
+            self._row_s[row] = self._row_s[last]
+            self._row_p[row] = self._row_p[last]
+            self._row_o[row] = self._row_o[last]
+            self._row_triples[row] = moved
+            self._row_of[moved] = row
+        self._row_s.pop()
+        self._row_p.pop()
+        self._row_o.pop()
+        self._row_triples.pop()
         return True
 
     @staticmethod
@@ -81,6 +127,41 @@ class Graph:
             del index[a][b]
             if not index[a]:
                 del index[a]
+
+    # ------------------------------------------------------------------
+    # Term dictionary
+    # ------------------------------------------------------------------
+
+    def _intern(self, term: Term) -> int:
+        term_id = self._term_ids.get(term)
+        if term_id is None:
+            term_id = len(self._id_terms)
+            self._term_ids[term] = term_id
+            self._id_terms.append(term)
+        return term_id
+
+    @property
+    def term_count(self) -> int:
+        """Number of distinct terms ever seen (the dictionary is append-only)."""
+        return len(self._id_terms)
+
+    def term_id(self, term: Term) -> Optional[int]:
+        """The dense id for *term*, or None if the graph has never seen it."""
+        return self._term_ids.get(term)
+
+    def term_for_id(self, term_id: int) -> Term:
+        """The term a dictionary id decodes to; raises on out-of-range ids."""
+        return self._id_terms[term_id]
+
+    def id_columns(self) -> Tuple[array, array, array]:
+        """The id-row table: parallel (subject, predicate, object) id columns.
+
+        One row per live triple, in no particular order, as ``array('q')``
+        buffers. Callers must treat them as read-only and snapshot them
+        (keyed on :attr:`version`) before doing columnar work — they mutate
+        with the graph.
+        """
+        return self._row_s, self._row_p, self._row_o
 
     # ------------------------------------------------------------------
     # Access
@@ -133,17 +214,30 @@ class Graph:
         yield from self._triples
 
     def count(self, pattern: Pattern) -> int:
-        """Number of triples matching *pattern* (used by the federation planner)."""
+        """Number of triples matching *pattern*.
+
+        Used by the federation planner and the vector engine's cost model.
+        Every shape short of fully-bound is answered from index bucket sizes
+        without materializing triples: two-bound shapes are one bucket
+        lookup, single-bound shapes sum bucket sizes (O(buckets), not
+        O(matching triples)).
+        """
         s, p, o = pattern
         if s is None and p is None and o is None:
             return len(self._triples)
-        if s is not None and p is not None and o is None:
+        if s is not None and p is not None and o is not None:
+            return 1 if Triple(s, p, o) in self._triples else 0
+        if s is not None and p is not None:
             return len(self._spo.get(s, {}).get(p, ()))
-        if s is None and p is not None and o is not None:
+        if p is not None and o is not None:
             return len(self._pos.get(p, {}).get(o, ()))
-        if s is not None and p is None and o is not None:
+        if s is not None and o is not None:
             return len(self._osp.get(o, {}).get(s, ()))
-        return sum(1 for _ in self.triples(pattern))
+        if s is not None:
+            return sum(len(objs) for objs in self._spo.get(s, {}).values())
+        if p is not None:
+            return sum(len(subjs) for subjs in self._pos.get(p, {}).values())
+        return sum(len(preds) for preds in self._osp.get(o, {}).values())
 
     def subjects(self, predicate: Optional[Term] = None, obj: Optional[Term] = None) -> Iterator[Term]:
         seen = set()
@@ -176,3 +270,19 @@ class Graph:
     def predicate_count(self, predicate: Term) -> int:
         """Total triples with the given predicate (planner statistics)."""
         return sum(len(s) for s in self._pos.get(predicate, {}).values())
+
+    # ------------------------------------------------------------------
+    # Index statistics (O(1); feed the vector engine's cost model)
+    # ------------------------------------------------------------------
+
+    def distinct_subjects(self) -> int:
+        """Number of distinct subjects (top-level SPO fanout)."""
+        return len(self._spo)
+
+    def distinct_predicates(self) -> int:
+        """Number of distinct predicates (top-level POS fanout)."""
+        return len(self._pos)
+
+    def distinct_objects(self) -> int:
+        """Number of distinct objects (top-level OSP fanout)."""
+        return len(self._osp)

@@ -13,9 +13,13 @@ Implements the portion of SPARQL 1.1 the ExtremeEarth stack needs:
 The engine compiles queries to a small logical algebra
 (:mod:`repro.sparql.algebra`), applies filter pushdown and
 selectivity-ordered joins, and evaluates with an iterator model over
-:class:`repro.rdf.Graph`.
+:class:`repro.rdf.Graph`. Passing ``CompileOptions(engine="vector")`` to
+:func:`evaluate` selects the columnar engine (:mod:`repro.sparql.vector`)
+instead: numpy id-column execution with cost-based join ordering, identical
+solution multisets.
 """
 
+from repro.sparql.algebra import CompileOptions
 from repro.sparql.ast import SelectQuery, Variable
 from repro.sparql.parser import parse_query
 from repro.sparql.evaluator import (
@@ -27,6 +31,7 @@ from repro.sparql.evaluator import (
 
 __all__ = [
     "Bindings",
+    "CompileOptions",
     "FunctionRegistry",
     "SelectQuery",
     "Variable",

@@ -230,10 +230,18 @@ def order_patterns(
 
 @dataclass
 class CompileOptions:
-    """Optimisation switches (all on by default; benches toggle them)."""
+    """Optimisation switches (all on by default; benches toggle them).
+
+    ``engine`` selects the execution engine: ``"interpreted"`` is the
+    iterator-model evaluator; ``"vector"`` runs the columnar engine
+    (:mod:`repro.sparql.vector`) with cost-based join ordering. Both return
+    identical solution multisets. The field participates in plan-cache keys
+    (``dataclasses.astuple``), so the two engines never share cached plans.
+    """
 
     push_filters: bool = True
     reorder_patterns: bool = True
+    engine: str = "interpreted"
 
 
 def compile_group(

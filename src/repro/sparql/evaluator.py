@@ -393,6 +393,9 @@ def evaluate(
     """Evaluate a query (text or AST) against *graph*.
 
     SELECT returns a list of solutions ({Variable: Term}); ASK returns bool.
+    ``CompileOptions(engine="vector")`` routes execution through the
+    columnar engine (:mod:`repro.sparql.vector`) — same solution multisets,
+    batch-at-a-time execution with cost-based join ordering.
     With ``obs``, per-operator timing and cardinality are recorded (see the
     module docstring) and the whole call runs in a ``sparql.query`` span.
     With a :class:`~repro.cache.PlanCache`, *string* queries skip parsing
@@ -444,6 +447,12 @@ def _evaluate_query(
     cache: Optional["PlanCache"] = None,
     text: Optional[str] = None,
 ) -> Union[List[Bindings], bool]:
+    if options is not None and options.engine == "vector":
+        from repro.sparql.vector import evaluate_vector_query
+
+        return evaluate_vector_query(
+            graph, query, registry, options, obs, cache, text
+        )
     if isinstance(query, AskQuery):
         tree = _compile(query.where, graph, options, cache, text)
         for _ in _evaluate_op(tree, graph, {}, registry, obs):
@@ -545,9 +554,15 @@ def _aggregate(
             v: term for v, term in zip(query.group_by, key) if term is not None
         }
         for aggregate in query.aggregates:
-            row[aggregate.alias] = to_term(
-                _apply_aggregate(aggregate, members, registry)
-            )
+            try:
+                row[aggregate.alias] = to_term(
+                    _apply_aggregate(aggregate, members, registry)
+                )
+            except EvaluationError:
+                # Aggregate evaluation error (e.g. MIN over incomparable
+                # values, or MIN/MAX of an empty group): per SPARQL 1.1 the
+                # aggregate's variable is simply unbound in the result row.
+                pass
         results.append(row)
     return results
 
@@ -555,9 +570,16 @@ def _aggregate(
 def _apply_aggregate(
     aggregate: Aggregate, members: List[Bindings], registry: FunctionRegistry
 ) -> Value:
+    """One aggregate over one group's solutions, per SPARQL 1.1 section 18.5.
+
+    Raises :class:`EvaluationError` when the aggregate itself errors; the
+    caller leaves the alias unbound in that row.
+    """
     if aggregate.argument is None:  # COUNT(*)
         if aggregate.function != "COUNT":
             raise SPARQLError(f"{aggregate.function}(*) is not valid")
+        if aggregate.distinct:  # COUNT(DISTINCT *): distinct full solutions
+            return len({frozenset(member.items()) for member in members})
         return len(members)
 
     values: List[Value] = []
@@ -580,17 +602,26 @@ def _apply_aggregate(
 
     if aggregate.function == "COUNT":
         return len(values)
+    if aggregate.function in ("MIN", "MAX"):
+        # Per SPARQL 1.1, Min/Max use the general "<" ordering (compare), not
+        # numeric coercion — MIN over strings is the lexicographic minimum.
+        # Empty group or incomparable values error -> alias unbound.
+        if not values:
+            raise EvaluationError(f"{aggregate.function} over empty group")
+        operator = "<" if aggregate.function == "MIN" else ">"
+        best = values[0]
+        for value in values[1:]:
+            if compare(operator, value, best):
+                best = value
+        return best
+
     from repro.sparql.functions import _numeric
 
     numbers = [_numeric(v) for v in values]
-    if not numbers:
-        raise SPARQLError(f"{aggregate.function} over empty group")
     if aggregate.function == "SUM":
-        return sum(numbers)
-    if aggregate.function == "MIN":
-        return min(numbers)
-    if aggregate.function == "MAX":
-        return max(numbers)
+        # Sum({}) = 0 per the spec (a typed xsd:integer zero).
+        return sum(numbers) if numbers else 0
     if aggregate.function == "AVG":
-        return sum(numbers) / len(numbers)
+        # Avg({}) = 0 per the spec.
+        return sum(numbers) / len(numbers) if numbers else 0
     raise SPARQLError(f"unknown aggregate {aggregate.function}")

@@ -1,0 +1,45 @@
+"""Columnar (vectorized) SPARQL execution engine — E22.
+
+Selected per query via ``CompileOptions(engine="vector")``; see
+:mod:`repro.sparql.vector.engine` for the execution model and the
+per-operator fallback rules that keep its semantics identical to the
+interpreted evaluator.
+"""
+
+from repro.sparql.vector.batch import UNBOUND, Batch
+from repro.sparql.vector.cost import (
+    apply_cost_order,
+    estimated_rows,
+    free_expression_variables,
+    optional_blind_variables,
+    order_patterns_by_cost,
+    pattern_extent,
+)
+from repro.sparql.vector.dictionary import ColumnCodec, TermEncoder
+from repro.sparql.vector.engine import (
+    compile_vector_plan,
+    evaluate_vector_query,
+    execute_tree,
+    finish_select,
+)
+from repro.sparql.vector.ops import distinct_rows, hash_join, scan_batch
+
+__all__ = [
+    "UNBOUND",
+    "Batch",
+    "ColumnCodec",
+    "TermEncoder",
+    "apply_cost_order",
+    "compile_vector_plan",
+    "distinct_rows",
+    "estimated_rows",
+    "evaluate_vector_query",
+    "execute_tree",
+    "finish_select",
+    "free_expression_variables",
+    "hash_join",
+    "optional_blind_variables",
+    "order_patterns_by_cost",
+    "pattern_extent",
+    "scan_batch",
+]

@@ -1,0 +1,217 @@
+"""Cost-based join ordering fed by O(1) index cardinality statistics.
+
+The interpreted algebra orders BGP patterns with a shape-rank heuristic
+(bound-position shapes, plus one predicate-count probe). With the E22 count
+fix, :meth:`repro.rdf.graph.Graph.count` answers *every* pattern shape from
+index bucket sizes, so the vector engine can replace the heuristic with real
+cardinalities:
+
+* the base cost of a pattern is its **exact** extent (count with variables
+  wildcarded);
+* a variable position already bound upstream divides the estimate by the
+  number of distinct terms in that position (classic independence
+  assumption), modelling the hash join's selectivity;
+* ordering is greedy smallest-estimate-first among patterns connected to
+  what has been joined, with the original pattern index as the deterministic
+  tie-break.
+
+The rewrite only touches pure scan/join/filter regions — exactly the shape
+:func:`repro.sparql.algebra.compile_group` emits for a BGP with pushed
+filters — and re-pushes the filters afterwards; OPTIONAL/UNION/BIND
+boundaries and custom operators (e.g. the GeoStore's spatial candidate scan)
+are left untouched and recursed into.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.rdf.graph import Graph
+from repro.sparql.algebra import (
+    AlgebraOp,
+    EmptyOp,
+    ExtendOp,
+    FilterOp,
+    JoinOp,
+    LeftJoinOp,
+    ScanOp,
+    UnionOp,
+    _push_filter,
+)
+from repro.sparql.ast import Expression, TriplePattern, Variable
+
+
+def pattern_extent(pattern: TriplePattern, graph: Graph) -> int:
+    """Exact number of triples matching the pattern's constant shape (O(1))."""
+    query = tuple(
+        None if isinstance(position, Variable) else position
+        for position in (pattern.subject, pattern.predicate, pattern.object)
+    )
+    return graph.count(query)  # type: ignore[arg-type]
+
+
+def estimated_rows(
+    pattern: TriplePattern, graph: Graph, bound: Set[Variable]
+) -> float:
+    """Estimated output rows per upstream row, given already-bound variables."""
+    estimate = float(pattern_extent(pattern, graph))
+    divisors = (
+        (pattern.subject, graph.distinct_subjects()),
+        (pattern.predicate, graph.distinct_predicates()),
+        (pattern.object, graph.distinct_objects()),
+    )
+    for position, distinct in divisors:
+        if isinstance(position, Variable) and position in bound:
+            estimate /= max(distinct, 1)
+    return estimate
+
+
+def order_patterns_by_cost(
+    patterns: Sequence[TriplePattern],
+    graph: Graph,
+    bound_vars: Optional[Set[Variable]] = None,
+) -> List[TriplePattern]:
+    """Greedy cheapest-first join order, preferring connected patterns."""
+    remaining = list(enumerate(patterns))
+    ordered: List[TriplePattern] = []
+    bound: Set[Variable] = set(bound_vars or ())
+    while remaining:
+        def score(item: Tuple[int, TriplePattern]) -> Tuple[int, float, int]:
+            index, pattern = item
+            connected = any(v in bound for v in pattern.variables())
+            return (
+                0 if connected or not bound else 1,
+                estimated_rows(pattern, graph, bound),
+                index,
+            )
+
+        best = min(remaining, key=score)
+        remaining.remove(best)
+        ordered.append(best[1])
+        bound.update(best[1].variables())
+    return ordered
+
+
+# ---------------------------------------------------------------------------
+# Plan rewrite
+# ---------------------------------------------------------------------------
+
+def _collect_region(
+    op: AlgebraOp, scans: List[ScanOp], filters: List[Expression]
+) -> bool:
+    """Collect a pure scan/join/filter region; False if anything else occurs."""
+    if isinstance(op, ScanOp):
+        scans.append(op)
+        return True
+    if isinstance(op, JoinOp):
+        return _collect_region(op.left, scans, filters) and _collect_region(
+            op.right, scans, filters
+        )
+    if isinstance(op, FilterOp):
+        filters.append(op.expression)
+        return _collect_region(op.operand, scans, filters)
+    return False
+
+
+def apply_cost_order(op: AlgebraOp, graph: Graph) -> AlgebraOp:
+    """Reorder every pure scan/join/filter region by estimated cardinality."""
+    if isinstance(op, (JoinOp, FilterOp)):
+        scans: List[ScanOp] = []
+        filters: List[Expression] = []
+        if _collect_region(op, scans, filters) and len(scans) > 1:
+            ordered = order_patterns_by_cost([s.pattern for s in scans], graph)
+            tree: AlgebraOp = ScanOp(ordered[0])
+            for pattern in ordered[1:]:
+                tree = JoinOp(tree, ScanOp(pattern))
+            for expression in filters:
+                tree = _push_filter(tree, expression)
+            return tree
+    if isinstance(op, JoinOp):
+        return JoinOp(
+            apply_cost_order(op.left, graph), apply_cost_order(op.right, graph)
+        )
+    if isinstance(op, LeftJoinOp):
+        return LeftJoinOp(
+            apply_cost_order(op.left, graph), apply_cost_order(op.right, graph)
+        )
+    if isinstance(op, UnionOp):
+        return UnionOp([apply_cost_order(o, graph) for o in op.operands])
+    if isinstance(op, FilterOp):
+        return FilterOp(op.expression, apply_cost_order(op.operand, graph))
+    if isinstance(op, ExtendOp):
+        return ExtendOp(
+            apply_cost_order(op.operand, graph), op.variable, op.expression
+        )
+    return op
+
+
+def free_expression_variables(op: AlgebraOp) -> frozenset:
+    """Variables referenced by expressions that the operator's own subtree
+    may not bind — a conservative correlation signal.
+
+    When the right side of a join has free expression variables that the
+    left side binds, substitution semantics (the interpreted engine
+    propagates left bindings into the right operand's expressions) diverge
+    from independent bottom-up evaluation, so the vector engine must fall
+    back to correlated interpreted evaluation for that join.
+    """
+    from repro.sparql.algebra import expression_variables, operator_variables
+
+    if isinstance(op, FilterOp):
+        own = expression_variables(op.expression) - operator_variables(op.operand)
+        return frozenset(own) | free_expression_variables(op.operand)
+    if isinstance(op, ExtendOp):
+        # The BIND target variable itself is correlation-sensitive too: if an
+        # outer operand binds it, the interpreted engine raises a rebind
+        # error that bottom-up evaluation would never see.
+        own = (
+            expression_variables(op.expression) | {op.variable}
+        ) - operator_variables(op.operand)
+        return frozenset(own) | free_expression_variables(op.operand)
+    if isinstance(op, (JoinOp, LeftJoinOp)):
+        return free_expression_variables(op.left) | free_expression_variables(
+            op.right
+        )
+    if isinstance(op, UnionOp):
+        result: frozenset = frozenset()
+        for operand in op.operands:
+            result |= free_expression_variables(operand)
+        return result
+    if isinstance(op, (ScanOp, EmptyOp)):
+        return frozenset()
+    return frozenset()
+
+
+def optional_blind_variables(op: AlgebraOp) -> frozenset:
+    """Variables bound only on the *right* (optional) side of some LeftJoin
+    inside ``op`` — the non-well-designed-pattern signal.
+
+    When such a variable is also bound by the other operand of an enclosing
+    join, substitution semantics diverge from bottom-up evaluation: the
+    interpreted engine constrains the optional part with the outer binding
+    (so a mismatch falls back to the bare left row), while an independent
+    hash join would first extend with the unconstrained match and then drop
+    the row. The vector engine treats these like expression correlation and
+    falls back to interpreted evaluation for the enclosing join.
+    """
+    from repro.sparql.algebra import operator_variables
+
+    if isinstance(op, LeftJoinOp):
+        blind = operator_variables(op.right) - operator_variables(op.left)
+        return (
+            frozenset(blind)
+            | optional_blind_variables(op.left)
+            | optional_blind_variables(op.right)
+        )
+    if isinstance(op, JoinOp):
+        return optional_blind_variables(op.left) | optional_blind_variables(
+            op.right
+        )
+    if isinstance(op, UnionOp):
+        result: frozenset = frozenset()
+        for operand in op.operands:
+            result |= optional_blind_variables(operand)
+        return result
+    if isinstance(op, (FilterOp, ExtendOp)):
+        return optional_blind_variables(op.operand)
+    return frozenset()

@@ -1,0 +1,180 @@
+"""Term encoding and id-indexed decode tables for the vector engine.
+
+Two pieces:
+
+* :class:`TermEncoder` — per-execution term <-> id mapping. Graph terms keep
+  their dictionary ids (:meth:`repro.rdf.graph.Graph.term_id`); terms a query
+  produces itself (BIND results, VALUES constants the graph has never seen)
+  get *ephemeral* ids starting at ``graph.term_count``, deduplicated by term
+  value so id-equality remains value-equality within the execution.
+
+* :class:`ColumnCodec` — numpy decode tables indexed by graph term id,
+  giving vectorized access to the three value views expression evaluation
+  needs: the *strict* numeric view (``to_python`` numbers/booleans — what
+  SPARQL ordered comparison accepts), the *lenient* numeric view (the
+  ``_numeric`` coercion arithmetic uses, which also parses plain literals),
+  and the effective-boolean-value view. The graph's term dictionary is
+  append-only, so the tables are extended incrementally on
+  :meth:`ColumnCodec.sync` and never invalidated. Table rows are filled
+  **lazily**: :meth:`ColumnCodec.sync` only allocates, and consumers call
+  :meth:`ColumnCodec.ensure` with the id columns they are about to index,
+  so the Python-level term coercion runs once per *distinct id a query
+  actually touches* — not once per dictionary entry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.rdf.graph import Graph
+from repro.rdf.term import Literal, Term
+from repro.sparql.functions import (
+    EvaluationError,
+    _numeric,
+    effective_boolean_value,
+)
+from repro.sparql.vector.batch import UNBOUND
+
+
+class TermEncoder:
+    """Term <-> id mapping for one query execution.
+
+    The graph never mutates during an evaluation, so ``graph.term_count`` is
+    a stable base: ids below it decode through the graph dictionary, ids at
+    or above it through the local overflow table.
+    """
+
+    def __init__(self, graph: Graph):
+        self.graph = graph
+        self.base = graph.term_count
+        self._local_ids: Dict[Term, int] = {}
+        self._local_terms: List[Term] = []
+
+    def encode(self, term: Term) -> int:
+        term_id = self.graph.term_id(term)
+        if term_id is not None:
+            return term_id
+        local = self._local_ids.get(term)
+        if local is None:
+            local = self.base + len(self._local_terms)
+            self._local_ids[term] = local
+            self._local_terms.append(term)
+        return local
+
+    def decode(self, term_id: int) -> Term:
+        if term_id < self.base:
+            return self.graph.term_for_id(term_id)
+        return self._local_terms[term_id - self.base]
+
+    def decode_column(self, ids: np.ndarray) -> List[Optional[Term]]:
+        """Python-side decode of a column; UNBOUND rows decode to None."""
+        base = self.base
+        lookup = self.graph.term_for_id
+        local = self._local_terms
+        out: List[Optional[Term]] = []
+        append = out.append
+        # ids.tolist() iterates native ints — much faster than numpy scalars.
+        for i in ids.tolist():
+            if i == UNBOUND:
+                append(None)
+            elif i < base:
+                append(lookup(i))
+            else:
+                append(local[i - base])
+        return out
+
+
+def _strict_number(term: Term):
+    """The number ordered comparison sees for a term, or None.
+
+    Mirrors :func:`repro.sparql.functions._comparable`: only typed literals
+    whose ``to_python`` is an int/float/bool are numerically comparable —
+    a plain ``"5"`` stays a string and must take the generic path.
+    """
+    if isinstance(term, Literal):
+        value = term.to_python()
+        if isinstance(value, bool):
+            return float(value)
+        if isinstance(value, (int, float)):
+            return float(value)
+    return None
+
+
+class ColumnCodec:
+    """Id-indexed decode tables over a graph's (append-only) term dictionary."""
+
+    def __init__(self, graph: Graph):
+        self.graph = graph
+        self.size = 0
+        empty_f = np.empty(0, dtype=np.float64)
+        empty_b = np.empty(0, dtype=bool)
+        self.cmp_values = empty_f   # strict numeric view (ordered comparison)
+        self.cmp_valid = empty_b
+        self.arith_values = empty_f  # lenient numeric view (_numeric coercion)
+        self.arith_valid = empty_b
+        self.arith_is_int = empty_b
+        self.ebv_values = empty_b    # effective boolean value
+        self.ebv_valid = empty_b
+        self.computed = empty_b      # rows filled in by ensure()
+
+    def sync(self) -> None:
+        """Extend the tables to cover every id the graph has assigned.
+
+        Allocation only — new rows start uncomputed and are filled by
+        :meth:`ensure` when a consumer first indexes them.
+        """
+        count = self.graph.term_count
+        if count <= self.size:
+            return
+        new = count - self.size
+        grow_f = np.zeros(new, dtype=np.float64)
+        grow_b = np.zeros(new, dtype=bool)
+        self.cmp_values = np.concatenate([self.cmp_values, grow_f])
+        self.cmp_valid = np.concatenate([self.cmp_valid, grow_b])
+        self.arith_values = np.concatenate([self.arith_values, grow_f])
+        self.arith_valid = np.concatenate([self.arith_valid, grow_b])
+        self.arith_is_int = np.concatenate([self.arith_is_int, grow_b])
+        self.ebv_values = np.concatenate([self.ebv_values, grow_b])
+        self.ebv_valid = np.concatenate([self.ebv_valid, grow_b])
+        self.computed = np.concatenate([self.computed, grow_b])
+        self.size = count
+
+    def ensure(self, ids: np.ndarray) -> None:
+        """Fill table rows for the given in-range ids (idempotent).
+
+        The Python-level coercions run once per distinct uncomputed id, so
+        a filter over a 100k-row column whose values draw from a few
+        thousand literals costs a few thousand coercions, not 100k.
+        """
+        if len(ids) == 0:
+            return
+        pending = ids[~self.computed[ids]]
+        if len(pending) == 0:
+            return
+        term_for_id = self.graph.term_for_id
+        for term_id in map(int, np.unique(pending)):
+            term = term_for_id(term_id)
+            strict = _strict_number(term)
+            if strict is not None:
+                self.cmp_values[term_id] = strict
+                self.cmp_valid[term_id] = True
+            try:
+                value = _numeric(term)
+            except EvaluationError:
+                pass
+            else:
+                self.arith_values[term_id] = value
+                self.arith_valid[term_id] = True
+                self.arith_is_int[term_id] = isinstance(
+                    value, int
+                ) and not isinstance(value, bool)
+            try:
+                ebv = effective_boolean_value(term)
+            except EvaluationError:
+                pass
+            else:
+                self.ebv_values[term_id] = ebv
+                self.ebv_valid[term_id] = True
+            self.computed[term_id] = True

@@ -1,0 +1,539 @@
+"""The columnar executor: algebra tree -> batches -> solutions.
+
+Executes the same :mod:`repro.sparql.algebra` operator tree the interpreted
+evaluator runs, but bottom-up over :class:`~repro.sparql.vector.batch.Batch`
+columns: scans materialize id arrays, joins are vectorized hash joins,
+FILTER/BIND run through :mod:`repro.sparql.vector.expr`, and DISTINCT /
+ORDER BY / slicing happen on arrays before terms are ever decoded.
+
+Per-operator fallback keeps semantics exact where vectorization cannot:
+
+* operators with an ``evaluate_custom`` hook (the GeoStore's spatial
+  candidate scan) and unknown operator types run through the interpreted
+  ``_op_iter`` and are re-encoded into a batch;
+* a join whose right side carries *free expression variables* that the left
+  side binds (OPTIONAL/FILTER correlation, where substitution semantics
+  differ from bottom-up evaluation) falls back to correlated interpreted
+  evaluation of the right side, row by row.
+
+Aggregation groups on id columns (``np.unique``) with vectorized COUNT /
+SUM / AVG / COUNT(DISTINCT *) fast paths; every other aggregate decodes the
+group's members and reuses the interpreted, spec-fixed
+``_apply_aggregate`` — so both engines share one aggregate semantics.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.errors import SPARQLError
+from repro.obs import Observability
+from repro.rdf.graph import Graph
+from repro.rdf.term import Term
+from repro.sparql.algebra import (
+    AlgebraOp,
+    CompileOptions,
+    EmptyOp,
+    ExtendOp,
+    FilterOp,
+    JoinOp,
+    LeftJoinOp,
+    ScanOp,
+    TableOp,
+    UnionOp,
+    compile_group,
+    operator_variables,
+)
+from repro.sparql.ast import (
+    Aggregate,
+    AskQuery,
+    SelectQuery,
+    Variable,
+    VarExpr,
+)
+from repro.sparql.functions import EvaluationError, to_term
+from repro.sparql.vector.batch import UNBOUND, Batch
+from repro.sparql.vector.cost import (
+    apply_cost_order,
+    free_expression_variables,
+    optional_blind_variables,
+)
+from repro.sparql.vector.dictionary import ColumnCodec, TermEncoder
+from repro.sparql.vector.expr import ExprContext, bind_column, filter_keep_mask
+from repro.sparql.vector.ops import distinct_rows, hash_join, scan_batch
+
+Bindings = Dict[Variable, Term]
+
+#: One codec per graph, shared across executions; decode tables are
+#: append-only (the term dictionary never recycles ids) so they survive
+#: graph mutations and only ever extend.
+_CODECS: "weakref.WeakKeyDictionary[Graph, ColumnCodec]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _codec_for(graph: Graph) -> ColumnCodec:
+    codec = _CODECS.get(graph)
+    if codec is None:
+        codec = ColumnCodec(graph)
+        _CODECS[graph] = codec
+    codec.sync()
+    return codec
+
+
+def compile_vector_plan(
+    where, graph: Graph, options: Optional[CompileOptions]
+) -> AlgebraOp:
+    """Compile a WHERE group into a cost-ordered tree for vector execution."""
+    options = options or CompileOptions()
+    tree = compile_group(where, graph, options)
+    if options.reorder_patterns:
+        tree = apply_cost_order(tree, graph)
+    return tree
+
+
+class _Exec:
+    """Per-execution state: encoder, codec, registry, observability."""
+
+    def __init__(self, graph: Graph, registry, obs: Optional[Observability]):
+        self.graph = graph
+        self.registry = registry
+        self.encoder = TermEncoder(graph)
+        self.codec = _codec_for(graph)
+        self.obs = obs if obs is not None and obs.enabled else None
+        self.fallback_ops = 0
+
+    def expr_ctx(self) -> ExprContext:
+        return ExprContext(self.encoder, self.codec, self.registry)
+
+    def note_fallback(self, op: AlgebraOp) -> None:
+        self.fallback_ops += 1
+        if self.obs is not None:
+            self.obs.metrics.counter(
+                "sparql.vector.fallback_ops", op=type(op).__name__
+            ).inc()
+
+
+# ---------------------------------------------------------------------------
+# Operator execution
+# ---------------------------------------------------------------------------
+
+def _encode_solutions(
+    solutions: List[Bindings], variables, ctx: _Exec
+) -> Batch:
+    encode = ctx.encoder.encode
+    variables = list(variables)
+    nrows = len(solutions)
+    columns = {}
+    for variable in variables:
+        columns[variable] = np.fromiter(
+            (
+                encode(sol[variable]) if variable in sol else UNBOUND
+                for sol in solutions
+            ),
+            dtype=np.int64,
+            count=nrows,
+        )
+    return Batch(columns, nrows)
+
+
+def _fallback_batch(op: AlgebraOp, ctx: _Exec) -> Batch:
+    """Run an operator through the interpreted iterator, re-encode columns."""
+    from repro.sparql.evaluator import _op_iter
+
+    ctx.note_fallback(op)
+    solutions = list(_op_iter(op, ctx.graph, {}, ctx.registry))
+    return _encode_solutions(solutions, operator_variables(op), ctx)
+
+
+def _correlated_join(
+    right: AlgebraOp, left_batch: Batch, ctx: _Exec, outer: bool
+) -> Batch:
+    """Interpreted right side, evaluated once per left row (substitution
+    semantics) — the exact nested-loop the interpreted engine runs."""
+    from repro.sparql.evaluator import _op_iter
+
+    ctx.note_fallback(right)
+    decoded = {
+        v: ctx.encoder.decode_column(col)
+        for v, col in left_batch.columns.items()
+    }
+    out: List[Bindings] = []
+    for row in range(left_batch.nrows):
+        bindings = {}
+        for variable, terms in decoded.items():
+            term = terms[row]
+            if term is not None:
+                bindings[variable] = term
+        matched = False
+        for solution in _op_iter(right, ctx.graph, bindings, ctx.registry):
+            matched = True
+            out.append(solution)
+        if outer and not matched:
+            out.append(bindings)
+    variables = list(left_batch.columns) + [
+        v
+        for v in operator_variables(right)
+        if v not in left_batch.columns
+    ]
+    return _encode_solutions(out, variables, ctx)
+
+
+def _execute(op: AlgebraOp, ctx: _Exec) -> Batch:
+    custom = getattr(op, "evaluate_custom", None)
+    if custom is not None:
+        ctx.note_fallback(op)
+        solutions = list(custom(ctx.graph, {}, ctx.registry))
+        return _encode_solutions(solutions, operator_variables(op), ctx)
+    if isinstance(op, EmptyOp):
+        return Batch.unit()
+    if isinstance(op, ScanOp):
+        return scan_batch(ctx.graph, ctx.encoder, op.pattern)
+    if isinstance(op, (JoinOp, LeftJoinOp)):
+        outer = isinstance(op, LeftJoinOp)
+        left = _execute(op.left, ctx)
+        sensitive = free_expression_variables(op.right) | optional_blind_variables(
+            op.right
+        )
+        if sensitive & operator_variables(op.left):
+            return _correlated_join(op.right, left, ctx, outer)
+        right = _execute(op.right, ctx)
+        return hash_join(left, right, outer=outer)
+    if isinstance(op, UnionOp):
+        return Batch.concat([_execute(operand, ctx) for operand in op.operands])
+    if isinstance(op, FilterOp):
+        batch = _execute(op.operand, ctx)
+        if batch.nrows == 0:
+            return batch
+        keep = filter_keep_mask(op.expression, batch, ctx.expr_ctx())
+        return batch.mask(keep)
+    if isinstance(op, ExtendOp):
+        batch = _execute(op.operand, ctx)
+        existing = batch.columns.get(op.variable)
+        if existing is not None and (existing != UNBOUND).any():
+            raise SPARQLError(
+                f"BIND would rebind already-bound variable {op.variable}"
+            )
+        if batch.nrows == 0:
+            return batch.with_column(
+                op.variable, np.empty(0, dtype=np.int64)
+            )
+        column = bind_column(op.expression, batch, ctx.expr_ctx())
+        return batch.with_column(op.variable, column)
+    if isinstance(op, TableOp):
+        encode = ctx.encoder.encode
+        columns = {}
+        for index, variable in enumerate(op.variables):
+            columns[variable] = np.fromiter(
+                (
+                    UNBOUND if row[index] is None else encode(row[index])
+                    for row in op.rows
+                ),
+                dtype=np.int64,
+                count=len(op.rows),
+            )
+        return Batch(columns, len(op.rows))
+    return _fallback_batch(op, ctx)
+
+
+# ---------------------------------------------------------------------------
+# Solution modifiers on arrays
+# ---------------------------------------------------------------------------
+
+def _batch_solutions(batch: Batch, ctx: _Exec) -> List[Bindings]:
+    decoded = {
+        v: ctx.encoder.decode_column(col) for v, col in batch.columns.items()
+    }
+    solutions: List[Bindings] = []
+    for row in range(batch.nrows):
+        solution: Bindings = {}
+        for variable, terms in decoded.items():
+            term = terms[row]
+            if term is not None:
+                solution[variable] = term
+        solutions.append(solution)
+    return solutions
+
+
+def _order_indices(
+    query: SelectQuery, batch: Batch, ctx: _Exec
+) -> np.ndarray:
+    """Stable multi-condition sort on arrays; mirrors the interpreted
+    reversed-stable-sorts pipeline (including the unbound-first rank)."""
+    from repro.sparql.evaluator import _order_key
+
+    indices = np.arange(batch.nrows, dtype=np.int64)
+    lazy_solutions: Optional[List[Bindings]] = None
+    for condition in reversed(query.order_by):
+        fast = None
+        if isinstance(condition.expression, VarExpr):
+            ids = batch.column(condition.expression.variable)
+            codec = ctx.codec
+            in_range = (ids >= 0) & (ids < codec.size)
+            codec.ensure(ids[in_range])
+            numeric = np.zeros(len(ids), dtype=bool)
+            numeric[in_range] = codec.cmp_valid[ids[in_range]]
+            # Vector path only when every row is unbound or numeric; strings
+            # and exotic terms take the python _order_key path.
+            if bool(((ids == UNBOUND) | numeric).all()):
+                rank = numeric.astype(np.float64)  # unbound=0, numeric=1
+                value = np.zeros(len(ids), dtype=np.float64)
+                value[numeric] = codec.cmp_values[ids[numeric]]
+                fast = (rank, value)
+        if fast is not None:
+            rank, value = fast
+            if condition.descending:
+                order = np.lexsort((-value[indices], -rank[indices]))
+            else:
+                order = np.lexsort((value[indices], rank[indices]))
+            indices = indices[order]
+        else:
+            if lazy_solutions is None:
+                lazy_solutions = _batch_solutions(batch, ctx)
+            keys = [
+                _order_key(
+                    condition.expression, lazy_solutions[i], ctx.registry
+                )
+                for i in range(batch.nrows)
+            ]
+            indices = np.array(
+                sorted(indices, key=lambda i: keys[i], reverse=condition.descending),
+                dtype=np.int64,
+            )
+    return indices
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+
+def _group_structure(query: SelectQuery, batch: Batch):
+    """(group key rows or None, inverse group index per row, ngroups)."""
+    if query.group_by:
+        keys = batch.key_matrix(query.group_by)
+        if batch.nrows == 0:
+            return None, np.empty(0, dtype=np.int64), 0
+        uniq, inverse = np.unique(keys, axis=0, return_inverse=True)
+        return uniq, inverse.astype(np.int64), len(uniq)
+    # No GROUP BY: one group, even over zero solutions.
+    return None, np.zeros(batch.nrows, dtype=np.int64), 1
+
+
+def _fast_aggregate(
+    aggregate: Aggregate,
+    batch: Batch,
+    inverse: np.ndarray,
+    ngroups: int,
+    ctx: _Exec,
+):
+    """Vectorized COUNT/SUM/AVG paths; None when the shape isn't covered.
+
+    Returns a list of per-group python values, with EvaluationError sentinels
+    represented as the ``_AGG_ERROR`` marker.
+    """
+    if aggregate.argument is None:
+        if aggregate.function != "COUNT":
+            return None
+        if aggregate.distinct:  # COUNT(DISTINCT *): distinct full rows
+            matrix = np.column_stack(
+                [inverse]
+                + [batch.column(v) for v in batch.columns]
+            )
+            uniq = np.unique(matrix, axis=0)
+            counts = np.bincount(uniq[:, 0], minlength=ngroups)
+            return [int(c) for c in counts]
+        counts = np.bincount(inverse, minlength=ngroups)
+        return [int(c) for c in counts]
+    if aggregate.distinct or not isinstance(aggregate.argument, VarExpr):
+        return None
+    ids = batch.column(aggregate.argument.variable)
+    bound = ids != UNBOUND
+    if aggregate.function == "COUNT":
+        counts = np.bincount(inverse, weights=bound, minlength=ngroups)
+        return [int(c) for c in counts]
+    if aggregate.function not in ("SUM", "AVG"):
+        return None
+    codec = ctx.codec
+    in_range = (ids >= 0) & (ids < codec.size)
+    if not bool((bound == in_range).all()):
+        return None  # overflow ids: generic path
+    values = np.zeros(len(ids), dtype=np.float64)
+    valid = np.zeros(len(ids), dtype=bool)
+    is_int = np.zeros(len(ids), dtype=bool)
+    codec.ensure(ids[in_range])
+    values[in_range] = codec.arith_values[ids[in_range]]
+    valid[in_range] = codec.arith_valid[ids[in_range]]
+    is_int[in_range] = codec.arith_is_int[ids[in_range]]
+    poisoned = np.bincount(inverse, weights=bound & ~valid, minlength=ngroups)
+    totals = np.bincount(
+        inverse, weights=np.where(valid, values, 0.0), minlength=ngroups
+    )
+    counts = np.bincount(inverse, weights=valid, minlength=ngroups)
+    floats = np.bincount(
+        inverse, weights=valid & ~is_int, minlength=ngroups
+    )
+    results = []
+    for group in range(ngroups):
+        if poisoned[group]:
+            results.append(_AGG_ERROR)  # non-numeric value: aggregate errors
+        elif aggregate.function == "SUM":
+            if counts[group] == 0:
+                results.append(0)  # Sum({}) = 0
+            elif floats[group] == 0:
+                results.append(int(round(totals[group])))
+            else:
+                results.append(float(totals[group]))
+        else:  # AVG
+            if counts[group] == 0:
+                results.append(0)  # Avg({}) = 0
+            else:
+                results.append(float(totals[group] / counts[group]))
+    return results
+
+
+_AGG_ERROR = object()
+
+
+def _aggregate_vector(
+    query: SelectQuery, batch: Batch, ctx: _Exec
+) -> List[Bindings]:
+    from repro.sparql.evaluator import _apply_aggregate
+
+    uniq, inverse, ngroups = _group_structure(query, batch)
+    if ngroups == 0:
+        return []
+
+    # Fast paths first; remember which aggregates still need members.
+    per_aggregate: Dict[int, list] = {}
+    need_members = []
+    for position, aggregate in enumerate(query.aggregates):
+        fast = _fast_aggregate(aggregate, batch, inverse, ngroups, ctx)
+        if fast is not None:
+            per_aggregate[position] = fast
+        else:
+            need_members.append(position)
+
+    members_by_group: Optional[List[List[Bindings]]] = None
+    if need_members:
+        solutions = _batch_solutions(batch, ctx)
+        members_by_group = [[] for _ in range(ngroups)]
+        for row, group in enumerate(inverse):
+            members_by_group[group].append(solutions[row])
+
+    results: List[Bindings] = []
+    for group in range(ngroups):
+        row: Bindings = {}
+        if uniq is not None:
+            for index, variable in enumerate(query.group_by):
+                term_id = int(uniq[group, index])
+                if term_id != UNBOUND:
+                    row[variable] = ctx.encoder.decode(term_id)
+        for position, aggregate in enumerate(query.aggregates):
+            if position in per_aggregate:
+                value = per_aggregate[position][group]
+                if value is _AGG_ERROR:
+                    continue
+                row[aggregate.alias] = to_term(value)
+            else:
+                assert members_by_group is not None
+                try:
+                    row[aggregate.alias] = to_term(
+                        _apply_aggregate(
+                            aggregate, members_by_group[group], ctx.registry
+                        )
+                    )
+                except EvaluationError:
+                    pass  # aggregate error: alias stays unbound
+        results.append(row)
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+def evaluate_vector_query(
+    graph: Graph,
+    query: Union[SelectQuery, AskQuery],
+    registry,
+    options: Optional[CompileOptions],
+    obs: Optional[Observability] = None,
+    cache=None,
+    text: Optional[str] = None,
+) -> Union[List[Bindings], bool]:
+    """Evaluate a parsed query with the columnar engine.
+
+    Semantics match the interpreted evaluator: same solution multisets, same
+    modifier pipeline, same aggregate rules (shared code). Plans — including
+    the cost-based join order, which is a pure function of the graph version
+    — are memoised through the shared :class:`~repro.cache.PlanCache` for
+    string queries.
+    """
+    if cache is not None and text is not None:
+        tree = cache.plan(
+            graph,
+            text,
+            options,
+            graph.version,
+            lambda: compile_vector_plan(query.where, graph, options),
+        )
+    else:
+        tree = compile_vector_plan(query.where, graph, options)
+    ctx = _Exec(graph, registry, obs)
+    batch = _execute(tree, ctx)
+    if ctx.obs is not None:
+        ctx.obs.metrics.counter("sparql.vector.result_rows").inc(batch.nrows)
+    if isinstance(query, AskQuery):
+        return batch.nrows > 0
+    return finish_select(query, batch, ctx)
+
+
+def execute_tree(
+    tree: AlgebraOp,
+    graph: Graph,
+    registry,
+    obs: Optional[Observability] = None,
+) -> "tuple[Batch, _Exec]":
+    """Execute a pre-built operator tree (the GeoStore wiring entry)."""
+    ctx = _Exec(graph, registry, obs)
+    return _execute(tree, ctx), ctx
+
+
+def finish_select(
+    query: SelectQuery, batch: Batch, ctx: _Exec
+) -> List[Bindings]:
+    """Aggregation and solution modifiers, on arrays, in the spec order."""
+    from repro.sparql.evaluator import _distinct, _order_key
+
+    if query.is_aggregate:
+        # Aggregate output is one row per group — small; the remaining
+        # modifiers run on decoded rows through the shared helpers.
+        solutions = _aggregate_vector(query, batch, ctx)
+        if query.order_by:
+            for condition in reversed(query.order_by):
+                solutions.sort(
+                    key=lambda s, c=condition: _order_key(
+                        c.expression, s, ctx.registry
+                    ),
+                    reverse=condition.descending,
+                )
+        if query.distinct:
+            solutions = _distinct(solutions)
+        if query.offset:
+            solutions = solutions[query.offset:]
+        if query.limit is not None:
+            solutions = solutions[: query.limit]
+        return solutions
+
+    if query.order_by:
+        batch = batch.take(_order_indices(query, batch, ctx))
+    if query.variables:
+        batch = batch.select(query.variables)
+    if query.distinct:
+        batch = distinct_rows(batch)
+    if query.offset or query.limit is not None:
+        batch = batch.slice(query.offset, query.limit)
+    return _batch_solutions(batch, ctx)

@@ -1,0 +1,300 @@
+"""Columnar physical operators: scans, hash joins, union, distinct.
+
+Joins are vectorized hash joins over term-id columns. SPARQL solution
+compatibility must tolerate *unbound* cells (OPTIONAL misses, VALUES UNDEF):
+two rows are compatible on a shared variable when either side is unbound or
+both ids are equal. The join therefore partitions each side by its
+bound-mask over the shared variables (one bitmask per row — in practice one
+or two distinct masks) and runs a plain equi-join per mask pair on the
+columns both sides actually bind; surviving unbound cells take the other
+side's value.
+
+The equi-join itself packs the key columns into a single ``int64`` (mixed
+radix over the id range) and uses a sort + ``searchsorted`` probe, so the
+whole pipeline stays inside numpy. If packing would overflow 63 bits (it
+cannot for realistic dictionaries), a Python dict join takes over.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+from weakref import WeakKeyDictionary
+
+import numpy as np
+
+from repro.rdf.graph import Graph
+from repro.sparql.ast import TriplePattern, Variable
+from repro.sparql.vector.batch import UNBOUND, Batch
+from repro.sparql.vector.dictionary import TermEncoder
+
+
+# ---------------------------------------------------------------------------
+# Scans
+# ---------------------------------------------------------------------------
+
+#: Per-graph numpy snapshot of Graph.id_columns(), keyed on graph version.
+_TABLES: "WeakKeyDictionary[Graph, Tuple[int, Tuple[np.ndarray, ...]]]" = (
+    WeakKeyDictionary()
+)
+
+
+def _id_table(graph: Graph) -> Tuple[np.ndarray, ...]:
+    """The graph's id-row table as int64 arrays (cached per version)."""
+    entry = _TABLES.get(graph)
+    if entry is None or entry[0] != graph.version:
+        # array('q') exposes the buffer protocol: the snapshot is a memcpy.
+        arrays = tuple(
+            np.frombuffer(column, dtype=np.int64).copy()
+            if len(column)
+            else np.empty(0, dtype=np.int64)
+            for column in graph.id_columns()
+        )
+        entry = (graph.version, arrays)
+        _TABLES[graph] = entry
+    return entry[1]
+
+
+def scan_batch(
+    graph: Graph, encoder: TermEncoder, pattern: TriplePattern
+) -> Batch:
+    """Materialize the full extent of a triple pattern as id columns.
+
+    Bound positions become equality masks over the graph's id-row table —
+    pure numpy, no per-triple Python iteration. Row order is whatever the
+    table holds (scans feed multiset operators; ORDER BY sorts later).
+    """
+    positions = (pattern.subject, pattern.predicate, pattern.object)
+    constant_ids: List[Optional[int]] = []
+    for position in positions:
+        if isinstance(position, Variable):
+            constant_ids.append(None)
+            continue
+        term_id = graph.term_id(position)
+        if term_id is None:
+            # A constant the graph never interned cannot match anything.
+            return Batch.empty(pattern.variables())
+        constant_ids.append(term_id)
+
+    var_slots: List[Tuple[int, Variable]] = [
+        (i, p) for i, p in enumerate(positions) if isinstance(p, Variable)
+    ]
+    if not var_slots:
+        query = tuple(positions)
+        matched = any(True for _ in graph.triples(query))  # type: ignore[arg-type]
+        return Batch.unit() if matched else Batch.empty()
+
+    table = _id_table(graph)
+    mask: Optional[np.ndarray] = None
+    for slot, constant_id in enumerate(constant_ids):
+        if constant_id is None:
+            continue
+        hits = table[slot] == constant_id
+        mask = hits if mask is None else (mask & hits)
+    rows = None if mask is None else np.flatnonzero(mask)
+
+    columns = {}
+    keep: Optional[np.ndarray] = None
+    for slot, variable in var_slots:
+        column = table[slot] if rows is None else table[slot][rows]
+        if variable in columns:
+            # Repeated variable in one pattern (?x :p ?x): keep equal rows.
+            equal = columns[variable] == column
+            keep = equal if keep is None else keep & equal
+        else:
+            columns[variable] = column
+    nrows = len(table[0]) if rows is None else len(rows)
+    batch = Batch(columns, nrows)
+    if keep is not None:
+        batch = batch.mask(keep)
+    return batch
+
+
+# ---------------------------------------------------------------------------
+# Equi-join core
+# ---------------------------------------------------------------------------
+
+def _pack_keys(
+    left: np.ndarray, right: np.ndarray
+) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """Pack (n, k) id matrices into single int64 keys; None on overflow."""
+    k = left.shape[1]
+    if k == 1:
+        return left[:, 0], right[:, 0]
+    high = 0
+    for column in range(k):
+        top = 0
+        if len(left):
+            top = max(top, int(left[:, column].max()))
+        if len(right):
+            top = max(top, int(right[:, column].max()))
+        high = max(high, top)
+    radix = high + 2  # ids are >= 0 here; +2 keeps radix >= 2
+    if radix**k >= 2**62:
+        return None
+    lkeys = np.zeros(len(left), dtype=np.int64)
+    rkeys = np.zeros(len(right), dtype=np.int64)
+    for column in range(k):
+        lkeys = lkeys * radix + left[:, column]
+        rkeys = rkeys * radix + right[:, column]
+    return lkeys, rkeys
+
+
+def _equi_join_pairs(
+    lkeys_matrix: np.ndarray, rkeys_matrix: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """All (left_row, right_row) index pairs with equal key rows."""
+    ln, rn = len(lkeys_matrix), len(rkeys_matrix)
+    if ln == 0 or rn == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    if lkeys_matrix.shape[1] == 0:  # no key columns: cartesian product
+        return (
+            np.repeat(np.arange(ln, dtype=np.int64), rn),
+            np.tile(np.arange(rn, dtype=np.int64), ln),
+        )
+    packed = _pack_keys(lkeys_matrix, rkeys_matrix)
+    if packed is None:  # pragma: no cover - needs absurd dictionary sizes
+        return _dict_join_pairs(lkeys_matrix, rkeys_matrix)
+    lkeys, rkeys = packed
+    order = np.argsort(rkeys, kind="stable")
+    sorted_rkeys = rkeys[order]
+    lo = np.searchsorted(sorted_rkeys, lkeys, side="left")
+    hi = np.searchsorted(sorted_rkeys, lkeys, side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    li = np.repeat(np.arange(ln, dtype=np.int64), counts)
+    starts = np.repeat(lo, counts)
+    # Within-match offsets: 0..count-1 per left row, built from one cumsum.
+    boundaries = np.repeat(np.cumsum(counts) - counts, counts)
+    within = np.arange(total, dtype=np.int64) - boundaries
+    ri = order[starts + within]
+    return li, ri
+
+
+def _dict_join_pairs(
+    lkeys_matrix: np.ndarray, rkeys_matrix: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Fallback pair enumeration through a Python dict (overflow-safe)."""
+    buckets = {}
+    for index, row in enumerate(map(tuple, rkeys_matrix)):
+        buckets.setdefault(row, []).append(index)
+    li: List[int] = []
+    ri: List[int] = []
+    for index, row in enumerate(map(tuple, lkeys_matrix)):
+        for match in buckets.get(row, ()):
+            li.append(index)
+            ri.append(match)
+    return np.array(li, dtype=np.int64), np.array(ri, dtype=np.int64)
+
+
+# ---------------------------------------------------------------------------
+# Solution-compatibility hash join
+# ---------------------------------------------------------------------------
+
+def hash_join(left: Batch, right: Batch, outer: bool = False) -> Batch:
+    """Join two batches on their shared variables (inner or left-outer)."""
+    shared = [v for v in left.columns if v in right.columns]
+    out_vars = list(left.columns) + [
+        v for v in right.columns if v not in left.columns
+    ]
+    if left.nrows == 0:
+        return Batch.empty(out_vars)
+    if right.nrows == 0:
+        if not outer:
+            return Batch.empty(out_vars)
+        li = np.arange(left.nrows, dtype=np.int64)
+        return _assemble(left, right, li, None, out_vars, shared)
+
+    left_keys = left.key_matrix(shared)
+    right_keys = right.key_matrix(shared)
+    left_bound = left_keys != UNBOUND
+    right_bound = right_keys != UNBOUND
+
+    left_masks = _mask_codes(left_bound)
+    right_masks = _mask_codes(right_bound)
+    li_parts: List[np.ndarray] = []
+    ri_parts: List[np.ndarray] = []
+    for lcode in np.unique(left_masks):
+        lrows = np.nonzero(left_masks == lcode)[0]
+        lbits = left_bound[lrows[0]]
+        for rcode in np.unique(right_masks):
+            rrows = np.nonzero(right_masks == rcode)[0]
+            rbits = right_bound[rrows[0]]
+            key_columns = np.nonzero(lbits & rbits)[0]
+            li_sub, ri_sub = _equi_join_pairs(
+                left_keys[np.ix_(lrows, key_columns)],
+                right_keys[np.ix_(rrows, key_columns)],
+            )
+            if len(li_sub):
+                li_parts.append(lrows[li_sub])
+                ri_parts.append(rrows[ri_sub])
+    if li_parts:
+        li = np.concatenate(li_parts)
+        ri = np.concatenate(ri_parts)
+    else:
+        li = np.empty(0, dtype=np.int64)
+        ri = np.empty(0, dtype=np.int64)
+
+    joined = _assemble(left, right, li, ri, out_vars, shared)
+    if not outer:
+        return joined
+    matched = np.zeros(left.nrows, dtype=bool)
+    matched[li] = True
+    if matched.all():
+        return joined
+    rest = np.nonzero(~matched)[0]
+    bare = _assemble(left, right, rest, None, out_vars, shared)
+    return Batch.concat([joined, bare])
+
+
+def _mask_codes(bound: np.ndarray) -> np.ndarray:
+    """Per-row bitmask codes over the shared-variable bound flags."""
+    if bound.shape[1] == 0:
+        return np.zeros(len(bound), dtype=np.int64)
+    weights = (1 << np.arange(bound.shape[1], dtype=np.int64))
+    return bound.astype(np.int64) @ weights
+
+
+def _assemble(
+    left: Batch,
+    right: Batch,
+    li: np.ndarray,
+    ri: Optional[np.ndarray],
+    out_vars: Sequence[Variable],
+    shared: Sequence[Variable],
+) -> Batch:
+    """Build the output batch from matched row-index pairs.
+
+    ``ri is None`` means "no right match" (outer-join padding): right-only
+    columns fill UNBOUND and shared columns keep the left value.
+    """
+    shared_set = set(shared)
+    columns = {}
+    for variable in out_vars:
+        if variable in left.columns:
+            values = left.columns[variable][li]
+            if ri is not None and variable in shared_set:
+                right_values = right.columns[variable][ri]
+                values = np.where(values != UNBOUND, values, right_values)
+            columns[variable] = values
+        elif ri is not None:
+            columns[variable] = right.columns[variable][ri]
+        else:
+            columns[variable] = np.full(len(li), UNBOUND, dtype=np.int64)
+    return Batch(columns, len(li))
+
+
+# ---------------------------------------------------------------------------
+# Distinct
+# ---------------------------------------------------------------------------
+
+def distinct_rows(batch: Batch) -> Batch:
+    """Drop duplicate rows, keeping the first occurrence of each."""
+    if batch.nrows == 0 or not batch.columns:
+        return batch.slice(0, 1) if batch.nrows else batch
+    matrix = batch.key_matrix(list(batch.columns))
+    _, first = np.unique(matrix, axis=0, return_index=True)
+    return batch.take(np.sort(first))

@@ -1,0 +1,106 @@
+"""Index-backed cardinality statistics on :class:`repro.rdf.Graph` — E22.
+
+``Graph.count`` must answer **every** pattern shape from index structures:
+the seed answered two-bound shapes from bucket lengths but fell through to
+full triple iteration for single-bound shapes and fully-bound membership —
+O(matches) where the cost model needs O(buckets). The regressions here
+monkeypatch ``triples`` to explode, proving no shape materializes triples.
+
+Also covers the E22 term dictionary: dense ids assigned on first intern,
+stable across removes (append-only), and the distinct-position statistics
+the vector engine's cost model divides by.
+"""
+
+import pytest
+
+from repro.rdf import Graph, Literal, Namespace
+
+EX = Namespace("http://ex.org/")
+
+
+@pytest.fixture
+def graph():
+    g = Graph()
+    g.add(EX.a, EX.p, EX.x)
+    g.add(EX.a, EX.p, EX.y)
+    g.add(EX.a, EX.q, EX.x)
+    g.add(EX.b, EX.p, EX.x)
+    return g
+
+
+class TestCountShapes:
+    def test_all_shapes_answer_without_iterating_triples(self, graph, monkeypatch):
+        """The seed iterated matches for 1-bound and 3-bound patterns."""
+        def boom(*_args, **_kwargs):
+            raise AssertionError("count() must not materialize triples")
+
+        monkeypatch.setattr(graph, "triples", boom)
+        assert graph.count((None, None, None)) == 4
+        # Single-bound shapes (seed: fell through to iteration).
+        assert graph.count((EX.a, None, None)) == 3
+        assert graph.count((None, EX.p, None)) == 3
+        assert graph.count((None, None, EX.x)) == 3
+        # Two-bound shapes.
+        assert graph.count((EX.a, EX.p, None)) == 2
+        assert graph.count((None, EX.p, EX.x)) == 2
+        assert graph.count((EX.a, None, EX.x)) == 2
+        # Fully bound: membership (seed: iteration).
+        assert graph.count((EX.a, EX.p, EX.x)) == 1
+        assert graph.count((EX.a, EX.p, EX.z)) == 0
+
+    def test_counts_for_absent_terms_are_zero(self, graph):
+        assert graph.count((EX.zzz, None, None)) == 0
+        assert graph.count((None, EX.zzz, None)) == 0
+        assert graph.count((None, None, EX.zzz)) == 0
+
+    def test_count_tracks_removal(self, graph):
+        graph.remove(EX.a, EX.p, EX.y)
+        assert graph.count((EX.a, None, None)) == 2
+        assert graph.count((None, EX.p, None)) == 2
+
+
+class TestDistinctStats:
+    def test_distinct_position_counts(self, graph):
+        assert graph.distinct_subjects() == 2
+        assert graph.distinct_predicates() == 2
+        assert graph.distinct_objects() == 2
+
+    def test_distinct_counts_shrink_on_removal(self, graph):
+        graph.remove(EX.b, EX.p, EX.x)
+        assert graph.distinct_subjects() == 1
+
+
+class TestTermDictionary:
+    def test_ids_are_dense_and_stable(self):
+        g = Graph()
+        g.add(EX.s, EX.p, Literal.from_python(1))
+        first = {t: g.term_id(t) for t in (EX.s, EX.p, Literal.from_python(1))}
+        assert sorted(first.values()) == [0, 1, 2]
+        g.add(EX.s, EX.p, Literal.from_python(2))
+        # Existing terms keep their ids; only the new literal gets a new one.
+        for term, term_id in first.items():
+            assert g.term_id(term) == term_id
+        assert g.term_count == 4
+        assert g.term_for_id(3) == Literal.from_python(2)
+
+    def test_ids_survive_remove(self):
+        """The dictionary is append-only: ids are never recycled."""
+        g = Graph()
+        g.add(EX.s, EX.p, EX.o)
+        object_id = g.term_id(EX.o)
+        g.remove(EX.s, EX.p, EX.o)
+        assert g.term_id(EX.o) == object_id
+        g.add(EX.s2, EX.p2, EX.o2)
+        assert g.term_id(EX.o2) not in (None, object_id)
+
+    def test_unknown_term_has_no_id(self):
+        g = Graph()
+        g.add(EX.s, EX.p, EX.o)
+        assert g.term_id(EX.never) is None
+
+    def test_version_moves_with_dictionary(self):
+        """Plan/codec caches key on version; adds must bump it."""
+        g = Graph()
+        before = g.version
+        g.add(EX.s, EX.p, EX.o)
+        assert g.version > before

@@ -1,0 +1,148 @@
+"""SPARQL 1.1 section 18.5 aggregate conformance — the E22 bugfix suite.
+
+Four seed-failing regressions, each run through both engines:
+
+* **MIN/MAX use the general "<" ordering** (:func:`repro.sparql.functions.compare`),
+  not numeric coercion. The seed ran ``_numeric`` over every value, so MIN
+  over strings raised and MIN over typed numerics re-minted a fresh literal
+  instead of returning the winning term.
+* **Sum({}) = 0 and Avg({}) = 0** (typed zeros). The seed raised
+  ``SPARQLError`` out of the whole query for any numeric aggregate over an
+  empty group.
+* **MIN/MAX over an empty group leave the alias unbound** (aggregate error
+  per the spec); the seed crashed the query.
+* **COUNT(DISTINCT *) dedupes full solutions**; the seed ignored DISTINCT
+  for the ``*`` form and returned the plain group size.
+"""
+
+import pytest
+
+from repro.rdf import Graph, Literal, Namespace
+from repro.rdf.term import XSD_DOUBLE, XSD_INTEGER
+from repro.sparql import CompileOptions, Variable, evaluate
+
+EX = Namespace("http://ex.org/")
+PREFIX = "PREFIX ex: <http://ex.org/> "
+
+ENGINES = [
+    pytest.param(CompileOptions(engine="interpreted"), id="interpreted"),
+    pytest.param(CompileOptions(engine="vector"), id="vector"),
+]
+
+
+@pytest.fixture
+def fruit():
+    graph = Graph()
+    for key, name in (("a", "cherry"), ("b", "apple"), ("c", "banana")):
+        graph.add(EX[key], EX.name, Literal.from_python(name))
+    return graph
+
+
+@pytest.mark.parametrize("options", ENGINES)
+class TestMinMaxOrdering:
+    def test_min_over_strings(self, fruit, options):
+        result = evaluate(
+            fruit,
+            PREFIX + "SELECT (MIN(?n) AS ?m) WHERE { ?x ex:name ?n }",
+            options=options,
+        )
+        assert [s[Variable("m")].lexical for s in result] == ["apple"]
+
+    def test_max_over_strings(self, fruit, options):
+        result = evaluate(
+            fruit,
+            PREFIX + "SELECT (MAX(?n) AS ?m) WHERE { ?x ex:name ?n }",
+            options=options,
+        )
+        assert [s[Variable("m")].lexical for s in result] == ["cherry"]
+
+    def test_min_returns_the_term_not_a_coercion(self, options):
+        """MIN must return the winning *term*; the seed re-minted min(numbers)."""
+        graph = Graph()
+        graph.add(EX.a, EX.v, Literal("2.5", datatype=XSD_DOUBLE))
+        graph.add(EX.b, EX.v, Literal("3", datatype=XSD_INTEGER))
+        result = evaluate(
+            graph,
+            PREFIX + "SELECT (MIN(?v) AS ?m) WHERE { ?x ex:v ?v }",
+            options=options,
+        )
+        term = result[0][Variable("m")]
+        assert term == Literal("2.5", datatype=XSD_DOUBLE)
+
+    def test_min_incomparable_values_leaves_alias_unbound(self, fruit, options):
+        """Strings vs numbers are incomparable: aggregate error -> unbound."""
+        fruit.add(EX.d, EX.name, Literal.from_python(7))
+        result = evaluate(
+            fruit,
+            PREFIX + "SELECT (MIN(?n) AS ?m) WHERE { ?x ex:name ?n }",
+            options=options,
+        )
+        assert len(result) == 1
+        assert Variable("m") not in result[0]
+
+
+@pytest.mark.parametrize("options", ENGINES)
+class TestEmptyGroup:
+    def test_sum_over_empty_group_is_typed_zero(self, fruit, options):
+        result = evaluate(
+            fruit,
+            PREFIX + "SELECT (SUM(?v) AS ?s) WHERE { ?x ex:missing ?v }",
+            options=options,
+        )
+        assert [s[Variable("s")] for s in result] == [
+            Literal("0", datatype=XSD_INTEGER)
+        ]
+
+    def test_avg_over_empty_group_is_zero(self, fruit, options):
+        result = evaluate(
+            fruit,
+            PREFIX + "SELECT (AVG(?v) AS ?a) WHERE { ?x ex:missing ?v }",
+            options=options,
+        )
+        assert [s[Variable("a")] for s in result] == [
+            Literal("0", datatype=XSD_INTEGER)
+        ]
+
+    def test_min_over_empty_group_is_unbound_not_an_error(self, fruit, options):
+        result = evaluate(
+            fruit,
+            PREFIX
+            + "SELECT (MIN(?v) AS ?m) (COUNT(?v) AS ?c) "
+            + "WHERE { ?x ex:missing ?v }",
+            options=options,
+        )
+        assert len(result) == 1
+        assert Variable("m") not in result[0]
+        assert result[0][Variable("c")] == Literal("0", datatype=XSD_INTEGER)
+
+
+@pytest.mark.parametrize("options", ENGINES)
+class TestCountDistinctStar:
+    def test_count_distinct_star_dedupes_full_solutions(self, fruit, options):
+        # The UNION yields every solution twice; DISTINCT * must collapse it.
+        query = (
+            PREFIX + "SELECT (COUNT(DISTINCT *) AS ?c) WHERE "
+            "{ { ?x ex:name ?n } UNION { ?x ex:name ?n } }"
+        )
+        result = evaluate(fruit, query, options=options)
+        assert result[0][Variable("c")] == Literal("3", datatype=XSD_INTEGER)
+
+    def test_count_star_still_counts_duplicates(self, fruit, options):
+        query = (
+            PREFIX + "SELECT (COUNT(*) AS ?c) WHERE "
+            "{ { ?x ex:name ?n } UNION { ?x ex:name ?n } }"
+        )
+        result = evaluate(fruit, query, options=options)
+        assert result[0][Variable("c")] == Literal("6", datatype=XSD_INTEGER)
+
+    def test_grouped_count_distinct_star(self, fruit, options):
+        query = (
+            PREFIX + "SELECT ?x (COUNT(DISTINCT *) AS ?c) WHERE "
+            "{ { ?x ex:name ?n } UNION { ?x ex:name ?n } } GROUP BY ?x"
+        )
+        result = evaluate(fruit, query, options=options)
+        assert len(result) == 3
+        assert all(
+            s[Variable("c")] == Literal("1", datatype=XSD_INTEGER)
+            for s in result
+        )
