@@ -14,9 +14,11 @@ the spatial rewrite that bakes R-tree candidate lists into the tree. A
   and the content version is the owner's monotonically bumped mutation
   counter (:attr:`repro.rdf.graph.Graph.version`) — any mutation moves the
   key, so a cached plan can never describe data that changed under it.
-  The options tuple (``dataclasses.astuple``) includes the ``engine``
-  field, so the interpreted evaluator and the E22 vector engine — whose
-  plans are cost-ordered differently — never share a cache entry.
+  The options tuple (``CompileOptions.cache_key()``) includes the
+  ``engine`` field, so the interpreted evaluator and the E22 vector engine
+  — whose plans are cost-ordered differently — never share a cache entry;
+  it excludes per-request state like the E23 ``budget``, so governed and
+  ungoverned executions of one text share one plan.
 
 One ``PlanCache`` may be shared by several stores (the evaluator, a
 ``GeoStore``, the catalogue over it, a ``VirtualGeoStore``); entries never
@@ -70,8 +72,20 @@ class PlanCache:
 
     @staticmethod
     def options_key(options) -> Optional[Tuple]:
-        """Hashable identity of a :class:`~repro.sparql.algebra.CompileOptions`."""
-        return None if options is None else astuple(options)
+        """Hashable identity of a :class:`~repro.sparql.algebra.CompileOptions`.
+
+        Delegates to ``options.cache_key()`` so per-request state (the E23
+        ``budget`` field) never lands in a plan-cache or coalescing key —
+        governed and ungoverned runs of the same text share one plan entry.
+        Foreign option objects without a ``cache_key`` fall back to the old
+        ``dataclasses.astuple`` identity.
+        """
+        if options is None:
+            return None
+        cache_key = getattr(options, "cache_key", None)
+        if cache_key is not None:
+            return cache_key()
+        return astuple(options)
 
     # ------------------------------------------------------------------
     # Tiers

@@ -9,7 +9,14 @@ The hierarchy::
     ├── GeometryError               geometry construction/operations
     │   └── WKTParseError           malformed WKT text
     ├── RDFError / SPARQLError      RDF terms, SPARQL parse/eval
-    │   └── SPARQLSyntaxError
+    │   ├── SPARQLSyntaxError
+    │   ├── QueryBudgetExceeded     a governed query overran its resident
+    │   │                           row/byte budget (E23; also a FaultError,
+    │   │                           NOT retryable — the same query will blow
+    │   │                           the same cap again)
+    │   └── QueryCancelled          a governed query observed its cooperative
+    │                               cancellation token at a checkpoint (E23;
+    │                               also a FaultError, retryable)
     ├── RasterError                 raster grids
     ├── StorageError                HopsFS-sim filesystem/metadata
     │   └── DataCorruption          a detected integrity violation (E20):
@@ -321,6 +328,50 @@ class Shed(ServingError, FaultError):
         super().__init__(message)
         self.tenant = tenant
         self.retry_after_s = retry_after_s
+        self.reason = reason
+
+
+class QueryBudgetExceeded(SPARQLError, FaultError):
+    """A governed query overran its resource budget (experiment E23).
+
+    Raised by a :class:`~repro.sparql.governor.QueryBudget` checkpoint when
+    the query's resident rows or modelled bytes exceed the configured cap —
+    *before* the offending allocation is made, in the vector engine's join
+    pre-admission check. Not retryable: the same query against the same data
+    will blow the same cap again; the tenant must narrow the query (or the
+    operator must raise the cap). ``resource`` is ``"rows"`` or ``"bytes"``;
+    ``observed``/``limit`` carry the accounting at the moment of the kill.
+    """
+
+    retryable = False
+
+    def __init__(
+        self,
+        message: str,
+        resource: str = "rows",
+        observed: Optional[int] = None,
+        limit: Optional[int] = None,
+    ):
+        super().__init__(message)
+        self.resource = resource
+        self.observed = observed
+        self.limit = limit
+
+
+class QueryCancelled(SPARQLError, FaultError):
+    """A governed query observed its cancellation token (experiment E23).
+
+    Cooperative: the engine notices the flipped
+    :class:`~repro.sparql.governor.CancelToken` at its next checkpoint and
+    unwinds — nothing is killed mid-allocation. Retryable: cancellation says
+    nothing about whether a fresh execution would succeed (the gateway kills
+    coalesced leaders for platform reasons, not because the query is bad).
+    """
+
+    retryable = True
+
+    def __init__(self, message: str, reason: Optional[str] = None):
+        super().__init__(message)
         self.reason = reason
 
 

@@ -11,7 +11,8 @@ every scaling experiment be re-measured *under failure*:
   E18's time-windowed endpoint flaps and client overload bursts, plus
   E20's *silent* storage faults: replica bit flips, torn WAL writes,
   stale replicas and snapshot corruption — failures nothing notices
-  until a checksum looks);
+  until a checksum looks — and E23's per-operator slowdowns charged
+  against in-engine query deadlines);
   ``FaultPlan.none()`` is the guaranteed no-op plan and
   ``FaultPlan.chaos(seed, ...)`` generates one from failure rates.
 * :class:`~repro.faults.injector.FaultInjector` — the runtime oracle the
@@ -40,6 +41,7 @@ from repro.faults.injector import (
     NodeCrash,
     OverloadBurst,
     ShardOutage,
+    SlowOperator,
     SnapshotCorruption,
     StaleReplica,
     Straggler,
@@ -59,6 +61,7 @@ __all__ = [
     "RetryPolicy",
     "RetryState",
     "ShardOutage",
+    "SlowOperator",
     "SnapshotCorruption",
     "StaleReplica",
     "Straggler",

@@ -213,6 +213,25 @@ class SnapshotCorruption:
 
 
 @dataclass(frozen=True)
+class SlowOperator:
+    """SPARQL operator ``op`` costs ``charge_s`` extra seconds per checkpoint (E23).
+
+    Injected into a :class:`~repro.sparql.governor.QueryBudget`'s charge
+    stream: every engine checkpoint whose operator name matches ``op``
+    (exact, prefix, or ``"*"`` for all) charges the query's deadline an
+    extra ``charge_s`` of modelled time — the chaos shape that makes
+    in-engine deadline enforcement observable on a simulated clock.
+    """
+
+    op: str
+    charge_s: float
+
+    def __post_init__(self) -> None:
+        if self.charge_s < 0:
+            raise FaultError(f"charge_s must be >= 0, got {self.charge_s}")
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """The full chaos declaration for one experiment run."""
 
@@ -230,6 +249,7 @@ class FaultPlan:
     torn_writes: Tuple[TornWrite, ...] = ()
     stale_replicas: Tuple[StaleReplica, ...] = ()
     snapshot_corruptions: Tuple[SnapshotCorruption, ...] = ()
+    slow_operators: Tuple[SlowOperator, ...] = ()
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.task_failure_rate < 1.0:
@@ -276,6 +296,9 @@ class FaultPlan:
         block_count: int = 0,
         bit_flip_prob: float = 0.0,
         stale_replica_prob: float = 0.0,
+        slow_operator_ops: Sequence[str] = (),
+        slow_operator_prob: float = 0.0,
+        slow_operator_charge_s: float = 0.05,
     ) -> "FaultPlan":
         """Generate a concrete plan from a seed and per-subsystem rates.
 
@@ -340,6 +363,13 @@ class FaultPlan:
             for b in range(block_count)
             if (n, b) not in flipped and rng.random() < stale_replica_prob
         )
+        # Slow operators (E23): drawn last, after every pre-E23 draw, so a
+        # given seed's existing fault schedule is unchanged by the new knobs.
+        slow_operators = tuple(
+            SlowOperator(op=op, charge_s=slow_operator_charge_s)
+            for op in slow_operator_ops
+            if rng.random() < slow_operator_prob
+        )
         return cls(
             seed=seed,
             node_crashes=node_crashes,
@@ -351,6 +381,7 @@ class FaultPlan:
             worker_crashes=worker_crashes,
             bit_flips=bit_flips,
             stale_replicas=stale_replicas,
+            slow_operators=slow_operators,
         )
 
 
@@ -484,6 +515,27 @@ class FaultInjector:
             flap.name == name and flap.covers(at_s)
             for flap in self.plan.endpoint_flaps
         )
+
+    # ------------------------------------------------------------------
+    # Query governance (experiment E23)
+    # ------------------------------------------------------------------
+
+    def operator_charge(self, op_name: str) -> float:
+        """Extra modelled seconds a checkpoint in *op_name* must charge.
+
+        Matches a :class:`SlowOperator` by exact name, prefix (so
+        ``op="hash_join"`` also slows ``hash_join.probe``) or the ``"*"``
+        wildcard; the strongest matching fault wins, mirroring
+        :meth:`arrival_multiplier`'s no-stacking rule.
+        """
+        if not self.plan.slow_operators:
+            return 0.0
+        charges = [
+            fault.charge_s
+            for fault in self.plan.slow_operators
+            if fault.op == "*" or op_name == fault.op or op_name.startswith(fault.op)
+        ]
+        return max(charges) if charges else 0.0
 
     # ------------------------------------------------------------------
     # Overload (experiment E18)

@@ -47,6 +47,7 @@ from repro.sparql.evaluator import (
     FunctionRegistry,
     _evaluate_op,
     apply_solution_modifiers,
+    materialize_select,
 )
 from repro.sparql.parser import parse_query
 
@@ -211,6 +212,7 @@ class GeoStore:
                 query = self.plan_cache.parse(text)
             else:
                 query = parse_query(text)
+        budget = getattr(options, "budget", None) if options is not None else None
         if options is not None and options.engine == "vector":
             # Columnar execution of the spatially rewritten plan: the
             # candidate scan runs through the interpreted fallback (it is a
@@ -218,19 +220,27 @@ class GeoStore:
             from repro.sparql.vector import execute_tree, finish_select
 
             tree = self._plan(query.where, options, text=text)
-            batch, ctx = execute_tree(tree, self.graph, self.registry)
+            batch, ctx = execute_tree(
+                tree, self.graph, self.registry, budget=budget
+            )
             if isinstance(query, AskQuery):
                 return batch.nrows > 0
             return finish_select(query, batch, ctx)
         if isinstance(query, AskQuery):
             tree = self._plan(query.where, options, text=text)
-            for _ in _evaluate_op(tree, self.graph, {}, self.registry):
+            for _ in _evaluate_op(
+                tree, self.graph, {}, self.registry, None, budget
+            ):
                 return True
             return False
 
         tree = self._plan(query.where, options, text=text)
-        solutions = list(_evaluate_op(tree, self.graph, {}, self.registry))
-        return apply_solution_modifiers(query, solutions, self.registry)
+        return materialize_select(
+            query,
+            _evaluate_op(tree, self.graph, {}, self.registry, None, budget),
+            self.registry,
+            budget,
+        )
 
     def explain(
         self,

@@ -103,6 +103,20 @@ class Deadline:
         """Would spending *seconds* more still fit in the budget?"""
         return self.elapsed() + seconds <= self.budget_s
 
+    def derive(self, budget_s: float, label: Optional[str] = None) -> "Deadline":
+        """A child deadline capped at *budget_s*, never wider than this one.
+
+        The child shares the parent's clock (and so its notion of time) but
+        accounts independently: the E23 governor uses this to narrow a
+        tenant's remaining request deadline down to the per-execution cap
+        without letting a generous cap extend an almost-expired request.
+        """
+        return Deadline(
+            min(self.remaining(), budget_s),
+            clock=self._clock,
+            label=label if label is not None else self.label,
+        )
+
     def __repr__(self) -> str:
         return (
             f"Deadline({self.label!r}, budget={self.budget_s:.6g}s, "

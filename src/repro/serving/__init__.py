@@ -18,8 +18,15 @@ platform its multi-tenant manners:
   one execution, each member keeping its *own* deadline;
 * **graceful degradation** — internal E18 signals
   (:class:`~repro.errors.Overloaded`, :class:`~repro.errors.CircuitOpen`)
-  are translated into per-tenant :class:`~repro.errors.Shed`, never
-  leaked raw.
+  and the E23 governor's :class:`~repro.errors.QueryBudgetExceeded` /
+  :class:`~repro.errors.QueryCancelled` are translated into per-tenant
+  :class:`~repro.errors.Shed`, never leaked raw;
+* **query governance** (E23) — with a
+  :class:`~repro.sparql.governor.BudgetPolicy` attached, each execution
+  carries a :class:`~repro.sparql.governor.QueryBudget` (deadline narrowed
+  to the per-query cap, row/byte ceilings, the coalesce entry's cancel
+  token) that the engines enforce at their checkpoints, and
+  :meth:`Gateway.kill` stops a runaway mid-flight.
 
 The gateway composes with — never duplicates — the earlier layers: E18's
 :class:`~repro.resilience.AdmissionController` is its shared bulkhead,

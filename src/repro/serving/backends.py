@@ -18,6 +18,7 @@ from typing import Optional, Sequence
 
 from repro.resilience.deadline import Deadline
 from repro.serving.gateway import Backend
+from repro.sparql.governor import with_budget
 
 
 class StoreBackend(Backend):
@@ -25,10 +26,14 @@ class StoreBackend(Backend):
 
     The store's own entry point takes no deadline — the gateway enforces
     the request's budget at dispatch and fan-out instead — so the executed
-    call is exactly ``store.query(text, options)``.
+    call is exactly ``store.query(text, options)``. An E23
+    :class:`~repro.sparql.governor.QueryBudget` rides into the engines on
+    the compile options (which never reach plan-cache or coalescing keys);
+    with no budget the call is byte-identical to the pre-E23 adapter.
     """
 
     kind = "sparql"
+    supports_budget = True
 
     def __init__(self, store):
         self.store = store
@@ -37,7 +42,10 @@ class StoreBackend(Backend):
         return self.store.content_version
 
     def execute(self, query: str, options=None,
-                deadline: Optional[Deadline] = None, priority: int = 1):
+                deadline: Optional[Deadline] = None, priority: int = 1,
+                budget=None):
+        if budget is not None:
+            options = with_budget(options, budget)
         return self.store.query(query, options=options)
 
 

@@ -30,6 +30,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ServingError
+from repro.sparql.governor import CancelToken
 
 QUEUED = "queued"
 RUNNING = "running"
@@ -38,14 +39,22 @@ CoalesceKey = Tuple[str, str, Optional[tuple], int]
 
 
 class CoalesceEntry:
-    """One shared execution: a leader plus any number of followers."""
+    """One shared execution: a leader plus any number of followers.
 
-    __slots__ = ("key", "members", "state")
+    ``cancel`` is the execution's E23 kill switch: the gateway wires it
+    into the :class:`~repro.sparql.governor.QueryBudget` it derives for the
+    leader's execution, so :meth:`~repro.serving.gateway.Gateway.kill` can
+    stop a running entry cooperatively — the engine unwinds at its next
+    checkpoint and the outcome fans out through the normal settle path.
+    """
+
+    __slots__ = ("key", "members", "state", "cancel")
 
     def __init__(self, key: CoalesceKey, leader: object):
         self.key = key
         self.members: List[object] = [leader]
         self.state = QUEUED
+        self.cancel = CancelToken()
 
     @property
     def leader(self) -> object:

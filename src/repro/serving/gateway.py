@@ -38,6 +38,16 @@ Deadlines are never shared: each coalesced member keeps its own
 :class:`~repro.resilience.Deadline`, checked at dispatch and again at
 fan-out, so a follower that ran out of time gets
 :class:`~repro.errors.TimeoutExceeded`, never a late result.
+
+With a :class:`~repro.sparql.governor.BudgetPolicy` attached (E23), every
+execution on a budget-capable backend carries a derived
+:class:`~repro.sparql.governor.QueryBudget` — the member deadline narrowed
+to the per-query cap, row/byte ceilings, and the coalesce entry's
+:class:`~repro.sparql.governor.CancelToken` so :meth:`Gateway.kill` stops a
+runaway mid-flight. The engine's typed
+:class:`~repro.errors.QueryBudgetExceeded` / :class:`~repro.errors.QueryCancelled`
+never leak: both translate to per-tenant :class:`~repro.errors.Shed` at
+fan-out, exactly like the E18 overload signals.
 """
 
 from __future__ import annotations
@@ -49,6 +59,8 @@ from repro.cache.plan import PlanCache
 from repro.errors import (
     CircuitOpen,
     Overloaded,
+    QueryBudgetExceeded,
+    QueryCancelled,
     ServingError,
     Shed,
     TimeoutExceeded,
@@ -59,6 +71,7 @@ from repro.resilience.deadline import Deadline
 from repro.serving.coalesce import Coalescer, CoalesceEntry, RUNNING
 from repro.serving.tenant import TenantConfig, TenantRegistry, TenantSession
 from repro.serving.wfq import WeightedFairQueue
+from repro.sparql.governor import BudgetPolicy, QueryBudget
 
 #: Outcome categories a settled request lands in (exactly one each).
 OK = "ok"
@@ -114,13 +127,19 @@ class Backend:
 
     kind = "default"
 
-    def version(self):
-        """Content-version component of the coalescing key (hashable)."""
-        return 0
+    #: Set True in adapters whose ``execute`` accepts a ``budget=`` kwarg
+    #: (an E23 :class:`~repro.sparql.governor.QueryBudget`). The gateway
+    #: only passes one when this is set, so pre-E23 adapters — and test
+    #: doubles with the old signature — keep working unchanged.
+    supports_budget = False
 
     def execute(self, query: str, options=None,
                 deadline: Optional[Deadline] = None, priority: int = 1):
         raise NotImplementedError
+
+    def version(self):
+        """Content-version component of the coalescing key (hashable)."""
+        return 0
 
 
 class Gateway:
@@ -134,6 +153,8 @@ class Gateway:
         coalesce: bool = True,
         shed_retry_after_s: float = 0.1,
         obs: Optional[Observability] = None,
+        budget_policy: Optional[BudgetPolicy] = None,
+        injector=None,
     ):
         if isinstance(backends, Backend):
             backends = {backends.kind: backends}
@@ -144,6 +165,8 @@ class Gateway:
         self._admission = admission
         self._coalesce_enabled = coalesce
         self._shed_retry_after_s = shed_retry_after_s
+        self._budget_policy = budget_policy
+        self._injector = injector
         self._obs = resolve(obs)
         self.tenants = TenantRegistry(clock=self._clock)
         self.queue = WeightedFairQueue()
@@ -303,6 +326,55 @@ class Gateway:
                 return member.deadline
         return None
 
+    # ------------------------------------------------------------------
+    # Query governance (experiment E23)
+    # ------------------------------------------------------------------
+
+    def budget_for(self, entry: CoalesceEntry) -> Optional[QueryBudget]:
+        """Derive the E23 :class:`QueryBudget` for one execution, or None.
+
+        The budget wires the entry's :class:`CancelToken` (so :meth:`kill`
+        reaches inside the engine) and narrows the dispatching member's own
+        deadline down to ``policy.max_seconds`` via
+        :meth:`~repro.resilience.Deadline.derive` — a generous per-query cap
+        never widens an almost-expired request, and an execution with no
+        member deadline gets a fresh charge-driven one.
+        """
+        policy = self._budget_policy
+        if policy is None or not policy.enabled:
+            return None
+        deadline = self.execution_deadline(entry)
+        if policy.max_seconds is not None:
+            if deadline is not None:
+                deadline = deadline.derive(policy.max_seconds, label="execution")
+            else:
+                deadline = Deadline(policy.max_seconds, label="execution")
+        leader = entry.leader
+        tenant = leader.session.name if leader.session is not None else "?"
+        return QueryBudget(
+            deadline=deadline,
+            max_rows=policy.max_rows,
+            max_bytes=policy.max_bytes,
+            cancel=entry.cancel,
+            label=f"{entry.key[0]}:{tenant}",
+            injector=self._injector,
+            checkpoint_charge_s=policy.checkpoint_charge_s,
+            row_charge_s=policy.row_charge_s,
+        )
+
+    def kill(self, entry: CoalesceEntry, reason: str = "killed by operator") -> None:
+        """Request cooperative cancellation of an in-flight entry.
+
+        Only the token flips here — the entry is *not* settled or closed:
+        a running execution raises :class:`~repro.errors.QueryCancelled` at
+        its next engine checkpoint and settles through the normal
+        :meth:`complete` fan-out, so followers get typed errors and every
+        ticket releases exactly once. Killing a queued entry makes its
+        eventual execution fail at the first checkpoint.
+        """
+        entry.cancel.cancel(reason)
+        self._obs.metrics.counter("governor.kill_requests").inc()
+
     def complete(
         self,
         entry: CoalesceEntry,
@@ -376,9 +448,18 @@ class Gateway:
         return request.result
 
     def execute(self, entry: CoalesceEntry) -> List[GatewayRequest]:
-        """Run a dispatched entry on its backend and fan out the outcome."""
+        """Run a dispatched entry on its backend and fan out the outcome.
+
+        With a budget policy set and a budget-capable backend, the derived
+        :class:`QueryBudget` rides along and its enforcement counters are
+        recorded as ``governor.*`` metrics whichever way the execution ends.
+        """
         backend = self.backend(entry.key[0])
         leader = entry.leader
+        budget = self.budget_for(entry)
+        kwargs = {}
+        if budget is not None and backend.supports_budget:
+            kwargs["budget"] = budget
         try:
             result = backend.execute(
                 leader.query,
@@ -389,9 +470,12 @@ class Gateway:
                     if leader.priority is not None
                     else leader.session.config.priority
                 ),
+                **kwargs,
             )
         except Exception as exc:
+            self._record_budget(budget, exc)
             return self.complete(entry, error=exc)
+        self._record_budget(budget, None)
         return self.complete(entry, result=result)
 
     # ------------------------------------------------------------------
@@ -443,11 +527,48 @@ class Gateway:
             ),
         )
 
+    def _record_budget(
+        self, budget: Optional[QueryBudget], error: Optional[BaseException]
+    ) -> None:
+        """Emit one execution's ``governor.*`` metrics (kills by reason)."""
+        if budget is None:
+            return
+        if isinstance(error, QueryBudgetExceeded):
+            outcome, kill_reason = "budget", error.resource
+        elif isinstance(error, QueryCancelled):
+            outcome, kill_reason = "cancelled", "cancelled"
+        elif isinstance(error, TimeoutExceeded):
+            outcome, kill_reason = "deadline", "deadline"
+        elif error is not None:
+            outcome, kill_reason = "failed", None
+        else:
+            outcome, kill_reason = "ok", None
+        budget.record(self._obs, outcome=outcome)
+        if kill_reason is not None:
+            self._obs.metrics.counter(
+                "governor.kills", reason=kill_reason
+            ).inc()
+
     def _translate(
         self, error: BaseException, request: GatewayRequest
     ) -> BaseException:
         """Internal overload signals become typed per-tenant errors."""
         tenant = request.session.name
+        if isinstance(error, QueryBudgetExceeded):
+            return Shed(
+                f"query exceeded its resource budget ({error.resource}); "
+                f"retry after {self._shed_retry_after_s}s",
+                tenant=tenant,
+                retry_after_s=self._shed_retry_after_s,
+                reason="query_budget",
+            )
+        if isinstance(error, QueryCancelled):
+            return Shed(
+                f"query cancelled; retry after {self._shed_retry_after_s}s",
+                tenant=tenant,
+                retry_after_s=self._shed_retry_after_s,
+                reason="cancelled",
+            )
         if isinstance(error, Overloaded):
             return Shed(
                 f"backend overloaded; retry after {self._shed_retry_after_s}s",

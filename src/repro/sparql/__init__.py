@@ -17,25 +17,42 @@ selectivity-ordered joins, and evaluates with an iterator model over
 :func:`evaluate` selects the columnar engine (:mod:`repro.sparql.vector`)
 instead: numpy id-column execution with cost-based join ordering, identical
 solution multisets.
+
+``CompileOptions(budget=QueryBudget(...))`` attaches the E23 resource
+governor (:mod:`repro.sparql.governor`): a per-query deadline, resident
+row/byte caps and a cooperative :class:`~repro.sparql.governor.CancelToken`,
+enforced at checkpoints inside both engines.
 """
 
 from repro.sparql.algebra import CompileOptions
 from repro.sparql.ast import SelectQuery, Variable
+from repro.sparql.governor import (
+    BudgetPolicy,
+    CancelToken,
+    QueryBudget,
+    with_budget,
+)
 from repro.sparql.parser import parse_query
 from repro.sparql.evaluator import (
     Bindings,
     FunctionRegistry,
     apply_solution_modifiers,
     evaluate,
+    materialize_select,
 )
 
 __all__ = [
     "Bindings",
+    "BudgetPolicy",
+    "CancelToken",
     "CompileOptions",
     "FunctionRegistry",
+    "QueryBudget",
     "SelectQuery",
     "Variable",
     "apply_solution_modifiers",
     "evaluate",
+    "materialize_select",
     "parse_query",
+    "with_budget",
 ]

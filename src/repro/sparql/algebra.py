@@ -17,7 +17,7 @@ contribution.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple, TYPE_CHECKING
 
 from repro.rdf.graph import Graph
 from repro.sparql.ast import (
@@ -38,6 +38,9 @@ from repro.sparql.ast import (
     Variable,
     VarExpr,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sparql.governor import QueryBudget
 
 
 # ---------------------------------------------------------------------------
@@ -235,13 +238,30 @@ class CompileOptions:
     ``engine`` selects the execution engine: ``"interpreted"`` is the
     iterator-model evaluator; ``"vector"`` runs the columnar engine
     (:mod:`repro.sparql.vector`) with cost-based join ordering. Both return
-    identical solution multisets. The field participates in plan-cache keys
-    (``dataclasses.astuple``), so the two engines never share cached plans.
+    identical solution multisets. The plan-shaping fields participate in
+    plan-cache keys via :meth:`cache_key`, so the two engines never share
+    cached plans.
+
+    ``budget`` attaches a per-execution
+    :class:`~repro.sparql.governor.QueryBudget` (E23): deadline, resident
+    row/byte caps and a cooperative cancellation token, enforced at engine
+    checkpoints. It is *request* state, not plan state — :meth:`cache_key`
+    excludes it, so governed and ungoverned runs of the same text share one
+    compiled plan and one coalescing key.
     """
 
     push_filters: bool = True
     reorder_patterns: bool = True
     engine: str = "interpreted"
+    budget: Optional["QueryBudget"] = None
+
+    def cache_key(self) -> Tuple:
+        """Hashable identity of the plan-shaping fields only.
+
+        Matches the pre-budget ``dataclasses.astuple`` output exactly, so
+        every existing plan-cache and coalescing key is unchanged.
+        """
+        return (self.push_filters, self.reorder_patterns, self.engine)
 
 
 def compile_group(

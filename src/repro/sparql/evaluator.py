@@ -14,6 +14,13 @@ histogram and ``sparql.op_solutions`` counter, labelled by operator type.
 Timing is inclusive of children (a join's total contains its scans) and
 excludes consumer time between pulls. With no bundle the evaluator takes
 the raw, unwrapped path.
+
+Governance (E23): a :class:`~repro.sparql.governor.QueryBudget` on
+``CompileOptions.budget`` wraps every operator the same way — one
+checkpoint per pulled solution (cancellation, injected operator slowness,
+deadline) plus resident-row accounting at the root materialization. With
+no budget the evaluator takes the raw path, byte-identical to pre-E23
+code.
 """
 
 from __future__ import annotations
@@ -72,6 +79,7 @@ from repro.sparql.functions import (
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cache.plan import PlanCache
+    from repro.sparql.governor import QueryBudget
 
 Bindings = Dict[Variable, Term]
 ExtensionFunction = Callable[[List[Value]], Value]
@@ -266,12 +274,32 @@ def _evaluate_op(
     bindings: Bindings,
     registry: FunctionRegistry,
     obs: Optional[Observability] = None,
+    budget: Optional["QueryBudget"] = None,
 ) -> Iterator[Bindings]:
-    """Dispatch: raw operator iterator, or the timed wrapper when observed."""
-    iterator = _op_iter(op, graph, bindings, registry, obs)
+    """Dispatch: raw operator iterator, optionally wrapped for governance
+    (budget checkpoints per pulled solution) and observability (timing)."""
+    iterator = _op_iter(op, graph, bindings, registry, obs, budget)
+    if budget is not None:
+        iterator = _governed_iter(iterator, type(op).__name__, budget)
     if obs is None or not obs.enabled:
         return iterator
     return _timed_iter(iterator, type(op).__name__, obs)
+
+
+def _governed_iter(
+    iterator: Iterator[Bindings], op_name: str, budget: "QueryBudget"
+) -> Iterator[Bindings]:
+    """Budget checkpoint before every pull: cancellation, injected operator
+    slowness and the deadline are all observed between solutions, so a
+    runaway operator can be stopped mid-stream (cooperatively)."""
+    while True:
+        budget.checkpoint(op_name)
+        try:
+            solution = next(iterator)
+        except StopIteration:
+            return
+        budget.produced(1)
+        yield solution
 
 
 def _timed_iter(
@@ -303,6 +331,7 @@ def _op_iter(
     bindings: Bindings,
     registry: FunctionRegistry,
     obs: Optional[Observability] = None,
+    budget: Optional["QueryBudget"] = None,
 ) -> Iterator[Bindings]:
     custom = getattr(op, "evaluate_custom", None)
     if custom is not None:
@@ -315,14 +344,20 @@ def _op_iter(
         yield from _scan(graph, op.pattern, bindings)
         return
     if isinstance(op, JoinOp):
-        for left_solution in _evaluate_op(op.left, graph, bindings, registry, obs):
-            yield from _evaluate_op(op.right, graph, left_solution, registry, obs)
+        for left_solution in _evaluate_op(
+            op.left, graph, bindings, registry, obs, budget
+        ):
+            yield from _evaluate_op(
+                op.right, graph, left_solution, registry, obs, budget
+            )
         return
     if isinstance(op, LeftJoinOp):
-        for left_solution in _evaluate_op(op.left, graph, bindings, registry, obs):
+        for left_solution in _evaluate_op(
+            op.left, graph, bindings, registry, obs, budget
+        ):
             extended = False
             for joined in _evaluate_op(
-                op.right, graph, left_solution, registry, obs
+                op.right, graph, left_solution, registry, obs, budget
             ):
                 extended = True
                 yield joined
@@ -331,10 +366,14 @@ def _op_iter(
         return
     if isinstance(op, UnionOp):
         for operand in op.operands:
-            yield from _evaluate_op(operand, graph, bindings, registry, obs)
+            yield from _evaluate_op(
+                operand, graph, bindings, registry, obs, budget
+            )
         return
     if isinstance(op, FilterOp):
-        for solution in _evaluate_op(op.operand, graph, bindings, registry, obs):
+        for solution in _evaluate_op(
+            op.operand, graph, bindings, registry, obs, budget
+        ):
             try:
                 keep = effective_boolean_value(
                     evaluate_expression(op.expression, solution, registry)
@@ -345,7 +384,9 @@ def _op_iter(
                 yield solution
         return
     if isinstance(op, ExtendOp):
-        for solution in _evaluate_op(op.operand, graph, bindings, registry, obs):
+        for solution in _evaluate_op(
+            op.operand, graph, bindings, registry, obs, budget
+        ):
             if op.variable in solution:
                 raise SPARQLError(
                     f"BIND would rebind already-bound variable {op.variable}"
@@ -453,14 +494,72 @@ def _evaluate_query(
         return evaluate_vector_query(
             graph, query, registry, options, obs, cache, text
         )
+    budget = options.budget if options is not None else None
     if isinstance(query, AskQuery):
         tree = _compile(query.where, graph, options, cache, text)
-        for _ in _evaluate_op(tree, graph, {}, registry, obs):
+        for _ in _evaluate_op(tree, graph, {}, registry, obs, budget):
             return True
         return False
 
     tree = _compile(query.where, graph, options, cache, text)
-    solutions = list(_evaluate_op(tree, graph, {}, registry, obs))
+    iterator = _evaluate_op(tree, graph, {}, registry, obs, budget)
+    return materialize_select(query, iterator, registry, budget)
+
+
+def materialize_select(
+    query: SelectQuery,
+    iterator: Iterable[Bindings],
+    registry: FunctionRegistry = _EMPTY_REGISTRY,
+    budget: Optional["QueryBudget"] = None,
+) -> List[Bindings]:
+    """Materialize a SELECT's root iterator and apply solution modifiers.
+
+    The general path pulls everything, then runs
+    :func:`apply_solution_modifiers`. LIMIT-without-ORDER-BY queries
+    short-circuit instead: projection and (incremental) DISTINCT run
+    per-solution and the pull stops as soon as ``OFFSET + LIMIT`` results
+    exist, so ``LIMIT 10`` over a huge pattern does bounded work. The
+    incremental pipeline keeps first occurrences in stream order — exactly
+    what project-then-dedupe-then-slice over the full list returns — so
+    results are byte-identical to the unbounded path.
+
+    With a *budget*, every retained solution charges resident-row
+    accounting (the root materialization is the interpreted engine's one
+    unbounded buffer).
+    """
+    if (
+        not query.is_aggregate
+        and not query.order_by
+        and query.limit is not None
+    ):
+        needed = query.offset + query.limit
+        results: List[Bindings] = []
+        seen = set() if query.distinct else None
+        if needed > 0:
+            for solution in iterator:
+                if query.variables:
+                    solution = {
+                        v: solution[v] for v in query.variables if v in solution
+                    }
+                if seen is not None:
+                    key = frozenset(solution.items())
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                if budget is not None:
+                    budget.charge_rows(
+                        1, max(1, len(solution)), "materialize"
+                    )
+                results.append(solution)
+                if len(results) >= needed:
+                    break
+        return results[query.offset:]
+
+    solutions: List[Bindings] = []
+    for solution in iterator:
+        if budget is not None:
+            budget.charge_rows(1, max(1, len(solution)), "materialize")
+        solutions.append(solution)
     return apply_solution_modifiers(query, solutions, registry)
 
 

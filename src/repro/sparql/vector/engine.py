@@ -96,14 +96,21 @@ def compile_vector_plan(
 
 
 class _Exec:
-    """Per-execution state: encoder, codec, registry, observability."""
+    """Per-execution state: encoder, codec, registry, observability, budget."""
 
-    def __init__(self, graph: Graph, registry, obs: Optional[Observability]):
+    def __init__(
+        self,
+        graph: Graph,
+        registry,
+        obs: Optional[Observability],
+        budget=None,
+    ):
         self.graph = graph
         self.registry = registry
         self.encoder = TermEncoder(graph)
         self.codec = _codec_for(graph)
         self.obs = obs if obs is not None and obs.enabled else None
+        self.budget = budget
         self.fallback_ops = 0
 
     def expr_ctx(self) -> ExprContext:
@@ -141,11 +148,18 @@ def _encode_solutions(
 
 
 def _fallback_batch(op: AlgebraOp, ctx: _Exec) -> Batch:
-    """Run an operator through the interpreted iterator, re-encode columns."""
-    from repro.sparql.evaluator import _op_iter
+    """Run an operator through the interpreted iterator, re-encode columns.
+
+    Routed through ``_evaluate_op`` so a budget's per-solution checkpoints
+    (the interpreted engine's own governance) apply inside the fallback —
+    identical to the old ``_op_iter`` path when no budget is set.
+    """
+    from repro.sparql.evaluator import _evaluate_op
 
     ctx.note_fallback(op)
-    solutions = list(_op_iter(op, ctx.graph, {}, ctx.registry))
+    solutions = list(
+        _evaluate_op(op, ctx.graph, {}, ctx.registry, None, ctx.budget)
+    )
     return _encode_solutions(solutions, operator_variables(op), ctx)
 
 
@@ -154,26 +168,38 @@ def _correlated_join(
 ) -> Batch:
     """Interpreted right side, evaluated once per left row (substitution
     semantics) — the exact nested-loop the interpreted engine runs."""
-    from repro.sparql.evaluator import _op_iter
+    from repro.sparql.evaluator import _evaluate_op
 
     ctx.note_fallback(right)
+    budget = ctx.budget
     decoded = {
         v: ctx.encoder.decode_column(col)
         for v, col in left_batch.columns.items()
     }
+    width = max(
+        1,
+        len(left_batch.columns)
+        + len(operator_variables(right) - set(left_batch.columns)),
+    )
     out: List[Bindings] = []
     for row in range(left_batch.nrows):
+        if budget is not None:
+            budget.checkpoint("CorrelatedJoin")
         bindings = {}
         for variable, terms in decoded.items():
             term = terms[row]
             if term is not None:
                 bindings[variable] = term
         matched = False
-        for solution in _op_iter(right, ctx.graph, bindings, ctx.registry):
+        for solution in _evaluate_op(
+            right, ctx.graph, bindings, ctx.registry, None, budget
+        ):
             matched = True
             out.append(solution)
         if outer and not matched:
             out.append(bindings)
+        if budget is not None:
+            budget.admit_rows(len(out), width, "CorrelatedJoin")
     variables = list(left_batch.columns) + [
         v
         for v in operator_variables(right)
@@ -183,6 +209,27 @@ def _correlated_join(
 
 
 def _execute(op: AlgebraOp, ctx: _Exec) -> Batch:
+    """Run one operator, with E23 governance when a budget rides along.
+
+    The checkpoint fires *before* the operator runs (cancellation and
+    deadlines are honoured between operators); the output batch is charged
+    as resident state after releasing the children's share — inputs are
+    garbage once the output exists, but the peak counters capture the
+    moment both were live.
+    """
+    budget = ctx.budget
+    if budget is None:
+        return _execute_op(op, ctx)
+    op_name = type(op).__name__
+    budget.checkpoint(op_name)
+    mark = budget.mark()
+    batch = _execute_op(op, ctx)
+    budget.release_to(mark)
+    budget.charge_rows(batch.nrows, max(1, len(batch.columns)), op_name)
+    return batch
+
+
+def _execute_op(op: AlgebraOp, ctx: _Exec) -> Batch:
     custom = getattr(op, "evaluate_custom", None)
     if custom is not None:
         ctx.note_fallback(op)
@@ -201,7 +248,7 @@ def _execute(op: AlgebraOp, ctx: _Exec) -> Batch:
         if sensitive & operator_variables(op.left):
             return _correlated_join(op.right, left, ctx, outer)
         right = _execute(op.right, ctx)
-        return hash_join(left, right, outer=outer)
+        return hash_join(left, right, outer=outer, budget=ctx.budget)
     if isinstance(op, UnionOp):
         return Batch.concat([_execute(operand, ctx) for operand in op.operands])
     if isinstance(op, FilterOp):
@@ -424,7 +471,10 @@ def _aggregate_vector(
             members_by_group[group].append(solutions[row])
 
     results: List[Bindings] = []
+    budget = ctx.budget
     for group in range(ngroups):
+        if budget is not None and group % 256 == 0:
+            budget.checkpoint("Aggregate")
         row: Bindings = {}
         if uniq is not None:
             for index, variable in enumerate(query.group_by):
@@ -482,7 +532,8 @@ def evaluate_vector_query(
         )
     else:
         tree = compile_vector_plan(query.where, graph, options)
-    ctx = _Exec(graph, registry, obs)
+    budget = options.budget if options is not None else None
+    ctx = _Exec(graph, registry, obs, budget)
     batch = _execute(tree, ctx)
     if ctx.obs is not None:
         ctx.obs.metrics.counter("sparql.vector.result_rows").inc(batch.nrows)
@@ -496,9 +547,10 @@ def execute_tree(
     graph: Graph,
     registry,
     obs: Optional[Observability] = None,
+    budget=None,
 ) -> "tuple[Batch, _Exec]":
     """Execute a pre-built operator tree (the GeoStore wiring entry)."""
-    ctx = _Exec(graph, registry, obs)
+    ctx = _Exec(graph, registry, obs, budget)
     return _execute(tree, ctx), ctx
 
 

@@ -17,7 +17,7 @@ cannot for realistic dictionaries), a Python dict join takes over.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, TYPE_CHECKING
 from weakref import WeakKeyDictionary
 
 import numpy as np
@@ -26,6 +26,9 @@ from repro.rdf.graph import Graph
 from repro.sparql.ast import TriplePattern, Variable
 from repro.sparql.vector.batch import UNBOUND, Batch
 from repro.sparql.vector.dictionary import TermEncoder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sparql.governor import QueryBudget
 
 
 # ---------------------------------------------------------------------------
@@ -140,21 +143,32 @@ def _pack_keys(
 
 
 def _equi_join_pairs(
-    lkeys_matrix: np.ndarray, rkeys_matrix: np.ndarray
+    lkeys_matrix: np.ndarray,
+    rkeys_matrix: np.ndarray,
+    budget: Optional["QueryBudget"] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """All (left_row, right_row) index pairs with equal key rows."""
+    """All (left_row, right_row) index pairs with equal key rows.
+
+    With a *budget*, the output size is admitted **before** the pair arrays
+    are allocated — the exact point where an adversarial cross-product
+    would otherwise blow up memory — so a cap violation raises
+    :class:`~repro.errors.QueryBudgetExceeded` while the only cost paid so
+    far is the counts vector.
+    """
     ln, rn = len(lkeys_matrix), len(rkeys_matrix)
     if ln == 0 or rn == 0:
         empty = np.empty(0, dtype=np.int64)
         return empty, empty
     if lkeys_matrix.shape[1] == 0:  # no key columns: cartesian product
+        if budget is not None:
+            budget.admit_rows(ln * rn, 2, "hash_join.cartesian")
         return (
             np.repeat(np.arange(ln, dtype=np.int64), rn),
             np.tile(np.arange(rn, dtype=np.int64), ln),
         )
     packed = _pack_keys(lkeys_matrix, rkeys_matrix)
     if packed is None:  # pragma: no cover - needs absurd dictionary sizes
-        return _dict_join_pairs(lkeys_matrix, rkeys_matrix)
+        return _dict_join_pairs(lkeys_matrix, rkeys_matrix, budget)
     lkeys, rkeys = packed
     order = np.argsort(rkeys, kind="stable")
     sorted_rkeys = rkeys[order]
@@ -165,6 +179,8 @@ def _equi_join_pairs(
     if total == 0:
         empty = np.empty(0, dtype=np.int64)
         return empty, empty
+    if budget is not None:
+        budget.admit_rows(total, 2, "hash_join.pairs")
     li = np.repeat(np.arange(ln, dtype=np.int64), counts)
     starts = np.repeat(lo, counts)
     # Within-match offsets: 0..count-1 per left row, built from one cumsum.
@@ -175,7 +191,9 @@ def _equi_join_pairs(
 
 
 def _dict_join_pairs(
-    lkeys_matrix: np.ndarray, rkeys_matrix: np.ndarray
+    lkeys_matrix: np.ndarray,
+    rkeys_matrix: np.ndarray,
+    budget: Optional["QueryBudget"] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Fallback pair enumeration through a Python dict (overflow-safe)."""
     buckets = {}
@@ -184,9 +202,13 @@ def _dict_join_pairs(
     li: List[int] = []
     ri: List[int] = []
     for index, row in enumerate(map(tuple, lkeys_matrix)):
+        if budget is not None:
+            budget.checkpoint("hash_join.probe")
         for match in buckets.get(row, ()):
             li.append(index)
             ri.append(match)
+        if budget is not None:
+            budget.admit_rows(len(li), 2, "hash_join.probe")
     return np.array(li, dtype=np.int64), np.array(ri, dtype=np.int64)
 
 
@@ -194,8 +216,19 @@ def _dict_join_pairs(
 # Solution-compatibility hash join
 # ---------------------------------------------------------------------------
 
-def hash_join(left: Batch, right: Batch, outer: bool = False) -> Batch:
-    """Join two batches on their shared variables (inner or left-outer)."""
+def hash_join(
+    left: Batch,
+    right: Batch,
+    outer: bool = False,
+    budget: Optional["QueryBudget"] = None,
+) -> Batch:
+    """Join two batches on their shared variables (inner or left-outer).
+
+    With a *budget*: one checkpoint per (left mask, right mask) equi-join —
+    the build/probe loop — and the accumulated match count is admitted
+    against the resident-row cap as it grows, with the per-sub-join output
+    pre-admitted before its pair arrays are allocated.
+    """
     shared = [v for v in left.columns if v in right.columns]
     out_vars = list(left.columns) + [
         v for v in right.columns if v not in left.columns
@@ -217,20 +250,29 @@ def hash_join(left: Batch, right: Batch, outer: bool = False) -> Batch:
     right_masks = _mask_codes(right_bound)
     li_parts: List[np.ndarray] = []
     ri_parts: List[np.ndarray] = []
+    matched_rows = 0
     for lcode in np.unique(left_masks):
         lrows = np.nonzero(left_masks == lcode)[0]
         lbits = left_bound[lrows[0]]
         for rcode in np.unique(right_masks):
+            if budget is not None:
+                budget.checkpoint("hash_join")
             rrows = np.nonzero(right_masks == rcode)[0]
             rbits = right_bound[rrows[0]]
             key_columns = np.nonzero(lbits & rbits)[0]
             li_sub, ri_sub = _equi_join_pairs(
                 left_keys[np.ix_(lrows, key_columns)],
                 right_keys[np.ix_(rrows, key_columns)],
+                budget,
             )
             if len(li_sub):
                 li_parts.append(lrows[li_sub])
                 ri_parts.append(rrows[ri_sub])
+                matched_rows += len(li_sub)
+                if budget is not None:
+                    budget.admit_rows(
+                        matched_rows, max(1, len(out_vars)), "hash_join"
+                    )
     if li_parts:
         li = np.concatenate(li_parts)
         ri = np.concatenate(ri_parts)

@@ -1,0 +1,285 @@
+"""Gateway-side governance (E23): budgets, kills, typed error translation.
+
+The contract under test: internal governor errors never reach a tenant
+raw (leaders *and* followers see :class:`~repro.errors.Shed`, an expired
+follower sees its own :class:`~repro.errors.TimeoutExceeded` — never a
+late result), :meth:`Gateway.kill` stops a coalesced in-flight entry
+without leaking a single admission ticket, and
+:meth:`Gateway.budget_for` derives deadlines that narrow but never widen.
+"""
+
+import pytest
+
+from repro.errors import (
+    QueryBudgetExceeded,
+    QueryCancelled,
+    Shed,
+    TimeoutExceeded,
+)
+from repro.geosparql import GeoStore
+from repro.rdf.ntriples import parse_ntriples
+from repro.resilience.admission import AdmissionController
+from repro.resilience.deadline import Deadline
+from repro.serving import (
+    CallableBackend,
+    Gateway,
+    GatewayRequest,
+    StoreBackend,
+    TenantConfig,
+)
+from repro.serving.gateway import EXPIRED, FAILED, OK
+from repro.sparql.governor import BudgetPolicy, QueryBudget
+
+API_KEY = "key-alpha"
+QUERY = "SELECT ?s ?o WHERE { ?s <urn:p> ?o }"
+CROSS = "SELECT ?x ?y WHERE { ?x <urn:p> ?v . ?y <urn:q> ?w }"
+
+
+def build_store(pairs=24):
+    store = GeoStore()
+    lines = []
+    for index in range(pairs):
+        lines.append(f'<urn:a{index}> <urn:p> "{index}" .')
+        lines.append(f'<urn:b{index}> <urn:q> "{index}" .')
+    for triple in parse_ntriples("\n".join(lines)):
+        store.add(*triple)
+    return store
+
+
+def make_gateway(backend, policy=None, clock=None, admission=None):
+    gateway = Gateway(
+        backend, clock=clock, admission=admission, budget_policy=policy
+    )
+    gateway.register_tenant(TenantConfig(name="alpha", api_key=API_KEY))
+    gateway.register_tenant(TenantConfig(name="beta", api_key="key-beta"))
+    return gateway
+
+
+def submit(gateway, api_key=API_KEY, query=QUERY, kind="sparql",
+           deadline=None, options=None):
+    request = GatewayRequest(
+        api_key, query, kind=kind, deadline=deadline, options=options
+    )
+    gateway.submit(request)
+    return request
+
+
+class TestErrorTranslation:
+    """Internal engine errors must surface as typed per-tenant errors."""
+
+    @pytest.mark.parametrize(
+        "internal, reason",
+        [
+            (
+                QueryBudgetExceeded(
+                    "boom", resource="rows", observed=10, limit=5
+                ),
+                "query_budget",
+            ),
+            (QueryCancelled("boom", reason="killed"), "cancelled"),
+        ],
+    )
+    def test_leader_and_follower_get_shed(self, internal, reason):
+        def explode(query):
+            raise internal
+
+        gateway = make_gateway(CallableBackend(explode))
+        leader = submit(gateway, kind="default")
+        follower = submit(gateway, api_key="key-beta", kind="default")
+        assert follower.follower
+        entry = gateway.next_dispatch()
+        gateway.execute(entry)
+        for member in (leader, follower):
+            assert member.settled and member.category == FAILED
+            assert isinstance(member.error, Shed)
+            assert member.error.reason == reason
+            # The internal type must not leak through the typed wrapper.
+            assert not isinstance(member.error, type(internal))
+        assert "boom" not in str(leader.error)
+        gateway.assert_drained()
+
+    def test_expired_follower_gets_timeout_not_late_result(self):
+        now = [0.0]
+        gateway = make_gateway(
+            CallableBackend(lambda q: "answer"), clock=lambda: now[0]
+        )
+        leader = submit(gateway, kind="default")
+        follower = submit(
+            gateway,
+            api_key="key-beta",
+            kind="default",
+            deadline=Deadline(0.5, clock=lambda: now[0]),
+        )
+        assert follower.follower
+        entry = gateway.next_dispatch()
+        now[0] = 1.0  # the execution outlives the follower's deadline
+        settled = gateway.complete(entry, result="answer")
+        assert len(settled) == 2
+        assert leader.category == OK and leader.result == "answer"
+        assert follower.category == EXPIRED
+        assert isinstance(follower.error, TimeoutExceeded)
+        assert follower.result is None
+        gateway.assert_drained()
+
+    def test_budget_exceeded_from_real_engine(self):
+        gateway = make_gateway(
+            StoreBackend(build_store()), policy=BudgetPolicy(max_rows=64)
+        )
+        with pytest.raises(Shed) as info:
+            gateway.query(API_KEY, CROSS, kind="sparql")
+        assert info.value.reason == "query_budget"
+        gateway.assert_drained()
+
+
+class TestCoalesceUnderKill:
+    def test_kill_running_entry_settles_all_members_typed(self):
+        admission = AdmissionController(max_in_flight=8)
+        gateway = make_gateway(
+            StoreBackend(build_store()),
+            policy=BudgetPolicy(max_rows=100_000),
+            admission=admission,
+        )
+        leader = submit(gateway)
+        followers = [
+            submit(gateway, api_key="key-beta"),
+            submit(gateway),
+        ]
+        assert all(f.follower for f in followers)
+        assert gateway.tickets_issued == 3
+        entry = gateway.next_dispatch()
+        gateway.kill(entry, reason="operator abort")
+        assert entry.cancel.cancelled
+        # kill() must not settle anyone eagerly — the engine unwinds at its
+        # next checkpoint and the outcome fans out through complete().
+        assert not leader.settled
+        gateway.execute(entry)
+        for member in [leader] + followers:
+            assert member.settled and member.category == FAILED
+            assert isinstance(member.error, Shed)
+            assert member.error.reason == "cancelled"
+        assert gateway.tickets_issued == gateway.tickets_released == 3
+        gateway.assert_drained()
+
+    def test_kill_queued_entry_fails_at_first_checkpoint(self):
+        gateway = make_gateway(
+            StoreBackend(build_store()), policy=BudgetPolicy(max_rows=100_000)
+        )
+        request = submit(gateway)
+        gateway.kill(request.entry, reason="pre-dispatch kill")
+        entry = gateway.next_dispatch()
+        gateway.execute(entry)
+        assert request.category == FAILED
+        assert isinstance(request.error, Shed)
+        assert request.error.reason == "cancelled"
+        gateway.assert_drained()
+
+    def test_next_identical_query_re_executes(self):
+        gateway = make_gateway(
+            StoreBackend(build_store()), policy=BudgetPolicy(max_rows=100_000)
+        )
+        first = submit(gateway)
+        entry = gateway.next_dispatch()
+        gateway.kill(entry)
+        gateway.execute(entry)
+        assert first.category == FAILED
+        # The killed entry is closed; an identical query opens a fresh one
+        # with a live token and succeeds.
+        second = submit(gateway)
+        assert not second.follower
+        assert second.entry is not entry
+        assert not second.entry.cancel.cancelled
+        entry2 = gateway.next_dispatch()
+        gateway.execute(entry2)
+        assert second.category == OK
+        assert len(second.result) == 24
+        assert gateway.executions == 2
+        gateway.assert_drained()
+
+
+class TestBudgetDerivation:
+    def test_no_policy_means_no_budget(self):
+        gateway = make_gateway(StoreBackend(build_store()))
+        request = submit(gateway)
+        assert gateway.budget_for(request.entry) is None
+        gateway.execute(gateway.next_dispatch())
+        assert request.category == OK
+
+    def test_disabled_policy_means_no_budget(self):
+        gateway = make_gateway(
+            StoreBackend(build_store()), policy=BudgetPolicy()
+        )
+        request = submit(gateway)
+        assert gateway.budget_for(request.entry) is None
+        gateway.execute(gateway.next_dispatch())
+        assert request.category == OK
+
+    def test_member_deadline_narrowed_never_widened(self):
+        now = [0.0]
+        gateway = make_gateway(
+            StoreBackend(build_store()),
+            policy=BudgetPolicy(max_seconds=10.0),
+            clock=lambda: now[0],
+        )
+        member_deadline = Deadline(2.0, clock=lambda: now[0], label="member")
+        request = submit(gateway, deadline=member_deadline)
+        budget = gateway.budget_for(request.entry)
+        # The cap (10s) exceeds the member's remaining 2s: derive keeps 2s.
+        assert budget.deadline.budget_s == pytest.approx(2.0)
+        assert budget.deadline.label == "execution"
+        assert budget.cancel is request.entry.cancel
+        gateway.execute(gateway.next_dispatch())
+
+    def test_tight_cap_narrows_member_deadline(self):
+        gateway = make_gateway(
+            StoreBackend(build_store()), policy=BudgetPolicy(max_seconds=0.5)
+        )
+        request = submit(gateway, deadline=Deadline(30.0))
+        budget = gateway.budget_for(request.entry)
+        assert budget.deadline.budget_s == pytest.approx(0.5)
+        gateway.execute(gateway.next_dispatch())
+
+    def test_no_member_deadline_gets_fresh_one(self):
+        gateway = make_gateway(
+            StoreBackend(build_store()),
+            policy=BudgetPolicy(max_seconds=0.25, checkpoint_charge_s=1e-6),
+        )
+        request = submit(gateway)
+        budget = gateway.budget_for(request.entry)
+        assert budget.deadline is not None
+        assert budget.deadline.budget_s == pytest.approx(0.25)
+        assert budget.checkpoint_charge_s == 1e-6
+        gateway.execute(gateway.next_dispatch())
+
+    def test_caps_copied_from_policy(self):
+        gateway = make_gateway(
+            StoreBackend(build_store()),
+            policy=BudgetPolicy(max_rows=7, max_bytes=4096),
+        )
+        request = submit(gateway)
+        budget = gateway.budget_for(request.entry)
+        assert isinstance(budget, QueryBudget)
+        assert budget.max_rows == 7
+        assert budget.max_bytes == 4096
+        assert budget.label == "sparql:alpha"
+        gateway.execute(gateway.next_dispatch())
+
+
+class TestSupportsBudgetGating:
+    def test_callable_backend_never_receives_budget(self):
+        seen = []
+
+        def record(query):
+            seen.append(query)
+            return "ok"
+
+        backend = CallableBackend(record)
+        assert backend.supports_budget is False
+        gateway = make_gateway(backend, policy=BudgetPolicy(max_rows=1))
+        # A budget exists for the entry, but the adapter's pre-E23
+        # signature must never see a budget kwarg — the call just works.
+        result = gateway.query(API_KEY, "q", kind="default")
+        assert result == "ok"
+        assert seen == ["q"]
+
+    def test_store_backend_advertises_support(self):
+        assert StoreBackend.supports_budget is True

@@ -158,3 +158,33 @@ def test_ask_equivalence(graph, query):
     interpreted = evaluate(graph, text, options=CompileOptions())
     vector = evaluate(graph, text, options=CompileOptions(engine="vector"))
     assert interpreted == vector, text
+
+
+def _generous_budget():
+    """An E23 budget no generated query can exhaust: the governed path must
+    be pure accounting, never enforcement."""
+    from repro.resilience.deadline import Deadline
+    from repro.sparql import QueryBudget
+
+    return QueryBudget(
+        deadline=Deadline(1e9, label="equivalence"),
+        max_rows=10_000_000,
+        max_bytes=1 << 42,
+        checkpoint_charge_s=1e-9,
+        row_charge_s=1e-9,
+    )
+
+
+@given(graph=graphs, query=select_queries())
+@settings(max_examples=40, deadline=None)
+def test_governed_equivalence(graph, query):
+    """Both engines under a generous budget match the ungoverned multiset."""
+    text = PREFIX + query
+    ungoverned = canonical(evaluate(graph, text, options=CompileOptions()))
+    for engine in ("interpreted", "vector"):
+        budget = _generous_budget()
+        governed = evaluate(
+            graph, text, options=CompileOptions(engine=engine, budget=budget)
+        )
+        assert canonical(governed) == ungoverned, (engine, text)
+        assert budget.checkpoints > 0
