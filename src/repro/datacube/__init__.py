@@ -1,0 +1,53 @@
+"""Earth System Data Cube (experiment E24).
+
+Chunked, multi-variate, time-indexed cubes assembled from
+:mod:`repro.raster` scenes on a common grid, stored through
+:mod:`repro.hopsfs` (E20 checksums/scrub and E17 replica-fallback apply to
+every chunk read), with an xarray-like lazy slicing API — chunk pruning
+before any I/O — and tiled map/reduce compute for temporal means, NDVI,
+anomaly detection, and per-field zonal series.
+
+Typical use::
+
+    from repro.datacube import ChunkStore, Cube, CubeIngestor, CubeSchema
+
+    store = ChunkStore()                       # HopsFS-backed
+    cube = Cube.create(store, "/cubes/demo", CubeSchema(...))
+    CubeIngestor(cube).ingest_series(scenes)
+    plan = cube.sel("nir", t_min=100, t_max=200, bbox=(0, 0, 640, 640))
+    mean = plan.reduce_time("mean")            # tiled, prunes chunks first
+"""
+
+from repro.datacube.chunk import (
+    ChunkKey,
+    ChunkProvenance,
+    chunk_path,
+    decode_chunk,
+    encode_chunk,
+    provenance_path,
+)
+from repro.datacube.cube import Cube, CubeSchema, SlicePlan
+from repro.datacube.ingest import (
+    CubeIngestor,
+    S2_DEFAULT_VARIABLES,
+    extract_variables,
+    scene_window,
+)
+from repro.datacube.storage import ChunkStore
+
+__all__ = [
+    "ChunkKey",
+    "ChunkProvenance",
+    "ChunkStore",
+    "Cube",
+    "CubeIngestor",
+    "CubeSchema",
+    "S2_DEFAULT_VARIABLES",
+    "SlicePlan",
+    "chunk_path",
+    "decode_chunk",
+    "encode_chunk",
+    "extract_variables",
+    "provenance_path",
+    "scene_window",
+]

@@ -1,0 +1,164 @@
+"""Feeding the cube from Sentinel scenes through the catalogue ingest path.
+
+The E13 ingest pipeline registers :class:`~repro.raster.products.Product`
+metadata in the semantic catalogue (:func:`repro.catalog.ingest.
+ingest_products`); the cube rides the same path: every appended time step
+both extends the cube's append-only time axis and (when a
+:class:`~repro.geosparql.store.GeoStore` is attached) lands the product
+record in the catalogue, so a GeoSPARQL query over the catalogue and a
+``cube.sel`` over the same window name the same acquisitions.
+
+Variable extraction crops the scene to the cube grid with
+``RasterGrid.window(..., copy=True)`` — the storage-bound path must own
+its bytes (the window-aliasing fix this PR ships): a later mutation of the
+scene buffer must never reach into sealed cube chunks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import DatacubeError
+from repro.obs import Observability, resolve
+from repro.raster.grid import RasterGrid
+from repro.raster.products import Product
+from repro.raster.sentinel import SentinelScene
+from repro.datacube.cube import Cube
+
+#: A variable spec: a band index into the scene grid, or a callable
+#: computing a 2-D array from the (cropped) grid.
+VariableSpec = Union[int, Callable[[RasterGrid], np.ndarray]]
+
+#: Default Sentinel-2 extraction: red is band 4 (index 3), NIR band 8
+#: (index 7) — the NDVI pair every vegetation workload starts from.
+S2_DEFAULT_VARIABLES: Dict[str, VariableSpec] = {"red": 3, "nir": 7}
+
+
+def scene_window(scene: SentinelScene, cube: Cube) -> RasterGrid:
+    """Crop a scene to the cube's grid (an owning copy, never a view)."""
+    schema = cube.schema
+    grid = scene.grid
+    if grid.transform.pixel_size != schema.transform.pixel_size:
+        raise DatacubeError(
+            f"scene resolution {grid.transform.pixel_size} != cube "
+            f"{schema.transform.pixel_size}"
+        )
+    size = schema.transform.pixel_size
+    col = round((schema.transform.origin_x - grid.transform.origin_x) / size)
+    row = round((grid.transform.origin_y - schema.transform.origin_y) / size)
+    if (
+        row < 0 or col < 0
+        or row + schema.height > grid.height
+        or col + schema.width > grid.width
+    ):
+        raise DatacubeError(
+            f"scene does not cover the cube grid (offset {row},{col}, "
+            f"need {schema.height}x{schema.width} of {grid.height}x{grid.width})"
+        )
+    return grid.window(row, col, schema.height, schema.width, copy=True)
+
+
+def extract_variables(
+    grid: RasterGrid, variables: Mapping[str, VariableSpec]
+) -> Dict[str, np.ndarray]:
+    """Evaluate each variable spec against the cropped scene grid."""
+    arrays: Dict[str, np.ndarray] = {}
+    for name, spec in variables.items():
+        if callable(spec):
+            array = np.asarray(spec(grid))
+        else:
+            array = grid.band(int(spec))
+        if array.shape != (grid.height, grid.width):
+            raise DatacubeError(
+                f"variable {name!r} produced shape {array.shape}, "
+                f"expected {(grid.height, grid.width)}"
+            )
+        arrays[name] = array
+    return arrays
+
+
+class CubeIngestor:
+    """Incremental scene-to-cube ingest, catalogue-registered.
+
+    ``variables`` maps every cube variable to a band index or callable;
+    the default covers the S2 red/NIR pair. With a ``store`` attached each
+    ingested product's metadata lands in the semantic catalogue through
+    the standard :func:`~repro.catalog.ingest.ingest_products` path.
+    """
+
+    def __init__(
+        self,
+        cube: Cube,
+        variables: Optional[Mapping[str, VariableSpec]] = None,
+        store=None,
+        obs: Optional[Observability] = None,
+    ):
+        self.cube = cube
+        self.variables = dict(
+            variables if variables is not None else S2_DEFAULT_VARIABLES
+        )
+        missing = set(cube.schema.variables) - set(self.variables)
+        if missing:
+            raise DatacubeError(
+                f"no extraction spec for cube variables {sorted(missing)}"
+            )
+        self.store = store
+        self.obs = resolve(obs)
+        self.products_registered = 0
+        for name, spec in self.variables.items():
+            if name in cube.schema.variables:
+                cube.set_lineage(
+                    name,
+                    ("scene_window",
+                     f"band:{spec}" if not callable(spec)
+                     else f"derive:{getattr(spec, '__name__', 'callable')}"),
+                )
+
+    def ingest_scene(
+        self,
+        scene: SentinelScene,
+        time: Optional[float] = None,
+        product: Optional[Product] = None,
+    ) -> None:
+        """Append one scene as the next time step.
+
+        ``time`` defaults to the scene's day of year; ``product`` (when
+        given) contributes the source id recorded in chunk provenance and
+        is registered in the attached catalogue store.
+        """
+        with self.obs.tracer.span("datacube.ingest"):
+            window = scene_window(scene, self.cube)
+            arrays = extract_variables(window, self.variables)
+            source_id = product.product_id if product is not None else (
+                f"{scene.mission}_doy{scene.day_of_year:03d}"
+            )
+            self.cube.append(
+                float(time if time is not None else scene.day_of_year),
+                {name: arrays[name] for name in self.cube.schema.variables},
+                source_id=source_id,
+            )
+            if self.store is not None and product is not None:
+                from repro.catalog.ingest import ingest_products
+
+                ingest_products(self.store, [product])
+                self.products_registered += 1
+            self.obs.metrics.counter("datacube.scenes_ingested").inc()
+
+    def ingest_series(
+        self,
+        scenes: Sequence[SentinelScene],
+        products: Optional[Sequence[Product]] = None,
+    ) -> int:
+        """Append a scene series in order; returns the number ingested."""
+        if products is not None and len(products) != len(scenes):
+            raise DatacubeError(
+                f"got {len(products)} products for {len(scenes)} scenes"
+            )
+        for index, scene in enumerate(scenes):
+            self.ingest_scene(
+                scene,
+                product=products[index] if products is not None else None,
+            )
+        return len(scenes)

@@ -18,6 +18,9 @@ The hierarchy::
     │                               cancellation token at a checkpoint (E23;
     │                               also a FaultError, retryable)
     ├── RasterError                 raster grids
+    ├── DatacubeError               Earth System Data Cube (E24): schema
+    │                               mismatch, unknown variable, or an append
+    │                               that would rewrite a sealed chunk
     ├── StorageError                HopsFS-sim filesystem/metadata
     │   └── DataCorruption          a detected integrity violation (E20):
     │       ├── WALCorrupted        a non-tail WAL record failed its CRC
@@ -177,6 +180,12 @@ class CatalogError(ReproError):
 
 class PipelineError(ReproError):
     """End-to-end pipeline orchestration failure."""
+
+
+class DatacubeError(ReproError):
+    """Earth System Data Cube misuse (see :mod:`repro.datacube`, E24):
+    schema mismatch on append, unknown variable, degenerate selection,
+    or an append that would rewrite a sealed chunk."""
 
 
 class ObsError(ReproError):

@@ -24,7 +24,12 @@ from repro.raster.timeseries import (
     ice_concentration_profile,
     scene_time_series,
 )
-from repro.raster.stats import rasterize_polygon, zonal_mean
+from repro.raster.stats import (
+    polygon_masks,
+    rasterize_polygon,
+    zonal_mean,
+    zonal_stats,
+)
 
 __all__ = [
     "GeoTransform",
@@ -41,10 +46,12 @@ __all__ = [
     "ice_concentration_profile",
     "iter_tiles",
     "landcover_field",
+    "polygon_masks",
     "rasterize_polygon",
     "scene_time_series",
     "sea_ice_field",
     "sentinel1_scene",
     "sentinel2_scene",
     "zonal_mean",
+    "zonal_stats",
 ]

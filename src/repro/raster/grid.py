@@ -112,8 +112,17 @@ class RasterGrid:
     # Windows and values
     # ------------------------------------------------------------------
 
-    def window(self, row: int, col: int, height: int, width: int) -> "RasterGrid":
-        """A sub-raster view starting at (row, col)."""
+    def window(
+        self, row: int, col: int, height: int, width: int, copy: bool = False
+    ) -> "RasterGrid":
+        """A sub-raster starting at (row, col).
+
+        With ``copy=False`` (the default) the result shares memory with the
+        parent: cheap for read-only windows, but mutating either side writes
+        through to the other. Windows that outlive the parent or feed a
+        storage path (tiling for HopsFS, datacube ingest) must pass
+        ``copy=True`` to get an independent buffer.
+        """
         if row < 0 or col < 0 or row + height > self.height or col + width > self.width:
             raise RasterError(
                 f"window ({row},{col},{height},{width}) exceeds raster "
@@ -125,7 +134,10 @@ class RasterGrid:
             self.transform.origin_y - row * size,
             size,
         )
-        return RasterGrid(self.data[:, row : row + height, col : col + width], transform)
+        data = self.data[:, row : row + height, col : col + width]
+        if copy:
+            data = data.copy()
+        return RasterGrid(data, transform)
 
     def value_at(self, x: float, y: float, band: int = 0) -> float:
         """Sample the band value at map coordinates (nearest pixel)."""

@@ -6,7 +6,7 @@ by the weak labeller to stamp cartographic polygons onto pixel grids.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -23,6 +23,13 @@ def rasterize_polygon(
     Scanline algorithm: for each pixel row, intersect the horizontal line
     through the pixel centers with every ring edge and fill between crossing
     pairs — O(rows x vertices), fast enough for scene-scale polygons.
+
+    Fill spans are *left-closed*: a pixel center exactly on the left crossing
+    of a span is inside, one exactly on the right crossing is outside (the
+    standard ``[start, end)`` convention shared by GDAL's all-touched=False
+    rasterizer). The symmetric convention means two polygons sharing an edge
+    aligned to pixel centers partition the pixels instead of dropping or
+    double-counting a column.
     """
     height, width = shape
     if height <= 0 or width <= 0:
@@ -46,29 +53,73 @@ def rasterize_polygon(
                 continue
             crossings.sort()
             for start, end in zip(crossings[0::2], crossings[1::2]):
-                inside ^= (col_centers > start) & (col_centers <= end)
+                inside ^= (col_centers >= start) & (col_centers < end)
         mask[row] = inside
     return mask
 
 
+def polygon_masks(
+    polygons: Sequence[Polygon], transform: GeoTransform, shape: Tuple[int, int]
+) -> List[np.ndarray]:
+    """Rasterize each polygon once for a shared grid geometry.
+
+    Zonal summaries over many bands, time steps, or scenes sharing one
+    transform should hoist this out of the per-band/per-step loop and pass
+    the result to :func:`zonal_stats`/:func:`zonal_mean` — rasterization is
+    the expensive part and depends only on (polygon, transform, shape).
+    """
+    return [rasterize_polygon(polygon, transform, shape) for polygon in polygons]
+
+
 def zonal_mean(
-    grid: RasterGrid, polygon: Polygon, band: int = 0
+    grid: RasterGrid,
+    polygon: Polygon,
+    band: int = 0,
+    mask: Optional[np.ndarray] = None,
 ) -> Optional[float]:
-    """Mean band value over the polygon, or None if no pixel center falls inside."""
-    mask = rasterize_polygon(polygon, grid.transform, (grid.height, grid.width))
+    """Mean band value over the polygon, or None if no pixel center falls inside.
+
+    ``mask`` short-circuits rasterization with a precomputed boolean mask
+    (from :func:`polygon_masks`) so repeated calls over bands or time steps
+    sharing a transform don't re-rasterize the polygon.
+    """
+    if mask is None:
+        mask = rasterize_polygon(polygon, grid.transform, (grid.height, grid.width))
+    elif mask.shape != (grid.height, grid.width):
+        raise RasterError(
+            f"mask shape {mask.shape} does not match raster "
+            f"{(grid.height, grid.width)}"
+        )
     if not mask.any():
         return None
     return float(grid.band(band)[mask].mean())
 
 
 def zonal_stats(
-    grid: RasterGrid, polygons: Sequence[Polygon], band: int = 0
+    grid: RasterGrid,
+    polygons: Sequence[Polygon],
+    band: int = 0,
+    masks: Optional[Sequence[np.ndarray]] = None,
 ) -> Dict[int, Dict[str, float]]:
-    """Per-polygon mean/min/max/count for one band (index -> stats)."""
+    """Per-polygon mean/min/max/count for one band (index -> stats).
+
+    ``masks`` accepts the output of :func:`polygon_masks` computed once for
+    this grid geometry; without it every call re-rasterizes every polygon.
+    """
+    if masks is None:
+        masks = polygon_masks(polygons, grid.transform, (grid.height, grid.width))
+    elif len(masks) != len(polygons):
+        raise RasterError(
+            f"got {len(masks)} masks for {len(polygons)} polygons"
+        )
     results: Dict[int, Dict[str, float]] = {}
     band_data = grid.band(band)
-    for index, polygon in enumerate(polygons):
-        mask = rasterize_polygon(polygon, grid.transform, (grid.height, grid.width))
+    for index, mask in enumerate(masks):
+        if mask.shape != (grid.height, grid.width):
+            raise RasterError(
+                f"mask shape {mask.shape} does not match raster "
+                f"{(grid.height, grid.width)}"
+            )
         if not mask.any():
             continue
         values = band_data[mask]

@@ -34,8 +34,13 @@ class Tile:
         return f"tile_{self.tile_row:03d}_{self.tile_col:03d}"
 
 
-def iter_tiles(grid: RasterGrid, tile_size: int) -> Iterator[Tile]:
-    """Cut *grid* into tiles of ``tile_size`` x ``tile_size`` pixels."""
+def iter_tiles(grid: RasterGrid, tile_size: int, copy: bool = False) -> Iterator[Tile]:
+    """Cut *grid* into tiles of ``tile_size`` x ``tile_size`` pixels.
+
+    ``copy=False`` yields view tiles sharing the parent's memory (fine for
+    read-only scans); tiles destined for storage or mutation must be cut
+    with ``copy=True`` so writes cannot alias back into the parent scene.
+    """
     if tile_size < 1:
         raise RasterError(f"tile_size must be >= 1, got {tile_size}")
     for tile_row, row in enumerate(range(0, grid.height, tile_size)):
@@ -47,7 +52,7 @@ def iter_tiles(grid: RasterGrid, tile_size: int) -> Iterator[Tile]:
                 tile_col=tile_col,
                 row_offset=row,
                 col_offset=col,
-                grid=grid.window(row, col, height, width),
+                grid=grid.window(row, col, height, width, copy=copy),
             )
 
 

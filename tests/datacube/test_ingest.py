@@ -1,0 +1,239 @@
+"""Ingest-path tests: scene cropping, no-aliasing, catalogue registration."""
+
+from datetime import datetime, timezone
+
+import numpy as np
+import pytest
+
+from repro.datacube import (
+    ChunkStore,
+    ChunkKey,
+    Cube,
+    CubeIngestor,
+    CubeSchema,
+    S2_DEFAULT_VARIABLES,
+    extract_variables,
+    scene_window,
+)
+from repro.errors import DatacubeError
+from repro.geometry import Polygon
+from repro.geosparql.store import GeoStore
+from repro.obs import Observability
+from repro.raster.grid import GeoTransform, RasterGrid
+from repro.raster.products import Mission, Product, ProductLevel
+from repro.raster.sentinel import landcover_field, sentinel2_scene
+
+HEIGHT, WIDTH = 48, 48
+PIXEL = 10.0
+
+
+def make_cube(height=HEIGHT, width=WIDTH, chunk_t=2):
+    schema = CubeSchema(
+        transform=GeoTransform(0.0, 0.0, PIXEL),
+        height=height, width=width, variables=("red", "nir"),
+        chunk_t=chunk_t, chunk_y=32, chunk_x=32,
+    )
+    return Cube.create(ChunkStore(), "/cubes/ingest", schema)
+
+
+def make_scenes(count, height=HEIGHT, width=WIDTH, seed=0):
+    truth = landcover_field(height, width, seed=seed)
+    return [
+        sentinel2_scene(truth, day_of_year=30 * (index + 1),
+                        seed=seed + index, pixel_size=PIXEL)
+        for index in range(count)
+    ]
+
+
+def make_product(product_id="prod-1"):
+    return Product(
+        product_id=product_id,
+        mission=Mission.SENTINEL2,
+        product_type="MSIL2A",
+        level=ProductLevel.L2A,
+        sensing_time=datetime(2020, 6, 1, tzinfo=timezone.utc),
+        footprint=Polygon.box(0, -WIDTH * PIXEL, WIDTH * PIXEL, 0),
+        size_bytes=1,
+    )
+
+
+class TestSceneWindow:
+    def test_exact_cover(self):
+        cube = make_cube()
+        scene = make_scenes(1)[0]
+        window = scene_window(scene, cube)
+        assert (window.height, window.width) == (HEIGHT, WIDTH)
+        assert np.array_equal(window.band(3), scene.grid.band(3))
+
+    def test_larger_scene_cropped(self):
+        cube = make_cube(height=32, width=40)
+        scene = make_scenes(1)[0]  # 48x48 covers the 32x40 cube grid
+        window = scene_window(scene, cube)
+        assert (window.height, window.width) == (32, 40)
+        assert np.array_equal(window.band(3), scene.grid.band(3)[:32, :40])
+
+    def test_resolution_mismatch_raises(self):
+        cube = make_cube()
+        truth = landcover_field(HEIGHT, WIDTH, seed=1)
+        scene = sentinel2_scene(truth, pixel_size=20.0)
+        with pytest.raises(DatacubeError, match="resolution"):
+            scene_window(scene, cube)
+
+    def test_non_covering_scene_raises(self):
+        cube = make_cube()
+        scene = make_scenes(1, height=32, width=32)[0]  # too small
+        with pytest.raises(DatacubeError, match="does not cover"):
+            scene_window(scene, cube)
+
+    def test_window_owns_its_bytes(self):
+        """The ingest crop is a copy, not a view (the E24 aliasing fix)."""
+        cube = make_cube()
+        scene = make_scenes(1)[0]
+        window = scene_window(scene, cube)
+        scene.grid.data[:] = -1.0
+        assert float(window.band(3).min()) >= 0.0
+
+
+class TestExtractVariables:
+    def test_band_index_and_callable(self):
+        grid = RasterGrid(np.arange(2 * 4 * 4, dtype=float).reshape(2, 4, 4),
+                          GeoTransform(0, 0, PIXEL))
+        arrays = extract_variables(
+            grid, {"b0": 0, "double": lambda g: g.band(1) * 2}
+        )
+        assert np.array_equal(arrays["b0"], grid.band(0))
+        assert np.array_equal(arrays["double"], grid.band(1) * 2)
+
+    def test_bad_shape_raises(self):
+        grid = RasterGrid(np.zeros((1, 4, 4)), GeoTransform(0, 0, PIXEL))
+        with pytest.raises(DatacubeError, match="shape"):
+            extract_variables(grid, {"bad": lambda g: np.zeros((2, 2))})
+
+
+class TestCubeIngestor:
+    def test_default_s2_mapping(self):
+        cube = make_cube()
+        scenes = make_scenes(3)
+        ingestor = CubeIngestor(cube)
+        assert ingestor.ingest_series(scenes) == 3
+        assert cube.times == [float(s.day_of_year) for s in scenes]
+        got = cube.sel("nir").read()
+        expected = np.stack(
+            [s.grid.band(7).astype("float32") for s in scenes]
+        )
+        assert np.array_equal(got, expected)
+
+    def test_no_aliasing_end_to_end(self):
+        """Mutating the scene after ingest never reaches cube contents.
+
+        This is the regression the ``window(copy=True)`` fix exists for:
+        on seed code the crop was a view and this corrupted the tail."""
+        cube = make_cube()
+        scenes = make_scenes(2)
+        ingestor = CubeIngestor(cube)
+        ingestor.ingest_scene(scenes[0])
+        before = cube.sel("red").read()
+        scenes[0].grid.data[:] = 1e9
+        after = cube.sel("red").read()
+        assert np.array_equal(before, after)
+
+    def test_missing_spec_raises(self):
+        cube = make_cube()
+        with pytest.raises(DatacubeError, match="no extraction spec"):
+            CubeIngestor(cube, variables={"red": 3})
+
+    def test_lineage_recorded_in_provenance(self):
+        cube = make_cube(chunk_t=1)
+        ingestor = CubeIngestor(cube)
+        ingestor.ingest_scene(make_scenes(1)[0])
+        record = cube.provenance("red", ChunkKey(0, 0, 0))
+        assert record.lineage == ("scene_window", "band:3")
+        assert record.source_ids == ("S2_doy030",)
+
+    def test_product_source_id_and_catalog_registration(self):
+        """Ingest rides the E13 catalogue path: the product's metadata
+        lands in the GeoStore and its id in chunk provenance."""
+        store = GeoStore()
+        cube = make_cube(chunk_t=1)
+        ingestor = CubeIngestor(cube, store=store)
+        product = make_product("S2-prod-42")
+        ingestor.ingest_scene(make_scenes(1)[0], product=product)
+        assert ingestor.products_registered == 1
+        assert len(store) > 0
+        record = cube.provenance("nir", ChunkKey(0, 0, 0))
+        assert record.source_ids == ("S2-prod-42",)
+
+    def test_series_product_count_mismatch(self):
+        cube = make_cube()
+        scenes = make_scenes(2)
+        with pytest.raises(DatacubeError, match="products"):
+            CubeIngestor(cube).ingest_series(
+                scenes, products=[make_product()]
+            )
+
+    def test_explicit_time_overrides_doy(self):
+        cube = make_cube()
+        ingestor = CubeIngestor(cube)
+        ingestor.ingest_scene(make_scenes(1)[0], time=1234.5)
+        assert cube.times == [1234.5]
+
+    def test_ingest_metrics(self):
+        obs = Observability()
+        cube = Cube.create(
+            ChunkStore(obs=obs), "/cubes/metrics",
+            CubeSchema(GeoTransform(0.0, 0.0, PIXEL), HEIGHT, WIDTH,
+                       ("red", "nir"), chunk_t=2, chunk_y=32, chunk_x=32),
+            obs=obs,
+        )
+        CubeIngestor(cube, obs=obs).ingest_series(make_scenes(2))
+        counters = {
+            c["name"]: c["value"]
+            for c in obs.metrics.snapshot()["counters"]
+        }
+        assert counters["datacube.scenes_ingested"] == 2
+        assert counters["datacube.appends"] == 2
+        assert counters["datacube.seals"] == 1
+
+
+class TestComputeWorkloads:
+    """The tiled map/reduce workloads the cube exists for."""
+
+    def test_ndvi_temporal_mean_matches_dense(self):
+        cube = make_cube()
+        scenes = make_scenes(4)
+        CubeIngestor(cube).ingest_series(scenes)
+        red = np.stack([s.grid.band(3).astype("float32") for s in scenes])
+        nir = np.stack([s.grid.band(7).astype("float32") for s in scenes])
+        denominator = nir + red
+        ndvi = np.where(denominator == 0, 0.0,
+                        (nir - red) / np.where(denominator == 0, 1.0,
+                                               denominator))
+        got = cube.ndvi_temporal_mean("red", "nir")
+        assert np.allclose(got, ndvi.mean(axis=0), rtol=1e-6, atol=1e-7)
+
+    def test_anomaly_counts_matches_dense(self):
+        cube = make_cube()
+        scenes = make_scenes(5)
+        CubeIngestor(cube).ingest_series(scenes)
+        dense = np.stack(
+            [s.grid.band(7).astype("float32") for s in scenes]
+        ).astype(np.float64)
+        mean = dense.mean(axis=0)
+        std = dense.std(axis=0)
+        expected = (np.abs(dense - mean) > 2.0 * std).sum(axis=(1, 2))
+        got = cube.anomaly_counts("nir", k=2.0)
+        assert got.shape == (5,)
+        assert np.array_equal(got, expected)
+
+    def test_zonal_series_matches_dense(self):
+        cube = make_cube()
+        scenes = make_scenes(3)
+        CubeIngestor(cube).ingest_series(scenes)
+        dense = np.stack([s.grid.band(3).astype("float32") for s in scenes])
+        inside = Polygon.box(50, -250, 250, -50)  # rows 5..24, cols 5..24
+        outside = Polygon.box(10000, 10000, 10100, 10100)
+        series = cube.zonal_series("red", [inside, outside])
+        assert series.shape == (2, 3)
+        expected = dense[:, 5:25, 5:25].mean(axis=(1, 2))
+        assert np.allclose(series[0], expected, rtol=1e-6)
+        assert np.all(np.isnan(series[1]))

@@ -1,0 +1,130 @@
+"""Property suite: cube slicing/compute vs a dense in-memory ndarray oracle.
+
+The cube path (chunked storage, pruning, tiled streaming, tail buffers)
+must be observationally equivalent to holding the whole ``(t, y, x)``
+array in memory and slicing it. Hypothesis drives grid sizes, chunk
+shapes, step counts, and selections; the seed acceptance bar is >= 50
+examples on the main equivalence property.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datacube import ChunkStore, Cube, CubeSchema
+from repro.raster.grid import GeoTransform
+
+PIXEL = 10.0
+
+
+@st.composite
+def cube_cases(draw):
+    """A random cube geometry, its data, and one selection against it."""
+    height = draw(st.integers(8, 24))
+    width = draw(st.integers(8, 24))
+    chunk_t = draw(st.integers(1, 4))
+    chunk_y = draw(st.integers(1, 8))
+    chunk_x = draw(st.integers(1, 8))
+    steps = draw(st.integers(1, 10))
+    data_seed = draw(st.integers(0, 2**31 - 1))
+    flush = draw(st.booleans())
+
+    # A selection: a time window over the step indices and a pixel-aligned
+    # bbox (edges on pixel boundaries, so center containment is unambiguous).
+    t_lo = draw(st.integers(0, steps - 1))
+    t_hi = draw(st.integers(t_lo, steps - 1))
+    col0 = draw(st.integers(0, width - 1))
+    col1 = draw(st.integers(col0 + 1, width))
+    row0 = draw(st.integers(0, height - 1))
+    row1 = draw(st.integers(row0 + 1, height))
+    return dict(
+        height=height, width=width, chunk_t=chunk_t, chunk_y=chunk_y,
+        chunk_x=chunk_x, steps=steps, data_seed=data_seed, flush=flush,
+        t_lo=t_lo, t_hi=t_hi, window=(row0, row1, col0, col1),
+    )
+
+
+def build(case):
+    """Materialize the case: returns (cube, dense oracle, times)."""
+    schema = CubeSchema(
+        transform=GeoTransform(0.0, 0.0, PIXEL),
+        height=case["height"], width=case["width"], variables=("v",),
+        chunk_t=case["chunk_t"], chunk_y=case["chunk_y"],
+        chunk_x=case["chunk_x"],
+    )
+    cube = Cube.create(ChunkStore(), "/cubes/prop", schema)
+    rng = np.random.default_rng(case["data_seed"])
+    slabs = []
+    times = []
+    for step in range(case["steps"]):
+        array = rng.random((case["height"], case["width"]))
+        time = float(step * 7 + 1)
+        cube.append(time, {"v": array}, source_id=f"s{step}")
+        slabs.append(array.astype("float32"))
+        times.append(time)
+    if case["flush"]:
+        cube.flush()
+    return cube, np.stack(slabs), times
+
+
+def case_selection(case, times):
+    """(t_min, t_max, bbox) of the case in cube coordinates, plus the
+    oracle's equivalent index expression."""
+    row0, row1, col0, col1 = case["window"]
+    t_min, t_max = times[case["t_lo"]], times[case["t_hi"]]
+    # Pixel-boundary bbox covering cols [col0, col1) and rows [row0, row1)
+    # by center containment; origin_y = 0, map y negative below it.
+    bbox = (col0 * PIXEL, -row1 * PIXEL, col1 * PIXEL, -row0 * PIXEL)
+    index = (slice(case["t_lo"], case["t_hi"] + 1),
+             slice(row0, row1), slice(col0, col1))
+    return t_min, t_max, bbox, index
+
+
+@settings(max_examples=60, deadline=None)
+@given(case=cube_cases())
+def test_read_matches_dense_oracle(case):
+    cube, dense, times = build(case)
+    t_min, t_max, bbox, index = case_selection(case, times)
+    plan = cube.sel("v", t_min, t_max, bbox)
+    expected = dense[index]
+    got = plan.read()
+    assert got.shape == expected.shape
+    assert np.array_equal(got, expected)
+    assert plan.times() == times[case["t_lo"] : case["t_hi"] + 1]
+    # Pruning never plans more than the sealed total.
+    assert 0 <= plan.chunks_touched <= plan.chunks_total
+
+
+@settings(max_examples=50, deadline=None)
+@given(case=cube_cases(),
+       op=st.sampled_from(["mean", "sum", "min", "max"]))
+def test_reduce_time_matches_dense_oracle(case, op):
+    cube, dense, times = build(case)
+    t_min, t_max, bbox, index = case_selection(case, times)
+    window = dense[index].astype(np.float64)
+    got = cube.sel("v", t_min, t_max, bbox).reduce_time(op)
+    expected = getattr(window, op)(axis=0)
+    assert np.allclose(got, expected, rtol=1e-12, atol=1e-12)
+
+
+@settings(max_examples=50, deadline=None)
+@given(case=cube_cases())
+def test_reopen_matches_dense_oracle(case):
+    """A cube rebuilt from storage answers sealed-step selections exactly.
+
+    (Reopen only sees sealed steps: the tail lives in memory, so the
+    oracle is trimmed to the sealed prefix.)"""
+    cube, dense, times = build(case)
+    sealed = cube.sealed_steps
+    reopened = Cube.open(cube.store, "/cubes/prop")
+    got = reopened.sel("v").read()
+    assert np.array_equal(got, dense[:sealed])
+    assert reopened.times == times[:sealed]
+
+
+@settings(max_examples=50, deadline=None)
+@given(case=cube_cases())
+def test_full_scan_roundtrip(case):
+    """No selection at all: the cube stores exactly what went in."""
+    cube, dense, _ = build(case)
+    assert np.array_equal(cube.sel("v").read(), dense)

@@ -1,0 +1,114 @@
+"""Regression tests for the rasterization boundary convention and the
+hoisted-mask zonal API.
+
+The boundary tests fail on the seed code, which used the mirrored
+``(start, end]`` span convention: a pixel center exactly on a span's left
+crossing was dropped and one exactly on the right crossing was included —
+the opposite of the standard GDAL ``[start, end)`` rule, and asymmetric
+enough that two fields sharing a center-aligned boundary double-counted a
+pixel column.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import RasterError
+from repro.geometry import Polygon
+from repro.raster.grid import GeoTransform, RasterGrid
+from repro.raster.stats import (
+    polygon_masks,
+    rasterize_polygon,
+    zonal_mean,
+    zonal_stats,
+)
+
+# 10x10 grid, pixel centers at x = 0.5 .. 9.5, y = 9.5 .. 0.5.
+TRANSFORM = GeoTransform(0.0, 10.0, 1.0)
+SHAPE = (10, 10)
+
+
+class TestBoundaryConvention:
+    def test_left_center_included_right_excluded(self):
+        """Span edges exactly on pixel centers: [start, end), not (start, end]."""
+        mask = rasterize_polygon(Polygon.box(0.5, 0, 3.5, 10), TRANSFORM, SHAPE)
+        included = sorted(np.unique(np.nonzero(mask)[1]))
+        # Centers 0.5, 1.5, 2.5 are inside; 3.5 (== end) is not.
+        assert included == [0, 1, 2]
+
+    def test_interior_edges_unchanged(self):
+        """Edges between centers select the same pixels as before."""
+        mask = rasterize_polygon(Polygon.box(1.0, 0, 4.0, 10), TRANSFORM, SHAPE)
+        assert sorted(np.unique(np.nonzero(mask)[1])) == [1, 2, 3]
+
+    def test_shared_edge_partitions_pixels(self):
+        """Two boxes sharing a center-aligned edge partition the grid row:
+        every column claimed by exactly one of them."""
+        left = rasterize_polygon(Polygon.box(0.5, 0, 4.5, 10), TRANSFORM, SHAPE)
+        right = rasterize_polygon(Polygon.box(4.5, 0, 8.5, 10), TRANSFORM, SHAPE)
+        assert not np.any(left & right)  # no double-counted column
+        union = sorted(np.unique(np.nonzero(left | right)[1]))
+        assert union == [0, 1, 2, 3, 4, 5, 6, 7]
+
+    def test_hole_respects_same_convention(self):
+        outer = Polygon.box(0.5, 0, 8.5, 10)
+        hole = Polygon.box(2.5, 1, 6.5, 9)
+        donut = Polygon(outer.exterior, interiors=[hole.exterior])
+        mask = rasterize_polygon(donut, TRANSFORM, SHAPE)
+        # Row 5 (y = 4.5) crosses the hole: outer fills [0.5, 8.5) -> cols
+        # 0..7, hole removes [2.5, 6.5) -> cols 2..5.
+        assert sorted(np.nonzero(mask[5])[0]) == [0, 1, 6, 7]
+        # Row 0 (y = 9.5) is above the hole: the full outer span.
+        assert sorted(np.nonzero(mask[0])[0]) == [0, 1, 2, 3, 4, 5, 6, 7]
+
+
+class TestHoistedMasks:
+    def grid(self, bands=3):
+        rng = np.random.default_rng(7)
+        return RasterGrid(rng.random((bands, *SHAPE)), TRANSFORM)
+
+    def polygons(self):
+        return [Polygon.box(1, 2, 5, 8), Polygon.box(4, 1, 9, 6),
+                Polygon.box(100, 100, 110, 110)]
+
+    def test_precomputed_masks_match_default_path(self):
+        grid = self.grid()
+        polygons = self.polygons()
+        masks = polygon_masks(polygons, grid.transform, SHAPE)
+        for band in range(3):
+            assert zonal_stats(grid, polygons, band=band, masks=masks) == \
+                zonal_stats(grid, polygons, band=band)
+        assert zonal_mean(grid, polygons[0], mask=masks[0]) == \
+            zonal_mean(grid, polygons[0])
+        # Out-of-extent polygon: empty mask, None / absent either way.
+        assert zonal_mean(grid, polygons[2], mask=masks[2]) is None
+
+    def test_masks_hoist_rasterization_out_of_the_loop(self, monkeypatch):
+        import repro.raster.stats as stats
+
+        calls = {"n": 0}
+        original = stats.rasterize_polygon
+
+        def counting(*args, **kwargs):
+            calls["n"] += 1
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(stats, "rasterize_polygon", counting)
+        grid = self.grid(bands=4)
+        polygons = self.polygons()
+        masks = stats.polygon_masks(polygons, grid.transform, SHAPE)
+        assert calls["n"] == len(polygons)
+        for band in range(4):
+            stats.zonal_stats(grid, polygons, band=band, masks=masks)
+            stats.zonal_mean(grid, polygons[0], band=band, mask=masks[0])
+        assert calls["n"] == len(polygons)  # no re-rasterization per band
+
+    def test_mask_validation(self):
+        grid = self.grid()
+        polygons = self.polygons()
+        with pytest.raises(RasterError, match="masks"):
+            zonal_stats(grid, polygons, masks=[np.ones(SHAPE, dtype=bool)])
+        with pytest.raises(RasterError, match="shape"):
+            zonal_stats(grid, polygons[:1],
+                        masks=[np.ones((3, 3), dtype=bool)])
+        with pytest.raises(RasterError, match="shape"):
+            zonal_mean(grid, polygons[0], mask=np.ones((3, 3), dtype=bool))

@@ -1,0 +1,77 @@
+"""Property tests for edge-tile geo-referencing.
+
+Every tile's grid must answer ``pixel_to_map`` exactly as the parent does
+for the same absolute pixel — including the clipped tiles on the south and
+east edges when the extent is not a multiple of the tile size.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.raster.grid import GeoTransform, RasterGrid
+from repro.raster.tiles import Tile, iter_tiles, tile_count
+
+
+@st.composite
+def tilings(draw):
+    height = draw(st.integers(1, 40))
+    width = draw(st.integers(1, 40))
+    tile_size = draw(st.integers(1, 17))
+    origin_x = draw(st.floats(-1e5, 1e5, allow_nan=False))
+    origin_y = draw(st.floats(-1e5, 1e5, allow_nan=False))
+    pixel_size = draw(st.floats(0.1, 100.0, allow_nan=False))
+    grid = RasterGrid(
+        np.zeros((1, height, width)),
+        GeoTransform(origin_x, origin_y, pixel_size),
+    )
+    return grid, tile_size
+
+
+@settings(max_examples=80, deadline=None)
+@given(case=tilings())
+def test_tile_count_matches_iteration(case):
+    grid, tile_size = case
+    tiles = list(iter_tiles(grid, tile_size))
+    assert tile_count(grid, tile_size) == len(tiles)
+    # Tiles partition the raster exactly.
+    assert sum(t.grid.height * t.grid.width for t in tiles) == \
+        grid.height * grid.width
+
+
+@settings(max_examples=80, deadline=None)
+@given(case=tilings())
+def test_tile_transform_roundtrips_to_parent(case):
+    """tile.pixel_to_map(r, c) == parent.pixel_to_map(r + off_r, c + off_c)
+    at every tile corner, for every tile (edge tiles included)."""
+    grid, tile_size = case
+    for tile in iter_tiles(grid, tile_size):
+        corners = [
+            (0, 0),
+            (0, tile.grid.width - 1),
+            (tile.grid.height - 1, 0),
+            (tile.grid.height - 1, tile.grid.width - 1),
+        ]
+        for row, col in corners:
+            got = tile.grid.transform.pixel_to_map(row, col)
+            expected = grid.transform.pixel_to_map(
+                row + tile.row_offset, col + tile.col_offset
+            )
+            # approx: the tile origin is derived by one add/multiply, so
+            # float association can differ in the last ulp.
+            assert got == pytest.approx(expected, rel=1e-12, abs=1e-9)
+
+
+def test_non_multiple_extent_edge_tiles():
+    """The concrete clipped-tile case: 10x13 grid, 4-pixel tiles."""
+    grid = RasterGrid(np.zeros((1, 10, 13)), GeoTransform(500.0, 800.0, 10.0))
+    tiles = {t.key: t for t in iter_tiles(grid, 4)}
+    assert tile_count(grid, 4) == len(tiles) == 3 * 4
+    corner = tiles[(2, 3)]  # south-east corner tile, clipped both ways
+    assert (corner.grid.height, corner.grid.width) == (2, 1)
+    assert (corner.row_offset, corner.col_offset) == (8, 12)
+    assert corner.grid.transform.pixel_to_map(0, 0) == \
+        grid.transform.pixel_to_map(8, 12)
+    # Last pixel of the scene, addressed through the tile.
+    assert corner.grid.transform.pixel_to_map(1, 0) == \
+        grid.transform.pixel_to_map(9, 12)

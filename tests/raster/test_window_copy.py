@@ -1,0 +1,69 @@
+"""Regression tests for window/tile buffer ownership.
+
+``test_copy_param_exists`` and the independence tests fail on the seed
+code, where ``RasterGrid.window`` had no ``copy`` parameter and always
+returned a numpy view: tiles cut for storage aliased the parent scene, so
+mutating the scene after "storing" a tile silently changed the stored
+bytes (and vice versa).
+"""
+
+import numpy as np
+import pytest
+
+from repro.raster.grid import GeoTransform, RasterGrid
+from repro.raster.tiles import iter_tiles
+
+
+def make_grid(bands=2, height=12, width=16):
+    data = np.arange(bands * height * width, dtype=float).reshape(
+        bands, height, width
+    )
+    return RasterGrid(data, GeoTransform(0.0, 0.0, 10.0))
+
+
+class TestWindowCopy:
+    def test_copy_param_exists(self):
+        # Raises TypeError on seed code (no such parameter).
+        grid = make_grid()
+        window = grid.window(2, 3, 4, 5, copy=True)
+        assert (window.height, window.width) == (4, 5)
+
+    def test_copy_true_is_independent_both_ways(self):
+        grid = make_grid()
+        window = grid.window(2, 3, 4, 5, copy=True)
+        original = window.data.copy()
+        grid.data[:] = -1.0  # parent mutation must not reach the window
+        assert np.array_equal(window.data, original)
+        window.data[:] = -2.0  # window mutation must not reach the parent
+        assert float(grid.data.max()) == -1.0
+
+    def test_default_stays_a_view(self):
+        """The cheap read-only path is unchanged: default windows alias."""
+        grid = make_grid()
+        window = grid.window(0, 0, 4, 4)
+        grid.data[0, 0, 0] = 123.0
+        assert window.data[0, 0, 0] == 123.0
+
+    def test_copy_preserves_georeferencing(self):
+        grid = make_grid()
+        view = grid.window(2, 3, 4, 5)
+        copied = grid.window(2, 3, 4, 5, copy=True)
+        assert copied.transform == view.transform
+        assert np.array_equal(copied.data, view.data)
+
+
+class TestTileCopy:
+    def test_copied_tiles_survive_scene_mutation(self):
+        """The storage-bound tiling path: cut tiles, drop the scene."""
+        grid = make_grid()
+        tiles = list(iter_tiles(grid, 5, copy=True))
+        originals = [tile.grid.data.copy() for tile in tiles]
+        grid.data[:] = np.nan
+        for tile, original in zip(tiles, originals):
+            assert np.array_equal(tile.grid.data, original)
+
+    def test_default_tiles_are_views(self):
+        grid = make_grid()
+        tile = next(iter_tiles(grid, 5))
+        grid.data[0, 0, 0] = 321.0
+        assert tile.grid.data[0, 0, 0] == 321.0
