@@ -28,6 +28,15 @@ held until the task reaches a terminal state (completed, abandoned, or
 lost in a crash), so queue depth is bounded and batch work is shed first
 under pressure with the retryable :class:`~repro.errors.Overloaded`.
 
+Distributed query execution (experiment E25) adds DAG scheduling: tasks may
+declare ``depends_on`` (dispatch waits for those completions; terminal
+non-completion cascades abandonment), an ``on_attempt_end`` hook that fires
+per *attempt* (the idempotent-output commit point for shuffle writes), an
+``on_abandon`` hook for tasks that will never complete, and a public
+:meth:`Scheduler.cancel_task` (budget kills withdraw whole query DAGs with
+their admission tickets released exactly once — audited by
+``tickets_issued``/``tickets_released``).
+
 Retry accounting semantics (pinned by the regression suite): a failed
 attempt that *will be retried* counts toward ``task_failures``; the final
 failed attempt of a task that exhausts ``max_retries`` counts as exactly one
@@ -62,6 +71,22 @@ class Task:
     preference). ``priority`` is the admission class (0 = batch, 1 =
     interactive) consulted only when the scheduler has an admission
     controller attached.
+
+    ``depends_on`` names task ids that must **complete** before this task
+    may dispatch (E25 DAG stages: shuffle reducers wait for their mappers).
+    A task whose dependency is abandoned, lost, or cancelled can never run
+    and is abandoned in cascade.
+
+    Completion hooks: ``on_complete`` fires exactly once, when the task
+    settles successfully (speculative copies race; the first finisher wins
+    and the losers are cancelled). ``on_attempt_end`` fires for *every*
+    attempt that runs to the end of its slot — including attempts the fault
+    injector then marks failed, modelling a worker that finished its work
+    and wrote its output but died before reporting. Side effects in
+    ``on_attempt_end`` must therefore be idempotent: a retried task commits
+    its output twice. ``on_abandon`` fires exactly once if the task reaches
+    a terminal state *without* completing (retries exhausted, lost in a
+    crash without recovery, or dependency-cascaded).
     """
 
     task_id: int
@@ -71,6 +96,9 @@ class Task:
     preferred_nodes: Set[int] = field(default_factory=set)
     on_complete: Optional[Callable[["Task"], None]] = None
     priority: int = 1
+    depends_on: Set[int] = field(default_factory=set)
+    on_attempt_end: Optional[Callable[["Task", bool], None]] = None
+    on_abandon: Optional[Callable[["Task"], None]] = None
 
     submitted_at: float = field(default=0.0, init=False)
     started_at: Optional[float] = field(default=None, init=False)
@@ -120,6 +148,7 @@ class SchedulerMetrics:
         "speculative_launches",
         "tasks_lost",
         "nodes_blacklisted",
+        "tasks_cancelled",
     )
 
     def __init__(self, registry: Optional[MetricsRegistry] = None):
@@ -235,7 +264,13 @@ class Scheduler:
         self._last_finish_s = 0.0
         self._admission = admission
         self._tickets: Dict[int, "AdmissionTicket"] = {}
+        #: Exactly-once admission audit (mirrors the gateway's): every ticket
+        #: taken must be released by the time the run drains.
+        self.tickets_issued = 0
+        self.tickets_released = 0
         self._running: Dict[int, List[_Execution]] = {}
+        self._completed_tasks: Set[int] = set()
+        self._dependents: Dict[int, List[Task]] = {}
         self._dead_nodes: Set[int] = set()
         self._blacklisted: Set[int] = set()
         self._node_failures: Dict[int, int] = {}
@@ -243,15 +278,29 @@ class Scheduler:
             self._apply_plan(injector)
 
     def _apply_plan(self, injector: "FaultInjector") -> None:
-        """Install stragglers and schedule the plan's node crashes."""
+        """Install stragglers and schedule the plan's node crashes.
+
+        E25 node *losses* kill the node's compute slots through the same
+        crash path (the storage side — replica death — is the distributed
+        store layer's business, consulted via ``injector.node_losses()``).
+        """
         for node in self.nodes:
             factor = injector.straggler_factor(node.node_id)
             if factor != 1.0:
                 node.speed = node.speed / factor
-            crash_at = injector.node_crash_time(node.node_id)
-            if crash_at is not None:
+            down_times = [
+                at
+                for at in (
+                    injector.node_crash_time(node.node_id),
+                    getattr(injector, "node_loss_time", lambda _n: None)(
+                        node.node_id
+                    ),
+                )
+                if at is not None
+            ]
+            if down_times:
                 self.simulation.schedule_at(
-                    max(crash_at, self.simulation.now),
+                    max(min(down_times), self.simulation.now),
                     lambda node_id=node.node_id: self._crash_node(node_id),
                 )
 
@@ -286,23 +335,30 @@ class Scheduler:
         self._tickets[task.task_id] = self._admission.admit(
             priority=task.priority
         )
+        self.tickets_issued += 1
 
     def _release_ticket(self, task: Task) -> None:
         ticket = self._tickets.pop(task.task_id, None)
         if ticket is not None:
             ticket.release()
+            self.tickets_released += 1
+
+    def _enqueue(self, task: Task) -> None:
+        task.submitted_at = self.simulation.now
+        for dependency in task.depends_on:
+            if dependency not in self._completed_tasks:
+                self._dependents.setdefault(dependency, []).append(task)
+        self._queue.append(task)
 
     def submit(self, task: Task) -> None:
         self._admit(task)
-        task.submitted_at = self.simulation.now
-        self._queue.append(task)
+        self._enqueue(task)
         self._dispatch()
 
     def submit_all(self, tasks: List[Task]) -> None:
         for task in tasks:
             self._admit(task)
-            task.submitted_at = self.simulation.now
-            self._queue.append(task)
+            self._enqueue(task)
         self._dispatch()
 
     def run(self) -> SchedulerMetrics:
@@ -342,7 +398,7 @@ class Scheduler:
         expiries = [
             t.submitted_at + self.locality_wait_s
             for t in self._queue
-            if t.preferred_nodes
+            if t.preferred_nodes and self._deps_met(t)
         ]
         if not expiries:
             return
@@ -360,7 +416,14 @@ class Scheduler:
     def _schedulable(self, node_id: int) -> bool:
         return node_id not in self._blacklisted
 
+    def _deps_met(self, task: Task) -> bool:
+        if not task.depends_on:
+            return True
+        return task.depends_on <= self._completed_tasks
+
     def _pick_node(self, task: Task) -> Optional[int]:
+        if not self._deps_met(task):
+            return None
         free = self._free_slots[task.kind]
         local_candidates = [
             n
@@ -495,6 +558,13 @@ class Scheduler:
         )
         if not failed and self.injector is not None:
             failed = self.injector.task_fails(task.task_id)
+        if task.on_attempt_end is not None:
+            # Every attempt that burned its full slot reports — even one the
+            # injector fails (it finished the work, then died unreported).
+            # A retry re-runs the hook, so its effects must be idempotent.
+            task.ran_on = execution.node_id
+            task.ran_local = execution.local
+            task.on_attempt_end(task, failed)
         if failed:
             if execution.span is not None:
                 execution.span.end("failed")
@@ -506,6 +576,9 @@ class Scheduler:
             elif task.attempts > self.max_retries:
                 self.metrics.inc("tasks_abandoned")
                 self._release_ticket(task)
+                if task.on_abandon is not None:
+                    task.on_abandon(task)
+                self._fail_dependents(task)
             else:
                 self.metrics.inc("task_failures")
                 task.submitted_at = self.simulation.now
@@ -519,10 +592,61 @@ class Scheduler:
             execution.span.end("ok")
         self._cancel_siblings(execution)
         self.metrics.inc("tasks_completed")
+        self._completed_tasks.add(task.task_id)
+        for dependent in self._dependents.pop(task.task_id, ()):
+            if self._deps_met(dependent):
+                # The dependent only now became runnable: restart its
+                # locality-wait clock so it still gets a fair local window.
+                dependent.submitted_at = self.simulation.now
         self._release_ticket(task)
         if task.on_complete is not None:
             task.on_complete(task)
         self._dispatch()
+
+    def _fail_dependents(self, task: Task) -> None:
+        """A task reached a terminal state without completing: every queued
+        task that depends on it can never run — abandon them in cascade
+        (releasing their tickets) rather than deadlock the drain."""
+        for dependent in self._dependents.pop(task.task_id, ()):
+            if dependent not in self._queue:
+                continue  # already terminal via another path
+            self._queue.remove(dependent)
+            self.metrics.inc("tasks_abandoned")
+            self._release_ticket(dependent)
+            if dependent.on_abandon is not None:
+                dependent.on_abandon(dependent)
+            self._fail_dependents(dependent)
+
+    def cancel_task(self, task: Task) -> bool:
+        """Withdraw a task: dequeue it and kill any running copies (E25's
+        budget-kill path). The admission ticket is released exactly once; no
+        completion callback fires; queued dependents are abandoned. Returns
+        True if anything was actually cancelled — completed tasks and tasks
+        unknown to the scheduler are a no-op.
+        """
+        if task.finished_at is not None:
+            return False
+        cancelled = False
+        if task in self._queue:
+            self._queue.remove(task)
+            cancelled = True
+        for execution in list(self._running.get(task.task_id, ())):
+            Simulation.cancel(execution.event)
+            if execution.span is not None:
+                execution.span.end("cancelled")
+            self._retire(execution)
+            cancelled = True
+        if cancelled:
+            self.metrics.inc("tasks_cancelled")
+            self._release_ticket(task)
+            self._fail_dependents(task)
+            self._dispatch()
+        return cancelled
+
+    @property
+    def dead_nodes(self) -> Set[int]:
+        """Node ids that have crashed (or been lost) so far, as a copy."""
+        return set(self._dead_nodes)
 
     def _record_node_failure(self, node_id: int) -> None:
         if self.blacklist_after is None or node_id in self._dead_nodes:
@@ -571,4 +695,7 @@ class Scheduler:
             else:
                 self.metrics.inc("tasks_lost")
                 self._release_ticket(task)
+                if task.on_abandon is not None:
+                    task.on_abandon(task)
+                self._fail_dependents(task)
         self._dispatch()

@@ -14,9 +14,13 @@ The hierarchy::
     │   │                           row/byte budget (E23; also a FaultError,
     │   │                           NOT retryable — the same query will blow
     │   │                           the same cap again)
-    │   └── QueryCancelled          a governed query observed its cooperative
-    │                               cancellation token at a checkpoint (E23;
-    │                               also a FaultError, retryable)
+    │   ├── QueryCancelled          a governed query observed its cooperative
+    │   │                           cancellation token at a checkpoint (E23;
+    │   │                           also a FaultError, retryable)
+    │   └── PartitionUnavailable    a distributed query needed a store
+    │                               partition with no live replica left
+    │                               (E25; also a FaultError, retryable —
+    │                               replicas may come back or be re-placed)
     ├── RasterError                 raster grids
     ├── DatacubeError               Earth System Data Cube (E24): schema
     │                               mismatch, unknown variable, or an append
@@ -382,6 +386,32 @@ class QueryCancelled(SPARQLError, FaultError):
     def __init__(self, message: str, reason: Optional[str] = None):
         super().__init__(message)
         self.reason = reason
+
+
+class PartitionUnavailable(SPARQLError, FaultError):
+    """A distributed query lost every replica of a partition it needs (E25).
+
+    Raised by :mod:`repro.sparql.dist` when a scan's partition has no live,
+    reachable replica and retries are exhausted — the range-partitioned
+    store's analogue of HopsFS losing every copy of a block. Retryable: a
+    later execution may find the nodes recovered, the network partition
+    healed, or the data re-placed; the *query itself* is fine. The gateway
+    translates it to a per-tenant :class:`Shed` so tenants never see store
+    topology. ``partition`` is the partition index; ``replicas`` the node
+    ids that held copies.
+    """
+
+    retryable = True
+
+    def __init__(
+        self,
+        message: str,
+        partition: Optional[int] = None,
+        replicas: tuple = (),
+    ):
+        super().__init__(message)
+        self.partition = partition
+        self.replicas = tuple(replicas)
 
 
 class SimulatedCrash(FaultError):

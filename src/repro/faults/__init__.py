@@ -12,7 +12,8 @@ every scaling experiment be re-measured *under failure*:
   E20's *silent* storage faults: replica bit flips, torn WAL writes,
   stale replicas and snapshot corruption — failures nothing notices
   until a checksum looks — and E23's per-operator slowdowns charged
-  against in-engine query deadlines);
+  against in-engine query deadlines, and E25's storage-node losses and
+  time-windowed network partitions for the distributed SPARQL engine);
   ``FaultPlan.none()`` is the guaranteed no-op plan and
   ``FaultPlan.chaos(seed, ...)`` generates one from failure rates.
 * :class:`~repro.faults.injector.FaultInjector` — the runtime oracle the
@@ -38,7 +39,9 @@ from repro.faults.injector import (
     EndpointFlap,
     FaultInjector,
     FaultPlan,
+    NetworkPartition,
     NodeCrash,
+    NodeLoss,
     OverloadBurst,
     ShardOutage,
     SlowOperator,
@@ -56,7 +59,9 @@ __all__ = [
     "EndpointFlap",
     "FaultInjector",
     "FaultPlan",
+    "NetworkPartition",
     "NodeCrash",
+    "NodeLoss",
     "OverloadBurst",
     "RetryPolicy",
     "RetryState",

@@ -232,6 +232,55 @@ class SlowOperator:
 
 
 @dataclass(frozen=True)
+class NodeLoss:
+    """Storage-bearing node ``node_id`` dies permanently at ``at_s`` (E25).
+
+    Unlike :class:`NodeCrash` (a pure compute failure the scheduler re-queues
+    around), a node *loss* also takes the store-partition replicas the node
+    holds: the distributed SPARQL engine must fail scans over to a surviving
+    replica, and a partition whose last replica is lost becomes
+    :class:`~repro.errors.PartitionUnavailable`.
+    """
+
+    node_id: int
+    at_s: float
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0:
+            raise FaultError(f"loss time must be >= 0, got {self.at_s}")
+
+
+@dataclass(frozen=True)
+class NetworkPartition:
+    """Nodes in ``island`` are unreachable from the rest for a window (E25).
+
+    During ``[down_s, up_s)`` any data-plane fetch that crosses the island
+    boundary fails; fetches with both ends on the same side still work.
+    Transient by construction — the window heals — so the correct response
+    is deterministic retry/failover, not abandonment.
+    """
+
+    island: Tuple[int, ...]
+    down_s: float
+    up_s: float
+
+    def __post_init__(self) -> None:
+        if not self.island:
+            raise FaultError("partition island must name at least one node")
+        if self.down_s < 0 or self.up_s <= self.down_s:
+            raise FaultError(
+                f"partition window must satisfy 0 <= down_s < up_s, got "
+                f"[{self.down_s}, {self.up_s})"
+            )
+
+    def covers(self, at_s: float) -> bool:
+        return self.down_s <= at_s < self.up_s
+
+    def separates(self, a: int, b: int) -> bool:
+        return (a in self.island) != (b in self.island)
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """The full chaos declaration for one experiment run."""
 
@@ -250,6 +299,8 @@ class FaultPlan:
     stale_replicas: Tuple[StaleReplica, ...] = ()
     snapshot_corruptions: Tuple[SnapshotCorruption, ...] = ()
     slow_operators: Tuple[SlowOperator, ...] = ()
+    node_losses: Tuple[NodeLoss, ...] = ()
+    network_partitions: Tuple[NetworkPartition, ...] = ()
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.task_failure_rate < 1.0:
@@ -299,6 +350,9 @@ class FaultPlan:
         slow_operator_ops: Sequence[str] = (),
         slow_operator_prob: float = 0.0,
         slow_operator_charge_s: float = 0.05,
+        node_loss_prob: float = 0.0,
+        network_partition_prob: float = 0.0,
+        network_partition_duration_s: float = 30.0,
     ) -> "FaultPlan":
         """Generate a concrete plan from a seed and per-subsystem rates.
 
@@ -370,6 +424,27 @@ class FaultPlan:
             for op in slow_operator_ops
             if rng.random() < slow_operator_prob
         )
+        # Node losses + network partitions (E25): drawn last, after every
+        # pre-E25 draw, so a given seed's existing schedule is unchanged.
+        # Nodes the plan already crashes are skipped — a loss on a dead node
+        # would be unobservable and only muddy the plan's story.
+        node_losses = tuple(
+            NodeLoss(node_id=n, at_s=rng.uniform(0.0, horizon_s))
+            for n in range(node_count)
+            if n not in crashed and rng.random() < node_loss_prob
+        )
+        network_partitions: Tuple[NetworkPartition, ...] = ()
+        if node_count >= 2 and rng.random() < network_partition_prob:
+            island_size = max(1, node_count // 3)
+            island = tuple(sorted(rng.sample(range(node_count), island_size)))
+            down_s = rng.uniform(0.0, horizon_s)
+            network_partitions = (
+                NetworkPartition(
+                    island=island,
+                    down_s=down_s,
+                    up_s=down_s + network_partition_duration_s,
+                ),
+            )
         return cls(
             seed=seed,
             node_crashes=node_crashes,
@@ -382,6 +457,8 @@ class FaultPlan:
             bit_flips=bit_flips,
             stale_replicas=stale_replicas,
             slow_operators=slow_operators,
+            node_losses=node_losses,
+            network_partitions=network_partitions,
         )
 
 
@@ -415,6 +492,7 @@ class FaultInjector:
         self._straggler = {s.node_id: s.factor for s in plan.stragglers}
         self._endpoint = {f.name: f for f in plan.endpoint_faults}
         self._worker_crash_at = {c.worker: c.at_step for c in plan.worker_crashes}
+        self._node_loss_at = {l.node_id: l.at_s for l in plan.node_losses}
 
     def _stream(self, domain: str, key: object) -> random.Random:
         stream = self._streams.get((domain, key))
@@ -434,6 +512,33 @@ class FaultInjector:
     def straggler_factor(self, node_id: int) -> float:
         """Slowdown multiplier for the node (1.0 = healthy)."""
         return self._straggler.get(node_id, 1.0)
+
+    def node_loss_time(self, node_id: int) -> Optional[float]:
+        """Simulated time at which the *storage-bearing* node dies, or None.
+
+        A loss implies a crash (the node's compute slots vanish too) but is
+        reported separately so the scheduler can tell the distributed store
+        layer that the node's partition replicas went with it (E25).
+        """
+        return self._node_loss_at.get(node_id)
+
+    def node_losses(self) -> Tuple[NodeLoss, ...]:
+        """The plan's storage-node losses (applied once by the store layer)."""
+        return self.plan.node_losses
+
+    def reachable(self, a: int, b: int, at_s: float) -> bool:
+        """Can node *a* fetch from node *b* at sim time? (E25 data plane.)
+
+        False only while an active :class:`NetworkPartition` window puts the
+        two nodes on opposite sides of an island boundary; a node can always
+        reach itself.
+        """
+        if a == b:
+            return True
+        return not any(
+            p.covers(at_s) and p.separates(a, b)
+            for p in self.plan.network_partitions
+        )
 
     def task_fails(self, task_id: int) -> bool:
         """Does the task's current attempt fail? One draw per attempt, from

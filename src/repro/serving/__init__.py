@@ -49,6 +49,7 @@ from repro.serving.backends import (
     Backend,
     CallableBackend,
     CatalogBackend,
+    DistBackend,
     FederationBackend,
     StoreBackend,
 )
@@ -84,6 +85,7 @@ __all__ = [
     "Backend",
     "CallableBackend",
     "CatalogBackend",
+    "DistBackend",
     "CoalesceEntry",
     "Coalescer",
     "FederationBackend",

@@ -49,6 +49,47 @@ class StoreBackend(Backend):
         return self.store.query(query, options=options)
 
 
+class DistBackend(Backend):
+    """Distributed SPARQL (E25) over a shared :class:`DistRuntime`.
+
+    Forces ``engine="dist"`` and pins the runtime onto the compile options
+    (both excluded from plan-cache and coalescing keys, like budgets), so
+    tenants share one partitioned store and one fault-injection campaign.
+    A partition losing every replica surfaces as
+    :class:`~repro.errors.PartitionUnavailable`, which the gateway
+    translates to a retryable per-tenant :class:`~repro.errors.Shed`.
+    """
+
+    kind = "sparql"
+    supports_budget = True
+
+    def __init__(self, graph, runtime, registry=None):
+        self.graph = graph
+        self.runtime = runtime
+        self.registry = registry
+
+    def version(self) -> int:
+        return self.graph.version
+
+    def execute(self, query: str, options=None,
+                deadline: Optional[Deadline] = None, priority: int = 1,
+                budget=None):
+        import dataclasses
+
+        from repro.sparql.algebra import CompileOptions
+        from repro.sparql.evaluator import _EMPTY_REGISTRY, evaluate
+
+        options = dataclasses.replace(
+            options if options is not None else CompileOptions(),
+            engine="dist",
+            dist=self.runtime,
+        )
+        if budget is not None:
+            options = with_budget(options, budget)
+        registry = self.registry if self.registry is not None else _EMPTY_REGISTRY
+        return evaluate(self.graph, query, registry, options)
+
+
 class CatalogBackend(Backend):
     """The :class:`~repro.catalog.SemanticCatalog` knowledge-query path.
 

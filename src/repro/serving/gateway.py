@@ -59,6 +59,7 @@ from repro.cache.plan import PlanCache
 from repro.errors import (
     CircuitOpen,
     Overloaded,
+    PartitionUnavailable,
     QueryBudgetExceeded,
     QueryCancelled,
     ServingError,
@@ -568,6 +569,17 @@ class Gateway:
                 tenant=tenant,
                 retry_after_s=self._shed_retry_after_s,
                 reason="cancelled",
+            )
+        if isinstance(error, PartitionUnavailable):
+            # E25: a distributed query lost every replica of a partition.
+            # Transient by design (replicas get re-placed), so it sheds —
+            # come back later — rather than failing the tenant outright.
+            return Shed(
+                f"store partition unavailable ({error.partition}); retry "
+                f"after {self._shed_retry_after_s}s",
+                tenant=tenant,
+                retry_after_s=self._shed_retry_after_s,
+                reason="partition_unavailable",
             )
         if isinstance(error, Overloaded):
             return Shed(

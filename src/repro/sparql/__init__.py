@@ -22,6 +22,12 @@ solution multisets.
 governor (:mod:`repro.sparql.governor`): a per-query deadline, resident
 row/byte caps and a cooperative :class:`~repro.sparql.governor.CancelToken`,
 enforced at checkpoints inside both engines.
+
+``CompileOptions(engine="dist", dist=DistRuntime(graph, ...))`` runs the
+vector plans distributed over a range-partitioned, replicated simulated
+cluster with crash recovery, speculation and replica failover
+(:mod:`repro.sparql.dist`, experiment E25) — same multisets again, or a
+typed retryable :class:`~repro.errors.PartitionUnavailable`.
 """
 
 from repro.sparql.algebra import CompileOptions

@@ -248,12 +248,20 @@ class CompileOptions:
     checkpoints. It is *request* state, not plan state — :meth:`cache_key`
     excludes it, so governed and ungoverned runs of the same text share one
     compiled plan and one coalescing key.
+
+    ``engine="dist"`` (E25) runs the vector plans distributed over a
+    range-partitioned, replicated cluster; ``dist`` carries the
+    :class:`~repro.sparql.dist.DistRuntime` holding the partitioned store
+    and scheduler knobs. Like ``budget`` it is runtime state:
+    :meth:`cache_key` excludes it, and the compiled trees are the vector
+    engine's own (keyed under the ``"dist"`` engine label).
     """
 
     push_filters: bool = True
     reorder_patterns: bool = True
     engine: str = "interpreted"
     budget: Optional["QueryBudget"] = None
+    dist: Optional[object] = None
 
     def cache_key(self) -> Tuple:
         """Hashable identity of the plan-shaping fields only.

@@ -1,0 +1,73 @@
+"""Fault-tolerant distributed SPARQL execution (experiment E25).
+
+The third execution engine, behind ``CompileOptions(engine="dist",
+dist=DistRuntime(graph, ...))``: the E22 vector plans, compiled unchanged,
+are mapped onto a range-partitioned + replicated layout of the graph's
+id-row table (:mod:`repro.sparql.dist.partition`), planned into
+locality-aware stage DAGs (:mod:`repro.sparql.dist.plan` — partition-local
+scans, broadcast joins under a :meth:`Graph.count`-driven cost threshold,
+hash-repartitioned shuffle joins on definitely-bound keys), and executed as
+:mod:`repro.cluster.scheduler` tasks under crash recovery, speculation,
+blacklisting, replica failover and idempotent output commit
+(:mod:`repro.sparql.dist.engine`).
+
+Robustness contract: identical solution multisets to the single-process
+engines, or a *typed* failure — retryable
+:class:`~repro.errors.PartitionUnavailable` when a partition loses every
+replica (shed at the serving gateway), or an explicitly flagged
+:class:`PartialResult` when the caller opted in with ``allow_partial=True``.
+Budgeted queries (E23) propagate their deadline/caps into every task and a
+budget kill cancels the whole DAG with admission tickets released exactly
+once. ``python -m repro.sparql.dist.soak`` measures shard-count scaling,
+locality, and chaos recovery overhead into ``BENCH_E25.json``.
+"""
+
+from repro.sparql.dist.engine import (
+    DistReport,
+    DistRuntime,
+    PartialResult,
+    ShuffleStore,
+    bucket_codes,
+    evaluate_dist_query,
+)
+from repro.sparql.dist.partition import (
+    BYTES_PER_ROW,
+    PartitionedTripleStore,
+    RangePartitioner,
+)
+from repro.sparql.dist.plan import (
+    PBroadcastJoin,
+    PLocal,
+    PMap,
+    PNode,
+    PScan,
+    PShuffleJoin,
+    PUnion,
+    build_plan,
+    definitely_bound,
+    estimate_rows,
+    plan_shape,
+)
+
+__all__ = [
+    "BYTES_PER_ROW",
+    "DistReport",
+    "DistRuntime",
+    "PBroadcastJoin",
+    "PLocal",
+    "PMap",
+    "PNode",
+    "PScan",
+    "PShuffleJoin",
+    "PUnion",
+    "PartialResult",
+    "PartitionedTripleStore",
+    "RangePartitioner",
+    "ShuffleStore",
+    "bucket_codes",
+    "build_plan",
+    "definitely_bound",
+    "estimate_rows",
+    "evaluate_dist_query",
+    "plan_shape",
+]

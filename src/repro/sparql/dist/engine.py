@@ -1,0 +1,1030 @@
+"""Fault-tolerant distributed execution of vector plans (experiment E25).
+
+:class:`DistRuntime` owns the partitioned store and the knobs; each query
+gets a fresh deterministic :class:`~repro.cluster.scheduler.Scheduler` run
+(:class:`_DistRun`) that turns the physical plan into a DAG of tasks and
+drives it to a settled answer — or a typed failure — under whatever the
+fault injector throws at it.
+
+Robustness model
+----------------
+
+* **Idempotent output commit.** Every task publishes its result into a
+  :class:`ShuffleStore` under a stable ``(stage, index)`` key;
+  first-write-wins. The scheduler's ``on_attempt_end`` hook fires for every
+  attempt that burned its slot — including attempts the injector then fails
+  (a worker that finished the work, wrote its output, and died before
+  reporting) and speculative twins — so re-execution *will* try to commit
+  twice; the store refuses the duplicate and counts it. Rows are therefore
+  never double-counted, and budget charging (done at first commit) stays
+  exactly-once.
+* **Replica failover.** A scan task reads its partition from its own node
+  when that node holds a live replica, otherwise from the lowest-id live,
+  reachable replica (paying the transfer). A live-but-partitioned replica
+  set is *transient*: the driver resubmits a fresh task after a backoff,
+  up to ``max_data_retries``. No live replica at all is *permanent*:
+  :class:`~repro.errors.PartitionUnavailable` (typed, retryable), or — only
+  with ``allow_partial=True`` — an explicitly flagged
+  :class:`PartialResult` missing that partition.
+* **Committed-output recovery.** A task abandoned by the scheduler (retries
+  exhausted, dependency cascade) whose output *was* committed settles from
+  the store; one with no output is resubmitted fresh (its compute is
+  deterministic and side-effect-free until commit), bounded by
+  ``max_data_retries``.
+* **Budget kill.** Every task's compute starts at a
+  :class:`~repro.sparql.governor.QueryBudget` checkpoint; the first
+  budget/cancel error aborts the run, which cancels all in-flight tasks
+  through :meth:`Scheduler.cancel_task` — admission tickets are released
+  exactly once, audited by ``tickets_issued == tickets_released``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+from repro.cluster.resources import ClusterSpec
+from repro.cluster.scheduler import Scheduler, Task
+from repro.errors import ClusterError, PartitionUnavailable, SPARQLError
+from repro.sparql.algebra import CompileOptions, ExtendOp, FilterOp
+from repro.sparql.ast import AskQuery, SelectQuery
+from repro.sparql.vector.batch import UNBOUND, Batch
+from repro.sparql.vector.engine import (
+    _Exec,
+    _execute,
+    compile_vector_plan,
+    finish_select,
+)
+from repro.sparql.vector.expr import bind_column, filter_keep_mask
+from repro.sparql.vector.ops import hash_join
+from repro.sparql.dist.partition import PartitionedTripleStore
+from repro.sparql.dist.plan import (
+    PBroadcastJoin,
+    PLocal,
+    PMap,
+    PNode,
+    PScan,
+    PShuffleJoin,
+    PUnion,
+    build_plan,
+)
+
+#: Modelled bytes per binding cell, matching the governor's accounting.
+BYTES_PER_CELL = 8
+
+#: Fixed odd radix for the shuffle's polynomial key packing: the
+#: repartitioning analogue of the join's mixed-radix ``_pack_keys``, but with
+#: a radix agreed up front so every map task — on any node, any attempt —
+#: sends equal keys to the same bucket.
+_HASH_RADIX = np.uint64(0x9E3779B97F4A7C15)
+
+#: Sentinel a compute returns for "no output this attempt, retry data-plane".
+_RETRY = object()
+
+
+def bucket_codes(matrix: np.ndarray, buckets: int) -> np.ndarray:
+    """Repartition bucket per row of an (n, k) key-id matrix.
+
+    Fixed-radix polynomial over uint64 (wraparound is the modulus), so the
+    mapping is a pure function of the key ids: deterministic across nodes,
+    attempts, and fragment boundaries.
+    """
+    codes = np.zeros(len(matrix), dtype=np.uint64)
+    for column in range(matrix.shape[1]):
+        codes = codes * _HASH_RADIX + matrix[:, column].astype(np.uint64)
+    return (codes % np.uint64(buckets)).astype(np.int64)
+
+
+class ShuffleStore:
+    """Idempotent, append-only task-output store (first write wins).
+
+    Models durable shuffle/broadcast output files with a commit protocol:
+    a second commit under the same key — a retried or speculative attempt —
+    is refused and counted, never merged.
+    """
+
+    def __init__(self) -> None:
+        self._outputs: Dict[Tuple, Any] = {}
+        self.publishes = 0
+        self.duplicate_publishes = 0
+
+    def publish(self, key: Tuple, payload: Any) -> bool:
+        if key in self._outputs:
+            self.duplicate_publishes += 1
+            return False
+        self._outputs[key] = payload
+        self.publishes += 1
+        return True
+
+    def register_duplicate(self, key: Tuple) -> None:
+        """A re-attempt arrived with the output already committed."""
+        self.duplicate_publishes += 1
+
+    def has(self, key: Tuple) -> bool:
+        return key in self._outputs
+
+    def get(self, key: Tuple) -> Any:
+        return self._outputs[key]
+
+
+@dataclass
+class Fragment:
+    """One settled piece of a stage's output.
+
+    ``payload`` is a :class:`Batch` for most stages, or a tuple of per-bucket
+    batches for shuffle map outputs. ``home`` is the node that produced it
+    (None for driver-side inline fragments), feeding downstream locality.
+    """
+
+    payload: Any
+    home: Optional[int] = None
+
+    @property
+    def batch(self) -> Batch:
+        return self.payload
+
+
+def _payload_batches(payload: Any) -> List[Batch]:
+    if isinstance(payload, Batch):
+        return [payload]
+    return list(payload)
+
+
+class PartialResult(list):
+    """SELECT solutions computed with some partitions missing.
+
+    Only ever returned when the caller opted in with ``allow_partial=True``
+    (federation's ``complete=False`` convention): ``complete`` is False and
+    ``missing_partitions`` names the ranges that had no live replica.
+    """
+
+    complete = False
+
+    def __init__(self, rows: Sequence, missing_partitions: Sequence[int]):
+        super().__init__(rows)
+        self.missing_partitions = tuple(sorted(set(missing_partitions)))
+
+
+@dataclass
+class DistReport:
+    """Per-query execution summary (the soak's raw material)."""
+
+    makespan_s: float = 0.0
+    locality_rate: float = 1.0
+    tasks_completed: int = 0
+    task_failures: int = 0
+    tasks_cancelled: int = 0
+    speculative_launches: int = 0
+    node_crashes: int = 0
+    bytes_transferred: float = 0.0
+    publishes: int = 0
+    duplicate_publishes: int = 0
+    tickets_issued: int = 0
+    tickets_released: int = 0
+    missing_partitions: Tuple[int, ...] = ()
+    counters: Dict[str, float] = field(default_factory=dict)
+
+
+class DistRuntime:
+    """The distributed engine's long-lived state and configuration.
+
+    Attach one to :class:`~repro.sparql.algebra.CompileOptions` via
+    ``CompileOptions(engine="dist", dist=runtime)``; like ``budget`` it is
+    request/runtime state and never participates in plan-cache keys.
+    """
+
+    def __init__(
+        self,
+        graph,
+        spec: Optional[ClusterSpec] = None,
+        partitions: int = 4,
+        replication: int = 2,
+        broadcast_threshold_rows: float = 64.0,
+        shuffle_buckets: Optional[int] = None,
+        locality_wait_s: float = 0.002,
+        speculation: bool = True,
+        speculation_factor: float = 2.0,
+        blacklist_after: Optional[int] = None,
+        max_retries: int = 3,
+        max_data_retries: int = 8,
+        data_retry_backoff_s: float = 0.05,
+        task_overhead_s: float = 1e-3,
+        row_cost_s: float = 2e-6,
+        injector=None,
+        admission=None,
+        obs=None,
+        allow_partial: bool = False,
+    ):
+        self.graph = graph
+        self.spec = spec if spec is not None else ClusterSpec()
+        self.store = PartitionedTripleStore(
+            graph, self.spec, partitions=partitions, replication=replication
+        )
+        self.broadcast_threshold_rows = broadcast_threshold_rows
+        self.shuffle_buckets = (
+            shuffle_buckets if shuffle_buckets is not None else partitions
+        )
+        self.locality_wait_s = locality_wait_s
+        self.speculation = speculation
+        self.speculation_factor = speculation_factor
+        self.blacklist_after = blacklist_after
+        self.max_retries = max_retries
+        self.max_data_retries = max_data_retries
+        self.data_retry_backoff_s = data_retry_backoff_s
+        self.task_overhead_s = task_overhead_s
+        self.row_cost_s = row_cost_s
+        self.injector = injector
+        self.admission = admission
+        self.obs = obs
+        self.allow_partial = allow_partial
+        self.last_report: Optional[DistReport] = None
+
+    def evaluate(
+        self,
+        tree,
+        query: Union[SelectQuery, AskQuery],
+        registry,
+        options: Optional[CompileOptions],
+        obs=None,
+    ) -> Union[List, bool]:
+        """Execute a compiled vector tree distributedly; finish like E22."""
+        self.store.sync()
+        budget = options.budget if options is not None else None
+        ctx = _Exec(self.graph, registry, obs, budget)
+        plan = build_plan(
+            tree,
+            self.graph,
+            self.broadcast_threshold_rows,
+            self.shuffle_buckets,
+        )
+        run = _DistRun(self, ctx)
+        try:
+            batch = run.execute(plan)
+        finally:
+            self.last_report = run.report()
+        if isinstance(query, AskQuery):
+            answer = batch.nrows > 0
+            if run.missing and not answer:
+                # A missing partition could hold the witness: a bare False
+                # cannot carry a partial-result flag, so refuse it.
+                pid = sorted(run.missing)[0]
+                raise PartitionUnavailable(
+                    f"ASK is inconclusive with partition {pid} unavailable",
+                    partition=pid,
+                    replicas=run.placement.get(pid, ()),
+                )
+            return answer
+        rows = finish_select(query, batch, ctx)
+        if run.missing:
+            return PartialResult(rows, run.missing)
+        return rows
+
+
+class _DistRun:
+    """One query's scheduler run: stage wiring, failover, settlement."""
+
+    def __init__(self, runtime: DistRuntime, ctx: _Exec):
+        self.runtime = runtime
+        self.store = runtime.store
+        self.ctx = ctx
+        self.budget = ctx.budget
+        self.scheduler = Scheduler(
+            runtime.spec,
+            locality_wait_s=runtime.locality_wait_s,
+            injector=runtime.injector,
+            crash_recovery=True,
+            speculation=runtime.speculation,
+            speculation_factor=runtime.speculation_factor,
+            blacklist_after=runtime.blacklist_after,
+            max_retries=runtime.max_retries,
+            admission=runtime.admission,
+        )
+        self.placement = self.store.place(self.scheduler.nodes)
+        self.shuffle = ShuffleStore()
+        self.live: Dict[int, Task] = {}
+        self.error: Optional[BaseException] = None
+        self.missing: List[int] = []
+        self.result_batch: Optional[Batch] = None
+        self.counters: Dict[str, float] = {}
+        self._stage_seq = 0
+
+    # ------------------------------------------------------------------
+    # Bookkeeping helpers
+    # ------------------------------------------------------------------
+
+    def _label(self, kind: str) -> str:
+        self._stage_seq += 1
+        return f"{kind}.{self._stage_seq}"
+
+    def _count(self, name: str, amount: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+        obs = self.runtime.obs
+        if obs is not None and getattr(obs, "enabled", False):
+            obs.metrics.counter(name).inc(amount)
+
+    def _reachable(self, a: int, b: int) -> bool:
+        injector = self.runtime.injector
+        if injector is None:
+            return True
+        return injector.reachable(a, b, self.scheduler.simulation.now)
+
+    def _account_comm(self, nbytes: float) -> None:
+        if nbytes > 0:
+            self.scheduler.metrics.inc("bytes_transferred", nbytes)
+            self._count("dist.comm_bytes", nbytes)
+
+    def _charge_payload(self, payload: Any, where: str) -> None:
+        if self.budget is None:
+            return
+        for batch in _payload_batches(payload):
+            if batch.nrows:
+                self.budget.charge_rows(
+                    batch.nrows, max(1, len(batch.columns)), where
+                )
+
+    def _release_fragments(self, fragments: Sequence[Fragment]) -> None:
+        if self.budget is None:
+            return
+        rows = 0
+        nbytes = 0
+        for fragment in fragments:
+            for batch in _payload_batches(fragment.payload):
+                rows += batch.nrows
+                nbytes += batch.nrows * max(1, len(batch.columns)) * BYTES_PER_CELL
+        if rows or nbytes:
+            self.budget.release_to(
+                (
+                    max(0, self.budget.resident_rows - rows),
+                    max(0, self.budget.resident_bytes - nbytes),
+                )
+            )
+
+    @staticmethod
+    def _fragment_bytes(batch: Batch) -> float:
+        return float(batch.nrows * max(1, len(batch.columns)) * BYTES_PER_CELL)
+
+    def _checkpoint(self, where: str) -> None:
+        if self.budget is not None:
+            self.budget.checkpoint(where)
+
+    # ------------------------------------------------------------------
+    # Abort path
+    # ------------------------------------------------------------------
+
+    def _abort(self, error: BaseException) -> None:
+        """First error wins: cancel every in-flight task (their admission
+        tickets are released exactly once through the scheduler's terminal
+        paths) and let the drain settle."""
+        if self.error is not None:
+            return
+        self.error = error
+        self._count("dist.aborts")
+        for task in list(self.live.values()):
+            self.scheduler.cancel_task(task)
+        self.live.clear()
+
+    # ------------------------------------------------------------------
+    # Unit submission: the idempotent-commit task wrapper
+    # ------------------------------------------------------------------
+
+    def _submit_unit(
+        self,
+        label: str,
+        index: int,
+        spec: Dict[str, Any],
+        settled: Callable[[int, Any, Optional[int]], None],
+    ) -> Task:
+        key = (label, index)
+        state: Dict[str, Any] = {"retry": None, "attempts": 0}
+        compute = spec["compute"]
+
+        def attempt_end(task: Task, failed: bool) -> None:
+            if self.error is not None:
+                return
+            if self.shuffle.has(key):
+                # A previous attempt (or a zombie twin) already committed:
+                # the commit protocol refuses the duplicate output.
+                self.shuffle.register_duplicate(key)
+                self._count("dist.duplicate_publishes")
+                return
+            state["retry"] = None
+            try:
+                payload = compute(task, state)
+            except Exception as exc:  # typed engine errors abort the query
+                self._abort(exc)
+                return
+            if payload is not _RETRY:
+                self.shuffle.publish(key, payload)
+
+        def settle(task: Task, abandoned: bool) -> None:
+            self.live.pop(task.task_id, None)
+            if self.error is not None:
+                return
+            if self.shuffle.has(key):
+                # Committed — possibly by an attempt the scheduler gave up
+                # on: recover from the durable output either way.
+                if abandoned:
+                    self._count("dist.recovered_outputs")
+                settled(index, self.shuffle.get(key), task.ran_on)
+                return
+            reason = state["retry"]
+            if reason == "lost":
+                self._fragment_lost(spec, index, settled)
+                return
+            if state["attempts"] >= self.runtime.max_data_retries:
+                if spec.get("pid") is not None:
+                    self._fragment_lost(spec, index, settled)
+                else:
+                    self._abort(
+                        ClusterError(
+                            f"distributed stage {label!r} unit {index} gave "
+                            f"up after {state['attempts']} data-plane retries"
+                        )
+                    )
+                return
+            state["attempts"] += 1
+            self._count("dist.data_retries")
+            delay = self.runtime.data_retry_backoff_s * state["attempts"]
+
+            def relaunch() -> None:
+                if self.error is not None:
+                    return
+                if self.shuffle.has(key):
+                    settled(index, self.shuffle.get(key), None)
+                    return
+                launch(())
+
+            self.scheduler.simulation.schedule(delay, relaunch)
+
+        def launch(depends_on: Sequence[int]) -> Task:
+            task = self.scheduler.make_task(
+                work_s=spec["work_s"],
+                input_bytes=float(spec.get("input_bytes", 0.0)),
+                preferred_nodes=set(spec.get("preferred") or ()),
+            )
+            if depends_on:
+                task.depends_on = set(depends_on)
+            task.on_attempt_end = attempt_end
+            task.on_complete = lambda t: settle(t, False)
+            task.on_abandon = lambda t: settle(t, True)
+            self.live[task.task_id] = task
+            self._count("dist.tasks")
+            try:
+                self.scheduler.submit(task)
+            except Exception as exc:  # admission shed, etc.
+                self.live.pop(task.task_id, None)
+                self._abort(exc)
+            return task
+
+        return launch(spec.get("depends_on") or ())
+
+    def _fragment_lost(self, spec, index, settled) -> None:
+        """Every replica of a scan unit's partition is gone (or stayed
+        unreachable past the retry budget): partial result or typed error."""
+        pid = spec.get("pid")
+        owners = self.placement.get(pid, [])
+        self._count("dist.partitions_unavailable")
+        if self.runtime.allow_partial:
+            self.missing.append(pid)
+            settled(index, Batch.empty(spec.get("variables", ())), None)
+            return
+        self._abort(
+            PartitionUnavailable(
+                f"partition {pid} has no usable replica "
+                f"(placement {sorted(owners)})",
+                partition=pid,
+                replicas=owners,
+            )
+        )
+
+    def _run_stage(
+        self,
+        label: str,
+        specs: List[Dict[str, Any]],
+        done: Callable[[List[Fragment]], None],
+    ) -> List[Task]:
+        """Submit one task per spec; fire ``done`` when every unit settles."""
+        if not specs:
+            done([])
+            return []
+        fragments: List[Optional[Fragment]] = [None] * len(specs)
+        remaining = [len(specs)]
+
+        def settled(index: int, payload: Any, home: Optional[int]) -> None:
+            if fragments[index] is not None:
+                return
+            fragments[index] = Fragment(payload, home)
+            remaining[0] -= 1
+            if remaining[0] == 0 and self.error is None:
+                done(list(fragments))  # type: ignore[arg-type]
+
+        return [
+            self._submit_unit(label, index, spec, settled)
+            for index, spec in enumerate(specs)
+        ]
+
+    # ------------------------------------------------------------------
+    # Stage builders
+    # ------------------------------------------------------------------
+
+    def _start(self, node: PNode, done: Callable[[List[Fragment]], None]) -> None:
+        if isinstance(node, PScan):
+            self._start_scan(node, done)
+        elif isinstance(node, PLocal):
+            self._start_local(node, done)
+        elif isinstance(node, PMap):
+            self._start_map(node, done)
+        elif isinstance(node, PUnion):
+            self._start_union(node, done)
+        elif isinstance(node, PBroadcastJoin):
+            self._start_broadcast_join(node, done)
+        elif isinstance(node, PShuffleJoin):
+            self._start_shuffle_join(node, done)
+        else:  # pragma: no cover - planner emits only the above
+            raise SPARQLError(f"unknown plan node {type(node).__name__}")
+
+    def _start_scan(self, node: PScan, done) -> None:
+        pattern = node.op.pattern
+        pids = self.store.relevant_partitions(pattern)
+        if not pids:
+            # Constant subject the graph never interned: empty, inline.
+            done([Fragment(Batch.empty(pattern.variables()), None)])
+            return
+        label = self._label("scan")
+        specs = []
+        for pid in pids:
+            specs.append(
+                {
+                    "pid": pid,
+                    "variables": pattern.variables(),
+                    "compute": self._make_scan_compute(pid, pattern),
+                    "work_s": self.runtime.task_overhead_s
+                    + self.store.partition_rows(pid) * self.runtime.row_cost_s,
+                    "input_bytes": float(self.store.partition_bytes(pid)),
+                    "preferred": set(self.placement[pid]),
+                }
+            )
+        self._count("dist.scan_stages")
+        self._run_stage(label, specs, done)
+
+    def _make_scan_compute(self, pid: int, pattern):
+        def compute(task: Task, state: Dict[str, Any]):
+            self._checkpoint("dist.scan")
+            owners = self.placement[pid]
+            dead = self.scheduler.dead_nodes
+            live_owners = [n for n in owners if n not in dead]
+            if not live_owners:
+                state["retry"] = "lost"
+                return _RETRY
+            node_id = task.ran_on
+            if node_id not in live_owners:
+                reachable = sorted(
+                    n for n in live_owners if self._reachable(node_id, n)
+                )
+                if not reachable:
+                    # Live replicas exist but the network keeps them away:
+                    # transient — back off and try again.
+                    state["retry"] = "unreachable"
+                    self._count("dist.unreachable_reads")
+                    return _RETRY
+                self._count("dist.remote_reads")
+                if node_id in owners:
+                    # This node's own copy died under the task: failover to
+                    # a surviving replica, paying the transfer again.
+                    self._count("dist.replica_failovers")
+                    self._account_comm(float(self.store.partition_bytes(pid)))
+            batch = self.store.scan_partition(pid, pattern)
+            self._charge_payload(batch, "dist.scan")
+            return batch
+
+        return compute
+
+    def _start_local(self, node: PLocal, done) -> None:
+        label = self._label("local")
+
+        def compute(task: Task, state):
+            # The vector engine's _execute does its own budget governance.
+            return _execute(node.op, self.ctx)
+
+        self._count("dist.local_stages")
+        self._run_stage(
+            label,
+            [
+                {
+                    "compute": compute,
+                    "work_s": self.runtime.task_overhead_s,
+                    "preferred": set(),
+                }
+            ],
+            done,
+        )
+
+    def _start_map(self, node: PMap, done) -> None:
+        def child_done(fragments: List[Fragment]) -> None:
+            if self.error is not None:
+                return
+            label = self._label("map")
+            specs = []
+            for fragment in fragments:
+                specs.append(
+                    {
+                        "compute": self._make_map_compute(node.op, fragment),
+                        "work_s": self.runtime.task_overhead_s
+                        + fragment.batch.nrows * self.runtime.row_cost_s,
+                        "input_bytes": self._fragment_bytes(fragment.batch),
+                        "preferred": (
+                            {fragment.home} if fragment.home is not None else set()
+                        ),
+                    }
+                )
+
+            def stage_done(out: List[Fragment]) -> None:
+                self._release_fragments(fragments)
+                done(out)
+
+            self._run_stage(label, specs, stage_done)
+
+        self._start(node.child, child_done)
+
+    def _make_map_compute(self, op, fragment: Fragment):
+        def compute(task: Task, state):
+            self._checkpoint(f"dist.{type(op).__name__}")
+            batch = fragment.batch
+            if isinstance(op, FilterOp):
+                if batch.nrows == 0:
+                    out = batch
+                else:
+                    keep = filter_keep_mask(
+                        op.expression, batch, self.ctx.expr_ctx()
+                    )
+                    out = batch.mask(keep)
+            elif isinstance(op, ExtendOp):
+                existing = batch.columns.get(op.variable)
+                if existing is not None and (existing != UNBOUND).any():
+                    raise SPARQLError(
+                        "BIND would rebind already-bound variable "
+                        f"{op.variable}"
+                    )
+                if batch.nrows == 0:
+                    out = batch.with_column(
+                        op.variable, np.empty(0, dtype=np.int64)
+                    )
+                else:
+                    column = bind_column(
+                        op.expression, batch, self.ctx.expr_ctx()
+                    )
+                    out = batch.with_column(op.variable, column)
+            else:  # pragma: no cover - planner emits Filter/Extend only
+                raise SPARQLError(f"unexpected map op {type(op).__name__}")
+            self._charge_payload(out, "dist.map")
+            return out
+
+        return compute
+
+    def _start_union(self, node: PUnion, done) -> None:
+        results: List[Optional[List[Fragment]]] = [None] * len(node.children)
+        remaining = [len(node.children)]
+        for position, child in enumerate(node.children):
+
+            def child_done(fragments, position=position):
+                if self.error is not None:
+                    return
+                results[position] = fragments
+                remaining[0] -= 1
+                if remaining[0] == 0:
+                    done([f for frags in results for f in frags])  # type: ignore[union-attr]
+
+            self._start(child, child_done)
+
+    def _start_broadcast_join(self, node: PBroadcastJoin, done) -> None:
+        sides: Dict[str, List[Fragment]] = {}
+        remaining = [2]
+
+        def side_done(which: str):
+            def callback(fragments: List[Fragment]) -> None:
+                if self.error is not None:
+                    return
+                sides[which] = fragments
+                remaining[0] -= 1
+                if remaining[0] == 0:
+                    ready()
+
+            return callback
+
+        def ready() -> None:
+            big_frags = sides["big"]
+            small_frags = sides["small"]
+            small_batch = (
+                Batch.concat([f.batch for f in small_frags])
+                if small_frags
+                else Batch.empty()
+            )
+            small_bytes = self._fragment_bytes(small_batch)
+            self._count("dist.broadcast_joins")
+            label = self._label("bjoin")
+            specs = []
+            for fragment in big_frags:
+                transfer = (
+                    self.runtime.spec.transfer_time_s(small_bytes)
+                    if small_bytes
+                    else 0.0
+                )
+                specs.append(
+                    {
+                        "compute": self._make_bjoin_compute(
+                            node, fragment, small_batch
+                        ),
+                        "work_s": self.runtime.task_overhead_s
+                        + transfer
+                        + (fragment.batch.nrows + small_batch.nrows)
+                        * self.runtime.row_cost_s,
+                        "input_bytes": self._fragment_bytes(fragment.batch),
+                        "preferred": (
+                            {fragment.home} if fragment.home is not None else set()
+                        ),
+                    }
+                )
+                # The gathered small relation ships to every executor.
+                self._account_comm(small_bytes)
+
+            def stage_done(out: List[Fragment]) -> None:
+                self._release_fragments(big_frags)
+                self._release_fragments(small_frags)
+                done(out)
+
+            self._run_stage(label, specs, stage_done)
+
+        self._start(node.big, side_done("big"))
+        self._start(node.small, side_done("small"))
+
+    def _make_bjoin_compute(self, node: PBroadcastJoin, fragment, small_batch):
+        def compute(task: Task, state):
+            self._checkpoint("dist.broadcast_join")
+            if node.small_is_left:
+                out = hash_join(
+                    small_batch, fragment.batch, outer=False, budget=self.budget
+                )
+            else:
+                out = hash_join(
+                    fragment.batch,
+                    small_batch,
+                    outer=node.outer,
+                    budget=self.budget,
+                )
+            self._charge_payload(out, "dist.join")
+            return out
+
+        return compute
+
+    def _start_shuffle_join(self, node: PShuffleJoin, done) -> None:
+        sides: Dict[str, List[Fragment]] = {}
+        remaining = [2]
+
+        def side_done(which: str):
+            def callback(fragments: List[Fragment]) -> None:
+                if self.error is not None:
+                    return
+                sides[which] = fragments
+                remaining[0] -= 1
+                if remaining[0] == 0:
+                    ready()
+
+            return callback
+
+        def ready() -> None:
+            left_frags = sides["left"]
+            right_frags = sides["right"]
+            buckets = max(1, node.buckets)
+            keys = list(node.keys)
+            self._count("dist.shuffle_joins")
+            map_label = self._label("shuffle-map")
+            reduce_label = self._label("shuffle-reduce")
+
+            all_inputs = left_frags + right_frags
+            map_specs = []
+            for fragment in all_inputs:
+                map_specs.append(
+                    {
+                        "compute": self._make_shuffle_map_compute(
+                            fragment, keys, buckets
+                        ),
+                        "work_s": self.runtime.task_overhead_s
+                        + fragment.batch.nrows * self.runtime.row_cost_s,
+                        "input_bytes": self._fragment_bytes(fragment.batch),
+                        "preferred": (
+                            {fragment.home} if fragment.home is not None else set()
+                        ),
+                    }
+                )
+
+            def maps_done(map_frags: List[Fragment]) -> None:
+                # Map outputs are the resident state now; the inputs retire.
+                self._release_fragments(left_frags)
+                self._release_fragments(right_frags)
+
+            map_tasks = self._run_stage(map_label, map_specs, maps_done)
+            dependency_ids = [t.task_id for t in map_tasks]
+            left_keys = [(map_label, i) for i in range(len(left_frags))]
+            right_keys = [
+                (map_label, len(left_frags) + i)
+                for i in range(len(right_frags))
+            ]
+            total_rows = sum(f.batch.nrows for f in all_inputs)
+            total_bytes = sum(self._fragment_bytes(f.batch) for f in all_inputs)
+            per_bucket_rows = total_rows / buckets if buckets else 0.0
+            per_bucket_bytes = total_bytes / buckets if buckets else 0.0
+
+            reduce_specs = []
+            for bucket in range(buckets):
+                reduce_specs.append(
+                    {
+                        "compute": self._make_reduce_compute(
+                            left_keys, right_keys, bucket
+                        ),
+                        "work_s": self.runtime.task_overhead_s
+                        + self.runtime.spec.transfer_time_s(per_bucket_bytes)
+                        + per_bucket_rows * self.runtime.row_cost_s,
+                        "input_bytes": per_bucket_bytes,
+                        "preferred": set(),
+                        "depends_on": dependency_ids,
+                    }
+                )
+                # All-remote assumption: each reducer pulls its bucket over
+                # the network from every mapper.
+                self._account_comm(per_bucket_bytes)
+
+            def reduces_done(out: List[Fragment]) -> None:
+                # Retire the map outputs (the reducers consumed them).
+                if self.budget is not None:
+                    rows = sum(
+                        b.nrows
+                        for key in left_keys + right_keys
+                        if self.shuffle.has(key)
+                        for b in _payload_batches(self.shuffle.get(key))
+                    )
+                    nbytes = sum(
+                        b.nrows * max(1, len(b.columns)) * BYTES_PER_CELL
+                        for key in left_keys + right_keys
+                        if self.shuffle.has(key)
+                        for b in _payload_batches(self.shuffle.get(key))
+                    )
+                    self.budget.release_to(
+                        (
+                            max(0, self.budget.resident_rows - rows),
+                            max(0, self.budget.resident_bytes - nbytes),
+                        )
+                    )
+                done(out)
+
+            self._run_stage(reduce_label, reduce_specs, reduces_done)
+
+        self._start(node.left, side_done("left"))
+        self._start(node.right, side_done("right"))
+
+    def _make_shuffle_map_compute(self, fragment: Fragment, keys, buckets: int):
+        def compute(task: Task, state):
+            self._checkpoint("dist.shuffle_map")
+            batch = fragment.batch
+            if batch.nrows == 0:
+                splits = tuple(batch for _ in range(buckets))
+            else:
+                codes = bucket_codes(batch.key_matrix(keys), buckets)
+                splits = tuple(
+                    batch.mask(codes == bucket) for bucket in range(buckets)
+                )
+            self._charge_payload(splits, "dist.shuffle_map")
+            return splits
+
+        return compute
+
+    def _make_reduce_compute(self, left_keys, right_keys, bucket: int):
+        def compute(task: Task, state):
+            self._checkpoint("dist.shuffle_reduce")
+            for key in left_keys + right_keys:
+                if not self.shuffle.has(key):
+                    # A mapper's output is not committed yet (it is being
+                    # resubmitted): transient, retry.
+                    state["retry"] = "inputs"
+                    return _RETRY
+            left = Batch.concat(
+                [self.shuffle.get(key)[bucket] for key in left_keys]
+            )
+            right = Batch.concat(
+                [self.shuffle.get(key)[bucket] for key in right_keys]
+            )
+            out = hash_join(left, right, outer=False, budget=self.budget)
+            self._charge_payload(out, "dist.shuffle_reduce")
+            return out
+
+        return compute
+
+    # ------------------------------------------------------------------
+    # Driver
+    # ------------------------------------------------------------------
+
+    def execute(self, plan: PNode) -> Batch:
+        def root_done(fragments: List[Fragment]) -> None:
+            for fragment in fragments:
+                if fragment.home is not None:
+                    self._account_comm(self._fragment_bytes(fragment.batch))
+            batch = (
+                Batch.concat([f.batch for f in fragments])
+                if fragments
+                else Batch.empty()
+            )
+            self._release_fragments(fragments)
+            self._charge_payload(batch, "dist.gather")
+            self.result_batch = batch
+
+        self._start(plan, root_done)
+        try:
+            self.scheduler.run()
+        except ClusterError as exc:
+            if self.error is None:
+                dead = self.scheduler.dead_nodes
+                lost = sorted(
+                    pid
+                    for pid, owners in self.placement.items()
+                    if all(owner in dead for owner in owners)
+                )
+                if lost:
+                    self._abort(
+                        PartitionUnavailable(
+                            f"distributed query stranded: partitions {lost} "
+                            "lost every replica",
+                            partition=lost[0],
+                            replicas=self.placement[lost[0]],
+                        )
+                    )
+                else:
+                    self._abort(exc)
+            self.scheduler.simulation.run()  # settle the cancellations
+        if self.error is not None:
+            raise self.error
+        if self.result_batch is None:
+            raise ClusterError(
+                "distributed query drained without settling a result"
+            )
+        return self.result_batch
+
+    def report(self) -> DistReport:
+        metrics = self.scheduler.metrics
+        return DistReport(
+            makespan_s=metrics.makespan_s,
+            locality_rate=metrics.locality_rate,
+            tasks_completed=metrics.tasks_completed,
+            task_failures=metrics.task_failures,
+            tasks_cancelled=metrics.tasks_cancelled,
+            speculative_launches=metrics.speculative_launches,
+            node_crashes=metrics.node_crashes,
+            bytes_transferred=metrics.bytes_transferred,
+            publishes=self.shuffle.publishes,
+            duplicate_publishes=self.shuffle.duplicate_publishes,
+            tickets_issued=self.scheduler.tickets_issued,
+            tickets_released=self.scheduler.tickets_released,
+            missing_partitions=tuple(sorted(set(self.missing))),
+            counters=dict(self.counters),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Engine entry point (evaluator dispatch target)
+# ---------------------------------------------------------------------------
+
+def evaluate_dist_query(
+    graph,
+    query: Union[SelectQuery, AskQuery],
+    registry,
+    options: Optional[CompileOptions],
+    obs=None,
+    cache=None,
+    text: Optional[str] = None,
+) -> Union[List, bool]:
+    """Evaluate a parsed query on the distributed engine.
+
+    Plans are the E22 cost-ordered vector trees (shared through the plan
+    cache under the ``engine="dist"`` cache key); the runtime rides on
+    ``options.dist`` the way budgets ride on ``options.budget`` — request
+    state, invisible to plan identity.
+    """
+    runtime = getattr(options, "dist", None) if options is not None else None
+    if runtime is None:
+        raise SPARQLError(
+            'engine="dist" needs a runtime: '
+            "CompileOptions(engine='dist', dist=DistRuntime(graph, ...))"
+        )
+    if runtime.graph is not graph:
+        raise SPARQLError("DistRuntime is bound to a different graph")
+    if cache is not None and text is not None:
+        tree = cache.plan(
+            graph,
+            text,
+            options,
+            graph.version,
+            lambda: compile_vector_plan(query.where, graph, options),
+        )
+    else:
+        tree = compile_vector_plan(query.where, graph, options)
+    return runtime.evaluate(tree, query, registry, options, obs)

@@ -1,0 +1,201 @@
+"""Range partitioning of the id-row table over simulated cluster nodes.
+
+The distributed engine's storage layout (experiment E25): the graph's E22
+id-row table is split into ``partitions`` contiguous ranges of the *subject*
+term-id space, each replicated ``replication`` ways onto cluster nodes via
+the existing :meth:`repro.cluster.resources.ClusterSpec.place_partitions`
+round-robin. Every triple lives in exactly one partition (the one owning its
+subject id), which is the invariant that makes partition-local scans a true
+disjoint cover of any pattern's extent — union of fragments == the
+single-process scan, as a multiset.
+
+The snapshot is keyed on ``graph.version`` like the vector engine's
+``_id_table`` cache: mutations invalidate it, and within one version the
+partition arrays are immutable, so replicas are by construction identical
+and a failed-over read returns byte-identical rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.resources import ClusterSpec, Node
+from repro.errors import SPARQLError
+from repro.rdf.graph import Graph
+from repro.sparql.ast import TriplePattern, Variable
+from repro.sparql.vector.batch import Batch
+
+#: Modelled storage width of one triple row: three int64 id cells.
+BYTES_PER_ROW = 24
+
+
+class RangePartitioner:
+    """Equal-width ranges over ``[0, term_count)`` of subject term ids."""
+
+    def __init__(self, term_count: int, partitions: int):
+        if partitions < 1:
+            raise SPARQLError(f"partitions must be >= 1, got {partitions}")
+        self.partitions = partitions
+        self.span = max(1, term_count)
+
+    def partition_of(self, subject_id: int) -> int:
+        """The partition owning *subject_id* (clamped: ids past the snapshot
+        span — never produced by a same-version scan — fold into the last
+        range rather than indexing out of bounds)."""
+        if subject_id < 0:
+            return 0
+        pid = subject_id * self.partitions // self.span
+        return min(pid, self.partitions - 1)
+
+    def partition_column(self, subject_ids: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`partition_of` over an id column."""
+        pids = subject_ids * self.partitions // self.span
+        return np.clip(pids, 0, self.partitions - 1)
+
+
+class PartitionedTripleStore:
+    """The graph's id rows, range-partitioned and replicated.
+
+    ``sync()`` (re)builds the partition arrays when the graph version moved;
+    ``place(nodes)`` computes the replica placement for one scheduler's node
+    set through ``ClusterSpec.place_partitions`` (marking ``local_data`` so
+    the locality machinery sees real partition residency).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        spec: ClusterSpec,
+        partitions: int = 4,
+        replication: int = 2,
+    ):
+        if replication < 1:
+            raise SPARQLError(f"replication must be >= 1, got {replication}")
+        if replication > spec.node_count:
+            raise SPARQLError(
+                f"replication {replication} exceeds cluster size "
+                f"{spec.node_count}"
+            )
+        self.graph = graph
+        self.spec = spec
+        self.partitions = partitions
+        self.replication = replication
+        self.partitioner = RangePartitioner(graph.term_count, partitions)
+        self._version: Optional[int] = None
+        self._columns: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        self.sync()
+
+    # ------------------------------------------------------------------
+    # Snapshot
+    # ------------------------------------------------------------------
+
+    def sync(self) -> None:
+        """Rebuild the per-partition arrays if the graph mutated."""
+        if self._version == self.graph.version:
+            return
+        self.partitioner = RangePartitioner(
+            self.graph.term_count, self.partitions
+        )
+        raw = self.graph.id_columns()
+        table = tuple(
+            np.frombuffer(column, dtype=np.int64).copy()
+            if len(column)
+            else np.empty(0, dtype=np.int64)
+            for column in raw
+        )
+        subjects = table[0]
+        pids = (
+            self.partitioner.partition_column(subjects)
+            if len(subjects)
+            else np.empty(0, dtype=np.int64)
+        )
+        self._columns = []
+        for pid in range(self.partitions):
+            rows = np.flatnonzero(pids == pid)
+            self._columns.append(
+                (table[0][rows], table[1][rows], table[2][rows])
+            )
+        self._version = self.graph.version
+
+    def place(self, nodes: List[Node]) -> Dict[int, List[int]]:
+        """Replica placement for one execution's node set: pid -> node ids."""
+        ids = [f"sparql:{pid}" for pid in range(self.partitions)]
+        raw = self.spec.place_partitions(ids, nodes, copies=self.replication)
+        return {
+            pid: raw[f"sparql:{pid}"] for pid in range(self.partitions)
+        }
+
+    # ------------------------------------------------------------------
+    # Partition access
+    # ------------------------------------------------------------------
+
+    def partition_rows(self, pid: int) -> int:
+        return len(self._columns[pid][0])
+
+    def partition_bytes(self, pid: int) -> int:
+        return self.partition_rows(pid) * BYTES_PER_ROW
+
+    def relevant_partitions(self, pattern: TriplePattern) -> List[int]:
+        """Partitions that can hold matches: a constant, interned subject
+        pins the scan to one range; a variable (or uninterned) subject scans
+        them all (uninterned constants yield no partitions at all)."""
+        subject = pattern.subject
+        if isinstance(subject, Variable):
+            return list(range(self.partitions))
+        subject_id = self.graph.term_id(subject)
+        if subject_id is None:
+            return []
+        return [self.partitioner.partition_of(subject_id)]
+
+    def scan_partition(self, pid: int, pattern: TriplePattern) -> Batch:
+        """The pattern's extent *within* one partition, as id columns.
+
+        Same masking semantics as the single-process
+        :func:`repro.sparql.vector.ops.scan_batch`, restricted to the
+        partition's rows; the union over partitions is the full scan.
+        """
+        positions = (pattern.subject, pattern.predicate, pattern.object)
+        constant_ids: List[Optional[int]] = []
+        for position in positions:
+            if isinstance(position, Variable):
+                constant_ids.append(None)
+                continue
+            term_id = self.graph.term_id(position)
+            if term_id is None:
+                return Batch.empty(pattern.variables())
+            constant_ids.append(term_id)
+
+        table = self._columns[pid]
+        var_slots = [
+            (i, p) for i, p in enumerate(positions) if isinstance(p, Variable)
+        ]
+        mask: Optional[np.ndarray] = None
+        for slot, constant_id in enumerate(constant_ids):
+            if constant_id is None:
+                continue
+            hits = table[slot] == constant_id
+            mask = hits if mask is None else (mask & hits)
+
+        if not var_slots:
+            # All-constant pattern: the triple lives in exactly one
+            # partition, so at most one fragment contributes the unit row.
+            matched = bool(mask.any()) if mask is not None else len(table[0]) > 0
+            return Batch.unit() if matched else Batch.empty()
+
+        rows = None if mask is None else np.flatnonzero(mask)
+        columns: Dict[Variable, np.ndarray] = {}
+        keep: Optional[np.ndarray] = None
+        for slot, variable in var_slots:
+            column = table[slot] if rows is None else table[slot][rows]
+            if variable in columns:
+                equal = columns[variable] == column
+                keep = equal if keep is None else keep & equal
+            else:
+                columns[variable] = column
+        nrows = len(table[0]) if rows is None else len(rows)
+        batch = Batch(columns, nrows)
+        if keep is not None:
+            batch = batch.mask(keep)
+        return batch

@@ -1,0 +1,495 @@
+"""The E25 distributed-chaos soak: correctness and scaling under fire.
+
+One seeded campaign over one graph produces three verdicts:
+
+* **scaling** — a fixed query pool runs clean (no faults) on a single
+  partition and again range-partitioned across the cluster; the summed
+  simulated makespan must shrink by at least ``min_scaling_ratio``, or the
+  distribution layer is pure overhead;
+* **chaos correctness** — ``chaos_queries`` runs execute under per-query
+  seeded fault campaigns (node crashes, permanent node losses, stragglers,
+  injected task failures, network partitions — horizon sized to ~1.5x the
+  query's clean makespan so faults strike *mid-flight*, not before or
+  after). Every run that completes must match the single-process vector
+  engine exactly (multiset). Typed, retryable aborts
+  (:class:`~repro.errors.PartitionUnavailable` when a partition loses every
+  replica, :class:`~repro.errors.ClusterError` when the whole cluster
+  dies) are tolerated and counted; a silently wrong answer or an
+  unflagged partial result fails the soak outright. Every run — completed
+  or aborted — must release its admission tickets exactly once;
+* **recovery overhead** — chaos-vs-clean makespan over the runs that
+  completed: what the retries, failovers and speculative twins cost.
+
+The work model is deliberately row-dominated (``row_cost_s`` well above
+``task_overhead_s``) so parallel fragments, not per-task constants, set
+the makespan — the regime where range partitioning is supposed to pay.
+
+``python -m repro.sparql.dist.soak --smoke`` runs the CI-sized campaign,
+verifies every invariant above, and writes a ``BENCH_E25.json`` snapshot
+for the CI gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster import ClusterSpec
+from repro.errors import ClusterError, PartitionUnavailable
+from repro.faults import FaultInjector, FaultPlan
+from repro.obs import Observability
+from repro.rdf import Graph
+from repro.rdf.term import IRI, Literal
+from repro.resilience.admission import AdmissionController
+from repro.sparql import CompileOptions, evaluate
+from repro.sparql.dist import DistRuntime, PartialResult
+
+
+@dataclass(frozen=True)
+class DistSoakConfig:
+    """One campaign. Defaults are the CI smoke shape: large enough that
+    every robustness path fires, small enough to run in seconds."""
+
+    seed: int = 25
+    triples: int = 360
+    subjects: int = 72
+    chaos_queries: int = 160
+    min_completed: int = 100  #: the E25 acceptance floor
+    node_count: int = 8
+    cpu_slots_per_node: int = 2
+    scale_partitions: int = 8
+    replication: int = 2
+    min_scaling_ratio: float = 1.5
+    min_locality_rate: float = 0.5
+    #: Row-dominated work model: fragments, not task constants, set makespan.
+    row_cost_s: float = 5e-5
+    task_overhead_s: float = 2e-4
+    data_retry_backoff_s: float = 2e-3
+    #: Per-query chaos rates; the horizon is derived per query.
+    node_crash_prob: float = 0.3
+    node_loss_prob: float = 0.15
+    straggler_prob: float = 0.3
+    task_failure_rate: float = 0.15
+    network_partition_prob: float = 0.2
+    horizon_factor: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.chaos_queries < self.min_completed:
+            raise ClusterError("soak cannot complete more queries than it runs")
+        if self.scale_partitions < 2:
+            raise ClusterError("scaling needs >= 2 partitions")
+        if self.replication < 2:
+            raise ClusterError(
+                "chaos with permanent node losses needs replication >= 2"
+            )
+
+    def spec(self) -> ClusterSpec:
+        return ClusterSpec(
+            node_count=self.node_count,
+            cpu_slots_per_node=self.cpu_slots_per_node,
+        )
+
+
+def build_graph(config: DistSoakConfig) -> Graph:
+    """The shared dataset: typed subjects, numeric values, a link cycle."""
+    graph = Graph()
+    for i in range(config.triples):
+        s = IRI(f"http://ex/s{i % config.subjects}")
+        graph.add(s, IRI("http://ex/p"), Literal(str(i)))
+        graph.add(s, IRI("http://ex/type"), IRI(f"http://ex/C{i % 3}"))
+        if i % 2 == 0:
+            graph.add(
+                s,
+                IRI("http://ex/q"),
+                IRI(f"http://ex/s{(i + 1) % config.subjects}"),
+            )
+    return graph
+
+
+#: The pool covers every distributed operator: pruned and full scans,
+#: broadcast and shuffle joins, OPTIONAL, UNION, BIND, FILTER, DISTINCT,
+#: grouped aggregation, and ASK (whose partial results must be refused).
+QUERY_POOL: Tuple[str, ...] = (
+    "SELECT ?s ?o WHERE { ?s <http://ex/p> ?o }",
+    "SELECT ?o WHERE { <http://ex/s3> <http://ex/p> ?o }",
+    "SELECT ?s ?o WHERE { ?s <http://ex/type> <http://ex/C1> . "
+    "?s <http://ex/p> ?o }",
+    "SELECT ?a ?b ?c WHERE { ?a <http://ex/q> ?b . "
+    "?b <http://ex/type> ?c }",
+    "SELECT ?a ?o WHERE { ?a <http://ex/q> ?b . ?b <http://ex/q> ?c . "
+    "?c <http://ex/p> ?o }",
+    "SELECT ?s ?b WHERE { ?s <http://ex/type> ?c "
+    "OPTIONAL { ?s <http://ex/q> ?b } }",
+    "SELECT ?x WHERE { { ?x <http://ex/type> <http://ex/C0> } UNION "
+    "{ ?x <http://ex/type> <http://ex/C2> } }",
+    "SELECT ?s ?v WHERE { ?s <http://ex/p> ?o . BIND(?o AS ?v) }",
+    "SELECT ?s WHERE { ?s <http://ex/p> ?o . "
+    "FILTER(?s != <http://ex/s0>) }",
+    "SELECT DISTINCT ?s WHERE { ?s <http://ex/p> ?o }",
+    "SELECT ?c (COUNT(?s) AS ?n) WHERE { ?s <http://ex/type> ?c } "
+    "GROUP BY ?c",
+    "ASK { ?s <http://ex/q> ?o }",
+)
+
+#: Chaos runs cycle layouts so both join strategies and several partition
+#: counts see faults: (partitions, broadcast_threshold_rows).
+CHAOS_LAYOUTS: Tuple[Tuple[int, float], ...] = (
+    (8, 64.0),
+    (4, 1.0),
+    (5, 64.0),
+    (8, 1.0),
+    (3, 64.0),
+)
+
+
+def canonical(result) -> object:
+    """Order-free comparison key: ASK booleans stay booleans, SELECT rows
+    become a sorted multiset of sorted (variable, term) pairs."""
+    if isinstance(result, bool):
+        return result
+    return sorted(
+        tuple(sorted((v.name, str(t)) for v, t in row.items()))
+        for row in result
+    )
+
+
+@dataclass
+class DistSoakReport:
+    """The campaign ledger; :meth:`verify` is the E25 acceptance gate."""
+
+    config: DistSoakConfig
+    # scaling (clean runs over the whole pool)
+    base_makespan_s: float = 0.0  #: single-partition total
+    scaled_makespan_s: float = 0.0  #: scale_partitions total
+    locality_rate: float = 0.0  #: mean clean locality at scale
+    # chaos
+    chaos_runs: int = 0
+    completed: int = 0
+    typed_aborts: int = 0  #: PartitionUnavailable (retryable, per-partition)
+    stranded_aborts: int = 0  #: ClusterError (whole cluster died)
+    wrong_answers: int = 0
+    unflagged_partials: int = 0
+    ticket_leaks: int = 0
+    chaos_makespan_s: float = 0.0  #: completed chaos runs only
+    chaos_reference_s: float = 0.0  #: same queries' clean makespans
+    # fault/recovery evidence, summed over every chaos run
+    fault_counters: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def scaling_ratio(self) -> float:
+        if self.scaled_makespan_s <= 0:
+            return 0.0
+        return self.base_makespan_s / self.scaled_makespan_s
+
+    @property
+    def recovery_overhead(self) -> float:
+        """Chaos-vs-clean makespan on the runs that completed (>= 1.0-ish;
+        speculation can occasionally win races and land below 1)."""
+        if self.chaos_reference_s <= 0:
+            return 0.0
+        return self.chaos_makespan_s / self.chaos_reference_s
+
+    def count(self, name: str, amount: float) -> None:
+        if amount:
+            self.fault_counters[name] = (
+                self.fault_counters.get(name, 0) + amount
+            )
+
+    def verify(self) -> None:
+        """Every E25 acceptance invariant; any violation fails the soak."""
+        config = self.config
+        if self.wrong_answers:
+            raise ClusterError(
+                f"{self.wrong_answers} chaos runs returned wrong answers"
+            )
+        if self.unflagged_partials:
+            raise ClusterError(
+                f"{self.unflagged_partials} partial results escaped without "
+                "the caller opting in"
+            )
+        if self.ticket_leaks:
+            raise ClusterError(
+                f"{self.ticket_leaks} runs leaked or double-released "
+                "admission tickets"
+            )
+        if self.completed < config.min_completed:
+            raise ClusterError(
+                f"only {self.completed} of {self.chaos_runs} chaos runs "
+                f"completed; the floor is {config.min_completed}"
+            )
+        accounted = (
+            self.completed + self.typed_aborts + self.stranded_aborts
+        )
+        if accounted != self.chaos_runs:
+            raise ClusterError(
+                f"accounting leak: {self.chaos_runs} runs, "
+                f"{accounted} outcomes"
+            )
+        if self.scaling_ratio < config.min_scaling_ratio:
+            raise ClusterError(
+                f"scaling ratio {self.scaling_ratio:.3g} below the "
+                f"{config.min_scaling_ratio} floor — partitioning is not "
+                "paying for itself"
+            )
+        if self.locality_rate < config.min_locality_rate:
+            raise ClusterError(
+                f"clean locality rate {self.locality_rate:.3g} below "
+                f"{config.min_locality_rate}"
+            )
+        # The chaos must demonstrably bite, or the correctness verdict
+        # is vacuous: injected faults and exercised recovery paths.
+        injected = sum(
+            self.fault_counters.get(name, 0)
+            for name in ("node_crashes", "task_failures")
+        )
+        if injected == 0:
+            raise ClusterError("chaos campaign injected no faults")
+        recovery = sum(
+            self.fault_counters.get(name, 0)
+            for name in (
+                "dist.duplicate_publishes",
+                "dist.recovered_outputs",
+                "dist.replica_failovers",
+                "dist.data_retries",
+                "speculative_launches",
+            )
+        )
+        if recovery == 0:
+            raise ClusterError(
+                "no recovery path fired — the campaign proves nothing"
+            )
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "chaos_runs": float(self.chaos_runs),
+            "completed": float(self.completed),
+            "typed_aborts": float(self.typed_aborts),
+            "stranded_aborts": float(self.stranded_aborts),
+            "wrong_answers": float(self.wrong_answers),
+            "unflagged_partials": float(self.unflagged_partials),
+            "ticket_leaks": float(self.ticket_leaks),
+            "scaling_ratio": self.scaling_ratio,
+            "locality_rate": self.locality_rate,
+            "recovery_overhead": self.recovery_overhead,
+            "base_makespan_s": self.base_makespan_s,
+            "scaled_makespan_s": self.scaled_makespan_s,
+        }
+
+
+class _DistSoak:
+    def __init__(
+        self, config: DistSoakConfig, obs: Optional[Observability] = None
+    ):
+        self.config = config
+        self.obs = obs
+        self.graph = build_graph(config)
+        self.report = DistSoakReport(config=config)
+        self.expected = {
+            text: canonical(
+                evaluate(
+                    self.graph,
+                    text,
+                    options=CompileOptions(engine="vector"),
+                )
+            )
+            for text in QUERY_POOL
+        }
+        self.clean_makespans: Dict[str, float] = {}
+
+    def _runtime(self, partitions: int, threshold: float = 64.0,
+                 injector=None, admission=None) -> DistRuntime:
+        config = self.config
+        return DistRuntime(
+            self.graph,
+            spec=config.spec(),
+            partitions=partitions,
+            replication=config.replication,
+            broadcast_threshold_rows=threshold,
+            speculation=True,
+            blacklist_after=3,
+            row_cost_s=config.row_cost_s,
+            task_overhead_s=config.task_overhead_s,
+            data_retry_backoff_s=config.data_retry_backoff_s,
+            injector=injector,
+            admission=admission,
+            obs=self.obs,
+        )
+
+    def _run(self, text: str, runtime: DistRuntime):
+        result = evaluate(
+            self.graph,
+            text,
+            options=CompileOptions(engine="dist", dist=runtime),
+            obs=self.obs,
+        )
+        return result, runtime.last_report
+
+    # -- phase 1: clean scaling ----------------------------------------
+
+    def run_scaling(self) -> None:
+        report = self.report
+        locality: List[float] = []
+        for text in QUERY_POOL:
+            result, base = self._run(text, self._runtime(partitions=1))
+            assert canonical(result) == self.expected[text], text
+            report.base_makespan_s += base.makespan_s
+            result, scaled = self._run(
+                text, self._runtime(partitions=self.config.scale_partitions)
+            )
+            assert canonical(result) == self.expected[text], text
+            report.scaled_makespan_s += scaled.makespan_s
+            self.clean_makespans[text] = scaled.makespan_s
+            locality.append(scaled.locality_rate)
+        report.locality_rate = sum(locality) / len(locality)
+
+    # -- phase 2: seeded chaos -----------------------------------------
+
+    def _chaos_injector(self, index: int, horizon_s: float) -> FaultInjector:
+        config = self.config
+        plan = FaultPlan.chaos(
+            seed=config.seed * 100003 + index,
+            node_count=config.node_count,
+            node_crash_prob=config.node_crash_prob,
+            node_loss_prob=config.node_loss_prob,
+            straggler_prob=config.straggler_prob,
+            task_failure_rate=config.task_failure_rate,
+            network_partition_prob=config.network_partition_prob,
+            network_partition_duration_s=horizon_s / 4.0,
+            horizon_s=horizon_s,
+        )
+        return FaultInjector(plan)
+
+    def run_chaos(self) -> None:
+        config = self.config
+        report = self.report
+        for index in range(config.chaos_queries):
+            text = QUERY_POOL[index % len(QUERY_POOL)]
+            partitions, threshold = CHAOS_LAYOUTS[index % len(CHAOS_LAYOUTS)]
+            horizon = config.horizon_factor * self.clean_makespans[text]
+            admission = AdmissionController(max_in_flight=256, max_queue=1024)
+            runtime = self._runtime(
+                partitions,
+                threshold,
+                injector=self._chaos_injector(index, horizon),
+                admission=admission,
+            )
+            report.chaos_runs += 1
+            try:
+                result, run = self._run(text, runtime)
+            except PartitionUnavailable as fault:
+                if not fault.retryable:
+                    raise ClusterError(
+                        f"PartitionUnavailable must be retryable: {fault}"
+                    )
+                report.typed_aborts += 1
+                self._audit(runtime.last_report)
+                continue
+            except ClusterError:
+                report.stranded_aborts += 1
+                self._audit(runtime.last_report)
+                continue
+            if isinstance(result, PartialResult):
+                report.unflagged_partials += 1
+                continue
+            if canonical(result) != self.expected[text]:
+                report.wrong_answers += 1
+                continue
+            report.completed += 1
+            report.chaos_makespan_s += run.makespan_s
+            report.chaos_reference_s += self.clean_makespans[text]
+            self._audit(run)
+
+    def _audit(self, run) -> None:
+        """Per-run bookkeeping: exactly-once tickets, fault evidence."""
+        report = self.report
+        if run is None:
+            return
+        if run.tickets_issued != run.tickets_released:
+            report.ticket_leaks += 1
+        report.count("node_crashes", run.node_crashes)
+        report.count("task_failures", run.task_failures)
+        report.count("speculative_launches", run.speculative_launches)
+        for name in (
+            "dist.duplicate_publishes",
+            "dist.recovered_outputs",
+            "dist.replica_failovers",
+            "dist.data_retries",
+            "dist.unreachable_reads",
+            "dist.remote_reads",
+            "dist.partitions_unavailable",
+            "dist.aborts",
+        ):
+            report.count(name, run.counters.get(name, 0))
+
+    def run(self) -> DistSoakReport:
+        self.run_scaling()
+        self.run_chaos()
+        return self.report
+
+
+def run_dist_soak(
+    config: DistSoakConfig, obs: Optional[Observability] = None
+) -> DistSoakReport:
+    """Run one deterministic campaign; the report is verify()-able."""
+    return _DistSoak(config, obs=obs).run()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.sparql.dist.soak [--smoke] [--seed N]``"""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="E25 distributed-chaos soak: scaling + chaos correctness"
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="short CI-sized run")
+    parser.add_argument("--seed", type=int, default=25)
+    parser.add_argument("--queries", type=int, default=None)
+    args = parser.parse_args(argv)
+    queries = args.queries
+    if queries is None:
+        queries = 160 if args.smoke else 240
+    config = DistSoakConfig(seed=args.seed, chaos_queries=queries)
+    obs = Observability(clock=lambda: 0.0)
+    report = run_dist_soak(config, obs=obs)
+    report.verify()
+    print("[soak] " + " ".join(
+        f"{key}={value:.5g}" for key, value in report.summary().items()
+    ))
+    print("[faults] " + " ".join(
+        f"{key}={value:.5g}"
+        for key, value in sorted(report.fault_counters.items())
+    ))
+    from repro.obs import bench_snapshot_path, write_snapshot
+
+    meta = {
+        "experiment": "E25",
+        "seed": config.seed,
+        "partitions": config.scale_partitions,
+        "replication": config.replication,
+        "node_count": config.node_count,
+        "min_completed": config.min_completed,
+        "recovery_overhead": report.recovery_overhead,
+        "replica_failovers": report.fault_counters.get(
+            "dist.replica_failovers", 0
+        ),
+        "duplicate_publishes": report.fault_counters.get(
+            "dist.duplicate_publishes", 0
+        ),
+        "recovered_outputs": report.fault_counters.get(
+            "dist.recovered_outputs", 0
+        ),
+        "node_crashes": report.fault_counters.get("node_crashes", 0),
+        "task_failures": report.fault_counters.get("task_failures", 0),
+        "speculative_launches": report.fault_counters.get(
+            "speculative_launches", 0
+        ),
+    }
+    meta.update(report.summary())
+    path = write_snapshot(bench_snapshot_path("E25"), obs, meta=meta)
+    print(f"[obs] snapshot written: {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -494,6 +494,12 @@ def _evaluate_query(
         return evaluate_vector_query(
             graph, query, registry, options, obs, cache, text
         )
+    if options is not None and options.engine == "dist":
+        from repro.sparql.dist import evaluate_dist_query
+
+        return evaluate_dist_query(
+            graph, query, registry, options, obs, cache, text
+        )
     budget = options.budget if options is not None else None
     if isinstance(query, AskQuery):
         tree = _compile(query.where, graph, options, cache, text)

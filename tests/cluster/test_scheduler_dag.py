@@ -1,0 +1,291 @@
+"""Scheduler DAG dependencies, attempt hooks, cancellation, ticket audit (E25).
+
+Pins the semantics the distributed SPARQL engine is built on:
+
+* ``depends_on`` gates dispatch on dependency *completion*, and terminal
+  non-completion cascades abandonment instead of deadlocking the drain;
+* ``on_attempt_end`` fires per attempt — including attempts the injector
+  fails afterwards (the zombie-commit model) and speculative twins — so
+  output commit must be idempotent;
+* ``on_abandon`` fires exactly once on terminal non-completion;
+* ``cancel_task`` withdraws queued and running tasks without firing
+  ``on_complete``;
+* admission tickets are released exactly once on *every* terminal path,
+  audited by ``tickets_issued == tickets_released`` — including under the
+  speculation + crash + injected-failure race (the leak audit the E25
+  issue called for).
+"""
+
+import pytest
+
+from repro.cluster import ClusterSpec, Scheduler
+from repro.errors import ClusterError
+from repro.faults import FaultInjector, FaultPlan, NodeCrash, Straggler
+from repro.resilience.admission import AdmissionController
+
+
+def spec(**kwargs):
+    defaults = dict(node_count=4, cpu_slots_per_node=1)
+    defaults.update(kwargs)
+    return ClusterSpec(**defaults)
+
+
+class AlwaysFails:
+    """Injector stub: every attempt of every task fails."""
+
+    def node_crash_time(self, node_id):
+        return None
+
+    def straggler_factor(self, node_id):
+        return 1.0
+
+    def task_fails(self, task_id):
+        return True
+
+
+class FailsTask:
+    """Injector stub failing every attempt of one task id."""
+
+    def __init__(self, task_id):
+        self.target = task_id
+
+    def node_crash_time(self, node_id):
+        return None
+
+    def straggler_factor(self, node_id):
+        return 1.0
+
+    def task_fails(self, task_id):
+        return task_id == self.target
+
+
+class TestDependencies:
+    def test_dependent_waits_for_completion(self):
+        scheduler = Scheduler(spec())
+        order = []
+        first = scheduler.make_task(
+            2.0, on_complete=lambda t: order.append("first")
+        )
+        second = scheduler.make_task(
+            1.0, on_complete=lambda t: order.append("second")
+        )
+        second.depends_on = {first.task_id}
+        # Submit the dependent first: it must still wait.
+        scheduler.submit(second)
+        scheduler.submit(first)
+        scheduler.run()
+        assert order == ["first", "second"]
+        assert second.started_at >= first.finished_at
+
+    def test_diamond_runs_in_topological_order(self):
+        scheduler = Scheduler(spec())
+        finished = []
+        source = scheduler.make_task(1.0, on_complete=lambda t: finished.append("s"))
+        left = scheduler.make_task(1.0, on_complete=lambda t: finished.append("l"))
+        right = scheduler.make_task(1.0, on_complete=lambda t: finished.append("r"))
+        sink = scheduler.make_task(1.0, on_complete=lambda t: finished.append("k"))
+        left.depends_on = {source.task_id}
+        right.depends_on = {source.task_id}
+        sink.depends_on = {left.task_id, right.task_id}
+        scheduler.submit_all([sink, right, left, source])
+        scheduler.run()
+        assert finished[0] == "s" and finished[-1] == "k"
+        assert set(finished) == {"s", "l", "r", "k"}
+
+    def test_abandoned_dependency_cascades(self):
+        scheduler = Scheduler(
+            spec(), injector=FailsTask(0), max_retries=1
+        )
+        abandoned = []
+        doomed = scheduler.make_task(1.0)  # task_id 0: always fails
+        doomed.on_abandon = lambda t: abandoned.append(t.task_id)
+        dependent = scheduler.make_task(1.0)
+        dependent.on_abandon = lambda t: abandoned.append(t.task_id)
+        grandchild = scheduler.make_task(1.0)
+        grandchild.on_abandon = lambda t: abandoned.append(t.task_id)
+        dependent.depends_on = {doomed.task_id}
+        grandchild.depends_on = {dependent.task_id}
+        scheduler.submit_all([doomed, dependent, grandchild])
+        scheduler.run()
+        # Each abandons exactly once, in cascade order.
+        assert abandoned == [doomed.task_id, dependent.task_id, grandchild.task_id]
+        assert scheduler.metrics.tasks_abandoned == 3
+        assert scheduler.metrics.tasks_completed == 0
+
+
+class TestAttemptHooks:
+    def test_attempt_end_fires_on_failed_attempts(self):
+        """The zombie-commit model: a failed attempt still reports, flagged."""
+        scheduler = Scheduler(spec(), injector=FailsTask(0), max_retries=2)
+        attempts = []
+        task = scheduler.make_task(1.0)
+        task.on_attempt_end = lambda t, failed: attempts.append(failed)
+        scheduler.submit(task)
+        scheduler.run()
+        # initial + 2 retries, every one reported, every one failed.
+        assert attempts == [True, True, True]
+
+    def test_attempt_end_fires_for_speculative_twin(self):
+        plan = FaultPlan(stragglers=(Straggler(node_id=0, factor=10.0),))
+        scheduler = Scheduler(
+            spec(node_count=2),
+            injector=FaultInjector(plan),
+            speculation=True,
+            speculation_factor=1.5,
+        )
+        attempts = []
+        # Fill node 0 (the straggler) so one task crawls and gets a backup.
+        tasks = [scheduler.make_task(2.0) for _ in range(2)]
+        for task in tasks:
+            task.on_attempt_end = lambda t, failed: attempts.append(
+                (t.task_id, failed)
+            )
+        scheduler.submit_all(tasks)
+        metrics = scheduler.run()
+        assert metrics.speculative_launches >= 1
+        # The speculated task reported at least twice (winner + loser or
+        # cancelled sibling) — or the loser was cancelled mid-flight, in
+        # which case only completed attempts report. Either way every
+        # reported attempt is a clean (unfailed) one here.
+        assert len(attempts) >= len(tasks)
+        assert all(not failed for _, failed in attempts)
+
+
+class TestCancellation:
+    def test_cancel_queued_task(self):
+        scheduler = Scheduler(spec(node_count=1, cpu_slots_per_node=1))
+        completions = []
+        blocker = scheduler.make_task(5.0)
+        queued = scheduler.make_task(1.0, on_complete=lambda t: completions.append(t))
+        scheduler.submit_all([blocker, queued])
+        assert scheduler.cancel_task(queued) is True
+        scheduler.run()
+        assert completions == []
+        assert scheduler.metrics.tasks_cancelled == 1
+        assert scheduler.metrics.tasks_completed == 1  # the blocker
+
+    def test_cancel_running_task(self):
+        scheduler = Scheduler(spec(node_count=1))
+        task = scheduler.make_task(5.0)
+        scheduler.submit(task)
+        scheduler.simulation.run(until=1.0)
+        assert task.started_at is not None and task.finished_at is None
+        assert scheduler.cancel_task(task) is True
+        scheduler.run()
+        assert task.finished_at is None
+        assert scheduler.metrics.tasks_cancelled == 1
+
+    def test_cancel_is_idempotent_and_skips_finished(self):
+        scheduler = Scheduler(spec())
+        task = scheduler.make_task(1.0)
+        scheduler.submit(task)
+        scheduler.run()
+        assert scheduler.cancel_task(task) is False
+        fresh = scheduler.make_task(1.0)
+        scheduler.submit(fresh)
+        assert scheduler.cancel_task(fresh) is True
+        assert scheduler.cancel_task(fresh) is False
+
+    def test_cancel_cascades_to_dependents(self):
+        scheduler = Scheduler(spec(node_count=1, cpu_slots_per_node=1))
+        abandoned = []
+        blocker = scheduler.make_task(5.0)
+        parent = scheduler.make_task(1.0)
+        child = scheduler.make_task(1.0)
+        child.depends_on = {parent.task_id}
+        child.on_abandon = lambda t: abandoned.append(t.task_id)
+        scheduler.submit_all([blocker, parent, child])
+        scheduler.cancel_task(parent)
+        scheduler.run()
+        assert abandoned == [child.task_id]
+        assert scheduler.metrics.tasks_cancelled == 1
+        assert scheduler.metrics.tasks_abandoned == 1
+
+
+class TestTicketAudit:
+    """Exactly-once admission-ticket release on every terminal path."""
+
+    def _audit(self, scheduler):
+        assert scheduler.tickets_issued == scheduler.tickets_released
+        assert scheduler._admission is None or (
+            scheduler._admission._in_flight == 0
+        )
+
+    def test_completion_releases(self):
+        admission = AdmissionController(max_in_flight=16, max_queue=16)
+        scheduler = Scheduler(spec(), admission=admission)
+        scheduler.submit_all([scheduler.make_task(1.0) for _ in range(8)])
+        scheduler.run()
+        assert scheduler.tickets_issued == 8
+        self._audit(scheduler)
+
+    def test_abandonment_releases(self):
+        admission = AdmissionController(max_in_flight=16, max_queue=16)
+        scheduler = Scheduler(
+            spec(), injector=AlwaysFails(), max_retries=1, admission=admission
+        )
+        scheduler.submit_all([scheduler.make_task(1.0) for _ in range(4)])
+        scheduler.run()
+        assert scheduler.metrics.tasks_abandoned == 4
+        self._audit(scheduler)
+
+    def test_cancellation_releases(self):
+        admission = AdmissionController(max_in_flight=16, max_queue=16)
+        scheduler = Scheduler(
+            spec(node_count=1, cpu_slots_per_node=1), admission=admission
+        )
+        tasks = [scheduler.make_task(2.0) for _ in range(4)]
+        scheduler.submit_all(tasks)
+        for task in tasks[1:]:
+            scheduler.cancel_task(task)
+        scheduler.run()
+        assert scheduler.tickets_issued == 4
+        self._audit(scheduler)
+
+    def test_dependency_cascade_releases(self):
+        admission = AdmissionController(max_in_flight=16, max_queue=16)
+        scheduler = Scheduler(
+            spec(), injector=FailsTask(0), max_retries=0, admission=admission
+        )
+        doomed = scheduler.make_task(1.0)
+        child = scheduler.make_task(1.0)
+        child.depends_on = {doomed.task_id}
+        scheduler.submit_all([doomed, child])
+        scheduler.run()
+        assert scheduler.tickets_issued == 2
+        self._audit(scheduler)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_no_leak_under_speculation_crash_race(self, seed):
+        """The E25 audit: speculation + crashes + injected failures +
+        blacklisting together must never double-release or leak a ticket."""
+        plan = FaultPlan.chaos(
+            seed=seed,
+            node_count=4,
+            node_crash_prob=0.4,
+            straggler_prob=0.4,
+            task_failure_rate=0.2,
+            horizon_s=30.0,
+        )
+        admission = AdmissionController(max_in_flight=64, max_queue=64)
+        scheduler = Scheduler(
+            spec(),
+            injector=FaultInjector(plan),
+            speculation=True,
+            speculation_factor=1.5,
+            blacklist_after=3,
+            max_retries=3,
+            admission=admission,
+        )
+        tasks = [scheduler.make_task(2.0) for _ in range(24)]
+        scheduler.submit_all(tasks)
+        try:
+            scheduler.run()
+        except ClusterError:
+            # All nodes dead with work queued: release what remains by
+            # withdrawing the stranded tasks, exactly like the E25 driver.
+            for task in tasks:
+                if task.finished_at is None:
+                    scheduler.cancel_task(task)
+        assert scheduler.tickets_issued == 24
+        self._audit(scheduler)

@@ -154,3 +154,110 @@ class TestInjectorQueries:
         assert injector.worker_crashed(1, 4)
         assert injector.worker_crashed(1, 5)
         assert not injector.worker_crashed(0, 100)
+
+
+class TestE25Faults:
+    """NodeLoss / NetworkPartition (E25) and the append-only draw discipline."""
+
+    def test_node_loss_validation_and_lookup(self):
+        from repro.faults import NodeLoss
+
+        with pytest.raises(FaultError):
+            NodeLoss(node_id=0, at_s=-1.0)
+        plan = FaultPlan(node_losses=(NodeLoss(node_id=2, at_s=5.0),))
+        assert not plan.empty
+        injector = FaultInjector(plan)
+        assert injector.node_loss_time(2) == 5.0
+        assert injector.node_loss_time(0) is None
+        assert injector.node_losses() == plan.node_losses
+
+    def test_network_partition_validation(self):
+        from repro.faults import NetworkPartition
+
+        with pytest.raises(FaultError):
+            NetworkPartition(island=(), down_s=0.0, up_s=1.0)
+        with pytest.raises(FaultError):
+            NetworkPartition(island=(0,), down_s=2.0, up_s=1.0)
+
+    def test_reachability_window(self):
+        from repro.faults import NetworkPartition
+
+        plan = FaultPlan(
+            network_partitions=(
+                NetworkPartition(island=(0, 1), down_s=10.0, up_s=20.0),
+            )
+        )
+        injector = FaultInjector(plan)
+        # Cross-island links fail only inside the window.
+        assert injector.reachable(0, 2, 5.0)
+        assert not injector.reachable(0, 2, 15.0)
+        assert not injector.reachable(2, 0, 15.0)
+        assert injector.reachable(0, 2, 20.0)
+        # Same-side links always work, and a node reaches itself.
+        assert injector.reachable(0, 1, 15.0)
+        assert injector.reachable(2, 3, 15.0)
+        assert injector.reachable(0, 0, 15.0)
+
+    def test_chaos_generates_e25_faults(self):
+        plan = FaultPlan.chaos(
+            seed=11,
+            node_count=8,
+            node_loss_prob=0.5,
+            network_partition_prob=1.0,
+            network_partition_duration_s=7.5,
+            horizon_s=50.0,
+        )
+        assert plan.node_losses  # p=0.5 over 8 nodes: astronomically likely
+        assert len(plan.network_partitions) == 1
+        window = plan.network_partitions[0]
+        assert window.up_s - window.down_s == pytest.approx(7.5)
+        assert all(0 <= n < 8 for n in window.island)
+        # Island splits the cluster: never empty, never everyone.
+        assert 0 < len(window.island) < 8
+
+    def test_chaos_draws_are_append_only(self):
+        """Enabling the E25 knobs must not move any pre-existing draw: the
+        new kinds consume randomness strictly *after* every older kind."""
+        base = dict(
+            seed=42,
+            node_count=6,
+            node_crash_prob=0.4,
+            straggler_prob=0.4,
+            task_failure_rate=0.2,
+            datanode_count=4,
+            datanode_crash_prob=0.3,
+            shard_count=4,
+            shard_outage_prob=0.3,
+            endpoints=("a", "b"),
+            endpoint_error_rate=0.2,
+            workers=3,
+            worker_crash_prob=0.3,
+            block_count=5,
+            bit_flip_prob=0.2,
+            stale_replica_prob=0.2,
+            slow_operator_ops=("JoinOp",),
+            slow_operator_prob=0.5,
+        )
+        old = FaultPlan.chaos(**base)
+        new = FaultPlan.chaos(
+            **base,
+            node_loss_prob=0.7,
+            network_partition_prob=1.0,
+            network_partition_duration_s=5.0,
+        )
+        assert new.node_losses or new.network_partitions
+        for field in (
+            "node_crashes",
+            "stragglers",
+            "task_failure_rate",
+            "datanode_crashes",
+            "shard_outages",
+            "endpoint_faults",
+            "worker_crashes",
+            "bit_flips",
+            "stale_replicas",
+            "slow_operators",
+        ):
+            assert getattr(old, field) == getattr(new, field), field
+        # And with the knobs at zero the plans are outright identical.
+        assert FaultPlan.chaos(**base) == old

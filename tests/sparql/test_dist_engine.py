@@ -1,0 +1,482 @@
+"""Distributed SPARQL engine (E25): partitioning, planning, robustness.
+
+The equivalence property suite lives in ``test_dist_equivalence.py``; this
+file pins the mechanisms — partition disjointness, physical plan shapes,
+replica failover, partial-result opt-in, budget kill with exactly-once
+ticket release, idempotent output commit under injected failures, and the
+serving-gateway translation of :class:`PartitionUnavailable` to ``Shed``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.errors import (
+    PartitionUnavailable,
+    QueryBudgetExceeded,
+    Shed,
+    SPARQLError,
+)
+from repro.faults import FaultInjector, FaultPlan, NodeLoss
+from repro.rdf import Graph
+from repro.rdf.term import IRI, Literal
+from repro.resilience.admission import AdmissionController
+from repro.sparql import CompileOptions, QueryBudget, evaluate
+from repro.sparql.dist import (
+    DistRuntime,
+    PartialResult,
+    PartitionedTripleStore,
+    RangePartitioner,
+    ShuffleStore,
+    bucket_codes,
+    build_plan,
+    plan_shape,
+)
+from repro.sparql.evaluator import _EMPTY_REGISTRY
+from repro.sparql.parser import parse_query
+from repro.sparql.vector.engine import compile_vector_plan
+from repro.sparql.vector.ops import scan_batch
+from repro.sparql.vector.dictionary import TermEncoder
+
+
+def build_graph(n=300, subjects=60):
+    graph = Graph()
+    for i in range(n):
+        s = IRI(f"http://ex/s{i % subjects}")
+        graph.add(s, IRI("http://ex/p"), Literal(str(i)))
+        graph.add(s, IRI("http://ex/type"), IRI(f"http://ex/C{i % 3}"))
+        if i % 2 == 0:
+            graph.add(s, IRI("http://ex/q"), IRI(f"http://ex/s{(i + 1) % subjects}"))
+    return graph
+
+
+def canonical(rows):
+    return sorted(
+        tuple(sorted((v.name, str(t)) for v, t in row.items())) for row in rows
+    )
+
+
+def run_dist(graph, text, runtime, **options):
+    return evaluate(
+        graph,
+        text,
+        options=CompileOptions(engine="dist", dist=runtime, **options),
+    )
+
+
+def run_vector(graph, text):
+    return evaluate(graph, text, options=CompileOptions(engine="vector"))
+
+
+class TestRangePartitioner:
+    def test_every_id_has_exactly_one_partition(self):
+        partitioner = RangePartitioner(term_count=97, partitions=4)
+        pids = [partitioner.partition_of(i) for i in range(97)]
+        assert set(pids) <= {0, 1, 2, 3}
+        assert pids == sorted(pids)  # ranges are contiguous and ordered
+        column = partitioner.partition_column(np.arange(97, dtype=np.int64))
+        assert list(column) == pids
+
+    def test_out_of_span_ids_clamp(self):
+        partitioner = RangePartitioner(term_count=10, partitions=4)
+        assert partitioner.partition_of(-5) == 0
+        assert partitioner.partition_of(10_000) == 3
+
+    def test_validation(self):
+        with pytest.raises(SPARQLError):
+            RangePartitioner(term_count=10, partitions=0)
+
+
+class TestPartitionedStore:
+    def test_fragments_are_disjoint_cover(self):
+        graph = build_graph()
+        store = PartitionedTripleStore(
+            graph, ClusterSpec(node_count=4), partitions=4, replication=2
+        )
+        pattern = parse_query(
+            "SELECT * WHERE { ?s <http://ex/p> ?v }"
+        ).where.children[0].patterns[0]
+        whole = scan_batch(graph, TermEncoder(graph), pattern)
+        parts = [store.scan_partition(pid, pattern) for pid in range(4)]
+        assert sum(p.nrows for p in parts) == whole.nrows
+        # Disjoint: each subject id appears in exactly one partition.
+        seen = {}
+        for pid, part in enumerate(parts):
+            for variable, column in part.columns.items():
+                if variable.name != "s":
+                    continue
+                for sid in np.unique(column):
+                    assert seen.setdefault(int(sid), pid) == pid
+
+    def test_constant_subject_pins_one_partition(self):
+        graph = build_graph()
+        store = PartitionedTripleStore(
+            graph, ClusterSpec(node_count=4), partitions=4, replication=2
+        )
+        pattern = parse_query(
+            "SELECT * WHERE { <http://ex/s7> <http://ex/p> ?v }"
+        ).where.children[0].patterns[0]
+        assert len(store.relevant_partitions(pattern)) == 1
+        unknown = parse_query(
+            "SELECT * WHERE { <http://nowhere/x> <http://ex/p> ?v }"
+        ).where.children[0].patterns[0]
+        assert store.relevant_partitions(unknown) == []
+
+    def test_sync_tracks_graph_version(self):
+        graph = build_graph(n=10)
+        store = PartitionedTripleStore(
+            graph, ClusterSpec(node_count=4), partitions=2, replication=1
+        )
+        before = sum(store.partition_rows(p) for p in range(2))
+        graph.add(IRI("http://ex/new"), IRI("http://ex/p"), Literal("z"))
+        store.sync()
+        assert sum(store.partition_rows(p) for p in range(2)) == before + 1
+
+    def test_replication_validation(self):
+        graph = build_graph(n=10)
+        with pytest.raises(SPARQLError):
+            PartitionedTripleStore(
+                graph, ClusterSpec(node_count=2), partitions=2, replication=3
+            )
+
+
+class TestPlanShapes:
+    def _plan(self, graph, text, threshold=64.0):
+        query = parse_query(text)
+        tree = compile_vector_plan(
+            query.where, graph, CompileOptions(engine="vector")
+        )
+        return plan_shape(build_plan(tree, graph, threshold, 4))
+
+    def test_scan_and_map(self):
+        graph = build_graph()
+        assert self._plan(graph, "SELECT * WHERE { ?s <http://ex/p> ?v }") == "scan"
+        shape = self._plan(
+            graph,
+            "SELECT * WHERE { ?s <http://ex/p> ?v FILTER(?v != 3) }",
+        )
+        assert shape == "map[FilterOp](scan)"
+
+    def test_join_is_shuffle_above_threshold(self):
+        graph = build_graph()
+        text = (
+            "SELECT * WHERE { ?s <http://ex/p> ?v . ?s <http://ex/type> ?t }"
+        )
+        assert "shuffle[?s]" in self._plan(graph, text, threshold=1.0)
+        assert "bcast" in self._plan(graph, text, threshold=1e9)
+
+    def test_optional_always_broadcasts(self):
+        graph = build_graph()
+        shape = self._plan(
+            graph,
+            "SELECT * WHERE { ?s <http://ex/p> ?v "
+            "OPTIONAL { ?s <http://ex/q> ?o } }",
+            threshold=1.0,
+        )
+        assert shape.startswith("bcast-outer(")
+
+    def test_union_concatenates(self):
+        graph = build_graph()
+        shape = self._plan(
+            graph,
+            "SELECT * WHERE { { ?s <http://ex/p> ?v } "
+            "UNION { ?s <http://ex/q> ?v } }",
+        )
+        assert shape == "union(scan, scan)"
+
+    def test_values_runs_local(self):
+        graph = build_graph()
+        shape = self._plan(
+            graph,
+            "SELECT * WHERE { VALUES ?s { <http://ex/s1> } "
+            "?s <http://ex/p> ?v }",
+            threshold=1.0,
+        )
+        # The VALUES table is tiny: it is the broadcast (or local) side,
+        # never a shuffle key source (its ?s could be UNDEF in general).
+        assert "shuffle" not in shape
+
+
+class TestBucketCodes:
+    def test_deterministic_and_in_range(self):
+        matrix = np.arange(60, dtype=np.int64).reshape(20, 3)
+        a = bucket_codes(matrix, 7)
+        b = bucket_codes(matrix.copy(), 7)
+        assert (a == b).all()
+        assert a.min() >= 0 and a.max() < 7
+
+    def test_row_order_independent(self):
+        matrix = np.arange(40, dtype=np.int64).reshape(20, 2)
+        shuffled = matrix[::-1]
+        assert (bucket_codes(matrix, 5)[::-1] == bucket_codes(shuffled, 5)).all()
+
+
+class TestShuffleStore:
+    def test_first_write_wins(self):
+        store = ShuffleStore()
+        assert store.publish(("a", 0), 1) is True
+        assert store.publish(("a", 0), 2) is False
+        assert store.get(("a", 0)) == 1
+        assert store.publishes == 1
+        assert store.duplicate_publishes == 1
+        store.register_duplicate(("a", 0))
+        assert store.duplicate_publishes == 2
+
+
+class TestDistExecution:
+    QUERIES = [
+        "SELECT ?s ?v WHERE { ?s <http://ex/p> ?v }",
+        "SELECT ?s ?v ?t WHERE { ?s <http://ex/p> ?v . ?s <http://ex/type> ?t }",
+        "SELECT ?s ?v WHERE { ?s <http://ex/p> ?v FILTER(?v != 3) }",
+        "SELECT ?s ?w WHERE { ?s <http://ex/p> ?v BIND(?v AS ?w) }",
+        "SELECT ?s WHERE { { ?s <http://ex/q> ?o } UNION "
+        "{ ?s <http://ex/type> <http://ex/C1> } }",
+        "SELECT ?s ?v ?o WHERE { ?s <http://ex/p> ?v "
+        "OPTIONAL { ?s <http://ex/q> ?o } }",
+        "SELECT (COUNT(?v) AS ?n) WHERE { ?s <http://ex/p> ?v }",
+        "SELECT ?x WHERE { <http://nowhere/z> <http://ex/p> ?x }",
+    ]
+
+    @pytest.mark.parametrize("partitions,replication", [(1, 1), (4, 2), (7, 3)])
+    def test_parity_across_layouts(self, partitions, replication):
+        graph = build_graph()
+        runtime = DistRuntime(
+            graph, partitions=partitions, replication=replication
+        )
+        for text in self.QUERIES:
+            assert canonical(run_dist(graph, text, runtime)) == canonical(
+                run_vector(graph, text)
+            ), text
+
+    def test_shuffle_path_parity(self):
+        graph = build_graph()
+        runtime = DistRuntime(
+            graph, partitions=4, replication=2, broadcast_threshold_rows=1.0
+        )
+        text = (
+            "SELECT ?s ?v ?t WHERE { ?s <http://ex/p> ?v . "
+            "?s <http://ex/type> ?t }"
+        )
+        assert canonical(run_dist(graph, text, runtime)) == canonical(
+            run_vector(graph, text)
+        )
+        assert runtime.last_report.counters.get("dist.shuffle_joins") == 1
+
+    def test_ask_queries(self):
+        graph = build_graph()
+        runtime = DistRuntime(graph, partitions=4, replication=2)
+        assert run_dist(graph, "ASK { ?s <http://ex/p> ?v }", runtime) is True
+        assert (
+            run_dist(graph, "ASK { ?s <http://nowhere/p> ?v }", runtime) is False
+        )
+
+    def test_empty_graph(self):
+        graph = Graph()
+        runtime = DistRuntime(graph, partitions=4, replication=1)
+        assert run_dist(graph, "SELECT * WHERE { ?s ?p ?o }", runtime) == []
+
+    def test_requires_runtime(self):
+        graph = build_graph(n=10)
+        with pytest.raises(SPARQLError, match="needs a runtime"):
+            evaluate(
+                graph,
+                "SELECT * WHERE { ?s ?p ?o }",
+                options=CompileOptions(engine="dist"),
+            )
+
+    def test_rejects_foreign_graph(self):
+        runtime = DistRuntime(build_graph(n=10))
+        with pytest.raises(SPARQLError, match="different graph"):
+            evaluate(
+                build_graph(n=10),
+                "SELECT * WHERE { ?s ?p ?o }",
+                options=CompileOptions(engine="dist", dist=runtime),
+            )
+
+    def test_graph_mutation_resyncs(self):
+        graph = build_graph(n=20)
+        runtime = DistRuntime(graph, partitions=4, replication=2)
+        text = "SELECT ?s ?v WHERE { ?s <http://ex/p> ?v }"
+        before = len(run_dist(graph, text, runtime))
+        graph.add(IRI("http://ex/added"), IRI("http://ex/p"), Literal("new"))
+        assert len(run_dist(graph, text, runtime)) == before + 1
+
+    def test_locality_dominates_clean_runs(self):
+        graph = build_graph()
+        runtime = DistRuntime(graph, partitions=4, replication=2)
+        run_dist(graph, "SELECT ?s ?v WHERE { ?s <http://ex/p> ?v }", runtime)
+        assert runtime.last_report.locality_rate >= 0.75
+
+
+class TestReplicaFailover:
+    TEXT = "SELECT ?s ?v ?t WHERE { ?s <http://ex/p> ?v . ?s <http://ex/type> ?t }"
+
+    def loss_plan(self, *node_ids, at_s=0.0):
+        return FaultPlan(
+            node_losses=tuple(NodeLoss(node_id=n, at_s=at_s) for n in node_ids)
+        )
+
+    def test_replicated_store_survives_node_loss(self):
+        graph = build_graph()
+        expected = canonical(run_vector(graph, self.TEXT))
+        runtime = DistRuntime(graph, partitions=4, replication=2)
+        runtime.injector = FaultInjector(self.loss_plan(0))
+        assert canonical(run_dist(graph, self.TEXT, runtime)) == expected
+
+    def test_unreplicated_store_raises_typed_error(self):
+        graph = build_graph()
+        runtime = DistRuntime(graph, partitions=4, replication=1)
+        runtime.injector = FaultInjector(self.loss_plan(0))
+        with pytest.raises(PartitionUnavailable) as excinfo:
+            run_dist(graph, self.TEXT, runtime)
+        assert excinfo.value.retryable
+        assert excinfo.value.partition is not None
+
+    def test_partial_result_requires_opt_in(self):
+        graph = build_graph()
+        full = run_vector(graph, self.TEXT)
+        runtime = DistRuntime(
+            graph, partitions=4, replication=1, allow_partial=True
+        )
+        runtime.injector = FaultInjector(self.loss_plan(0))
+        result = run_dist(graph, self.TEXT, runtime)
+        assert isinstance(result, PartialResult)
+        assert result.complete is False
+        assert result.missing_partitions
+        assert len(result) < len(full)
+        # Every returned row is a true row of the full answer.
+        full_set = set(canonical(full))
+        assert set(canonical(result)) <= full_set
+
+    def test_ask_refuses_inconclusive_partial(self):
+        graph = build_graph()
+        runtime = DistRuntime(
+            graph, partitions=4, replication=1, allow_partial=True
+        )
+        runtime.injector = FaultInjector(self.loss_plan(0, 1, 2, 3))
+        with pytest.raises(PartitionUnavailable):
+            run_dist(graph, "ASK { ?s <http://nowhere/p> ?v }", runtime)
+
+
+class TestBudgetIntegration:
+    TEXT = "SELECT ?s ?v ?t WHERE { ?s <http://ex/p> ?v . ?s <http://ex/type> ?t }"
+
+    def test_budget_kill_cancels_dag(self):
+        graph = build_graph()
+        runtime = DistRuntime(graph, partitions=4, replication=2)
+        with pytest.raises(QueryBudgetExceeded):
+            run_dist(graph, self.TEXT, runtime, budget=QueryBudget(max_rows=50))
+        report = runtime.last_report
+        assert report.tickets_issued == report.tickets_released
+        assert report.counters.get("dist.aborts") == 1
+
+    def test_budget_kill_releases_admission_exactly_once(self):
+        graph = build_graph()
+        admission = AdmissionController(max_in_flight=256, max_queue=256)
+        runtime = DistRuntime(
+            graph, partitions=4, replication=2, admission=admission
+        )
+        with pytest.raises(QueryBudgetExceeded):
+            run_dist(graph, self.TEXT, runtime, budget=QueryBudget(max_rows=50))
+        report = runtime.last_report
+        assert report.tickets_issued > 0
+        assert report.tickets_issued == report.tickets_released
+        assert admission._in_flight == 0
+        # And the runtime is reusable afterwards: clean run, clean audit.
+        rows = run_dist(graph, self.TEXT, runtime)
+        assert len(rows) == len(run_vector(graph, self.TEXT))
+        report = runtime.last_report
+        assert report.tickets_issued == report.tickets_released
+        assert admission._in_flight == 0
+
+    def test_generous_budget_unchanged_result(self):
+        graph = build_graph()
+        runtime = DistRuntime(graph, partitions=4, replication=2)
+        governed = run_dist(
+            graph, self.TEXT, runtime, budget=QueryBudget(max_rows=1_000_000)
+        )
+        assert canonical(governed) == canonical(run_vector(graph, self.TEXT))
+
+
+class TestIdempotentCommit:
+    def test_injected_failures_never_double_count(self):
+        """Zombie attempts commit, die unreported, and get re-executed: the
+        first-write-wins store must keep the answer an exact multiset."""
+        graph = build_graph()
+        text = (
+            "SELECT ?s ?v ?t WHERE { ?s <http://ex/p> ?v . "
+            "?s <http://ex/type> ?t }"
+        )
+        expected = canonical(run_vector(graph, text))
+        runtime = DistRuntime(
+            graph, partitions=4, replication=2, broadcast_threshold_rows=1.0
+        )
+        duplicates = 0
+        for seed in range(8):
+            runtime.injector = FaultInjector(
+                FaultPlan.chaos(
+                    seed=seed,
+                    node_count=4,
+                    task_failure_rate=0.3,
+                    straggler_prob=0.3,
+                    horizon_s=0.01,
+                )
+            )
+            assert canonical(run_dist(graph, text, runtime)) == expected
+            report = runtime.last_report
+            duplicates += report.duplicate_publishes
+            assert report.tickets_issued == report.tickets_released
+        # With a 30% per-attempt failure rate the retried attempts MUST have
+        # hit the duplicate-commit path somewhere across eight runs.
+        assert duplicates > 0
+
+
+class TestCacheKeyStability:
+    def test_dist_field_is_not_plan_state(self):
+        graph = build_graph(n=10)
+        runtime = DistRuntime(graph)
+        bare = CompileOptions(engine="dist")
+        with_runtime = CompileOptions(engine="dist", dist=runtime)
+        assert bare.cache_key() == with_runtime.cache_key()
+        assert CompileOptions().cache_key() == (True, True, "interpreted")
+
+    def test_engines_do_not_share_cache_keys(self):
+        keys = {
+            CompileOptions(engine=name).cache_key()
+            for name in ("interpreted", "vector", "dist")
+        }
+        assert len(keys) == 3
+
+
+class TestGatewayIntegration:
+    def test_dist_backend_round_trip(self):
+        from repro.serving import DistBackend, Gateway, TenantConfig
+
+        graph = build_graph()
+        runtime = DistRuntime(graph, partitions=4, replication=2)
+        gateway = Gateway(DistBackend(graph, runtime))
+        gateway.register_tenant(TenantConfig(name="a", api_key="key-a"))
+        text = "SELECT ?s ?v WHERE { ?s <http://ex/p> ?v }"
+        rows = gateway.query("key-a", text, kind="sparql")
+        assert canonical(rows) == canonical(run_vector(graph, text))
+        gateway.assert_drained()
+
+    def test_partition_unavailable_sheds(self):
+        from repro.serving import DistBackend, Gateway, TenantConfig
+
+        graph = build_graph()
+        runtime = DistRuntime(graph, partitions=4, replication=1)
+        runtime.injector = FaultInjector(
+            FaultPlan(node_losses=(NodeLoss(node_id=0, at_s=0.0),))
+        )
+        gateway = Gateway(DistBackend(graph, runtime))
+        gateway.register_tenant(TenantConfig(name="a", api_key="key-a"))
+        with pytest.raises(Shed) as excinfo:
+            gateway.query(
+                "key-a",
+                "SELECT ?s ?v WHERE { ?s <http://ex/p> ?v }",
+                kind="sparql",
+            )
+        assert excinfo.value.reason == "partition_unavailable"
+        assert excinfo.value.retryable
+        gateway.assert_drained()
